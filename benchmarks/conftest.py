@@ -1,0 +1,62 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures on the
+synthetic datasets, times its core operation with pytest-benchmark, and
+writes the rendered report to ``benchmarks/results/`` so the artefacts
+survive output capturing.
+
+Scale: ``ISOBAR_BENCH_ELEMENTS`` controls the per-dataset element count
+(default 60 000 — quick; set 375 000 to match the paper's settled chunk
+size, at several minutes of extra runtime).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench.tables import evaluate_many
+from repro.core.preferences import IsobarConfig
+
+BENCH_ELEMENTS = int(os.environ.get("ISOBAR_BENCH_ELEMENTS", "60000"))
+
+_RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_elements() -> int:
+    """Element count per dataset for this benchmark run."""
+    return BENCH_ELEMENTS
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> IsobarConfig:
+    """Workflow configuration shared by all benchmarks."""
+    return IsobarConfig(sample_elements=8_192)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory collecting the rendered tables and figures."""
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    return _RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def all_evaluations(bench_elements, bench_config):
+    """One shared measurement pass over all 24 datasets.
+
+    Tables II, V, VI, VII, VIII and IX all consume these evaluations;
+    sharing them keeps the suite's wall-clock in check and makes the
+    tables mutually consistent.
+    """
+    return evaluate_many(n_elements=bench_elements, config=bench_config)
+
+
+def save_report(results_dir: Path, name: str, text: str) -> None:
+    """Persist a rendered report and echo it to stdout."""
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

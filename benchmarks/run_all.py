@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Regenerate every reproduced table, figure and ablation in one pass.
+
+Convenience entry point around the pytest-benchmark suite::
+
+    python benchmarks/run_all.py [--elements N]
+
+Equivalent to ``ISOBAR_BENCH_ELEMENTS=N pytest benchmarks/
+--benchmark-only`` but prints a compact progress line per experiment
+and leaves all rendered artefacts in ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--elements", type=int, default=60_000,
+                        help="per-dataset element count (375000 = paper "
+                             "chunk scale)")
+    parser.add_argument("--only", default=None,
+                        help="substring filter on benchmark file names")
+    args = parser.parse_args()
+
+    bench_dir = Path(__file__).parent
+    env = dict(os.environ)
+    env["ISOBAR_BENCH_ELEMENTS"] = str(args.elements)
+
+    command = [
+        sys.executable, "-m", "pytest", str(bench_dir),
+        "--benchmark-only", "-p", "no:cacheprovider", "-q",
+    ]
+    if args.only:
+        command.extend(["-k", args.only])
+    print(f"regenerating all experiments at {args.elements} elements "
+          f"per dataset...")
+    completed = subprocess.run(command, env=env)
+    results = bench_dir / "results"
+    if results.is_dir():
+        print(f"\nartefacts in {results}:")
+        for path in sorted(results.glob("*.txt")):
+            print(f"  {path.name}")
+    return completed.returncode
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""Ablation: automated tau selection vs the paper's fixed 1.42.
+
+Runs the plateau-finding autotuner on several datasets and checks that
+(a) its chosen tau compresses within a whisker of the fixed-1.42
+configuration (the paper's calibration is recoverable automatically),
+and (b) the statistical floor correctly separates the paper's chunk
+size from the unreliable small-chunk regime.
+"""
+
+from conftest import BENCH_ELEMENTS, save_report
+
+from repro.bench.report import render_table
+from repro.core.autotune import autotune_tau, minimum_reliable_tau
+from repro.core.pipeline import IsobarCompressor
+from repro.core.preferences import IsobarConfig
+from repro.datasets.registry import generate_dataset
+
+_DATASETS = ("gts_chkp_zion", "s3d_vmag", "msg_sweep3d", "num_comet")
+
+
+def _run():
+    rows = []
+    for name in _DATASETS:
+        values = generate_dataset(name, n_elements=BENCH_ELEMENTS)
+        sweep = autotune_tau(values, sample_elements=BENCH_ELEMENTS,
+                             config=IsobarConfig(sample_elements=8_192))
+        auto_ratio = IsobarCompressor(
+            IsobarConfig(tau=sweep.chosen_tau, sample_elements=8_192)
+        ).compress_detailed(values).ratio
+        fixed_ratio = IsobarCompressor(
+            IsobarConfig(tau=1.42, sample_elements=8_192)
+        ).compress_detailed(values).ratio
+        rows.append([name, sweep.chosen_tau,
+                     f"{min(sweep.plateau)}..{max(sweep.plateau)}",
+                     auto_ratio, fixed_ratio])
+    return rows
+
+
+def test_autotune_matches_paper_calibration(benchmark, results_dir):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    for name, chosen, plateau, auto_ratio, fixed_ratio in rows:
+        assert auto_ratio > fixed_ratio * 0.99, (
+            f"{name}: autotuned tau={chosen} lost ratio vs 1.42"
+        )
+
+    # The closed-form floor: paper chunk size supports tau=1.42, small
+    # chunks do not.
+    assert minimum_reliable_tau(375_000) < 1.42 < minimum_reliable_tau(8_000)
+
+    text = render_table(
+        ["Dataset", "chosen tau", "plateau", "autotuned CR", "fixed-1.42 CR"],
+        rows,
+        title="Automated tau selection vs the paper's fixed 1.42",
+    )
+    save_report(results_dir, "ablation_autotune", text)

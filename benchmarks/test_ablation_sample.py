@@ -1,0 +1,61 @@
+"""Ablation: EUPA-selector training-sample size.
+
+The selector times candidates on a sample; too small a sample risks a
+bad pick, too large wastes the one-off selection budget.  This ablation
+sweeps the sample size and compares the ratio of the picked candidate
+against the best achievable (oracle over forced choices).
+"""
+
+from conftest import BENCH_ELEMENTS, save_report
+
+from repro.bench.report import render_table
+from repro.core.pipeline import IsobarCompressor
+from repro.core.preferences import IsobarConfig
+from repro.datasets.registry import generate_dataset
+
+_SAMPLES = (1_024, 4_096, 16_384, 49_152)
+
+
+def _oracle_ratio(values):
+    best = 0.0
+    for codec in ("zlib", "bzip2"):
+        for lin in ("row", "column"):
+            config = IsobarConfig(codec=codec, linearization=lin,
+                                  sample_elements=1_024)
+            ratio = IsobarCompressor(config).compress_detailed(values).ratio
+            best = max(best, ratio)
+    return best
+
+
+def _sweep(values):
+    oracle = _oracle_ratio(values)
+    rows = []
+    for sample in _SAMPLES:
+        config = IsobarConfig(sample_elements=sample)
+        result = IsobarCompressor(config).compress_detailed(values)
+        rows.append([sample, result.decision.codec_name,
+                     result.decision.linearization.value, result.ratio,
+                     100.0 * result.ratio / oracle])
+    return rows, oracle
+
+
+def test_ablation_sample_size(benchmark, results_dir):
+    values = generate_dataset("msg_sweep3d", n_elements=BENCH_ELEMENTS)
+    rows, oracle = benchmark.pedantic(_sweep, args=(values,), rounds=1,
+                                      iterations=1)
+    # Every sample size must land within ~10% of the oracle — the
+    # candidate space is small, so even thin samples avoid disasters.
+    for sample, codec, lin, ratio, pct in rows:
+        assert pct > 90.0, f"sample={sample} picked a poor candidate"
+    # A full-size sample essentially matches the oracle.
+    assert rows[-1][4] > 97.0
+    # Larger samples never do worse than the smallest.
+    assert rows[-1][3] >= rows[0][3] * 0.99
+
+    text = render_table(
+        ["Sample elements", "codec", "linearization", "CR", "% of oracle"],
+        rows,
+        title=f"Ablation: selector sample size (msg_sweep3d, "
+              f"oracle CR {oracle:.3f})",
+    )
+    save_report(results_dir, "ablation_sample", text)

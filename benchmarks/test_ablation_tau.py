@@ -1,0 +1,55 @@
+"""Ablation: the analyzer tolerance tau.
+
+The paper fixes tau = 1.42 after observing that the compression-ratio
+improvement is stable for tau in [1.4, 1.5].  This ablation sweeps tau
+and checks that plateau exists — and that leaving it hurts:
+
+* tau too low -> uniform noise columns sneak over the threshold, the
+  mask goes all-compressible, and the gain disappears into passthrough;
+* tau too high -> genuine signal columns get discarded as noise and the
+  ratio falls toward the raw-storage floor.
+"""
+
+import numpy as np
+from conftest import BENCH_ELEMENTS, save_report
+
+from repro.bench.report import render_series
+from repro.core.pipeline import IsobarCompressor
+from repro.core.preferences import IsobarConfig
+from repro.datasets.registry import generate_dataset
+
+_TAUS = (1.05, 1.2, 1.40, 1.42, 1.45, 1.50, 32.0, 100.0)
+
+
+def _sweep(values):
+    ratios = {}
+    for tau in _TAUS:
+        config = IsobarConfig(tau=tau, sample_elements=8_192)
+        result = IsobarCompressor(config).compress_detailed(values)
+        ratios[tau] = result.ratio
+    return ratios
+
+
+def test_ablation_tau(benchmark, results_dir):
+    values = generate_dataset("gts_chkp_zion", n_elements=BENCH_ELEMENTS)
+    ratios = benchmark.pedantic(_sweep, args=(values,), rounds=1, iterations=1)
+
+    plateau = [ratios[t] for t in (1.40, 1.42, 1.45, 1.50)]
+    # The paper's stability claim: the plateau is flat.
+    assert max(plateau) - min(plateau) < 0.01 * np.mean(plateau)
+
+    # Too-lenient tau lets uniform noise clear the threshold: the mask
+    # goes all-compressible, the chunk passes through whole, and the
+    # gain collapses to the standalone-solver ratio.
+    assert ratios[1.05] < min(plateau) * 0.90
+
+    # Overly aggressive tau discards signal columns into raw storage
+    # and loses ratio.
+    assert ratios[100.0] < min(plateau) * 0.97
+
+    text = render_series(
+        "tau", "compression ratio",
+        [(t, ratios[t]) for t in _TAUS],
+        title="Ablation: analyzer tolerance tau (gts_chkp_zion)",
+    )
+    save_report(results_dir, "ablation_tau", text)

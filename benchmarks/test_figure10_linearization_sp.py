@@ -1,0 +1,31 @@
+"""Figure 10: compression speed-up robustness across linearizations.
+
+Paper: the throughput advantage of ISOBAR over standalone compression
+is also insensitive to the element ordering.
+"""
+
+from conftest import BENCH_ELEMENTS, save_report
+
+from repro.bench.figures import figure10_linearization_sp
+
+_SIDE = max(int(BENCH_ELEMENTS ** 0.5), 150)
+
+
+def test_figure10_linearization_sp(benchmark, results_dir):
+    figure = benchmark.pedantic(
+        figure10_linearization_sp,
+        kwargs={"n_side": _SIDE},
+        rounds=1,
+        iterations=1,
+    )
+    points = dict(figure.series["2-D field"])
+    assert set(points) == {"original", "hilbert", "random", "morton"}
+
+    for ordering, sp in points.items():
+        assert sp > 1.0, f"{ordering}: ISOBAR lost its speed advantage"
+
+    # Same-ballpark speed-ups across orderings (within a 4x band —
+    # wall-clock noise is larger for throughput than for ratios).
+    assert max(points.values()) / min(points.values()) < 4.0
+
+    save_report(results_dir, "figure10_linearization_sp", figure.render())

@@ -1,0 +1,37 @@
+"""Figure 1: bit-position probability profiles of 4 representative datasets.
+
+Paper: xgc_igid, gts_zeon and flash_gamc show long ~0.5 plateaus
+(hard-to-compress); msg_sppm stays predictable across all 64 positions.
+"""
+
+from conftest import BENCH_ELEMENTS, save_report
+
+from repro.bench.figures import FIGURE1_DATASETS, figure1_bit_frequencies
+
+
+def test_figure1_bit_frequencies(benchmark, results_dir):
+    figure = benchmark.pedantic(
+        figure1_bit_frequencies,
+        kwargs={"n_elements": BENCH_ELEMENTS},
+        rounds=1,
+        iterations=1,
+    )
+    assert set(figure.series) == set(FIGURE1_DATASETS)
+
+    def noisy_fraction(name):
+        points = figure.series[name]
+        return sum(1 for _, p in points if p < 0.51) / len(points)
+
+    # The three HTC datasets have substantial fair-coin regions...
+    assert noisy_fraction("xgc_igid") > 0.30
+    assert noisy_fraction("gts_chkp_zeon") > 0.60
+    assert noisy_fraction("flash_gamc") > 0.50
+    # ... and the repetitive sppm does not.
+    assert noisy_fraction("msg_sppm") < 0.25
+
+    # Leading (sign/exponent) bits are predictable in every dataset.
+    for name, points in figure.series.items():
+        leading = [p for x, p in points if x <= 4]
+        assert min(leading) > 0.9, name
+
+    save_report(results_dir, "figure1_bitfreq", figure.render())

@@ -1,0 +1,45 @@
+"""Figure 8: compression ratio settling with chunk size.
+
+Paper: ratios become stable around 375 000 elements (~3 MB of doubles).
+The reproduction sweeps chunk sizes over a fixed input and checks the
+curve's tail is flat while the small-chunk region is visibly unsettled
+(analyzer misfires and per-chunk overhead).
+"""
+
+import numpy as np
+from conftest import BENCH_ELEMENTS, save_report
+
+from repro.bench.figures import figure8_chunk_size
+
+_CHUNK_SIZES = (1_000, 2_500, 5_000, 15_000, 40_000, 80_000, 160_000)
+_TOTAL = max(2 * BENCH_ELEMENTS, 320_000)
+
+
+def test_figure8_chunk_size(benchmark, results_dir):
+    figure = benchmark.pedantic(
+        figure8_chunk_size,
+        kwargs={
+            "dataset": "gts_chkp_zion",
+            "chunk_sizes": _CHUNK_SIZES,
+            "n_elements": _TOTAL,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    points = dict(figure.series["gts_chkp_zion"])
+    ratios = np.array([points[c] for c in _CHUNK_SIZES])
+
+    # Tail is settled: the last two chunk sizes agree closely.
+    assert abs(ratios[-1] - ratios[-2]) < 0.02 * ratios[-1]
+
+    # The settled ratio is a genuine improvement over raw.
+    assert ratios[-1] > 1.15
+
+    # Small chunks deviate more from the settled value than large ones
+    # (mean absolute deviation of the first three vs last three).
+    settled = ratios[-1]
+    small_dev = np.abs(ratios[:3] - settled).mean()
+    large_dev = np.abs(ratios[-3:] - settled).mean()
+    assert small_dev > large_dev
+
+    save_report(results_dir, "figure8_chunksize", figure.render())

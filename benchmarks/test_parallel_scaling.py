@@ -1,0 +1,79 @@
+"""Thread-parallel chunk compression scaling.
+
+The bz2/zlib solvers release the GIL while compressing, so the
+chunk-parallel pipeline scales with workers *to the extent the solver
+dominates each chunk's cost*; the numpy analyzer holds the GIL, so an
+analyzer-bound configuration (fast solver on few bytes) sees little
+gain — classic Amdahl.  The benchmark uses the solver-bound bzip2
+configuration, verifies the container stays byte-identical at every
+worker count, and records the speed-up curve.
+"""
+
+import time
+
+import numpy as np
+from conftest import BENCH_ELEMENTS, save_report
+
+from repro.bench.report import render_table
+from repro.core.parallel import ParallelIsobarCompressor
+from repro.core.pipeline import IsobarCompressor
+from repro.core.preferences import IsobarConfig
+from repro.datasets.registry import generate_dataset
+
+_WORKERS = (1, 2, 4, 8)
+# bzip2 keeps the solver (which releases the GIL) the dominant cost per
+# chunk; with zlib the numpy analyzer — which holds the GIL — dominates
+# and threads cannot help.  See the module docstring caveat.
+_CFG = IsobarConfig(codec="bzip2", chunk_elements=30_000,
+                    sample_elements=8_192)
+
+
+def _run():
+    # Enough chunks to keep every worker busy.
+    values = generate_dataset(
+        "flash_velx", n_elements=max(8 * 30_000, 4 * BENCH_ELEMENTS)
+    )
+    start = time.perf_counter()
+    serial_blob = IsobarCompressor(_CFG).compress(values)
+    serial_seconds = time.perf_counter() - start
+
+    rows = [["serial", serial_seconds, 1.0, True]]
+    for workers in _WORKERS:
+        compressor = ParallelIsobarCompressor(_CFG, n_workers=workers)
+        start = time.perf_counter()
+        blob = compressor.compress(values)
+        seconds = time.perf_counter() - start
+        identical = blob == serial_blob
+        rows.append([f"{workers} workers", seconds,
+                     serial_seconds / seconds, identical])
+    restored = ParallelIsobarCompressor(_CFG, n_workers=4).decompress(
+        serial_blob
+    )
+    assert np.array_equal(restored, values)
+    return rows
+
+
+def test_parallel_scaling(benchmark, results_dir):
+    import os
+
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    # Containers must be byte-identical at every worker count.
+    assert all(row[3] for row in rows)
+    by_label = {row[0]: row[2] for row in rows}
+
+    n_cpus = len(os.sched_getaffinity(0))
+    if n_cpus >= 2:
+        # Real hardware parallelism: four workers must pay off.
+        assert by_label["4 workers"] > by_label["1 workers"] * 1.2
+    else:
+        # Single-core environment: threads cannot speed anything up;
+        # require the parallel orchestration overhead stays bounded.
+        assert by_label["4 workers"] > 0.5
+
+    text = render_table(
+        ["Configuration", "seconds", "speed-up vs serial", "identical"],
+        rows,
+        title=f"Parallel chunk-compression scaling (flash_velx, "
+              f"{n_cpus} CPU(s) available)",
+    )
+    save_report(results_dir, "parallel_scaling", text)

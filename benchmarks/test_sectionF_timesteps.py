@@ -1,0 +1,47 @@
+"""Section II-F: consistency over an entire simulated run.
+
+Paper (GTS potential fluctuations): every timestep identified
+improvable, a single stable EUPA decision, linear regime dCR
+14.4% +/- 1.8 and Sp 5.95 +/- 0.065; nonlinear 13.4% +/- 2.7.
+
+Reproduction: both regimes run for a window of timesteps; the decision
+must be unique, every step improvable, and the dCR variance small
+relative to its mean.
+"""
+
+import pytest
+from conftest import save_report
+
+from repro.bench.tables import section_f_consistency
+
+_STEPS = 12
+_ELEMENTS = 50_000
+
+
+@pytest.mark.parametrize("regime", ["linear", "nonlinear"])
+def test_section_f_consistency(benchmark, results_dir, regime):
+    report = benchmark.pedantic(
+        section_f_consistency,
+        kwargs={
+            "n_steps": _STEPS,
+            "n_elements": _ELEMENTS,
+            "regime": regime,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    step_rows = report.rows[:-2]
+    mean_row, std_row = report.rows[-2], report.rows[-1]
+
+    # One stable EUPA decision across the whole run.
+    decisions = {row[1] for row in step_rows}
+    assert len(decisions) == 1, f"unstable decisions: {decisions}"
+
+    # Every timestep identified improvable.
+    assert all(row[2] for row in step_rows)
+
+    # Consistently positive improvement with a tight spread.
+    assert mean_row[3] > 5.0, "mean dCR"
+    assert std_row[3] < mean_row[3] * 0.5, "dCR std too wide"
+
+    save_report(results_dir, f"sectionF_{regime}", report.render())

@@ -1,0 +1,11 @@
+"""Table I: dataset inventory (static registry contents)."""
+
+from conftest import save_report
+
+from repro.bench.tables import table1_datasets
+
+
+def test_table1_datasets(benchmark, results_dir):
+    report = benchmark.pedantic(table1_datasets, rounds=3, iterations=1)
+    assert len(report.rows) == 7
+    save_report(results_dir, "table1_datasets", report.render())

@@ -1,0 +1,36 @@
+"""Table III: statistical characteristics of all 24 datasets.
+
+Checks the synthetic stand-ins land in the paper's qualitative classes:
+unique-value ratio (high for fields, tiny for repetitive data) and
+randomness.
+"""
+
+from conftest import save_report
+
+from repro.bench.tables import table3_statistics
+
+
+def test_table3_statistics(benchmark, bench_elements, results_dir):
+    report = benchmark.pedantic(
+        table3_statistics,
+        kwargs={"n_elements": bench_elements},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(report.rows) == 24
+    by_name = {row[0]: row for row in report.rows}
+
+    # Field-like datasets: ~100% unique, ~100% randomness (paper).
+    for name in ("gts_phi_l", "flash_velx", "num_brain", "obs_temp"):
+        assert by_name[name][4] > 95.0, f"{name}: unique %"
+        assert by_name[name][6] > 95.0, f"{name}: randomness %"
+
+    # Repetitive datasets: small dictionaries, low randomness.
+    for name in ("msg_sppm", "num_plasma", "obs_spitzer"):
+        assert by_name[name][4] < 5.0, f"{name}: unique %"
+        assert by_name[name][6] < 60.0, f"{name}: randomness %"
+
+    # The integer particle-ID set repeats (paper: 22.6% unique).
+    assert by_name["xgc_igid"][4] < 100.0
+
+    save_report(results_dir, "table3_statistics", report.render())

@@ -1,0 +1,43 @@
+"""Table V: full performance comparison across all 24 datasets.
+
+Reproduction targets (the paper's shape, not Lens-absolute numbers):
+
+* the same 5 datasets come out NI (non-improvable);
+* every improvable dataset's ISOBAR-CR ratio beats both standalone
+  solvers;
+* the ISOBAR-Sp variant trades a little ratio for more throughput;
+* analyzer throughput exceeds standalone bzip2 throughput everywhere
+  (the precondition for net speed-ups).
+"""
+
+from conftest import save_report
+
+from repro.bench.tables import table5_comparison
+
+PAPER_NI = {"msg_bt", "msg_sppm", "num_plasma", "obs_error", "obs_spitzer"}
+
+
+def test_table5_comparison(benchmark, all_evaluations, results_dir):
+    report = benchmark.pedantic(
+        table5_comparison,
+        kwargs={"evaluations": all_evaluations},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(report.rows) == 24
+
+    measured_ni = {row[0] for row in report.rows if row[6] is None}
+    assert measured_ni == PAPER_NI
+
+    for row in report.rows:
+        name, zl_cr, zl_tp, bz_cr, bz_tp, tp_a = row[:6]
+        assert tp_a > bz_tp, f"{name}: analyzer must outrun bzip2"
+        if row[6] is None:
+            continue
+        cr_cr, cr_tp, sp_cr, sp_tp = row[6:]
+        best_standard = max(zl_cr, bz_cr)
+        assert cr_cr > best_standard, f"{name}: ISOBAR-CR ratio"
+        assert sp_cr > best_standard * 0.97, f"{name}: ISOBAR-Sp ratio"
+        assert cr_cr >= sp_cr * 0.995, f"{name}: CR preference >= Sp"
+
+    save_report(results_dir, "table5_comparison", report.render())

@@ -1,0 +1,28 @@
+"""Table VII: improvement under the compression-ratio (CR) preference.
+
+Paper ranges: dCR 5.2-22.8% against the best-ratio standalone solver;
+Sp may dip below 1 on some datasets (0.295 for msg_sp) — the ratio
+preference is allowed to spend time.  Asserted shape: positive dCR on
+every improvable dataset.
+"""
+
+from conftest import save_report
+
+from repro.bench.tables import table7_ratio_preference
+from repro.datasets.registry import improvable_dataset_names
+
+
+def test_table7_cr_preference(benchmark, all_evaluations, results_dir):
+    report = benchmark.pedantic(
+        table7_ratio_preference,
+        kwargs={"evaluations": all_evaluations},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(report.rows) == len(improvable_dataset_names()) == 19
+    for name, ls, delta, sp, codec in report.rows:
+        assert delta > 0, f"{name}: dCR vs best-ratio standalone"
+        assert sp > 0, f"{name}: speed-up must be defined"
+    deltas = [row[2] for row in report.rows]
+    assert max(deltas) > 10.0  # the paper's biggest gains exceed 20%
+    save_report(results_dir, "table7_cr_preference", report.render())

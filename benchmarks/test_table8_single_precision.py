@@ -1,0 +1,29 @@
+"""Table VIII: single-precision (float32) datasets.
+
+Paper: both s3d datasets identified improvable; dCR 34.8-46.7% with
+speed-ups 2.5-9.4x.  Single-precision is the strongest ISOBAR case
+because noise occupies a larger fraction of each element.
+"""
+
+from conftest import save_report
+
+from repro.bench.tables import table8_single_precision
+
+
+def test_table8_single_precision(benchmark, all_evaluations, results_dir):
+    report = benchmark.pedantic(
+        table8_single_precision,
+        kwargs={"evaluations": all_evaluations},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(report.rows) == 4
+    for pref, name, ls, delta, sp in report.rows:
+        assert name in ("s3d_temp", "s3d_vmag")
+        assert delta > 0, f"{pref}/{name}: dCR"
+        assert sp > 0.5, f"{pref}/{name}: speed-up"
+    # s3d_temp (25% HTC, float32) shows the biggest relative gain in
+    # the paper; ours must be clearly double-digit too.
+    temp_rows = [row for row in report.rows if row[1] == "s3d_temp"]
+    assert max(row[3] for row in temp_rows) > 15.0
+    save_report(results_dir, "table8_single_precision", report.render())

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Plugging a custom solver into ISOBAR (the paper's extensibility claim).
+
+"A user can specify a preference in compressor to use with little to no
+change to our preconditioning method" — this example makes that claim
+concrete by writing a tiny custom codec (XOR-delta over bytes followed
+by zlib), registering it, and running the full ISOBAR workflow with it,
+including EUPA-selector participation.
+
+Run:  python examples/custom_solver.py
+"""
+
+import zlib
+
+import numpy as np
+
+from repro import IsobarCompressor, IsobarConfig
+from repro.codecs import Codec, register_codec
+from repro.datasets import generate_dataset
+
+
+class XorDeltaZlibCodec(Codec):
+    """Example solver: byte-wise XOR-delta transform, then DEFLATE.
+
+    The transform turns slowly varying byte streams into
+    near-zero-dominated ones before the entropy stage — 30 lines, and
+    it satisfies the full Codec contract (lossless round trip over
+    arbitrary bytes).
+    """
+
+    name = "xordelta-zlib"
+
+    def compress(self, data: bytes) -> bytes:
+        arr = np.frombuffer(data, dtype=np.uint8)
+        if arr.size:
+            transformed = arr.copy()
+            transformed[1:] = arr[1:] ^ arr[:-1]
+        else:
+            transformed = arr
+        return zlib.compress(transformed.tobytes(), 6)
+
+    def decompress(self, data: bytes) -> bytes:
+        transformed = np.frombuffer(zlib.decompress(data), dtype=np.uint8)
+        if transformed.size == 0:
+            return b""
+        return np.bitwise_xor.accumulate(transformed).tobytes()
+
+
+def main() -> None:
+    codec = XorDeltaZlibCodec()
+    register_codec(codec)
+    print(f"registered custom solver: {codec.name!r}")
+
+    # Sanity: the Codec contract holds on arbitrary bytes.
+    probe = bytes(range(256)) * 10
+    assert codec.decompress(codec.compress(probe)) == probe
+
+    data = generate_dataset("msg_lu", n_elements=100_000)
+
+    # 1. Forced: the whole workflow runs on the custom solver.
+    forced = IsobarCompressor(IsobarConfig(
+        codec="xordelta-zlib", sample_elements=8_192,
+    ))
+    result = forced.compress_detailed(data)
+    restored = forced.decompress(result.payload)
+    assert np.array_equal(restored, data)
+    print(f"forced      : ratio {result.ratio:.3f} "
+          f"(container names codec {result.header.codec_name!r})")
+
+    # 2. As an EUPA candidate: the selector times it against zlib and
+    #    picks whichever wins on this data.
+    candidate = IsobarCompressor(IsobarConfig(
+        candidate_codecs=("zlib", "xordelta-zlib"),
+        sample_elements=8_192,
+    ))
+    result2 = candidate.compress_detailed(data)
+    assert np.array_equal(candidate.decompress(result2.payload), data)
+    print(f"as candidate: EUPA chose {result2.decision.codec_name!r} "
+          f"(sampled candidates: "
+          f"{[(c.codec_name, round(c.ratio, 3)) for c in result2.decision.candidates]})")
+
+    print("custom solver integrated losslessly — no preconditioner "
+          "changes required.")
+
+
+if __name__ == "__main__":
+    main()

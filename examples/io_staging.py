@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Write-staging economics: when does compression pay? (paper intro).
+
+The paper motivates ISOBAR with the growing FLOPS-vs-filesystem
+imbalance: compressing before writing only helps when the compressor
+outruns the storage bottleneck.  This example sweeps a simulated
+storage bandwidth and compares three write strategies over a running
+simulation — raw dumps, standalone zlib, and ISOBAR (speed preference)
+with overlapped compute/IO staging — printing the effective output
+throughput and the crossover point.
+
+Run:  python examples/io_staging.py
+"""
+
+import zlib
+
+from repro import IsobarCompressor, IsobarConfig, Preference
+from repro.bench.report import render_table
+from repro.insitu import (
+    FieldSimulation,
+    SimulationConfig,
+    StagingSimulator,
+    StorageModel,
+    raw_writer,
+)
+
+BANDWIDTHS_MB_S = (1.0, 2.0, 8.0, 32.0, 128.0, 1024.0)
+N_STEPS = 5
+ELEMENTS = 60_000
+
+
+def main() -> None:
+    steps = list(
+        FieldSimulation(SimulationConfig(n_elements=ELEMENTS, seed=13)).run(
+            N_STEPS
+        )
+    )
+    raw_mb = sum(s.nbytes for s in steps) / 1e6
+    print(f"simulation output: {N_STEPS} steps x {ELEMENTS} doubles "
+          f"({raw_mb:.1f} MB total)\n")
+
+    isobar = IsobarCompressor(IsobarConfig(
+        preference=Preference.SPEED, sample_elements=8_192,
+    ))
+    strategies = {
+        "raw": raw_writer,
+        "zlib": lambda values: zlib.compress(values.tobytes()),
+        "isobar": isobar.compress,
+    }
+
+    rows = []
+    crossover = None
+    for bandwidth in BANDWIDTHS_MB_S:
+        simulator = StagingSimulator(StorageModel(bandwidth_mb_s=bandwidth))
+        reports = simulator.compare(lambda: steps, strategies,
+                                    overlapped=True)
+        winner = max(reports, key=lambda k: reports[k].effective_throughput_mb_s)
+        if winner == "raw" and crossover is None and rows:
+            crossover = bandwidth
+        rows.append([
+            bandwidth,
+            reports["raw"].effective_throughput_mb_s,
+            reports["zlib"].effective_throughput_mb_s,
+            reports["isobar"].effective_throughput_mb_s,
+            winner,
+        ])
+
+    print(render_table(
+        ["storage MB/s", "raw eff", "zlib eff", "ISOBAR eff", "winner"],
+        rows,
+        title="Effective write throughput by strategy (overlapped staging)",
+    ))
+    if crossover:
+        print(f"\ncrossover: raw writes overtake compression near "
+              f"{crossover:g} MB/s of storage bandwidth on this substrate —"
+              f" below that, ISOBAR preconditioning is pure win.")
+    else:
+        print("\ncompression won at every tested bandwidth.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Linearization robustness on multi-dimensional data (Figures 9-10).
+
+Builds a 2-D field with the GTS byte fingerprint, streams it in four
+different element orders — original row-major, Hilbert curve, Morton
+curve and a random shuffle — and shows that ISOBAR's improvement over
+standalone compression barely moves: the analyzer's byte-column
+statistics are order-invariant.
+
+Run:  python examples/multidim_linearization.py
+"""
+
+import numpy as np
+
+from repro.bench import evaluate_array
+from repro.bench.report import render_table
+from repro.datasets import build_structured
+from repro.linearization import apply_order, invert_permutation, ordering_indices
+
+ORDERINGS = ("original", "hilbert", "morton", "random")
+SIDE = 220
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    field = build_structured(
+        SIDE * SIDE, np.float64, 6, rng, pattern_kind="wave", step_scale=1.0
+    ).reshape(SIDE, SIDE)
+    print(f"2-D field: {field.shape}, {field.nbytes / 1e6:.1f} MB, "
+          f"6/8 noise bytes per element\n")
+
+    rows = []
+    for ordering in ORDERINGS:
+        perm = ordering_indices(ordering, field.shape, seed=1)
+        stream = apply_order(field, perm)
+        # Sanity: the permutation is invertible, so storage in any
+        # order loses nothing.
+        assert np.array_equal(
+            stream[invert_permutation(perm)], field.reshape(-1)
+        )
+        ev = evaluate_array(f"{ordering}", stream)
+        res = ev.isobar_speed
+        rows.append([
+            ordering,
+            ev.best_standard_ratio().ratio,
+            res.ratio,
+            ev.delta_cr_vs_best(res),
+            ev.speedup_vs_best_ratio(res),
+        ])
+
+    print(render_table(
+        ["Ordering", "best std CR", "ISOBAR CR", "dCR (%)", "Sp"],
+        rows,
+        title="ISOBAR improvement under different linearizations",
+    ))
+    deltas = [row[3] for row in rows]
+    print(f"\ndCR spread across orderings: "
+          f"{max(deltas) - min(deltas):.2f} percentage points "
+          f"(the paper's claim: improvement is linearization-robust).")
+
+
+if __name__ == "__main__":
+    main()

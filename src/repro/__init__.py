@@ -1,0 +1,59 @@
+"""ISOBAR: preconditioner for effective, high-throughput lossless compression.
+
+Reproduction of Schendel, Jin, Shah et al., *"ISOBAR Preconditioner for
+Effective and High-throughput Lossless Data Compression"* (ICDE 2012).
+
+Quickstart::
+
+    import numpy as np
+    from repro import isobar_compress, isobar_decompress
+
+    data = np.random.default_rng(0).normal(size=100_000)
+    blob = isobar_compress(data, preference="speed")
+    restored = isobar_decompress(blob)
+    assert np.array_equal(restored, data)
+
+The package splits into:
+
+* :mod:`repro.core` — the paper's contribution: analyzer, partitioner,
+  EUPA-selector, chunked workflow and container format;
+* :mod:`repro.codecs` — the solver layer (zlib/bzip2/lzma) plus
+  from-scratch FPC, fpzip-style and PFOR baselines;
+* :mod:`repro.analysis` — entropy, bit/byte profiling, metrics;
+* :mod:`repro.linearization` — Hilbert/Morton/column/random orderings;
+* :mod:`repro.datasets` — synthetic stand-ins for the paper's 24
+  scientific datasets;
+* :mod:`repro.insitu` — a simulation + checkpoint substrate;
+* :mod:`repro.bench` — the table/figure regeneration harness.
+"""
+
+from repro.core import (
+    AnalysisResult,
+    CompressionResult,
+    EupaSelector,
+    IsobarCompressor,
+    IsobarConfig,
+    IsobarError,
+    Linearization,
+    Preference,
+    analyze,
+    isobar_compress,
+    isobar_decompress,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisResult",
+    "CompressionResult",
+    "EupaSelector",
+    "IsobarCompressor",
+    "IsobarConfig",
+    "IsobarError",
+    "Linearization",
+    "Preference",
+    "analyze",
+    "isobar_compress",
+    "isobar_decompress",
+    "__version__",
+]

@@ -1,0 +1,72 @@
+"""Statistical analysis substrate: entropy, bit/byte profiling, metrics."""
+
+from repro.analysis.bitfreq import (
+    BitFrequencyProfile,
+    bit_frequency_profile,
+    bit_probabilities,
+)
+from repro.analysis.bytefreq import (
+    byte_matrix,
+    column_entropies,
+    column_frequencies,
+    column_max_frequency,
+    element_width,
+    matrix_to_elements,
+)
+from repro.analysis.entropy import (
+    DatasetStatistics,
+    byte_entropy,
+    dataset_statistics,
+    randomness_percent,
+    shannon_entropy,
+    unique_value_percent,
+)
+from repro.analysis.estimator import (
+    SizeEstimate,
+    column_entropy_bits,
+    entropy_bound_bytes,
+    estimate_partition_size,
+    predict_partition_gain,
+)
+from repro.analysis.profile import DatasetProfile, profile_dataset
+from repro.analysis.metrics import (
+    CompressionMeasurement,
+    Stopwatch,
+    compression_ratio,
+    delta_cr_percent,
+    measure_call,
+    speedup,
+    throughput_mb_s,
+)
+
+__all__ = [
+    "DatasetProfile",
+    "profile_dataset",
+    "SizeEstimate",
+    "column_entropy_bits",
+    "entropy_bound_bytes",
+    "estimate_partition_size",
+    "predict_partition_gain",
+    "BitFrequencyProfile",
+    "bit_frequency_profile",
+    "bit_probabilities",
+    "byte_matrix",
+    "column_entropies",
+    "column_frequencies",
+    "column_max_frequency",
+    "element_width",
+    "matrix_to_elements",
+    "DatasetStatistics",
+    "byte_entropy",
+    "dataset_statistics",
+    "randomness_percent",
+    "shannon_entropy",
+    "unique_value_percent",
+    "CompressionMeasurement",
+    "Stopwatch",
+    "compression_ratio",
+    "delta_cr_percent",
+    "measure_call",
+    "speedup",
+    "throughput_mb_s",
+]

@@ -1,0 +1,169 @@
+"""Performance metrics used throughout the paper's evaluation.
+
+Implements the paper's equations:
+
+* Eq. 1 — compression ratio ``CR = original_size / compressed_size``
+* Eq. 2 — speed-up ``Sp = throughput_isobar / throughput_standard``
+* Eq. 3 — ratio improvement ``dCR = (CR_isobar / CR_standard - 1) * 100%``
+
+plus the throughput bookkeeping (MB/s over the *original* data size, as
+the paper reports) and a :class:`Stopwatch` helper for consistent wall
+clock measurement.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.exceptions import InvalidInputError
+
+__all__ = [
+    "MEGABYTE",
+    "compression_ratio",
+    "delta_cr_percent",
+    "speedup",
+    "throughput_mb_s",
+    "Stopwatch",
+    "CompressionMeasurement",
+    "measure_call",
+]
+
+#: The paper reports throughput in decimal megabytes per second.
+MEGABYTE = 1_000_000.0
+
+
+def compression_ratio(original_size: int, compressed_size: int) -> float:
+    """Compression ratio (Eq. 1): original size over compressed size.
+
+    Values above 1.0 mean the data shrank.  Raises
+    :class:`InvalidInputError` for non-positive sizes, which would make
+    the ratio meaningless.
+    """
+    if original_size <= 0:
+        raise InvalidInputError(
+            f"original_size must be positive, got {original_size}"
+        )
+    if compressed_size <= 0:
+        raise InvalidInputError(
+            f"compressed_size must be positive, got {compressed_size}"
+        )
+    return original_size / compressed_size
+
+
+def delta_cr_percent(cr_isobar: float, cr_standard: float) -> float:
+    """Percentage compression-ratio improvement (Eq. 3).
+
+    Positive values mean ISOBAR compressed better than the standard
+    (best alternative) compressor.
+    """
+    if cr_standard <= 0:
+        raise InvalidInputError(
+            f"cr_standard must be positive, got {cr_standard}"
+        )
+    return (cr_isobar / cr_standard - 1.0) * 100.0
+
+
+def speedup(throughput_isobar: float, throughput_standard: float) -> float:
+    """Throughput speed-up (Eq. 2) of ISOBAR over the standard solver."""
+    if throughput_standard <= 0:
+        raise InvalidInputError(
+            f"throughput_standard must be positive, got {throughput_standard}"
+        )
+    return throughput_isobar / throughput_standard
+
+
+def throughput_mb_s(n_bytes: int, seconds: float) -> float:
+    """Throughput in MB/s over ``n_bytes`` of *original* data.
+
+    The paper always normalises by the uncompressed size, for both the
+    compression and decompression direction.  A zero-duration interval
+    (possible for tiny inputs on a coarse clock) returns ``inf`` rather
+    than raising, because it only ever happens when the work was too
+    cheap to measure.
+    """
+    if n_bytes < 0:
+        raise InvalidInputError(f"n_bytes must be non-negative, got {n_bytes}")
+    if seconds < 0:
+        raise InvalidInputError(f"seconds must be non-negative, got {seconds}")
+    if seconds == 0.0:
+        return float("inf")
+    return (n_bytes / MEGABYTE) / seconds
+
+
+class Stopwatch:
+    """Minimal context-manager stopwatch around ``time.perf_counter``.
+
+    Usage::
+
+        with Stopwatch() as sw:
+            work()
+        print(sw.seconds)
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.seconds: float = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._start is not None, "Stopwatch exited without entering"
+        self.seconds = time.perf_counter() - self._start
+
+
+@dataclass(frozen=True)
+class CompressionMeasurement:
+    """One timed (de)compression run expressed in the paper's metrics.
+
+    Attributes
+    ----------
+    original_bytes:
+        Size of the uncompressed data.
+    compressed_bytes:
+        Size of the produced container / compressed buffer.
+    compress_seconds / decompress_seconds:
+        Wall-clock durations of each direction.
+    """
+
+    original_bytes: int
+    compressed_bytes: int
+    compress_seconds: float
+    decompress_seconds: float = 0.0
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio (Eq. 1)."""
+        return compression_ratio(self.original_bytes, self.compressed_bytes)
+
+    @property
+    def compress_throughput(self) -> float:
+        """Compression throughput in MB/s over the original size."""
+        return throughput_mb_s(self.original_bytes, self.compress_seconds)
+
+    @property
+    def decompress_throughput(self) -> float:
+        """Decompression throughput in MB/s over the original size."""
+        return throughput_mb_s(self.original_bytes, self.decompress_seconds)
+
+
+def measure_call(fn, *args, repeat: int = 1, **kwargs):
+    """Run ``fn(*args, **kwargs)`` and return ``(result, best_seconds)``.
+
+    With ``repeat > 1`` the call is executed several times and the best
+    (smallest) duration is kept, the convention benchmark harnesses use
+    to suppress scheduler noise.  The result of the final call is
+    returned.
+    """
+    if repeat < 1:
+        raise InvalidInputError(f"repeat must be >= 1, got {repeat}")
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return result, best

@@ -1,0 +1,109 @@
+"""Complete compressibility profile of a dataset (one-stop diagnosis).
+
+Combines every analysis tool in this package into one structured
+record — the report a user wants before deciding how to store a
+dataset:
+
+* Table III statistics (uniqueness, entropy, randomness);
+* the Figure 1 bit-frequency profile;
+* the ISOBAR-analyzer verdict (mask, HTC share, improvable);
+* the order-0 size estimate for the analyzer's partition;
+* per-byte-column detail rows (max frequency, entropy, classification).
+
+``render()`` produces the text report the CLI's ``analyze --full`` mode
+prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.bitfreq import BitFrequencyProfile, bit_frequency_profile
+from repro.analysis.bytefreq import byte_matrix
+from repro.analysis.entropy import DatasetStatistics, dataset_statistics
+from repro.analysis.estimator import SizeEstimate, estimate_partition_size
+from repro.core.analyzer import AnalysisResult, analyze
+
+__all__ = ["DatasetProfile", "profile_dataset"]
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Everything the analysis stack knows about one dataset."""
+
+    name: str
+    statistics: DatasetStatistics
+    bit_profile: BitFrequencyProfile
+    analysis: AnalysisResult
+    estimate: SizeEstimate
+
+    @property
+    def recommendation(self) -> str:
+        """One-line storage recommendation derived from the verdict."""
+        if self.analysis.improvable:
+            return (
+                f"improvable: partition {self.analysis.n_incompressible} "
+                f"noise byte-column(s), predicted ratio "
+                f"{self.estimate.predicted_ratio:.3f}"
+            )
+        if self.statistics.randomness > 95.0 and not self.analysis.hard_to_compress:
+            return "undetermined: high-entropy but structured; compress whole"
+        if self.analysis.mask.all():
+            return "undetermined: every byte-column compressible; compress whole"
+        return "undetermined: every byte-column noise; storage-bound data"
+
+    def column_rows(self) -> list[list[object]]:
+        """Per-byte-column detail (for tables)."""
+        rows = []
+        for column in range(self.analysis.element_width):
+            rows.append([
+                column,
+                int(self.analysis.column_max_frequencies[column]),
+                float(self.analysis.column_entropy_bits[column]),
+                "signal" if self.analysis.mask[column] else "noise",
+            ])
+        return rows
+
+    def render(self) -> str:
+        """Multi-section text report."""
+        stats = self.statistics
+        lines = [
+            f"=== compressibility profile: {self.name} ===",
+            f"elements        : {stats.n_elements} x {stats.dtype} "
+            f"({stats.size_mb:.2f} MB)",
+            f"unique values   : {stats.unique_percent:.1f}%",
+            f"shannon entropy : {stats.entropy_bits:.2f} bits/element",
+            f"randomness      : {stats.randomness:.1f}%",
+            f"bit profile     : {self.bit_profile.render_ascii()}",
+            f"noisy bits      : {self.bit_profile.noisy_bits}/"
+            f"{self.bit_profile.n_bits}",
+            f"analyzer        : {self.analysis.summary()}",
+            "byte-columns (LSB first):",
+        ]
+        for column, max_freq, entropy, kind in self.column_rows():
+            lines.append(
+                f"  [{column}] max_freq={max_freq:>8d}  "
+                f"entropy={entropy:5.2f} b/B  {kind}"
+            )
+        lines.append(
+            f"order-0 estimate: {self.estimate.predicted_ratio:.3f}x "
+            f"({self.estimate.original_bytes} -> "
+            f"{self.estimate.total_bytes:.0f} bytes)"
+        )
+        lines.append(f"recommendation  : {self.recommendation}")
+        return "\n".join(lines)
+
+
+def profile_dataset(name: str, values: np.ndarray,
+                    tau: float = 1.42) -> DatasetProfile:
+    """Run the full analysis stack over ``values``."""
+    analysis = analyze(values, tau=tau)
+    return DatasetProfile(
+        name=name,
+        statistics=dataset_statistics(name, values),
+        bit_profile=bit_frequency_profile(name, values),
+        analysis=analysis,
+        estimate=estimate_partition_size(values, analysis.mask),
+    )

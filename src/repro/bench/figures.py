@@ -1,0 +1,192 @@
+"""Regeneration of the paper's evaluation figures (1, 8, 9, 10).
+
+Figures are produced as data series (list of points) plus a rendered
+ASCII view, so the benchmark suite can both assert on the numbers and
+print something a human can eyeball against the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.bitfreq import bit_frequency_profile
+from repro.analysis.metrics import delta_cr_percent, speedup
+from repro.bench.harness import evaluate_array
+from repro.bench.report import render_series, render_table
+from repro.core.pipeline import IsobarCompressor
+from repro.core.preferences import IsobarConfig, Preference
+from repro.datasets.registry import DEFAULT_ELEMENTS, get_dataset
+from repro.datasets.synthetic import build_structured
+from repro.linearization.order import apply_order, ordering_indices
+
+__all__ = [
+    "FigureReport",
+    "figure1_bit_frequencies",
+    "figure8_chunk_size",
+    "figure9_linearization_cr",
+    "figure10_linearization_sp",
+    "FIGURE1_DATASETS",
+    "FIGURE9_ORDERINGS",
+]
+
+#: The four representative datasets of Figure 1.
+FIGURE1_DATASETS = ("xgc_igid", "gts_chkp_zeon", "flash_gamc", "msg_sppm")
+
+#: Linearization schemes of Figures 9-10 (paper plots the first three;
+#: Morton is an extra point of comparison).
+FIGURE9_ORDERINGS = ("original", "hilbert", "random", "morton")
+
+
+@dataclass
+class FigureReport:
+    """One reproduced figure: labelled (x, y) series per curve."""
+
+    title: str
+    x_label: str
+    y_label: str
+    series: dict[str, list[tuple[object, float]]] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Render each curve as a value table with ASCII bars."""
+        blocks = [
+            render_series(self.x_label, self.y_label, points,
+                          title=f"{self.title} - {label}")
+            for label, points in self.series.items()
+        ]
+        text = "\n\n".join(blocks)
+        if self.notes:
+            text += "\n" + "\n".join(f"  * {note}" for note in self.notes)
+        return text
+
+
+def figure1_bit_frequencies(
+    datasets: tuple[str, ...] = FIGURE1_DATASETS,
+    n_elements: int = 100_000,
+) -> FigureReport:
+    """Figure 1: per-bit-position dominant-value probability profiles.
+
+    Hard-to-compress datasets show long ~0.5 stretches (mantissa noise);
+    ``msg_sppm`` stays high everywhere.  The x axis counts bit positions
+    from the most significant (sign/exponent) end, as in the paper.
+    """
+    fig = FigureReport(
+        title="Figure 1: bit frequencies of representative datasets",
+        x_label="bit position",
+        y_label="P(dominant value)",
+    )
+    for name in datasets:
+        values = get_dataset(name).generate(n_elements=n_elements)
+        profile = bit_frequency_profile(name, values)
+        points = [
+            (position + 1, float(prob))
+            for position, prob in enumerate(profile.probabilities)
+        ]
+        fig.series[name] = points
+    fig.notes.append(
+        "Profiles computed on the synthetic stand-ins; the HTC datasets "
+        "exhibit the paper's flat 0.5 mantissa region."
+    )
+    return fig
+
+
+def figure8_chunk_size(
+    dataset: str = "gts_chkp_zion",
+    chunk_sizes: tuple[int, ...] = (
+        1_000, 5_000, 15_000, 47_000, 94_000, 188_000, 375_000,
+    ),
+    n_elements: int = 750_000,
+) -> FigureReport:
+    """Figure 8: compression ratio vs chunk size, settling near 375 k.
+
+    Small chunks starve the analyzer of statistics (uniform columns can
+    spuriously clear the threshold) and pay per-chunk container and
+    solver-restart overhead; the ratio stabilises once chunks carry
+    enough elements.
+    """
+    values = get_dataset(dataset).generate(n_elements=n_elements)
+    fig = FigureReport(
+        title=f"Figure 8: chunking size for settled compression ratios "
+              f"({dataset})",
+        x_label="chunk elements",
+        y_label="compression ratio",
+    )
+    points = []
+    for chunk in chunk_sizes:
+        config = IsobarConfig(chunk_elements=chunk, preference=Preference.RATIO)
+        result = IsobarCompressor(config).compress_detailed(values)
+        points.append((chunk, result.ratio))
+    fig.series[dataset] = points
+    return fig
+
+
+def _field_2d(n_side: int, seed: int = 11) -> np.ndarray:
+    """A 2-D smooth field with the GTS noise fingerprint (6 of 8 bytes)."""
+    rng = np.random.default_rng(seed)
+    flat = build_structured(n_side * n_side, np.float64, 6, rng,
+                            pattern_kind="wave", step_scale=1.0)
+    return flat.reshape(n_side, n_side)
+
+
+def _linearization_sweep(
+    n_side: int,
+    orderings: tuple[str, ...],
+    seed: int,
+) -> dict[str, tuple[float, float]]:
+    """Per ordering: (dCR vs best standard, Sp vs best-ratio standard)."""
+    field2d = _field_2d(n_side, seed=seed)
+    outcomes: dict[str, tuple[float, float]] = {}
+    for ordering in orderings:
+        perm = ordering_indices(ordering, field2d.shape, seed=seed)
+        stream = apply_order(field2d, perm)
+        ev = evaluate_array(f"{ordering}-order", stream)
+        res = ev.isobar_speed
+        outcomes[ordering] = (
+            ev.delta_cr_vs_best(res),
+            ev.speedup_vs_best_ratio(res),
+        )
+    return outcomes
+
+
+def figure9_linearization_cr(
+    n_side: int = 300,
+    orderings: tuple[str, ...] = FIGURE9_ORDERINGS,
+    seed: int = 11,
+) -> FigureReport:
+    """Figure 9: dCR under original / Hilbert / random (/Morton) orders.
+
+    ISOBAR's improvement should stay roughly constant across
+    linearizations — even the random order retains most of the gain,
+    because the byte-column statistics are order-invariant.
+    """
+    outcomes = _linearization_sweep(n_side, orderings, seed)
+    fig = FigureReport(
+        title="Figure 9: dCR(%) under different linearization schemes",
+        x_label="linearization",
+        y_label="dCR (%)",
+    )
+    fig.series["2-D field"] = [
+        (ordering, outcomes[ordering][0]) for ordering in orderings
+    ]
+    return fig
+
+
+def figure10_linearization_sp(
+    n_side: int = 300,
+    orderings: tuple[str, ...] = FIGURE9_ORDERINGS,
+    seed: int = 11,
+) -> FigureReport:
+    """Figure 10: compression speed-up under the same orderings."""
+    outcomes = _linearization_sweep(n_side, orderings, seed)
+    fig = FigureReport(
+        title="Figure 10: compression speed-up (Sp) under different "
+              "linearization schemes",
+        x_label="linearization",
+        y_label="Sp",
+    )
+    fig.series["2-D field"] = [
+        (ordering, outcomes[ordering][1]) for ordering in orderings
+    ]
+    return fig

@@ -1,0 +1,99 @@
+"""Plain-text rendering of benchmark tables and figure data.
+
+The benchmark suite prints every reproduced table and figure in the
+same row/column layout the paper uses, so a side-by-side comparison is
+a diff away.  No plotting dependency is assumed: "figures" are rendered
+as value tables plus ASCII sparklines.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_cell", "render_table", "render_series", "render_kv"]
+
+
+def format_cell(value: object, float_digits: int = 3) -> str:
+    """Render one table cell: floats rounded, None as the paper's 'NI'."""
+    if value is None:
+        return "NI"
+    if isinstance(value, bool):
+        return "Yes" if value else "No"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1e6 or value == float("inf"):
+            return f"{value:.3g}"
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    float_digits: int = 3,
+) -> str:
+    """Render an aligned ASCII table with optional title."""
+    header_cells = [str(h) for h in headers]
+    body = [
+        [format_cell(cell, float_digits) for cell in row] for row in rows
+    ]
+    n_cols = len(header_cells)
+    for row in body:
+        if len(row) != n_cols:
+            raise ValueError(
+                f"row has {len(row)} cells, header has {n_cols}: {row}"
+            )
+    widths = [
+        max(len(header_cells[col]), *(len(row[col]) for row in body))
+        if body
+        else len(header_cells[col])
+        for col in range(n_cols)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(header_cells, widths)))
+    lines.append(sep)
+    for row in body:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    y_label: str,
+    points: Sequence[tuple[object, float]],
+    title: str | None = None,
+    width: int = 40,
+) -> str:
+    """Render an (x, y) series as a table with a bar-chart column.
+
+    Used to print "figures": each row gets a proportional bar so trends
+    (settling curves, robustness plateaus) are visible in plain text.
+    """
+    ys = [float(y) for _, y in points]
+    if not ys:
+        return render_table([x_label, y_label], [], title=title)
+    y_min, y_max = min(ys), max(ys)
+    span = (y_max - y_min) or 1.0
+    rows = []
+    for (x, y) in points:
+        bar = "#" * max(1, round((float(y) - y_min) / span * width)) if span else ""
+        rows.append([x, float(y), bar])
+    return render_table([x_label, y_label, "profile"], rows, title=title)
+
+
+def render_kv(pairs: Sequence[tuple[str, object]], title: str | None = None) -> str:
+    """Render key/value summary lines (for per-experiment headers)."""
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    key_width = max((len(k) for k, _ in pairs), default=0)
+    for key, value in pairs:
+        lines.append(f"{key.ljust(key_width)} : {format_cell(value)}")
+    return "\n".join(lines)

@@ -1,0 +1,497 @@
+"""Regeneration of every evaluation table in the paper (Tables I-X).
+
+Each ``table*`` function returns a :class:`TableReport` whose headers
+and row layout mirror the paper's table, built from live measurements
+on the synthetic datasets.  Absolute throughputs reflect the
+pure-Python substrate; the comparisons (who wins, signs of dCR,
+improvable sets) are the reproduction targets — see EXPERIMENTS.md.
+
+All dataset-level measurements flow through
+:func:`repro.bench.harness.evaluate_dataset`; :func:`evaluate_many`
+caches evaluations so the tables that share datasets (V, VI, VII, IX)
+reuse one measurement pass.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.entropy import dataset_statistics
+from repro.analysis.metrics import MEGABYTE, delta_cr_percent, speedup
+from repro.bench.harness import DatasetEvaluation, evaluate_dataset
+from repro.bench.report import render_table
+from repro.codecs.fpc import FpcCodec
+from repro.codecs.fpzip_like import FpzipLikeCodec
+from repro.core.analyzer import analyze
+from repro.core.pipeline import IsobarCompressor
+from repro.core.preferences import IsobarConfig, Preference
+from repro.datasets.registry import (
+    DATASETS,
+    DEFAULT_ELEMENTS,
+    dataset_names,
+    get_dataset,
+    improvable_dataset_names,
+)
+from repro.insitu.simulation import FieldSimulation, SimulationConfig
+
+__all__ = [
+    "TableReport",
+    "evaluate_many",
+    "table1_datasets",
+    "table2_summary",
+    "table3_statistics",
+    "table4_analyzer",
+    "table5_comparison",
+    "table6_speed_preference",
+    "table7_ratio_preference",
+    "table8_single_precision",
+    "table9_decompression",
+    "table10_fpc_fpzip",
+    "section_f_consistency",
+]
+
+#: Datasets Table X compares against FPC and fpzip.
+TABLE10_DATASETS = (
+    "gts_chkp_zeon",
+    "gts_chkp_zion",
+    "gts_phi_l",
+    "gts_phi_nl",
+    "xgc_igid",
+    "xgc_iphase",
+    "flash_gamc",
+    "flash_velx",
+    "flash_vely",
+)
+
+#: Representative dataset per application for the Table II headline.
+TABLE2_REPRESENTATIVES = {
+    "GTS": "gts_chkp_zion",
+    "XGC": "xgc_iphase",
+    "S3D": "s3d_vmag",
+    "FLASH": "flash_velx",
+}
+
+
+@dataclass
+class TableReport:
+    """One reproduced table: title, headers and measured rows."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[object]]
+    notes: list[str] = field(default_factory=list)
+
+    def render(self, float_digits: int = 3) -> str:
+        """Render the table (plus footnotes) as aligned text."""
+        text = render_table(self.headers, self.rows, title=self.title,
+                            float_digits=float_digits)
+        if self.notes:
+            text += "\n" + "\n".join(f"  * {note}" for note in self.notes)
+        return text
+
+
+def evaluate_many(
+    names: tuple[str, ...] | None = None,
+    n_elements: int = DEFAULT_ELEMENTS,
+    config: IsobarConfig | None = None,
+) -> dict[str, DatasetEvaluation]:
+    """Evaluate several datasets once, keyed by name (shared by tables)."""
+    if names is None:
+        names = dataset_names()
+    return {
+        name: evaluate_dataset(name, n_elements=n_elements, config=config)
+        for name in names
+    }
+
+
+# -- Table I ----------------------------------------------------------------
+
+def table1_datasets() -> TableReport:
+    """Table I: the seven applications and their variables."""
+    rows = []
+    seen = set()
+    for spec in DATASETS.values():
+        key = spec.application
+        if key in seen:
+            continue
+        seen.add(key)
+        variables = ", ".join(
+            s.variable for s in DATASETS.values() if s.application == key
+        )
+        dtypes = sorted({str(s.dtype) for s in DATASETS.values()
+                         if s.application == key})
+        rows.append([key, spec.research_area, variables, "/".join(dtypes)])
+    return TableReport(
+        title="Table I: simulation output datasets from seven applications",
+        headers=["Application", "Research Area", "Variable(s)", "Data Type"],
+        rows=rows,
+    )
+
+
+# -- Table II -----------------------------------------------------------------
+
+def table2_summary(
+    n_elements: int = DEFAULT_ELEMENTS,
+    evaluations: dict[str, DatasetEvaluation] | None = None,
+) -> TableReport:
+    """Table II: headline dCR / throughput / speed-up per application."""
+    rows = []
+    for app, dataset in TABLE2_REPRESENTATIVES.items():
+        ev = (
+            evaluations[dataset]
+            if evaluations and dataset in evaluations
+            else evaluate_dataset(dataset, n_elements=n_elements)
+        )
+        isobar = ev.isobar_speed
+        rows.append([
+            app,
+            ev.delta_cr_vs_best(isobar),
+            isobar.compress_mb_s,
+            ev.speedup_vs_best_ratio(isobar),
+            isobar.decompress_mb_s,
+            ev.decompress_speedup(isobar),
+        ])
+    return TableReport(
+        title="Table II: ISOBAR-compress performance summary (Sp preference)",
+        headers=["Dataset", "dCR (%)", "TP_C (MB/s)", "Sp_C", "TP_D (MB/s)",
+                 "Sp_D"],
+        rows=rows,
+        notes=[
+            "dCR vs best standalone ratio; Sp_C vs that solver's throughput; "
+            "Sp_D vs the faster standalone decompressor.",
+        ],
+    )
+
+
+# -- Table III ----------------------------------------------------------------
+
+def table3_statistics(n_elements: int = DEFAULT_ELEMENTS) -> TableReport:
+    """Table III: size, uniqueness, entropy, randomness of each dataset."""
+    rows = []
+    for name in dataset_names():
+        values = get_dataset(name).generate(n_elements=n_elements)
+        stats = dataset_statistics(name, values)
+        rows.append([
+            name,
+            stats.dtype,
+            stats.size_mb,
+            stats.n_elements / 1e6,
+            stats.unique_percent,
+            stats.entropy_bits,
+            stats.randomness,
+        ])
+    return TableReport(
+        title="Table III: statistical information about test datasets",
+        headers=["Dataset", "Data Type", "Size (MB)", "Elements (M)",
+                 "Unique (%)", "Shannon Entropy", "Randomness (%)"],
+        rows=rows,
+    )
+
+
+# -- Table IV -----------------------------------------------------------------
+
+def table4_analyzer(
+    n_elements: int = DEFAULT_ELEMENTS, tau: float | None = None
+) -> TableReport:
+    """Table IV: analyzer predictions — HTC?, HTC bytes %, improvable?."""
+    cfg = IsobarConfig() if tau is None else IsobarConfig(tau=tau)
+    rows = []
+    for name in dataset_names():
+        values = get_dataset(name).generate(n_elements=n_elements)
+        result = analyze(values, tau=cfg.tau)
+        rows.append([
+            name,
+            result.hard_to_compress,
+            f"{result.htc_bytes_percent:.1f}%",
+            result.improvable,
+        ])
+    return TableReport(
+        title="Table IV: ISOBAR-analyzer predictions",
+        headers=["Dataset", "HTC?", "HTC Bytes (%)", "Improvable?"],
+        rows=rows,
+    )
+
+
+# -- Table V ------------------------------------------------------------------
+
+def table5_comparison(
+    evaluations: dict[str, DatasetEvaluation] | None = None,
+    n_elements: int = DEFAULT_ELEMENTS,
+) -> TableReport:
+    """Table V: zlib / bzlib2 / analyzer TP / ISOBAR-CR / ISOBAR-Sp."""
+    evaluations = evaluations or evaluate_many(n_elements=n_elements)
+    rows = []
+    for name in dataset_names():
+        ev = evaluations.get(name)
+        if ev is None:
+            continue
+        zl = ev.standard["zlib"]
+        bz = ev.standard["bzip2"]
+        if ev.improvable:
+            cr_pref = ev.isobar_ratio
+            sp_pref = ev.isobar_speed
+            row_tail = [
+                cr_pref.ratio, cr_pref.compress_mb_s,
+                sp_pref.ratio, sp_pref.compress_mb_s,
+            ]
+        else:
+            row_tail = [None, None, None, None]
+        rows.append([
+            name,
+            zl.ratio, zl.compress_mb_s,
+            bz.ratio, bz.compress_mb_s,
+            ev.isobar_speed.analyze_mb_s,
+            *row_tail,
+        ])
+    return TableReport(
+        title="Table V: performance comparison",
+        headers=["Dataset", "zlib CR", "zlib TP_C", "bzlib2 CR", "bzlib2 TP_C",
+                 "TP_A (MB/s)", "ISOBAR-CR CR", "ISOBAR-CR TP_C",
+                 "ISOBAR-Sp CR", "ISOBAR-Sp TP_C"],
+        rows=rows,
+        notes=["NI: dataset identified as non-improvable by ISOBAR-compress."],
+    )
+
+
+# -- Tables VI and VII -----------------------------------------------------------
+
+def _preference_table(
+    evaluations: dict[str, DatasetEvaluation],
+    preference: Preference,
+) -> list[list[object]]:
+    rows = []
+    for name in dataset_names():
+        ev = evaluations.get(name)
+        if ev is None or not ev.improvable:
+            continue
+        if preference is Preference.SPEED:
+            res = ev.isobar_speed
+            delta = ev.delta_cr_vs_fastest(res)
+            sp = ev.speedup_vs_fastest(res)
+        else:
+            res = ev.isobar_ratio
+            delta = ev.delta_cr_vs_best(res)
+            sp = ev.speedup_vs_best_ratio(res)
+        rows.append([name, res.linearization.capitalize(), delta, sp,
+                     res.codec_name])
+    return rows
+
+
+def table6_speed_preference(
+    evaluations: dict[str, DatasetEvaluation] | None = None,
+    n_elements: int = DEFAULT_ELEMENTS,
+) -> TableReport:
+    """Table VI: improvement under the Sp (throughput) preference."""
+    evaluations = evaluations or evaluate_many(
+        improvable_dataset_names(), n_elements=n_elements
+    )
+    return TableReport(
+        title="Table VI: improvement of ISOBAR-Sp preference",
+        headers=["Dataset", "LS", "dCR (%)", "Sp", "Codec"],
+        rows=_preference_table(evaluations, Preference.SPEED),
+        notes=[
+            "dCR vs the standalone alternative with the highest compression "
+            "throughput; Sp vs the same alternative (Eq. 2, 3).",
+        ],
+    )
+
+
+def table7_ratio_preference(
+    evaluations: dict[str, DatasetEvaluation] | None = None,
+    n_elements: int = DEFAULT_ELEMENTS,
+) -> TableReport:
+    """Table VII: improvement under the CR (ratio) preference."""
+    evaluations = evaluations or evaluate_many(
+        improvable_dataset_names(), n_elements=n_elements
+    )
+    return TableReport(
+        title="Table VII: improvement of ISOBAR-CR preference",
+        headers=["Dataset", "LS", "dCR (%)", "Sp", "Codec"],
+        rows=_preference_table(evaluations, Preference.RATIO),
+        notes=[
+            "dCR vs the standalone alternative with the best compression "
+            "ratio; Sp vs the same alternative (Eq. 2, 3).",
+        ],
+    )
+
+
+# -- Table VIII -----------------------------------------------------------------
+
+def table8_single_precision(
+    evaluations: dict[str, DatasetEvaluation] | None = None,
+    n_elements: int = DEFAULT_ELEMENTS,
+) -> TableReport:
+    """Table VIII: the two single-precision (float32) datasets."""
+    names = ("s3d_temp", "s3d_vmag")
+    evaluations = evaluations or evaluate_many(names, n_elements=n_elements)
+    rows = []
+    for pref_label, pref in (("ISOBAR-CR", Preference.RATIO),
+                             ("ISOBAR-Sp", Preference.SPEED)):
+        for name in names:
+            ev = evaluations[name]
+            if pref is Preference.RATIO:
+                res = ev.isobar_ratio
+                delta = ev.delta_cr_vs_best(res)
+                sp = ev.speedup_vs_best_ratio(res)
+            else:
+                res = ev.isobar_speed
+                delta = ev.delta_cr_vs_fastest(res)
+                sp = ev.speedup_vs_fastest(res)
+            rows.append([pref_label, name, res.linearization.capitalize(),
+                         delta, sp])
+    return TableReport(
+        title="Table VIII: performance on single-precision datasets",
+        headers=["Preference", "Dataset", "LS", "dCR (%)", "Sp"],
+        rows=rows,
+    )
+
+
+# -- Table IX -----------------------------------------------------------------
+
+def table9_decompression(
+    evaluations: dict[str, DatasetEvaluation] | None = None,
+    n_elements: int = DEFAULT_ELEMENTS,
+) -> TableReport:
+    """Table IX: decompression throughput comparison."""
+    evaluations = evaluations or evaluate_many(
+        improvable_dataset_names(), n_elements=n_elements
+    )
+    rows = []
+    for name in dataset_names():
+        ev = evaluations.get(name)
+        if ev is None or not ev.improvable:
+            continue
+        rows.append([
+            name,
+            ev.standard["zlib"].decompress_mb_s,
+            ev.standard["bzip2"].decompress_mb_s,
+            ev.isobar_speed.decompress_mb_s,
+            ev.decompress_speedup(ev.isobar_speed),
+        ])
+    return TableReport(
+        title="Table IX: decompression throughput comparison",
+        headers=["Dataset", "zlib (MB/s)", "bzlib2 (MB/s)", "ISOBAR (MB/s)",
+                 "Sp"],
+        rows=rows,
+        notes=["ISOBAR decompression under the speed preference; Sp vs the "
+               "faster of zlib / bzlib2."],
+    )
+
+
+# -- Table X ------------------------------------------------------------------
+
+def _time_array_codec(codec, values: np.ndarray) -> tuple[float, float, float]:
+    """(ratio, compress MB/s, decompress MB/s) of an array codec."""
+    start = time.perf_counter()
+    encoded = codec.encode(values)
+    enc_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    decoded = codec.decode(encoded)
+    dec_seconds = time.perf_counter() - start
+    if not np.array_equal(
+        decoded.reshape(-1).view(np.uint8), values.reshape(-1).view(np.uint8)
+    ):
+        raise AssertionError(f"{codec.name} failed to round-trip")
+    n_mb = values.nbytes / MEGABYTE
+    return (
+        values.nbytes / len(encoded),
+        n_mb / enc_seconds if enc_seconds else float("inf"),
+        n_mb / dec_seconds if dec_seconds else float("inf"),
+    )
+
+
+def table10_fpc_fpzip(
+    n_elements: int = DEFAULT_ELEMENTS,
+    datasets: tuple[str, ...] = TABLE10_DATASETS,
+    evaluations: dict[str, DatasetEvaluation] | None = None,
+) -> TableReport:
+    """Table X: ISOBAR-Sp vs FPC vs fpzip on the GTS/XGC/FLASH datasets."""
+    fpc = FpcCodec()
+    fpzip = FpzipLikeCodec()
+    rows = []
+    sums = np.zeros(9)
+    for name in datasets:
+        values = get_dataset(name).generate(n_elements=n_elements)
+        ev = (
+            evaluations[name]
+            if evaluations and name in evaluations
+            else evaluate_dataset(name, n_elements=n_elements)
+        )
+        iso = ev.isobar_speed
+        fpc_ratio, fpc_tc, fpc_td = _time_array_codec(fpc, values)
+        # fpzip is float-only; integer traces are viewed as float64 bit
+        # patterns (the mapping is bitwise-bijective, so the round trip
+        # stays exact) — mirrors how the paper feeds igid to fpzip.
+        fp_values = values if values.dtype.kind == "f" else values.view(np.float64)
+        fz_ratio, fz_tc, fz_td = _time_array_codec(fpzip, fp_values)
+        row = [name, iso.ratio, iso.compress_mb_s, iso.decompress_mb_s,
+               fpc_ratio, fpc_tc, fpc_td, fz_ratio, fz_tc, fz_td]
+        rows.append(row)
+        sums += np.array(row[1:], dtype=float)
+    if rows:
+        rows.append(["mean", *(sums / len(datasets)).tolist()])
+    return TableReport(
+        title="Table X: comparison among ISOBAR-compress, FPC and fpzip",
+        headers=["Dataset", "ISO CR", "ISO TP_C", "ISO TP_D",
+                 "FPC CR", "FPC TP_C", "FPC TP_D",
+                 "fpzip CR", "fpzip TP_C", "fpzip TP_D"],
+        rows=rows,
+        notes=["ISOBAR under the speed preference; FPC/fpzip are the "
+               "from-scratch reimplementations (throughput is Python-bound)."],
+    )
+
+
+# -- Section F -----------------------------------------------------------------
+
+def section_f_consistency(
+    n_steps: int = 20,
+    n_elements: int = 50_000,
+    regime: str = "linear",
+    seed: int = 7,
+) -> TableReport:
+    """Section II-F: per-timestep consistency over a simulated run.
+
+    Reports each timestep's selector decision, dCR vs the best
+    standalone solver, and compression speed-up, then the mean/std the
+    paper quotes (linear regime: dCR 14.4% +/- 1.8, Sp 5.95 +/- 0.07).
+
+    The ratio preference is used, matching the paper's reported choice
+    (bzlib2 for all steps): ratio comparisons are deterministic given
+    the data, whereas the speed preference breaks near-ties by
+    wall-clock timing and can flap between equally good candidates.
+    """
+    sim = FieldSimulation(SimulationConfig(
+        n_elements=n_elements, regime=regime, seed=seed,
+    ))
+    rows = []
+    deltas = []
+    speedups = []
+    decisions = set()
+    from repro.bench.harness import evaluate_array
+
+    for step in range(n_steps):
+        values = sim.step()
+        ev = evaluate_array(f"step_{step}", values)
+        res = ev.isobar_ratio
+        delta = ev.delta_cr_vs_best(res)
+        sp = ev.speedup_vs_best_ratio(res)
+        decision = f"{res.codec_name}+{res.linearization}"
+        decisions.add(decision)
+        deltas.append(delta)
+        speedups.append(sp)
+        rows.append([step, decision, ev.improvable, delta, sp])
+    mean_delta = float(np.mean(deltas)) if deltas else float("nan")
+    std_delta = float(np.std(deltas)) if deltas else float("nan")
+    mean_sp = float(np.mean(speedups)) if speedups else float("nan")
+    std_sp = float(np.std(speedups)) if speedups else float("nan")
+    rows.append(["mean", "|".join(sorted(decisions)), True, mean_delta, mean_sp])
+    rows.append(["std", "", True, std_delta, std_sp])
+    return TableReport(
+        title=f"Section F: consistency over the {regime} simulation regime",
+        headers=["Timestep", "EUPA decision", "Improvable", "dCR (%)", "Sp"],
+        rows=rows,
+        notes=["All steps should share one decision and stay improvable."],
+    )

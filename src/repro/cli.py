@@ -1,0 +1,365 @@
+"""Command-line interface: ``isobar compress|decompress|analyze|bench``.
+
+The CLI operates on raw dataset files (see
+:mod:`repro.datasets.loaders`) and ISOBAR containers::
+
+    isobar generate gts_chkp_zion field.rds --elements 375000
+    isobar analyze field.rds
+    isobar compress field.rds field.isobar --preference speed
+    isobar decompress field.isobar restored.rds
+    isobar bench --table 5 --elements 100000
+
+``bench`` regenerates any of the paper's tables or figures on the
+synthetic datasets and prints them in the paper's layout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis.bitfreq import bit_frequency_profile
+from repro.analysis.entropy import dataset_statistics
+from repro.analysis.metrics import MEGABYTE, Stopwatch
+from repro.core.analyzer import analyze
+from repro.core.exceptions import IsobarError
+from repro.core.pipeline import IsobarCompressor
+from repro.core.preferences import IsobarConfig, Linearization, Preference
+from repro.datasets.loaders import load_raw, save_raw
+from repro.datasets.registry import dataset_names, generate_dataset
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="isobar",
+        description="ISOBAR preconditioner for lossless compression "
+                    "(ICDE 2012 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="write a synthetic dataset file")
+    gen.add_argument("dataset", choices=sorted(dataset_names()))
+    gen.add_argument("output", help="output raw dataset file (.rds)")
+    gen.add_argument("--elements", type=int, default=375_000)
+    gen.add_argument("--seed", type=int, default=None)
+
+    ana = sub.add_parser("analyze", help="run the ISOBAR-analyzer on a file")
+    ana.add_argument("input", help="raw dataset file")
+    ana.add_argument("--tau", type=float, default=IsobarConfig().tau)
+    ana.add_argument("--bits", action="store_true",
+                     help="also print the Figure-1 bit-frequency profile")
+    ana.add_argument("--full", action="store_true",
+                     help="print the complete compressibility profile")
+
+    comp = sub.add_parser("compress", help="compress a raw dataset file")
+    comp.add_argument("input", help="raw dataset file")
+    comp.add_argument("output", help="output ISOBAR container")
+    comp.add_argument("--preference", choices=["ratio", "speed"],
+                      default="ratio")
+    comp.add_argument("--codec", default=None,
+                      help="explicit solver override (e.g. zlib, bzip2)")
+    comp.add_argument("--linearization", choices=["row", "column"],
+                      default=None)
+    comp.add_argument("--chunk-elements", type=int, default=None)
+    comp.add_argument("--tau", type=float, default=None)
+
+    dec = sub.add_parser("decompress", help="restore a raw dataset file")
+    dec.add_argument("input", help="ISOBAR container")
+    dec.add_argument("output", help="output raw dataset file")
+
+    tune = sub.add_parser("autotune", help="find the tau plateau for a file")
+    tune.add_argument("input", help="raw dataset file")
+    tune.add_argument("--sample-elements", type=int, default=65_536)
+
+    info = sub.add_parser("info", help="inspect an ISOBAR container")
+    info.add_argument("input", help="ISOBAR container")
+
+    verify = sub.add_parser(
+        "verify", help="deep-validate an ISOBAR container"
+    )
+    verify.add_argument("input", help="ISOBAR container")
+
+    extract = sub.add_parser(
+        "extract", help="random-access read of an element range"
+    )
+    extract.add_argument("input", help="ISOBAR container")
+    extract.add_argument("output", help="output raw dataset file")
+    extract.add_argument("--start", type=int, required=True)
+    extract.add_argument("--stop", type=int, required=True)
+
+    sub.add_parser("codecs", help="list registered solvers")
+
+    concat = sub.add_parser(
+        "concat", help="merge containers without recompression"
+    )
+    concat.add_argument("inputs", nargs="+",
+                        help="input ISOBAR containers, in order")
+    concat.add_argument("output", help="merged container")
+
+    bench = sub.add_parser("bench", help="regenerate a paper table or figure")
+    bench.add_argument("--table", type=int, choices=range(1, 11),
+                       help="paper table number (1-10)")
+    bench.add_argument("--figure", type=int, choices=(1, 8, 9, 10),
+                       help="paper figure number")
+    bench.add_argument("--section-f", action="store_true",
+                       help="run the Section F consistency experiment")
+    bench.add_argument("--elements", type=int, default=100_000)
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    values = generate_dataset(args.dataset, n_elements=args.elements,
+                              seed=args.seed)
+    written = save_raw(args.output, values)
+    print(f"wrote {args.dataset}: {values.size} x {values.dtype} "
+          f"({written} bytes) -> {args.output}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    values = load_raw(args.input)
+    if args.full:
+        from repro.analysis.profile import profile_dataset
+
+        print(profile_dataset(args.input, values, tau=args.tau).render())
+        return 0
+    stats = dataset_statistics(args.input, values)
+    result = analyze(values, tau=args.tau)
+    print(f"elements        : {stats.n_elements} x {stats.dtype}")
+    print(f"unique values   : {stats.unique_percent:.1f}%")
+    print(f"shannon entropy : {stats.entropy_bits:.2f} bits")
+    print(f"randomness      : {stats.randomness:.1f}%")
+    print(f"analyzer        : {result.summary()}")
+    print(f"hard-to-compress: {'yes' if result.hard_to_compress else 'no'}; "
+          f"improvable: {'yes' if result.improvable else 'no'}")
+    if args.bits:
+        profile = bit_frequency_profile(args.input, values)
+        print(f"bit profile     : {profile.render_ascii()}")
+        print(f"noisy bits      : {profile.noisy_bits}/{profile.n_bits}")
+    return 0
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    values = load_raw(args.input)
+    overrides: dict[str, object] = {
+        "preference": Preference.parse(args.preference),
+    }
+    if args.codec:
+        overrides["codec"] = args.codec
+    if args.linearization:
+        overrides["linearization"] = Linearization.parse(args.linearization)
+    if args.chunk_elements:
+        overrides["chunk_elements"] = args.chunk_elements
+    if args.tau:
+        overrides["tau"] = args.tau
+    config = IsobarConfig().replace(**overrides)
+    compressor = IsobarCompressor(config)
+    with Stopwatch() as sw:
+        result = compressor.compress_detailed(values)
+    with open(args.output, "wb") as handle:
+        handle.write(result.payload)
+    mb = result.original_bytes / MEGABYTE
+    print(f"codec           : {result.decision.summary()}")
+    print(f"ratio           : {result.ratio:.3f}")
+    print(f"throughput      : {mb / sw.seconds:.1f} MB/s "
+          f"({result.original_bytes} -> {result.compressed_bytes} bytes)")
+    improvable_chunks = sum(1 for c in result.chunks if c.improvable)
+    print(f"chunks          : {len(result.chunks)} "
+          f"({improvable_chunks} improvable)")
+    return 0
+
+
+def _cmd_decompress(args: argparse.Namespace) -> int:
+    with open(args.input, "rb") as handle:
+        payload = handle.read()
+    compressor = IsobarCompressor()
+    with Stopwatch() as sw:
+        values = compressor.decompress(payload)
+    save_raw(args.output, np.asarray(values))
+    mb = values.nbytes / MEGABYTE
+    print(f"restored {values.size} x {values.dtype} elements "
+          f"at {mb / sw.seconds:.1f} MB/s -> {args.output}")
+    return 0
+
+
+def _cmd_autotune(args: argparse.Namespace) -> int:
+    from repro.core.autotune import autotune_tau
+
+    values = load_raw(args.input)
+    sweep = autotune_tau(values, sample_elements=args.sample_elements)
+    print(f"{'tau':>8s} {'ratio':>8s} plateau")
+    for tau, ratio, in_plateau in sweep.as_rows():
+        marker = "*" if in_plateau else ""
+        print(f"{tau:8.3f} {ratio:8.3f} {marker}")
+    print(f"chosen tau       : {sweep.chosen_tau}")
+    print(f"statistical floor: {sweep.statistical_floor:.3f} "
+          f"(for {min(args.sample_elements, values.size)} sampled elements)")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.core.random_access import ContainerReader
+
+    with open(args.input, "rb") as handle:
+        payload = handle.read()
+    reader = ContainerReader(payload)
+    header = reader.header
+    print(f"dtype           : {header.dtype}")
+    print(f"elements        : {header.n_elements} (shape {header.shape})")
+    print(f"codec           : {header.codec_name}")
+    print(f"linearization   : {header.linearization.value}")
+    print(f"preference      : {header.preference.value}")
+    print(f"tau             : {header.tau}")
+    print(f"chunks          : {header.n_chunks} "
+          f"(nominal {header.chunk_elements} elements each)")
+    original = header.n_elements * header.element_width
+    print(f"ratio           : {original / len(payload):.3f} "
+          f"({original} -> {len(payload)} bytes)")
+    improvable = sum(
+        1 for entry in reader.chunk_index()
+        if entry.metadata.incompressible_size > 0
+    )
+    print(f"improvable      : {improvable}/{header.n_chunks} chunks "
+          f"partitioned")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.core.validate import validate_container
+
+    with open(args.input, "rb") as handle:
+        payload = handle.read()
+    report = validate_container(payload)
+    for line in report.summary_lines():
+        print(line)
+    return 0 if report.valid else 1
+
+
+def _cmd_extract(args: argparse.Namespace) -> int:
+    from repro.core.random_access import ContainerReader
+
+    with open(args.input, "rb") as handle:
+        payload = handle.read()
+    reader = ContainerReader(payload)
+    with Stopwatch() as sw:
+        window = reader.read_range(args.start, args.stop)
+    save_raw(args.output, window)
+    first = reader.chunk_for_element(args.start).index if window.size else 0
+    last = (reader.chunk_for_element(args.stop - 1).index
+            if window.size else 0)
+    print(f"extracted [{args.start}, {args.stop}) "
+          f"({window.size} elements) touching chunks {first}..{last} "
+          f"of {reader.n_chunks} in {sw.seconds * 1e3:.1f} ms -> "
+          f"{args.output}")
+    return 0
+
+
+def _cmd_concat(args: argparse.Namespace) -> int:
+    from repro.core.concat import concat_containers
+    from repro.core.random_access import ContainerReader
+
+    payloads = []
+    for path in args.inputs:
+        with open(path, "rb") as handle:
+            payloads.append(handle.read())
+    merged = concat_containers(payloads)
+    with open(args.output, "wb") as handle:
+        handle.write(merged)
+    reader = ContainerReader(merged)
+    print(f"merged {len(payloads)} containers -> {args.output}: "
+          f"{reader.n_elements} elements in {reader.n_chunks} chunks "
+          f"({len(merged)} bytes, no recompression)")
+    return 0
+
+
+def _cmd_codecs(args: argparse.Namespace) -> int:
+    from repro.codecs.base import iter_codecs
+
+    sample = bytes(range(64)) * 64  # 4 KiB probe with structure
+    print(f"{'name':14s} {'type':26s} probe ratio")
+    for codec in iter_codecs():
+        ratio = len(sample) / len(codec.compress(sample))
+        print(f"{codec.name:14s} {type(codec).__name__:26s} {ratio:10.3f}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    # Imports are local: the bench stack pulls in every subsystem and
+    # is only needed for this subcommand.
+    from repro.bench import tables as bench_tables
+    from repro.bench import figures as bench_figures
+
+    n = args.elements
+    emitted = False
+    if args.table:
+        table_fns = {
+            1: lambda: bench_tables.table1_datasets(),
+            2: lambda: bench_tables.table2_summary(n_elements=n),
+            3: lambda: bench_tables.table3_statistics(n_elements=n),
+            4: lambda: bench_tables.table4_analyzer(n_elements=n),
+            5: lambda: bench_tables.table5_comparison(n_elements=n),
+            6: lambda: bench_tables.table6_speed_preference(n_elements=n),
+            7: lambda: bench_tables.table7_ratio_preference(n_elements=n),
+            8: lambda: bench_tables.table8_single_precision(n_elements=n),
+            9: lambda: bench_tables.table9_decompression(n_elements=n),
+            10: lambda: bench_tables.table10_fpc_fpzip(n_elements=n),
+        }
+        print(table_fns[args.table]().render())
+        emitted = True
+    if args.figure:
+        figure_fns = {
+            1: lambda: bench_figures.figure1_bit_frequencies(n_elements=n),
+            8: lambda: bench_figures.figure8_chunk_size(n_elements=max(n, 100_000)),
+            9: lambda: bench_figures.figure9_linearization_cr(
+                n_side=max(int(n ** 0.5), 50)),
+            10: lambda: bench_figures.figure10_linearization_sp(
+                n_side=max(int(n ** 0.5), 50)),
+        }
+        print(figure_fns[args.figure]().render())
+        emitted = True
+    if args.section_f:
+        print(bench_tables.section_f_consistency(n_elements=n).render())
+        emitted = True
+    if not emitted:
+        print("nothing to do: pass --table N, --figure N or --section-f",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "analyze": _cmd_analyze,
+    "compress": _cmd_compress,
+    "decompress": _cmd_decompress,
+    "autotune": _cmd_autotune,
+    "info": _cmd_info,
+    "verify": _cmd_verify,
+    "extract": _cmd_extract,
+    "codecs": _cmd_codecs,
+    "concat": _cmd_concat,
+    "bench": _cmd_bench,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except IsobarError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,107 @@
+"""Bit-level stream I/O used by the from-scratch entropy coders.
+
+:class:`BitWriter` accumulates bits MSB-first into a growing byte
+buffer; :class:`BitReader` replays them.  Both operate on plain Python
+integers, which keeps them simple and exactly reversible; the entropy
+coders built on top (Huffman, LZSS) handle buffering granularity.
+"""
+
+from __future__ import annotations
+
+from repro.core.exceptions import ContainerFormatError, InvalidInputError
+
+__all__ = ["BitWriter", "BitReader"]
+
+
+class BitWriter:
+    """Accumulate bits MSB-first and emit whole bytes.
+
+    The final byte is zero-padded on :meth:`getvalue`; the consumer is
+    expected to know the payload length (all users store explicit
+    counts).
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._accumulator = 0
+        self._n_bits = 0
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit (0 or 1)."""
+        self._accumulator = (self._accumulator << 1) | (bit & 1)
+        self._n_bits += 1
+        if self._n_bits == 8:
+            self._buffer.append(self._accumulator)
+            self._accumulator = 0
+            self._n_bits = 0
+
+    def write_bits(self, value: int, width: int) -> None:
+        """Append ``width`` bits of ``value``, most significant first."""
+        if width < 0:
+            raise InvalidInputError(f"width must be non-negative, got {width}")
+        if width and value >> width:
+            raise InvalidInputError(
+                f"value {value} does not fit in {width} bits"
+            )
+        for shift in range(width - 1, -1, -1):
+            self.write_bit((value >> shift) & 1)
+
+    def write_unary(self, value: int) -> None:
+        """Append ``value`` one-bits followed by a terminating zero."""
+        if value < 0:
+            raise InvalidInputError(f"unary value must be >= 0, got {value}")
+        for _ in range(value):
+            self.write_bit(1)
+        self.write_bit(0)
+
+    @property
+    def bit_length(self) -> int:
+        """Total number of bits written so far."""
+        return 8 * len(self._buffer) + self._n_bits
+
+    def getvalue(self) -> bytes:
+        """Return the written stream, zero-padding the final byte."""
+        if self._n_bits == 0:
+            return bytes(self._buffer)
+        tail = self._accumulator << (8 - self._n_bits)
+        return bytes(self._buffer) + bytes([tail])
+
+
+class BitReader:
+    """Replay a stream produced by :class:`BitWriter`."""
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._position = 0  # in bits
+
+    @property
+    def bits_remaining(self) -> int:
+        """Bits available before the end of the underlying buffer."""
+        return 8 * len(self._data) - self._position
+
+    def read_bit(self) -> int:
+        """Read the next bit; raises on exhaustion."""
+        if self._position >= 8 * len(self._data):
+            raise ContainerFormatError("bit stream exhausted")
+        byte = self._data[self._position >> 3]
+        bit = (byte >> (7 - (self._position & 7))) & 1
+        self._position += 1
+        return bit
+
+    def read_bits(self, width: int) -> int:
+        """Read ``width`` bits as an MSB-first integer."""
+        if width < 0:
+            raise InvalidInputError(f"width must be non-negative, got {width}")
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def read_unary(self, limit: int = 1 << 20) -> int:
+        """Read a unary-coded value (ones terminated by a zero)."""
+        count = 0
+        while self.read_bit():
+            count += 1
+            if count > limit:
+                raise ContainerFormatError("unary run exceeds sanity limit")
+        return count

@@ -1,0 +1,218 @@
+"""Mini-bzip2: BWT + MTF + zero-RLE + Huffman, from scratch.
+
+bzlib2 — the paper's high-ratio solver — is a Burrows-Wheeler pipeline.
+This module rebuilds that pipeline from first principles so the solver
+stack contains a structural sibling of bzip2 whose every stage is
+inspectable:
+
+1. **BWT** — sort all cyclic rotations of the block (prefix-doubling
+   over numpy argsort, O(n log^2 n) fully vectorised) and keep the last
+   column plus the primary index;
+2. **MTF** — move-to-front recoding turns the BWT's local symbol
+   clustering into a stream dominated by small values;
+3. **zero-RLE** — runs of MTF zeros (the dominant symbol) collapse into
+   length tokens (bzip2's RUNA/RUNB idea, simplified to a two-symbol
+   escape);
+4. **Huffman** — the canonical Huffman coder from
+   :mod:`repro.codecs.huffman` entropy-codes the result.
+
+Input is processed in independent blocks (default 64 KiB) like the real
+bzip2, bounding the sort cost and enabling streaming use.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.codecs.base import Codec
+from repro.codecs.huffman import HuffmanCodec
+from repro.core.exceptions import CodecError, ConfigurationError
+
+__all__ = ["BwtCodec", "bwt_forward", "bwt_inverse", "mtf_encode", "mtf_decode"]
+
+_MAGIC = b"BWT1"
+
+
+def bwt_forward(data: bytes) -> tuple[bytes, int]:
+    """Burrows-Wheeler transform of one block.
+
+    Returns ``(last_column, primary_index)`` where ``primary_index`` is
+    the row of the original string in the sorted rotation matrix.
+    Implemented with prefix doubling: ranks start as byte values and
+    double their context length each round via a stable two-key argsort.
+    """
+    n = len(data)
+    if n == 0:
+        return b"", 0
+    if n == 1:
+        return data, 0
+    arr = np.frombuffer(data, dtype=np.uint8)
+    rank = arr.astype(np.int64)
+    indices = np.arange(n, dtype=np.int64)
+    k = 1
+    while k < n:
+        shifted = rank[(indices + k) % n]
+        # Stable two-key sort: secondary key first, then primary.
+        order = np.lexsort((shifted, rank))
+        new_rank = np.empty(n, dtype=np.int64)
+        sorted_primary = rank[order]
+        sorted_secondary = shifted[order]
+        changed = np.empty(n, dtype=bool)
+        changed[0] = True
+        changed[1:] = (
+            (sorted_primary[1:] != sorted_primary[:-1])
+            | (sorted_secondary[1:] != sorted_secondary[:-1])
+        )
+        new_rank[order] = np.cumsum(changed) - 1
+        rank = new_rank
+        if rank[order[-1]] == n - 1:  # all rotations distinguished
+            break
+        k <<= 1
+    sa = np.argsort(rank, kind="stable")
+    last_column = arr[(sa - 1) % n]
+    primary_index = int(np.flatnonzero(sa == 0)[0])
+    return last_column.tobytes(), primary_index
+
+
+def bwt_inverse(last_column: bytes, primary_index: int) -> bytes:
+    """Invert the BWT via the LF mapping."""
+    n = len(last_column)
+    if n == 0:
+        return b""
+    if not 0 <= primary_index < n:
+        raise CodecError(
+            f"BWT primary index {primary_index} out of range for block "
+            f"of {n}"
+        )
+    column = np.frombuffer(last_column, dtype=np.uint8)
+    # Stable sort of the last column gives the first column; the
+    # argsort is exactly the LF-next permutation.
+    lf = np.argsort(column, kind="stable")
+    out = np.empty(n, dtype=np.uint8)
+    position = primary_index
+    for i in range(n):
+        position = lf[position]
+        out[i] = column[position]
+    return out.tobytes()
+
+
+def mtf_encode(data: bytes) -> bytes:
+    """Move-to-front recoding (symbol -> current alphabet position)."""
+    alphabet = list(range(256))
+    out = bytearray(len(data))
+    for i, byte in enumerate(data):
+        position = alphabet.index(byte)
+        out[i] = position
+        if position:
+            del alphabet[position]
+            alphabet.insert(0, byte)
+    return bytes(out)
+
+
+def mtf_decode(data: bytes) -> bytes:
+    """Invert :func:`mtf_encode`."""
+    alphabet = list(range(256))
+    out = bytearray(len(data))
+    for i, position in enumerate(data):
+        byte = alphabet[position]
+        out[i] = byte
+        if position:
+            del alphabet[position]
+            alphabet.insert(0, byte)
+    return bytes(out)
+
+
+def _zero_rle_encode(data: bytes) -> bytes:
+    """Collapse runs of zeros into (0, length-1) token pairs.
+
+    MTF output is dominated by zeros on BWT-clustered data; a run of
+    ``r`` zeros becomes ``0x00`` followed by ``min(r, 256) - 1`` and
+    repeats for longer runs.  Non-zero bytes pass through.
+    """
+    out = bytearray()
+    i = 0
+    n = len(data)
+    while i < n:
+        byte = data[i]
+        if byte != 0:
+            out.append(byte)
+            i += 1
+            continue
+        run = 1
+        while i + run < n and run < 256 and data[i + run] == 0:
+            run += 1
+        out.append(0)
+        out.append(run - 1)
+        i += run
+    return bytes(out)
+
+
+def _zero_rle_decode(data: bytes) -> bytes:
+    """Invert :func:`_zero_rle_encode`."""
+    out = bytearray()
+    i = 0
+    n = len(data)
+    while i < n:
+        byte = data[i]
+        if byte != 0:
+            out.append(byte)
+            i += 1
+            continue
+        if i + 1 >= n:
+            raise CodecError("truncated zero-run token in BWT stream")
+        out.extend(b"\x00" * (data[i + 1] + 1))
+        i += 2
+    return bytes(out)
+
+
+class BwtCodec(Codec):
+    """Blocked Burrows-Wheeler compressor (miniature bzip2)."""
+
+    def __init__(self, block_size: int = 65_536):
+        if block_size < 16:
+            raise ConfigurationError(
+                f"block_size must be >= 16, got {block_size}"
+            )
+        self._block_size = block_size
+        self._entropy = HuffmanCodec()
+        self.name = "bwt"
+
+    def compress(self, data: bytes) -> bytes:
+        blocks = []
+        for start in range(0, len(data), self._block_size):
+            block = data[start:start + self._block_size]
+            last_column, primary = bwt_forward(block)
+            recoded = _zero_rle_encode(mtf_encode(last_column))
+            packed = self._entropy.compress(recoded)
+            blocks.append(struct.pack("<IQ", primary, len(packed)) + packed)
+        return (
+            _MAGIC
+            + struct.pack("<QI", len(data), len(blocks))
+            + b"".join(blocks)
+        )
+
+    def decompress(self, data: bytes) -> bytes:
+        if len(data) < 16 or data[:4] != _MAGIC:
+            raise CodecError("not a BWT stream (bad magic or truncated)")
+        total, n_blocks = struct.unpack_from("<QI", data, 4)
+        offset = 16
+        out = bytearray()
+        for _ in range(n_blocks):
+            if len(data) < offset + 12:
+                raise CodecError("truncated BWT block header")
+            primary, packed_len = struct.unpack_from("<IQ", data, offset)
+            offset += 12
+            packed = data[offset:offset + packed_len]
+            if len(packed) != packed_len:
+                raise CodecError("truncated BWT block payload")
+            offset += packed_len
+            recoded = self._entropy.decompress(packed)
+            last_column = mtf_decode(_zero_rle_decode(recoded))
+            out += bwt_inverse(last_column, primary)
+        if len(out) != total:
+            raise CodecError(
+                f"BWT stream decoded {len(out)} bytes, header says {total}"
+            )
+        return bytes(out)

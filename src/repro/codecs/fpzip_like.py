@@ -1,0 +1,195 @@
+"""fpzip-style predictive floating-point compressor, from scratch.
+
+Reimplementation of the approach of Lindstrom & Isenburg ("Fast and
+efficient compression of floating-point data", TVCG 2006), the second
+Table X comparator: traverse the n-dimensional field in a coherent
+order, predict each value from its already-seen neighbours with the
+Lorenzo predictor, map values to integers, and entropy-code the
+prediction residuals.
+
+Faithful pieces:
+
+* the monotonic sign-magnitude integer mapping of IEEE floats, so that
+  numerically close values share high-order bits;
+* the n-dimensional Lorenzo predictor stencil (inclusion-exclusion over
+  the 2^n - 1 preceding corner neighbours) for 1-D to 3-D fields;
+* XOR residuals whose leading zeros reflect prediction accuracy, with a
+  byte-plane (shuffle) + DEFLATE backend in place of fpzip's custom
+  range coder.
+
+Documented deviation: the Lorenzo stencil is applied over GF(2)
+(XOR-difference) rather than integer addition.  In 1-D the two are the
+operationally identical first-difference; in higher dimensions the
+GF(2) form keeps both encode *and* decode fully vectorised (the inverse
+is a cumulative XOR along each axis) while preserving the property that
+smooth fields produce residuals with long common-prefix runs.  The
+substitution trades a few percent of ratio for orders of magnitude of
+Python throughput and is recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+from repro.codecs.array_base import ArrayCodec, pack_array_header, unpack_array_header
+from repro.core.exceptions import (
+    ContainerFormatError,
+    ConfigurationError,
+    InvalidInputError,
+)
+
+__all__ = ["FpzipLikeCodec", "float_to_ordered_uint", "ordered_uint_to_float"]
+
+_MAX_LORENZO_DIMS = 3
+
+
+def float_to_ordered_uint(values: np.ndarray) -> np.ndarray:
+    """Map IEEE floats to unsigned ints preserving numeric order.
+
+    Non-negative floats map to ``bits | sign_mask``; negative floats map
+    to ``~bits``.  The mapping is a bijection, so it is losslessly
+    invertible by :func:`ordered_uint_to_float`, and monotone, so close
+    floats map to close integers — the property the Lorenzo predictor
+    relies on.
+    """
+    arr = np.asarray(values)
+    if arr.dtype.kind != "f":
+        raise InvalidInputError(
+            f"ordered-uint mapping requires a float dtype, got {arr.dtype!r}"
+        )
+    width = arr.dtype.itemsize
+    utype = np.dtype(f"<u{width}")
+    bits = arr.astype(arr.dtype.newbyteorder("<"), copy=False).view(utype)
+    sign_mask = np.array(1 << (8 * width - 1), dtype=utype)
+    negative = (bits & sign_mask) != 0
+    return np.where(negative, ~bits, bits | sign_mask)
+
+
+def ordered_uint_to_float(mapped: np.ndarray, dtype: np.dtype) -> np.ndarray:
+    """Invert :func:`float_to_ordered_uint` back to the float dtype."""
+    dt = np.dtype(dtype)
+    if dt.kind != "f":
+        raise InvalidInputError(
+            f"ordered-uint inverse requires a float dtype, got {dt!r}"
+        )
+    width = dt.itemsize
+    utype = np.dtype(f"<u{width}")
+    arr = np.asarray(mapped, dtype=utype)
+    sign_mask = np.array(1 << (8 * width - 1), dtype=utype)
+    was_nonnegative = (arr & sign_mask) != 0
+    bits = np.where(was_nonnegative, arr & ~sign_mask, ~arr)
+    return bits.view(dt.newbyteorder("<")).astype(dt, copy=False)
+
+
+def _xor_lorenzo_forward(field: np.ndarray) -> np.ndarray:
+    """GF(2) Lorenzo transform: XOR-difference along every axis.
+
+    Equivalent to XOR-ing each element with the inclusion-exclusion
+    stencil of its preceding corner neighbours.  Fully invertible by
+    :func:`_xor_lorenzo_inverse`.
+    """
+    residual = field
+    for axis in range(field.ndim):
+        shifted = np.roll(residual, 1, axis=axis)
+        # Zero the wrapped-around first slice so boundary elements keep
+        # their raw (unpredicted) value along this axis.
+        index = [slice(None)] * residual.ndim
+        index[axis] = slice(0, 1)
+        shifted[tuple(index)] = 0
+        residual = residual ^ shifted
+    return residual
+
+
+def _xor_lorenzo_inverse(residual: np.ndarray) -> np.ndarray:
+    """Invert :func:`_xor_lorenzo_forward` via cumulative XOR per axis."""
+    field = residual
+    for axis in range(residual.ndim):
+        field = np.bitwise_xor.accumulate(field, axis=axis)
+    return field
+
+
+def _byte_planes(mapped: np.ndarray) -> bytes:
+    """Split an integer array into byte planes, most significant first.
+
+    Grouping same-significance bytes lets DEFLATE exploit the long zero
+    runs the Lorenzo residuals put in the high planes — this plays the
+    role of fpzip's leading-zero range coder.
+    """
+    width = mapped.dtype.itemsize
+    big = mapped.reshape(-1).astype(mapped.dtype.newbyteorder(">"), copy=False)
+    matrix = np.frombuffer(big.tobytes(), dtype=np.uint8).reshape(-1, width)
+    return matrix.T.tobytes()
+
+
+def _from_byte_planes(data: bytes, utype: np.dtype, n_elements: int) -> np.ndarray:
+    """Rebuild the integer array from :func:`_byte_planes` output."""
+    width = np.dtype(utype).itemsize
+    expected = width * n_elements
+    if len(data) != expected:
+        raise ContainerFormatError(
+            f"byte-plane payload has {len(data)} bytes, expected {expected}"
+        )
+    planes = np.frombuffer(data, dtype=np.uint8).reshape(width, n_elements)
+    matrix = np.ascontiguousarray(planes.T)
+    big = np.frombuffer(matrix.tobytes(), dtype=np.dtype(utype).newbyteorder(">"))
+    return big.astype(utype, copy=False)
+
+
+class FpzipLikeCodec(ArrayCodec):
+    """Lorenzo-predictive compressor for 1-D to 3-D float fields.
+
+    Parameters
+    ----------
+    level:
+        DEFLATE level of the residual backend (1 fastest .. 9 best).
+    """
+
+    def __init__(self, level: int = 6):
+        if not 1 <= level <= 9:
+            raise ConfigurationError(f"level must be in [1, 9], got {level}")
+        self._level = level
+        self.name = "fpzip-like"
+
+    def encode(self, array: np.ndarray) -> bytes:
+        arr = np.asarray(array)
+        if arr.dtype.kind != "f":
+            raise InvalidInputError(
+                f"fpzip-like handles float arrays only, got {arr.dtype!r}"
+            )
+        if not 1 <= arr.ndim <= _MAX_LORENZO_DIMS:
+            raise InvalidInputError(
+                f"fpzip-like supports 1-{_MAX_LORENZO_DIMS}D fields, "
+                f"got {arr.ndim} dimensions"
+            )
+        if arr.size == 0:
+            raise InvalidInputError("cannot encode an empty array")
+        header = pack_array_header(arr)
+        mapped = float_to_ordered_uint(arr)
+        residual = _xor_lorenzo_forward(mapped)
+        packed = zlib.compress(_byte_planes(residual), self._level)
+        return header + struct.pack("<Q", len(packed)) + packed
+
+    def decode(self, data: bytes) -> np.ndarray:
+        dtype, shape, offset = unpack_array_header(data)
+        if len(data) < offset + 8:
+            raise ContainerFormatError("truncated fpzip-like payload")
+        (packed_len,) = struct.unpack_from("<Q", data, offset)
+        body = data[offset + 8:offset + 8 + packed_len]
+        if len(body) != packed_len:
+            raise ContainerFormatError("truncated fpzip-like body")
+        try:
+            raw = zlib.decompress(body)
+        except zlib.error as exc:
+            raise ContainerFormatError(
+                f"fpzip-like backend decompression failed: {exc}"
+            ) from exc
+        n_elements = 1
+        for dim in shape:
+            n_elements *= dim
+        utype = np.dtype(f"<u{dtype.itemsize}")
+        residual = _from_byte_planes(raw, utype, n_elements).reshape(shape)
+        mapped = _xor_lorenzo_inverse(residual)
+        return ordered_uint_to_float(mapped, dtype).reshape(shape)

@@ -1,0 +1,179 @@
+"""LZSS dictionary compression over bytes, from scratch.
+
+A complete, pure-Python LZ77-family solver — the sliding-window match
+stage that underlies DEFLATE, without the Huffman back end.  Included
+to widen the solver pool behind the ISOBAR preconditioner with a
+structurally different compressor (dictionary matching vs the
+block-sorting bzip2 vs the predictive FPC family).
+
+Format: a bit-flag stream interleaved with tokens.
+
+* flag 0 → literal byte (8 bits);
+* flag 1 → back-reference: ``offset`` (window_bits) + ``length - min_match``
+  (length_bits).
+
+Flags live in their own bit stream so byte tokens stay aligned; the
+header records both stream lengths.  Matching uses a 3-byte hash chain,
+greedy with a bounded chain walk — the classic LZSS trade-off dial.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.codecs.base import Codec
+from repro.codecs.bitio import BitReader, BitWriter
+from repro.core.exceptions import CodecError, ConfigurationError
+
+__all__ = ["LzssCodec"]
+
+_MAGIC = b"LZS1"
+_MIN_MATCH = 3
+
+
+class LzssCodec(Codec):
+    """Sliding-window LZSS with hash-chain matching.
+
+    Parameters
+    ----------
+    window_bits:
+        log2 of the sliding-window size (8..16; DEFLATE uses 15).
+    length_bits:
+        log2 of the maximum encodable match length above the minimum.
+    max_chain:
+        Longest hash-chain walk per position — the speed/ratio dial.
+    """
+
+    def __init__(self, window_bits: int = 12, length_bits: int = 6,
+                 max_chain: int = 32):
+        if not 8 <= window_bits <= 16:
+            raise ConfigurationError(
+                f"window_bits must be in [8, 16], got {window_bits}"
+            )
+        if not 2 <= length_bits <= 10:
+            raise ConfigurationError(
+                f"length_bits must be in [2, 10], got {length_bits}"
+            )
+        if max_chain < 1:
+            raise ConfigurationError(
+                f"max_chain must be positive, got {max_chain}"
+            )
+        self._window_bits = window_bits
+        self._window = 1 << window_bits
+        self._length_bits = length_bits
+        self._max_length = _MIN_MATCH + (1 << length_bits) - 1
+        self._max_chain = max_chain
+        self.name = "lzss"
+
+    # -- encoding ---------------------------------------------------------
+
+    def compress(self, data: bytes) -> bytes:
+        n = len(data)
+        flags = BitWriter()
+        tokens = bytearray()
+        head: dict[int, int] = {}
+        prev = [-1] * n  # hash chain links; -1 terminates a chain
+
+        def _key(i: int) -> int:
+            return data[i] | (data[i + 1] << 8) | (data[i + 2] << 16)
+
+        i = 0
+        while i < n:
+            best_length = 0
+            best_offset = 0
+            if i + _MIN_MATCH <= n:
+                key = _key(i)
+                candidate = head.get(key, -1)
+                chain = 0
+                limit = min(self._max_length, n - i)
+                while (
+                    candidate >= 0
+                    and i - candidate <= self._window
+                    and chain < self._max_chain
+                ):
+                    length = 0
+                    while (
+                        length < limit
+                        and data[candidate + length] == data[i + length]
+                    ):
+                        length += 1
+                    if length > best_length:
+                        best_length = length
+                        best_offset = i - candidate
+                        if length >= limit:
+                            break
+                    candidate = prev[candidate]
+                    chain += 1
+            if best_length >= _MIN_MATCH:
+                flags.write_bit(1)
+                token = ((best_offset - 1) << self._length_bits) | (
+                    best_length - _MIN_MATCH
+                )
+                token_bytes = (self._window_bits + self._length_bits + 7) // 8
+                tokens += token.to_bytes(token_bytes, "little")
+                step = best_length
+            else:
+                flags.write_bit(0)
+                tokens.append(data[i])
+                step = 1
+            # Insert the skipped positions into the hash chains.
+            for j in range(i, min(i + step, n - _MIN_MATCH + 1)):
+                key = _key(j)
+                prev[j] = head.get(key, -1)
+                head[key] = j
+            i += step
+
+        flag_stream = flags.getvalue()
+        return (
+            _MAGIC
+            + struct.pack(
+                "<QIBB", n, len(flag_stream), self._window_bits,
+                self._length_bits,
+            )
+            + flag_stream
+            + bytes(tokens)
+        )
+
+    # -- decoding -----------------------------------------------------------
+
+    def decompress(self, data: bytes) -> bytes:
+        header_size = 4 + struct.calcsize("<QIBB")
+        if len(data) < header_size or data[:4] != _MAGIC:
+            raise CodecError("not an LZSS stream (bad magic or truncated)")
+        n, flag_len, window_bits, length_bits = struct.unpack_from(
+            "<QIBB", data, 4
+        )
+        offset = header_size
+        flag_stream = data[offset:offset + flag_len]
+        tokens = data[offset + flag_len:]
+        token_bytes = (window_bits + length_bits + 7) // 8
+        length_mask = (1 << length_bits) - 1
+
+        flags = BitReader(flag_stream)
+        out = bytearray()
+        position = 0
+        try:
+            while len(out) < n:
+                if flags.read_bit():
+                    raw = tokens[position:position + token_bytes]
+                    if len(raw) != token_bytes:
+                        raise CodecError("truncated LZSS token stream")
+                    token = int.from_bytes(raw, "little")
+                    position += token_bytes
+                    match_offset = (token >> length_bits) + 1
+                    length = (token & length_mask) + _MIN_MATCH
+                    start = len(out) - match_offset
+                    if start < 0:
+                        raise CodecError("LZSS back-reference before start")
+                    for k in range(length):
+                        out.append(out[start + k])
+                else:
+                    if position >= len(tokens):
+                        raise CodecError("truncated LZSS literal stream")
+                    out.append(tokens[position])
+                    position += 1
+        except Exception as exc:
+            if isinstance(exc, CodecError):
+                raise
+            raise CodecError(f"corrupt LZSS stream: {exc}") from exc
+        return bytes(out)

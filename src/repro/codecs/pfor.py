@@ -1,0 +1,294 @@
+"""PFOR, PFOR-DELTA and PDICT integer compression, from scratch.
+
+Reimplementation of the super-scalar RAM-CPU cache compression family
+of Zukowski et al. (ICDE 2006), discussed in the paper's related work
+as the high-throughput integer alternative to entropy coders.
+
+* **PFOR** (patched frame of reference): per block, subtract the block
+  minimum and pack values into ``b`` bits.  Values that do not fit
+  ("exceptions") are stored verbatim in a patch list along with their
+  positions; ``b`` is chosen per block to minimise the encoded size.
+* **PFOR-DELTA**: PFOR applied to the first differences of the block —
+  the variant of choice for sorted or slowly-varying sequences.
+* **PDICT**: dictionary coding; values are replaced by indices into a
+  per-array dictionary of distinct values, index streams are bit-packed,
+  and arrays with too many distinct values fall back to verbatim
+  storage.
+
+All three are vectorised with numpy (the original's selling point is
+branch-free tight loops; the numpy formulation is the closest Python
+analogue).  Like the originals they are integer codecs; floats are
+rejected rather than silently reinterpreted.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.codecs.array_base import ArrayCodec, pack_array_header, unpack_array_header
+from repro.core.exceptions import (
+    ContainerFormatError,
+    ConfigurationError,
+    InvalidInputError,
+)
+
+__all__ = ["PforCodec", "PforDeltaCodec", "PdictCodec", "pack_bits", "unpack_bits"]
+
+_DEFAULT_BLOCK = 4_096
+
+
+def pack_bits(values: np.ndarray, bit_width: int) -> bytes:
+    """Pack unsigned integers into a dense little-endian bit stream.
+
+    Each value occupies exactly ``bit_width`` bits; ``bit_width`` of 0
+    is legal for all-zero streams and packs to nothing.
+    """
+    if not 0 <= bit_width <= 64:
+        raise InvalidInputError(f"bit_width must be in [0, 64], got {bit_width}")
+    arr = np.asarray(values, dtype=np.uint64).reshape(-1)
+    if bit_width == 0:
+        if np.any(arr != 0):
+            raise InvalidInputError("bit_width 0 requires all-zero values")
+        return b""
+    limit = np.uint64(1) << np.uint64(bit_width) if bit_width < 64 else None
+    if limit is not None and np.any(arr >= limit):
+        raise InvalidInputError(
+            f"value does not fit into {bit_width} bits"
+        )
+    # Expand each value to bit_width little-endian bits, then pack.
+    shifts = np.arange(bit_width, dtype=np.uint64)
+    bits = ((arr[:, np.newaxis] >> shifts) & np.uint64(1)).astype(np.uint8)
+    return np.packbits(bits.reshape(-1), bitorder="little").tobytes()
+
+
+def unpack_bits(data: bytes, bit_width: int, count: int) -> np.ndarray:
+    """Invert :func:`pack_bits`, returning ``count`` uint64 values."""
+    if not 0 <= bit_width <= 64:
+        raise InvalidInputError(f"bit_width must be in [0, 64], got {bit_width}")
+    if count < 0:
+        raise InvalidInputError(f"count must be non-negative, got {count}")
+    if bit_width == 0:
+        return np.zeros(count, dtype=np.uint64)
+    needed_bits = bit_width * count
+    needed_bytes = (needed_bits + 7) // 8
+    if len(data) < needed_bytes:
+        raise ContainerFormatError(
+            f"bit stream too short: need {needed_bytes} bytes, have {len(data)}"
+        )
+    bits = np.unpackbits(
+        np.frombuffer(data, dtype=np.uint8, count=needed_bytes),
+        bitorder="little",
+    )[:needed_bits].astype(np.uint64)
+    shifts = np.arange(bit_width, dtype=np.uint64)
+    grouped = bits.reshape(count, bit_width)
+    return (grouped << shifts).sum(axis=1, dtype=np.uint64)
+
+
+def _best_bit_width(deltas: np.ndarray, exception_cost_bits: int) -> int:
+    """Choose the bit width minimising packed size plus patch cost.
+
+    ``deltas`` are non-negative offsets from the frame of reference.
+    The exception cost models one verbatim value plus one position per
+    exception, matching the PFOR patch list layout below.
+    """
+    if deltas.size == 0:
+        return 0
+    max_width = int(deltas.max()).bit_length()
+    sorted_deltas = np.sort(deltas)
+    best_width = max_width
+    best_cost = None
+    for width in range(max_width + 1):
+        if width >= 64:
+            n_exceptions = 0
+        else:
+            # Exact count of values needing more than `width` bits.
+            threshold = np.uint64(1) << np.uint64(width)
+            n_exceptions = int(
+                sorted_deltas.size
+                - np.searchsorted(sorted_deltas, threshold, side="left")
+            )
+        cost = deltas.size * width + n_exceptions * exception_cost_bits
+        if best_cost is None or cost < best_cost:
+            best_cost = cost
+            best_width = width
+    return best_width
+
+
+class PforCodec(ArrayCodec):
+    """Patched frame-of-reference codec for integer arrays.
+
+    Parameters
+    ----------
+    block_size:
+        Elements per independently-coded block.
+    delta:
+        When true, code first differences within each block
+        (PFOR-DELTA).  Use :class:`PforDeltaCodec` for a named instance.
+    """
+
+    def __init__(self, block_size: int = _DEFAULT_BLOCK, delta: bool = False):
+        if block_size < 1:
+            raise ConfigurationError(
+                f"block_size must be positive, got {block_size}"
+            )
+        self._block_size = block_size
+        self._delta = delta
+        self.name = "pfor-delta" if delta else "pfor"
+
+    def encode(self, array: np.ndarray) -> bytes:
+        arr = np.asarray(array)
+        if arr.dtype.kind not in "iu":
+            raise InvalidInputError(
+                f"{self.name} handles integer arrays only, got {arr.dtype!r}"
+            )
+        header = pack_array_header(arr)
+        flat = arr.reshape(-1).astype(np.int64)
+        blocks = []
+        for start in range(0, flat.size, self._block_size):
+            blocks.append(self._encode_block(flat[start:start + self._block_size]))
+        body = b"".join(blocks)
+        return header + struct.pack("<QB", flat.size, int(self._delta)) + body
+
+    def decode(self, data: bytes) -> np.ndarray:
+        dtype, shape, offset = unpack_array_header(data)
+        if len(data) < offset + 9:
+            raise ContainerFormatError("truncated PFOR payload")
+        n_elements, delta_flag = struct.unpack_from("<QB", data, offset)
+        offset += 9
+        if bool(delta_flag) != self._delta:
+            decoder = PforCodec(block_size=self._block_size, delta=bool(delta_flag))
+            return decoder.decode(data)
+        out = np.empty(n_elements, dtype=np.int64)
+        pos = 0
+        view = data
+        cursor = offset
+        while pos < n_elements:
+            count = min(self._block_size, n_elements - pos)
+            block, cursor = self._decode_block(view, cursor, count)
+            out[pos:pos + count] = block
+            pos += count
+        return out.astype(dtype, copy=False).reshape(shape)
+
+    # -- block coding -----------------------------------------------------
+
+    def _encode_block(self, block: np.ndarray) -> bytes:
+        values = np.diff(block, prepend=block[:1] * 0) if self._delta else block
+        # With delta the first element is stored as-is (prepend 0 makes
+        # diff[0] == block[0]).
+        reference = int(values.min())
+        # Offsets are computed modulo 2**64 so extreme int64 ranges
+        # (e.g. containing both INT64_MIN and INT64_MAX deltas) wrap
+        # consistently on encode and decode instead of overflowing.
+        ref_u = np.uint64(reference & ((1 << 64) - 1))
+        offsets = values.astype(np.uint64) - ref_u
+        width = _best_bit_width(offsets, exception_cost_bits=64 + 32)
+        if width >= 64:
+            fits = np.ones(offsets.size, dtype=bool)
+        elif width == 0:
+            fits = offsets == 0
+        else:
+            fits = offsets < (np.uint64(1) << np.uint64(width))
+        exception_positions = np.flatnonzero(~fits).astype(np.uint32)
+        exception_values = offsets[~fits]
+        packed = pack_bits(np.where(fits, offsets, 0), width)
+        head = struct.pack(
+            "<qBII", reference, width, offsets.size, exception_positions.size
+        )
+        return (
+            head
+            + packed
+            + exception_positions.tobytes()
+            + exception_values.astype("<u8").tobytes()
+        )
+
+    def _decode_block(self, data: bytes, cursor: int, count: int) -> tuple[np.ndarray, int]:
+        if len(data) < cursor + 17:
+            raise ContainerFormatError("truncated PFOR block header")
+        reference, width, stored, n_exc = struct.unpack_from("<qBII", data, cursor)
+        cursor += 17
+        if stored != count:
+            raise ContainerFormatError(
+                f"PFOR block stores {stored} values, expected {count}"
+            )
+        packed_bytes = (width * count + 7) // 8
+        offsets = unpack_bits(data[cursor:cursor + packed_bytes], width, count)
+        cursor += packed_bytes
+        positions = np.frombuffer(data, dtype="<u4", count=n_exc, offset=cursor)
+        cursor += 4 * n_exc
+        exc_values = np.frombuffer(data, dtype="<u8", count=n_exc, offset=cursor)
+        cursor += 8 * n_exc
+        offsets = offsets.copy()
+        offsets[positions] = exc_values
+        ref_u = np.uint64(reference & ((1 << 64) - 1))
+        values = (offsets + ref_u).astype(np.int64)
+        if self._delta:
+            values = np.cumsum(values)
+        return values, cursor
+
+
+class PforDeltaCodec(PforCodec):
+    """PFOR over first differences — for sorted / smooth integer data."""
+
+    def __init__(self, block_size: int = _DEFAULT_BLOCK):
+        super().__init__(block_size=block_size, delta=True)
+
+
+class PdictCodec(ArrayCodec):
+    """Dictionary coding with bit-packed indices (PDICT).
+
+    Arrays whose distinct-value count exceeds ``max_dictionary`` are
+    stored verbatim (flagged in the header) — dictionary coding only
+    pays off for low-cardinality data, as the original paper notes.
+    """
+
+    def __init__(self, max_dictionary: int = 65_536):
+        if max_dictionary < 1:
+            raise ConfigurationError(
+                f"max_dictionary must be positive, got {max_dictionary}"
+            )
+        self._max_dictionary = max_dictionary
+        self.name = "pdict"
+
+    def encode(self, array: np.ndarray) -> bytes:
+        arr = np.asarray(array)
+        if arr.dtype.kind not in "iu":
+            raise InvalidInputError(
+                f"pdict handles integer arrays only, got {arr.dtype!r}"
+            )
+        header = pack_array_header(arr)
+        flat = arr.reshape(-1).astype(np.int64)
+        dictionary, indices = np.unique(flat, return_inverse=True)
+        if dictionary.size > self._max_dictionary:
+            return header + struct.pack("<B", 0) + flat.astype("<i8").tobytes()
+        width = max(int(dictionary.size - 1).bit_length(), 0)
+        packed = pack_bits(indices.astype(np.uint64), width)
+        head = struct.pack("<BIQB", 1, dictionary.size, flat.size, width)
+        return header + head + dictionary.astype("<i8").tobytes() + packed
+
+    def decode(self, data: bytes) -> np.ndarray:
+        dtype, shape, offset = unpack_array_header(data)
+        if len(data) < offset + 1:
+            raise ContainerFormatError("truncated PDICT payload")
+        mode = data[offset]
+        offset += 1
+        if mode == 0:
+            n_elements = 1
+            for dim in shape:
+                n_elements *= dim
+            flat = np.frombuffer(data, dtype="<i8", count=n_elements, offset=offset)
+            return flat.astype(dtype, copy=False).reshape(shape)
+        if mode != 1:
+            raise ContainerFormatError(f"unknown PDICT mode {mode}")
+        if len(data) < offset + 13:
+            raise ContainerFormatError("truncated PDICT dictionary header")
+        dict_size, n_elements, width = struct.unpack_from("<IQB", data, offset)
+        offset += 13
+        dictionary = np.frombuffer(data, dtype="<i8", count=dict_size, offset=offset)
+        offset += 8 * dict_size
+        indices = unpack_bits(data[offset:], width, n_elements)
+        if indices.size and int(indices.max()) >= dict_size:
+            raise ContainerFormatError("PDICT index out of dictionary range")
+        flat = dictionary[indices.astype(np.int64)]
+        return flat.astype(dtype, copy=False).reshape(shape)

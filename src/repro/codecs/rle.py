@@ -1,0 +1,96 @@
+"""Byte-level run-length encoding, from scratch.
+
+The simplest possible solver: runs of a repeated byte collapse to a
+marker token; other bytes pass through, with the marker byte itself
+escaped.  Useful as (a) a degenerate baseline that only wins on the
+heavily repetitive datasets (``msg_sppm``, ``num_plasma``), sharpening
+the benchmark contrast, and (b) a fast demonstration solver for the
+ISOBAR pipeline in tests.
+
+Token grammar (after the marker byte, a little-endian u16 ``L``):
+
+* ``MARKER 0x0000``        — one literal marker byte (L = 0 is
+  impossible for a run, so the escape is unambiguous);
+* ``MARKER L B``           — the byte ``B`` repeated ``L`` times
+  (``MIN_RUN <= L <= 0xFFFF``).
+
+Any other byte is a literal.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.codecs.base import Codec
+from repro.core.exceptions import CodecError
+
+__all__ = ["RleCodec"]
+
+_MAGIC = b"RLE1"
+_MARKER = 0xF5
+_MIN_RUN = 5
+_MAX_RUN = 0xFFFF
+
+
+class RleCodec(Codec):
+    """Escape-marker run-length coder over raw bytes."""
+
+    name = "rle"
+
+    def compress(self, data: bytes) -> bytes:
+        out = bytearray()
+        n = len(data)
+        i = 0
+        while i < n:
+            byte = data[i]
+            run = 1
+            while i + run < n and run < _MAX_RUN and data[i + run] == byte:
+                run += 1
+            if run >= _MIN_RUN:
+                out.append(_MARKER)
+                out += struct.pack("<H", run)
+                out.append(byte)
+                i += run
+            else:
+                for _ in range(run):
+                    if byte == _MARKER:
+                        out.append(_MARKER)
+                        out += struct.pack("<H", 0)
+                    else:
+                        out.append(byte)
+                i += run
+        return _MAGIC + struct.pack("<Q", n) + bytes(out)
+
+    def decompress(self, data: bytes) -> bytes:
+        if len(data) < 12 or data[:4] != _MAGIC:
+            raise CodecError("not an RLE stream (bad magic or truncated)")
+        (n,) = struct.unpack_from("<Q", data, 4)
+        body = data[12:]
+        out = bytearray()
+        i = 0
+        while len(out) < n:
+            if i >= len(body):
+                raise CodecError("truncated RLE stream")
+            byte = body[i]
+            if byte != _MARKER:
+                out.append(byte)
+                i += 1
+                continue
+            if i + 3 > len(body):
+                raise CodecError("truncated RLE marker token")
+            (run,) = struct.unpack_from("<H", body, i + 1)
+            if run == 0:
+                out.append(_MARKER)
+                i += 3
+                continue
+            if run < _MIN_RUN:
+                raise CodecError(f"corrupt RLE run length {run}")
+            if i + 4 > len(body):
+                raise CodecError("truncated RLE run token")
+            out += bytes([body[i + 3]]) * run
+            i += 4
+        if len(out) != n:
+            raise CodecError(
+                f"RLE stream decoded {len(out)} bytes, header says {n}"
+            )
+        return bytes(out)

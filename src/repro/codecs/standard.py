@@ -1,0 +1,93 @@
+"""Stdlib-backed general-purpose solvers: zlib, bzip2 (bzlib2), lzma.
+
+zlib and bzip2 are the two solvers the paper evaluates (its "zlib" and
+"bzlib2"); both Python modules wrap the exact C libraries the authors
+used, so compression *ratios* are directly comparable.  lzma is included
+as an additional high-ratio solver to demonstrate that the
+preconditioner is solver-agnostic.
+"""
+
+from __future__ import annotations
+
+import bz2
+import lzma
+import zlib
+
+from repro.codecs.base import Codec
+from repro.core.exceptions import CodecError, ConfigurationError
+
+__all__ = ["ZlibCodec", "Bzip2Codec", "LzmaCodec"]
+
+
+class ZlibCodec(Codec):
+    """DEFLATE (LZ77 + Huffman) via zlib — the paper's fast solver."""
+
+    def __init__(self, level: int = 6):
+        if not 1 <= level <= 9:
+            raise ConfigurationError(f"zlib level must be in [1, 9], got {level}")
+        self._level = level
+        self.name = "zlib" if level == 6 else f"zlib-{level}"
+
+    @property
+    def level(self) -> int:
+        """Configured compression level (1 fastest .. 9 best)."""
+        return self._level
+
+    def compress(self, data: bytes) -> bytes:
+        return zlib.compress(data, self._level)
+
+    def decompress(self, data: bytes) -> bytes:
+        try:
+            return zlib.decompress(data)
+        except zlib.error as exc:
+            raise CodecError(f"zlib decompression failed: {exc}") from exc
+
+
+class Bzip2Codec(Codec):
+    """Burrows-Wheeler + Huffman via bz2 — the paper's high-ratio solver."""
+
+    def __init__(self, level: int = 9):
+        if not 1 <= level <= 9:
+            raise ConfigurationError(f"bzip2 level must be in [1, 9], got {level}")
+        self._level = level
+        self.name = "bzip2" if level == 9 else f"bzip2-{level}"
+
+    @property
+    def level(self) -> int:
+        """Configured block-size level (1 = 100 kB blocks .. 9 = 900 kB)."""
+        return self._level
+
+    def compress(self, data: bytes) -> bytes:
+        return bz2.compress(data, self._level)
+
+    def decompress(self, data: bytes) -> bytes:
+        try:
+            return bz2.decompress(data)
+        except (OSError, ValueError) as exc:
+            raise CodecError(f"bzip2 decompression failed: {exc}") from exc
+
+
+class LzmaCodec(Codec):
+    """LZMA via the xz container — a slower, higher-ratio extra solver."""
+
+    def __init__(self, preset: int = 1):
+        if not 0 <= preset <= 9:
+            raise ConfigurationError(
+                f"lzma preset must be in [0, 9], got {preset}"
+            )
+        self._preset = preset
+        self.name = "lzma" if preset == 1 else f"lzma-{preset}"
+
+    @property
+    def preset(self) -> int:
+        """Configured LZMA preset (0 fastest .. 9 best)."""
+        return self._preset
+
+    def compress(self, data: bytes) -> bytes:
+        return lzma.compress(data, preset=self._preset)
+
+    def decompress(self, data: bytes) -> bytes:
+        try:
+            return lzma.decompress(data)
+        except lzma.LZMAError as exc:
+            raise CodecError(f"lzma decompression failed: {exc}") from exc

@@ -1,0 +1,118 @@
+"""ISOBAR core: analyzer, partitioner, selector, pipeline and container."""
+
+from repro.core.adaptive import (
+    AdaptiveIsobarCompressor,
+    AdaptiveResult,
+    SegmentInfo,
+)
+from repro.core.validate import ChunkFinding, ValidationReport, validate_container
+from repro.core.bitlevel import BitLevelAnalysis, BitLevelCompressor, analyze_bits
+from repro.core.concat import concat_containers, split_container_header
+from repro.core.autotune import TauSweepResult, autotune_tau, minimum_reliable_tau
+from repro.core.parallel import ParallelIsobarCompressor
+from repro.core.random_access import ChunkIndexEntry, ContainerReader
+from repro.core.records import RecordCompressor
+from repro.core.stream import StreamingWriter, stream_compress, stream_decompress
+from repro.core.analyzer import AnalysisResult, analyze, analyze_matrix
+from repro.core.chunking import ChunkSpan, chunk_count, iter_chunks, plan_chunks
+from repro.core.exceptions import (
+    ChecksumError,
+    CodecError,
+    ConfigurationError,
+    ContainerFormatError,
+    InvalidInputError,
+    IsobarError,
+    SelectorError,
+    UnknownCodecError,
+)
+from repro.core.metadata import (
+    ChunkMetadata,
+    ChunkMode,
+    ContainerHeader,
+    decode_mask,
+    encode_mask,
+)
+from repro.core.partitioner import (
+    Partition,
+    partition,
+    partition_matrix,
+    reassemble,
+    reassemble_matrix,
+)
+from repro.core.pipeline import (
+    ChunkReport,
+    CompressionResult,
+    IsobarCompressor,
+    isobar_compress,
+    isobar_decompress,
+)
+from repro.core.preferences import (
+    DEFAULT_CHUNK_ELEMENTS,
+    DEFAULT_TAU,
+    IsobarConfig,
+    Linearization,
+    Preference,
+)
+from repro.core.selector import CandidateEvaluation, EupaSelector, SelectorDecision
+
+__all__ = [
+    "concat_containers",
+    "split_container_header",
+    "BitLevelAnalysis",
+    "BitLevelCompressor",
+    "analyze_bits",
+    "AdaptiveIsobarCompressor",
+    "AdaptiveResult",
+    "SegmentInfo",
+    "ChunkFinding",
+    "ValidationReport",
+    "validate_container",
+    "TauSweepResult",
+    "autotune_tau",
+    "minimum_reliable_tau",
+    "ParallelIsobarCompressor",
+    "ChunkIndexEntry",
+    "ContainerReader",
+    "RecordCompressor",
+    "StreamingWriter",
+    "stream_compress",
+    "stream_decompress",
+    "AnalysisResult",
+    "analyze",
+    "analyze_matrix",
+    "ChunkSpan",
+    "chunk_count",
+    "iter_chunks",
+    "plan_chunks",
+    "ChecksumError",
+    "CodecError",
+    "ConfigurationError",
+    "ContainerFormatError",
+    "InvalidInputError",
+    "IsobarError",
+    "SelectorError",
+    "UnknownCodecError",
+    "ChunkMetadata",
+    "ChunkMode",
+    "ContainerHeader",
+    "decode_mask",
+    "encode_mask",
+    "Partition",
+    "partition",
+    "partition_matrix",
+    "reassemble",
+    "reassemble_matrix",
+    "ChunkReport",
+    "CompressionResult",
+    "IsobarCompressor",
+    "isobar_compress",
+    "isobar_decompress",
+    "DEFAULT_CHUNK_ELEMENTS",
+    "DEFAULT_TAU",
+    "IsobarConfig",
+    "Linearization",
+    "Preference",
+    "CandidateEvaluation",
+    "EupaSelector",
+    "SelectorDecision",
+]

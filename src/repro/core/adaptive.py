@@ -1,0 +1,173 @@
+"""Adaptive per-stream re-selection (extension beyond the paper).
+
+The paper makes one EUPA decision per stream and shows (Section II-F)
+that for a single simulation variable the choice stays optimal.  Long
+archival streams, however, can *drift*: a variable may transition from
+a linear to a saturated regime, or a file may concatenate unrelated
+variables.  :class:`AdaptiveIsobarCompressor` watches for drift and
+re-runs the selector when the data's byte fingerprint changes:
+
+* the trigger is the analyzer mask — if a chunk's compressibility mask
+  differs from the mask the current decision was made under, the
+  selector is re-evaluated on that chunk;
+* an optional ``revisit_every`` forces periodic re-evaluation even
+  without a mask change (guards against ratio drift the mask cannot
+  see).
+
+The output is NOT a standard single-decision container: each segment
+(maximal run of chunks under one decision) is emitted as a complete
+inner container, concatenated under a small envelope, so decompression
+replays each segment with its own codec and linearization.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.bytefreq import element_width
+from repro.core.analyzer import analyze
+from repro.core.chunking import plan_chunks
+from repro.core.exceptions import ContainerFormatError, InvalidInputError
+from repro.core.pipeline import IsobarCompressor
+from repro.core.preferences import IsobarConfig
+
+__all__ = ["SegmentInfo", "AdaptiveResult", "AdaptiveIsobarCompressor"]
+
+_MAGIC = b"IADP"
+
+
+@dataclass(frozen=True)
+class SegmentInfo:
+    """One maximal run of chunks compressed under a single decision."""
+
+    index: int
+    element_start: int
+    element_stop: int
+    codec_name: str
+    linearization: str
+    mask_bits: str
+    stored_bytes: int
+
+
+@dataclass(frozen=True)
+class AdaptiveResult:
+    """Envelope payload plus the segmentation record."""
+
+    payload: bytes
+    segments: tuple[SegmentInfo, ...]
+
+    @property
+    def n_decisions(self) -> int:
+        """How many distinct selector evaluations the stream needed."""
+        return len(self.segments)
+
+
+class AdaptiveIsobarCompressor:
+    """ISOBAR with drift-triggered selector re-evaluation."""
+
+    def __init__(
+        self,
+        config: IsobarConfig | None = None,
+        revisit_every: int | None = None,
+    ):
+        if revisit_every is not None and revisit_every < 1:
+            raise InvalidInputError(
+                f"revisit_every must be positive, got {revisit_every}"
+            )
+        self._config = config or IsobarConfig()
+        self._revisit_every = revisit_every
+
+    # -- compression ------------------------------------------------------
+
+    def compress_detailed(self, values: np.ndarray) -> AdaptiveResult:
+        """Segment the stream by fingerprint and compress each segment."""
+        arr = np.asarray(values)
+        element_width(arr.dtype)
+        flat = arr.reshape(-1)
+        spans = plan_chunks(flat.size, self._config.chunk_elements)
+
+        # Group chunks into segments with a stable analyzer mask.
+        segments: list[tuple[int, int]] = []  # element spans
+        current_mask: tuple[bool, ...] | None = None
+        chunks_in_segment = 0
+        segment_start = 0
+        for span in spans:
+            chunk = flat[span.start:span.stop]
+            mask = tuple(bool(b) for b in
+                         analyze(chunk, tau=self._config.tau).mask)
+            revisit = (
+                self._revisit_every is not None
+                and chunks_in_segment >= self._revisit_every
+            )
+            if current_mask is None:
+                current_mask = mask
+            elif mask != current_mask or revisit:
+                segments.append((segment_start, span.start))
+                segment_start = span.start
+                current_mask = mask
+                chunks_in_segment = 0
+            chunks_in_segment += 1
+        if flat.size or not segments:
+            segments.append((segment_start, flat.size))
+
+        parts: list[bytes] = [_MAGIC, struct.pack("<I", len(segments))]
+        infos: list[SegmentInfo] = []
+        for index, (start, stop) in enumerate(segments):
+            segment = flat[start:stop]
+            compressor = IsobarCompressor(self._config)
+            result = compressor.compress_detailed(segment)
+            parts.append(struct.pack("<Q", len(result.payload)))
+            parts.append(result.payload)
+            mask_bits = ""
+            if result.chunks:
+                first = result.chunks[0]
+                analysis = analyze(segment[: min(segment.size,
+                                                 self._config.chunk_elements)],
+                                   tau=self._config.tau) if segment.size else None
+                mask_bits = (
+                    "".join("1" if b else "0" for b in analysis.mask)
+                    if analysis is not None else ""
+                )
+            infos.append(
+                SegmentInfo(
+                    index=index,
+                    element_start=start,
+                    element_stop=stop,
+                    codec_name=result.decision.codec_name,
+                    linearization=result.decision.linearization.value,
+                    mask_bits=mask_bits,
+                    stored_bytes=len(result.payload),
+                )
+            )
+        return AdaptiveResult(payload=b"".join(parts), segments=tuple(infos))
+
+    def compress(self, values: np.ndarray) -> bytes:
+        """Compress to the adaptive envelope format."""
+        return self.compress_detailed(values).payload
+
+    # -- decompression ----------------------------------------------------
+
+    def decompress(self, data: bytes) -> np.ndarray:
+        """Restore the concatenated segments bit-exactly."""
+        if len(data) < 8 or data[:4] != _MAGIC:
+            raise ContainerFormatError("not an adaptive envelope (bad magic)")
+        (n_segments,) = struct.unpack_from("<I", data, 4)
+        offset = 8
+        pieces: list[np.ndarray] = []
+        inner = IsobarCompressor(self._config)
+        for _ in range(n_segments):
+            if len(data) < offset + 8:
+                raise ContainerFormatError("truncated adaptive envelope")
+            (length,) = struct.unpack_from("<Q", data, offset)
+            offset += 8
+            payload = data[offset:offset + length]
+            if len(payload) != length:
+                raise ContainerFormatError("truncated segment payload")
+            offset += length
+            pieces.append(np.asarray(inner.decompress(payload)).reshape(-1))
+        if not pieces:
+            raise ContainerFormatError("adaptive envelope with no segments")
+        return np.concatenate(pieces)

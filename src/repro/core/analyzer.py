@@ -1,0 +1,148 @@
+"""ISOBAR-analyzer: byte-column compressibility identification (Section II-A).
+
+The analyzer views the input as an ``N x w`` byte matrix and classifies
+every byte-column as *compressible* or *incompressible* using the
+paper's frequency-distribution tolerance: a column is incompressible
+when all 256 of its byte-value frequencies fall below
+``tau * N / 256`` — i.e. the column's byte histogram is statistically
+indistinguishable from uniform noise, which entropy coders cannot
+shrink.  The output mask drives the partitioner (Figure 4) and the
+improvable / undetermined decision of Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.bytefreq import byte_matrix, column_frequencies
+from repro.core.exceptions import InvalidInputError
+from repro.core.preferences import DEFAULT_TAU, MIN_ANALYZER_ELEMENTS
+
+__all__ = ["AnalysisResult", "analyze", "analyze_matrix"]
+
+
+@dataclass(frozen=True)
+class AnalysisResult:
+    """Outcome of one ISOBAR-analyzer pass over a chunk or dataset.
+
+    Attributes
+    ----------
+    mask:
+        Boolean array of length ``w``; ``True`` marks a *compressible*
+        byte-column (the ``1`` entries of the paper's output array).
+    n_elements / element_width:
+        Dimensions of the analysed byte matrix.
+    tau / threshold:
+        The tolerance multiplier used and the resulting absolute
+        frequency threshold ``tau * N / 256``.
+    column_max_frequencies:
+        Peak byte-value frequency per column — the statistic the
+        threshold is compared against.
+    column_entropy_bits:
+        Shannon entropy (bits/byte) per column, kept for diagnostics.
+    low_confidence:
+        True when the chunk had fewer than
+        :data:`~repro.core.preferences.MIN_ANALYZER_ELEMENTS` elements,
+        making the histogram statistics thin.
+    """
+
+    mask: np.ndarray
+    n_elements: int
+    element_width: int
+    tau: float
+    threshold: float
+    column_max_frequencies: np.ndarray = field(repr=False)
+    column_entropy_bits: np.ndarray = field(repr=False)
+    low_confidence: bool = False
+
+    @property
+    def n_compressible(self) -> int:
+        """Number of byte-columns classified compressible."""
+        return int(np.count_nonzero(self.mask))
+
+    @property
+    def n_incompressible(self) -> int:
+        """Number of byte-columns classified incompressible (noise)."""
+        return self.element_width - self.n_compressible
+
+    @property
+    def hard_to_compress(self) -> bool:
+        """Table IV's "HTC?" column: does the data contain noise columns?"""
+        return self.n_incompressible > 0
+
+    @property
+    def htc_bytes_percent(self) -> float:
+        """Table IV's "HTC Bytes (%)": share of incompressible bytes."""
+        return 100.0 * self.n_incompressible / self.element_width
+
+    @property
+    def improvable(self) -> bool:
+        """Algorithm 1's branch: improvable iff the mask is mixed.
+
+        All-compressible or all-incompressible inputs are *undetermined*
+        and flow to the solver unchanged.
+        """
+        return 0 < self.n_compressible < self.element_width
+
+    @property
+    def undetermined(self) -> bool:
+        """Complement of :attr:`improvable`."""
+        return not self.improvable
+
+    def summary(self) -> str:
+        """One-line human-readable classification, for logs and the CLI."""
+        mask_bits = "".join("1" if bit else "0" for bit in self.mask)
+        kind = "improvable" if self.improvable else "undetermined"
+        return (
+            f"mask={mask_bits} ({kind}); "
+            f"HTC bytes: {self.htc_bytes_percent:.1f}%; "
+            f"threshold {self.threshold:.1f} over N={self.n_elements}"
+        )
+
+
+def analyze_matrix(matrix: np.ndarray, tau: float = DEFAULT_TAU) -> AnalysisResult:
+    """Run the analyzer on an already-built ``(N, w)`` byte matrix."""
+    mat = np.asarray(matrix)
+    if mat.ndim != 2 or mat.dtype != np.uint8:
+        raise InvalidInputError(
+            f"expected an (N, w) uint8 byte matrix, got {mat.dtype!r} "
+            f"with shape {mat.shape}"
+        )
+    n_elements, width = mat.shape
+    if n_elements == 0 or width == 0:
+        raise InvalidInputError("cannot analyze an empty byte matrix")
+    frequencies = column_frequencies(mat)
+    max_freq = frequencies.max(axis=1)
+    threshold = tau * n_elements / 256.0
+    # A column is incompressible when every frequency is *below* the
+    # tolerance level, i.e. its maximum is below the threshold.
+    compressible = max_freq >= threshold
+    # Entropy diagnostics from the same histogram (avoids a second
+    # counting pass over the matrix).
+    probs = frequencies / float(n_elements)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        terms = np.where(probs > 0, probs * np.log2(probs), 0.0)
+    entropy_bits = -terms.sum(axis=1)
+    return AnalysisResult(
+        mask=compressible,
+        n_elements=int(n_elements),
+        element_width=int(width),
+        tau=float(tau),
+        threshold=float(threshold),
+        column_max_frequencies=max_freq,
+        column_entropy_bits=entropy_bits,
+        low_confidence=n_elements < MIN_ANALYZER_ELEMENTS,
+    )
+
+
+def analyze(values: np.ndarray, tau: float = DEFAULT_TAU) -> AnalysisResult:
+    """Run the ISOBAR-analyzer on an element array.
+
+    ``values`` may have any shape; elements are viewed in little-endian
+    byte order (column 0 = least-significant byte).  Returns the
+    compressibility mask plus the diagnostics the rest of the workflow
+    and the benchmark tables need.
+    """
+    return analyze_matrix(byte_matrix(values), tau=tau)

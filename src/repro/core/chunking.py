@@ -1,0 +1,81 @@
+"""Input chunking (Section II-D, Figure 6).
+
+Extreme-scale arrays cannot be compressed in one pass; ISOBAR segments
+them into chunks of a configurable element count (the paper settles on
+~375 000 doubles ≈ 3 MB, Figure 8) and processes each independently.
+This module plans and iterates those chunks; the container format keeps
+one metadata record per chunk so decompression can stream as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.exceptions import InvalidInputError
+from repro.core.preferences import DEFAULT_CHUNK_ELEMENTS
+
+__all__ = ["ChunkSpan", "plan_chunks", "iter_chunks", "chunk_count"]
+
+
+@dataclass(frozen=True)
+class ChunkSpan:
+    """Half-open element range ``[start, stop)`` of one chunk."""
+
+    index: int
+    start: int
+    stop: int
+
+    @property
+    def n_elements(self) -> int:
+        """Number of elements covered by this span."""
+        return self.stop - self.start
+
+
+def plan_chunks(
+    n_elements: int, chunk_elements: int = DEFAULT_CHUNK_ELEMENTS
+) -> list[ChunkSpan]:
+    """Split ``n_elements`` into consecutive spans of ``chunk_elements``.
+
+    The final span may be shorter.  Zero-length inputs produce an empty
+    plan (a valid container with zero chunks).
+    """
+    if n_elements < 0:
+        raise InvalidInputError(f"n_elements must be non-negative, got {n_elements}")
+    if chunk_elements < 1:
+        raise InvalidInputError(
+            f"chunk_elements must be positive, got {chunk_elements}"
+        )
+    spans = []
+    for index, start in enumerate(range(0, n_elements, chunk_elements)):
+        stop = min(start + chunk_elements, n_elements)
+        spans.append(ChunkSpan(index=index, start=start, stop=stop))
+    return spans
+
+
+def chunk_count(
+    n_elements: int, chunk_elements: int = DEFAULT_CHUNK_ELEMENTS
+) -> int:
+    """Number of chunks :func:`plan_chunks` would produce."""
+    if n_elements < 0:
+        raise InvalidInputError(f"n_elements must be non-negative, got {n_elements}")
+    if chunk_elements < 1:
+        raise InvalidInputError(
+            f"chunk_elements must be positive, got {chunk_elements}"
+        )
+    return -(-n_elements // chunk_elements)
+
+
+def iter_chunks(
+    values: np.ndarray, chunk_elements: int = DEFAULT_CHUNK_ELEMENTS
+) -> Iterator[tuple[ChunkSpan, np.ndarray]]:
+    """Yield ``(span, view)`` pairs over the flat view of ``values``.
+
+    Views are produced lazily and reference the original buffer — no
+    copies are made, matching the in-situ pipelining the paper targets.
+    """
+    flat = np.asarray(values).reshape(-1)
+    for span in plan_chunks(flat.size, chunk_elements):
+        yield span, flat[span.start:span.stop]

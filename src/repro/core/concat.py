@@ -1,0 +1,98 @@
+"""Container concatenation: recompression-free appends.
+
+Time-series archives grow by appending timesteps.  Because ISOBAR
+chunks are independent, two containers written with the same dtype,
+solver and linearization can be merged by *re-framing alone*: the chunk
+records and payloads are copied verbatim and only the global header's
+element/chunk counts change.  No payload is decompressed or
+recompressed, so concatenation runs at memcpy speed and is exactly
+lossless by construction.
+
+Constraints checked before merging (mismatches raise):
+
+* identical dtype (bit-exactness would otherwise be ambiguous);
+* identical codec and linearization (chunks must decode uniformly —
+  the container format records one solver per stream);
+* the merged shape becomes 1-D (original multidimensional shapes are
+  not meaningfully concatenable in general).
+"""
+
+from __future__ import annotations
+
+from repro.core.exceptions import ContainerFormatError, InvalidInputError
+from repro.core.metadata import ChunkMetadata, ContainerHeader
+
+__all__ = ["concat_containers", "split_container_header"]
+
+
+def split_container_header(data: bytes) -> tuple[ContainerHeader, bytes]:
+    """Parse a container into ``(header, chunk_stream_bytes)``.
+
+    Walks the chunk records to validate the stream reaches exactly the
+    end of the payload (trailing garbage is rejected to keep the merge
+    well-defined).
+    """
+    header, offset = ContainerHeader.decode(data)
+    chunk_start = offset
+    width = header.element_width
+    elements = 0
+    for _ in range(header.n_chunks):
+        meta, payload_offset = ChunkMetadata.decode(data, offset, width)
+        offset = (payload_offset + meta.compressed_size
+                  + meta.incompressible_size)
+        if offset > len(data):
+            raise ContainerFormatError("container truncated mid-chunk")
+        elements += meta.n_elements
+    if elements != header.n_elements:
+        raise ContainerFormatError(
+            f"chunks cover {elements} elements, header declares "
+            f"{header.n_elements}"
+        )
+    if offset != len(data):
+        raise ContainerFormatError(
+            f"{len(data) - offset} trailing bytes after the last chunk"
+        )
+    return header, data[chunk_start:]
+
+
+def concat_containers(containers: list[bytes]) -> bytes:
+    """Merge containers into one, copying chunk payloads verbatim.
+
+    The result decompresses to the concatenation of the inputs'
+    element streams (flattened 1-D).
+    """
+    if not containers:
+        raise InvalidInputError("need at least one container to concatenate")
+    parsed = [split_container_header(data) for data in containers]
+    first = parsed[0][0]
+    for header, _ in parsed[1:]:
+        if header.dtype != first.dtype:
+            raise InvalidInputError(
+                f"dtype mismatch: {header.dtype} vs {first.dtype}"
+            )
+        if header.codec_name != first.codec_name:
+            raise InvalidInputError(
+                f"codec mismatch: {header.codec_name} vs {first.codec_name}"
+            )
+        if header.linearization != first.linearization:
+            raise InvalidInputError(
+                f"linearization mismatch: {header.linearization.value} vs "
+                f"{first.linearization.value}"
+            )
+
+    total_elements = sum(header.n_elements for header, _ in parsed)
+    total_chunks = sum(header.n_chunks for header, _ in parsed)
+    merged_header = ContainerHeader(
+        dtype=first.dtype,
+        n_elements=total_elements,
+        shape=(total_elements,),
+        codec_name=first.codec_name,
+        linearization=first.linearization,
+        preference=first.preference,
+        tau=first.tau,
+        chunk_elements=first.chunk_elements,
+        n_chunks=total_chunks,
+    )
+    return merged_header.encode() + b"".join(
+        chunk_stream for _, chunk_stream in parsed
+    )

@@ -1,0 +1,245 @@
+"""Container metadata: the ``M`` of Algorithm 1, in binary form.
+
+Two records make up an ISOBAR container's bookkeeping (Figure 7):
+
+* :class:`ContainerHeader` — the overall metadata written once by the
+  EUPA-selector: element dtype and count, original shape, chosen solver
+  and linearization, analyzer tolerance, chunking geometry.
+* :class:`ChunkMetadata` — per-chunk metadata from the partitioner:
+  element count, processing mode (partitioned vs passthrough), the
+  compressibility mask, payload sizes and a CRC of the raw bytes.
+
+Both serialize to compact little-endian structs with explicit magics
+and validate on decode, raising :class:`ContainerFormatError` on any
+inconsistency rather than fabricating data.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.exceptions import ContainerFormatError
+from repro.core.preferences import Linearization, Preference
+
+__all__ = [
+    "FORMAT_VERSION",
+    "ChunkMode",
+    "ContainerHeader",
+    "ChunkMetadata",
+    "encode_mask",
+    "decode_mask",
+]
+
+FORMAT_VERSION = 1
+
+_HEADER_MAGIC = b"ISBR"
+_CHUNK_MAGIC = b"CHNK"
+_MAX_NAME = 255
+_MAX_DIMS = 16
+
+_LINEARIZATION_CODES = {Linearization.ROW: 0, Linearization.COLUMN: 1}
+_LINEARIZATION_FROM_CODE = {v: k for k, v in _LINEARIZATION_CODES.items()}
+_PREFERENCE_CODES = {Preference.RATIO: 0, Preference.SPEED: 1}
+_PREFERENCE_FROM_CODE = {v: k for k, v in _PREFERENCE_CODES.items()}
+
+
+class ChunkMode(enum.IntEnum):
+    """How one chunk was processed (Algorithm 1's two branches)."""
+
+    #: Undetermined chunk: the whole chunk went through the solver.
+    PASSTHROUGH = 0
+    #: Improvable chunk: compressible columns solved, noise stored raw.
+    PARTITIONED = 1
+
+
+def encode_mask(mask: np.ndarray) -> bytes:
+    """Pack a boolean column mask into bytes, LSB-first."""
+    arr = np.asarray(mask, dtype=bool)
+    return np.packbits(arr.astype(np.uint8), bitorder="little").tobytes()
+
+
+def decode_mask(data: bytes, width: int) -> np.ndarray:
+    """Unpack ``width`` mask bits written by :func:`encode_mask`."""
+    needed = (width + 7) // 8
+    if len(data) < needed:
+        raise ContainerFormatError(
+            f"mask needs {needed} bytes for width {width}, have {len(data)}"
+        )
+    bits = np.unpackbits(
+        np.frombuffer(data, dtype=np.uint8, count=needed), bitorder="little"
+    )
+    return bits[:width].astype(bool)
+
+
+@dataclass(frozen=True)
+class ContainerHeader:
+    """Global container metadata written once per compressed stream."""
+
+    dtype: np.dtype
+    n_elements: int
+    shape: tuple[int, ...]
+    codec_name: str
+    linearization: Linearization
+    preference: Preference
+    tau: float
+    chunk_elements: int
+    n_chunks: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "dtype", np.dtype(self.dtype))
+        object.__setattr__(self, "shape", tuple(int(s) for s in self.shape))
+        if len(self.codec_name.encode("utf-8")) > _MAX_NAME:
+            raise ContainerFormatError(
+                f"codec name too long ({len(self.codec_name)} chars)"
+            )
+        if len(self.shape) > _MAX_DIMS:
+            raise ContainerFormatError(
+                f"too many dimensions ({len(self.shape)} > {_MAX_DIMS})"
+            )
+
+    @property
+    def element_width(self) -> int:
+        """Element width ``w`` in bytes."""
+        return self.dtype.itemsize
+
+    def encode(self) -> bytes:
+        """Serialize to the on-disk header record."""
+        dtype_str = self.dtype.str.encode("ascii")
+        codec = self.codec_name.encode("utf-8")
+        parts = [
+            _HEADER_MAGIC,
+            struct.pack("<H", FORMAT_VERSION),
+            struct.pack("<B", len(dtype_str)),
+            dtype_str,
+            struct.pack("<Q", self.n_elements),
+            struct.pack("<B", len(self.shape)),
+            struct.pack(f"<{len(self.shape)}q", *self.shape),
+            struct.pack("<B", len(codec)),
+            codec,
+            struct.pack(
+                "<BBdQI",
+                _LINEARIZATION_CODES[self.linearization],
+                _PREFERENCE_CODES[self.preference],
+                self.tau,
+                self.chunk_elements,
+                self.n_chunks,
+            ),
+        ]
+        return b"".join(parts)
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int = 0) -> tuple["ContainerHeader", int]:
+        """Parse a header record; returns ``(header, next_offset)``."""
+        if len(data) < offset + 7 or data[offset:offset + 4] != _HEADER_MAGIC:
+            raise ContainerFormatError("missing ISOBAR container magic")
+        pos = offset + 4
+        (version,) = struct.unpack_from("<H", data, pos)
+        pos += 2
+        if version != FORMAT_VERSION:
+            raise ContainerFormatError(
+                f"unsupported container version {version} "
+                f"(this build reads version {FORMAT_VERSION})"
+            )
+        dtype_len = data[pos]
+        pos += 1
+        try:
+            dtype = np.dtype(data[pos:pos + dtype_len].decode("ascii"))
+        except (TypeError, UnicodeDecodeError) as exc:
+            raise ContainerFormatError(f"invalid dtype in header: {exc}") from exc
+        pos += dtype_len
+        (n_elements,) = struct.unpack_from("<Q", data, pos)
+        pos += 8
+        ndim = data[pos]
+        pos += 1
+        if ndim > _MAX_DIMS:
+            raise ContainerFormatError(f"header declares {ndim} dimensions")
+        shape = struct.unpack_from(f"<{ndim}q", data, pos)
+        pos += 8 * ndim
+        codec_len = data[pos]
+        pos += 1
+        codec_name = data[pos:pos + codec_len].decode("utf-8")
+        pos += codec_len
+        lin_code, pref_code, tau, chunk_elements, n_chunks = struct.unpack_from(
+            "<BBdQI", data, pos
+        )
+        pos += struct.calcsize("<BBdQI")
+        if lin_code not in _LINEARIZATION_FROM_CODE:
+            raise ContainerFormatError(f"unknown linearization code {lin_code}")
+        if pref_code not in _PREFERENCE_FROM_CODE:
+            raise ContainerFormatError(f"unknown preference code {pref_code}")
+        header = cls(
+            dtype=dtype,
+            n_elements=n_elements,
+            shape=tuple(shape),
+            codec_name=codec_name,
+            linearization=_LINEARIZATION_FROM_CODE[lin_code],
+            preference=_PREFERENCE_FROM_CODE[pref_code],
+            tau=tau,
+            chunk_elements=chunk_elements,
+            n_chunks=n_chunks,
+        )
+        return header, pos
+
+
+@dataclass(frozen=True)
+class ChunkMetadata:
+    """Per-chunk record: mode, mask, payload sizes, integrity check."""
+
+    n_elements: int
+    mode: ChunkMode
+    mask: np.ndarray
+    compressed_size: int
+    incompressible_size: int
+    raw_crc32: int
+
+    def encode(self) -> bytes:
+        """Serialize the chunk record (excluding the payloads)."""
+        mask_bytes = encode_mask(self.mask)
+        return b"".join(
+            [
+                _CHUNK_MAGIC,
+                struct.pack(
+                    "<QBIB",
+                    self.n_elements,
+                    int(self.mode),
+                    self.raw_crc32 & 0xFFFFFFFF,
+                    len(mask_bytes),
+                ),
+                mask_bytes,
+                struct.pack("<QQ", self.compressed_size, self.incompressible_size),
+            ]
+        )
+
+    @classmethod
+    def decode(
+        cls, data: bytes, offset: int, element_width: int
+    ) -> tuple["ChunkMetadata", int]:
+        """Parse a chunk record; returns ``(metadata, next_offset)``."""
+        if len(data) < offset + 18 or data[offset:offset + 4] != _CHUNK_MAGIC:
+            raise ContainerFormatError("missing chunk magic (corrupt container)")
+        pos = offset + 4
+        n_elements, mode_code, crc, mask_len = struct.unpack_from("<QBIB", data, pos)
+        pos += struct.calcsize("<QBIB")
+        try:
+            mode = ChunkMode(mode_code)
+        except ValueError:
+            raise ContainerFormatError(f"unknown chunk mode {mode_code}") from None
+        mask = decode_mask(data[pos:pos + mask_len], element_width)
+        pos += mask_len
+        if len(data) < pos + 16:
+            raise ContainerFormatError("truncated chunk size fields")
+        compressed_size, incompressible_size = struct.unpack_from("<QQ", data, pos)
+        pos += 16
+        meta = cls(
+            n_elements=n_elements,
+            mode=mode,
+            mask=mask,
+            compressed_size=compressed_size,
+            incompressible_size=incompressible_size,
+            raw_crc32=crc,
+        )
+        return meta, pos

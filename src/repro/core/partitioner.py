@@ -1,0 +1,175 @@
+"""ISOBAR-partitioner: byte-column segmentation (Section II-B, Figure 5).
+
+Given the analyzer's mask, the partitioner splits the byte matrix into
+
+* the *compressible* columns ``C``, linearized row-wise or column-wise
+  and handed to the solver, and
+* the *incompressible* columns ``I``, stored verbatim (the noise the
+  solver is spared from),
+
+plus the metadata needed to reassemble the original elements
+bit-exactly.  Both linearizations and the exact inverse are implemented
+here; the container format persists which one was used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.bytefreq import byte_matrix, matrix_to_elements
+from repro.core.exceptions import InvalidInputError
+from repro.core.preferences import Linearization
+
+__all__ = ["Partition", "partition_matrix", "partition", "reassemble_matrix", "reassemble"]
+
+
+@dataclass(frozen=True)
+class Partition:
+    """The ``{C, I, M}`` triple of Algorithm 1 for one chunk.
+
+    Attributes
+    ----------
+    compressible:
+        The linearized compressible byte stream ``C`` (input to the
+        solver).
+    incompressible:
+        The raw incompressible byte stream ``I`` (stored as-is),
+        always column-major so each noise column stays contiguous.
+    mask:
+        Boolean compressibility mask ``M`` over the ``w`` byte-columns.
+    linearization:
+        How ``compressible`` was laid out (row- or column-wise).
+    n_elements / element_width:
+        Byte-matrix dimensions needed for reassembly.
+    """
+
+    compressible: bytes
+    incompressible: bytes
+    mask: np.ndarray
+    linearization: Linearization
+    n_elements: int
+    element_width: int
+
+    @property
+    def compressible_fraction(self) -> float:
+        """Fraction of each element's bytes routed to the solver."""
+        return float(np.count_nonzero(self.mask)) / self.element_width
+
+
+def _validate_mask(mask: np.ndarray, width: int) -> np.ndarray:
+    arr = np.asarray(mask, dtype=bool)
+    if arr.shape != (width,):
+        raise InvalidInputError(
+            f"mask length {arr.size} does not match element width {width}"
+        )
+    return arr
+
+
+def partition_matrix(
+    matrix: np.ndarray,
+    mask: np.ndarray,
+    linearization: Linearization = Linearization.ROW,
+) -> Partition:
+    """Split an ``(N, w)`` byte matrix by ``mask``.
+
+    Row linearization keeps each element's compressible bytes adjacent
+    (matrix sliced by columns, flattened row-major); column
+    linearization emits whole byte-columns in sequence (flattened
+    column-major).  The incompressible side is always stored
+    column-major.
+    """
+    mat = np.asarray(matrix)
+    if mat.ndim != 2 or mat.dtype != np.uint8:
+        raise InvalidInputError(
+            f"expected an (N, w) uint8 byte matrix, got {mat.dtype!r} "
+            f"with shape {mat.shape}"
+        )
+    n_elements, width = mat.shape
+    mask_arr = _validate_mask(mask, width)
+    lin = Linearization.parse(linearization)
+
+    comp = mat[:, mask_arr]
+    incomp = mat[:, ~mask_arr]
+    if lin is Linearization.ROW:
+        comp_bytes = np.ascontiguousarray(comp).tobytes()
+    else:
+        comp_bytes = np.asfortranarray(comp).tobytes(order="F")
+    incomp_bytes = np.asfortranarray(incomp).tobytes(order="F")
+    return Partition(
+        compressible=comp_bytes,
+        incompressible=incomp_bytes,
+        mask=mask_arr,
+        linearization=lin,
+        n_elements=int(n_elements),
+        element_width=int(width),
+    )
+
+
+def partition(
+    values: np.ndarray,
+    mask: np.ndarray,
+    linearization: Linearization = Linearization.ROW,
+) -> Partition:
+    """Partition an element array (builds the byte matrix internally)."""
+    return partition_matrix(byte_matrix(values), mask, linearization)
+
+
+def reassemble_matrix(
+    compressible: bytes,
+    incompressible: bytes,
+    mask: np.ndarray,
+    linearization: Linearization,
+    n_elements: int,
+) -> np.ndarray:
+    """Rebuild the ``(N, w)`` byte matrix from a partition's streams.
+
+    Exact inverse of :func:`partition_matrix` for matching metadata;
+    validates stream lengths so corruption is caught before elements
+    are fabricated.
+    """
+    mask_arr = np.asarray(mask, dtype=bool)
+    width = mask_arr.size
+    lin = Linearization.parse(linearization)
+    n_comp_cols = int(np.count_nonzero(mask_arr))
+    n_incomp_cols = width - n_comp_cols
+
+    expected_comp = n_elements * n_comp_cols
+    expected_incomp = n_elements * n_incomp_cols
+    if len(compressible) != expected_comp:
+        raise InvalidInputError(
+            f"compressible stream has {len(compressible)} bytes, "
+            f"expected {expected_comp}"
+        )
+    if len(incompressible) != expected_incomp:
+        raise InvalidInputError(
+            f"incompressible stream has {len(incompressible)} bytes, "
+            f"expected {expected_incomp}"
+        )
+
+    matrix = np.empty((n_elements, width), dtype=np.uint8)
+    if n_comp_cols:
+        comp_flat = np.frombuffer(compressible, dtype=np.uint8)
+        if lin is Linearization.ROW:
+            matrix[:, mask_arr] = comp_flat.reshape(n_elements, n_comp_cols)
+        else:
+            matrix[:, mask_arr] = comp_flat.reshape(
+                n_comp_cols, n_elements
+            ).T
+    if n_incomp_cols:
+        incomp_flat = np.frombuffer(incompressible, dtype=np.uint8)
+        matrix[:, ~mask_arr] = incomp_flat.reshape(n_incomp_cols, n_elements).T
+    return matrix
+
+
+def reassemble(partition_result: Partition, dtype: np.dtype) -> np.ndarray:
+    """Rebuild the original 1-D element array from a :class:`Partition`."""
+    matrix = reassemble_matrix(
+        partition_result.compressible,
+        partition_result.incompressible,
+        partition_result.mask,
+        partition_result.linearization,
+        partition_result.n_elements,
+    )
+    return matrix_to_elements(matrix, dtype)

@@ -1,0 +1,356 @@
+"""The ISOBAR-compress workflow (Algorithm 1) over chunked inputs.
+
+:class:`IsobarCompressor` wires the components together exactly as
+Figure 2 draws them:
+
+1. the EUPA-selector picks the solver and linearization from a timed
+   sample (once per stream — Section II-F shows the choice is stable
+   across a whole simulation);
+2. each chunk runs through the ISOBAR-analyzer;
+3. improvable chunks are partitioned — compressible byte-columns go
+   through the solver, incompressible ones are stored raw;
+4. undetermined chunks pass to the solver whole;
+5. the merger writes one self-describing container: global header,
+   then per chunk its metadata, solver output and raw noise bytes
+   (Figure 7).
+
+Decompression replays the container without re-analysis; every chunk
+carries a CRC32 of its raw bytes, so corruption surfaces as
+:class:`~repro.core.exceptions.ChecksumError` instead of silent damage.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib as _zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.bytefreq import element_width, matrix_to_elements
+from repro.codecs.base import Codec, get_codec
+from repro.core.analyzer import analyze
+from repro.core.chunking import iter_chunks
+from repro.core.exceptions import ChecksumError, ContainerFormatError
+from repro.core.metadata import ChunkMetadata, ChunkMode, ContainerHeader
+from repro.core.partitioner import partition, reassemble_matrix
+from repro.core.preferences import IsobarConfig, Linearization, Preference
+from repro.core.selector import EupaSelector, SelectorDecision
+
+__all__ = [
+    "ChunkReport",
+    "CompressionResult",
+    "IsobarCompressor",
+    "isobar_compress",
+    "isobar_decompress",
+]
+
+
+def _little_endian_bytes(chunk: np.ndarray) -> bytes:
+    """Raw chunk bytes in platform-independent little-endian order."""
+    le = chunk.astype(chunk.dtype.newbyteorder("<"), copy=False)
+    return np.ascontiguousarray(le).tobytes()
+
+
+@dataclass(frozen=True)
+class ChunkReport:
+    """Per-chunk accounting produced by :meth:`IsobarCompressor.compress_detailed`."""
+
+    index: int
+    n_elements: int
+    mode: ChunkMode
+    improvable: bool
+    htc_bytes_percent: float
+    raw_bytes: int
+    stored_bytes: int
+    analyze_seconds: float
+    compress_seconds: float
+
+
+@dataclass(frozen=True)
+class CompressionResult:
+    """Full outcome of one compression run, with measured statistics."""
+
+    payload: bytes
+    header: ContainerHeader
+    decision: SelectorDecision
+    chunks: tuple[ChunkReport, ...]
+    analyze_seconds: float
+    compress_seconds: float
+    select_seconds: float
+
+    @property
+    def original_bytes(self) -> int:
+        """Uncompressed input size in bytes."""
+        return self.header.n_elements * self.header.element_width
+
+    @property
+    def compressed_bytes(self) -> int:
+        """Size of the produced container."""
+        return len(self.payload)
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio (Eq. 1) including all container overhead."""
+        if self.compressed_bytes == 0:
+            return float("inf")
+        return self.original_bytes / self.compressed_bytes
+
+    @property
+    def improvable(self) -> bool:
+        """True when at least one chunk took the partitioned path."""
+        return any(chunk.improvable for chunk in self.chunks)
+
+
+class IsobarCompressor:
+    """End-to-end ISOBAR-compress preconditioner + solver pipeline.
+
+    Parameters
+    ----------
+    config:
+        Workflow configuration; defaults mirror the paper (tau = 1.42,
+        375 000-element chunks, zlib/bzip2 candidates, ratio
+        preference).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core.pipeline import IsobarCompressor
+    >>> data = np.linspace(0.0, 1.0, 10_000)
+    >>> compressor = IsobarCompressor()
+    >>> blob = compressor.compress(data)
+    >>> restored = compressor.decompress(blob)
+    >>> bool(np.array_equal(restored, data))
+    True
+    """
+
+    def __init__(self, config: IsobarConfig | None = None):
+        self._config = config or IsobarConfig()
+        self._selector = EupaSelector(self._config)
+
+    @property
+    def config(self) -> IsobarConfig:
+        """The active workflow configuration."""
+        return self._config
+
+    # -- compression ------------------------------------------------------
+
+    def compress(self, values: np.ndarray) -> bytes:
+        """Compress ``values`` into a self-contained ISOBAR container."""
+        return self.compress_detailed(values).payload
+
+    def compress_detailed(self, values: np.ndarray) -> CompressionResult:
+        """Compress ``values`` and return payload plus full statistics."""
+        arr = np.asarray(values)
+        element_width(arr.dtype)  # validates dtype kind
+        flat = arr.reshape(-1)
+
+        select_start = time.perf_counter()
+        decision, codec = self._decide(flat)
+        select_seconds = time.perf_counter() - select_start
+
+        chunk_blobs: list[bytes] = []
+        reports: list[ChunkReport] = []
+        total_analyze = 0.0
+        total_compress = 0.0
+        for span, chunk in iter_chunks(flat, self._config.chunk_elements):
+            blob, report = self._compress_chunk(span.index, chunk, decision, codec)
+            chunk_blobs.append(blob)
+            reports.append(report)
+            total_analyze += report.analyze_seconds
+            total_compress += report.compress_seconds
+
+        header = ContainerHeader(
+            dtype=arr.dtype,
+            n_elements=flat.size,
+            shape=arr.shape,
+            codec_name=decision.codec_name,
+            linearization=decision.linearization,
+            preference=self._config.preference,
+            tau=self._config.tau,
+            chunk_elements=self._config.chunk_elements,
+            n_chunks=len(chunk_blobs),
+        )
+        payload = header.encode() + b"".join(chunk_blobs)
+        return CompressionResult(
+            payload=payload,
+            header=header,
+            decision=decision,
+            chunks=tuple(reports),
+            analyze_seconds=total_analyze,
+            compress_seconds=total_compress,
+            select_seconds=select_seconds,
+        )
+
+    def _decide(self, flat: np.ndarray) -> tuple[SelectorDecision, Codec]:
+        """Run the selector on the leading chunk's analysis."""
+        if flat.size == 0:
+            # Empty stream: nothing to sample; fall back to configured
+            # or first-candidate codec with row linearization.
+            codec_name = self._config.codec or self._config.candidate_codecs[0]
+            linearization = self._config.linearization or Linearization.ROW
+            decision = SelectorDecision(
+                codec_name=codec_name,
+                linearization=linearization,
+                preference=self._config.preference,
+                improvable=False,
+                candidates=(),
+                sample_elements=0,
+            )
+            return decision, get_codec(codec_name)
+        lead = flat[: min(flat.size, self._config.chunk_elements)]
+        analysis = analyze(lead, tau=self._config.tau)
+        decision = self._selector.select(flat, analysis=analysis)
+        return decision, get_codec(decision.codec_name)
+
+    def _compress_chunk(
+        self,
+        index: int,
+        chunk: np.ndarray,
+        decision: SelectorDecision,
+        codec: Codec,
+    ) -> tuple[bytes, ChunkReport]:
+        raw = _little_endian_bytes(chunk)
+        crc = _zlib.crc32(raw)
+
+        analyze_start = time.perf_counter()
+        analysis = analyze(chunk, tau=self._config.tau)
+        analyze_seconds = time.perf_counter() - analyze_start
+
+        compress_start = time.perf_counter()
+        if analysis.improvable:
+            part = partition(chunk, analysis.mask, decision.linearization)
+            compressed = codec.compress(part.compressible)
+            incompressible = part.incompressible
+            mode = ChunkMode.PARTITIONED
+        else:
+            compressed = codec.compress(raw)
+            incompressible = b""
+            mode = ChunkMode.PASSTHROUGH
+        compress_seconds = time.perf_counter() - compress_start
+
+        meta = ChunkMetadata(
+            n_elements=chunk.size,
+            mode=mode,
+            mask=analysis.mask,
+            compressed_size=len(compressed),
+            incompressible_size=len(incompressible),
+            raw_crc32=crc,
+        )
+        blob = meta.encode() + compressed + incompressible
+        report = ChunkReport(
+            index=index,
+            n_elements=int(chunk.size),
+            mode=mode,
+            improvable=analysis.improvable,
+            htc_bytes_percent=analysis.htc_bytes_percent,
+            raw_bytes=len(raw),
+            stored_bytes=len(blob),
+            analyze_seconds=analyze_seconds,
+            compress_seconds=compress_seconds,
+        )
+        return blob, report
+
+    # -- decompression ----------------------------------------------------
+
+    def decompress(self, data: bytes) -> np.ndarray:
+        """Restore the exact original array from a container."""
+        header, offset = ContainerHeader.decode(data)
+        codec = get_codec(header.codec_name)
+        width = header.element_width
+        little_dtype = header.dtype.newbyteorder("<")
+
+        pieces: list[np.ndarray] = []
+        for _ in range(header.n_chunks):
+            meta, offset = ChunkMetadata.decode(data, offset, width)
+            end_comp = offset + meta.compressed_size
+            end_incomp = end_comp + meta.incompressible_size
+            if end_incomp > len(data):
+                raise ContainerFormatError(
+                    "container truncated inside chunk payload"
+                )
+            compressed = data[offset:end_comp]
+            incompressible = data[end_comp:end_incomp]
+            offset = end_incomp
+
+            if meta.mode is ChunkMode.PARTITIONED:
+                comp_stream = codec.decompress(compressed)
+                matrix = reassemble_matrix(
+                    comp_stream,
+                    incompressible,
+                    meta.mask,
+                    header.linearization,
+                    meta.n_elements,
+                )
+                chunk = matrix_to_elements(matrix, header.dtype)
+                raw = matrix.tobytes()
+            else:
+                raw = codec.decompress(compressed)
+                expected = meta.n_elements * width
+                if len(raw) != expected:
+                    raise ContainerFormatError(
+                        f"chunk payload decodes to {len(raw)} bytes, "
+                        f"expected {expected}"
+                    )
+                chunk = np.frombuffer(raw, dtype=little_dtype).astype(
+                    header.dtype, copy=False
+                )
+            if _zlib.crc32(raw) != meta.raw_crc32:
+                raise ChecksumError(
+                    f"chunk CRC mismatch (stored {meta.raw_crc32:#010x})"
+                )
+            pieces.append(chunk)
+
+        if pieces:
+            # concatenate() normalises byte order to native; restore the
+            # header's exact dtype (e.g. big-endian inputs round-trip).
+            flat = np.concatenate(pieces).astype(header.dtype, copy=False)
+        else:
+            flat = np.empty(0, dtype=header.dtype)
+        if flat.size != header.n_elements:
+            raise ContainerFormatError(
+                f"container reassembled {flat.size} elements, header "
+                f"declares {header.n_elements}"
+            )
+        n_shape = 1
+        for dim in header.shape:
+            n_shape *= dim
+        if header.shape and n_shape == header.n_elements:
+            return flat.reshape(header.shape)
+        return flat
+
+
+def isobar_compress(
+    values: np.ndarray,
+    preference: Preference | str = Preference.RATIO,
+    *,
+    codec: str | None = None,
+    linearization: Linearization | str | None = None,
+    config: IsobarConfig | None = None,
+) -> bytes:
+    """One-call ISOBAR compression with the paper's defaults.
+
+    Parameters
+    ----------
+    values:
+        Fixed-width numeric array of any shape.
+    preference:
+        ``"ratio"`` or ``"speed"`` (EUPA-selector target).
+    codec / linearization:
+        Optional explicit overrides (Section II-C allows fixing both).
+    config:
+        Full configuration object; when given, the other keyword
+        arguments are applied on top of it.
+    """
+    base = config or IsobarConfig()
+    overrides: dict[str, object] = {"preference": Preference.parse(preference)}
+    if codec is not None:
+        overrides["codec"] = codec
+    if linearization is not None:
+        overrides["linearization"] = Linearization.parse(linearization)
+    return IsobarCompressor(base.replace(**overrides)).compress(values)
+
+
+def isobar_decompress(data: bytes) -> np.ndarray:
+    """Restore an array compressed by :func:`isobar_compress`."""
+    return IsobarCompressor().decompress(data)

@@ -1,0 +1,176 @@
+"""User-facing enumerations and configuration for the ISOBAR workflow.
+
+The paper exposes two knobs to the end user:
+
+* a *preference* between compression ratio and throughput (Section II-C,
+  the EUPA-selector input ``E``), and
+* optional explicit overrides of the solver and the linearization
+  strategy applied to the compressible byte-columns.
+
+This module defines those enumerations plus :class:`IsobarConfig`, the
+single configuration object threaded through the analyzer, partitioner,
+selector and pipeline.  Defaults mirror the paper: ``tau = 1.42``
+(Section II-A) and a chunk size of 375 000 elements (Figure 8).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.exceptions import ConfigurationError
+
+__all__ = [
+    "Preference",
+    "Linearization",
+    "IsobarConfig",
+    "DEFAULT_TAU",
+    "DEFAULT_CHUNK_ELEMENTS",
+    "MIN_ANALYZER_ELEMENTS",
+]
+
+#: Frequency-distribution tolerance fixed by the paper's experiments;
+#: the compression-ratio improvement is stable for tau in [1.4, 1.5].
+DEFAULT_TAU = 1.42
+
+#: Chunk size (in elements) where compression ratios settle (Figure 8):
+#: about 375 000 doubles, i.e. roughly 3 MB.
+DEFAULT_CHUNK_ELEMENTS = 375_000
+
+#: Below this element count the byte-column statistics are too thin for
+#: the analyzer to make a stable call; the workflow still runs but the
+#: analyzer flags the result as low-confidence.
+MIN_ANALYZER_ELEMENTS = 1_024
+
+
+class Preference(enum.Enum):
+    """End-user optimisation target for the EUPA-selector.
+
+    ``RATIO`` selects the candidate with the best compression ratio;
+    ``SPEED`` selects the fastest candidate whose ratio stays above the
+    configured acceptability threshold.
+    """
+
+    RATIO = "ratio"
+    SPEED = "speed"
+
+    @classmethod
+    def parse(cls, value: "Preference | str") -> "Preference":
+        """Coerce a string such as ``"speed"`` into a :class:`Preference`."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError:
+            choices = ", ".join(p.value for p in cls)
+            raise ConfigurationError(
+                f"unknown preference {value!r}; expected one of: {choices}"
+            ) from None
+
+
+class Linearization(enum.Enum):
+    """Byte-level linearization applied to the compressible columns.
+
+    ``ROW`` keeps the per-element byte groups adjacent (the bytes of one
+    element's compressible columns are emitted together, element by
+    element).  ``COLUMN`` emits whole byte-columns one after another —
+    the classic "shuffle" layout that groups same-significance bytes.
+    """
+
+    ROW = "row"
+    COLUMN = "column"
+
+    @classmethod
+    def parse(cls, value: "Linearization | str") -> "Linearization":
+        """Coerce a string such as ``"row"`` into a :class:`Linearization`."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError:
+            choices = ", ".join(m.value for m in cls)
+            raise ConfigurationError(
+                f"unknown linearization {value!r}; expected one of: {choices}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class IsobarConfig:
+    """Complete configuration of one ISOBAR-compress run.
+
+    Parameters
+    ----------
+    tau:
+        Analyzer tolerance multiplier.  A byte-column is *incompressible*
+        when every one of its 256 value frequencies is below
+        ``tau * N / 256``.  Must lie in ``(1.0, 256.0)``; 1 would mark
+        every column incompressible only for perfectly uniform data,
+        while 256 marks every column compressible.
+    chunk_elements:
+        Number of elements per chunk fed to the analyzer and solver.
+    preference:
+        EUPA-selector optimisation target.
+    codec:
+        Explicit solver override (codec registry name) or ``None`` to let
+        the selector decide between the candidate codecs.
+    linearization:
+        Explicit linearization override or ``None`` for selector choice.
+    candidate_codecs:
+        Codec names the selector may choose between when no explicit
+        override is given.  The paper uses zlib and bzlib2.
+    sample_elements:
+        Number of elements in the training sample the selector times.
+    min_acceptable_ratio_fraction:
+        Under the ``SPEED`` preference, a candidate is acceptable when
+        its sampled ratio is at least this fraction of the best sampled
+        ratio.  1.0 degenerates to the ``RATIO`` behaviour.
+    seed:
+        Seed for the selector's random sample draw, making runs
+        reproducible.
+    """
+
+    tau: float = DEFAULT_TAU
+    chunk_elements: int = DEFAULT_CHUNK_ELEMENTS
+    preference: Preference = Preference.RATIO
+    codec: str | None = None
+    linearization: Linearization | None = None
+    candidate_codecs: tuple[str, ...] = ("zlib", "bzip2")
+    sample_elements: int = 65_536
+    min_acceptable_ratio_fraction: float = 0.85
+    seed: int = 0x150BA2
+
+    def __post_init__(self) -> None:
+        if not 1.0 < self.tau < 256.0:
+            raise ConfigurationError(
+                f"tau must be in (1.0, 256.0), got {self.tau!r}"
+            )
+        if self.chunk_elements < 1:
+            raise ConfigurationError(
+                f"chunk_elements must be positive, got {self.chunk_elements!r}"
+            )
+        if self.sample_elements < 1:
+            raise ConfigurationError(
+                f"sample_elements must be positive, got {self.sample_elements!r}"
+            )
+        if not 0.0 < self.min_acceptable_ratio_fraction <= 1.0:
+            raise ConfigurationError(
+                "min_acceptable_ratio_fraction must be in (0, 1], got "
+                f"{self.min_acceptable_ratio_fraction!r}"
+            )
+        if not self.candidate_codecs and self.codec is None:
+            raise ConfigurationError(
+                "candidate_codecs may not be empty unless an explicit codec "
+                "override is set"
+            )
+        # Normalise string inputs so callers may pass plain strings.
+        object.__setattr__(self, "preference", Preference.parse(self.preference))
+        if self.linearization is not None:
+            object.__setattr__(
+                self, "linearization", Linearization.parse(self.linearization)
+            )
+
+    def replace(self, **changes: object) -> "IsobarConfig":
+        """Return a copy of this config with ``changes`` applied."""
+        from dataclasses import replace as _replace
+
+        return _replace(self, **changes)

@@ -1,0 +1,219 @@
+"""EUPA-selector: End User's Preference Adaptive Selector (Section II-C).
+
+The selector decides which solver (codec) and which byte-level
+linearization the workflow should use, by actually *trying* every
+candidate combination on a training sample of the input and timing it:
+
+1. draw a sample of elements from the input,
+2. for each (codec, linearization) pair, run the sample through the
+   same partition-and-compress path the real chunk will take,
+3. pick the winner for the user's preference — best ratio (``RATIO``)
+   or highest throughput whose ratio is still acceptable (``SPEED``).
+
+Explicit user overrides of the codec and/or linearization restrict the
+candidate set rather than bypassing the evaluation, so the decision
+record always carries measured numbers.
+
+Sampling note: the paper samples "random elements"; we sample a few
+random *contiguous runs* totalling the same element count, because
+scattering individual elements would destroy the byte-stream locality
+LZ77-family solvers depend on and systematically underestimate every
+candidate's ratio.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.codecs.base import get_codec
+from repro.core.analyzer import AnalysisResult, analyze
+from repro.core.exceptions import SelectorError
+from repro.core.partitioner import partition
+from repro.core.preferences import IsobarConfig, Linearization, Preference
+
+__all__ = ["CandidateEvaluation", "SelectorDecision", "EupaSelector"]
+
+_SAMPLE_RUNS = 8
+
+
+@dataclass(frozen=True)
+class CandidateEvaluation:
+    """Measured performance of one (codec, linearization) candidate."""
+
+    codec_name: str
+    linearization: Linearization
+    sample_bytes: int
+    compressed_bytes: int
+    compress_seconds: float
+
+    @property
+    def ratio(self) -> float:
+        """End-to-end sample compression ratio (payload + raw noise)."""
+        return self.sample_bytes / self.compressed_bytes
+
+    @property
+    def throughput(self) -> float:
+        """Sample compression throughput in bytes/second."""
+        if self.compress_seconds <= 0.0:
+            return float("inf")
+        return self.sample_bytes / self.compress_seconds
+
+
+@dataclass(frozen=True)
+class SelectorDecision:
+    """The selector's verdict plus the full evaluation record."""
+
+    codec_name: str
+    linearization: Linearization
+    preference: Preference
+    improvable: bool
+    candidates: tuple[CandidateEvaluation, ...]
+    sample_elements: int
+
+    @property
+    def chosen(self) -> CandidateEvaluation:
+        """The evaluation row backing the decision."""
+        for cand in self.candidates:
+            if (
+                cand.codec_name == self.codec_name
+                and cand.linearization == self.linearization
+            ):
+                return cand
+        raise SelectorError(
+            f"decision ({self.codec_name}, {self.linearization.value}) has no "
+            "matching candidate evaluation"
+        )
+
+    def summary(self) -> str:
+        """One-line description for logs and the CLI."""
+        chosen = self.chosen
+        return (
+            f"{self.codec_name} + {self.linearization.value}-linearization "
+            f"({self.preference.value} preference; sample ratio "
+            f"{chosen.ratio:.3f})"
+        )
+
+
+class EupaSelector:
+    """Deterministic sample-based codec and linearization selection."""
+
+    def __init__(self, config: IsobarConfig | None = None):
+        self._config = config or IsobarConfig()
+
+    @property
+    def config(self) -> IsobarConfig:
+        """The configuration driving candidate generation and choice."""
+        return self._config
+
+    # -- sampling -------------------------------------------------------
+
+    def draw_sample(self, values: np.ndarray) -> np.ndarray:
+        """Draw the training sample: random contiguous runs of elements."""
+        flat = np.asarray(values).reshape(-1)
+        target = min(self._config.sample_elements, flat.size)
+        if target <= 0:
+            raise SelectorError("cannot sample from an empty input")
+        if target == flat.size:
+            return flat
+        rng = np.random.default_rng(self._config.seed)
+        run = max(target // _SAMPLE_RUNS, 1)
+        pieces = []
+        remaining = target
+        while remaining > 0:
+            length = min(run, remaining)
+            start = int(rng.integers(0, flat.size - length + 1))
+            pieces.append(flat[start:start + length])
+            remaining -= length
+        return np.concatenate(pieces)
+
+    # -- evaluation -------------------------------------------------------
+
+    def _candidate_space(self) -> list[tuple[str, Linearization]]:
+        codecs = (
+            (self._config.codec,)
+            if self._config.codec is not None
+            else self._config.candidate_codecs
+        )
+        linearizations = (
+            (self._config.linearization,)
+            if self._config.linearization is not None
+            else (Linearization.ROW, Linearization.COLUMN)
+        )
+        space = [(c, l) for c in codecs for l in linearizations]
+        if not space:
+            raise SelectorError("candidate space is empty; check configuration")
+        return space
+
+    def _evaluate(
+        self,
+        sample: np.ndarray,
+        analysis: AnalysisResult,
+        codec_name: str,
+        linearization: Linearization,
+    ) -> CandidateEvaluation:
+        codec = get_codec(codec_name)
+        sample_bytes = sample.nbytes
+        start = time.perf_counter()
+        if analysis.improvable:
+            part = partition(sample, analysis.mask, linearization)
+            compressed = codec.compress(part.compressible)
+            total = len(compressed) + len(part.incompressible)
+        else:
+            compressed = codec.compress(np.ascontiguousarray(sample).tobytes())
+            total = len(compressed)
+        elapsed = time.perf_counter() - start
+        return CandidateEvaluation(
+            codec_name=codec_name,
+            linearization=linearization,
+            sample_bytes=sample_bytes,
+            compressed_bytes=max(total, 1),
+            compress_seconds=elapsed,
+        )
+
+    # -- decision ---------------------------------------------------------
+
+    def select(
+        self,
+        values: np.ndarray,
+        analysis: AnalysisResult | None = None,
+    ) -> SelectorDecision:
+        """Evaluate all candidates on a sample and pick the winner.
+
+        ``analysis`` is the analyzer verdict for the *full* input (or a
+        representative chunk); when omitted it is computed from the
+        sample itself.  The decision applies to the whole stream —
+        Section II-F shows a single choice stays optimal across an
+        entire simulation run.
+        """
+        sample = self.draw_sample(values)
+        if analysis is None:
+            analysis = analyze(sample, tau=self._config.tau)
+
+        candidates = tuple(
+            self._evaluate(sample, analysis, codec_name, lin)
+            for codec_name, lin in self._candidate_space()
+        )
+        best = self._pick(candidates)
+        return SelectorDecision(
+            codec_name=best.codec_name,
+            linearization=best.linearization,
+            preference=self._config.preference,
+            improvable=analysis.improvable,
+            candidates=candidates,
+            sample_elements=int(sample.size),
+        )
+
+    def _pick(
+        self, candidates: tuple[CandidateEvaluation, ...]
+    ) -> CandidateEvaluation:
+        best_ratio = max(cand.ratio for cand in candidates)
+        if self._config.preference is Preference.RATIO:
+            return max(candidates, key=lambda cand: cand.ratio)
+        floor = best_ratio * self._config.min_acceptable_ratio_fraction
+        acceptable = [cand for cand in candidates if cand.ratio >= floor]
+        if not acceptable:
+            acceptable = list(candidates)
+        return max(acceptable, key=lambda cand: cand.throughput)

@@ -1,0 +1,231 @@
+"""Streaming file-to-file compression (constant-memory in-situ path).
+
+Extreme-scale arrays do not fit in memory (Section II-D); the streaming
+writer consumes an element iterator — e.g.
+:func:`repro.datasets.loaders.stream_raw_chunks` — and emits a standard
+ISOBAR container incrementally, holding only one chunk at a time.  The
+reader streams chunks back out the same way.
+
+Because the container's global header records the chunk count, which is
+unknown until the stream ends, the writer reserves the header and
+patches it on ``close()`` — the emitted file is byte-compatible with
+the in-memory pipeline's output for the same configuration and
+decision.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import zlib as _zlib
+from typing import BinaryIO, Iterable, Iterator
+
+import numpy as np
+
+from repro.analysis.bytefreq import element_width, matrix_to_elements
+from repro.codecs.base import get_codec
+from repro.core.analyzer import analyze
+from repro.core.exceptions import ChecksumError, ContainerFormatError, InvalidInputError
+from repro.core.metadata import ChunkMetadata, ChunkMode, ContainerHeader
+from repro.core.partitioner import partition, reassemble_matrix
+from repro.core.pipeline import _little_endian_bytes
+from repro.core.preferences import IsobarConfig, Linearization
+from repro.core.selector import EupaSelector
+
+__all__ = ["StreamingWriter", "stream_compress", "stream_decompress"]
+
+
+class StreamingWriter:
+    """Incrementally write an ISOBAR container to a binary file object.
+
+    Usage::
+
+        with open(path, "wb") as sink:
+            writer = StreamingWriter(sink, dtype=np.float64)
+            for chunk in chunks:
+                writer.write_chunk(chunk)
+            writer.close()
+
+    The first chunk drives the EUPA-selector decision (codec and
+    linearization for the whole stream).  ``close()`` seeks back and
+    patches the header with the final element/chunk counts, so the sink
+    must be seekable.
+    """
+
+    def __init__(
+        self,
+        sink: BinaryIO,
+        dtype: np.dtype,
+        config: IsobarConfig | None = None,
+    ):
+        self._sink = sink
+        self._dtype = np.dtype(dtype)
+        element_width(self._dtype)  # validate
+        self._config = config or IsobarConfig()
+        self._selector = EupaSelector(self._config)
+        self._codec = None
+        self._linearization: Linearization | None = None
+        self._n_elements = 0
+        self._n_chunks = 0
+        self._header_offset = sink.tell()
+        self._closed = False
+        self._header_size: int | None = None
+        # The header is deferred until the first chunk: the selector's
+        # codec choice determines the header length, so writing a
+        # placeholder earlier would risk a size mismatch on close.
+
+    def _build_header(self) -> ContainerHeader:
+        return ContainerHeader(
+            dtype=self._dtype,
+            n_elements=self._n_elements,
+            shape=(self._n_elements,),
+            codec_name=(
+                self._codec.name
+                if self._codec is not None
+                else (self._config.codec or self._config.candidate_codecs[0])
+            ),
+            linearization=self._linearization or Linearization.ROW,
+            preference=self._config.preference,
+            tau=self._config.tau,
+            chunk_elements=self._config.chunk_elements,
+            n_chunks=self._n_chunks,
+        )
+
+    def _ensure_header(self) -> None:
+        """Write the placeholder header once the codec is known."""
+        if self._header_size is not None:
+            return
+        encoded = self._build_header().encode()
+        self._header_size = len(encoded)
+        self._sink.write(encoded)
+
+    def write_chunk(self, chunk: np.ndarray) -> int:
+        """Compress and append one chunk; returns bytes written."""
+        if self._closed:
+            raise InvalidInputError("writer already closed")
+        arr = np.asarray(chunk).reshape(-1)
+        if arr.dtype != self._dtype:
+            raise InvalidInputError(
+                f"chunk dtype {arr.dtype} does not match stream dtype "
+                f"{self._dtype}"
+            )
+        if arr.size == 0:
+            return 0
+        analysis = analyze(arr, tau=self._config.tau)
+        if self._codec is None:
+            decision = self._selector.select(arr, analysis=analysis)
+            self._codec = get_codec(decision.codec_name)
+            self._linearization = decision.linearization
+        self._ensure_header()
+
+        raw = _little_endian_bytes(arr)
+        crc = _zlib.crc32(raw)
+        if analysis.improvable:
+            part = partition(arr, analysis.mask, self._linearization)
+            compressed = self._codec.compress(part.compressible)
+            incompressible = part.incompressible
+            mode = ChunkMode.PARTITIONED
+        else:
+            compressed = self._codec.compress(raw)
+            incompressible = b""
+            mode = ChunkMode.PASSTHROUGH
+        meta = ChunkMetadata(
+            n_elements=arr.size,
+            mode=mode,
+            mask=analysis.mask,
+            compressed_size=len(compressed),
+            incompressible_size=len(incompressible),
+            raw_crc32=crc,
+        )
+        blob = meta.encode() + compressed + incompressible
+        self._sink.write(blob)
+        self._n_elements += int(arr.size)
+        self._n_chunks += 1
+        return len(blob)
+
+    def close(self) -> None:
+        """Patch the header with final counts and flush."""
+        if self._closed:
+            return
+        self._ensure_header()  # empty stream: header with zero chunks
+        end = self._sink.tell()
+        self._sink.seek(self._header_offset)
+        encoded = self._build_header().encode()
+        if len(encoded) != self._header_size:
+            raise ContainerFormatError(
+                f"final header is {len(encoded)} bytes, placeholder was "
+                f"{self._header_size}"
+            )
+        self._sink.write(encoded)
+        self._sink.seek(end)
+        self._sink.flush()
+        self._closed = True
+
+    def __enter__(self) -> "StreamingWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def stream_compress(
+    chunks: Iterable[np.ndarray],
+    sink_path: str | os.PathLike,
+    dtype: np.dtype,
+    config: IsobarConfig | None = None,
+) -> int:
+    """Compress an iterable of chunks into a container file.
+
+    Returns the total bytes written.  Memory use is bounded by one
+    chunk regardless of the stream length.
+    """
+    with open(sink_path, "wb") as sink:
+        writer = StreamingWriter(sink, dtype=dtype, config=config)
+        for chunk in chunks:
+            writer.write_chunk(chunk)
+        writer.close()
+        return sink.tell()
+
+
+def stream_decompress(path: str | os.PathLike) -> Iterator[np.ndarray]:
+    """Yield the original chunks of a container file, one at a time.
+
+    Verifies each chunk's CRC before yielding; memory use is bounded by
+    one chunk.
+    """
+    with open(path, "rb") as source:
+        prefix = source.read(1 << 16)
+        header, offset = ContainerHeader.decode(prefix)
+        source.seek(offset)
+        codec = get_codec(header.codec_name)
+        width = header.element_width
+        for _ in range(header.n_chunks):
+            # Chunk metadata has bounded size; read generously then
+            # seek to the payload start.
+            meta_start = source.tell()
+            meta_buf = source.read(64 + (width + 7) // 8)
+            meta, consumed = ChunkMetadata.decode(meta_buf, 0, width)
+            source.seek(meta_start + consumed)
+            compressed = source.read(meta.compressed_size)
+            incompressible = source.read(meta.incompressible_size)
+            if (
+                len(compressed) != meta.compressed_size
+                or len(incompressible) != meta.incompressible_size
+            ):
+                raise ContainerFormatError("container truncated mid-chunk")
+            if meta.mode is ChunkMode.PARTITIONED:
+                comp_stream = codec.decompress(compressed)
+                matrix = reassemble_matrix(
+                    comp_stream, incompressible, meta.mask,
+                    header.linearization, meta.n_elements,
+                )
+                chunk = matrix_to_elements(matrix, header.dtype)
+                raw = matrix.tobytes()
+            else:
+                raw = codec.decompress(compressed)
+                chunk = np.frombuffer(
+                    raw, dtype=header.dtype.newbyteorder("<")
+                ).astype(header.dtype, copy=False)
+            if _zlib.crc32(raw) != meta.raw_crc32:
+                raise ChecksumError("chunk CRC mismatch in stream")
+            yield chunk

@@ -1,0 +1,187 @@
+"""Deep container validation (the ``isobar verify`` tool).
+
+Archival data outlives the software that wrote it; a validator that
+checks a container end-to-end — structure, metadata consistency,
+payload decodability and CRC integrity — belongs next to any archival
+format.  :func:`validate_container` walks an ISOBAR container and
+produces a structured report instead of an exception trail, so
+operators can see *everything* wrong with a file in one pass.
+
+Checks performed per container:
+
+* header magic, version and field sanity;
+* chunk record chain: magics, monotone offsets, exact coverage of the
+  declared element count;
+* per chunk: payload decodability with the declared solver, stream
+  length consistency with the mask geometry, and the CRC32 of the
+  reconstructed raw bytes;
+* trailing-garbage detection (bytes after the last chunk).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import zlib as _zlib
+
+from repro.codecs.base import get_codec
+from repro.core.exceptions import CodecError, IsobarError, UnknownCodecError
+from repro.core.metadata import ChunkMetadata, ChunkMode, ContainerHeader
+from repro.core.partitioner import reassemble_matrix
+
+__all__ = ["ChunkFinding", "ValidationReport", "validate_container"]
+
+
+@dataclass(frozen=True)
+class ChunkFinding:
+    """One problem discovered in one chunk (or the header, index -1)."""
+
+    chunk_index: int
+    severity: str  # "error" | "warning"
+    message: str
+
+
+@dataclass
+class ValidationReport:
+    """Everything the validator learned about a container."""
+
+    valid: bool = True
+    header: ContainerHeader | None = None
+    n_chunks_checked: int = 0
+    n_elements_recovered: int = 0
+    findings: list[ChunkFinding] = field(default_factory=list)
+
+    def error(self, chunk_index: int, message: str) -> None:
+        """Record a fatal finding."""
+        self.findings.append(ChunkFinding(chunk_index, "error", message))
+        self.valid = False
+
+    def warn(self, chunk_index: int, message: str) -> None:
+        """Record a non-fatal finding."""
+        self.findings.append(ChunkFinding(chunk_index, "warning", message))
+
+    @property
+    def errors(self) -> list[ChunkFinding]:
+        """Only the fatal findings."""
+        return [f for f in self.findings if f.severity == "error"]
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable report body."""
+        lines = []
+        if self.header is not None:
+            lines.append(
+                f"header: {self.header.dtype}, "
+                f"{self.header.n_elements} elements, "
+                f"{self.header.n_chunks} chunks, "
+                f"codec {self.header.codec_name}"
+            )
+        lines.append(
+            f"checked {self.n_chunks_checked} chunks, recovered "
+            f"{self.n_elements_recovered} elements"
+        )
+        for finding in self.findings:
+            where = ("header" if finding.chunk_index < 0
+                     else f"chunk {finding.chunk_index}")
+            lines.append(f"[{finding.severity}] {where}: {finding.message}")
+        lines.append("RESULT: " + ("VALID" if self.valid else "INVALID"))
+        return lines
+
+
+def validate_container(data: bytes) -> ValidationReport:
+    """Walk an ISOBAR container and report every problem found.
+
+    Never raises for content problems — all failures land in the
+    report.  (Programming errors, e.g. passing a non-bytes object,
+    still raise.)
+    """
+    report = ValidationReport()
+
+    try:
+        header, offset = ContainerHeader.decode(data)
+    except IsobarError as exc:
+        report.error(-1, f"unreadable header: {exc}")
+        return report
+    report.header = header
+
+    try:
+        codec = get_codec(header.codec_name)
+    except UnknownCodecError as exc:
+        report.error(-1, str(exc))
+        return report
+
+    width = header.element_width
+    element_cursor = 0
+    for index in range(header.n_chunks):
+        try:
+            meta, payload_offset = ChunkMetadata.decode(data, offset, width)
+        except IsobarError as exc:
+            report.error(index, f"unreadable chunk record: {exc}")
+            return report
+        end = payload_offset + meta.compressed_size + meta.incompressible_size
+        if end > len(data):
+            report.error(index, "payload extends past end of container")
+            return report
+        compressed = data[payload_offset:payload_offset + meta.compressed_size]
+        incompressible = data[payload_offset + meta.compressed_size:end]
+        offset = end
+        report.n_chunks_checked += 1
+
+        n_comp_cols = int(np.count_nonzero(meta.mask))
+        n_incomp_cols = width - n_comp_cols
+        if meta.mode is ChunkMode.PARTITIONED:
+            expected_incomp = meta.n_elements * n_incomp_cols
+            if meta.incompressible_size != expected_incomp:
+                report.error(
+                    index,
+                    f"incompressible stream is {meta.incompressible_size} "
+                    f"bytes, mask geometry implies {expected_incomp}",
+                )
+                continue
+            if n_comp_cols == 0 or n_incomp_cols == 0:
+                report.warn(
+                    index,
+                    "partitioned chunk with a degenerate mask "
+                    "(all or none compressible)",
+                )
+        elif meta.incompressible_size != 0:
+            report.error(index, "passthrough chunk carries raw noise bytes")
+            continue
+
+        try:
+            if meta.mode is ChunkMode.PARTITIONED:
+                comp_stream = codec.decompress(compressed)
+                matrix = reassemble_matrix(
+                    comp_stream, incompressible, meta.mask,
+                    header.linearization, meta.n_elements,
+                )
+                raw = matrix.tobytes()
+            else:
+                raw = codec.decompress(compressed)
+                if len(raw) != meta.n_elements * width:
+                    report.error(
+                        index,
+                        f"payload decodes to {len(raw)} bytes, expected "
+                        f"{meta.n_elements * width}",
+                    )
+                    continue
+        except IsobarError as exc:
+            report.error(index, f"payload undecodable: {exc}")
+            continue
+
+        if _zlib.crc32(raw) != meta.raw_crc32:
+            report.error(index, "CRC mismatch: chunk content corrupted")
+            continue
+        element_cursor += meta.n_elements
+        report.n_elements_recovered += meta.n_elements
+
+    if element_cursor != header.n_elements and not report.errors:
+        report.error(
+            -1,
+            f"chunks cover {element_cursor} elements, header declares "
+            f"{header.n_elements}",
+        )
+    if offset < len(data):
+        report.warn(-1, f"{len(data) - offset} trailing bytes after the "
+                        "last chunk")
+    return report

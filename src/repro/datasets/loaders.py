@@ -1,0 +1,112 @@
+"""File-backed dataset storage and streaming.
+
+Scientific traces arrive as flat binary dumps (the format the paper's
+datasets use); these helpers write/read such dumps with a small
+sidecar-free header and stream them chunk-by-chunk for in-situ style
+processing without loading the whole array.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.exceptions import ContainerFormatError, InvalidInputError
+from repro.core.preferences import DEFAULT_CHUNK_ELEMENTS
+
+__all__ = ["save_raw", "load_raw", "stream_raw_chunks", "raw_file_info"]
+
+_MAGIC = b"RDS1"
+
+
+def save_raw(path: str | os.PathLike, values: np.ndarray) -> int:
+    """Write ``values`` as a self-describing flat binary dump.
+
+    Layout: magic, dtype string, element count, little-endian payload.
+    Returns the number of bytes written.
+    """
+    arr = np.asarray(values).reshape(-1)
+    if arr.dtype.kind not in "fiu":
+        raise InvalidInputError(
+            f"unsupported dtype {arr.dtype!r} for raw dataset files"
+        )
+    dtype_str = arr.dtype.str.encode("ascii")
+    payload = np.ascontiguousarray(
+        arr.astype(arr.dtype.newbyteorder("<"), copy=False)
+    ).tobytes()
+    with open(path, "wb") as handle:
+        handle.write(_MAGIC)
+        handle.write(struct.pack("<B", len(dtype_str)))
+        handle.write(dtype_str)
+        handle.write(struct.pack("<Q", arr.size))
+        handle.write(payload)
+    return 4 + 1 + len(dtype_str) + 8 + len(payload)
+
+
+def _read_header(handle) -> tuple[np.dtype, int, int]:
+    magic = handle.read(4)
+    if magic != _MAGIC:
+        raise ContainerFormatError(f"not a raw dataset file (magic {magic!r})")
+    (dtype_len,) = struct.unpack("<B", handle.read(1))
+    dtype_str = handle.read(dtype_len).decode("ascii")
+    try:
+        dtype = np.dtype(dtype_str)
+    except TypeError as exc:
+        raise ContainerFormatError(f"bad dtype in raw file: {dtype_str!r}") from exc
+    (n_elements,) = struct.unpack("<Q", handle.read(8))
+    header_len = 4 + 1 + dtype_len + 8
+    return dtype, n_elements, header_len
+
+
+def raw_file_info(path: str | os.PathLike) -> tuple[np.dtype, int]:
+    """Read just the dtype and element count of a raw dataset file."""
+    with open(path, "rb") as handle:
+        dtype, n_elements, _ = _read_header(handle)
+    return dtype, n_elements
+
+
+def load_raw(path: str | os.PathLike) -> np.ndarray:
+    """Load a file written by :func:`save_raw` into memory."""
+    with open(path, "rb") as handle:
+        dtype, n_elements, _ = _read_header(handle)
+        payload = handle.read(n_elements * dtype.itemsize)
+    if len(payload) != n_elements * dtype.itemsize:
+        raise ContainerFormatError(
+            f"raw file truncated: expected {n_elements} elements "
+            f"({n_elements * dtype.itemsize} bytes), got {len(payload)} bytes"
+        )
+    little = np.frombuffer(payload, dtype=dtype.newbyteorder("<"))
+    return little.astype(dtype, copy=False)
+
+
+def stream_raw_chunks(
+    path: str | os.PathLike,
+    chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
+) -> Iterator[np.ndarray]:
+    """Yield chunks of a raw dataset file without loading it whole.
+
+    Chunks are ``chunk_elements`` long except possibly the last —
+    exactly the stream the in-situ workflow consumes (Figure 6).
+    """
+    if chunk_elements < 1:
+        raise InvalidInputError(
+            f"chunk_elements must be positive, got {chunk_elements}"
+        )
+    path = Path(path)
+    with open(path, "rb") as handle:
+        dtype, n_elements, _ = _read_header(handle)
+        little = dtype.newbyteorder("<")
+        remaining = n_elements
+        while remaining > 0:
+            count = min(chunk_elements, remaining)
+            payload = handle.read(count * dtype.itemsize)
+            if len(payload) != count * dtype.itemsize:
+                raise ContainerFormatError(
+                    f"raw file {path} truncated mid-chunk"
+                )
+            yield np.frombuffer(payload, dtype=little).astype(dtype, copy=False)
+            remaining -= count

@@ -1,0 +1,366 @@
+"""Registry of the paper's 24 evaluation datasets (Tables I, III, IV).
+
+Each :class:`DatasetSpec` couples
+
+* the paper-reported facts used by the benchmark tables (application,
+  variable, data type, size, uniqueness/entropy/randomness from
+  Table III, HTC classification from Table IV), and
+* a deterministic synthetic generator reproducing the dataset's
+  byte-level fingerprint (see :mod:`repro.datasets.synthetic` and
+  DESIGN.md §3 for the substitution rationale).
+
+``generate()`` defaults to one full analyzer chunk (375 000 elements),
+scaled down from the paper's multi-hundred-MB traces to keep the
+pure-Python benchmarks tractable; pass ``n_elements`` to override.
+"""
+
+from __future__ import annotations
+
+import zlib as _zlib
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.exceptions import InvalidInputError
+from repro.datasets import synthetic
+
+__all__ = [
+    "PaperStats",
+    "DatasetSpec",
+    "DATASETS",
+    "dataset_names",
+    "get_dataset",
+    "generate_dataset",
+    "improvable_dataset_names",
+    "DEFAULT_ELEMENTS",
+]
+
+#: Default synthetic size: one full ISOBAR chunk of doubles (Figure 8's
+#: settling point), large enough for stable byte statistics.
+DEFAULT_ELEMENTS = 375_000
+
+
+@dataclass(frozen=True)
+class PaperStats:
+    """Facts the paper reports about the original dataset."""
+
+    size_mb: float
+    million_elements: float
+    unique_percent: float
+    shannon_entropy: float
+    randomness_percent: float
+    htc_bytes_percent: float
+    hard_to_compress: bool
+    improvable: bool
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One evaluation dataset: paper facts plus a synthetic generator."""
+
+    name: str
+    application: str
+    research_area: str
+    variable: str
+    description: str
+    dtype: np.dtype
+    paper: PaperStats
+    _generator: Callable[[int, np.random.Generator], np.ndarray] = field(repr=False)
+
+    def generate(
+        self, n_elements: int = DEFAULT_ELEMENTS, seed: int | None = None
+    ) -> np.ndarray:
+        """Produce the synthetic stand-in, deterministically per name.
+
+        The default seed is derived from the dataset name, so repeated
+        calls (and separate processes) see identical data.
+        """
+        if n_elements < 1:
+            raise InvalidInputError(
+                f"n_elements must be positive, got {n_elements}"
+            )
+        if seed is None:
+            seed = _zlib.crc32(self.name.encode("ascii"))
+        rng = np.random.default_rng(seed)
+        values = self._generator(n_elements, rng)
+        if values.dtype != self.dtype:
+            raise InvalidInputError(
+                f"generator for {self.name} produced {values.dtype}, "
+                f"spec says {self.dtype}"
+            )
+        return values
+
+    @property
+    def expected_noise_bytes(self) -> int:
+        """Incompressible byte-columns implied by the paper's HTC %."""
+        width = self.dtype.itemsize
+        return round(self.paper.htc_bytes_percent / 100.0 * width)
+
+
+def _structured(n_noise: int, *, kind: str = "wave", noise: str = "uniform",
+                dtype=np.float64, low: float = 1.0, high: float = 2.0,
+                step: float = 2.0):
+    dt = np.dtype(dtype)
+
+    def generator(n: int, rng: np.random.Generator) -> np.ndarray:
+        return synthetic.build_structured(
+            n, dt, n_noise, rng, noise_kind=noise, pattern_kind=kind,
+            low=low, high=high, step_scale=step,
+        )
+
+    return generator
+
+
+def _repetitive(n_values: int, mean_run: int, *, dtype=np.float64,
+                low: float = 1.0, high: float = 2.0):
+    dt = np.dtype(dtype)
+
+    def generator(n: int, rng: np.random.Generator) -> np.ndarray:
+        return synthetic.build_repetitive(
+            n, dt, rng, n_values=n_values, mean_run=mean_run, low=low, high=high,
+        )
+
+    return generator
+
+
+def _particle_ids(id_bits: int):
+    def generator(n: int, rng: np.random.Generator) -> np.ndarray:
+        return synthetic.build_particle_ids(n, rng, id_bits=id_bits)
+
+    return generator
+
+
+def _spec(name, application, area, variable, description, dtype, paper, generator):
+    return DatasetSpec(
+        name=name,
+        application=application,
+        research_area=area,
+        variable=variable,
+        description=description,
+        dtype=np.dtype(dtype),
+        paper=paper,
+        _generator=generator,
+    )
+
+
+# Paper statistics transcribed from Tables III and IV.  HTC bytes
+# percentages drive each generator's noise-column count.
+DATASETS: dict[str, DatasetSpec] = {}
+
+_ENTRIES = [
+    _spec(
+        "gts_phi_l", "GTS", "Fusion Plasma Core", "potential (linear)",
+        "Linear potential fluctuation values from particle-based fusion "
+        "plasma micro-turbulence simulation.",
+        np.float64,
+        PaperStats(42, 5.5, 99.9, 12.05, 99.9, 75.0, True, True),
+        _structured(6, kind="wave"),
+    ),
+    _spec(
+        "gts_phi_nl", "GTS", "Fusion Plasma Core", "potential (nonlinear)",
+        "Nonlinear potential fluctuation values from the same GTS "
+        "simulations.",
+        np.float64,
+        PaperStats(42, 5.5, 99.9, 12.05, 99.9, 75.0, True, True),
+        _structured(6, kind="wave", step=3.0),
+    ),
+    _spec(
+        "gts_chkp_zeon", "GTS", "Fusion Plasma Core", "zeon checkpoint",
+        "zeon variable checkpoint/restart data for every 10th GTS "
+        "time-step.",
+        np.float64,
+        PaperStats(18, 2.4, 99.9, 14.68, 99.9, 75.0, True, True),
+        _structured(6, kind="walk"),
+    ),
+    _spec(
+        "gts_chkp_zion", "GTS", "Fusion Plasma Core", "zion checkpoint",
+        "zion variable checkpoint/restart data for every 10th GTS "
+        "time-step.",
+        np.float64,
+        PaperStats(18, 2.4, 99.9, 15.12, 99.9, 75.0, True, True),
+        _structured(6, kind="walk", step=4.0),
+    ),
+    _spec(
+        "xgc_igid", "XGC", "Fusion Plasma Edge", "igid",
+        "ID number of each particle on the fusion plasma edge.",
+        np.int64,
+        PaperStats(146, 19.2, 22.6, 13.81, 100.0, 37.5, True, True),
+        _particle_ids(24),
+    ),
+    _spec(
+        "xgc_iphase", "XGC", "Fusion Plasma Edge", "iphase",
+        "Eight interleaved phase variables of each ion.",
+        np.float64,
+        PaperStats(1170, 153.4, 7.7, 12.32, 76.4, 75.0, True, True),
+        _structured(6, kind="wave", step=8.0),
+    ),
+    _spec(
+        "s3d_temp", "S3D", "Combustion", "temperature",
+        "Temperature values from direct numerical simulation of "
+        "turbulent combustion (single precision).",
+        np.float32,
+        PaperStats(77, 20.2, 45.9, 12.21, 95.4, 25.0, True, True),
+        _structured(1, kind="wave", dtype=np.float32, low=800.0, high=2400.0),
+    ),
+    _spec(
+        "s3d_vmag", "S3D", "Combustion", "vmagnitude",
+        "Velocity-vector magnitudes from the S3D combustion solver "
+        "(single precision).",
+        np.float32,
+        PaperStats(77, 20.2, 49.9, 12.81, 99.9, 50.0, True, True),
+        _structured(2, kind="wave", dtype=np.float32, low=1.0, high=80.0),
+    ),
+    _spec(
+        "flash_velx", "FLASH", "Astrophysics", "velx",
+        "Fluid velocity x-component from the FLASH adaptive-mesh "
+        "hydrodynamics code.",
+        np.float64,
+        PaperStats(520, 68.1, 100.0, 24.34, 100.0, 75.0, True, True),
+        _structured(6, kind="wave", step=5.0),
+    ),
+    _spec(
+        "flash_vely", "FLASH", "Astrophysics", "vely",
+        "Fluid velocity y-component from FLASH.",
+        np.float64,
+        PaperStats(520, 68.1, 100.0, 25.74, 100.0, 75.0, True, True),
+        _structured(6, kind="wave", step=6.0),
+    ),
+    _spec(
+        "flash_gamc", "FLASH", "Astrophysics", "gamc",
+        "gamc variable from FLASH.",
+        np.float64,
+        PaperStats(520, 68.1, 100.0, 11.26, 100.0, 62.5, True, True),
+        _structured(5, kind="wave"),
+    ),
+    _spec(
+        "msg_bt", "MSG", "NPB / ASCI Purple", "bt",
+        "Numeric messages of the NPB computational fluid dynamics "
+        "pseudo-application bt.",
+        np.float64,
+        PaperStats(254, 33.3, 92.9, 23.67, 94.7, 0.0, False, False),
+        _structured(6, kind="wave", noise="spiked"),
+    ),
+    _spec(
+        "msg_lu", "MSG", "NPB / ASCI Purple", "lu",
+        "Numeric messages of the NPB pseudo-application lu.",
+        np.float64,
+        PaperStats(185, 24.2, 99.2, 24.47, 99.7, 75.0, True, True),
+        _structured(6, kind="walk"),
+    ),
+    _spec(
+        "msg_sp", "MSG", "NPB / ASCI Purple", "sp",
+        "Numeric messages of the NPB pseudo-application sp.",
+        np.float64,
+        PaperStats(276, 36.2, 98.9, 25.03, 99.7, 62.5, True, True),
+        _structured(5, kind="walk"),
+    ),
+    _spec(
+        "msg_sppm", "MSG", "NPB / ASCI Purple", "sppm",
+        "Numeric messages of the ASCI Purple solver sppm; heavily "
+        "repetitive.",
+        np.float64,
+        PaperStats(266, 34.8, 10.2, 11.24, 44.9, 0.0, False, False),
+        _repetitive(40, 48),
+    ),
+    _spec(
+        "msg_sweep3d", "MSG", "NPB / ASCI Purple", "sweep3d",
+        "Numeric messages of the ASCI Purple solver sweep3d.",
+        np.float64,
+        PaperStats(119, 15.7, 89.8, 23.41, 97.9, 50.0, True, True),
+        _structured(4, kind="walk"),
+    ),
+    _spec(
+        "num_brain", "NUM", "Numeric Simulation", "brain",
+        "Velocity field of a human brain during head impact.",
+        np.float64,
+        PaperStats(135, 17.7, 94.9, 23.97, 99.5, 75.0, True, True),
+        _structured(6, kind="walk", step=3.0),
+    ),
+    _spec(
+        "num_comet", "NUM", "Numeric Simulation", "comet",
+        "Simulation of comet Shoemaker-Levy 9 entering Jupiter's "
+        "atmosphere.",
+        np.float64,
+        PaperStats(102, 13.4, 88.9, 22.04, 93.1, 37.5, True, True),
+        _structured(3, kind="wave"),
+    ),
+    _spec(
+        "num_control", "NUM", "Numeric Simulation", "control",
+        "Control vector between two minimisation steps in "
+        "weather-satellite data assimilation.",
+        np.float64,
+        PaperStats(152, 19.9, 98.5, 24.14, 99.6, 75.0, True, True),
+        _structured(6, kind="walk", step=2.5),
+    ),
+    _spec(
+        "num_plasma", "NUM", "Numeric Simulation", "plasma",
+        "Simulated plasma temperature evolution of a wire-array z-pinch; "
+        "tiny value dictionary.",
+        np.float64,
+        PaperStats(33, 4.4, 0.3, 13.65, 61.9, 0.0, False, False),
+        _repetitive(24, 96),
+    ),
+    _spec(
+        "obs_error", "OBS", "Satellite Measurements", "error",
+        "Brightness-temperature errors of a weather satellite; "
+        "quantised residuals.",
+        np.float64,
+        PaperStats(59, 7.7, 18.0, 17.80, 77.8, 0.0, False, False),
+        _structured(6, kind="wave", noise="geometric"),
+    ),
+    _spec(
+        "obs_info", "OBS", "Satellite Measurements", "info",
+        "Latitude/longitude information of weather-satellite "
+        "observation points.",
+        np.float64,
+        PaperStats(18, 2.3, 23.9, 18.07, 85.3, 75.0, True, True),
+        _structured(6, kind="wave", low=10.0, high=60.0),
+    ),
+    _spec(
+        "obs_spitzer", "OBS", "Satellite Measurements", "spitzer",
+        "Spitzer Space Telescope photometry of an extra-solar planet "
+        "transit.",
+        np.float64,
+        PaperStats(189, 24.7, 5.7, 17.36, 70.7, 0.0, False, False),
+        _repetitive(96, 16),
+    ),
+    _spec(
+        "obs_temp", "OBS", "Satellite Measurements", "temp",
+        "Observed-minus-analysis temperature differences from a weather "
+        "satellite.",
+        np.float64,
+        PaperStats(38, 4.9, 100.0, 22.25, 100.0, 75.0, True, True),
+        _structured(6, kind="walk", step=1.5),
+    ),
+]
+
+for _entry in _ENTRIES:
+    DATASETS[_entry.name] = _entry
+
+
+def dataset_names() -> tuple[str, ...]:
+    """All 24 dataset names, in the paper's table order."""
+    return tuple(DATASETS)
+
+
+def improvable_dataset_names() -> tuple[str, ...]:
+    """The 19 datasets the paper identifies as improvable."""
+    return tuple(n for n, s in DATASETS.items() if s.paper.improvable)
+
+
+def get_dataset(name: str) -> DatasetSpec:
+    """Look up a dataset spec by name."""
+    try:
+        return DATASETS[name]
+    except KeyError:
+        raise InvalidInputError(
+            f"unknown dataset {name!r}; available: {', '.join(DATASETS)}"
+        ) from None
+
+
+def generate_dataset(
+    name: str, n_elements: int = DEFAULT_ELEMENTS, seed: int | None = None
+) -> np.ndarray:
+    """Generate the synthetic stand-in for dataset ``name``."""
+    return get_dataset(name).generate(n_elements=n_elements, seed=seed)

@@ -1,0 +1,177 @@
+"""Multi-writer aggregation model (the parallel-file-system side).
+
+The paper's target applications run on thousands of ranks that share a
+parallel file system; per-rank compression multiplies the *aggregate*
+bandwidth the machine effectively sees.  Without the real machine this
+module provides the standard analytical model:
+
+* every rank owns a partition of the timestep and compresses it
+  independently (compression times measured on the real pipeline — one
+  representative rank is timed and the cost distribution is assumed
+  uniform across ranks, the homogeneous-SPMD assumption);
+* the file system grants each rank ``total_bandwidth / n_active_writers``
+  while writes overlap (the fair-share model of stripe-level
+  contention);
+* a timestep completes when the slowest rank has compressed and
+  drained its bytes.
+
+Outputs per strategy: timestep makespan and aggregate effective
+throughput, over a sweep of rank counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.analysis.metrics import Stopwatch
+from repro.core.exceptions import ConfigurationError, InvalidInputError
+
+__all__ = ["ParallelFileSystem", "RankOutcome", "AggregateReport", "MultiWriterModel"]
+
+
+@dataclass(frozen=True)
+class ParallelFileSystem:
+    """Fair-share bandwidth model of a shared storage target."""
+
+    total_bandwidth_mb_s: float
+    per_write_latency_s: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.total_bandwidth_mb_s <= 0:
+            raise ConfigurationError(
+                f"bandwidth must be positive, got {self.total_bandwidth_mb_s}"
+            )
+        if self.per_write_latency_s < 0:
+            raise ConfigurationError(
+                f"latency must be non-negative, got {self.per_write_latency_s}"
+            )
+
+    def write_seconds(self, n_bytes: int, n_concurrent_writers: int) -> float:
+        """Drain time for one rank's bytes under fair bandwidth sharing."""
+        if n_bytes < 0:
+            raise InvalidInputError(f"n_bytes must be >= 0, got {n_bytes}")
+        if n_concurrent_writers < 1:
+            raise InvalidInputError(
+                f"need at least one writer, got {n_concurrent_writers}"
+            )
+        share = self.total_bandwidth_mb_s / n_concurrent_writers
+        return self.per_write_latency_s + n_bytes / (share * 1e6)
+
+
+@dataclass(frozen=True)
+class RankOutcome:
+    """Measured/simulated cost of one rank's timestep write."""
+
+    rank: int
+    raw_bytes: int
+    stored_bytes: int
+    compress_seconds: float
+    write_seconds: float
+
+    @property
+    def makespan(self) -> float:
+        """Compress + drain time for this rank."""
+        return self.compress_seconds + self.write_seconds
+
+
+@dataclass(frozen=True)
+class AggregateReport:
+    """One strategy's outcome at one rank count."""
+
+    strategy: str
+    n_ranks: int
+    outcomes: tuple[RankOutcome, ...]
+
+    @property
+    def raw_bytes(self) -> int:
+        """Raw bytes across all ranks for the timestep."""
+        return sum(outcome.raw_bytes for outcome in self.outcomes)
+
+    @property
+    def stored_bytes(self) -> int:
+        """Bytes that reached storage across all ranks."""
+        return sum(outcome.stored_bytes for outcome in self.outcomes)
+
+    @property
+    def makespan_seconds(self) -> float:
+        """Timestep completion time (slowest rank)."""
+        return max(outcome.makespan for outcome in self.outcomes)
+
+    @property
+    def aggregate_throughput_mb_s(self) -> float:
+        """Raw MB produced per second of timestep makespan."""
+        if self.makespan_seconds <= 0:
+            return float("inf")
+        return self.raw_bytes / 1e6 / self.makespan_seconds
+
+
+class MultiWriterModel:
+    """Simulate N ranks compressing and writing one timestep."""
+
+    def __init__(self, filesystem: ParallelFileSystem):
+        self._fs = filesystem
+
+    def run(
+        self,
+        partitions: list[np.ndarray],
+        compressor: Callable[[np.ndarray], bytes],
+        strategy_name: str,
+    ) -> AggregateReport:
+        """Time each rank's compression, simulate the shared drain.
+
+        ``partitions[i]`` is rank *i*'s share of the timestep.  All
+        ranks write concurrently, so each sees the fair-share bandwidth
+        for the full rank count.
+        """
+        if not partitions:
+            raise InvalidInputError("need at least one rank partition")
+        n_ranks = len(partitions)
+        outcomes = []
+        for rank, values in enumerate(partitions):
+            arr = np.asarray(values)
+            with Stopwatch() as sw:
+                payload = compressor(arr)
+            write = self._fs.write_seconds(len(payload), n_ranks)
+            outcomes.append(RankOutcome(
+                rank=rank,
+                raw_bytes=arr.nbytes,
+                stored_bytes=len(payload),
+                compress_seconds=sw.seconds,
+                write_seconds=write,
+            ))
+        return AggregateReport(
+            strategy=strategy_name,
+            n_ranks=n_ranks,
+            outcomes=tuple(outcomes),
+        )
+
+    def sweep_ranks(
+        self,
+        timestep: np.ndarray,
+        compressor: Callable[[np.ndarray], bytes],
+        strategy_name: str,
+        rank_counts: tuple[int, ...],
+    ) -> list[AggregateReport]:
+        """Split one timestep across varying rank counts and run each.
+
+        The same total data is divided evenly, so the sweep isolates
+        the contention effect: more writers, smaller pieces, smaller
+        bandwidth shares.
+        """
+        flat = np.asarray(timestep).reshape(-1)
+        reports = []
+        for n_ranks in rank_counts:
+            if n_ranks < 1:
+                raise InvalidInputError(
+                    f"rank counts must be positive, got {n_ranks}"
+                )
+            bounds = np.linspace(0, flat.size, n_ranks + 1).astype(int)
+            partitions = [
+                flat[bounds[i]:bounds[i + 1]] for i in range(n_ranks)
+                if bounds[i + 1] > bounds[i]
+            ]
+            reports.append(self.run(partitions, compressor, strategy_name))
+        return reports

@@ -1,0 +1,88 @@
+"""Checkpoint retention policies (archive housekeeping).
+
+Long simulation campaigns cannot keep every checkpoint; production
+writers prune with a policy.  :class:`RetentionPolicy` implements the
+standard two-tier scheme —
+
+* keep the most recent ``keep_last`` steps (restart proximity), and
+* keep every ``keep_every``-th step across the whole run (trend
+  analysis / provenance),
+
+and :func:`apply_retention` garbage-collects a
+:class:`~repro.insitu.checkpoint.CheckpointStore` accordingly, deleting
+whole step directories for the steps the policy drops.
+"""
+
+from __future__ import annotations
+
+import shutil
+from dataclasses import dataclass
+
+from repro.core.exceptions import ConfigurationError
+from repro.insitu.checkpoint import CheckpointStore
+
+__all__ = ["RetentionPolicy", "apply_retention"]
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """Two-tier keep rule for checkpoint steps.
+
+    Parameters
+    ----------
+    keep_last:
+        Always retain this many of the newest steps.
+    keep_every:
+        Additionally retain steps whose number is a multiple of this
+        stride (0 disables the tier).
+    """
+
+    keep_last: int = 3
+    keep_every: int = 0
+
+    def __post_init__(self) -> None:
+        if self.keep_last < 0:
+            raise ConfigurationError(
+                f"keep_last must be non-negative, got {self.keep_last}"
+            )
+        if self.keep_every < 0:
+            raise ConfigurationError(
+                f"keep_every must be non-negative, got {self.keep_every}"
+            )
+        if self.keep_last == 0 and self.keep_every == 0:
+            raise ConfigurationError(
+                "policy would retain nothing; set keep_last or keep_every"
+            )
+
+    def retained(self, steps: list[int]) -> set[int]:
+        """The subset of ``steps`` this policy keeps."""
+        ordered = sorted(steps)
+        keep: set[int] = set(ordered[-self.keep_last:] if self.keep_last
+                             else ())
+        if self.keep_every:
+            keep.update(s for s in ordered if s % self.keep_every == 0)
+        return keep
+
+    def dropped(self, steps: list[int]) -> list[int]:
+        """The steps this policy prunes, ascending."""
+        keep = self.retained(steps)
+        return [s for s in sorted(steps) if s not in keep]
+
+
+def apply_retention(
+    store: CheckpointStore,
+    policy: RetentionPolicy,
+    dry_run: bool = False,
+) -> list[int]:
+    """Prune a checkpoint store according to ``policy``.
+
+    Returns the list of steps that were (or, with ``dry_run``, would
+    be) removed.  Deletion is per step directory and irreversible.
+    """
+    steps = store.steps()
+    to_drop = policy.dropped(steps)
+    if dry_run:
+        return to_drop
+    for step in to_drop:
+        shutil.rmtree(store._step_dir(step))
+    return to_drop

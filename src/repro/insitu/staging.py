@@ -1,0 +1,212 @@
+"""Simulated storage and write staging (the paper's motivating economy).
+
+The introduction's argument: machine FLOPS outgrow file-system
+bandwidth, so data must shrink *before* it hits storage — but only if
+the compressor's throughput does not itself become the bottleneck.
+The paper's real testbed (Lens + a parallel file system) is not
+available, so this module provides the standard analytical substitute:
+
+* :class:`StorageModel` — a bandwidth + latency model of a storage
+  target (per-process share of a parallel file system, a burst buffer,
+  a local disk);
+* :class:`StagingSimulator` — a two-stage (compress -> write) pipeline
+  over per-timestep arrays.  Compression times are *measured* on the
+  real codecs; write times come from the storage model; the pipeline
+  can run serially (write blocks the solver) or overlapped
+  (double-buffered staging, as in ADIOS-style I/O forwarding).
+
+The headline quantity is *effective output throughput*: raw bytes
+produced per wall-clock second including both stages.  Compression wins
+whenever ``storage_bandwidth < compressor_throughput x (1 - 1/CR)`` —
+the break-even the benchmark sweeps.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError, InvalidInputError
+
+__all__ = [
+    "StorageModel",
+    "StageTiming",
+    "StagingReport",
+    "StagingSimulator",
+    "raw_writer",
+]
+
+
+@dataclass(frozen=True)
+class StorageModel:
+    """Bandwidth/latency model of one storage target.
+
+    Parameters
+    ----------
+    bandwidth_mb_s:
+        Sustained write bandwidth available to this writer (MB/s,
+        decimal megabytes).
+    latency_s:
+        Fixed per-write cost (metadata round trip, request setup).
+    """
+
+    bandwidth_mb_s: float
+    latency_s: float = 0.001
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_mb_s <= 0:
+            raise ConfigurationError(
+                f"bandwidth must be positive, got {self.bandwidth_mb_s}"
+            )
+        if self.latency_s < 0:
+            raise ConfigurationError(
+                f"latency must be non-negative, got {self.latency_s}"
+            )
+
+    def write_seconds(self, n_bytes: int) -> float:
+        """Simulated wall-clock seconds to persist ``n_bytes``."""
+        if n_bytes < 0:
+            raise InvalidInputError(f"n_bytes must be >= 0, got {n_bytes}")
+        return self.latency_s + n_bytes / (self.bandwidth_mb_s * 1e6)
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """Per-timestep accounting of the compress and write stages."""
+
+    step: int
+    raw_bytes: int
+    stored_bytes: int
+    compress_seconds: float
+    write_seconds: float
+
+
+@dataclass(frozen=True)
+class StagingReport:
+    """Aggregate outcome of a staging run."""
+
+    strategy: str
+    overlapped: bool
+    timings: tuple[StageTiming, ...]
+    total_seconds: float
+
+    @property
+    def raw_bytes(self) -> int:
+        """Total uncompressed bytes produced by the simulation."""
+        return sum(t.raw_bytes for t in self.timings)
+
+    @property
+    def stored_bytes(self) -> int:
+        """Total bytes that reached storage."""
+        return sum(t.stored_bytes for t in self.timings)
+
+    @property
+    def effective_throughput_mb_s(self) -> float:
+        """Raw bytes per second of total pipeline wall-clock."""
+        if self.total_seconds <= 0:
+            return float("inf")
+        return self.raw_bytes / 1e6 / self.total_seconds
+
+    @property
+    def compression_ratio(self) -> float:
+        """Achieved end-to-end storage reduction."""
+        if self.stored_bytes == 0:
+            return float("inf")
+        return self.raw_bytes / self.stored_bytes
+
+
+def raw_writer(values: np.ndarray) -> bytes:
+    """The no-compression strategy: element bytes straight to storage."""
+    return np.ascontiguousarray(np.asarray(values).reshape(-1)).tobytes()
+
+
+class StagingSimulator:
+    """Two-stage compress->write pipeline over per-timestep arrays.
+
+    Parameters
+    ----------
+    storage:
+        The storage model shared by all strategies.
+    """
+
+    def __init__(self, storage: StorageModel):
+        self._storage = storage
+
+    @property
+    def storage(self) -> StorageModel:
+        """The configured storage model."""
+        return self._storage
+
+    def run(
+        self,
+        steps: Iterable[np.ndarray],
+        compressor: Callable[[np.ndarray], bytes],
+        strategy_name: str,
+        overlapped: bool = False,
+    ) -> StagingReport:
+        """Push every timestep through compress-then-write.
+
+        ``compressor`` maps an array to the bytes that reach storage
+        (use :func:`raw_writer` for the no-compression baseline).
+        Compression is timed for real; the write stage is simulated.
+
+        Serial mode: each step's write completes before the next step's
+        compression starts (synchronous I/O).  Overlapped mode models a
+        double-buffered stager: compression of step *k+1* proceeds
+        while step *k* drains to storage, so the pipeline's makespan is
+        governed by the slower stage.
+        """
+        timings: list[StageTiming] = []
+        compress_clock = 0.0      # when the solver becomes free
+        storage_clock = 0.0       # when the device becomes free
+        for step, values in enumerate(steps):
+            arr = np.asarray(values)
+            start = time.perf_counter()
+            payload = compressor(arr)
+            compress_seconds = time.perf_counter() - start
+            write_seconds = self._storage.write_seconds(len(payload))
+            timings.append(
+                StageTiming(
+                    step=step,
+                    raw_bytes=arr.nbytes,
+                    stored_bytes=len(payload),
+                    compress_seconds=compress_seconds,
+                    write_seconds=write_seconds,
+                )
+            )
+            if overlapped:
+                # The solver can start the next step immediately after
+                # compressing; the device drains queued writes.
+                compress_clock += compress_seconds
+                storage_clock = max(storage_clock, compress_clock) + write_seconds
+            else:
+                compress_clock += compress_seconds + write_seconds
+                storage_clock = compress_clock
+        total = storage_clock if overlapped else compress_clock
+        return StagingReport(
+            strategy=strategy_name,
+            overlapped=overlapped,
+            timings=tuple(timings),
+            total_seconds=total,
+        )
+
+    def compare(
+        self,
+        steps_factory: Callable[[], Iterable[np.ndarray]],
+        strategies: dict[str, Callable[[np.ndarray], bytes]],
+        overlapped: bool = False,
+    ) -> dict[str, StagingReport]:
+        """Run every strategy over a fresh copy of the same timesteps.
+
+        ``steps_factory`` is called once per strategy so each one sees
+        identical data (generators are single-use).
+        """
+        reports = {}
+        for name, compressor in strategies.items():
+            reports[name] = self.run(
+                steps_factory(), compressor, name, overlapped=overlapped
+            )
+        return reports

@@ -1,0 +1,35 @@
+"""Data-linearization substrate: Hilbert curve and element orderings."""
+
+from repro.linearization.hilbert import (
+    coords_to_distance,
+    distance_to_coords,
+    hilbert_order_indices,
+)
+from repro.linearization.order import (
+    ORDERING_NAMES,
+    apply_order,
+    column_major_order,
+    identity_order,
+    invert_permutation,
+    morton_order,
+    ordering_indices,
+    random_order,
+    row_major_order,
+    tiled_order,
+)
+
+__all__ = [
+    "coords_to_distance",
+    "distance_to_coords",
+    "hilbert_order_indices",
+    "ORDERING_NAMES",
+    "apply_order",
+    "column_major_order",
+    "identity_order",
+    "invert_permutation",
+    "morton_order",
+    "ordering_indices",
+    "random_order",
+    "row_major_order",
+    "tiled_order",
+]

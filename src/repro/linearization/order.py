@@ -1,0 +1,185 @@
+"""Element orderings for multi-dimensional data (Figures 9 and 10).
+
+The paper argues ISOBAR is robust to how multi-dimensional data is
+linearised to a 1-D stream: original (row-major) order, Hilbert-curve
+order, and even a fully random permutation all yield nearly the same
+improvement.  This module provides those orderings as explicit index
+permutations plus Morton (Z-order) as a common fourth scheme, and the
+apply/invert helpers used by the benchmarks.
+
+All functions return *flat index permutations*: ``perm`` such that
+``flat_data[perm]`` is the reordered stream, invertible with
+:func:`invert_permutation`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import InvalidInputError
+from repro.linearization.hilbert import hilbert_order_indices
+
+__all__ = [
+    "ORDERING_NAMES",
+    "identity_order",
+    "row_major_order",
+    "column_major_order",
+    "random_order",
+    "morton_order",
+    "tiled_order",
+    "DEFAULT_TILE",
+    "ordering_indices",
+    "invert_permutation",
+    "apply_order",
+]
+
+#: Orderings accepted by :func:`ordering_indices`.
+ORDERING_NAMES = ("original", "row", "column", "hilbert", "morton", "random",
+                  "tiled")
+
+#: Default tile side for the "tiled" ordering.
+DEFAULT_TILE = 8
+
+
+def _validate_shape(shape: tuple[int, ...]) -> tuple[int, ...]:
+    dims = tuple(int(s) for s in shape)
+    if not dims or any(s < 1 for s in dims):
+        raise InvalidInputError(f"shape must be non-empty and positive, got {shape}")
+    return dims
+
+
+def identity_order(n: int) -> np.ndarray:
+    """The original (as-generated) element order."""
+    if n < 0:
+        raise InvalidInputError(f"n must be non-negative, got {n}")
+    return np.arange(n, dtype=np.int64)
+
+
+def row_major_order(shape: tuple[int, ...]) -> np.ndarray:
+    """Row-major (C) traversal of a grid — identity on a flat C array."""
+    dims = _validate_shape(shape)
+    return identity_order(int(np.prod(dims)))
+
+
+def column_major_order(shape: tuple[int, ...]) -> np.ndarray:
+    """Column-major (Fortran) traversal of a row-major flattened grid."""
+    dims = _validate_shape(shape)
+    n = int(np.prod(dims))
+    return (
+        np.arange(n, dtype=np.int64)
+        .reshape(dims)
+        .ravel(order="F")
+    )
+
+
+def random_order(n: int, seed: int = 0) -> np.ndarray:
+    """A seeded uniform-random permutation (the paper's worst case)."""
+    if n < 0:
+        raise InvalidInputError(f"n must be non-negative, got {n}")
+    rng = np.random.default_rng(seed)
+    return rng.permutation(n).astype(np.int64)
+
+
+def morton_order(shape: tuple[int, ...]) -> np.ndarray:
+    """Morton (Z-order) traversal of a row-major flattened grid.
+
+    Like the Hilbert order, Morton interleaves coordinate bits for
+    locality, but with axis-aligned jumps; included as an additional
+    linearization scheme beyond the three the paper plots.
+    """
+    dims = _validate_shape(shape)
+    ndim = len(dims)
+    if ndim == 1:
+        return identity_order(dims[0])
+    bits = max(max(int(s - 1).bit_length() for s in dims), 1)
+    if bits * ndim > 64:
+        raise InvalidInputError(
+            f"morton order needs bits*ndim <= 64, got {bits * ndim}"
+        )
+    grids = np.meshgrid(*(np.arange(s, dtype=np.uint64) for s in dims), indexing="ij")
+    codes = np.zeros(int(np.prod(dims)), dtype=np.uint64)
+    for b in range(bits - 1, -1, -1):
+        for axis in range(ndim):
+            bit = (grids[axis].reshape(-1) >> np.uint64(b)) & np.uint64(1)
+            codes = (codes << np.uint64(1)) | bit
+    return np.argsort(codes, kind="stable").astype(np.int64)
+
+
+def tiled_order(shape: tuple[int, ...], tile: int = DEFAULT_TILE) -> np.ndarray:
+    """Tile-blocked traversal of a row-major flattened grid.
+
+    The layout HDF5-style chunked storage uses: the grid is cut into
+    ``tile x tile x ...`` blocks, blocks are visited row-major, and
+    elements inside each block are row-major too.  Partial edge blocks
+    are handled naturally.
+    """
+    dims = _validate_shape(shape)
+    if tile < 1:
+        raise InvalidInputError(f"tile must be positive, got {tile}")
+    ndim = len(dims)
+    if ndim == 1:
+        return identity_order(dims[0])
+    grids = np.meshgrid(*(np.arange(s) for s in dims), indexing="ij")
+    coords = np.stack([g.reshape(-1) for g in grids], axis=1)
+    block = coords // tile
+    within = coords % tile
+    # Sort key: block coordinates first (row-major), then the position
+    # inside the block (row-major) — realised via lexsort with the
+    # least-significant key first.
+    keys = tuple(within[:, axis] for axis in range(ndim - 1, -1, -1))
+    keys += tuple(block[:, axis] for axis in range(ndim - 1, -1, -1))
+    return np.lexsort(keys).astype(np.int64)
+
+
+def ordering_indices(
+    name: str, shape: tuple[int, ...], seed: int = 0
+) -> np.ndarray:
+    """Look up an ordering by name for a grid of ``shape``.
+
+    ``"original"`` and ``"row"`` are the row-major identity;
+    ``"column"``, ``"hilbert"``, ``"morton"`` follow the respective
+    curves; ``"random"`` is a seeded shuffle.
+    """
+    dims = _validate_shape(shape)
+    n = int(np.prod(dims))
+    key = name.lower()
+    if key in ("original", "row"):
+        return identity_order(n)
+    if key == "column":
+        return column_major_order(dims)
+    if key == "hilbert":
+        return hilbert_order_indices(dims)
+    if key == "morton":
+        return morton_order(dims)
+    if key == "tiled":
+        return tiled_order(dims)
+    if key == "random":
+        return random_order(n, seed=seed)
+    raise InvalidInputError(
+        f"unknown ordering {name!r}; expected one of {ORDERING_NAMES}"
+    )
+
+
+def invert_permutation(perm: np.ndarray) -> np.ndarray:
+    """Inverse permutation: ``inv[perm] == arange(n)``."""
+    p = np.asarray(perm)
+    if p.ndim != 1:
+        raise InvalidInputError(f"permutation must be 1-D, got shape {p.shape}")
+    inverse = np.empty_like(p)
+    inverse[p] = np.arange(p.size, dtype=p.dtype)
+    return inverse
+
+
+def apply_order(values: np.ndarray, perm: np.ndarray) -> np.ndarray:
+    """Reorder the flat view of ``values`` by ``perm``.
+
+    The result is always 1-D; callers keep the original shape around if
+    they need to undo the flattening.
+    """
+    flat = np.asarray(values).reshape(-1)
+    p = np.asarray(perm)
+    if p.shape != (flat.size,):
+        raise InvalidInputError(
+            f"permutation length {p.size} does not match element count {flat.size}"
+        )
+    return flat[p]

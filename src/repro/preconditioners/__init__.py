@@ -1,0 +1,29 @@
+"""Alternative preconditioners: shuffle-filter baselines for comparison."""
+
+from repro.preconditioners.delta import (
+    DeltaCompressor,
+    delta_decode,
+    delta_encode,
+    xor_decode,
+    xor_encode,
+)
+from repro.preconditioners.shuffle import (
+    ShuffleCompressor,
+    bit_shuffle,
+    bit_unshuffle,
+    byte_shuffle,
+    byte_unshuffle,
+)
+
+__all__ = [
+    "DeltaCompressor",
+    "delta_decode",
+    "delta_encode",
+    "xor_decode",
+    "xor_encode",
+    "ShuffleCompressor",
+    "bit_shuffle",
+    "bit_unshuffle",
+    "byte_shuffle",
+    "byte_unshuffle",
+]

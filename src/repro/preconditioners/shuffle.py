@@ -1,0 +1,160 @@
+"""Shuffle-filter preconditioners: the closest prior technique to ISOBAR.
+
+Byte-shuffle (as popularised by HDF5's shuffle filter and Blosc) and
+bit-shuffle (bitshuffle) reorganise an element array so that bytes (or
+bits) of equal significance become adjacent before a general-purpose
+solver runs.  They exploit the same observation as ISOBAR — high-order
+bytes of scientific floats are predictable — but they *keep* the noise
+bytes in the solver's input instead of removing them.
+
+These filters are implemented here as honest baselines so the benchmark
+suite can quantify ISOBAR's marginal value over plain shuffling
+(``benchmarks/test_precond_comparison.py``): on hard-to-compress data,
+shuffle+solver improves the ratio but pays full solver cost on the
+noise, while ISOBAR gets a comparable ratio at a fraction of the solver
+work.
+
+Both transforms are exact bijections on the byte level, so
+``unshuffle(shuffle(x)) == x`` bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.bytefreq import byte_matrix, element_width, matrix_to_elements
+from repro.codecs.base import Codec, get_codec
+from repro.core.exceptions import InvalidInputError
+
+__all__ = [
+    "byte_shuffle",
+    "byte_unshuffle",
+    "bit_shuffle",
+    "bit_unshuffle",
+    "ShuffleCompressor",
+]
+
+
+def byte_shuffle(values: np.ndarray) -> bytes:
+    """Byte-transpose an element array (HDF5/Blosc ``shuffle``).
+
+    Output layout: all least-significant bytes first, then the next
+    byte-column, and so on — same-significance bytes are contiguous.
+    """
+    matrix = byte_matrix(values)
+    return np.ascontiguousarray(matrix.T).tobytes()
+
+
+def byte_unshuffle(data: bytes, dtype: np.dtype, n_elements: int) -> np.ndarray:
+    """Invert :func:`byte_shuffle` back to the element array."""
+    dt = np.dtype(dtype)
+    width = element_width(dt)
+    expected = width * n_elements
+    if len(data) != expected:
+        raise InvalidInputError(
+            f"shuffled buffer has {len(data)} bytes, expected {expected}"
+        )
+    planes = np.frombuffer(data, dtype=np.uint8).reshape(width, n_elements)
+    return matrix_to_elements(np.ascontiguousarray(planes.T), dt)
+
+
+def bit_shuffle(values: np.ndarray) -> bytes:
+    """Bit-transpose an element array (the ``bitshuffle`` filter).
+
+    Output layout: all bit-0s of every element first (packed 8 to a
+    byte), then all bit-1s, etc.  Requires the element count to be a
+    multiple of 8 so each bit-plane packs to whole bytes; callers pad
+    or chunk accordingly (the real bitshuffle has the same block
+    constraint).
+    """
+    matrix = byte_matrix(values)
+    n_elements, width = matrix.shape
+    if n_elements % 8 != 0:
+        raise InvalidInputError(
+            f"bit_shuffle needs a multiple of 8 elements, got {n_elements}"
+        )
+    # bits: (n_elements, width*8) with LSB-first within each byte.
+    bits = np.unpackbits(matrix, axis=1, bitorder="little")
+    planes = np.ascontiguousarray(bits.T)  # (width*8, n_elements)
+    return np.packbits(planes, axis=1, bitorder="little").tobytes()
+
+
+def bit_unshuffle(data: bytes, dtype: np.dtype, n_elements: int) -> np.ndarray:
+    """Invert :func:`bit_shuffle` back to the element array."""
+    dt = np.dtype(dtype)
+    width = element_width(dt)
+    if n_elements % 8 != 0:
+        raise InvalidInputError(
+            f"bit_unshuffle needs a multiple of 8 elements, got {n_elements}"
+        )
+    n_bits = width * 8
+    expected = n_bits * (n_elements // 8)
+    if len(data) != expected:
+        raise InvalidInputError(
+            f"bit-shuffled buffer has {len(data)} bytes, expected {expected}"
+        )
+    packed = np.frombuffer(data, dtype=np.uint8).reshape(n_bits, n_elements // 8)
+    planes = np.unpackbits(packed, axis=1, bitorder="little")
+    bits = np.ascontiguousarray(planes.T)  # (n_elements, width*8)
+    matrix = np.packbits(bits, axis=1, bitorder="little")
+    return matrix_to_elements(matrix, dt)
+
+
+class ShuffleCompressor:
+    """Shuffle-filter + solver pipeline (the Blosc recipe), as a baseline.
+
+    Parameters
+    ----------
+    codec_name:
+        Registry name of the solver applied after the shuffle.
+    mode:
+        ``"byte"`` (HDF5/Blosc shuffle) or ``"bit"`` (bitshuffle).
+
+    The output framing is minimal (dtype + count + payload); this class
+    exists for benchmarking against ISOBAR, not as an archival format.
+    """
+
+    def __init__(self, codec_name: str = "zlib", mode: str = "byte"):
+        if mode not in ("byte", "bit"):
+            raise InvalidInputError(f"mode must be 'byte' or 'bit', got {mode!r}")
+        self._codec: Codec = get_codec(codec_name)
+        self._mode = mode
+        self.name = f"{mode}shuffle+{codec_name}"
+
+    def compress(self, values: np.ndarray) -> bytes:
+        """Shuffle then solve; returns a self-describing byte string."""
+        arr = np.ascontiguousarray(np.asarray(values).reshape(-1))
+        if arr.size == 0:
+            raise InvalidInputError("cannot compress an empty array")
+        if self._mode == "byte":
+            shuffled = byte_shuffle(arr)
+        else:
+            # Pad to a multiple of 8 elements with copies of the last
+            # element; the count header lets decompression drop them.
+            pad = (-arr.size) % 8
+            padded = np.concatenate([arr, np.repeat(arr[-1:], pad)]) if pad else arr
+            shuffled = bit_shuffle(padded)
+        payload = self._codec.compress(shuffled)
+        dtype_str = arr.dtype.str.encode("ascii")
+        header = bytes([len(dtype_str)]) + dtype_str + arr.size.to_bytes(8, "little")
+        return header + payload
+
+    def decompress(self, data: bytes) -> np.ndarray:
+        """Invert :meth:`compress` bit-exactly."""
+        if len(data) < 2:
+            raise InvalidInputError("truncated shuffle container")
+        dtype_len = data[0]
+        dtype = np.dtype(data[1:1 + dtype_len].decode("ascii"))
+        offset = 1 + dtype_len
+        n_elements = int.from_bytes(data[offset:offset + 8], "little")
+        shuffled = self._codec.decompress(data[offset + 8:])
+        if self._mode == "byte":
+            return byte_unshuffle(shuffled, dtype, n_elements)
+        padded_count = n_elements + ((-n_elements) % 8)
+        values = bit_unshuffle(shuffled, dtype, padded_count)
+        return values[:n_elements]
+
+    def ratio(self, values: np.ndarray) -> float:
+        """Compression ratio achieved on ``values``."""
+        arr = np.asarray(values)
+        return arr.nbytes / len(self.compress(arr))

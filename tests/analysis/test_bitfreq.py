@@ -1,0 +1,99 @@
+"""Unit tests for bit-position frequency profiling (Figure 1)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bitfreq import (
+    BitFrequencyProfile,
+    bit_frequency_profile,
+    bit_probabilities,
+)
+from repro.core.exceptions import InvalidInputError
+from repro.datasets.synthetic import build_structured
+
+
+class TestBitProbabilities:
+    def test_length_matches_element_width(self):
+        assert bit_probabilities(np.zeros(10, dtype=np.float64)).size == 64
+        assert bit_probabilities(np.zeros(10, dtype=np.float32)).size == 32
+        assert bit_probabilities(np.zeros(10, dtype=np.int16)).size == 16
+
+    def test_constant_data_is_fully_predictable(self):
+        probs = bit_probabilities(np.full(500, 1.5))
+        assert np.all(probs == 1.0)
+
+    def test_range_is_half_to_one(self):
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 1 << 62, 5000, dtype=np.int64).view(np.float64)
+        probs = bit_probabilities(data)
+        assert np.all(probs >= 0.5)
+        assert np.all(probs <= 1.0)
+
+    def test_random_bits_near_half(self):
+        rng = np.random.default_rng(1)
+        data = rng.integers(-(1 << 62), 1 << 62, 20_000, dtype=np.int64)
+        probs = bit_probabilities(data)
+        # Every position of a uniform 63-bit draw is a near-fair coin
+        # except the sign/top bits; check the low 48.
+        assert np.all(probs[-48:] < 0.55)
+
+    def test_msb_first_ordering(self):
+        # Value 1 (int64): only the least-significant bit set, so the
+        # LAST position is the all-ones one in MSB-first order.
+        data = np.ones(100, dtype=np.int64)
+        probs = bit_probabilities(data)
+        assert probs[-1] == 1.0  # LSB column: always 1
+        assert probs[0] == 1.0   # MSB column: always 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidInputError):
+            bit_probabilities(np.array([], dtype=np.float64))
+
+
+class TestBitFrequencyProfile:
+    def _profile(self, n_noise_bytes: int) -> BitFrequencyProfile:
+        rng = np.random.default_rng(7)
+        data = build_structured(10_000, np.float64, n_noise_bytes, rng)
+        return bit_frequency_profile("t", data)
+
+    def test_noisy_bits_track_noise_bytes(self):
+        low_noise = self._profile(1)
+        high_noise = self._profile(6)
+        assert high_noise.noisy_bits > low_noise.noisy_bits
+        # 6 noise bytes = 48 noise bit positions.
+        assert high_noise.noisy_bits >= 46
+
+    def test_hard_to_compress_heuristic(self):
+        assert self._profile(6).is_hard_to_compress()
+        assert not self._profile(0).is_hard_to_compress()
+
+    def test_byte_means_shape(self):
+        profile = self._profile(4)
+        means = profile.byte_means()
+        assert means.shape == (8,)
+        # Big-endian presentation: high bytes predictable, low noisy.
+        assert means[0] > means[-1]
+
+    def test_predictable_bits_counts_constant_positions(self):
+        profile = bit_frequency_profile("c", np.full(100, 2.0))
+        assert profile.predictable_bits == profile.n_bits
+
+    def test_render_ascii_is_printable(self):
+        art = self._profile(6).render_ascii(width=32)
+        assert len(art) == 32
+        assert art.strip()  # not all spaces for structured data
+
+    def test_figure1_shape_flash_vs_sppm(self):
+        # The HTC dataset has a long noisy tail; the repetitive one
+        # does not (compare Figure 1's flash_gamc vs msg_sppm).
+        from repro.datasets.registry import get_dataset
+
+        htc = bit_frequency_profile(
+            "flash_gamc", get_dataset("flash_gamc").generate(20_000)
+        )
+        easy = bit_frequency_profile(
+            "msg_sppm", get_dataset("msg_sppm").generate(20_000)
+        )
+        assert htc.noisy_bits > easy.noisy_bits
+        assert htc.is_hard_to_compress()
+        assert not easy.is_hard_to_compress()

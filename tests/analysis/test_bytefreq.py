@@ -1,0 +1,146 @@
+"""Unit tests for the byte-matrix view and column histograms (Figure 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.analysis.bytefreq import (
+    byte_matrix,
+    column_entropies,
+    column_frequencies,
+    column_max_frequency,
+    element_width,
+    matrix_to_elements,
+)
+from repro.core.exceptions import InvalidInputError
+
+
+class TestElementWidth:
+    @pytest.mark.parametrize("dtype,width", [
+        (np.float64, 8), (np.float32, 4), (np.int64, 8),
+        (np.int32, 4), (np.uint16, 2), (np.int8, 1),
+    ])
+    def test_widths(self, dtype, width):
+        assert element_width(np.dtype(dtype)) == width
+
+    def test_rejects_complex(self):
+        with pytest.raises(InvalidInputError):
+            element_width(np.dtype(np.complex128))
+
+    def test_rejects_structured(self):
+        with pytest.raises(InvalidInputError):
+            element_width(np.dtype([("a", np.int32)]))
+
+
+class TestByteMatrix:
+    def test_shape(self):
+        matrix = byte_matrix(np.zeros(10, dtype=np.float64))
+        assert matrix.shape == (10, 8)
+        assert matrix.dtype == np.uint8
+
+    def test_little_endian_column_order(self):
+        # int64 value 1: only byte-column 0 (least significant) is 1.
+        matrix = byte_matrix(np.ones(5, dtype=np.int64))
+        assert np.all(matrix[:, 0] == 1)
+        assert np.all(matrix[:, 1:] == 0)
+
+    def test_platform_independent_for_big_endian_input(self):
+        native = np.array([1, 256, 65536], dtype=np.int64)
+        big = native.astype(">i8")
+        assert np.array_equal(byte_matrix(native), byte_matrix(big))
+
+    def test_multidimensional_input_flattened(self):
+        matrix = byte_matrix(np.zeros((4, 5), dtype=np.float32))
+        assert matrix.shape == (20, 4)
+
+    def test_matrix_is_writable_copy(self):
+        values = np.ones(4, dtype=np.int64)
+        matrix = byte_matrix(values)
+        matrix[:, 0] = 99
+        assert np.all(values == 1)  # original untouched
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidInputError):
+            byte_matrix(np.array([], dtype=np.float64))
+
+
+class TestMatrixToElements:
+    def test_inverse_of_byte_matrix(self):
+        values = np.array([1.5, -2.25, 1e300, -0.0, np.inf])
+        restored = matrix_to_elements(byte_matrix(values), np.dtype(np.float64))
+        assert np.array_equal(
+            restored.view(np.uint64), values.view(np.uint64)
+        )
+
+    def test_rejects_wrong_width(self):
+        matrix = np.zeros((3, 4), dtype=np.uint8)
+        with pytest.raises(InvalidInputError):
+            matrix_to_elements(matrix, np.dtype(np.float64))
+
+    def test_rejects_1d_matrix(self):
+        with pytest.raises(InvalidInputError):
+            matrix_to_elements(np.zeros(8, dtype=np.uint8), np.dtype(np.float64))
+
+    @settings(max_examples=50, deadline=None)
+    @given(hnp.arrays(
+        dtype=st.sampled_from([np.float64, np.float32, np.int64, np.uint32,
+                               np.int16]),
+        shape=hnp.array_shapes(min_dims=1, max_dims=2, min_side=1,
+                               max_side=64),
+    ))
+    def test_roundtrip_property(self, values):
+        dtype = values.dtype
+        restored = matrix_to_elements(byte_matrix(values), dtype)
+        assert np.array_equal(
+            restored.view(f"u{dtype.itemsize}"),
+            values.reshape(-1).view(f"u{dtype.itemsize}"),
+        )
+
+
+class TestColumnFrequencies:
+    def test_histogram_shape_and_total(self):
+        matrix = byte_matrix(np.arange(100, dtype=np.int32))
+        freqs = column_frequencies(matrix)
+        assert freqs.shape == (4, 256)
+        assert np.all(freqs.sum(axis=1) == 100)
+
+    def test_counts_are_exact(self):
+        matrix = np.array([[0, 255], [0, 255], [1, 255]], dtype=np.uint8)
+        freqs = column_frequencies(matrix)
+        assert freqs[0, 0] == 2
+        assert freqs[0, 1] == 1
+        assert freqs[1, 255] == 3
+
+    def test_max_frequency(self):
+        matrix = np.array([[7], [7], [7], [9]], dtype=np.uint8)
+        assert column_max_frequency(matrix)[0] == 3
+
+    def test_rejects_empty_matrix(self):
+        with pytest.raises(InvalidInputError):
+            column_frequencies(np.empty((0, 8), dtype=np.uint8))
+
+    def test_rejects_1d(self):
+        with pytest.raises(InvalidInputError):
+            column_frequencies(np.zeros(10, dtype=np.uint8))
+
+
+class TestColumnEntropies:
+    def test_constant_column_zero_entropy(self):
+        matrix = np.full((100, 2), 5, dtype=np.uint8)
+        entropies = column_entropies(matrix)
+        assert entropies == pytest.approx([0.0, 0.0])
+
+    def test_uniform_column_near_8_bits(self):
+        column = np.tile(np.arange(256, dtype=np.uint8), 10)[:, np.newaxis]
+        assert column_entropies(column)[0] == pytest.approx(8.0)
+
+    def test_ordering_noise_vs_signal(self):
+        rng = np.random.default_rng(3)
+        matrix = np.empty((5000, 2), dtype=np.uint8)
+        matrix[:, 0] = rng.integers(0, 256, 5000)  # noise
+        matrix[:, 1] = rng.integers(0, 4, 5000)    # signal
+        entropies = column_entropies(matrix)
+        assert entropies[0] > 7.5
+        assert entropies[1] < 2.1

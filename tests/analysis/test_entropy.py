@@ -1,0 +1,112 @@
+"""Unit tests for dataset statistics (Eq. 4-6, Table III quantities)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.entropy import (
+    byte_entropy,
+    dataset_statistics,
+    randomness_percent,
+    shannon_entropy,
+    unique_value_percent,
+)
+from repro.core.exceptions import InvalidInputError
+
+
+class TestUniqueValuePercent:
+    def test_all_unique(self):
+        assert unique_value_percent(np.arange(100.0)) == pytest.approx(100.0)
+
+    def test_all_same(self):
+        assert unique_value_percent(np.ones(200)) == pytest.approx(0.5)
+
+    def test_half_unique(self):
+        values = np.concatenate([np.arange(50.0), np.arange(50.0)])
+        assert unique_value_percent(values) == pytest.approx(50.0)
+
+    def test_distinct_nan_payloads_count_separately(self):
+        # Bit-exact view: two NaNs with different payloads are distinct.
+        a = np.array([np.uint64(0x7FF8000000000001)]).view(np.float64)
+        b = np.array([np.uint64(0x7FF8000000000002)]).view(np.float64)
+        values = np.concatenate([a, b])
+        assert unique_value_percent(values) == pytest.approx(100.0)
+
+    def test_integer_input(self):
+        assert unique_value_percent(np.array([1, 1, 2, 3])) == pytest.approx(75.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidInputError):
+            unique_value_percent(np.array([]))
+
+
+class TestShannonEntropy:
+    def test_constant_vector_has_zero_entropy(self):
+        assert shannon_entropy(np.full(1000, 3.14)) == pytest.approx(0.0)
+
+    def test_uniform_two_values_is_one_bit(self):
+        values = np.array([0.0, 1.0] * 500)
+        assert shannon_entropy(values) == pytest.approx(1.0)
+
+    def test_all_unique_is_log2_n(self):
+        n = 256
+        assert shannon_entropy(np.arange(float(n))) == pytest.approx(np.log2(n))
+
+    def test_skew_reduces_entropy(self):
+        uniform = np.array([0, 1, 2, 3] * 250)
+        skewed = np.array([0] * 700 + [1, 2, 3] * 100)
+        assert shannon_entropy(skewed) < shannon_entropy(uniform)
+
+
+class TestRandomness:
+    def test_all_unique_vector_is_fully_random(self):
+        assert randomness_percent(np.arange(1024.0)) == pytest.approx(100.0)
+
+    def test_constant_vector_is_zero(self):
+        assert randomness_percent(np.full(100, 7.0)) == pytest.approx(0.0)
+
+    def test_single_element_convention(self):
+        assert randomness_percent(np.array([1.0])) == 0.0
+
+    def test_repetitive_data_scores_low(self):
+        repetitive = np.repeat(np.arange(8.0), 128)
+        assert randomness_percent(repetitive) < 35.0
+
+
+class TestByteEntropy:
+    def test_uniform_bytes_near_8_bits(self):
+        data = bytes(range(256)) * 64
+        assert byte_entropy(data) == pytest.approx(8.0)
+
+    def test_constant_bytes_zero(self):
+        assert byte_entropy(b"\x00" * 1000) == pytest.approx(0.0)
+
+    def test_accepts_ndarray(self):
+        arr = np.arange(256, dtype=np.uint8)
+        assert byte_entropy(arr) == pytest.approx(8.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidInputError):
+            byte_entropy(b"")
+
+
+class TestDatasetStatistics:
+    def test_collects_table3_fields(self):
+        values = np.arange(1000, dtype=np.float64)
+        stats = dataset_statistics("test", values)
+        assert stats.name == "test"
+        assert stats.dtype == "float64"
+        assert stats.n_elements == 1000
+        assert stats.size_mb == pytest.approx(0.008)
+        assert stats.unique_percent == pytest.approx(100.0)
+        assert stats.randomness == pytest.approx(100.0)
+
+    def test_as_row_matches_table_layout(self):
+        stats = dataset_statistics("x", np.arange(10.0))
+        row = stats.as_row()
+        assert row[0] == "x"
+        assert len(row) == 7
+
+    def test_multidimensional_input_is_flattened(self):
+        values = np.arange(100.0).reshape(10, 10)
+        stats = dataset_statistics("grid", values)
+        assert stats.n_elements == 100

@@ -1,0 +1,151 @@
+"""Unit tests for the paper's performance metrics (Eq. 1-3)."""
+
+import math
+import time
+
+import pytest
+
+from repro.analysis.metrics import (
+    MEGABYTE,
+    CompressionMeasurement,
+    Stopwatch,
+    compression_ratio,
+    delta_cr_percent,
+    measure_call,
+    speedup,
+    throughput_mb_s,
+)
+from repro.core.exceptions import InvalidInputError
+
+
+class TestCompressionRatio:
+    def test_basic_ratio(self):
+        assert compression_ratio(1000, 500) == 2.0
+
+    def test_ratio_below_one_for_expansion(self):
+        assert compression_ratio(100, 200) == 0.5
+
+    def test_identity(self):
+        assert compression_ratio(42, 42) == 1.0
+
+    @pytest.mark.parametrize("original,compressed", [(0, 10), (-1, 10)])
+    def test_rejects_bad_original(self, original, compressed):
+        with pytest.raises(InvalidInputError):
+            compression_ratio(original, compressed)
+
+    @pytest.mark.parametrize("compressed", [0, -5])
+    def test_rejects_bad_compressed(self, compressed):
+        with pytest.raises(InvalidInputError):
+            compression_ratio(100, compressed)
+
+
+class TestDeltaCr:
+    def test_paper_equation_3(self):
+        # 1.2 over 1.0 is a 20% improvement.
+        assert delta_cr_percent(1.2, 1.0) == pytest.approx(20.0)
+
+    def test_zero_improvement(self):
+        assert delta_cr_percent(1.5, 1.5) == pytest.approx(0.0)
+
+    def test_negative_when_worse(self):
+        assert delta_cr_percent(1.0, 1.25) == pytest.approx(-20.0)
+
+    def test_table2_gts_example(self):
+        # Table II reports 10.15% for GTS: CR 1.150 vs best standard 1.044.
+        assert delta_cr_percent(1.150, 1.044) == pytest.approx(10.15, abs=0.01)
+
+    def test_rejects_nonpositive_baseline(self):
+        with pytest.raises(InvalidInputError):
+            delta_cr_percent(1.0, 0.0)
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(200.0, 50.0) == 4.0
+
+    def test_below_one_when_slower(self):
+        assert speedup(10.0, 40.0) == 0.25
+
+    def test_rejects_zero_baseline(self):
+        with pytest.raises(InvalidInputError):
+            speedup(10.0, 0.0)
+
+
+class TestThroughput:
+    def test_mb_per_second(self):
+        assert throughput_mb_s(int(MEGABYTE), 1.0) == pytest.approx(1.0)
+
+    def test_scales_linearly(self):
+        assert throughput_mb_s(3_000_000, 2.0) == pytest.approx(1.5)
+
+    def test_zero_duration_is_infinite(self):
+        assert throughput_mb_s(100, 0.0) == math.inf
+
+    def test_zero_bytes(self):
+        assert throughput_mb_s(0, 1.0) == 0.0
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(InvalidInputError):
+            throughput_mb_s(-1, 1.0)
+
+    def test_rejects_negative_seconds(self):
+        with pytest.raises(InvalidInputError):
+            throughput_mb_s(1, -1.0)
+
+
+class TestStopwatch:
+    def test_measures_elapsed_time(self):
+        with Stopwatch() as sw:
+            time.sleep(0.01)
+        assert sw.seconds >= 0.009
+
+    def test_reusable(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        first = sw.seconds
+        with sw:
+            time.sleep(0.005)
+        assert sw.seconds >= 0.004
+        assert sw.seconds != first or first == 0.0
+
+
+class TestCompressionMeasurement:
+    def test_derived_metrics(self):
+        m = CompressionMeasurement(
+            original_bytes=2_000_000,
+            compressed_bytes=1_000_000,
+            compress_seconds=2.0,
+            decompress_seconds=0.5,
+        )
+        assert m.ratio == 2.0
+        assert m.compress_throughput == pytest.approx(1.0)
+        assert m.decompress_throughput == pytest.approx(4.0)
+
+
+class TestMeasureCall:
+    def test_returns_result_and_time(self):
+        result, seconds = measure_call(lambda: 42)
+        assert result == 42
+        assert seconds >= 0.0
+
+    def test_repeat_keeps_best_time(self):
+        calls = []
+
+        def slow_then_fast():
+            calls.append(None)
+            time.sleep(0.01 if len(calls) == 1 else 0.0)
+            return len(calls)
+
+        result, seconds = measure_call(slow_then_fast, repeat=3)
+        assert result == 3
+        assert len(calls) == 3
+        assert seconds < 0.01
+
+    def test_rejects_zero_repeat(self):
+        with pytest.raises(InvalidInputError):
+            measure_call(lambda: None, repeat=0)
+
+    def test_passes_arguments(self):
+        result, _ = measure_call(lambda a, b=1: a + b, 2, b=3)
+        assert result == 5

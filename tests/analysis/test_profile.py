@@ -1,0 +1,66 @@
+"""Unit tests for the combined compressibility profile."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.profile import DatasetProfile, profile_dataset
+from repro.datasets.registry import generate_dataset
+from repro.datasets.synthetic import build_repetitive, build_structured
+
+
+class TestProfileStructure:
+    @pytest.fixture(scope="class")
+    def htc_profile(self):
+        values = generate_dataset("gts_chkp_zion", n_elements=40_000)
+        return profile_dataset("gts_chkp_zion", values)
+
+    def test_all_sections_present(self, htc_profile):
+        assert htc_profile.statistics.n_elements == 40_000
+        assert htc_profile.bit_profile.n_bits == 64
+        assert htc_profile.analysis.improvable
+        assert htc_profile.estimate.predicted_ratio > 1.0
+
+    def test_column_rows(self, htc_profile):
+        rows = htc_profile.column_rows()
+        assert len(rows) == 8
+        kinds = [row[3] for row in rows]
+        assert kinds.count("noise") == 6
+        assert kinds.count("signal") == 2
+        # Noise columns carry ~8 bits/byte.
+        noise_entropies = [row[2] for row in rows if row[3] == "noise"]
+        assert min(noise_entropies) > 7.5
+
+    def test_render_contains_every_section(self, htc_profile):
+        text = htc_profile.render()
+        for fragment in ("compressibility profile", "unique values",
+                         "bit profile", "analyzer", "byte-columns",
+                         "order-0 estimate", "recommendation"):
+            assert fragment in text
+
+    def test_recommendation_improvable(self, htc_profile):
+        assert htc_profile.recommendation.startswith("improvable")
+
+
+class TestRecommendations:
+    def test_repetitive_data_compress_whole(self, rng):
+        values = build_repetitive(30_000, np.float64, rng)
+        profile = profile_dataset("repetitive", values)
+        assert not profile.analysis.improvable
+        assert "compress whole" in profile.recommendation
+
+    def test_pure_noise_storage_bound(self, incompressible_doubles):
+        profile = profile_dataset("noise", incompressible_doubles)
+        if not profile.analysis.mask.any():
+            assert "storage-bound" in profile.recommendation
+
+    def test_tau_parameter_respected(self, rng):
+        values = build_structured(30_000, np.float64, 6, rng)
+        strict = profile_dataset("x", values, tau=100.0)
+        default = profile_dataset("x", values)
+        assert (strict.analysis.n_incompressible
+                >= default.analysis.n_incompressible)
+
+    def test_estimate_uses_analyzer_mask(self, rng):
+        values = build_structured(20_000, np.float64, 6, rng)
+        profile = profile_dataset("x", values)
+        assert profile.estimate.raw_noise_bytes == 20_000 * 6

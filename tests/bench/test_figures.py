@@ -1,0 +1,102 @@
+"""Smoke + shape tests for the figure generators (small inputs)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import (
+    FIGURE1_DATASETS,
+    figure1_bit_frequencies,
+    figure8_chunk_size,
+    figure9_linearization_cr,
+    figure10_linearization_sp,
+)
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def figure(self):
+        return figure1_bit_frequencies(n_elements=20_000)
+
+    def test_four_series(self, figure):
+        assert set(figure.series) == set(FIGURE1_DATASETS)
+
+    def test_64_bit_positions_each(self, figure):
+        for points in figure.series.values():
+            assert len(points) == 64
+            xs = [x for x, _ in points]
+            assert xs == list(range(1, 65))
+
+    def test_probabilities_in_range(self, figure):
+        for points in figure.series.values():
+            for _, prob in points:
+                assert 0.5 <= prob <= 1.0
+
+    def test_htc_datasets_have_noise_plateau(self, figure):
+        """The paper's visual: HTC datasets flatline at ~0.5."""
+        def noisy_fraction(name):
+            points = figure.series[name]
+            return sum(1 for _, p in points if p < 0.51) / len(points)
+
+        assert noisy_fraction("gts_chkp_zeon") > 0.5
+        assert noisy_fraction("flash_gamc") > 0.4
+        assert noisy_fraction("msg_sppm") < 0.25
+
+    def test_render(self, figure):
+        text = figure.render()
+        assert "Figure 1" in text
+        assert "gts_chkp_zeon" in text
+
+
+class TestFigure8:
+    @pytest.fixture(scope="class")
+    def figure(self):
+        return figure8_chunk_size(
+            dataset="gts_chkp_zion",
+            chunk_sizes=(1_000, 5_000, 25_000, 50_000, 100_000),
+            n_elements=100_000,
+        )
+
+    def test_one_point_per_chunk_size(self, figure):
+        points = figure.series["gts_chkp_zion"]
+        assert [x for x, _ in points] == [1_000, 5_000, 25_000, 50_000,
+                                          100_000]
+
+    def test_ratio_settles_at_large_chunks(self, figure):
+        """The paper's Figure 8: the CR curve flattens once chunks are
+        statistically large enough."""
+        points = dict(figure.series["gts_chkp_zion"])
+        settled_gap = abs(points[100_000] - points[50_000])
+        assert settled_gap < 0.05
+        # All ratios stay in a sane range.
+        assert all(0.8 < ratio < 3.0 for ratio in points.values())
+
+    def test_render(self, figure):
+        assert "Figure 8" in figure.render()
+
+
+class TestFigures9And10:
+    @pytest.fixture(scope="class")
+    def fig9(self):
+        return figure9_linearization_cr(n_side=120)
+
+    @pytest.fixture(scope="class")
+    def fig10(self):
+        return figure10_linearization_sp(n_side=120)
+
+    def test_orderings_covered(self, fig9):
+        points = dict(fig9.series["2-D field"])
+        assert set(points) == {"original", "hilbert", "random", "morton"}
+
+    def test_improvement_robust_across_linearizations(self, fig9):
+        """Figure 9's claim: dCR stays positive and roughly constant."""
+        deltas = [y for _, y in fig9.series["2-D field"]]
+        assert all(d > 5.0 for d in deltas)  # paper: >=10% even random
+        assert max(deltas) - min(deltas) < 15.0
+
+    def test_speedup_positive_everywhere(self, fig10):
+        speedups = [y for _, y in fig10.series["2-D field"]]
+        assert all(s > 1.0 for s in speedups)
+
+    def test_render(self, fig9, fig10):
+        assert "Figure 9" in fig9.render()
+        assert "Figure 10" in fig10.render()

@@ -1,0 +1,109 @@
+"""Unit tests for the measurement harness behind the tables."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import (
+    DatasetEvaluation,
+    IsobarResult,
+    StandardResult,
+    evaluate_array,
+    evaluate_dataset,
+)
+from repro.core.preferences import IsobarConfig, Preference
+
+# One shared evaluation per module: the harness is deterministic in
+# everything except wall-clock timings.
+_N = 30_000
+
+
+@pytest.fixture(scope="module")
+def gts_eval():
+    return evaluate_dataset("gts_chkp_zion", n_elements=_N,
+                            config=IsobarConfig(sample_elements=4096))
+
+
+@pytest.fixture(scope="module")
+def sppm_eval():
+    return evaluate_dataset("msg_sppm", n_elements=_N,
+                            config=IsobarConfig(sample_elements=4096))
+
+
+class TestEvaluationStructure:
+    def test_standard_results_present(self, gts_eval):
+        assert set(gts_eval.standard) == {"zlib", "bzip2"}
+        for res in gts_eval.standard.values():
+            assert isinstance(res, StandardResult)
+            assert res.ratio > 0.9
+            assert res.compress_mb_s > 0
+            assert res.decompress_mb_s > 0
+
+    def test_isobar_results_present(self, gts_eval):
+        for res in (gts_eval.isobar_ratio, gts_eval.isobar_speed):
+            assert isinstance(res, IsobarResult)
+            assert res.ratio > 1.0
+            assert res.codec_name in ("zlib", "bzip2")
+            assert res.linearization in ("row", "column")
+
+    def test_preferences_assigned_correctly(self, gts_eval):
+        assert gts_eval.isobar_ratio.preference is Preference.RATIO
+        assert gts_eval.isobar_speed.preference is Preference.SPEED
+
+    def test_improvable_dataset_detected(self, gts_eval):
+        assert gts_eval.improvable
+        assert gts_eval.isobar_ratio.improvable
+
+    def test_non_improvable_dataset_detected(self, sppm_eval):
+        assert not sppm_eval.improvable
+
+    def test_byte_accounting(self, gts_eval):
+        assert gts_eval.n_elements == _N
+        assert gts_eval.n_bytes == _N * 8
+
+
+class TestDerivedComparisons:
+    def test_best_standard_ratio_is_max(self, gts_eval):
+        best = gts_eval.best_standard_ratio()
+        assert best.ratio == max(r.ratio for r in gts_eval.standard.values())
+
+    def test_fastest_standard_is_max_throughput(self, gts_eval):
+        fastest = gts_eval.fastest_standard()
+        assert fastest.compress_mb_s == max(
+            r.compress_mb_s for r in gts_eval.standard.values()
+        )
+
+    def test_paper_headline_shape(self, gts_eval):
+        """The paper's core claims on an improvable dataset."""
+        # Better ratio than any standalone solver...
+        assert gts_eval.delta_cr_vs_best(gts_eval.isobar_ratio) > 0
+        assert gts_eval.delta_cr_vs_best(gts_eval.isobar_speed) > 0
+        # ... and the speed preference beats even the fast solver.
+        assert gts_eval.speedup_vs_fastest(gts_eval.isobar_speed) > 1.0
+        # Decompression is faster than the faster standalone solver.
+        assert gts_eval.decompress_speedup(gts_eval.isobar_speed) > 1.0
+
+    def test_ratio_preference_ratio_at_least_speed(self, gts_eval):
+        assert gts_eval.isobar_ratio.ratio >= gts_eval.isobar_speed.ratio * 0.995
+
+
+class TestEvaluateArray:
+    def test_custom_array(self, rng):
+        from repro.datasets.synthetic import build_structured
+
+        values = build_structured(_N, np.float64, 6, rng)
+        ev = evaluate_array("custom", values,
+                            config=IsobarConfig(sample_elements=4096))
+        assert ev.name == "custom"
+        assert ev.improvable
+
+    def test_custom_codec_set(self, rng):
+        from repro.datasets.synthetic import build_structured
+
+        values = build_structured(_N, np.float64, 6, rng)
+        ev = evaluate_array(
+            "custom", values,
+            config=IsobarConfig(sample_elements=4096,
+                                candidate_codecs=("zlib", "lzma")),
+            codec_names=("zlib", "lzma"),
+        )
+        assert set(ev.standard) == {"zlib", "lzma"}

@@ -1,0 +1,74 @@
+"""Unit tests for the transcribed paper reference numbers."""
+
+import pytest
+
+from repro.bench.paper_numbers import (
+    PAPER_SECTION_F,
+    PAPER_TABLE5,
+    PAPER_TABLE6,
+    PAPER_TABLE7,
+    PAPER_TABLE9_SP,
+    PAPER_TABLE10_MEANS,
+    compare_ratio,
+)
+from repro.datasets.registry import dataset_names, improvable_dataset_names
+
+
+class TestTranscriptionConsistency:
+    def test_table5_covers_all_24_datasets(self):
+        assert set(PAPER_TABLE5) == set(dataset_names())
+
+    def test_ni_set_matches_registry(self):
+        paper_ni = {name for name, row in PAPER_TABLE5.items()
+                    if row.isobar_cr_cr is None}
+        registry_ni = set(dataset_names()) - set(improvable_dataset_names())
+        assert paper_ni == registry_ni
+
+    def test_isobar_cr_beats_standalone_in_paper(self):
+        """Internal consistency of the transcription: the paper's
+        ISOBAR-CR always beats its best standalone ratio."""
+        for name, row in PAPER_TABLE5.items():
+            if row.isobar_cr_cr is None:
+                continue
+            assert row.isobar_cr_cr > max(row.zlib_cr, row.bzlib2_cr), name
+
+    def test_cr_preference_at_least_sp(self):
+        for name, row in PAPER_TABLE5.items():
+            if row.isobar_cr_cr is None:
+                continue
+            assert row.isobar_cr_cr >= row.isobar_sp_cr, name
+
+    def test_tables_6_and_7_cover_improvable_doubles(self):
+        # 16 double-precision improvable datasets (s3d float32 pair and
+        # xgc_igid integers are reported elsewhere in the paper).
+        assert len(PAPER_TABLE6) == 16
+        assert set(PAPER_TABLE6) == set(PAPER_TABLE7)
+        assert set(PAPER_TABLE6) <= set(improvable_dataset_names())
+
+    def test_table9_covers_all_improvable(self):
+        assert set(PAPER_TABLE9_SP) == set(improvable_dataset_names())
+        assert all(sp > 1.0 for sp in PAPER_TABLE9_SP.values())
+
+    def test_table10_ordering(self):
+        means = PAPER_TABLE10_MEANS
+        assert means["isobar"] > means["fpzip"] > means["fpc"]
+
+    def test_section_f_regimes(self):
+        assert set(PAPER_SECTION_F) == {"linear", "nonlinear"}
+        for stats in PAPER_SECTION_F.values():
+            assert stats["mean_dcr"] > 0
+            assert stats["std_dcr"] < stats["mean_dcr"]
+
+
+class TestCompareRatio:
+    def test_both_ni(self):
+        assert compare_ratio(None, None) == "match-NI"
+
+    def test_ni_disagreement(self):
+        assert compare_ratio(1.2, None) == "mismatch-NI"
+        assert compare_ratio(None, 1.2) == "mismatch-NI"
+
+    def test_signed_percentages(self):
+        assert compare_ratio(1.1, 1.0) == "+10.0%"
+        assert compare_ratio(0.9, 1.0) == "-10.0%"
+        assert compare_ratio(1.0, 1.0) == "+0.0%"

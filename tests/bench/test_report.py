@@ -1,0 +1,81 @@
+"""Unit tests for the plain-text report renderer."""
+
+import pytest
+
+from repro.bench.report import format_cell, render_kv, render_series, render_table
+
+
+class TestFormatCell:
+    def test_none_renders_as_ni(self):
+        assert format_cell(None) == "NI"
+
+    def test_booleans(self):
+        assert format_cell(True) == "Yes"
+        assert format_cell(False) == "No"
+
+    def test_floats_rounded(self):
+        assert format_cell(1.23456) == "1.235"
+        assert format_cell(1.23456, float_digits=1) == "1.2"
+
+    def test_nan_dash(self):
+        assert format_cell(float("nan")) == "-"
+
+    def test_large_and_inf(self):
+        assert format_cell(float("inf")) == "inf"
+        assert "e" in format_cell(1.5e9) or format_cell(1.5e9) == "1.5e+09"
+
+    def test_strings_and_ints(self):
+        assert format_cell("abc") == "abc"
+        assert format_cell(42) == "42"
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table(
+            ["Name", "CR"], [["zlib", 1.5], ["bzip2", 2.0]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "Name" in lines[2]
+        assert "zlib" in text
+        assert "2.000" in text
+
+    def test_empty_rows(self):
+        text = render_table(["A", "B"], [])
+        assert "A" in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["A", "B"], [["only-one"]])
+
+    def test_ni_cells(self):
+        text = render_table(["D", "CR"], [["x", None]])
+        assert "NI" in text
+
+
+class TestRenderSeries:
+    def test_bars_scale_with_values(self):
+        text = render_series("x", "y", [(1, 1.0), (2, 2.0), (3, 3.0)])
+        lines = [l for l in text.splitlines() if "#" in l]
+        assert len(lines) == 3
+        bar_lengths = [line.count("#") for line in lines]
+        assert bar_lengths[0] < bar_lengths[1] < bar_lengths[2]
+
+    def test_constant_series(self):
+        text = render_series("x", "y", [(1, 5.0), (2, 5.0)])
+        assert "5.000" in text
+
+    def test_empty_series(self):
+        text = render_series("x", "y", [])
+        assert "x" in text
+
+
+class TestRenderKv:
+    def test_pairs_aligned(self):
+        text = render_kv([("short", 1), ("a-long-key", 2.5)], title="Info")
+        assert "Info" in text
+        assert "short" in text
+        assert "2.500" in text
+
+    def test_empty(self):
+        assert render_kv([]) == ""

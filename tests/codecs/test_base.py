@@ -1,0 +1,80 @@
+"""Unit tests for the codec interface and registry."""
+
+import pytest
+
+from repro.codecs.base import (
+    CallableCodec,
+    codec_names,
+    codec_registry_snapshot,
+    get_codec,
+    iter_codecs,
+    register_codec,
+)
+from repro.core.exceptions import CodecError, UnknownCodecError
+
+
+class TestRegistry:
+    def test_standard_codecs_registered_on_import(self):
+        names = codec_names()
+        for expected in ("zlib", "bzip2", "lzma", "zlib-1", "bzip2-1"):
+            assert expected in names
+
+    def test_get_codec_returns_working_instance(self):
+        codec = get_codec("zlib")
+        data = b"hello world" * 100
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_unknown_codec_raises_with_available_list(self):
+        with pytest.raises(UnknownCodecError) as excinfo:
+            get_codec("nonexistent")
+        assert "nonexistent" in str(excinfo.value)
+        assert "zlib" in str(excinfo.value)
+
+    def test_register_custom_codec(self):
+        codec = CallableCodec("test-identity", lambda b: b, lambda b: b)
+        register_codec(codec)
+        try:
+            assert get_codec("test-identity") is codec
+        finally:
+            codec_registry_snapshot()  # snapshot unaffected by cleanup
+            # remove to keep the global registry clean for other tests
+            from repro.codecs import base as base_module
+
+            del base_module._REGISTRY["test-identity"]
+
+    def test_reregistering_same_instance_is_idempotent(self):
+        codec = get_codec("zlib")
+        assert register_codec(codec) is codec
+
+    def test_shadowing_requires_replace_flag(self):
+        imposter = CallableCodec("zlib", lambda b: b, lambda b: b)
+        with pytest.raises(CodecError):
+            register_codec(imposter)
+
+    def test_unnamed_codec_rejected(self):
+        anonymous = CallableCodec("", lambda b: b, lambda b: b)
+        with pytest.raises(CodecError):
+            register_codec(anonymous)
+
+    def test_iter_codecs_sorted(self):
+        names = [codec.name for codec in iter_codecs()]
+        assert names == sorted(names)
+
+    def test_snapshot_is_a_copy(self):
+        snapshot = codec_registry_snapshot()
+        snapshot["fake"] = None
+        assert "fake" not in codec_names()
+
+
+class TestCodecHelpers:
+    def test_ratio(self):
+        codec = get_codec("zlib")
+        data = b"a" * 10_000
+        assert codec.ratio(data) > 50.0
+
+    def test_ratio_rejects_empty(self):
+        with pytest.raises(CodecError):
+            get_codec("zlib").ratio(b"")
+
+    def test_repr_contains_name(self):
+        assert "zlib" in repr(get_codec("zlib"))

@@ -1,0 +1,194 @@
+"""Unit tests for the from-scratch entropy solvers: Huffman, LZSS, RLE."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codecs.base import get_codec
+from repro.codecs.bitio import BitReader, BitWriter
+from repro.codecs.huffman import HuffmanCodec, build_code_lengths, canonical_codes
+from repro.codecs.lzss import LzssCodec
+from repro.codecs.rle import RleCodec
+from repro.core.exceptions import (
+    CodecError,
+    ConfigurationError,
+    ContainerFormatError,
+    InvalidInputError,
+)
+
+
+class TestBitIo:
+    def test_roundtrip_bits(self):
+        writer = BitWriter()
+        pattern = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1]
+        for bit in pattern:
+            writer.write_bit(bit)
+        reader = BitReader(writer.getvalue())
+        assert [reader.read_bit() for _ in pattern] == pattern
+
+    def test_write_read_bits(self):
+        writer = BitWriter()
+        writer.write_bits(0b10110, 5)
+        writer.write_bits(0x3FF, 10)
+        reader = BitReader(writer.getvalue())
+        assert reader.read_bits(5) == 0b10110
+        assert reader.read_bits(10) == 0x3FF
+
+    def test_unary(self):
+        writer = BitWriter()
+        for value in (0, 3, 7):
+            writer.write_unary(value)
+        reader = BitReader(writer.getvalue())
+        assert [reader.read_unary() for _ in range(3)] == [0, 3, 7]
+
+    def test_bit_length_tracking(self):
+        writer = BitWriter()
+        writer.write_bits(0, 13)
+        assert writer.bit_length == 13
+
+    def test_value_too_wide_rejected(self):
+        with pytest.raises(InvalidInputError):
+            BitWriter().write_bits(8, 3)
+
+    def test_exhausted_reader_raises(self):
+        reader = BitReader(b"")
+        with pytest.raises(ContainerFormatError):
+            reader.read_bit()
+
+
+class TestHuffmanConstruction:
+    def test_code_lengths_reflect_frequencies(self):
+        lengths = build_code_lengths({0: 100, 1: 10, 2: 10, 3: 1})
+        assert lengths[0] < lengths[3]
+
+    def test_kraft_inequality_tight(self):
+        lengths = build_code_lengths({i: i + 1 for i in range(20)})
+        assert sum(2.0 ** -l for l in lengths.values()) == pytest.approx(1.0)
+
+    def test_single_symbol_gets_length_1(self):
+        assert build_code_lengths({42: 1000}) == {42: 1}
+
+    def test_empty(self):
+        assert build_code_lengths({}) == {}
+
+    def test_canonical_codes_are_prefix_free(self):
+        lengths = build_code_lengths({i: 2 ** (8 - i % 8) for i in range(50)})
+        codes = canonical_codes(lengths)
+        strings = sorted(
+            format(code, f"0{width}b") for code, width in codes.values()
+        )
+        for a, b in zip(strings, strings[1:]):
+            assert not b.startswith(a)
+
+
+_SOLVERS = [HuffmanCodec(), LzssCodec(), RleCodec()]
+
+
+@pytest.mark.parametrize("codec", _SOLVERS, ids=lambda c: c.name)
+class TestSolverRoundTrips:
+    def test_text(self, codec):
+        data = b"entropy coding for scientific data " * 200
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_empty(self, codec):
+        assert codec.decompress(codec.compress(b"")) == b""
+
+    def test_single_byte(self, codec):
+        assert codec.decompress(codec.compress(b"\x7f")) == b"\x7f"
+
+    def test_all_256_values(self, codec):
+        data = bytes(range(256)) * 20
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_noise(self, codec, rng):
+        data = rng.integers(0, 256, 20_000, dtype=np.int64).astype(
+            np.uint8
+        ).tobytes()
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_long_runs(self, codec):
+        data = b"\x00" * 5000 + b"\xff" * 5000 + b"ab" * 100
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_garbage_raises(self, codec):
+        with pytest.raises(CodecError):
+            codec.decompress(b"garbage that is not a stream")
+
+    def test_registered(self, codec):
+        assert get_codec(codec.name) is not None
+
+    @settings(max_examples=25, deadline=None)
+    @given(payload=st.binary(min_size=0, max_size=2000))
+    def test_roundtrip_property(self, codec, payload):
+        assert codec.decompress(codec.compress(payload)) == payload
+
+
+class TestSolverCharacteristics:
+    def test_huffman_approaches_entropy_bound(self):
+        # Two symbols at 50/50: bound = 1 bit/byte = 8x ratio (minus
+        # the 268-byte header).
+        data = bytes([0, 255] * 20_000)
+        compressed = HuffmanCodec().compress(data)
+        assert len(data) / len(compressed) > 7.0
+
+    def test_huffman_skewed_better_than_uniform(self):
+        # Four symbols: uniform needs 2 bits each; a heavy skew lets
+        # Huffman give the hot symbol a 1-bit code.  (With only two
+        # symbols both cases cost 1 bit/symbol — Huffman's floor.)
+        skewed = bytes([0] * 8500 + [1] * 500 + [2] * 500 + [3] * 500)
+        uniform = bytes([0, 1, 2, 3] * 2500)
+        h = HuffmanCodec()
+        assert len(h.compress(skewed)) < len(h.compress(uniform))
+
+    def test_lzss_exploits_repetition_huffman_cannot(self):
+        # A repeated phrase has flat byte frequencies (Huffman-neutral)
+        # but long matches (LZSS gold).
+        data = bytes(range(64)) * 300
+        lzss_size = len(LzssCodec().compress(data))
+        huffman_size = len(HuffmanCodec().compress(data))
+        assert lzss_size < huffman_size / 3
+
+    def test_lzss_window_config(self):
+        data = b"abcdefgh" * 1000
+        small = LzssCodec(window_bits=8)
+        large = LzssCodec(window_bits=15)
+        assert small.decompress(small.compress(data)) == data
+        assert large.decompress(large.compress(data)) == data
+
+    def test_lzss_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            LzssCodec(window_bits=7)
+        with pytest.raises(ConfigurationError):
+            LzssCodec(length_bits=1)
+        with pytest.raises(ConfigurationError):
+            LzssCodec(max_chain=0)
+
+    def test_rle_wins_only_on_runs(self):
+        runs = b"x" * 10_000
+        text = b"abcdefgh" * 1250
+        rle = RleCodec()
+        assert len(rle.compress(runs)) < 100
+        assert len(rle.compress(text)) >= len(text)  # no runs, no gain
+
+    def test_rle_marker_handling(self):
+        # Data consisting of the marker byte itself, short and long runs.
+        marker = bytes([0xF5])
+        data = marker * 3 + b"a" + marker * 100 + b"b" + marker
+        assert RleCodec().decompress(RleCodec().compress(data)) == data
+
+    def test_rle_zero_byte_runs(self):
+        data = b"\x00" * 100 + b"a\x00a" + b"\x00" * 7
+        assert RleCodec().decompress(RleCodec().compress(data)) == data
+
+    def test_solvers_work_behind_isobar(self, improvable_doubles):
+        """The paper's solver-agnosticism claim, with our own solvers."""
+        from repro.core import IsobarCompressor, IsobarConfig
+
+        for codec_name in ("huffman", "lzss", "rle"):
+            config = IsobarConfig(codec=codec_name, sample_elements=1024,
+                                  chunk_elements=4096)
+            compressor = IsobarCompressor(config)
+            small = improvable_doubles[:4096]
+            restored = compressor.decompress(compressor.compress(small))
+            assert np.array_equal(restored, small), codec_name

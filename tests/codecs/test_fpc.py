@@ -1,0 +1,146 @@
+"""Unit tests for the from-scratch FPC compressor."""
+
+import numpy as np
+import pytest
+
+from repro.codecs.fpc import FpcCodec, _leading_zero_bytes
+from repro.core.exceptions import (
+    ContainerFormatError,
+    ConfigurationError,
+    InvalidInputError,
+)
+
+
+class TestLeadingZeroBytes:
+    @pytest.mark.parametrize("value,expected", [
+        (0, 8),
+        (1, 7),
+        (0xFF, 7),
+        (0x100, 6),
+        (0xFFFF_FFFF, 4),
+        (0x1_0000_0000, 3),
+        (0xFFFF_FFFF_FFFF_FFFF, 0),
+        (1 << 56, 0),
+        ((1 << 56) - 1, 1),
+    ])
+    def test_counts(self, value, expected):
+        assert _leading_zero_bytes(value) == expected
+
+
+class TestRoundTrips:
+    def _assert_roundtrip(self, values, codec=None):
+        codec = codec or FpcCodec()
+        encoded = codec.encode(values)
+        decoded = codec.decode(encoded)
+        assert decoded.dtype == values.dtype
+        assert decoded.shape == values.shape
+        assert np.array_equal(
+            decoded.view(np.uint64).reshape(-1),
+            values.view(np.uint64).reshape(-1),
+        )
+        return encoded
+
+    def test_smooth_doubles(self):
+        values = np.sin(np.linspace(0, 20, 10_000))
+        self._assert_roundtrip(values)
+
+    def test_random_walk_compresses(self):
+        rng = np.random.default_rng(0)
+        values = np.cumsum(rng.normal(size=20_000)) + 500.0
+        encoded = self._assert_roundtrip(values)
+        assert len(encoded) < values.nbytes  # predictive gain
+
+    def test_special_values(self):
+        values = np.array([0.0, -0.0, np.inf, -np.inf, np.nan, 1e-308,
+                           np.finfo(np.float64).max])
+        self._assert_roundtrip(values)
+
+    def test_int64(self):
+        values = np.arange(-500, 500, dtype=np.int64)
+        self._assert_roundtrip(values)
+
+    def test_uint64_extremes(self):
+        values = np.array([0, 1, 2**63, 2**64 - 1], dtype=np.uint64)
+        self._assert_roundtrip(values)
+
+    def test_single_element(self):
+        self._assert_roundtrip(np.array([3.14159]))
+
+    def test_odd_element_count_pads_code_byte(self):
+        # An odd count leaves a half-filled header byte; it must decode.
+        self._assert_roundtrip(np.linspace(0, 1, 1001))
+
+    def test_2d_shape_preserved(self):
+        values = np.outer(np.linspace(1, 2, 40), np.linspace(3, 4, 25))
+        self._assert_roundtrip(values)
+
+    def test_empty_array(self):
+        values = np.array([], dtype=np.float64)
+        codec = FpcCodec()
+        assert codec.decode(codec.encode(values)).size == 0
+
+    def test_constant_stream_compresses_extremely_well(self):
+        values = np.full(10_000, 1.5)
+        encoded = FpcCodec().encode(values)
+        # After the predictor locks on, each value costs ~half a byte.
+        assert len(encoded) < values.nbytes / 10
+
+
+class TestConfiguration:
+    def test_table_size_changes_stream_but_roundtrips(self):
+        values = np.cumsum(np.ones(1000)) * 1.1
+        small = FpcCodec(table_size_log2=4)
+        large = FpcCodec(table_size_log2=18)
+        assert np.array_equal(small.decode(small.encode(values)), values)
+        assert np.array_equal(large.decode(large.encode(values)), values)
+
+    def test_cross_table_decode(self):
+        # A stream records its writer's table size; any FpcCodec
+        # instance must decode it correctly.
+        values = np.cumsum(np.ones(2000)) * 0.7
+        written = FpcCodec(table_size_log2=8).encode(values)
+        assert np.array_equal(FpcCodec(table_size_log2=16).decode(written),
+                              values)
+
+    @pytest.mark.parametrize("bad", [3, 25, 0])
+    def test_table_size_validation(self, bad):
+        with pytest.raises(ConfigurationError):
+            FpcCodec(table_size_log2=bad)
+
+
+class TestErrors:
+    def test_rejects_float32(self):
+        with pytest.raises(InvalidInputError):
+            FpcCodec().encode(np.zeros(10, dtype=np.float32))
+
+    def test_rejects_int32(self):
+        with pytest.raises(InvalidInputError):
+            FpcCodec().encode(np.zeros(10, dtype=np.int32))
+
+    def test_truncated_stream_raises(self):
+        encoded = FpcCodec().encode(np.linspace(0, 1, 100))
+        with pytest.raises(ContainerFormatError):
+            FpcCodec().decode(encoded[: len(encoded) // 2])
+
+    def test_bad_magic_raises(self):
+        with pytest.raises(ContainerFormatError):
+            FpcCodec().decode(b"XXXXGARBAGE")
+
+
+class TestCompressionBehaviour:
+    def test_predictable_beats_noise(self):
+        rng = np.random.default_rng(1)
+        smooth = np.cumsum(rng.normal(size=5000))
+        noise = rng.integers(0, 2**63, 5000, dtype=np.int64).view(np.float64)
+        codec = FpcCodec()
+        smooth_ratio = smooth.nbytes / len(codec.encode(smooth))
+        noise_ratio = noise.nbytes / len(codec.encode(noise))
+        assert smooth_ratio > noise_ratio
+
+    def test_noise_overhead_is_bounded(self):
+        # FPC's worst case is 4 bits of code per value: <= ~6.25%
+        # expansion over raw.
+        rng = np.random.default_rng(2)
+        noise = rng.integers(0, 2**63, 5000, dtype=np.int64).view(np.float64)
+        encoded = FpcCodec().encode(noise)
+        assert len(encoded) < noise.nbytes * 1.08

@@ -1,0 +1,140 @@
+"""Unit and property tests for the adaptive range coder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codecs.base import get_codec
+from repro.codecs.huffman import HuffmanCodec
+from repro.codecs.range_coder import RangeCoderCodec, _FenwickModel
+from repro.core.exceptions import CodecError
+
+
+class TestFenwickModel:
+    def test_initial_uniform(self):
+        model = _FenwickModel()
+        assert model.total == 256
+        assert model.frequency(0) == 1
+        assert model.cumulative(0) == 0
+        assert model.cumulative(255) == 255
+
+    def test_update_shifts_cumulative(self):
+        model = _FenwickModel()
+        model.update(10, increment=5)
+        assert model.frequency(10) == 6
+        assert model.cumulative(10) == 10  # symbols below unchanged
+        assert model.cumulative(11) == 16
+        assert model.total == 261
+
+    def test_find_inverts_cumulative(self):
+        model = _FenwickModel()
+        for symbol in (0, 3, 200, 255):
+            model.update(symbol, increment=7)
+        for symbol in range(0, 256, 17):
+            start = model.cumulative(symbol)
+            assert model.find(start) == symbol
+            assert model.find(start + model.frequency(symbol) - 1) == symbol
+
+    def test_rescale_preserves_consistency(self):
+        model = _FenwickModel()
+        for _ in range(2000):
+            model.update(42)
+        # Rescales happened; invariants must hold.
+        assert model.total == model.cumulative(255) + model.frequency(255)
+        assert model.find(model.cumulative(42)) == 42
+        assert all(model.frequency(s) >= 0 for s in range(256))
+        # Hot symbol keeps a dominant share.
+        assert model.frequency(42) > model.total // 2
+
+
+class TestRangeCoderRoundTrips:
+    @pytest.mark.parametrize("payload", [
+        b"",
+        b"x",
+        b"abc" * 500,
+        bytes(range(256)) * 10,
+        b"\xff" * 3000,
+        b"\x00" * 3000,
+        b"\xff\x00" * 1500,
+    ], ids=["empty", "single", "text", "all-bytes", "ff-runs", "zero-runs",
+            "alternating"])
+    def test_fixed_payloads(self, payload):
+        codec = RangeCoderCodec()
+        assert codec.decompress(codec.compress(payload)) == payload
+
+    def test_noise(self, rng):
+        payload = rng.integers(0, 256, 30_000, dtype=np.int64).astype(
+            np.uint8
+        ).tobytes()
+        codec = RangeCoderCodec()
+        assert codec.decompress(codec.compress(payload)) == payload
+
+    def test_carry_heavy_stream(self, rng):
+        # Long 0xFF prefixes maximise carry propagation into emitted
+        # bytes — the trickiest encoder path.
+        payload = b"\xff" * 2000 + rng.integers(0, 256, 2000).astype(
+            np.uint8
+        ).tobytes() + b"\xff" * 2000
+        codec = RangeCoderCodec()
+        assert codec.decompress(codec.compress(payload)) == payload
+
+    @settings(max_examples=30, deadline=None)
+    @given(payload=st.binary(min_size=0, max_size=3000))
+    def test_roundtrip_property(self, payload):
+        codec = RangeCoderCodec()
+        assert codec.decompress(codec.compress(payload)) == payload
+
+
+class TestRangeCoderQuality:
+    def test_beats_huffman_on_sub_bit_symbols(self):
+        # 99% one symbol: entropy ~0.08 bits/byte; Huffman floors at 1.
+        payload = bytes([0] * 9900 + [7] * 100)
+        range_size = len(RangeCoderCodec().compress(payload))
+        huffman_size = len(HuffmanCodec().compress(payload))
+        assert range_size < huffman_size / 5
+
+    def test_adaptivity_no_table_overhead(self):
+        # Tiny payloads: the range coder ships no frequency table.
+        payload = b"ab" * 20
+        compressed = RangeCoderCodec().compress(payload)
+        assert len(compressed) < len(payload) + 20
+
+    def test_near_entropy_on_biased_coin(self):
+        rng = np.random.default_rng(3)
+        bits = (rng.random(40_000) < 0.1).astype(np.uint8)
+        payload = bits.tobytes()
+        compressed = RangeCoderCodec().compress(payload)
+        # H(0.1) = 0.469 bits/byte -> bound ~2345 bytes; stay within 15%.
+        entropy_bound = 40_000 * 0.469 / 8
+        assert len(compressed) < entropy_bound * 1.15
+
+    def test_noise_overhead_bounded(self, rng):
+        payload = rng.integers(0, 256, 10_000).astype(np.uint8).tobytes()
+        compressed = RangeCoderCodec().compress(payload)
+        assert len(compressed) < len(payload) * 1.05
+
+
+class TestRangeCoderErrors:
+    def test_bad_magic(self):
+        with pytest.raises(CodecError):
+            RangeCoderCodec().decompress(b"not a stream at all")
+
+    def test_truncated(self):
+        compressed = RangeCoderCodec().compress(b"hello world" * 50)
+        with pytest.raises(CodecError):
+            RangeCoderCodec().decompress(compressed[:8])
+
+    def test_registered(self):
+        assert get_codec("range-coder").name == "range-coder"
+
+    def test_behind_isobar(self, improvable_doubles):
+        from repro.core import IsobarCompressor, IsobarConfig
+
+        config = IsobarConfig(codec="range-coder", sample_elements=1024,
+                              chunk_elements=4096)
+        compressor = IsobarCompressor(config)
+        small = improvable_doubles[:4096]
+        assert np.array_equal(
+            compressor.decompress(compressor.compress(small)), small
+        )

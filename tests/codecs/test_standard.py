@@ -1,0 +1,88 @@
+"""Unit tests for the zlib/bzip2/lzma solver wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.codecs.standard import Bzip2Codec, LzmaCodec, ZlibCodec
+from repro.core.exceptions import CodecError, ConfigurationError
+
+ALL_CODECS = [ZlibCodec(), Bzip2Codec(), LzmaCodec()]
+
+
+@pytest.mark.parametrize("codec", ALL_CODECS, ids=lambda c: c.name)
+class TestRoundTrips:
+    def test_text_roundtrip(self, codec):
+        data = b"the quick brown fox " * 500
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_empty_input(self, codec):
+        assert codec.decompress(codec.compress(b"")) == b""
+
+    def test_single_byte(self, codec):
+        assert codec.decompress(codec.compress(b"\x00")) == b"\x00"
+
+    def test_binary_noise_roundtrip(self, codec):
+        rng = np.random.default_rng(5)
+        data = rng.integers(0, 256, 50_000, dtype=np.uint8).tobytes()
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_repetitive_data_compresses(self, codec):
+        data = b"\x42" * 100_000
+        compressed = codec.compress(data)
+        assert len(compressed) < len(data) // 100
+
+    def test_garbage_decompress_raises_codec_error(self, codec):
+        with pytest.raises(CodecError):
+            codec.decompress(b"definitely not a valid stream")
+
+
+class TestLevels:
+    def test_zlib_level_tradeoff(self):
+        data = np.sin(np.linspace(0, 100, 30_000)).tobytes()
+        fast = ZlibCodec(level=1).compress(data)
+        best = ZlibCodec(level=9).compress(data)
+        assert len(best) <= len(fast)
+
+    def test_named_variants(self):
+        assert ZlibCodec().name == "zlib"
+        assert ZlibCodec(level=1).name == "zlib-1"
+        assert Bzip2Codec().name == "bzip2"
+        assert Bzip2Codec(level=3).name == "bzip2-3"
+        assert LzmaCodec().name == "lzma"
+        assert LzmaCodec(preset=6).name == "lzma-6"
+
+    def test_level_properties(self):
+        assert ZlibCodec(level=4).level == 4
+        assert Bzip2Codec(level=2).level == 2
+        assert LzmaCodec(preset=0).preset == 0
+
+    @pytest.mark.parametrize("level", [0, 10, -1])
+    def test_zlib_level_validation(self, level):
+        with pytest.raises(ConfigurationError):
+            ZlibCodec(level=level)
+
+    @pytest.mark.parametrize("level", [0, 10])
+    def test_bzip2_level_validation(self, level):
+        with pytest.raises(ConfigurationError):
+            Bzip2Codec(level=level)
+
+    @pytest.mark.parametrize("preset", [-1, 10])
+    def test_lzma_preset_validation(self, preset):
+        with pytest.raises(ConfigurationError):
+            LzmaCodec(preset=preset)
+
+
+class TestCrossCodecBehaviour:
+    def test_bzip2_beats_zlib_on_structured_data(self):
+        # The paper's general pattern: bzlib2 yields higher ratios on
+        # structured scientific data, at lower throughput.
+        data = np.round(np.sin(np.linspace(0, 50, 50_000)), 3).tobytes()
+        z = len(ZlibCodec().compress(data))
+        b = len(Bzip2Codec().compress(data))
+        assert b < z
+
+    def test_streams_are_not_interchangeable(self):
+        data = b"payload " * 100
+        z_stream = ZlibCodec().compress(data)
+        with pytest.raises(CodecError):
+            Bzip2Codec().decompress(z_stream)

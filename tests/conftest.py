@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite.
+
+Everything is deterministic: fixtures derive data from fixed seeds so
+failures reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import build_structured
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh, fixed-seed random generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def improvable_doubles(rng) -> np.ndarray:
+    """float64 data with 6 noise bytes of 8 — the classic HTC case."""
+    return build_structured(20_000, np.float64, 6, rng)
+
+
+@pytest.fixture
+def improvable_floats(rng) -> np.ndarray:
+    """float32 data with 2 noise bytes of 4."""
+    return build_structured(20_000, np.float32, 2, rng)
+
+
+@pytest.fixture
+def undetermined_doubles(rng) -> np.ndarray:
+    """float64 data with no noise bytes — every column compressible."""
+    return build_structured(20_000, np.float64, 0, rng)
+
+
+@pytest.fixture
+def incompressible_doubles(rng) -> np.ndarray:
+    """float64 data that is pure noise in every byte."""
+    bits = rng.integers(0, 1 << 62, size=20_000, dtype=np.int64)
+    return bits.view(np.float64)

@@ -1,0 +1,103 @@
+"""Unit tests for drift-adaptive re-selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import AdaptiveIsobarCompressor
+from repro.core.exceptions import ContainerFormatError, InvalidInputError
+from repro.core.preferences import IsobarConfig
+from repro.datasets.synthetic import build_structured
+
+_CFG = IsobarConfig(chunk_elements=30_000, sample_elements=2048)
+
+
+def _mixed_stream(rng):
+    """Two regimes: 6 noise bytes, then 2 noise bytes."""
+    a = build_structured(60_000, np.float64, 6, rng)
+    b = build_structured(60_000, np.float64, 2, rng)
+    return a, b, np.concatenate([a, b])
+
+
+class TestSegmentation:
+    def test_stable_stream_single_decision(self, rng):
+        values = build_structured(90_000, np.float64, 6, rng)
+        result = AdaptiveIsobarCompressor(_CFG).compress_detailed(values)
+        assert result.n_decisions == 1
+        assert result.segments[0].element_start == 0
+        assert result.segments[0].element_stop == 90_000
+
+    def test_drift_triggers_resegmentation(self, rng):
+        _, _, mixed = _mixed_stream(rng)
+        result = AdaptiveIsobarCompressor(_CFG).compress_detailed(mixed)
+        assert result.n_decisions == 2
+        assert result.segments[0].element_stop == 60_000
+        assert result.segments[0].mask_bits == "00000011"
+        assert result.segments[1].mask_bits == "00111111"
+
+    def test_segments_are_contiguous(self, rng):
+        _, _, mixed = _mixed_stream(rng)
+        result = AdaptiveIsobarCompressor(_CFG).compress_detailed(mixed)
+        cursor = 0
+        for segment in result.segments:
+            assert segment.element_start == cursor
+            cursor = segment.element_stop
+        assert cursor == mixed.size
+
+    def test_revisit_every_forces_reevaluation(self, rng):
+        values = build_structured(120_000, np.float64, 6, rng)
+        result = AdaptiveIsobarCompressor(
+            _CFG, revisit_every=2
+        ).compress_detailed(values)
+        # 4 chunks, re-evaluating every 2 -> 2 segments even w/o drift.
+        assert result.n_decisions == 2
+
+    def test_revisit_validation(self):
+        with pytest.raises(InvalidInputError):
+            AdaptiveIsobarCompressor(_CFG, revisit_every=0)
+
+
+class TestRoundTrips:
+    def test_mixed_stream_roundtrip(self, rng):
+        _, _, mixed = _mixed_stream(rng)
+        compressor = AdaptiveIsobarCompressor(_CFG)
+        restored = compressor.decompress(compressor.compress(mixed))
+        assert np.array_equal(restored, mixed)
+
+    def test_single_segment_roundtrip(self, rng):
+        values = build_structured(30_000, np.float64, 6, rng)
+        compressor = AdaptiveIsobarCompressor(_CFG)
+        assert np.array_equal(
+            compressor.decompress(compressor.compress(values)), values
+        )
+
+    def test_small_stream(self, rng):
+        values = build_structured(100, np.float64, 6, rng)
+        compressor = AdaptiveIsobarCompressor(_CFG)
+        assert np.array_equal(
+            compressor.decompress(compressor.compress(values)), values
+        )
+
+    def test_adaptive_competitive_with_static_on_mixed_data(self, rng):
+        """Per-regime decisions stay within sampling noise of one
+        global decision (each segment's selector sees only a small
+        sample, so a few percent either way is expected)."""
+        from repro.core.pipeline import IsobarCompressor
+
+        _, _, mixed = _mixed_stream(rng)
+        adaptive_size = len(AdaptiveIsobarCompressor(_CFG).compress(mixed))
+        static_size = len(IsobarCompressor(_CFG).compress(mixed))
+        assert adaptive_size < static_size * 1.05
+
+
+class TestEnvelopeErrors:
+    def test_bad_magic(self):
+        compressor = AdaptiveIsobarCompressor(_CFG)
+        with pytest.raises(ContainerFormatError):
+            compressor.decompress(b"NOPE" + b"\x00" * 32)
+
+    def test_truncated_segment(self, rng):
+        values = build_structured(30_000, np.float64, 6, rng)
+        compressor = AdaptiveIsobarCompressor(_CFG)
+        payload = compressor.compress(values)
+        with pytest.raises(Exception):
+            compressor.decompress(payload[: len(payload) // 2])

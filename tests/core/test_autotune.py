@@ -1,0 +1,95 @@
+"""Unit tests for automatic tau selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.autotune import TauSweepResult, autotune_tau, minimum_reliable_tau
+from repro.core.exceptions import ConfigurationError, InvalidInputError
+from repro.core.preferences import IsobarConfig
+
+
+class TestMinimumReliableTau:
+    def test_decreases_with_chunk_size(self):
+        taus = [minimum_reliable_tau(n) for n in (1_000, 10_000, 100_000,
+                                                  375_000)]
+        assert taus == sorted(taus, reverse=True)
+
+    def test_paper_chunk_size_supports_paper_tau(self):
+        """At 375k elements, tau = 1.42 sits safely above the floor —
+        the quantitative justification of the paper's chunk choice."""
+        assert minimum_reliable_tau(375_000) < 1.42
+
+    def test_small_chunks_do_not(self):
+        """At 8k elements the floor exceeds 1.42: why small chunks
+        misclassify noise (Figure 8's unsettled region)."""
+        assert minimum_reliable_tau(8_000) > 1.42
+
+    def test_validation(self):
+        with pytest.raises(InvalidInputError):
+            minimum_reliable_tau(0)
+
+
+class TestAutotune:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        from repro.datasets.registry import generate_dataset
+
+        values = generate_dataset("gts_chkp_zion", n_elements=40_000)
+        return autotune_tau(values, sample_elements=40_000,
+                            config=IsobarConfig(sample_elements=4096))
+
+    def test_result_structure(self, sweep):
+        assert isinstance(sweep, TauSweepResult)
+        assert len(sweep.ratios) == len(sweep.grid)
+        assert sweep.plateau  # non-empty
+        assert sweep.chosen_tau in sweep.grid
+
+    def test_chosen_tau_in_plateau_or_above_floor(self, sweep):
+        assert (sweep.chosen_tau in sweep.plateau
+                or sweep.chosen_tau >= sweep.statistical_floor)
+
+    def test_paper_tau_inside_plateau(self, sweep):
+        """1.42 must fall within the detected stability plateau —
+        the automated version of the paper's manual calibration."""
+        assert min(sweep.plateau) <= 1.42 <= max(sweep.plateau) or (
+            # grid granularity may exclude 1.42 itself; require the
+            # plateau to cover the paper band's neighbourhood.
+            any(1.3 <= t <= 1.6 for t in sweep.plateau)
+        )
+
+    def test_plateau_ratios_agree(self, sweep):
+        plateau_ratios = [
+            ratio for tau, ratio in zip(sweep.grid, sweep.ratios)
+            if tau in sweep.plateau
+        ]
+        spread = max(plateau_ratios) - min(plateau_ratios)
+        assert spread <= 0.011 * max(plateau_ratios)
+
+    def test_as_rows(self, sweep):
+        rows = sweep.as_rows()
+        assert len(rows) == len(sweep.grid)
+        assert any(row[2] for row in rows)  # some rows in plateau
+
+    def test_grid_validation(self):
+        values = np.arange(1000.0)
+        with pytest.raises(ConfigurationError):
+            autotune_tau(values, grid=(1.4,))
+        with pytest.raises(ConfigurationError):
+            autotune_tau(values, grid=(1.5, 1.4))
+        with pytest.raises(ConfigurationError):
+            autotune_tau(values, tolerance=0.0)
+
+    def test_empty_input(self):
+        with pytest.raises(InvalidInputError):
+            autotune_tau(np.array([]))
+
+    def test_chosen_config_compresses_losslessly(self, sweep):
+        from repro.core import IsobarCompressor, IsobarConfig
+        from repro.datasets.registry import generate_dataset
+
+        values = generate_dataset("gts_chkp_zion", n_elements=20_000)
+        config = IsobarConfig(tau=sweep.chosen_tau, sample_elements=2048)
+        compressor = IsobarCompressor(config)
+        assert np.array_equal(
+            compressor.decompress(compressor.compress(values)), values
+        )

@@ -1,0 +1,126 @@
+"""Unit tests for the bit-level preconditioning variant."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitlevel import BitLevelCompressor, analyze_bits
+from repro.core.exceptions import ContainerFormatError, InvalidInputError
+from repro.datasets.synthetic import build_structured
+
+
+class TestAnalyzeBits:
+    def test_constant_data_all_signal(self):
+        analysis = analyze_bits(np.full(5000, 1.5))
+        assert analysis.mask.all()
+        assert analysis.n_noise_bits == 0
+
+    def test_noise_bytes_become_noise_bits(self, rng):
+        values = build_structured(30_000, np.float64, 6, rng)
+        analysis = analyze_bits(values)
+        # 6 noise bytes = 48 noise bit positions (first 48, LSB order).
+        assert analysis.n_noise_bits >= 46
+        assert not analysis.mask[:40].any()
+
+    def test_threshold_validation(self):
+        with pytest.raises(InvalidInputError):
+            analyze_bits(np.arange(10.0), threshold=0.5)
+        with pytest.raises(InvalidInputError):
+            analyze_bits(np.arange(10.0), threshold=1.0)
+
+    def test_probability_shape(self, rng):
+        values = build_structured(5_000, np.float32, 2, rng)
+        analysis = analyze_bits(values)
+        assert analysis.probabilities.shape == (32,)
+        assert analysis.n_bit_columns == 32
+
+
+class TestBitLevelCompressor:
+    @pytest.mark.parametrize("dtype,noise", [(np.float64, 6),
+                                             (np.float32, 2),
+                                             (np.int64, 3)])
+    def test_roundtrip(self, rng, dtype, noise):
+        values = build_structured(20_000, dtype, noise, rng)
+        compressor = BitLevelCompressor("zlib")
+        restored = compressor.decompress(compressor.compress(values))
+        width = np.dtype(dtype).itemsize
+        assert restored.dtype == np.dtype(dtype)
+        assert np.array_equal(
+            restored.view(f"u{width}"), values.view(f"u{width}")
+        )
+
+    def test_all_signal_roundtrip(self):
+        values = np.full(8_000, 2.5)
+        compressor = BitLevelCompressor("zlib")
+        assert np.array_equal(
+            compressor.decompress(compressor.compress(values)), values
+        )
+
+    def test_all_noise_roundtrip(self, incompressible_doubles):
+        compressor = BitLevelCompressor("zlib")
+        restored = compressor.decompress(
+            compressor.compress(incompressible_doubles)
+        )
+        assert np.array_equal(
+            restored.view(np.uint64), incompressible_doubles.view(np.uint64)
+        )
+
+    def test_non_multiple_of_8_elements(self, rng):
+        values = build_structured(10_001, np.float64, 6, rng)
+        compressor = BitLevelCompressor("zlib")
+        assert np.array_equal(
+            compressor.decompress(compressor.compress(values)), values
+        )
+
+    def test_comparable_to_isobar_on_whole_byte_noise(self, rng):
+        """When noise aligns to byte boundaries, both granularities see
+        the same structure and land near the same ratio."""
+        from repro.core import IsobarCompressor, IsobarConfig
+
+        values = build_structured(30_000, np.float64, 6, rng)
+        bit_ratio = BitLevelCompressor("zlib").ratio(values)
+        isobar_ratio = IsobarCompressor(
+            IsobarConfig(codec="zlib", sample_elements=4096)
+        ).compress_detailed(values).ratio
+        assert bit_ratio == pytest.approx(isobar_ratio, rel=0.05)
+
+    def test_byte_level_wins_on_subbyte_alphabet(self, rng):
+        """The paper's granularity argument, measured.
+
+        Bytes drawn uniformly from the 70 popcount-4 values have every
+        *bit* at exactly p=0.5 (bit-level calls the column noise and
+        stores it raw) while the *byte* histogram is concentrated on 70
+        of 256 values (entropy ~6.1 bits — byte-level compresses it).
+        """
+        from repro.analysis.bytefreq import byte_matrix, matrix_to_elements
+        from repro.core import IsobarCompressor, IsobarConfig
+
+        popcount4 = np.array(
+            [v for v in range(256) if bin(v).count("1") == 4], dtype=np.uint8
+        )
+        base = build_structured(30_000, np.float64, 0, rng)
+        matrix = byte_matrix(base)
+        for column in range(6):
+            matrix[:, column] = rng.choice(popcount4, size=30_000)
+        values = matrix_to_elements(matrix, np.dtype(np.float64))
+
+        analysis = analyze_bits(values)
+        # Bit level throws most of the element away as noise...
+        assert analysis.n_noise_bits >= 48
+        bit_ratio = BitLevelCompressor("zlib").ratio(values)
+        isobar_ratio = IsobarCompressor(
+            IsobarConfig(codec="zlib", sample_elements=4096)
+        ).compress_detailed(values).ratio
+        # ... while the byte view keeps the whole stream compressible
+        # (undetermined mask -> everything reaches the solver) and
+        # lands measurably ahead.
+        assert isobar_ratio > bit_ratio * 1.03
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidInputError):
+            BitLevelCompressor("zlib").compress(np.array([]))
+
+    def test_corrupt_container(self, rng):
+        values = build_structured(5_000, np.float64, 6, rng)
+        blob = BitLevelCompressor("zlib").compress(values)
+        with pytest.raises(ContainerFormatError):
+            BitLevelCompressor("zlib").decompress(b"XXXX" + blob[4:])

@@ -1,0 +1,76 @@
+"""Unit tests for input chunking (Section II-D, Figure 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.chunking import ChunkSpan, chunk_count, iter_chunks, plan_chunks
+from repro.core.exceptions import InvalidInputError
+
+
+class TestPlanChunks:
+    def test_even_split(self):
+        spans = plan_chunks(100, 25)
+        assert len(spans) == 4
+        assert [s.n_elements for s in spans] == [25, 25, 25, 25]
+        assert spans[0].start == 0
+        assert spans[-1].stop == 100
+
+    def test_ragged_tail(self):
+        spans = plan_chunks(10, 4)
+        assert [s.n_elements for s in spans] == [4, 4, 2]
+
+    def test_single_chunk_when_smaller(self):
+        spans = plan_chunks(10, 1000)
+        assert len(spans) == 1
+        assert spans[0] == ChunkSpan(index=0, start=0, stop=10)
+
+    def test_empty_input(self):
+        assert plan_chunks(0, 10) == []
+
+    def test_spans_are_contiguous_and_cover(self):
+        spans = plan_chunks(1003, 97)
+        assert spans[0].start == 0
+        for prev, cur in zip(spans, spans[1:]):
+            assert prev.stop == cur.start
+        assert spans[-1].stop == 1003
+
+    def test_indices_sequential(self):
+        spans = plan_chunks(50, 7)
+        assert [s.index for s in spans] == list(range(len(spans)))
+
+    def test_validation(self):
+        with pytest.raises(InvalidInputError):
+            plan_chunks(-1, 10)
+        with pytest.raises(InvalidInputError):
+            plan_chunks(10, 0)
+
+
+class TestChunkCount:
+    @pytest.mark.parametrize("n,size,expected", [
+        (0, 10, 0), (1, 10, 1), (10, 10, 1), (11, 10, 2), (100, 33, 4),
+    ])
+    def test_counts(self, n, size, expected):
+        assert chunk_count(n, size) == expected
+        assert chunk_count(n, size) == len(plan_chunks(n, size))
+
+    def test_validation(self):
+        with pytest.raises(InvalidInputError):
+            chunk_count(10, -1)
+
+
+class TestIterChunks:
+    def test_yields_views_without_copy(self):
+        values = np.arange(100.0)
+        for span, chunk in iter_chunks(values, 30):
+            assert chunk.base is values or chunk.base is chunk.base
+            assert np.array_equal(chunk, values[span.start:span.stop])
+
+    def test_concatenation_restores_input(self):
+        values = np.arange(101, dtype=np.int64)
+        chunks = [chunk for _, chunk in iter_chunks(values, 17)]
+        assert np.array_equal(np.concatenate(chunks), values)
+
+    def test_multidimensional_flattened(self):
+        values = np.arange(24.0).reshape(4, 6)
+        chunks = list(iter_chunks(values, 10))
+        assert [c.size for _, c in chunks] == [10, 10, 4]

@@ -1,0 +1,123 @@
+"""Unit tests for recompression-free container concatenation."""
+
+import numpy as np
+import pytest
+
+from repro.core.concat import concat_containers, split_container_header
+from repro.core.exceptions import ContainerFormatError, InvalidInputError
+from repro.core.pipeline import IsobarCompressor
+from repro.core.preferences import IsobarConfig
+from repro.core.random_access import ContainerReader
+from repro.datasets.synthetic import build_structured
+
+# Fixed codec/linearization so all containers in a test are mergeable.
+_CFG = IsobarConfig(codec="zlib", linearization="row",
+                    chunk_elements=20_000, sample_elements=2048)
+
+
+def _container(rng, n=40_000, noise=6):
+    values = build_structured(n, np.float64, noise, rng)
+    return IsobarCompressor(_CFG).compress(values), values
+
+
+class TestSplitHeader:
+    def test_split_roundtrip(self, rng):
+        payload, _ = _container(rng)
+        header, chunk_stream = split_container_header(payload)
+        assert header.encode() + chunk_stream == payload
+
+    def test_trailing_garbage_rejected(self, rng):
+        payload, _ = _container(rng)
+        with pytest.raises(ContainerFormatError):
+            split_container_header(payload + b"\x00" * 8)
+
+    def test_truncation_rejected(self, rng):
+        payload, _ = _container(rng)
+        with pytest.raises(ContainerFormatError):
+            split_container_header(payload[:-10])
+
+
+class TestConcat:
+    def test_two_containers(self, rng):
+        pa, a = _container(rng)
+        pb, b = _container(rng, n=30_000)
+        merged = concat_containers([pa, pb])
+        restored = IsobarCompressor().decompress(merged)
+        assert np.array_equal(restored, np.concatenate([a, b]))
+
+    def test_chunk_counts_add_up(self, rng):
+        pa, _ = _container(rng, n=40_000)  # 2 chunks
+        pb, _ = _container(rng, n=60_000)  # 3 chunks
+        merged = concat_containers([pa, pb])
+        assert ContainerReader(merged).n_chunks == 5
+
+    def test_single_container_identity_content(self, rng):
+        payload, values = _container(rng)
+        merged = concat_containers([payload])
+        assert np.array_equal(
+            IsobarCompressor().decompress(merged).reshape(-1), values
+        )
+
+    def test_many_containers(self, rng):
+        parts = [_container(rng, n=20_000) for _ in range(5)]
+        merged = concat_containers([p for p, _ in parts])
+        expected = np.concatenate([v for _, v in parts])
+        assert np.array_equal(IsobarCompressor().decompress(merged), expected)
+
+    def test_merged_is_randomly_accessible(self, rng):
+        pa, a = _container(rng)
+        pb, b = _container(rng, n=30_000)
+        reader = ContainerReader(concat_containers([pa, pb]))
+        combined = np.concatenate([a, b])
+        assert np.array_equal(
+            reader.read_range(35_000, 45_000), combined[35_000:45_000]
+        )
+
+    def test_mixed_chunk_modes_merge(self, rng):
+        noisy, a = _container(rng)
+        flat_values = np.full(20_000, 1.5)
+        flat = IsobarCompressor(_CFG).compress(flat_values)
+        merged = concat_containers([noisy, flat])
+        restored = IsobarCompressor().decompress(merged)
+        assert np.array_equal(restored, np.concatenate([a, flat_values]))
+
+    def test_no_recompression(self, rng):
+        """The merge is pure framing: payload bytes appear verbatim."""
+        pa, _ = _container(rng)
+        pb, _ = _container(rng, n=30_000)
+        _, stream_a = split_container_header(pa)
+        _, stream_b = split_container_header(pb)
+        merged = concat_containers([pa, pb])
+        assert stream_a in merged
+        assert stream_b in merged
+
+
+class TestConcatValidation:
+    def test_empty_list(self):
+        with pytest.raises(InvalidInputError):
+            concat_containers([])
+
+    def test_dtype_mismatch(self, rng):
+        pa, _ = _container(rng)
+        f32 = build_structured(20_000, np.float32, 2, rng)
+        pb = IsobarCompressor(_CFG).compress(f32)
+        with pytest.raises(InvalidInputError):
+            concat_containers([pa, pb])
+
+    def test_codec_mismatch(self, rng):
+        pa, _ = _container(rng)
+        other_cfg = _CFG.replace(codec="bzip2")
+        pb = IsobarCompressor(other_cfg).compress(
+            build_structured(20_000, np.float64, 6, rng)
+        )
+        with pytest.raises(InvalidInputError):
+            concat_containers([pa, pb])
+
+    def test_linearization_mismatch(self, rng):
+        pa, _ = _container(rng)
+        other_cfg = _CFG.replace(linearization="column")
+        pb = IsobarCompressor(other_cfg).compress(
+            build_structured(20_000, np.float64, 6, rng)
+        )
+        with pytest.raises(InvalidInputError):
+            concat_containers([pa, pb])

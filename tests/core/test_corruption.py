@@ -1,0 +1,112 @@
+"""Failure-injection tests: corrupt containers must fail loudly.
+
+A lossless checkpoint store that silently returns damaged data is worse
+than one that crashes; every corruption mode here must raise an
+IsobarError subclass, never return wrong elements.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import (
+    ChecksumError,
+    ContainerFormatError,
+    IsobarError,
+)
+from repro.core.pipeline import IsobarCompressor
+from repro.core.preferences import IsobarConfig
+from repro.datasets.synthetic import build_structured
+
+
+@pytest.fixture
+def container(rng):
+    # 30k elements: large enough for the analyzer's threshold to be
+    # statistically reliable (Figure 8's point), so the chunk takes the
+    # partitioned path and the container ends in raw noise bytes.
+    values = build_structured(30_000, np.float64, 6, rng)
+    compressor = IsobarCompressor(IsobarConfig(sample_elements=2048))
+    payload = compressor.compress(values)
+    result = compressor.compress_detailed(values)
+    assert result.improvable, "fixture must exercise the partitioned path"
+    return payload, values
+
+
+class TestTruncation:
+    def test_truncated_header(self, container):
+        payload, _ = container
+        with pytest.raises(IsobarError):
+            IsobarCompressor().decompress(payload[:8])
+
+    def test_truncated_mid_chunk(self, container):
+        payload, _ = container
+        with pytest.raises(IsobarError):
+            IsobarCompressor().decompress(payload[: len(payload) - 50])
+
+    def test_empty_payload(self):
+        with pytest.raises(ContainerFormatError):
+            IsobarCompressor().decompress(b"")
+
+
+class TestBitflips:
+    def _flip(self, payload: bytes, index: int) -> bytes:
+        corrupted = bytearray(payload)
+        corrupted[index] ^= 0xFF
+        return bytes(corrupted)
+
+    def test_flipped_magic(self, container):
+        payload, _ = container
+        with pytest.raises(ContainerFormatError):
+            IsobarCompressor().decompress(self._flip(payload, 0))
+
+    def test_flipped_incompressible_byte_caught_by_crc(self, container):
+        payload, _ = container
+        # The tail of the container is raw incompressible bytes; a flip
+        # there cannot be caught by the solver, only by the CRC.
+        with pytest.raises(ChecksumError):
+            IsobarCompressor().decompress(self._flip(payload, len(payload) - 2))
+
+    def test_flipped_compressed_byte(self, container):
+        payload, _ = container
+        # Somewhere after the header + chunk metadata lies the solver
+        # stream; flipping it must raise (solver error or CRC), never
+        # return data.
+        header_skip = 120
+        with pytest.raises(IsobarError):
+            IsobarCompressor().decompress(self._flip(payload, header_skip))
+
+    @pytest.mark.parametrize("position_fraction", [0.25, 0.5, 0.75, 0.95])
+    def test_flip_sweep_never_returns_silently_wrong_data(
+        self, container, position_fraction
+    ):
+        payload, original = container
+        index = int(len(payload) * position_fraction)
+        corrupted = self._flip(payload, index)
+        try:
+            restored = IsobarCompressor().decompress(corrupted)
+        except IsobarError:
+            return  # loud failure is the expected outcome
+        # The only acceptable non-raise is a flip in dead container
+        # space that leaves the data intact.
+        assert np.array_equal(restored, original)
+
+
+class TestIntegrityGuarantee:
+    def test_unflipped_container_still_decodes(self, container):
+        payload, original = container
+        assert np.array_equal(IsobarCompressor().decompress(payload), original)
+
+    def test_concatenated_garbage_after_container_is_ignored(self, container):
+        payload, original = container
+        extended = payload + b"\x00" * 100
+        restored = IsobarCompressor().decompress(extended)
+        assert np.array_equal(restored, original)
+
+    def test_element_count_mismatch_detected(self, container):
+        payload, _ = container
+        corrupted = bytearray(payload)
+        # The n_elements field sits right after magic+version+dtype
+        # descriptor (4 + 2 + 1 + 5 bytes for '<f8'); bump it.
+        offset = 4 + 2 + 1 + 3
+        corrupted[offset] ^= 0x01
+        with pytest.raises(IsobarError):
+            IsobarCompressor().decompress(bytes(corrupted))

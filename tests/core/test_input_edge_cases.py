@@ -1,0 +1,136 @@
+"""Edge-case inputs: strided views, byte orders, layouts, dtypes.
+
+Downstream users hand the pipeline whatever numpy gives them — slices,
+transposes, big-endian network data, Fortran-order arrays.  Every one
+of these must either round-trip bit-exactly or fail loudly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import IsobarCompressor
+from repro.core.preferences import IsobarConfig
+from repro.datasets.synthetic import build_structured
+
+_CFG = IsobarConfig(sample_elements=2048)
+
+
+def _roundtrip(values):
+    compressor = IsobarCompressor(_CFG)
+    restored = compressor.decompress(compressor.compress(values))
+    return restored
+
+
+class TestMemoryLayouts:
+    def test_strided_view(self, rng):
+        base = build_structured(40_000, np.float64, 6, rng)
+        view = base[::2]  # non-contiguous stride
+        restored = _roundtrip(view)
+        assert np.array_equal(restored, view)
+
+    def test_reversed_view(self, rng):
+        base = build_structured(20_000, np.float64, 6, rng)
+        view = base[::-1]
+        assert np.array_equal(_roundtrip(view), view)
+
+    def test_transposed_2d(self, rng):
+        base = build_structured(20_000, np.float64, 6, rng).reshape(100, 200)
+        transposed = base.T  # non-contiguous
+        restored = _roundtrip(transposed)
+        assert restored.shape == (200, 100)
+        assert np.array_equal(restored, transposed)
+
+    def test_fortran_order(self, rng):
+        base = np.asfortranarray(
+            build_structured(20_000, np.float64, 6, rng).reshape(100, 200)
+        )
+        restored = _roundtrip(base)
+        assert np.array_equal(restored, base)
+
+    def test_sliced_middle(self, rng):
+        base = build_structured(30_000, np.float64, 6, rng)
+        window = base[5_000:25_000]
+        assert np.array_equal(_roundtrip(window), window)
+
+
+class TestByteOrders:
+    def test_big_endian_input(self, rng):
+        little = build_structured(20_000, np.float64, 6, rng)
+        big = little.astype(">f8")
+        restored = _roundtrip(big)
+        # dtype (including byte order) is preserved through the header.
+        assert restored.dtype == np.dtype(">f8")
+        assert np.array_equal(restored, big)
+        assert np.array_equal(restored.astype("<f8"), little)
+
+    def test_big_endian_integers(self, rng):
+        values = rng.integers(0, 1 << 24, 10_000).astype(">i8")
+        restored = _roundtrip(values)
+        assert restored.dtype == np.dtype(">i8")
+        assert np.array_equal(restored, values)
+
+    def test_endianness_does_not_change_analysis(self, rng):
+        from repro.core.analyzer import analyze
+
+        little = build_structured(20_000, np.float64, 6, rng)
+        assert np.array_equal(
+            analyze(little).mask, analyze(little.astype(">f8")).mask
+        )
+
+
+class TestDtypeBreadth:
+    @pytest.mark.parametrize("dtype", [
+        np.int8, np.uint8, np.int16, np.uint16, np.int32, np.uint32,
+        np.int64, np.uint64, np.float32, np.float64,
+    ])
+    def test_every_fixed_width_numeric_dtype(self, rng, dtype):
+        dt = np.dtype(dtype)
+        if dt.kind == "f":
+            values = rng.normal(size=5_000).astype(dt)
+        else:
+            info = np.iinfo(dt)
+            values = rng.integers(info.min, info.max, size=5_000,
+                                  dtype=dt, endpoint=True)
+        restored = _roundtrip(values)
+        assert restored.dtype == dt
+        assert np.array_equal(
+            restored.view(f"u{dt.itemsize}"), values.view(f"u{dt.itemsize}")
+        )
+
+    def test_bool_rejected(self):
+        from repro.core.exceptions import InvalidInputError
+
+        with pytest.raises(InvalidInputError):
+            IsobarCompressor(_CFG).compress(np.array([True, False]))
+
+    def test_datetime_rejected(self):
+        from repro.core.exceptions import InvalidInputError
+
+        with pytest.raises(InvalidInputError):
+            IsobarCompressor(_CFG).compress(
+                np.array(["2026-01-01"], dtype="datetime64[s]")
+            )
+
+
+class TestSizesAroundBoundaries:
+    @pytest.mark.parametrize("n", [1, 2, 7, 8, 9, 255, 256, 257, 1023, 1024])
+    def test_tiny_inputs(self, rng, n):
+        values = rng.normal(size=n)
+        assert np.array_equal(_roundtrip(values), values)
+
+    def test_exactly_one_chunk(self, rng):
+        config = IsobarConfig(chunk_elements=1_000, sample_elements=512)
+        values = rng.normal(size=1_000)
+        compressor = IsobarCompressor(config)
+        result = compressor.compress_detailed(values)
+        assert len(result.chunks) == 1
+        assert np.array_equal(compressor.decompress(result.payload), values)
+
+    def test_one_element_over_chunk(self, rng):
+        config = IsobarConfig(chunk_elements=1_000, sample_elements=512)
+        values = rng.normal(size=1_001)
+        compressor = IsobarCompressor(config)
+        result = compressor.compress_detailed(values)
+        assert len(result.chunks) == 2
+        assert result.chunks[1].n_elements == 1
+        assert np.array_equal(compressor.decompress(result.payload), values)

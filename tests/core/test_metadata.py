@@ -1,0 +1,172 @@
+"""Unit tests for the container metadata records (Figure 7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exceptions import ContainerFormatError
+from repro.core.metadata import (
+    ChunkMetadata,
+    ChunkMode,
+    ContainerHeader,
+    decode_mask,
+    encode_mask,
+)
+from repro.core.preferences import Linearization, Preference
+
+
+def _header(**overrides):
+    defaults = dict(
+        dtype=np.float64,
+        n_elements=1000,
+        shape=(10, 100),
+        codec_name="zlib",
+        linearization=Linearization.ROW,
+        preference=Preference.RATIO,
+        tau=1.42,
+        chunk_elements=375_000,
+        n_chunks=1,
+    )
+    defaults.update(overrides)
+    return ContainerHeader(**defaults)
+
+
+class TestMaskCodec:
+    @pytest.mark.parametrize("bits", [
+        [True] * 8,
+        [False] * 8,
+        [True, False] * 4,
+        [False, False, True, True],
+        [True],
+    ])
+    def test_roundtrip(self, bits):
+        mask = np.array(bits, dtype=bool)
+        assert np.array_equal(decode_mask(encode_mask(mask), mask.size), mask)
+
+    def test_wide_mask(self):
+        mask = np.random.default_rng(0).random(16) < 0.5
+        assert np.array_equal(decode_mask(encode_mask(mask), 16), mask)
+
+    def test_short_buffer_rejected(self):
+        with pytest.raises(ContainerFormatError):
+            decode_mask(b"", 8)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.booleans(), min_size=1, max_size=64))
+    def test_roundtrip_property(self, bits):
+        mask = np.array(bits, dtype=bool)
+        assert np.array_equal(decode_mask(encode_mask(mask), mask.size), mask)
+
+
+class TestContainerHeader:
+    def test_roundtrip_all_fields(self):
+        header = _header()
+        decoded, offset = ContainerHeader.decode(header.encode())
+        assert decoded == header
+        assert offset == len(header.encode())
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32, np.int64,
+                                       np.uint16])
+    def test_dtype_roundtrip(self, dtype):
+        header = _header(dtype=dtype)
+        decoded, _ = ContainerHeader.decode(header.encode())
+        assert decoded.dtype == np.dtype(dtype)
+        assert decoded.element_width == np.dtype(dtype).itemsize
+
+    def test_scalar_shape(self):
+        header = _header(shape=())
+        decoded, _ = ContainerHeader.decode(header.encode())
+        assert decoded.shape == ()
+
+    def test_preference_and_linearization_roundtrip(self):
+        header = _header(linearization=Linearization.COLUMN,
+                         preference=Preference.SPEED)
+        decoded, _ = ContainerHeader.decode(header.encode())
+        assert decoded.linearization is Linearization.COLUMN
+        assert decoded.preference is Preference.SPEED
+
+    def test_decode_at_offset(self):
+        blob = b"PREFIX" + _header().encode()
+        decoded, offset = ContainerHeader.decode(blob, offset=6)
+        assert decoded.codec_name == "zlib"
+        assert offset == len(blob)
+
+    def test_bad_magic(self):
+        with pytest.raises(ContainerFormatError):
+            ContainerHeader.decode(b"NOPE" + b"\x00" * 64)
+
+    def test_truncated(self):
+        encoded = _header().encode()
+        with pytest.raises((ContainerFormatError, Exception)):
+            ContainerHeader.decode(encoded[:10])
+
+    def test_future_version_rejected(self):
+        encoded = bytearray(_header().encode())
+        encoded[4] = 99  # bump the version field
+        with pytest.raises(ContainerFormatError):
+            ContainerHeader.decode(bytes(encoded))
+
+    def test_codec_name_length_limit(self):
+        with pytest.raises(ContainerFormatError):
+            _header(codec_name="x" * 300)
+
+    def test_dimension_limit(self):
+        with pytest.raises(ContainerFormatError):
+            _header(shape=(1,) * 20)
+
+
+class TestChunkMetadata:
+    def _meta(self, **overrides):
+        defaults = dict(
+            n_elements=375_000,
+            mode=ChunkMode.PARTITIONED,
+            mask=np.array([0, 0, 0, 0, 0, 0, 1, 1], dtype=bool),
+            compressed_size=12345,
+            incompressible_size=67890,
+            raw_crc32=0xDEADBEEF,
+        )
+        defaults.update(overrides)
+        return ChunkMetadata(**defaults)
+
+    def test_roundtrip(self):
+        meta = self._meta()
+        decoded, offset = ChunkMetadata.decode(meta.encode(), 0, 8)
+        assert decoded.n_elements == meta.n_elements
+        assert decoded.mode is ChunkMode.PARTITIONED
+        assert np.array_equal(decoded.mask, meta.mask)
+        assert decoded.compressed_size == meta.compressed_size
+        assert decoded.incompressible_size == meta.incompressible_size
+        assert decoded.raw_crc32 == meta.raw_crc32
+        assert offset == len(meta.encode())
+
+    def test_passthrough_mode(self):
+        meta = self._meta(mode=ChunkMode.PASSTHROUGH, incompressible_size=0)
+        decoded, _ = ChunkMetadata.decode(meta.encode(), 0, 8)
+        assert decoded.mode is ChunkMode.PASSTHROUGH
+
+    def test_float32_width_mask(self):
+        meta = self._meta(mask=np.array([1, 0, 1, 0], dtype=bool))
+        decoded, _ = ChunkMetadata.decode(meta.encode(), 0, 4)
+        assert decoded.mask.size == 4
+
+    def test_decode_at_offset(self):
+        blob = b"HDR" + self._meta().encode()
+        decoded, offset = ChunkMetadata.decode(blob, 3, 8)
+        assert decoded.n_elements == 375_000
+        assert offset == len(blob)
+
+    def test_bad_magic(self):
+        with pytest.raises(ContainerFormatError):
+            ChunkMetadata.decode(b"XXXX" + b"\x00" * 40, 0, 8)
+
+    def test_unknown_mode_rejected(self):
+        encoded = bytearray(self._meta().encode())
+        encoded[12] = 9  # the mode byte (after magic + 8-byte count)
+        with pytest.raises(ContainerFormatError):
+            ChunkMetadata.decode(bytes(encoded), 0, 8)
+
+    def test_truncated_sizes_rejected(self):
+        encoded = self._meta().encode()
+        with pytest.raises(ContainerFormatError):
+            ChunkMetadata.decode(encoded[:-10], 0, 8)

@@ -1,0 +1,92 @@
+"""Unit tests for the thread-parallel compressor."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ChecksumError, ConfigurationError
+from repro.core.parallel import ParallelIsobarCompressor
+from repro.core.pipeline import IsobarCompressor
+from repro.core.preferences import IsobarConfig
+from repro.datasets.synthetic import build_structured
+
+# 30k-element chunks keep the analyzer threshold reliable at tau=1.42
+# (see repro.core.autotune.minimum_reliable_tau).
+_CFG = IsobarConfig(chunk_elements=30_000, sample_elements=2048)
+
+
+@pytest.fixture
+def multichunk(rng):
+    return build_structured(150_000, np.float64, 6, rng)
+
+
+class TestEquivalence:
+    def test_identical_container_to_serial(self, multichunk):
+        serial = IsobarCompressor(_CFG).compress(multichunk)
+        parallel = ParallelIsobarCompressor(_CFG, n_workers=4).compress(
+            multichunk
+        )
+        assert serial == parallel
+
+    def test_cross_decompression(self, multichunk):
+        serial = IsobarCompressor(_CFG)
+        parallel = ParallelIsobarCompressor(_CFG, n_workers=4)
+        blob = parallel.compress(multichunk)
+        assert np.array_equal(serial.decompress(blob), multichunk)
+        blob2 = serial.compress(multichunk)
+        assert np.array_equal(parallel.decompress(blob2), multichunk)
+
+    def test_single_worker_degenerates(self, multichunk):
+        one = ParallelIsobarCompressor(_CFG, n_workers=1)
+        assert np.array_equal(
+            one.decompress(one.compress(multichunk)), multichunk
+        )
+
+    def test_detailed_stats_complete(self, multichunk):
+        result = ParallelIsobarCompressor(_CFG, n_workers=3).compress_detailed(
+            multichunk
+        )
+        assert len(result.chunks) == 5  # ceil(150000/30000)
+        assert result.header.n_chunks == 5
+        assert all(chunk.improvable for chunk in result.chunks)
+
+    def test_shape_preserved(self, rng):
+        values = build_structured(90_000, np.float64, 6, rng).reshape(300, 300)
+        compressor = ParallelIsobarCompressor(_CFG, n_workers=4)
+        restored = compressor.decompress(compressor.compress(values))
+        assert restored.shape == (300, 300)
+        assert np.array_equal(restored, values)
+
+
+class TestEdgeCases:
+    def test_empty_array(self):
+        compressor = ParallelIsobarCompressor(_CFG, n_workers=2)
+        blob = compressor.compress(np.array([], dtype=np.float64))
+        assert compressor.decompress(blob).size == 0
+
+    def test_single_chunk(self, rng):
+        values = build_structured(5_000, np.float64, 6, rng)
+        compressor = ParallelIsobarCompressor(_CFG, n_workers=4)
+        assert np.array_equal(
+            compressor.decompress(compressor.compress(values)), values
+        )
+
+    def test_worker_validation(self):
+        with pytest.raises(ConfigurationError):
+            ParallelIsobarCompressor(n_workers=0)
+
+    def test_corruption_detected_in_parallel_decode(self, multichunk):
+        compressor = ParallelIsobarCompressor(_CFG, n_workers=4)
+        blob = bytearray(compressor.compress(multichunk))
+        blob[-3] ^= 0xFF  # raw noise tail of the final chunk
+        with pytest.raises(ChecksumError):
+            compressor.decompress(bytes(blob))
+
+    def test_mixed_chunk_modes(self, rng):
+        noisy = build_structured(30_000, np.float64, 6, rng)
+        flat = np.full(30_000, 2.5)
+        values = np.concatenate([noisy, flat])
+        config = IsobarConfig(chunk_elements=30_000, sample_elements=2048)
+        compressor = ParallelIsobarCompressor(config, n_workers=2)
+        assert np.array_equal(
+            compressor.decompress(compressor.compress(values)), values
+        )

@@ -1,0 +1,159 @@
+"""Unit tests for the ISOBAR-partitioner (Section II-B, Figure 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.analysis.bytefreq import byte_matrix
+from repro.core.exceptions import InvalidInputError
+from repro.core.partitioner import (
+    partition,
+    partition_matrix,
+    reassemble,
+    reassemble_matrix,
+)
+from repro.core.preferences import Linearization
+
+
+@pytest.fixture
+def sample_matrix():
+    """A 4x4 byte matrix with recognisable column contents."""
+    return np.array(
+        [[0x10, 0x20, 0x30, 0x40],
+         [0x11, 0x21, 0x31, 0x41],
+         [0x12, 0x22, 0x32, 0x42],
+         [0x13, 0x23, 0x33, 0x43]],
+        dtype=np.uint8,
+    )
+
+
+class TestPartitionLayouts:
+    def test_row_linearization_interleaves_per_element(self, sample_matrix):
+        mask = np.array([True, False, True, False])
+        part = partition_matrix(sample_matrix, mask, Linearization.ROW)
+        # Row layout: element 0's compressible bytes, then element 1's...
+        assert part.compressible == bytes(
+            [0x10, 0x30, 0x11, 0x31, 0x12, 0x32, 0x13, 0x33]
+        )
+
+    def test_column_linearization_concatenates_columns(self, sample_matrix):
+        mask = np.array([True, False, True, False])
+        part = partition_matrix(sample_matrix, mask, Linearization.COLUMN)
+        assert part.compressible == bytes(
+            [0x10, 0x11, 0x12, 0x13, 0x30, 0x31, 0x32, 0x33]
+        )
+
+    def test_incompressible_always_column_major(self, sample_matrix):
+        mask = np.array([True, False, True, False])
+        for lin in Linearization:
+            part = partition_matrix(sample_matrix, mask, lin)
+            assert part.incompressible == bytes(
+                [0x20, 0x21, 0x22, 0x23, 0x40, 0x41, 0x42, 0x43]
+            )
+
+    def test_sizes_are_conserved(self, sample_matrix):
+        mask = np.array([True, True, False, False])
+        part = partition_matrix(sample_matrix, mask)
+        total = len(part.compressible) + len(part.incompressible)
+        assert total == sample_matrix.size
+
+    def test_all_compressible_mask(self, sample_matrix):
+        mask = np.ones(4, dtype=bool)
+        part = partition_matrix(sample_matrix, mask)
+        assert part.incompressible == b""
+        assert len(part.compressible) == 16
+
+    def test_all_incompressible_mask(self, sample_matrix):
+        mask = np.zeros(4, dtype=bool)
+        part = partition_matrix(sample_matrix, mask)
+        assert part.compressible == b""
+        assert len(part.incompressible) == 16
+
+    def test_compressible_fraction(self, sample_matrix):
+        part = partition_matrix(sample_matrix, np.array([1, 0, 0, 1], bool))
+        assert part.compressible_fraction == pytest.approx(0.5)
+
+
+class TestReassembly:
+    @pytest.mark.parametrize("lin", list(Linearization))
+    @pytest.mark.parametrize("mask_bits", [
+        (1, 0, 1, 0), (0, 0, 0, 1), (1, 1, 1, 1), (0, 0, 0, 0), (1, 1, 0, 0),
+    ])
+    def test_matrix_roundtrip(self, sample_matrix, lin, mask_bits):
+        mask = np.array(mask_bits, dtype=bool)
+        part = partition_matrix(sample_matrix, mask, lin)
+        rebuilt = reassemble_matrix(
+            part.compressible, part.incompressible, mask, lin,
+            part.n_elements,
+        )
+        assert np.array_equal(rebuilt, sample_matrix)
+
+    @pytest.mark.parametrize("lin", list(Linearization))
+    def test_element_roundtrip_doubles(self, improvable_doubles, lin):
+        mask = np.arange(8) >= 6
+        part = partition(improvable_doubles, mask, lin)
+        restored = reassemble(part, np.dtype(np.float64))
+        assert np.array_equal(restored, improvable_doubles)
+
+    def test_element_roundtrip_float32(self, improvable_floats):
+        mask = np.array([False, True, True, False])
+        part = partition(improvable_floats, mask)
+        restored = reassemble(part, np.dtype(np.float32))
+        assert np.array_equal(
+            restored.view(np.uint32), improvable_floats.view(np.uint32)
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        values=hnp.arrays(
+            dtype=st.sampled_from([np.float64, np.int64, np.float32,
+                                   np.uint16]),
+            shape=st.integers(1, 200),
+        ),
+        mask_seed=st.integers(0, 2**16),
+        lin=st.sampled_from(list(Linearization)),
+    )
+    def test_roundtrip_property(self, values, mask_seed, lin):
+        width = values.dtype.itemsize
+        mask_rng = np.random.default_rng(mask_seed)
+        mask = mask_rng.random(width) < 0.5
+        part = partition(values, mask, lin)
+        restored = reassemble(part, values.dtype)
+        assert np.array_equal(
+            restored.view(f"u{width}"), values.view(f"u{width}")
+        )
+
+
+class TestValidation:
+    def test_mask_length_mismatch(self, sample_matrix):
+        with pytest.raises(InvalidInputError):
+            partition_matrix(sample_matrix, np.array([True, False]))
+
+    def test_rejects_non_uint8_matrix(self):
+        with pytest.raises(InvalidInputError):
+            partition_matrix(np.zeros((4, 4)), np.ones(4, bool))
+
+    def test_reassemble_rejects_short_compressible(self, sample_matrix):
+        mask = np.array([True, False, True, False])
+        part = partition_matrix(sample_matrix, mask)
+        with pytest.raises(InvalidInputError):
+            reassemble_matrix(
+                part.compressible[:-1], part.incompressible, mask,
+                part.linearization, part.n_elements,
+            )
+
+    def test_reassemble_rejects_short_incompressible(self, sample_matrix):
+        mask = np.array([True, False, True, False])
+        part = partition_matrix(sample_matrix, mask)
+        with pytest.raises(InvalidInputError):
+            reassemble_matrix(
+                part.compressible, part.incompressible + b"x", mask,
+                part.linearization, part.n_elements,
+            )
+
+    def test_partition_records_geometry(self, improvable_doubles):
+        part = partition(improvable_doubles, np.arange(8) >= 6)
+        assert part.n_elements == improvable_doubles.size
+        assert part.element_width == 8

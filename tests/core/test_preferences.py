@@ -1,0 +1,89 @@
+"""Unit tests for configuration and preference parsing."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.preferences import (
+    DEFAULT_CHUNK_ELEMENTS,
+    DEFAULT_TAU,
+    IsobarConfig,
+    Linearization,
+    Preference,
+)
+
+
+class TestEnums:
+    def test_preference_parse_strings(self):
+        assert Preference.parse("ratio") is Preference.RATIO
+        assert Preference.parse("SPEED") is Preference.SPEED
+        assert Preference.parse(Preference.RATIO) is Preference.RATIO
+
+    def test_preference_parse_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            Preference.parse("fastest")
+
+    def test_linearization_parse(self):
+        assert Linearization.parse("row") is Linearization.ROW
+        assert Linearization.parse("Column") is Linearization.COLUMN
+        assert Linearization.parse(Linearization.ROW) is Linearization.ROW
+
+    def test_linearization_parse_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            Linearization.parse("diagonal")
+
+
+class TestIsobarConfig:
+    def test_paper_defaults(self):
+        config = IsobarConfig()
+        assert config.tau == DEFAULT_TAU == 1.42
+        assert config.chunk_elements == DEFAULT_CHUNK_ELEMENTS == 375_000
+        assert config.preference is Preference.RATIO
+        assert config.candidate_codecs == ("zlib", "bzip2")
+        assert config.codec is None
+        assert config.linearization is None
+
+    def test_string_inputs_normalised(self):
+        config = IsobarConfig(preference="speed", linearization="column")
+        assert config.preference is Preference.SPEED
+        assert config.linearization is Linearization.COLUMN
+
+    def test_replace_creates_modified_copy(self):
+        base = IsobarConfig()
+        changed = base.replace(tau=1.5, preference=Preference.SPEED)
+        assert changed.tau == 1.5
+        assert changed.preference is Preference.SPEED
+        assert base.tau == DEFAULT_TAU  # original untouched
+
+    @pytest.mark.parametrize("tau", [1.0, 0.5, 256.0, 300.0, -1.0])
+    def test_tau_bounds(self, tau):
+        with pytest.raises(ConfigurationError):
+            IsobarConfig(tau=tau)
+
+    @pytest.mark.parametrize("tau", [1.01, 1.42, 2.0, 255.9])
+    def test_tau_valid_range(self, tau):
+        assert IsobarConfig(tau=tau).tau == tau
+
+    def test_chunk_elements_positive(self):
+        with pytest.raises(ConfigurationError):
+            IsobarConfig(chunk_elements=0)
+
+    def test_sample_elements_positive(self):
+        with pytest.raises(ConfigurationError):
+            IsobarConfig(sample_elements=0)
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.1, 1.5])
+    def test_ratio_fraction_bounds(self, fraction):
+        with pytest.raises(ConfigurationError):
+            IsobarConfig(min_acceptable_ratio_fraction=fraction)
+
+    def test_empty_candidates_need_explicit_codec(self):
+        with pytest.raises(ConfigurationError):
+            IsobarConfig(candidate_codecs=())
+        # ... but an explicit override makes it legal.
+        config = IsobarConfig(candidate_codecs=(), codec="zlib")
+        assert config.codec == "zlib"
+
+    def test_frozen(self):
+        config = IsobarConfig()
+        with pytest.raises(AttributeError):
+            config.tau = 2.0

@@ -1,0 +1,107 @@
+"""Unit tests for multi-variable record compression."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ContainerFormatError, InvalidInputError
+from repro.core.preferences import IsobarConfig
+from repro.core.records import RecordCompressor
+from repro.datasets.synthetic import build_structured
+
+_CFG = IsobarConfig(sample_elements=2048)
+
+
+@pytest.fixture
+def compressor():
+    return RecordCompressor(_CFG)
+
+
+@pytest.fixture
+def variables(rng):
+    return {
+        "phi": build_structured(10_000, np.float64, 6, rng),
+        "density": build_structured(10_000, np.float64, 6, rng),
+        "ids": rng.integers(0, 1 << 24, 10_000),
+    }
+
+
+class TestColumns:
+    def test_roundtrip_named_variables(self, compressor, variables):
+        envelope = compressor.compress_columns(variables)
+        restored = compressor.decompress_columns(envelope)
+        assert set(restored) == set(variables)
+        for name, values in variables.items():
+            assert restored[name].dtype == np.asarray(values).dtype
+            assert np.array_equal(restored[name], values)
+
+    def test_mixed_dtypes_allowed(self, compressor, variables):
+        envelope = compressor.compress_columns(variables)
+        restored = compressor.decompress_columns(envelope)
+        assert restored["ids"].dtype == np.int64
+        assert restored["phi"].dtype == np.float64
+
+    def test_misaligned_variables_rejected(self, compressor, rng):
+        with pytest.raises(InvalidInputError):
+            compressor.compress_columns({
+                "a": np.arange(10.0),
+                "b": np.arange(20.0),
+            })
+
+    def test_empty_rejected(self, compressor):
+        with pytest.raises(InvalidInputError):
+            compressor.compress_columns({})
+
+    def test_corrupt_envelope(self, compressor, variables):
+        envelope = compressor.compress_columns(variables)
+        with pytest.raises(ContainerFormatError):
+            compressor.decompress_columns(b"XXXX" + envelope[4:])
+        with pytest.raises(ContainerFormatError):
+            compressor.decompress_columns(envelope[: len(envelope) // 2])
+
+    def test_per_variable_ratios(self, compressor, variables):
+        ratios = compressor.per_variable_ratios(variables)
+        assert set(ratios) == set(variables)
+        assert all(ratio > 1.0 for ratio in ratios.values())
+
+
+class TestInterleaved:
+    def test_roundtrip_2d(self, compressor, rng):
+        records = np.stack(
+            [build_structured(6_000, np.float64, 6, rng) for _ in range(8)],
+            axis=1,
+        )
+        envelope = compressor.compress_interleaved(records)
+        restored = compressor.decompress_interleaved(envelope)
+        assert restored.shape == records.shape
+        assert np.array_equal(restored, records)
+
+    def test_rejects_1d(self, compressor):
+        with pytest.raises(InvalidInputError):
+            compressor.compress_interleaved(np.arange(10.0))
+
+    def test_xgc_iphase_structure(self, compressor):
+        """The paper's 8-variable ion phase records round-trip."""
+        from repro.datasets.registry import generate_dataset
+
+        flat = generate_dataset("xgc_iphase", n_elements=48_000)
+        records = flat.reshape(6_000, 8)
+        envelope = compressor.compress_interleaved(records)
+        assert np.array_equal(
+            compressor.decompress_interleaved(envelope), records
+        )
+
+    def test_split_not_worse_than_interleaved(self, compressor, rng):
+        """Splitting variables never hurts the ratio materially — and
+        lets the analyzer judge each variable separately."""
+        from repro.core.pipeline import IsobarCompressor
+
+        # Two variables with very different structure.
+        smooth = build_structured(20_000, np.float64, 2, rng)
+        noisy = build_structured(20_000, np.float64, 7, rng)
+        records = np.stack([smooth, noisy], axis=1)
+
+        split_size = len(compressor.compress_interleaved(records))
+        interleaved_size = len(
+            IsobarCompressor(_CFG).compress(records.reshape(-1))
+        )
+        assert split_size < interleaved_size * 1.05

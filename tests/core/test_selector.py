@@ -1,0 +1,169 @@
+"""Unit tests for the EUPA-selector (Section II-C)."""
+
+import numpy as np
+import pytest
+
+from repro.core.analyzer import analyze
+from repro.core.exceptions import SelectorError
+from repro.core.preferences import IsobarConfig, Linearization, Preference
+from repro.core.selector import CandidateEvaluation, EupaSelector, SelectorDecision
+
+
+def _candidate(codec="zlib", lin=Linearization.ROW, ratio=1.5, seconds=1.0):
+    return CandidateEvaluation(
+        codec_name=codec,
+        linearization=lin,
+        sample_bytes=1000,
+        compressed_bytes=int(1000 / ratio),
+        compress_seconds=seconds,
+    )
+
+
+class TestCandidateEvaluation:
+    def test_derived_metrics(self):
+        cand = _candidate(ratio=2.0, seconds=0.5)
+        assert cand.ratio == pytest.approx(2.0)
+        assert cand.throughput == pytest.approx(2000.0)
+
+    def test_zero_time_infinite_throughput(self):
+        cand = _candidate(seconds=0.0)
+        assert cand.throughput == float("inf")
+
+
+class TestPickLogic:
+    def _selector(self, preference, fraction=0.85):
+        return EupaSelector(IsobarConfig(
+            preference=preference,
+            min_acceptable_ratio_fraction=fraction,
+        ))
+
+    def test_ratio_preference_picks_best_ratio(self):
+        candidates = (
+            _candidate("zlib", ratio=1.2, seconds=0.1),
+            _candidate("bzip2", ratio=1.8, seconds=5.0),
+        )
+        best = self._selector(Preference.RATIO)._pick(candidates)
+        assert best.codec_name == "bzip2"
+
+    def test_speed_preference_picks_fastest_acceptable(self):
+        candidates = (
+            _candidate("zlib", ratio=1.7, seconds=0.1),   # fast, ratio ok
+            _candidate("bzip2", ratio=1.8, seconds=5.0),  # best ratio, slow
+        )
+        best = self._selector(Preference.SPEED)._pick(candidates)
+        assert best.codec_name == "zlib"
+
+    def test_speed_preference_respects_ratio_floor(self):
+        candidates = (
+            _candidate("zlib", ratio=1.0, seconds=0.01),  # fast but poor
+            _candidate("bzip2", ratio=2.0, seconds=1.0),
+        )
+        best = self._selector(Preference.SPEED, fraction=0.9)._pick(candidates)
+        assert best.codec_name == "bzip2"
+
+    def test_speed_falls_back_when_nothing_acceptable(self):
+        # Degenerate case: fraction 1.0 plus float jitter can empty the
+        # acceptable set; the fastest candidate overall must win.
+        candidates = (
+            _candidate("zlib", ratio=1.5, seconds=0.1),
+            _candidate("bzip2", ratio=1.5, seconds=1.0),
+        )
+        best = self._selector(Preference.SPEED, fraction=1.0)._pick(candidates)
+        assert best.codec_name == "zlib"
+
+
+class TestSampling:
+    def test_sample_size_capped_by_config(self, improvable_doubles):
+        selector = EupaSelector(IsobarConfig(sample_elements=1000))
+        sample = selector.draw_sample(improvable_doubles)
+        assert sample.size == 1000
+
+    def test_small_input_sampled_whole(self):
+        values = np.arange(100.0)
+        selector = EupaSelector(IsobarConfig(sample_elements=10_000))
+        assert np.array_equal(selector.draw_sample(values), values)
+
+    def test_sample_deterministic_per_seed(self, improvable_doubles):
+        a = EupaSelector(IsobarConfig(sample_elements=500, seed=1))
+        b = EupaSelector(IsobarConfig(sample_elements=500, seed=1))
+        c = EupaSelector(IsobarConfig(sample_elements=500, seed=2))
+        assert np.array_equal(a.draw_sample(improvable_doubles),
+                              b.draw_sample(improvable_doubles))
+        assert not np.array_equal(a.draw_sample(improvable_doubles),
+                                  c.draw_sample(improvable_doubles))
+
+    def test_sample_elements_come_from_input(self, improvable_doubles):
+        selector = EupaSelector(IsobarConfig(sample_elements=512))
+        sample = selector.draw_sample(improvable_doubles)
+        pool = set(improvable_doubles.tolist())
+        assert all(v in pool for v in sample.tolist())
+
+    def test_empty_input_rejected(self):
+        selector = EupaSelector()
+        with pytest.raises(SelectorError):
+            selector.draw_sample(np.array([]))
+
+
+class TestSelect:
+    def test_decision_structure(self, improvable_doubles):
+        # Pass the full-input analysis explicitly, as the pipeline does:
+        # a 4096-element sample is below the analyzer's reliable range.
+        analysis = analyze(improvable_doubles)
+        decision = EupaSelector(IsobarConfig(sample_elements=4096)).select(
+            improvable_doubles, analysis=analysis
+        )
+        assert decision.codec_name in ("zlib", "bzip2")
+        assert decision.linearization in list(Linearization)
+        assert decision.improvable
+        assert len(decision.candidates) == 4  # 2 codecs x 2 linearizations
+        assert decision.chosen.codec_name == decision.codec_name
+        assert "preference" in decision.summary() or decision.summary()
+
+    def test_explicit_codec_override_restricts_candidates(self,
+                                                          improvable_doubles):
+        config = IsobarConfig(codec="zlib", sample_elements=4096)
+        decision = EupaSelector(config).select(improvable_doubles)
+        assert decision.codec_name == "zlib"
+        assert len(decision.candidates) == 2  # linearizations only
+
+    def test_full_override_single_candidate(self, improvable_doubles):
+        config = IsobarConfig(codec="bzip2", linearization="row",
+                              sample_elements=4096)
+        decision = EupaSelector(config).select(improvable_doubles)
+        assert decision.codec_name == "bzip2"
+        assert decision.linearization is Linearization.ROW
+        assert len(decision.candidates) == 1
+
+    def test_precomputed_analysis_is_used(self, improvable_doubles):
+        analysis = analyze(improvable_doubles)
+        decision = EupaSelector(IsobarConfig(sample_elements=4096)).select(
+            improvable_doubles, analysis=analysis
+        )
+        assert decision.improvable == analysis.improvable
+
+    def test_undetermined_data_still_gets_decision(self,
+                                                   undetermined_doubles):
+        decision = EupaSelector(IsobarConfig(sample_elements=4096)).select(
+            undetermined_doubles
+        )
+        assert not decision.improvable
+        assert decision.codec_name in ("zlib", "bzip2")
+
+    def test_ratio_preference_never_worse_than_speed(self, improvable_doubles):
+        ratio_cfg = IsobarConfig(preference="ratio", sample_elements=8192)
+        speed_cfg = IsobarConfig(preference="speed", sample_elements=8192)
+        ratio_dec = EupaSelector(ratio_cfg).select(improvable_doubles)
+        speed_dec = EupaSelector(speed_cfg).select(improvable_doubles)
+        assert ratio_dec.chosen.ratio >= speed_dec.chosen.ratio * 0.999
+
+    def test_chosen_raises_when_decision_inconsistent(self):
+        decision = SelectorDecision(
+            codec_name="ghost",
+            linearization=Linearization.ROW,
+            preference=Preference.RATIO,
+            improvable=True,
+            candidates=(_candidate("zlib"),),
+            sample_elements=10,
+        )
+        with pytest.raises(SelectorError):
+            decision.chosen

@@ -1,0 +1,118 @@
+"""Unit tests for streaming file-to-file compression."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import InvalidInputError
+from repro.core.pipeline import IsobarCompressor
+from repro.core.preferences import IsobarConfig
+from repro.core.stream import StreamingWriter, stream_compress, stream_decompress
+from repro.datasets.synthetic import build_structured
+
+_CFG = IsobarConfig(chunk_elements=10_000, sample_elements=2048)
+
+
+@pytest.fixture
+def data(rng):
+    return build_structured(35_000, np.float64, 6, rng)
+
+
+def _chunks(values, size):
+    for start in range(0, values.size, size):
+        yield values[start:start + size]
+
+
+class TestStreamingRoundTrip:
+    def test_chunked_roundtrip(self, tmp_path, data):
+        path = tmp_path / "c.isobar"
+        written = stream_compress(_chunks(data, 10_000), path, np.float64,
+                                  config=_CFG)
+        assert written == path.stat().st_size
+        restored = np.concatenate(list(stream_decompress(path)))
+        assert np.array_equal(restored, data)
+
+    def test_container_readable_by_in_memory_pipeline(self, tmp_path, data):
+        path = tmp_path / "c.isobar"
+        stream_compress(_chunks(data, 10_000), path, np.float64, config=_CFG)
+        restored = IsobarCompressor().decompress(path.read_bytes())
+        assert np.array_equal(restored.reshape(-1), data)
+
+    def test_pipeline_container_readable_by_stream_reader(self, tmp_path,
+                                                          data):
+        path = tmp_path / "c.isobar"
+        payload = IsobarCompressor(_CFG).compress(data)
+        path.write_bytes(payload)
+        restored = np.concatenate(list(stream_decompress(path)))
+        assert np.array_equal(restored, data)
+
+    def test_uneven_chunks(self, tmp_path, data):
+        path = tmp_path / "c.isobar"
+        stream_compress(_chunks(data, 7_777), path, np.float64, config=_CFG)
+        restored = np.concatenate(list(stream_decompress(path)))
+        assert np.array_equal(restored, data)
+
+    def test_compresses(self, tmp_path, data):
+        path = tmp_path / "c.isobar"
+        written = stream_compress(_chunks(data, 10_000), path, np.float64,
+                                  config=_CFG)
+        assert written < data.nbytes
+
+    def test_float32_stream(self, tmp_path, rng):
+        values = build_structured(20_000, np.float32, 2, rng)
+        path = tmp_path / "f.isobar"
+        stream_compress(_chunks(values, 8_000), path, np.float32, config=_CFG)
+        restored = np.concatenate(list(stream_decompress(path)))
+        assert np.array_equal(
+            restored.view(np.uint32), values.view(np.uint32)
+        )
+
+
+class TestStreamingWriter:
+    def test_context_manager(self, tmp_path, data):
+        path = tmp_path / "w.isobar"
+        with open(path, "wb") as sink:
+            with StreamingWriter(sink, np.float64, config=_CFG) as writer:
+                for chunk in _chunks(data, 10_000):
+                    writer.write_chunk(chunk)
+        restored = np.concatenate(list(stream_decompress(path)))
+        assert np.array_equal(restored, data)
+
+    def test_empty_stream(self, tmp_path):
+        path = tmp_path / "empty.isobar"
+        stream_compress(iter(()), path, np.float64, config=_CFG)
+        assert list(stream_decompress(path)) == []
+
+    def test_zero_length_chunks_skipped(self, tmp_path, data):
+        path = tmp_path / "z.isobar"
+        with open(path, "wb") as sink:
+            writer = StreamingWriter(sink, np.float64, config=_CFG)
+            writer.write_chunk(np.array([], dtype=np.float64))
+            writer.write_chunk(data[:10_000])
+            writer.close()
+        restored = np.concatenate(list(stream_decompress(path)))
+        assert np.array_equal(restored, data[:10_000])
+
+    def test_dtype_mismatch_rejected(self, tmp_path, data):
+        path = tmp_path / "m.isobar"
+        with open(path, "wb") as sink:
+            writer = StreamingWriter(sink, np.float64, config=_CFG)
+            with pytest.raises(InvalidInputError):
+                writer.write_chunk(data.astype(np.float32))
+            writer.close()
+
+    def test_write_after_close_rejected(self, tmp_path, data):
+        path = tmp_path / "a.isobar"
+        with open(path, "wb") as sink:
+            writer = StreamingWriter(sink, np.float64, config=_CFG)
+            writer.write_chunk(data[:5_000])
+            writer.close()
+            with pytest.raises(InvalidInputError):
+                writer.write_chunk(data[:5_000])
+
+    def test_close_idempotent(self, tmp_path, data):
+        path = tmp_path / "i.isobar"
+        with open(path, "wb") as sink:
+            writer = StreamingWriter(sink, np.float64, config=_CFG)
+            writer.write_chunk(data[:5_000])
+            writer.close()
+            writer.close()  # no-op

@@ -1,0 +1,123 @@
+"""Unit and fuzz tests for the container validator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pipeline import IsobarCompressor
+from repro.core.preferences import IsobarConfig
+from repro.core.validate import validate_container
+from repro.datasets.synthetic import build_structured
+
+_CFG = IsobarConfig(chunk_elements=30_000, sample_elements=2048)
+
+
+@pytest.fixture(scope="module")
+def container():
+    rng = np.random.default_rng(5)
+    values = build_structured(90_000, np.float64, 6, rng)
+    return IsobarCompressor(_CFG).compress(values)
+
+
+class TestValidContainers:
+    def test_clean_container_validates(self, container):
+        report = validate_container(container)
+        assert report.valid
+        assert not report.errors
+        assert report.n_chunks_checked == 3
+        assert report.n_elements_recovered == 90_000
+        assert report.header is not None
+        assert report.header.codec_name in ("zlib", "bzip2")
+
+    def test_passthrough_container_validates(self):
+        values = np.full(30_000, 1.5)
+        payload = IsobarCompressor(_CFG).compress(values)
+        report = validate_container(payload)
+        assert report.valid
+
+    def test_empty_container_validates(self):
+        payload = IsobarCompressor(_CFG).compress(np.array([], dtype=np.float64))
+        report = validate_container(payload)
+        assert report.valid
+        assert report.n_chunks_checked == 0
+
+    def test_summary_lines(self, container):
+        lines = validate_container(container).summary_lines()
+        assert any("VALID" in line for line in lines)
+        assert any("header" in line for line in lines)
+
+
+class TestCorruptionDetection:
+    def test_bad_magic(self, container):
+        report = validate_container(b"XXXX" + container[4:])
+        assert not report.valid
+        assert report.findings[0].chunk_index == -1
+
+    def test_crc_corruption_localised(self, container):
+        corrupted = bytearray(container)
+        corrupted[-2] ^= 0xFF  # last chunk's raw noise
+        report = validate_container(bytes(corrupted))
+        assert not report.valid
+        bad_chunks = {f.chunk_index for f in report.errors}
+        assert bad_chunks == {2}  # only the final chunk is damaged
+
+    def test_multiple_corruptions_all_reported(self, container):
+        corrupted = bytearray(container)
+        corrupted[-2] ^= 0xFF
+        corrupted[len(corrupted) // 3] ^= 0xFF
+        report = validate_container(bytes(corrupted))
+        assert not report.valid
+        assert len(report.errors) >= 2
+
+    def test_truncation(self, container):
+        report = validate_container(container[: len(container) - 200])
+        assert not report.valid
+
+    def test_trailing_garbage_is_warning(self, container):
+        report = validate_container(container + b"\x00" * 64)
+        assert report.valid  # data intact
+        assert any(f.severity == "warning" for f in report.findings)
+
+    def test_empty_input(self):
+        report = validate_container(b"")
+        assert not report.valid
+
+    def test_validator_never_raises_on_bitflips(self, container):
+        """Single bit flips anywhere must produce a report, not a crash."""
+        for position in range(0, len(container), max(len(container) // 60, 1)):
+            corrupted = bytearray(container)
+            corrupted[position] ^= 0x10
+            report = validate_container(bytes(corrupted))
+            assert report is not None  # no exception escaped
+
+    @settings(max_examples=40, deadline=None)
+    @given(garbage=st.binary(min_size=0, max_size=600))
+    def test_validator_never_raises_on_garbage(self, garbage):
+        report = validate_container(garbage)
+        assert not report.valid or len(garbage) == 0 or True
+
+
+class TestFuzzDecoders:
+    """Random bytes into every decoder: fail loudly, never crash oddly."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(garbage=st.binary(min_size=0, max_size=400))
+    def test_pipeline_decompress_raises_isobar_errors_only(self, garbage):
+        from repro.core.exceptions import IsobarError
+
+        try:
+            IsobarCompressor().decompress(garbage)
+        except IsobarError:
+            pass  # the only acceptable failure mode
+
+    @settings(max_examples=40, deadline=None)
+    @given(garbage=st.binary(min_size=0, max_size=400))
+    def test_reader_raises_isobar_errors_only(self, garbage):
+        from repro.core.exceptions import IsobarError
+        from repro.core.random_access import ContainerReader
+
+        try:
+            ContainerReader(garbage)
+        except IsobarError:
+            pass

@@ -1,0 +1,97 @@
+"""Unit tests for raw dataset file storage and streaming."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ContainerFormatError, InvalidInputError
+from repro.datasets.loaders import (
+    load_raw,
+    raw_file_info,
+    save_raw,
+    stream_raw_chunks,
+)
+
+
+class TestSaveLoad:
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32, np.int64,
+                                       np.uint16])
+    def test_roundtrip(self, tmp_path, dtype, rng):
+        path = tmp_path / "data.rds"
+        if np.dtype(dtype).kind == "f":
+            values = rng.normal(size=1000).astype(dtype)
+        else:
+            values = rng.integers(0, 1000, size=1000).astype(dtype)
+        written = save_raw(path, values)
+        assert written == path.stat().st_size
+        loaded = load_raw(path)
+        assert loaded.dtype == np.dtype(dtype)
+        assert np.array_equal(loaded, values)
+
+    def test_multidimensional_flattened(self, tmp_path):
+        path = tmp_path / "grid.rds"
+        save_raw(path, np.arange(24.0).reshape(4, 6))
+        assert load_raw(path).shape == (24,)
+
+    def test_info_without_full_read(self, tmp_path):
+        path = tmp_path / "data.rds"
+        save_raw(path, np.arange(500, dtype=np.int64))
+        dtype, n = raw_file_info(path)
+        assert dtype == np.int64
+        assert n == 500
+
+    def test_empty_array(self, tmp_path):
+        path = tmp_path / "empty.rds"
+        save_raw(path, np.array([], dtype=np.float64))
+        assert load_raw(path).size == 0
+
+    def test_rejects_unsupported_dtype(self, tmp_path):
+        with pytest.raises(InvalidInputError):
+            save_raw(tmp_path / "x.rds", np.zeros(3, dtype=np.complex128))
+
+
+class TestCorruption:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.rds"
+        path.write_bytes(b"NOPE" + b"\x00" * 100)
+        with pytest.raises(ContainerFormatError):
+            load_raw(path)
+
+    def test_truncated_payload(self, tmp_path):
+        path = tmp_path / "trunc.rds"
+        save_raw(path, np.arange(100.0))
+        data = path.read_bytes()
+        path.write_bytes(data[:-50])
+        with pytest.raises(ContainerFormatError):
+            load_raw(path)
+
+
+class TestStreaming:
+    def test_chunks_reassemble(self, tmp_path):
+        path = tmp_path / "stream.rds"
+        values = np.arange(1001, dtype=np.float64)
+        save_raw(path, values)
+        chunks = list(stream_raw_chunks(path, chunk_elements=100))
+        assert len(chunks) == 11
+        assert chunks[-1].size == 1
+        assert np.array_equal(np.concatenate(chunks), values)
+
+    def test_chunk_larger_than_file(self, tmp_path):
+        path = tmp_path / "small.rds"
+        values = np.arange(10, dtype=np.int64)
+        save_raw(path, values)
+        chunks = list(stream_raw_chunks(path, chunk_elements=1000))
+        assert len(chunks) == 1
+        assert np.array_equal(chunks[0], values)
+
+    def test_validation(self, tmp_path):
+        path = tmp_path / "x.rds"
+        save_raw(path, np.arange(10.0))
+        with pytest.raises(InvalidInputError):
+            list(stream_raw_chunks(path, chunk_elements=0))
+
+    def test_truncated_stream_detected(self, tmp_path):
+        path = tmp_path / "trunc.rds"
+        save_raw(path, np.arange(100.0))
+        path.write_bytes(path.read_bytes()[:-16])
+        with pytest.raises(ContainerFormatError):
+            list(stream_raw_chunks(path, chunk_elements=30))

@@ -1,0 +1,120 @@
+"""Unit tests for the 24-dataset registry (Tables I, III, IV fidelity)."""
+
+import numpy as np
+import pytest
+
+from repro.core.analyzer import analyze
+from repro.core.exceptions import InvalidInputError
+from repro.datasets.registry import (
+    DATASETS,
+    DatasetSpec,
+    dataset_names,
+    generate_dataset,
+    get_dataset,
+    improvable_dataset_names,
+)
+
+
+class TestRegistryInventory:
+    def test_24_datasets(self):
+        assert len(DATASETS) == 24
+
+    def test_19_improvable(self):
+        # Table IV: 19 of 24 datasets are improvable.
+        assert len(improvable_dataset_names()) == 19
+
+    def test_the_five_non_improvable(self):
+        non_improvable = set(dataset_names()) - set(improvable_dataset_names())
+        assert non_improvable == {
+            "msg_bt", "msg_sppm", "num_plasma", "obs_error", "obs_spitzer",
+        }
+
+    def test_seven_applications(self):
+        apps = {spec.application for spec in DATASETS.values()}
+        assert apps == {"GTS", "XGC", "S3D", "FLASH", "MSG", "NUM", "OBS"}
+
+    def test_dtype_mix_matches_table1(self):
+        assert DATASETS["xgc_igid"].dtype == np.int64
+        assert DATASETS["s3d_temp"].dtype == np.float32
+        assert DATASETS["s3d_vmag"].dtype == np.float32
+        doubles = [n for n, s in DATASETS.items()
+                   if s.dtype == np.float64]
+        assert len(doubles) == 21
+
+    def test_lookup(self):
+        spec = get_dataset("gts_phi_l")
+        assert isinstance(spec, DatasetSpec)
+        assert spec.application == "GTS"
+
+    def test_unknown_name(self):
+        with pytest.raises(InvalidInputError):
+            get_dataset("not_a_dataset")
+
+
+class TestGeneration:
+    def test_deterministic_by_default(self):
+        a = generate_dataset("gts_phi_l", n_elements=5_000)
+        b = generate_dataset("gts_phi_l", n_elements=5_000)
+        assert np.array_equal(a, b)
+
+    def test_seed_override_changes_data(self):
+        a = generate_dataset("gts_phi_l", n_elements=5_000, seed=1)
+        b = generate_dataset("gts_phi_l", n_elements=5_000, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_different_datasets_differ(self):
+        a = generate_dataset("gts_phi_l", n_elements=5_000)
+        b = generate_dataset("gts_phi_nl", n_elements=5_000)
+        assert not np.array_equal(a, b)
+
+    def test_element_count_respected(self):
+        assert generate_dataset("msg_lu", n_elements=12_321).size == 12_321
+
+    def test_rejects_zero_elements(self):
+        with pytest.raises(InvalidInputError):
+            generate_dataset("msg_lu", n_elements=0)
+
+    def test_dtype_matches_spec(self):
+        for name in ("xgc_igid", "s3d_temp", "flash_velx"):
+            spec = get_dataset(name)
+            assert spec.generate(1_000).dtype == spec.dtype
+
+
+@pytest.mark.parametrize("name", dataset_names())
+class TestTable4Fidelity:
+    """Every dataset must reproduce its paper HTC fingerprint exactly."""
+
+    def test_htc_bytes_percent_matches_paper(self, name):
+        spec = get_dataset(name)
+        values = spec.generate(60_000)
+        result = analyze(values)
+        assert result.htc_bytes_percent == pytest.approx(
+            spec.paper.htc_bytes_percent
+        )
+
+    def test_improvable_matches_paper(self, name):
+        spec = get_dataset(name)
+        values = spec.generate(60_000)
+        assert analyze(values).improvable == spec.paper.improvable
+
+
+class TestPaperStatsSanity:
+    def test_expected_noise_bytes(self):
+        assert get_dataset("gts_phi_l").expected_noise_bytes == 6
+        assert get_dataset("xgc_igid").expected_noise_bytes == 3
+        assert get_dataset("s3d_temp").expected_noise_bytes == 1
+        assert get_dataset("msg_sppm").expected_noise_bytes == 0
+
+    def test_repetitive_datasets_have_low_unique_ratio(self):
+        from repro.analysis.entropy import unique_value_percent
+
+        for name in ("msg_sppm", "num_plasma", "obs_spitzer"):
+            values = generate_dataset(name, n_elements=50_000)
+            assert unique_value_percent(values) < 5.0
+
+    def test_field_datasets_have_high_unique_ratio(self):
+        from repro.analysis.entropy import unique_value_percent
+
+        for name in ("gts_phi_l", "flash_velx", "num_brain"):
+            values = generate_dataset(name, n_elements=50_000)
+            assert unique_value_percent(values) > 95.0

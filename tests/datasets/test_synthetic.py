@@ -1,0 +1,183 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.analyzer import analyze
+from repro.core.exceptions import InvalidInputError
+from repro.datasets.synthetic import (
+    autocorrelated_indices,
+    build_particle_ids,
+    build_repetitive,
+    build_structured,
+    noise_column,
+    smooth_pattern_values,
+)
+
+
+class TestSmoothPatternValues:
+    def test_distinct_and_in_range(self, rng):
+        patterns = smooth_pattern_values(128, rng, low=1.0, high=2.0)
+        assert np.unique(patterns).size == 128
+        assert patterns.min() >= 1.0
+        assert patterns.max() < 2.0
+
+    def test_walk_kind(self, rng):
+        patterns = smooth_pattern_values(64, rng, kind="walk")
+        assert np.unique(patterns).size == 64
+
+    def test_unknown_kind_rejected(self, rng):
+        with pytest.raises(InvalidInputError):
+            smooth_pattern_values(10, rng, kind="sawtooth")
+
+    def test_bad_range_rejected(self, rng):
+        with pytest.raises(InvalidInputError):
+            smooth_pattern_values(10, rng, low=2.0, high=1.0)
+
+    def test_single_pattern(self, rng):
+        assert smooth_pattern_values(1, rng).size == 1
+
+
+class TestAutocorrelatedIndices:
+    def test_bounds(self, rng):
+        indices = autocorrelated_indices(10_000, 128, rng)
+        assert indices.min() >= 0
+        assert indices.max() <= 127
+
+    def test_autocorrelation_present(self, rng):
+        indices = autocorrelated_indices(10_000, 128, rng, step_scale=1.0)
+        steps = np.abs(np.diff(indices))
+        assert steps.mean() < 5.0  # a random draw would average ~43
+
+    def test_zero_length(self, rng):
+        assert autocorrelated_indices(0, 10, rng).size == 0
+
+    def test_validation(self, rng):
+        with pytest.raises(InvalidInputError):
+            autocorrelated_indices(-1, 10, rng)
+        with pytest.raises(InvalidInputError):
+            autocorrelated_indices(10, 0, rng)
+
+
+class TestNoiseColumn:
+    def test_uniform_is_incompressible_to_analyzer(self, rng):
+        column = noise_column(50_000, rng, "uniform")[:, np.newaxis]
+        from repro.core.analyzer import analyze_matrix
+
+        assert not analyze_matrix(column).mask[0]
+
+    def test_geometric_is_compressible(self, rng):
+        column = noise_column(50_000, rng, "geometric")[:, np.newaxis]
+        from repro.core.analyzer import analyze_matrix
+
+        assert analyze_matrix(column).mask[0]
+
+    def test_spiked_is_compressible_but_entropic(self, rng):
+        from repro.analysis.entropy import byte_entropy
+        from repro.core.analyzer import analyze_matrix
+
+        column = noise_column(50_000, rng, "spiked")
+        assert analyze_matrix(column[:, np.newaxis]).mask[0]
+        assert byte_entropy(column) > 7.0  # still nearly incompressible
+
+    def test_unknown_kind(self, rng):
+        with pytest.raises(InvalidInputError):
+            noise_column(10, rng, "lognormal")
+
+
+class TestBuildStructured:
+    @pytest.mark.parametrize("dtype,width", [(np.float64, 8), (np.float32, 4),
+                                             (np.int64, 8)])
+    def test_dtype_support(self, rng, dtype, width):
+        values = build_structured(20_000, dtype, width // 2, rng)
+        assert values.dtype == np.dtype(dtype)
+        result = analyze(values)
+        assert result.n_incompressible == width // 2
+
+    def test_zero_noise_bytes_all_compressible(self, rng):
+        values = build_structured(20_000, np.float64, 0, rng)
+        assert analyze(values).mask.all()
+
+    def test_all_noise_bytes(self, rng):
+        values = build_structured(20_000, np.float64, 8, rng)
+        assert not analyze(values).mask.any()
+
+    def test_noise_count_validation(self, rng):
+        with pytest.raises(InvalidInputError):
+            build_structured(100, np.float64, 9, rng)
+        with pytest.raises(InvalidInputError):
+            build_structured(100, np.float64, -1, rng)
+
+    def test_n_elements_validation(self, rng):
+        with pytest.raises(InvalidInputError):
+            build_structured(0, np.float64, 2, rng)
+
+    def test_float_values_remain_finite_in_signal_bytes(self, rng):
+        # Noise bytes live in the mantissa, so values stay in a sane
+        # exponent range (no infinities appear from byte injection).
+        values = build_structured(10_000, np.float64, 6, rng, low=1.0,
+                                  high=2.0)
+        assert np.all(np.isfinite(values))
+        assert values.min() >= 1.0
+        assert values.max() < 2.0 + 1e-9
+
+
+class TestBuildRepetitive:
+    def test_small_dictionary(self, rng):
+        values = build_repetitive(30_000, np.float64, rng, n_values=16)
+        assert np.unique(values).size <= 16
+
+    def test_runs_exist(self, rng):
+        values = build_repetitive(30_000, np.float64, rng, n_values=16,
+                                  mean_run=32)
+        same_as_next = values[:-1] == values[1:]
+        assert same_as_next.mean() > 0.8  # long runs dominate
+
+    def test_not_improvable(self, rng):
+        values = build_repetitive(30_000, np.float64, rng)
+        assert not analyze(values).improvable
+
+    def test_compresses_extremely_well(self, rng):
+        import zlib
+
+        values = build_repetitive(30_000, np.float64, rng, n_values=16,
+                                  mean_run=64)
+        assert values.nbytes / len(zlib.compress(values.tobytes())) > 10
+
+    def test_integer_dtype(self, rng):
+        values = build_repetitive(5_000, np.int64, rng)
+        assert values.dtype == np.int64
+
+    def test_exact_length(self, rng):
+        assert build_repetitive(12_345, np.float64, rng).size == 12_345
+
+    def test_validation(self, rng):
+        with pytest.raises(InvalidInputError):
+            build_repetitive(0, np.float64, rng)
+        with pytest.raises(InvalidInputError):
+            build_repetitive(10, np.float64, rng, n_values=0)
+        with pytest.raises(InvalidInputError):
+            build_repetitive(10, np.float64, rng, mean_run=0)
+
+
+class TestBuildParticleIds:
+    def test_xgc_igid_fingerprint(self, rng):
+        ids = build_particle_ids(50_000, rng, id_bits=24)
+        assert ids.dtype == np.int64
+        result = analyze(ids)
+        # 3 noise bytes of 8 = the paper's 37.5% HTC.
+        assert result.n_incompressible == 3
+        assert result.htc_bytes_percent == pytest.approx(37.5)
+
+    def test_repeated_ids(self, rng):
+        # Drawing with replacement keeps the unique ratio well below 1.
+        ids = build_particle_ids(200_000, rng, id_bits=16)
+        assert np.unique(ids).size < ids.size
+
+    def test_id_bits_validation(self, rng):
+        with pytest.raises(InvalidInputError):
+            build_particle_ids(10, rng, id_bits=7)
+        with pytest.raises(InvalidInputError):
+            build_particle_ids(10, rng, id_bits=63)
+        with pytest.raises(InvalidInputError):
+            build_particle_ids(0, rng)

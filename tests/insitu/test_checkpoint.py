@@ -1,0 +1,114 @@
+"""Unit tests for the ISOBAR-backed checkpoint/restart store."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import InvalidInputError
+from repro.core.preferences import IsobarConfig, Preference
+from repro.insitu.checkpoint import CheckpointStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    return CheckpointStore(tmp_path / "ckpt",
+                           config=IsobarConfig(sample_elements=2048))
+
+
+@pytest.fixture
+def field(rng):
+    from repro.datasets.synthetic import build_structured
+
+    return build_structured(20_000, np.float64, 6, rng)
+
+
+class TestWriteRead:
+    def test_single_variable_roundtrip(self, store, field):
+        records = store.write(0, {"phi": field})
+        assert len(records) == 1
+        assert records[0].ratio > 1.0
+        assert np.array_equal(store.read(0, "phi"), field)
+
+    def test_multiple_variables(self, store, field):
+        other = field * 2.0
+        store.write(3, {"phi": field, "density": other})
+        restored = store.read_step(3)
+        assert set(restored) == {"phi", "density"}
+        assert np.array_equal(restored["phi"], field)
+        assert np.array_equal(restored["density"], other)
+
+    def test_multidimensional_variable(self, store, rng):
+        from repro.datasets.synthetic import build_structured
+
+        grid = build_structured(10_000, np.float64, 6, rng).reshape(100, 100)
+        store.write(0, {"grid": grid})
+        restored = store.read(0, "grid")
+        assert restored.shape == (100, 100)
+        assert np.array_equal(restored, grid)
+
+    def test_write_detailed_returns_stats(self, store, field):
+        record, result = store.write_detailed(1, "phi", field)
+        assert record.stored_bytes == result.compressed_bytes
+        assert result.improvable
+
+    def test_empty_variables_rejected(self, store):
+        with pytest.raises(InvalidInputError):
+            store.write(0, {})
+
+    def test_missing_variable_rejected(self, store, field):
+        store.write(0, {"phi": field})
+        with pytest.raises(InvalidInputError):
+            store.read(0, "density")
+
+    def test_missing_step_rejected(self, store):
+        with pytest.raises(InvalidInputError):
+            store.read_step(5)
+
+    def test_bad_variable_names_rejected(self, store, field):
+        for bad in ("", "a/b", ".hidden"):
+            with pytest.raises(InvalidInputError):
+                store.write(0, {bad: field})
+
+    def test_step_range_validated(self, store, field):
+        with pytest.raises(InvalidInputError):
+            store.write(-1, {"phi": field})
+
+
+class TestInventory:
+    def test_steps_sorted(self, store, field):
+        for step in (7, 0, 3):
+            store.write(step, {"phi": field})
+        assert store.steps() == [0, 3, 7]
+
+    def test_latest_step(self, store, field):
+        assert store.latest_step() is None
+        store.write(4, {"phi": field})
+        store.write(9, {"phi": field})
+        assert store.latest_step() == 9
+
+    def test_variables_listing(self, store, field):
+        store.write(2, {"b": field, "a": field})
+        assert store.variables(2) == ["a", "b"]
+        assert store.variables(99) == []
+
+    def test_overwrite_same_step(self, store, field):
+        store.write(1, {"phi": field})
+        newer = field + 1.0
+        store.write(1, {"phi": newer})
+        assert np.array_equal(store.read(1, "phi"), newer)
+
+
+class TestPreferences:
+    def test_speed_preference_store(self, tmp_path, field):
+        store = CheckpointStore(
+            tmp_path,
+            config=IsobarConfig(preference=Preference.SPEED,
+                                sample_elements=2048),
+        )
+        store.write(0, {"phi": field})
+        assert np.array_equal(store.read(0, "phi"), field)
+
+    def test_files_are_isobar_containers(self, store, field):
+        store.write(0, {"phi": field})
+        path = store.root / "step_00000000" / "phi.isobar"
+        assert path.exists()
+        assert path.read_bytes()[:4] == b"ISBR"

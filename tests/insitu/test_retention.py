@@ -1,0 +1,82 @@
+"""Unit tests for checkpoint retention policies."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.preferences import IsobarConfig
+from repro.insitu.checkpoint import CheckpointStore
+from repro.insitu.retention import RetentionPolicy, apply_retention
+
+
+class TestPolicyLogic:
+    def test_keep_last_only(self):
+        policy = RetentionPolicy(keep_last=3, keep_every=0)
+        steps = [0, 1, 2, 3, 4, 5, 6]
+        assert policy.retained(steps) == {4, 5, 6}
+        assert policy.dropped(steps) == [0, 1, 2, 3]
+
+    def test_keep_every_only(self):
+        policy = RetentionPolicy(keep_last=0, keep_every=3)
+        steps = [0, 1, 2, 3, 4, 5, 6, 7]
+        assert policy.retained(steps) == {0, 3, 6}
+
+    def test_two_tiers_union(self):
+        policy = RetentionPolicy(keep_last=2, keep_every=4)
+        steps = list(range(10))
+        assert policy.retained(steps) == {0, 4, 8, 9}
+        assert policy.dropped(steps) == [1, 2, 3, 5, 6, 7]
+
+    def test_fewer_steps_than_keep_last(self):
+        policy = RetentionPolicy(keep_last=10)
+        assert policy.retained([1, 2]) == {1, 2}
+        assert policy.dropped([1, 2]) == []
+
+    def test_unordered_input(self):
+        policy = RetentionPolicy(keep_last=2)
+        assert policy.retained([5, 1, 9, 3]) == {5, 9}
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetentionPolicy(keep_last=-1)
+        with pytest.raises(ConfigurationError):
+            RetentionPolicy(keep_last=0, keep_every=-2)
+        with pytest.raises(ConfigurationError):
+            RetentionPolicy(keep_last=0, keep_every=0)
+
+
+class TestApplyRetention:
+    @pytest.fixture
+    def store(self, tmp_path, rng):
+        store = CheckpointStore(
+            tmp_path, config=IsobarConfig(sample_elements=1024)
+        )
+        field = rng.normal(size=2_000)
+        for step in range(8):
+            store.write(step, {"phi": field + step})
+        return store
+
+    def test_prunes_directories(self, store):
+        dropped = apply_retention(store, RetentionPolicy(keep_last=2))
+        assert dropped == [0, 1, 2, 3, 4, 5]
+        assert store.steps() == [6, 7]
+
+    def test_retained_steps_still_readable(self, store, rng):
+        apply_retention(store, RetentionPolicy(keep_last=1, keep_every=4))
+        assert store.steps() == [0, 4, 7]
+        for step in store.steps():
+            restored = store.read(step, "phi")
+            assert restored.size == 2_000
+
+    def test_dry_run_changes_nothing(self, store):
+        would_drop = apply_retention(store, RetentionPolicy(keep_last=2),
+                                     dry_run=True)
+        assert would_drop == [0, 1, 2, 3, 4, 5]
+        assert store.steps() == list(range(8))
+
+    def test_idempotent(self, store):
+        policy = RetentionPolicy(keep_last=3)
+        apply_retention(store, policy)
+        second = apply_retention(store, policy)
+        assert second == []
+        assert store.steps() == [5, 6, 7]

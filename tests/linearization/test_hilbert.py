@@ -1,0 +1,142 @@
+"""Unit and property tests for the n-dimensional Hilbert curve."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exceptions import InvalidInputError
+from repro.linearization.hilbert import (
+    coords_to_distance,
+    distance_to_coords,
+    hilbert_order_indices,
+)
+
+
+class TestKnown2DCurve:
+    def test_first_order_2d(self):
+        # The order-1 2D Hilbert curve visits (0,0),(0,1),(1,1),(1,0).
+        coords = distance_to_coords(np.arange(4), bits=1, ndim=2)
+        expected = np.array([[0, 0], [0, 1], [1, 1], [1, 0]])
+        assert np.array_equal(coords, expected)
+
+    def test_distance_zero_is_origin(self):
+        for ndim in (1, 2, 3, 4):
+            coords = distance_to_coords(np.array(0), bits=3, ndim=ndim)
+            assert np.all(coords == 0)
+
+
+@pytest.mark.parametrize("bits,ndim", [
+    (1, 2), (2, 2), (4, 2), (6, 2),
+    (1, 3), (2, 3), (4, 3),
+    (2, 4), (3, 4),
+    (3, 1),
+])
+class TestCurveInvariants:
+    def test_bijection(self, bits, ndim):
+        n = (1 << bits) ** ndim
+        distances = np.arange(n, dtype=np.uint64)
+        coords = distance_to_coords(distances, bits, ndim)
+        assert np.array_equal(coords_to_distance(coords, bits), distances)
+
+    def test_covers_every_cell_once(self, bits, ndim):
+        n = (1 << bits) ** ndim
+        coords = distance_to_coords(np.arange(n, dtype=np.uint64), bits, ndim)
+        flat = np.ravel_multi_index(
+            tuple(coords[:, axis] for axis in range(ndim)),
+            dims=(1 << bits,) * ndim,
+        )
+        assert np.unique(flat).size == n
+
+    def test_unit_step_locality(self, bits, ndim):
+        """Consecutive curve points differ by 1 in exactly one axis."""
+        n = (1 << bits) ** ndim
+        coords = distance_to_coords(np.arange(n, dtype=np.uint64), bits, ndim)
+        steps = np.abs(np.diff(coords.astype(np.int64), axis=0))
+        assert np.all(steps.sum(axis=1) == 1)
+        assert np.all(steps.max(axis=1) == 1)
+
+
+class TestScalarAndShapes:
+    def test_scalar_roundtrip(self):
+        point = np.array([3, 5])
+        distance = coords_to_distance(point, bits=3)
+        assert distance.ndim == 0
+        assert np.array_equal(distance_to_coords(distance, 3, 2), point)
+
+    def test_batch_shape(self):
+        coords = np.array([[0, 0], [1, 1], [2, 3]])
+        distances = coords_to_distance(coords, bits=2)
+        assert distances.shape == (3,)
+
+
+class TestValidation:
+    def test_rejects_out_of_range_coordinates(self):
+        with pytest.raises(InvalidInputError):
+            coords_to_distance(np.array([[4, 0]]), bits=2)
+        with pytest.raises(InvalidInputError):
+            coords_to_distance(np.array([[-1, 0]]), bits=2)
+
+    def test_rejects_out_of_range_distance(self):
+        with pytest.raises(InvalidInputError):
+            distance_to_coords(np.array([16]), bits=1, ndim=2)
+
+    def test_rejects_too_many_bits(self):
+        with pytest.raises(InvalidInputError):
+            coords_to_distance(np.zeros((1, 9), dtype=np.int64), bits=8)
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(InvalidInputError):
+            distance_to_coords(np.array([0]), bits=0, ndim=2)
+
+
+class TestOrderIndices:
+    def test_square_grid_is_permutation(self):
+        perm = hilbert_order_indices((16, 16))
+        assert np.array_equal(np.sort(perm), np.arange(256))
+
+    def test_rectangular_grid_is_permutation(self):
+        perm = hilbert_order_indices((7, 13))
+        assert np.array_equal(np.sort(perm), np.arange(91))
+
+    def test_3d_grid(self):
+        perm = hilbert_order_indices((4, 4, 4))
+        assert np.array_equal(np.sort(perm), np.arange(64))
+
+    def test_1d_is_identity(self):
+        assert np.array_equal(hilbert_order_indices((10,)), np.arange(10))
+
+    def test_locality_beats_random_on_square(self):
+        """Mean index jump along the curve is far below random order."""
+        side = 32
+        perm = hilbert_order_indices((side, side))
+        coords = np.stack(np.unravel_index(perm, (side, side)), axis=1)
+        hilbert_jumps = np.abs(np.diff(coords, axis=0)).sum(axis=1).mean()
+        rng = np.random.default_rng(0)
+        rand = rng.permutation(side * side)
+        rcoords = np.stack(np.unravel_index(rand, (side, side)), axis=1)
+        random_jumps = np.abs(np.diff(rcoords, axis=0)).sum(axis=1).mean()
+        assert hilbert_jumps < random_jumps / 5
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(InvalidInputError):
+            hilbert_order_indices(())
+        with pytest.raises(InvalidInputError):
+            hilbert_order_indices((0, 5))
+
+
+class TestHypothesisRoundtrip:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        bits=st.integers(1, 5),
+        ndim=st.integers(1, 4),
+        seed=st.integers(0, 2**16),
+    )
+    def test_random_points_roundtrip(self, bits, ndim, seed):
+        if bits * ndim > 20:
+            return  # keep the point set manageable
+        rng = np.random.default_rng(seed)
+        coords = rng.integers(0, 1 << bits, size=(50, ndim))
+        distances = coords_to_distance(coords, bits)
+        back = distance_to_coords(distances, bits, ndim)
+        assert np.array_equal(back, coords.astype(np.uint64))

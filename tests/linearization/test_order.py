@@ -1,0 +1,170 @@
+"""Unit tests for element orderings (Figures 9-10 substrate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exceptions import InvalidInputError
+from repro.linearization.order import (
+    ORDERING_NAMES,
+    apply_order,
+    column_major_order,
+    identity_order,
+    invert_permutation,
+    morton_order,
+    ordering_indices,
+    random_order,
+    row_major_order,
+)
+
+
+class TestBasicOrders:
+    def test_identity(self):
+        assert np.array_equal(identity_order(5), np.arange(5))
+
+    def test_row_major_is_identity(self):
+        assert np.array_equal(row_major_order((3, 4)), np.arange(12))
+
+    def test_column_major_2d(self):
+        perm = column_major_order((2, 3))
+        # Row-major [[0,1,2],[3,4,5]] read column-wise: 0,3,1,4,2,5.
+        assert np.array_equal(perm, [0, 3, 1, 4, 2, 5])
+
+    def test_column_major_roundtrip(self):
+        values = np.arange(24.0).reshape(4, 6)
+        perm = column_major_order(values.shape)
+        reordered = apply_order(values, perm)
+        assert np.array_equal(reordered, values.ravel(order="F"))
+
+    def test_random_is_seeded(self):
+        assert np.array_equal(random_order(100, seed=3), random_order(100, seed=3))
+        assert not np.array_equal(random_order(100, seed=3),
+                                  random_order(100, seed=4))
+
+    def test_random_is_permutation(self):
+        perm = random_order(1000, seed=0)
+        assert np.array_equal(np.sort(perm), np.arange(1000))
+
+
+class TestMorton:
+    def test_2x2_order(self):
+        # Morton order on a 2x2 grid: (0,0),(0,1),(1,0),(1,1) for our
+        # axis-major interleave.
+        perm = morton_order((2, 2))
+        assert np.array_equal(np.sort(perm), np.arange(4))
+        coords = np.stack(np.unravel_index(perm, (2, 2)), axis=1)
+        # First visited cell is the origin.
+        assert np.array_equal(coords[0], [0, 0])
+
+    def test_is_permutation_rectangular(self):
+        perm = morton_order((5, 9))
+        assert np.array_equal(np.sort(perm), np.arange(45))
+
+    def test_1d_identity(self):
+        assert np.array_equal(morton_order((7,)), np.arange(7))
+
+    def test_locality_beats_random(self):
+        side = 32
+        perm = morton_order((side, side))
+        coords = np.stack(np.unravel_index(perm, (side, side)), axis=1)
+        jumps = np.abs(np.diff(coords, axis=0)).sum(axis=1)
+        assert jumps.mean() < 4.0  # random order averages ~21
+
+
+class TestTiled:
+    def test_4x4_tile2_layout(self):
+        from repro.linearization.order import tiled_order
+
+        perm = tiled_order((4, 4), tile=2)
+        # Blocks row-major, row-major inside each block.
+        assert perm.tolist() == [0, 1, 4, 5, 2, 3, 6, 7,
+                                 8, 9, 12, 13, 10, 11, 14, 15]
+
+    def test_partial_edge_blocks(self):
+        from repro.linearization.order import tiled_order
+
+        perm = tiled_order((5, 7), tile=3)
+        assert np.array_equal(np.sort(perm), np.arange(35))
+
+    def test_1d_identity(self):
+        from repro.linearization.order import tiled_order
+
+        assert np.array_equal(tiled_order((9,)), np.arange(9))
+
+    def test_tile_validation(self):
+        from repro.linearization.order import tiled_order
+
+        with pytest.raises(InvalidInputError):
+            tiled_order((4, 4), tile=0)
+
+    def test_locality_between_row_and_random(self):
+        from repro.linearization.order import tiled_order
+
+        side = 32
+        perm = tiled_order((side, side), tile=8)
+        coords = np.stack(np.unravel_index(perm, (side, side)), axis=1)
+        jumps = np.abs(np.diff(coords, axis=0)).sum(axis=1)
+        assert jumps.mean() < 3.0
+
+
+class TestOrderingIndices:
+    @pytest.mark.parametrize("name", ORDERING_NAMES)
+    def test_all_names_give_permutations(self, name):
+        perm = ordering_indices(name, (8, 8), seed=1)
+        assert np.array_equal(np.sort(perm), np.arange(64))
+
+    def test_original_and_row_are_identity(self):
+        assert np.array_equal(ordering_indices("original", (4, 4)),
+                              np.arange(16))
+        assert np.array_equal(ordering_indices("row", (4, 4)), np.arange(16))
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(InvalidInputError):
+            ordering_indices("zigzag", (4, 4))
+
+    def test_case_insensitive(self):
+        assert np.array_equal(ordering_indices("Hilbert", (4, 4)),
+                              ordering_indices("hilbert", (4, 4)))
+
+
+class TestInvertAndApply:
+    def test_invert_permutation(self):
+        perm = random_order(50, seed=9)
+        inv = invert_permutation(perm)
+        assert np.array_equal(perm[inv], np.arange(50))
+        assert np.array_equal(inv[perm], np.arange(50))
+
+    def test_apply_then_invert_restores(self):
+        values = np.random.default_rng(2).normal(size=100)
+        perm = random_order(100, seed=5)
+        stream = apply_order(values, perm)
+        assert np.array_equal(stream[invert_permutation(perm)], values)
+
+    def test_apply_flattens_multidim(self):
+        values = np.arange(12.0).reshape(3, 4)
+        stream = apply_order(values, np.arange(12))
+        assert stream.shape == (12,)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(InvalidInputError):
+            apply_order(np.arange(10.0), np.arange(5))
+
+    def test_invert_rejects_2d(self):
+        with pytest.raises(InvalidInputError):
+            invert_permutation(np.zeros((2, 2), dtype=np.int64))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n_rows=st.integers(1, 20),
+        n_cols=st.integers(1, 20),
+        name=st.sampled_from(ORDERING_NAMES),
+        seed=st.integers(0, 100),
+    )
+    def test_every_ordering_invertible_property(self, n_rows, n_cols, name,
+                                                seed):
+        shape = (n_rows, n_cols)
+        values = np.arange(n_rows * n_cols, dtype=np.float64)
+        perm = ordering_indices(name, shape, seed=seed)
+        stream = apply_order(values, perm)
+        assert np.array_equal(stream[invert_permutation(perm)], values)

@@ -1,0 +1,204 @@
+"""End-to-end tests for the ``isobar`` command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets.loaders import load_raw, save_raw
+
+
+class TestParser:
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        for argv in (
+            ["generate", "gts_phi_l", "out.rds"],
+            ["analyze", "in.rds"],
+            ["compress", "in.rds", "out.isobar"],
+            ["decompress", "in.isobar", "out.rds"],
+            ["bench", "--table", "4"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "bogus", "out.rds"])
+
+
+class TestWorkflow:
+    def test_generate_analyze_compress_decompress(self, tmp_path, capsys):
+        raw = tmp_path / "field.rds"
+        container = tmp_path / "field.isobar"
+        restored = tmp_path / "restored.rds"
+
+        assert main(["generate", "gts_chkp_zion", str(raw),
+                     "--elements", "30000"]) == 0
+        assert main(["analyze", str(raw), "--bits"]) == 0
+        out = capsys.readouterr().out
+        assert "improvable: yes" in out
+
+        assert main(["compress", str(raw), str(container),
+                     "--preference", "speed"]) == 0
+        out = capsys.readouterr().out
+        assert "ratio" in out
+        assert container.stat().st_size < raw.stat().st_size
+
+        assert main(["decompress", str(container), str(restored)]) == 0
+        assert np.array_equal(load_raw(raw), load_raw(restored))
+
+    def test_compress_with_explicit_options(self, tmp_path):
+        raw = tmp_path / "x.rds"
+        main(["generate", "s3d_vmag", str(raw), "--elements", "20000"])
+        out = tmp_path / "x.isobar"
+        assert main(["compress", str(raw), str(out), "--codec", "zlib",
+                     "--linearization", "column",
+                     "--chunk-elements", "10000"]) == 0
+        restored = tmp_path / "x2.rds"
+        assert main(["decompress", str(out), str(restored)]) == 0
+        a, b = load_raw(raw), load_raw(restored)
+        assert np.array_equal(a.view(np.uint32), b.view(np.uint32))
+
+    def test_non_improvable_dataset_roundtrip(self, tmp_path):
+        raw = tmp_path / "sppm.rds"
+        main(["generate", "msg_sppm", str(raw), "--elements", "20000"])
+        out = tmp_path / "sppm.isobar"
+        assert main(["compress", str(raw), str(out)]) == 0
+        restored = tmp_path / "sppm2.rds"
+        assert main(["decompress", str(out), str(restored)]) == 0
+        assert np.array_equal(load_raw(raw), load_raw(restored))
+
+
+class TestErrors:
+    def test_missing_input_file(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path / "missing.rds")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_corrupt_container(self, tmp_path, capsys):
+        bad = tmp_path / "bad.isobar"
+        bad.write_bytes(b"not a container")
+        assert main(["decompress", str(bad),
+                     str(tmp_path / "out.rds")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_codec(self, tmp_path, capsys):
+        raw = tmp_path / "x.rds"
+        save_raw(raw, np.arange(1000.0))
+        assert main(["compress", str(raw), str(tmp_path / "x.isobar"),
+                     "--codec", "snappy"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bench_without_target(self, capsys):
+        assert main(["bench"]) == 2
+        assert "nothing to do" in capsys.readouterr().err
+
+
+class TestInspectionCommands:
+    @pytest.fixture
+    def container(self, tmp_path):
+        raw = tmp_path / "d.rds"
+        main(["generate", "num_brain", str(raw), "--elements", "60000"])
+        out = tmp_path / "d.isobar"
+        main(["compress", str(raw), str(out), "--chunk-elements", "30000"])
+        return raw, out
+
+    def test_info(self, container, capsys):
+        _, out = container
+        capsys.readouterr()
+        assert main(["info", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "float64" in text
+        assert "chunks" in text
+        assert "ratio" in text
+
+    def test_extract_range(self, container, tmp_path, capsys):
+        raw, out = container
+        window = tmp_path / "w.rds"
+        assert main(["extract", str(out), str(window),
+                     "--start", "29500", "--stop", "30500"]) == 0
+        full = load_raw(raw)
+        extracted = load_raw(window)
+        assert np.array_equal(extracted, full[29500:30500])
+
+    def test_extract_out_of_bounds(self, container, tmp_path, capsys):
+        _, out = container
+        assert main(["extract", str(out), str(tmp_path / "w.rds"),
+                     "--start", "0", "--stop", "999999"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_verify_clean(self, container, capsys):
+        _, out = container
+        capsys.readouterr()
+        assert main(["verify", str(out)]) == 0
+        assert "VALID" in capsys.readouterr().out
+
+    def test_verify_corrupt(self, container, tmp_path, capsys):
+        _, out = container
+        corrupted = bytearray(out.read_bytes())
+        corrupted[-2] ^= 0xFF
+        bad = tmp_path / "bad.isobar"
+        bad.write_bytes(bytes(corrupted))
+        assert main(["verify", str(bad)]) == 1
+        text = capsys.readouterr().out
+        assert "INVALID" in text
+        assert "CRC" in text
+
+    def test_analyze_full_profile(self, container, capsys):
+        raw, _ = container
+        capsys.readouterr()
+        assert main(["analyze", str(raw), "--full"]) == 0
+        text = capsys.readouterr().out
+        assert "compressibility profile" in text
+        assert "recommendation" in text
+
+    def test_concat(self, container, tmp_path, capsys):
+        raw, _ = container
+        # Two containers with a pinned decision so they are mergeable.
+        a, b = tmp_path / "a.isobar", tmp_path / "b.isobar"
+        for out in (a, b):
+            assert main(["compress", str(raw), str(out),
+                         "--codec", "zlib", "--linearization", "row",
+                         "--chunk-elements", "30000"]) == 0
+        merged = tmp_path / "merged.isobar"
+        capsys.readouterr()
+        assert main(["concat", str(a), str(b), str(merged)]) == 0
+        assert "no recompression" in capsys.readouterr().out
+        full = load_raw(raw)
+        restored = tmp_path / "restored.rds"
+        assert main(["decompress", str(merged), str(restored)]) == 0
+        assert np.array_equal(load_raw(restored),
+                              np.concatenate([full, full]))
+
+    def test_codecs_listing(self, capsys):
+        assert main(["codecs"]) == 0
+        text = capsys.readouterr().out
+        for name in ("zlib", "bzip2", "huffman", "range-coder", "bwt"):
+            assert name in text
+
+    def test_autotune(self, container, capsys):
+        raw, _ = container
+        capsys.readouterr()
+        assert main(["autotune", str(raw),
+                     "--sample-elements", "40000"]) == 0
+        text = capsys.readouterr().out
+        assert "chosen tau" in text
+        assert "statistical floor" in text
+
+
+class TestBenchCommand:
+    def test_bench_table_4(self, capsys):
+        assert main(["bench", "--table", "4", "--elements", "20000"]) == 0
+        out = capsys.readouterr().out
+        assert "Table IV" in out
+        assert "gts_chkp_zeon" in out
+
+    def test_bench_table_1(self, capsys):
+        assert main(["bench", "--table", "1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_bench_figure_1(self, capsys):
+        assert main(["bench", "--figure", "1", "--elements", "20000"]) == 0
+        assert "Figure 1" in capsys.readouterr().out

@@ -1,0 +1,37 @@
+"""Smoke tests: every example script must run cleanly end to end.
+
+Examples are the public face of the library; a release with a broken
+example is broken.  Each script runs in a subprocess (its own
+interpreter, like a user would) and must exit 0 without tracebacks.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+_EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+_ALL_EXAMPLES = sorted(p.name for p in _EXAMPLES_DIR.glob("*.py"))
+
+
+def test_example_inventory():
+    """The suite below must cover every example on disk."""
+    assert len(_ALL_EXAMPLES) >= 9
+    assert "quickstart.py" in _ALL_EXAMPLES
+
+
+@pytest.mark.parametrize("script", _ALL_EXAMPLES)
+def test_example_runs_cleanly(script):
+    completed = subprocess.run(
+        [sys.executable, str(_EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, (
+        f"{script} failed:\n--- stdout ---\n{completed.stdout[-2000:]}\n"
+        f"--- stderr ---\n{completed.stderr[-2000:]}"
+    )
+    assert "Traceback" not in completed.stderr
+    assert completed.stdout.strip(), f"{script} produced no output"
