@@ -36,9 +36,12 @@ from repro.core import (
     IsobarError,
     Linearization,
     Preference,
+    SalvageReport,
+    SalvageResult,
     analyze,
     isobar_compress,
     isobar_decompress,
+    salvage_decompress,
 )
 
 __version__ = "1.0.0"
@@ -52,8 +55,11 @@ __all__ = [
     "IsobarError",
     "Linearization",
     "Preference",
+    "SalvageReport",
+    "SalvageResult",
     "analyze",
     "isobar_compress",
     "isobar_decompress",
+    "salvage_decompress",
     "__version__",
 ]

@@ -83,6 +83,28 @@ def build_parser() -> argparse.ArgumentParser:
         "verify", help="deep-validate an ISOBAR container"
     )
     verify.add_argument("input", help="ISOBAR container")
+    verify.add_argument(
+        "--deep", action="store_true",
+        help="additionally run the salvage scanner and report how much "
+             "of a damaged container is recoverable",
+    )
+
+    salvage = sub.add_parser(
+        "salvage",
+        help="recover everything readable from a damaged container",
+    )
+    salvage.add_argument("input", help="(possibly damaged) ISOBAR container")
+    salvage.add_argument("output", help="output raw dataset file")
+    salvage.add_argument(
+        "--policy", choices=["skip", "zero_fill"], default="skip",
+        help="skip: drop damaged chunks; zero_fill: keep absolute "
+             "element positions by substituting zeros (default: skip)",
+    )
+    salvage.add_argument(
+        "--unclosed", action="store_true",
+        help="treat the input as a never-closed stream (crashed writer) "
+             "and discover chunks by forward scan",
+    )
 
     extract = sub.add_parser(
         "extract", help="random-access read of an element range"
@@ -237,7 +259,39 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     report = validate_container(payload)
     for line in report.summary_lines():
         print(line)
+    if args.deep:
+        from repro.core.salvage import salvage_decompress
+
+        try:
+            salvaged = salvage_decompress(payload, policy="skip")
+        except IsobarError as exc:
+            print(f"salvage: not recoverable ({exc})")
+        else:
+            lines = salvaged.report.summary_lines()
+            print("salvage: " + "; ".join(
+                line for line in lines
+                if line.startswith(("policy ", "RESULT:"))
+            ))
     return 0 if report.valid else 1
+
+
+def _cmd_salvage(args: argparse.Namespace) -> int:
+    from repro.core.salvage import salvage_decompress
+
+    with open(args.input, "rb") as handle:
+        payload = handle.read()
+    with Stopwatch() as sw:
+        result = salvage_decompress(
+            payload, policy=args.policy, to_eof=args.unclosed
+        )
+    for line in result.report.summary_lines():
+        print(line)
+    save_raw(args.output, np.asarray(result.values).reshape(-1))
+    mb = result.values.nbytes / MEGABYTE
+    print(f"wrote {result.values.size} elements "
+          f"({mb / max(sw.seconds, 1e-9):.1f} MB/s) -> {args.output}")
+    # 0: everything recovered; 2: partial recovery (output still written).
+    return 0 if result.report.complete else 2
 
 
 def _cmd_extract(args: argparse.Namespace) -> int:
@@ -340,6 +394,7 @@ _COMMANDS = {
     "autotune": _cmd_autotune,
     "info": _cmd_info,
     "verify": _cmd_verify,
+    "salvage": _cmd_salvage,
     "extract": _cmd_extract,
     "codecs": _cmd_codecs,
     "concat": _cmd_concat,

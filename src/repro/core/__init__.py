@@ -6,6 +6,15 @@ from repro.core.adaptive import (
     SegmentInfo,
 )
 from repro.core.validate import ChunkFinding, ValidationReport, validate_container
+from repro.core.salvage import (
+    SALVAGE_POLICIES,
+    ChunkOutcome,
+    SalvageReport,
+    SalvageResult,
+    ScanEvent,
+    salvage_decompress,
+    scan_chunks,
+)
 from repro.core.bitlevel import BitLevelAnalysis, BitLevelCompressor, analyze_bits
 from repro.core.concat import concat_containers, split_container_header
 from repro.core.autotune import TauSweepResult, autotune_tau, minimum_reliable_tau
@@ -23,6 +32,7 @@ from repro.core.exceptions import (
     InvalidInputError,
     IsobarError,
     SelectorError,
+    TruncatedContainerError,
     UnknownCodecError,
 )
 from repro.core.metadata import (
@@ -67,6 +77,13 @@ __all__ = [
     "ChunkFinding",
     "ValidationReport",
     "validate_container",
+    "SALVAGE_POLICIES",
+    "ChunkOutcome",
+    "SalvageReport",
+    "SalvageResult",
+    "ScanEvent",
+    "salvage_decompress",
+    "scan_chunks",
     "TauSweepResult",
     "autotune_tau",
     "minimum_reliable_tau",
@@ -91,6 +108,7 @@ __all__ = [
     "InvalidInputError",
     "IsobarError",
     "SelectorError",
+    "TruncatedContainerError",
     "UnknownCodecError",
     "ChunkMetadata",
     "ChunkMode",

@@ -12,6 +12,7 @@ __all__ = [
     "IsobarError",
     "InvalidInputError",
     "ContainerFormatError",
+    "TruncatedContainerError",
     "ChecksumError",
     "CodecError",
     "UnknownCodecError",
@@ -35,6 +36,17 @@ class InvalidInputError(IsobarError, ValueError):
 
 class ContainerFormatError(IsobarError, ValueError):
     """A serialized ISOBAR container is malformed or truncated."""
+
+
+class TruncatedContainerError(ContainerFormatError):
+    """The container byte stream ends before a declared structure does.
+
+    Raised from every truncation path — header record, chunk metadata
+    record, chunk payload — so callers can distinguish "cut short"
+    (e.g. an interrupted download or a crashed writer) from "malformed".
+    Truncated containers are prime candidates for
+    :func:`repro.core.salvage.salvage_decompress`.
+    """
 
 
 class ChecksumError(ContainerFormatError):

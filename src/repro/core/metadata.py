@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.exceptions import ContainerFormatError
+from repro.core.exceptions import ContainerFormatError, TruncatedContainerError
 from repro.core.preferences import Linearization, Preference
 
 __all__ = [
@@ -66,13 +66,23 @@ def decode_mask(data: bytes, width: int) -> np.ndarray:
     """Unpack ``width`` mask bits written by :func:`encode_mask`."""
     needed = (width + 7) // 8
     if len(data) < needed:
-        raise ContainerFormatError(
+        raise TruncatedContainerError(
             f"mask needs {needed} bytes for width {width}, have {len(data)}"
         )
     bits = np.unpackbits(
         np.frombuffer(data, dtype=np.uint8, count=needed), bitorder="little"
     )
     return bits[:width].astype(bool)
+
+
+def _need(data: bytes, pos: int, n_bytes: int, what: str) -> None:
+    """Bounds-check a decode cursor; truncation must never surface as a
+    bare ``struct.error`` or ``IndexError``."""
+    if len(data) < pos + n_bytes:
+        raise TruncatedContainerError(
+            f"container truncated inside {what}: need {n_bytes} bytes at "
+            f"offset {pos}, have {max(len(data) - pos, 0)}"
+        )
 
 
 @dataclass(frozen=True)
@@ -134,9 +144,14 @@ class ContainerHeader:
     @classmethod
     def decode(cls, data: bytes, offset: int = 0) -> tuple["ContainerHeader", int]:
         """Parse a header record; returns ``(header, next_offset)``."""
-        if len(data) < offset + 7 or data[offset:offset + 4] != _HEADER_MAGIC:
+        if len(data) < offset + 4:
+            raise TruncatedContainerError(
+                "container truncated inside header magic"
+            )
+        if data[offset:offset + 4] != _HEADER_MAGIC:
             raise ContainerFormatError("missing ISOBAR container magic")
         pos = offset + 4
+        _need(data, pos, 2, "header version")
         (version,) = struct.unpack_from("<H", data, pos)
         pos += 2
         if version != FORMAT_VERSION:
@@ -144,25 +159,37 @@ class ContainerHeader:
                 f"unsupported container version {version} "
                 f"(this build reads version {FORMAT_VERSION})"
             )
+        _need(data, pos, 1, "header dtype length")
         dtype_len = data[pos]
         pos += 1
+        _need(data, pos, dtype_len, "header dtype string")
         try:
             dtype = np.dtype(data[pos:pos + dtype_len].decode("ascii"))
         except (TypeError, UnicodeDecodeError) as exc:
             raise ContainerFormatError(f"invalid dtype in header: {exc}") from exc
         pos += dtype_len
+        _need(data, pos, 9, "header element count")
         (n_elements,) = struct.unpack_from("<Q", data, pos)
         pos += 8
         ndim = data[pos]
         pos += 1
         if ndim > _MAX_DIMS:
             raise ContainerFormatError(f"header declares {ndim} dimensions")
+        _need(data, pos, 8 * ndim, "header shape")
         shape = struct.unpack_from(f"<{ndim}q", data, pos)
         pos += 8 * ndim
+        _need(data, pos, 1, "header codec length")
         codec_len = data[pos]
         pos += 1
-        codec_name = data[pos:pos + codec_len].decode("utf-8")
+        _need(data, pos, codec_len, "header codec name")
+        try:
+            codec_name = data[pos:pos + codec_len].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ContainerFormatError(
+                f"invalid codec name in header: {exc}"
+            ) from exc
         pos += codec_len
+        _need(data, pos, struct.calcsize("<BBdQI"), "header trailer")
         lin_code, pref_code, tau, chunk_elements, n_chunks = struct.unpack_from(
             "<BBdQI", data, pos
         )
@@ -219,19 +246,25 @@ class ChunkMetadata:
         cls, data: bytes, offset: int, element_width: int
     ) -> tuple["ChunkMetadata", int]:
         """Parse a chunk record; returns ``(metadata, next_offset)``."""
-        if len(data) < offset + 18 or data[offset:offset + 4] != _CHUNK_MAGIC:
+        if len(data) < offset + 4:
+            raise TruncatedContainerError(
+                "container truncated inside chunk magic"
+            )
+        if data[offset:offset + 4] != _CHUNK_MAGIC:
             raise ContainerFormatError("missing chunk magic (corrupt container)")
         pos = offset + 4
+        _need(data, pos, struct.calcsize("<QBIB"), "chunk record fields")
         n_elements, mode_code, crc, mask_len = struct.unpack_from("<QBIB", data, pos)
         pos += struct.calcsize("<QBIB")
         try:
             mode = ChunkMode(mode_code)
         except ValueError:
             raise ContainerFormatError(f"unknown chunk mode {mode_code}") from None
+        _need(data, pos, mask_len, "chunk mask")
         mask = decode_mask(data[pos:pos + mask_len], element_width)
         pos += mask_len
         if len(data) < pos + 16:
-            raise ContainerFormatError("truncated chunk size fields")
+            raise TruncatedContainerError("truncated chunk size fields")
         compressed_size, incompressible_size = struct.unpack_from("<QQ", data, pos)
         pos += 16
         meta = cls(

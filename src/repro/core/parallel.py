@@ -20,9 +20,13 @@ import numpy as np
 
 from repro.codecs.base import get_codec
 from repro.core.chunking import plan_chunks
-from repro.core.exceptions import ConfigurationError
-from repro.core.metadata import ChunkMetadata, ChunkMode, ContainerHeader
-from repro.core.pipeline import CompressionResult, IsobarCompressor
+from repro.core.exceptions import ConfigurationError, TruncatedContainerError
+from repro.core.metadata import ChunkMetadata, ContainerHeader
+from repro.core.pipeline import (
+    CompressionResult,
+    IsobarCompressor,
+    decode_chunk_payload,
+)
 from repro.core.preferences import IsobarConfig
 
 __all__ = ["ParallelIsobarCompressor"]
@@ -109,22 +113,36 @@ class ParallelIsobarCompressor(IsobarCompressor):
             select_seconds=select_seconds,
         )
 
-    def decompress(self, data: bytes) -> np.ndarray:
+    def decompress(self, data: bytes, *, errors: str = "raise") -> np.ndarray:
         """Parallel decompression of the standard container format.
 
         Chunk records are walked sequentially (offsets depend on stored
-        sizes), then payload decoding fans out across the pool.
+        sizes), then payload decoding fans out across the pool.  With
+        ``errors="skip"`` or ``"zero_fill"`` the lenient salvage decoder
+        takes over (serially — recovery is not a hot path).
         """
+        if errors != "raise":
+            from repro.core.salvage import salvage_decompress
+
+            return salvage_decompress(data, policy=errors).values
+
         header, offset = ContainerHeader.decode(data)
         codec = get_codec(header.codec_name)
         width = header.element_width
 
         chunk_slices = []
-        for _ in range(header.n_chunks):
+        for index in range(header.n_chunks):
+            record_offset = offset
             meta, offset = ChunkMetadata.decode(data, offset, width)
             end_comp = offset + meta.compressed_size
             end_incomp = end_comp + meta.incompressible_size
-            chunk_slices.append((meta, data[offset:end_comp],
+            if end_incomp > len(data):
+                raise TruncatedContainerError(
+                    f"chunk {index} at byte offset {record_offset}: "
+                    "container truncated inside chunk payload"
+                )
+            chunk_slices.append((index, record_offset, meta,
+                                 data[offset:end_comp],
                                  data[end_comp:end_incomp]))
             offset = end_incomp
 
@@ -150,42 +168,20 @@ class ParallelIsobarCompressor(IsobarCompressor):
 
 
 class _ChunkDecoder:
-    """Callable decoding one (metadata, compressed, raw) chunk triple."""
+    """Callable decoding one indexed chunk quintuple from the walk."""
 
     def __init__(self, header: ContainerHeader, codec):
         self._header = header
         self._codec = codec
 
     def __call__(self, item):
-        import zlib as _zlib
-
-        from repro.analysis.bytefreq import matrix_to_elements
-        from repro.core.exceptions import ChecksumError, ContainerFormatError
-        from repro.core.partitioner import reassemble_matrix
-
-        meta, compressed, incompressible = item
-        header = self._header
-        if meta.mode is ChunkMode.PARTITIONED:
-            comp_stream = self._codec.decompress(compressed)
-            matrix = reassemble_matrix(
-                comp_stream, incompressible, meta.mask,
-                header.linearization, meta.n_elements,
-            )
-            chunk = matrix_to_elements(matrix, header.dtype)
-            raw = matrix.tobytes()
-        else:
-            raw = self._codec.decompress(compressed)
-            expected = meta.n_elements * header.element_width
-            if len(raw) != expected:
-                raise ContainerFormatError(
-                    f"chunk payload decodes to {len(raw)} bytes, "
-                    f"expected {expected}"
-                )
-            chunk = np.frombuffer(
-                raw, dtype=header.dtype.newbyteorder("<")
-            ).astype(header.dtype, copy=False)
-        if _zlib.crc32(raw) != meta.raw_crc32:
-            raise ChecksumError(
-                f"chunk CRC mismatch (stored {meta.raw_crc32:#010x})"
-            )
-        return chunk
+        index, record_offset, meta, compressed, incompressible = item
+        return decode_chunk_payload(
+            self._header,
+            self._codec,
+            meta,
+            compressed,
+            incompressible,
+            chunk_index=index,
+            byte_offset=record_offset,
+        )

@@ -31,7 +31,13 @@ from repro.analysis.bytefreq import element_width, matrix_to_elements
 from repro.codecs.base import Codec, get_codec
 from repro.core.analyzer import analyze
 from repro.core.chunking import iter_chunks
-from repro.core.exceptions import ChecksumError, ContainerFormatError
+from repro.core.exceptions import (
+    ChecksumError,
+    CodecError,
+    ContainerFormatError,
+    IsobarError,
+    TruncatedContainerError,
+)
 from repro.core.metadata import ChunkMetadata, ChunkMode, ContainerHeader
 from repro.core.partitioner import partition, reassemble_matrix
 from repro.core.preferences import IsobarConfig, Linearization, Preference
@@ -41,9 +47,75 @@ __all__ = [
     "ChunkReport",
     "CompressionResult",
     "IsobarCompressor",
+    "decode_chunk_payload",
     "isobar_compress",
     "isobar_decompress",
 ]
+
+
+def decode_chunk_payload(
+    header: ContainerHeader,
+    codec: Codec,
+    meta: ChunkMetadata,
+    compressed: bytes,
+    incompressible: bytes,
+    *,
+    chunk_index: int | None = None,
+    byte_offset: int | None = None,
+) -> np.ndarray:
+    """Decode one chunk's payload streams back into an element array.
+
+    This is the single authoritative chunk decoder shared by the serial
+    pipeline, the parallel decoder, the streaming reader, the validator
+    and the salvage scanner.  Every failure — solver error, stream-length
+    mismatch, CRC mismatch — is re-raised as an :class:`IsobarError`
+    whose message carries the chunk index and absolute byte offset when
+    the caller provides them, so corruption reports always point at the
+    damaged region instead of a bare ``zlib`` error code.
+    """
+    where = ""
+    if chunk_index is not None:
+        where = f"chunk {chunk_index}"
+        if byte_offset is not None:
+            where += f" at byte offset {byte_offset}"
+        where += ": "
+    try:
+        if meta.mode is ChunkMode.PARTITIONED:
+            comp_stream = codec.decompress(compressed)
+            matrix = reassemble_matrix(
+                comp_stream,
+                incompressible,
+                meta.mask,
+                header.linearization,
+                meta.n_elements,
+            )
+            chunk = matrix_to_elements(matrix, header.dtype)
+            raw = matrix.tobytes()
+        else:
+            raw = codec.decompress(compressed)
+            expected = meta.n_elements * header.element_width
+            if len(raw) != expected:
+                raise ContainerFormatError(
+                    f"chunk payload decodes to {len(raw)} bytes, "
+                    f"expected {expected}"
+                )
+            chunk = np.frombuffer(
+                raw, dtype=header.dtype.newbyteorder("<")
+            ).astype(header.dtype, copy=False)
+    except CodecError as exc:
+        raise CodecError(f"{where}{exc}") from exc
+    except ChecksumError:
+        raise
+    except IsobarError as exc:
+        # Stream-length / reassembly inconsistencies become format
+        # errors: the payload structure does not match its metadata.
+        raise ContainerFormatError(f"{where}{exc}") from exc
+    if _zlib.crc32(raw) != meta.raw_crc32:
+        raise ChecksumError(
+            f"{where}chunk CRC mismatch (stored {meta.raw_crc32:#010x}, "
+            f"computed {_zlib.crc32(raw):#010x})"
+        )
+    return chunk
 
 
 def _little_endian_bytes(chunk: np.ndarray) -> bytes:
@@ -253,53 +325,54 @@ class IsobarCompressor:
 
     # -- decompression ----------------------------------------------------
 
-    def decompress(self, data: bytes) -> np.ndarray:
-        """Restore the exact original array from a container."""
+    def decompress(self, data: bytes, *, errors: str = "raise") -> np.ndarray:
+        """Restore the exact original array from a container.
+
+        Parameters
+        ----------
+        data:
+            A serialized ISOBAR container.
+        errors:
+            ``"raise"`` (default) aborts on the first damaged chunk;
+            ``"skip"`` and ``"zero_fill"`` delegate to
+            :func:`repro.core.salvage.salvage_decompress` and return
+            whatever could be recovered (skipping lost chunks, or
+            substituting zero elements for them, respectively).
+        """
+        if errors != "raise":
+            from repro.core.salvage import salvage_decompress
+
+            return salvage_decompress(data, policy=errors).values
+
         header, offset = ContainerHeader.decode(data)
         codec = get_codec(header.codec_name)
         width = header.element_width
-        little_dtype = header.dtype.newbyteorder("<")
 
         pieces: list[np.ndarray] = []
-        for _ in range(header.n_chunks):
+        for index in range(header.n_chunks):
+            record_offset = offset
             meta, offset = ChunkMetadata.decode(data, offset, width)
             end_comp = offset + meta.compressed_size
             end_incomp = end_comp + meta.incompressible_size
             if end_incomp > len(data):
-                raise ContainerFormatError(
+                raise TruncatedContainerError(
+                    f"chunk {index} at byte offset {record_offset}: "
                     "container truncated inside chunk payload"
                 )
             compressed = data[offset:end_comp]
             incompressible = data[end_comp:end_incomp]
             offset = end_incomp
-
-            if meta.mode is ChunkMode.PARTITIONED:
-                comp_stream = codec.decompress(compressed)
-                matrix = reassemble_matrix(
-                    comp_stream,
+            pieces.append(
+                decode_chunk_payload(
+                    header,
+                    codec,
+                    meta,
+                    compressed,
                     incompressible,
-                    meta.mask,
-                    header.linearization,
-                    meta.n_elements,
+                    chunk_index=index,
+                    byte_offset=record_offset,
                 )
-                chunk = matrix_to_elements(matrix, header.dtype)
-                raw = matrix.tobytes()
-            else:
-                raw = codec.decompress(compressed)
-                expected = meta.n_elements * width
-                if len(raw) != expected:
-                    raise ContainerFormatError(
-                        f"chunk payload decodes to {len(raw)} bytes, "
-                        f"expected {expected}"
-                    )
-                chunk = np.frombuffer(raw, dtype=little_dtype).astype(
-                    header.dtype, copy=False
-                )
-            if _zlib.crc32(raw) != meta.raw_crc32:
-                raise ChecksumError(
-                    f"chunk CRC mismatch (stored {meta.raw_crc32:#010x})"
-                )
-            pieces.append(chunk)
+            )
 
         if pieces:
             # concatenate() normalises byte order to native; restore the
@@ -351,6 +424,11 @@ def isobar_compress(
     return IsobarCompressor(base.replace(**overrides)).compress(values)
 
 
-def isobar_decompress(data: bytes) -> np.ndarray:
-    """Restore an array compressed by :func:`isobar_compress`."""
-    return IsobarCompressor().decompress(data)
+def isobar_decompress(data: bytes, *, errors: str = "raise") -> np.ndarray:
+    """Restore an array compressed by :func:`isobar_compress`.
+
+    ``errors`` selects the damage policy: ``"raise"`` (strict,
+    default), ``"skip"`` or ``"zero_fill"`` (lenient salvage decode —
+    see :func:`repro.core.salvage.salvage_decompress`).
+    """
+    return IsobarCompressor().decompress(data, errors=errors)

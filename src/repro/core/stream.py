@@ -11,24 +11,37 @@ unknown until the stream ends, the writer reserves the header and
 patches it on ``close()`` — the emitted file is byte-compatible with
 the in-memory pipeline's output for the same configuration and
 decision.
+
+Crash safety: :meth:`StreamingWriter.open` (and
+:func:`stream_compress`, which uses it) writes to a temporary file in
+the destination directory and atomically renames it into place on
+``close()``, so the destination path only ever holds complete
+containers.  A writer that dies before ``close()`` leaves a temp file
+whose header still carries the zero-count placeholder; such a stream is
+recoverable chunk-by-chunk via
+``stream_decompress(path, tolerate_unclosed=True)``.
 """
 
 from __future__ import annotations
 
 import os
-import time
 import zlib as _zlib
 from typing import BinaryIO, Iterable, Iterator
 
 import numpy as np
 
-from repro.analysis.bytefreq import element_width, matrix_to_elements
+from repro.analysis.bytefreq import element_width
 from repro.codecs.base import get_codec
 from repro.core.analyzer import analyze
-from repro.core.exceptions import ChecksumError, ContainerFormatError, InvalidInputError
+from repro.core.exceptions import (
+    ContainerFormatError,
+    InvalidInputError,
+    IsobarError,
+    TruncatedContainerError,
+)
 from repro.core.metadata import ChunkMetadata, ChunkMode, ContainerHeader
-from repro.core.partitioner import partition, reassemble_matrix
-from repro.core.pipeline import _little_endian_bytes
+from repro.core.partitioner import partition
+from repro.core.pipeline import _little_endian_bytes, decode_chunk_payload
 from repro.core.preferences import IsobarConfig, Linearization
 from repro.core.selector import EupaSelector
 
@@ -70,9 +83,57 @@ class StreamingWriter:
         self._header_offset = sink.tell()
         self._closed = False
         self._header_size: int | None = None
+        self._bytes_written = 0
+        # Set by .open(): the writer owns its file handle and (when
+        # atomic) publishes the temp file to _final_path on close().
+        self._owned = False
+        self._temp_path: str | None = None
+        self._final_path: str | None = None
         # The header is deferred until the first chunk: the selector's
         # codec choice determines the header length, so writing a
         # placeholder earlier would risk a size mismatch on close.
+
+    @classmethod
+    def open(
+        cls,
+        path: str | os.PathLike,
+        dtype: np.dtype,
+        config: IsobarConfig | None = None,
+        *,
+        atomic: bool = True,
+    ) -> "StreamingWriter":
+        """Open a writer that manages its own file at ``path``.
+
+        With ``atomic=True`` (the default) chunks are written to a
+        temporary file next to the destination and ``close()`` fsyncs
+        and atomically renames it into place — ``path`` never holds a
+        half-written container, even if the process crashes mid-stream.
+        A failed or aborted write leaves ``path`` untouched (any prior
+        version survives).  ``abort()`` discards the temp file.
+        """
+        final_path = os.fspath(path)
+        if atomic:
+            temp_path = f"{final_path}.tmp.{os.getpid()}"
+            sink = open(temp_path, "wb")
+        else:
+            temp_path = None
+            sink = open(final_path, "wb")
+        try:
+            writer = cls(sink, dtype, config)
+        except BaseException:
+            sink.close()
+            if temp_path is not None and os.path.exists(temp_path):
+                os.unlink(temp_path)
+            raise
+        writer._owned = True
+        writer._temp_path = temp_path
+        writer._final_path = final_path
+        return writer
+
+    @property
+    def bytes_written(self) -> int:
+        """Container bytes emitted so far (header + chunk blobs)."""
+        return self._bytes_written
 
     def _build_header(self) -> ContainerHeader:
         return ContainerHeader(
@@ -98,6 +159,7 @@ class StreamingWriter:
         encoded = self._build_header().encode()
         self._header_size = len(encoded)
         self._sink.write(encoded)
+        self._bytes_written += len(encoded)
 
     def write_chunk(self, chunk: np.ndarray) -> int:
         """Compress and append one chunk; returns bytes written."""
@@ -139,12 +201,14 @@ class StreamingWriter:
         )
         blob = meta.encode() + compressed + incompressible
         self._sink.write(blob)
+        self._bytes_written += len(blob)
         self._n_elements += int(arr.size)
         self._n_chunks += 1
         return len(blob)
 
     def close(self) -> None:
-        """Patch the header with final counts and flush."""
+        """Patch the header with final counts, flush and (when opened
+        via :meth:`open`) atomically publish the file."""
         if self._closed:
             return
         self._ensure_header()  # empty stream: header with zero chunks
@@ -159,13 +223,42 @@ class StreamingWriter:
         self._sink.write(encoded)
         self._sink.seek(end)
         self._sink.flush()
+        if self._owned:
+            os.fsync(self._sink.fileno())
+            self._sink.close()
+            if self._temp_path is not None:
+                os.replace(self._temp_path, self._final_path)
         self._closed = True
+
+    def abort(self) -> None:
+        """Discard the stream: close the handle, delete any temp file.
+
+        Only meaningful for writers created with :meth:`open`; for a
+        caller-provided sink the handle is left untouched (the caller
+        owns it).  Idempotent, and a no-op after ``close()``.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if not self._owned:
+            return
+        try:
+            self._sink.close()
+        finally:
+            if self._temp_path is not None and os.path.exists(self._temp_path):
+                os.unlink(self._temp_path)
 
     def __enter__(self) -> "StreamingWriter":
         return self
 
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()
+    def __exit__(self, exc_type: object, *exc_info: object) -> None:
+        # An exception mid-stream must not publish a half-written
+        # container: owned writers roll back, caller-owned sinks keep
+        # the legacy close-on-exit behaviour.
+        if exc_type is not None and self._owned:
+            self.abort()
+        else:
+            self.close()
 
 
 def stream_compress(
@@ -173,33 +266,136 @@ def stream_compress(
     sink_path: str | os.PathLike,
     dtype: np.dtype,
     config: IsobarConfig | None = None,
+    *,
+    atomic: bool = True,
 ) -> int:
     """Compress an iterable of chunks into a container file.
 
     Returns the total bytes written.  Memory use is bounded by one
-    chunk regardless of the stream length.
+    chunk regardless of the stream length.  With ``atomic=True`` (the
+    default) the destination path is populated by a single atomic
+    rename on success, so a crash or error mid-stream never leaves a
+    half-written container at ``sink_path``.
     """
-    with open(sink_path, "wb") as sink:
-        writer = StreamingWriter(sink, dtype=dtype, config=config)
+    writer = StreamingWriter.open(sink_path, dtype, config, atomic=atomic)
+    try:
         for chunk in chunks:
             writer.write_chunk(chunk)
         writer.close()
-        return sink.tell()
+    except BaseException:
+        writer.abort()
+        raise
+    return writer.bytes_written
 
 
-def stream_decompress(path: str | os.PathLike) -> Iterator[np.ndarray]:
+def _stream_salvage(
+    path: str | os.PathLike,
+    errors: str,
+    *,
+    to_eof: bool,
+) -> Iterator[np.ndarray]:
+    """Lenient / crash-recovery read path: scan chunks via the salvage
+    scanner.  Loads the file into memory (recovery is not a hot path)."""
+    from repro.core.salvage import scan_chunks
+
+    with open(path, "rb") as source:
+        data = source.read()
+    header, offset = ContainerHeader.decode(data)
+    codec = get_codec(header.codec_name)
+    ordinal = 0
+    for event in scan_chunks(data, header, offset, codec, to_eof=to_eof):
+        if event.kind == "gap":
+            # A gap that runs to EOF on an unclosed stream is the
+            # crashed writer's unfinished final chunk — tolerating it
+            # is the whole point; anything else honours the policy.
+            if to_eof and event.end == len(data):
+                return
+            if errors == "raise":
+                raise ContainerFormatError(
+                    f"chunk {ordinal} at byte offset {event.start}: "
+                    f"unreadable chunk record: {event.cause}"
+                )
+            ordinal += 1
+            continue
+        meta = event.meta
+        compressed = data[event.payload_offset:event.payload_offset
+                          + meta.compressed_size]
+        incompressible = data[event.payload_offset
+                              + meta.compressed_size:event.end]
+        try:
+            chunk = decode_chunk_payload(
+                header, codec, meta, compressed, incompressible,
+                chunk_index=ordinal, byte_offset=event.start,
+            )
+        except IsobarError:
+            if errors == "raise":
+                raise
+            if errors == "zero_fill":
+                yield np.zeros(int(meta.n_elements), dtype=header.dtype)
+            ordinal += 1
+            continue
+        yield chunk
+        ordinal += 1
+
+
+def stream_decompress(
+    path: str | os.PathLike,
+    *,
+    errors: str = "raise",
+    tolerate_unclosed: bool = False,
+) -> Iterator[np.ndarray]:
     """Yield the original chunks of a container file, one at a time.
 
     Verifies each chunk's CRC before yielding; memory use is bounded by
-    one chunk.
+    one chunk on the strict path.
+
+    Parameters
+    ----------
+    errors:
+        ``"raise"`` (default) aborts on the first damaged chunk;
+        ``"skip"`` drops damaged chunks; ``"zero_fill"`` substitutes
+        zero-element chunks of the declared length.  The lenient modes
+        read the whole file into memory to allow resynchronization.
+    tolerate_unclosed:
+        Recover a stream whose final header patch never happened (the
+        writer crashed before ``close()``): when the header still
+        carries the zero-chunk placeholder but payload bytes follow,
+        chunks are discovered by forward scan instead of trusting the
+        header count.  A partial final chunk (killed mid-write) is
+        dropped; every fully written chunk is recovered.
     """
+    if errors not in ("raise", "skip", "zero_fill"):
+        raise InvalidInputError(
+            f"unknown errors policy {errors!r}; "
+            "expected 'raise', 'skip' or 'zero_fill'"
+        )
     with open(path, "rb") as source:
         prefix = source.read(1 << 16)
+        if not prefix and tolerate_unclosed:
+            # Writer died before anything durable was written.
+            return
         header, offset = ContainerHeader.decode(prefix)
+        source.seek(0, os.SEEK_END)
+        file_size = source.tell()
+
+    unclosed = header.n_chunks == 0 and file_size > offset
+    if unclosed and not tolerate_unclosed:
+        raise ContainerFormatError(
+            f"header declares 0 chunks but {file_size - offset} payload "
+            "bytes follow: the stream was never closed (crashed "
+            "writer?); pass tolerate_unclosed=True to recover it"
+        )
+    if unclosed or errors != "raise":
+        yield from _stream_salvage(
+            path, errors, to_eof=unclosed
+        )
+        return
+
+    with open(path, "rb") as source:
         source.seek(offset)
         codec = get_codec(header.codec_name)
         width = header.element_width
-        for _ in range(header.n_chunks):
+        for index in range(header.n_chunks):
             # Chunk metadata has bounded size; read generously then
             # seek to the payload start.
             meta_start = source.tell()
@@ -212,20 +408,11 @@ def stream_decompress(path: str | os.PathLike) -> Iterator[np.ndarray]:
                 len(compressed) != meta.compressed_size
                 or len(incompressible) != meta.incompressible_size
             ):
-                raise ContainerFormatError("container truncated mid-chunk")
-            if meta.mode is ChunkMode.PARTITIONED:
-                comp_stream = codec.decompress(compressed)
-                matrix = reassemble_matrix(
-                    comp_stream, incompressible, meta.mask,
-                    header.linearization, meta.n_elements,
+                raise TruncatedContainerError(
+                    f"chunk {index} at byte offset {meta_start}: "
+                    "container truncated mid-chunk"
                 )
-                chunk = matrix_to_elements(matrix, header.dtype)
-                raw = matrix.tobytes()
-            else:
-                raw = codec.decompress(compressed)
-                chunk = np.frombuffer(
-                    raw, dtype=header.dtype.newbyteorder("<")
-                ).astype(header.dtype, copy=False)
-            if _zlib.crc32(raw) != meta.raw_crc32:
-                raise ChecksumError("chunk CRC mismatch in stream")
-            yield chunk
+            yield decode_chunk_payload(
+                header, codec, meta, compressed, incompressible,
+                chunk_index=index, byte_offset=meta_start,
+            )

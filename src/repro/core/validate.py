@@ -26,8 +26,8 @@ import numpy as np
 import zlib as _zlib
 
 from repro.codecs.base import get_codec
-from repro.core.exceptions import CodecError, IsobarError, UnknownCodecError
-from repro.core.metadata import ChunkMetadata, ChunkMode, ContainerHeader
+from repro.core.exceptions import IsobarError, UnknownCodecError
+from repro.core.metadata import ChunkMode, ContainerHeader
 from repro.core.partitioner import reassemble_matrix
 
 __all__ = ["ChunkFinding", "ValidationReport", "validate_container"]
@@ -94,7 +94,16 @@ def validate_container(data: bytes) -> ValidationReport:
     Never raises for content problems — all failures land in the
     report.  (Programming errors, e.g. passing a non-bytes object,
     still raise.)
+
+    The chunk chain is walked with the salvage scanner
+    (:func:`repro.core.salvage.scan_chunks`), so the validator
+    resynchronizes over structurally damaged regions and reports *all*
+    findings instead of stopping at the first unreadable record.
     """
+    # Imported here: salvage builds on pipeline which builds on the
+    # metadata layer this module also uses — keep import order simple.
+    from repro.core.salvage import scan_chunks
+
     report = ValidationReport()
 
     try:
@@ -112,19 +121,30 @@ def validate_container(data: bytes) -> ValidationReport:
 
     width = header.element_width
     element_cursor = 0
-    for index in range(header.n_chunks):
-        try:
-            meta, payload_offset = ChunkMetadata.decode(data, offset, width)
-        except IsobarError as exc:
-            report.error(index, f"unreadable chunk record: {exc}")
-            return report
-        end = payload_offset + meta.compressed_size + meta.incompressible_size
-        if end > len(data):
-            report.error(index, "payload extends past end of container")
-            return report
+    index = 0
+    end = offset
+    for event in scan_chunks(data, header, offset, codec):
+        end = max(end, event.end)
+        if event.kind == "gap":
+            if event.end == len(data):
+                report.error(
+                    index,
+                    f"unreadable chunk record at byte {event.start}, no "
+                    f"later chunk found: {event.cause}",
+                )
+            else:
+                report.error(
+                    index,
+                    f"unreadable chunk record at byte {event.start}; "
+                    f"resynchronized at byte {event.end} "
+                    f"({event.end - event.start} bytes lost): {event.cause}",
+                )
+            index += 1
+            continue
+        meta = event.meta
+        payload_offset = event.payload_offset
         compressed = data[payload_offset:payload_offset + meta.compressed_size]
-        incompressible = data[payload_offset + meta.compressed_size:end]
-        offset = end
+        incompressible = data[payload_offset + meta.compressed_size:event.end]
         report.n_chunks_checked += 1
 
         n_comp_cols = int(np.count_nonzero(meta.mask))
@@ -137,6 +157,7 @@ def validate_container(data: bytes) -> ValidationReport:
                     f"incompressible stream is {meta.incompressible_size} "
                     f"bytes, mask geometry implies {expected_incomp}",
                 )
+                index += 1
                 continue
             if n_comp_cols == 0 or n_incomp_cols == 0:
                 report.warn(
@@ -146,6 +167,7 @@ def validate_container(data: bytes) -> ValidationReport:
                 )
         elif meta.incompressible_size != 0:
             report.error(index, "passthrough chunk carries raw noise bytes")
+            index += 1
             continue
 
         try:
@@ -164,24 +186,34 @@ def validate_container(data: bytes) -> ValidationReport:
                         f"payload decodes to {len(raw)} bytes, expected "
                         f"{meta.n_elements * width}",
                     )
+                    index += 1
                     continue
         except IsobarError as exc:
             report.error(index, f"payload undecodable: {exc}")
+            index += 1
             continue
 
         if _zlib.crc32(raw) != meta.raw_crc32:
             report.error(index, "CRC mismatch: chunk content corrupted")
+            index += 1
             continue
         element_cursor += meta.n_elements
         report.n_elements_recovered += meta.n_elements
+        index += 1
 
+    if report.n_chunks_checked < header.n_chunks and not report.errors:
+        report.error(
+            -1,
+            f"found {report.n_chunks_checked} chunk records, header "
+            f"declares {header.n_chunks}",
+        )
     if element_cursor != header.n_elements and not report.errors:
         report.error(
             -1,
             f"chunks cover {element_cursor} elements, header declares "
             f"{header.n_elements}",
         )
-    if offset < len(data):
-        report.warn(-1, f"{len(data) - offset} trailing bytes after the "
+    if end < len(data):
+        report.warn(-1, f"{len(data) - end} trailing bytes after the "
                         "last chunk")
     return report

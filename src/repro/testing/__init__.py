@@ -1,0 +1,34 @@
+"""Test-support utilities shipped with the library.
+
+:mod:`repro.testing.faults` provides deterministic, seeded fault
+injectors for ISOBAR containers — the adversary that the salvage
+decoder (:mod:`repro.core.salvage`) is proven against.  The package is
+importable from production code too (e.g. chaos-testing a deployment),
+so it lives under ``repro`` rather than in the test tree.
+"""
+
+from repro.testing.faults import (
+    FAULT_TYPES,
+    InjectedFault,
+    chunk_extents,
+    corrupt_chunk_magic,
+    corrupt_header_magic,
+    delete_chunk,
+    flip_bit,
+    inject,
+    truncate,
+    zero_range,
+)
+
+__all__ = [
+    "FAULT_TYPES",
+    "InjectedFault",
+    "chunk_extents",
+    "corrupt_chunk_magic",
+    "corrupt_header_magic",
+    "delete_chunk",
+    "flip_bit",
+    "inject",
+    "truncate",
+    "zero_range",
+]

