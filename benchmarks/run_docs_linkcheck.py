@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Docs link check: every relative Markdown link must resolve on disk.
+
+Walks every ``*.md`` file in the repository (root, ``docs/``, and any
+other tracked directory), extracts inline Markdown links and image
+references, and verifies that each **relative** target exists relative
+to the file containing it.  External links (``http://``, ``https://``,
+``mailto:``) and pure in-page anchors (``#section``) are skipped — the
+check needs no network and stays deterministic.
+
+Usage::
+
+    python benchmarks/run_docs_linkcheck.py [--root PATH] [--verbose]
+
+Exits non-zero and prints one line per broken link.  The same driver
+backs ``tests/test_docs_links.py``, so a doc reorganisation that breaks
+cross-references fails the suite, not a reader.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+#: Inline links/images: ``[text](target)`` / ``![alt](target)``.
+#: Stops at the first unescaped closing paren; titles ("...") allowed.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*(<[^>]*>|[^)\s]+)")
+
+#: Fenced code blocks are prose-free zones; links inside them are
+#: examples, not navigation.
+_FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+#: Directories never scanned for Markdown (generated or third-party).
+_SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules",
+              ".hypothesis", "results"}
+
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_markdown_files(root: Path) -> list[Path]:
+    """Every ``*.md`` under ``root``, skipping generated directories."""
+    files = []
+    for path in sorted(root.rglob("*.md")):
+        if any(part in _SKIP_DIRS for part in path.parts):
+            continue
+        files.append(path)
+    return files
+
+
+def extract_links(text: str) -> list[str]:
+    """Relative link targets from one Markdown document."""
+    targets = []
+    in_fence = False
+    for line in text.splitlines():
+        if _FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK_RE.finditer(line):
+            target = match.group(1).strip()
+            if target.startswith("<") and target.endswith(">"):
+                target = target[1:-1]
+            if not target or target.startswith(_EXTERNAL_PREFIXES):
+                continue
+            if target.startswith("#"):
+                continue  # in-page anchor
+            targets.append(target)
+    return targets
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    """Broken-link descriptions for one Markdown file."""
+    failures = []
+    for target in extract_links(path.read_text(encoding="utf-8")):
+        resolved = target.split("#", 1)[0]  # drop section anchors
+        if not resolved:
+            continue
+        candidate = (path.parent / resolved).resolve()
+        if not candidate.exists():
+            failures.append(
+                f"{path.relative_to(root)}: broken link -> {target}"
+            )
+    return failures
+
+
+def run(root: Path | str = ".", verbose: bool = False) -> list[str]:
+    """Check every Markdown file under ``root``; return failure lines."""
+    root = Path(root).resolve()
+    failures = []
+    for path in iter_markdown_files(root):
+        file_failures = check_file(path, root)
+        failures.extend(file_failures)
+        if verbose:
+            n_links = len(extract_links(path.read_text(encoding="utf-8")))
+            status = "FAIL" if file_failures else "ok"
+            print(f"{status:4s} {path.relative_to(root)} ({n_links} links)")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=str(Path(__file__).parent.parent),
+                        help="repository root to scan (default: repo root)")
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+    failures = run(args.root, verbose=args.verbose)
+    for line in failures:
+        print(line, file=sys.stderr)
+    if failures:
+        print(f"{len(failures)} broken link(s)", file=sys.stderr)
+        return 1
+    print("all relative Markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,8 @@ The package splits into:
 * :mod:`repro.codecs` — the solver layer (zlib/bzip2/lzma) plus
   from-scratch FPC, fpzip-style and PFOR baselines;
 * :mod:`repro.analysis` — entropy, bit/byte profiling, metrics;
+* :mod:`repro.observability` — metrics registry, stage tracing and
+  pipeline run reports (see ``docs/observability.md``);
 * :mod:`repro.linearization` — Hilbert/Morton/column/random orderings;
 * :mod:`repro.datasets` — synthetic stand-ins for the paper's 24
   scientific datasets;
@@ -43,6 +45,14 @@ from repro.core import (
     isobar_decompress,
     salvage_decompress,
 )
+from repro.observability import (
+    MetricsRegistry,
+    PipelineReport,
+    Tracer,
+    registry_from_json,
+    to_json,
+    to_prometheus_text,
+)
 
 __version__ = "1.0.0"
 
@@ -54,12 +64,18 @@ __all__ = [
     "IsobarConfig",
     "IsobarError",
     "Linearization",
+    "MetricsRegistry",
+    "PipelineReport",
     "Preference",
     "SalvageReport",
     "SalvageResult",
+    "Tracer",
     "analyze",
     "isobar_compress",
     "isobar_decompress",
+    "registry_from_json",
     "salvage_decompress",
+    "to_json",
+    "to_prometheus_text",
     "__version__",
 ]

@@ -16,7 +16,7 @@ and partitioning (the preconditioner is on the critical path).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -48,7 +48,14 @@ class StandardResult:
 
 @dataclass(frozen=True)
 class IsobarResult:
-    """ISOBAR workflow performance under one preference."""
+    """ISOBAR workflow performance under one preference.
+
+    ``stage_seconds`` carries the observability layer's per-stage
+    wall-clock breakdown of the compression leg (``select``,
+    ``analyze``, ``partition``, ``solve``, ``merge`` — see
+    ``docs/observability.md``), so table generators and ad-hoc scripts
+    can attribute time without re-running the pipeline.
+    """
 
     preference: Preference
     codec_name: str
@@ -58,6 +65,7 @@ class IsobarResult:
     decompress_mb_s: float
     analyze_mb_s: float
     improvable: bool
+    stage_seconds: dict[str, float] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -137,8 +145,11 @@ def _time_standard(codec_name: str, raw: bytes) -> StandardResult:
 def _time_isobar(
     values: np.ndarray, preference: Preference, config: IsobarConfig
 ) -> IsobarResult:
-    compressor = IsobarCompressor(config.replace(preference=preference))
+    compressor = IsobarCompressor(
+        config.replace(preference=preference), collect_metrics=True
+    )
     result = compressor.compress_detailed(values)
+    compress_report = compressor.last_report
     # Compression time = analysis + partition/solve; the one-off
     # selector sampling is amortised across a run and reported
     # separately by the selector itself.
@@ -163,6 +174,7 @@ def _time_isobar(
         ),
         analyze_mb_s=analyze_mb_s,
         improvable=result.improvable,
+        stage_seconds=dict(compress_report.stage_seconds),
     )
 
 

@@ -7,10 +7,16 @@ The CLI operates on raw dataset files (see
     isobar analyze field.rds
     isobar compress field.rds field.isobar --preference speed
     isobar decompress field.isobar restored.rds
+    isobar stats field.rds
     isobar bench --table 5 --elements 100000
 
 ``bench`` regenerates any of the paper's tables or figures on the
-synthetic datasets and prints them in the paper's layout.
+synthetic datasets and prints them in the paper's layout.  ``stats``
+profiles a compress (and round-trip decompress) run with the
+observability layer enabled and prints the per-stage breakdown; the
+``compress``, ``decompress`` and ``salvage`` subcommands accept
+``--metrics-json PATH`` to dump the full metrics registry of the run
+(see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -67,10 +73,16 @@ def build_parser() -> argparse.ArgumentParser:
                       default=None)
     comp.add_argument("--chunk-elements", type=int, default=None)
     comp.add_argument("--tau", type=float, default=None)
+    comp.add_argument("--metrics-json", metavar="PATH", default=None,
+                      help="collect run metrics and write the registry "
+                           "as JSON to PATH ('-' for stdout)")
 
     dec = sub.add_parser("decompress", help="restore a raw dataset file")
     dec.add_argument("input", help="ISOBAR container")
     dec.add_argument("output", help="output raw dataset file")
+    dec.add_argument("--metrics-json", metavar="PATH", default=None,
+                     help="collect run metrics and write the registry "
+                          "as JSON to PATH ('-' for stdout)")
 
     tune = sub.add_parser("autotune", help="find the tau plateau for a file")
     tune.add_argument("input", help="raw dataset file")
@@ -105,6 +117,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="treat the input as a never-closed stream (crashed writer) "
              "and discover chunks by forward scan",
     )
+    salvage.add_argument(
+        "--metrics-json", metavar="PATH", default=None,
+        help="collect salvage metrics and write the registry as JSON "
+             "to PATH ('-' for stdout)",
+    )
+
+    stats = sub.add_parser(
+        "stats",
+        help="profile a compression run with the observability layer",
+    )
+    stats.add_argument("input", help="raw dataset file")
+    stats.add_argument("--preference", choices=["ratio", "speed"],
+                       default="ratio")
+    stats.add_argument("--codec", default=None,
+                       help="explicit solver override (e.g. zlib, bzip2)")
+    stats.add_argument("--linearization", choices=["row", "column"],
+                       default=None)
+    stats.add_argument("--chunk-elements", type=int, default=None)
+    stats.add_argument("--tau", type=float, default=None)
+    stats.add_argument("--workers", type=int, default=1,
+                       help="thread-pool size (>1 uses the parallel "
+                            "compressor; default: 1)")
+    stats.add_argument("--no-roundtrip", action="store_true",
+                       help="skip the decompression leg of the profile")
+    stats.add_argument("--metrics-json", metavar="PATH", default=None,
+                       help="also write the metrics registry as JSON "
+                            "to PATH ('-' for stdout)")
+    stats.add_argument("--prometheus", metavar="PATH", default=None,
+                       help="also write Prometheus text exposition "
+                            "to PATH ('-' for stdout)")
 
     extract = sub.add_parser(
         "extract", help="random-access read of an element range"
@@ -166,8 +208,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_compress(args: argparse.Namespace) -> int:
-    values = load_raw(args.input)
+def _config_from_args(args: argparse.Namespace) -> IsobarConfig:
+    """Build an :class:`IsobarConfig` from compress/stats CLI flags."""
     overrides: dict[str, object] = {
         "preference": Preference.parse(args.preference),
     }
@@ -179,8 +221,28 @@ def _cmd_compress(args: argparse.Namespace) -> int:
         overrides["chunk_elements"] = args.chunk_elements
     if args.tau:
         overrides["tau"] = args.tau
-    config = IsobarConfig().replace(**overrides)
-    compressor = IsobarCompressor(config)
+    return IsobarConfig().replace(**overrides)
+
+
+def _write_metrics_json(registry, path: str) -> None:
+    """Dump a metrics registry as JSON to ``path`` ('-' for stdout)."""
+    from repro.observability import to_json
+
+    text = to_json(registry, indent=2)
+    if path == "-":
+        print(text)
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    print(f"metrics         : wrote registry JSON -> {path}")
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    values = load_raw(args.input)
+    config = _config_from_args(args)
+    compressor = IsobarCompressor(
+        config, collect_metrics=args.metrics_json is not None
+    )
     with Stopwatch() as sw:
         result = compressor.compress_detailed(values)
     with open(args.output, "wb") as handle:
@@ -193,19 +255,33 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     improvable_chunks = sum(1 for c in result.chunks if c.improvable)
     print(f"chunks          : {len(result.chunks)} "
           f"({improvable_chunks} improvable)")
+    if args.metrics_json is not None:
+        report = compressor.last_report
+        if report is not None:
+            for line in report.summary_lines():
+                print(line)
+        _write_metrics_json(compressor.metrics, args.metrics_json)
     return 0
 
 
 def _cmd_decompress(args: argparse.Namespace) -> int:
     with open(args.input, "rb") as handle:
         payload = handle.read()
-    compressor = IsobarCompressor()
+    compressor = IsobarCompressor(
+        collect_metrics=args.metrics_json is not None
+    )
     with Stopwatch() as sw:
         values = compressor.decompress(payload)
     save_raw(args.output, np.asarray(values))
     mb = values.nbytes / MEGABYTE
     print(f"restored {values.size} x {values.dtype} elements "
           f"at {mb / sw.seconds:.1f} MB/s -> {args.output}")
+    if args.metrics_json is not None:
+        report = compressor.last_report
+        if report is not None:
+            for line in report.summary_lines():
+                print(line)
+        _write_metrics_json(compressor.metrics, args.metrics_json)
     return 0
 
 
@@ -278,14 +354,22 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 def _cmd_salvage(args: argparse.Namespace) -> int:
     from repro.core.salvage import salvage_decompress
 
+    registry = None
+    if args.metrics_json is not None:
+        from repro.observability import MetricsRegistry
+
+        registry = MetricsRegistry()
     with open(args.input, "rb") as handle:
         payload = handle.read()
     with Stopwatch() as sw:
         result = salvage_decompress(
-            payload, policy=args.policy, to_eof=args.unclosed
+            payload, policy=args.policy, to_eof=args.unclosed,
+            metrics=registry,
         )
     for line in result.report.summary_lines():
         print(line)
+    if registry is not None:
+        _write_metrics_json(registry, args.metrics_json)
     save_raw(args.output, np.asarray(result.values).reshape(-1))
     mb = result.values.nbytes / MEGABYTE
     print(f"wrote {result.values.size} elements "
@@ -328,6 +412,49 @@ def _cmd_concat(args: argparse.Namespace) -> int:
     print(f"merged {len(payloads)} containers -> {args.output}: "
           f"{reader.n_elements} elements in {reader.n_chunks} chunks "
           f"({len(merged)} bytes, no recompression)")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.observability import to_prometheus_text
+
+    values = load_raw(args.input)
+    config = _config_from_args(args)
+    if args.workers > 1:
+        from repro.core.parallel import ParallelIsobarCompressor
+
+        compressor = ParallelIsobarCompressor(
+            config, n_workers=args.workers, collect_metrics=True
+        )
+    else:
+        compressor = IsobarCompressor(config, collect_metrics=True)
+
+    result = compressor.compress_detailed(values)
+    compress_report = compressor.last_report
+    print("== compress ==")
+    for line in compress_report.summary_lines():
+        print(line)
+
+    if not args.no_roundtrip:
+        restored = compressor.decompress(result.payload)
+        if not np.array_equal(np.asarray(restored), np.asarray(values)):
+            print("error: round-trip mismatch", file=sys.stderr)
+            return 1
+        print("== decompress ==")
+        for line in compressor.last_report.summary_lines():
+            print(line)
+
+    if args.prometheus is not None:
+        text = to_prometheus_text(compressor.metrics)
+        if args.prometheus == "-":
+            print(text, end="")
+        else:
+            with open(args.prometheus, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"metrics         : wrote Prometheus text -> "
+                  f"{args.prometheus}")
+    if args.metrics_json is not None:
+        _write_metrics_json(compressor.metrics, args.metrics_json)
     return 0
 
 
@@ -395,6 +522,7 @@ _COMMANDS = {
     "info": _cmd_info,
     "verify": _cmd_verify,
     "salvage": _cmd_salvage,
+    "stats": _cmd_stats,
     "extract": _cmd_extract,
     "codecs": _cmd_codecs,
     "concat": _cmd_concat,

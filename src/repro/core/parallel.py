@@ -10,6 +10,11 @@ cost of processes.
 container format as :class:`~repro.core.pipeline.IsobarCompressor`
 (chunks are assembled in order), so streams are interchangeable between
 the serial and parallel implementations in both directions.
+
+With ``collect_metrics=True`` the workers record into one shared,
+thread-safe tracer and registry, so per-stage seconds and chunk
+counters equal the serial pipeline's totals for the same input (CPU
+time is summed across workers; only the wall clock shrinks).
 """
 
 from __future__ import annotations
@@ -41,14 +46,26 @@ class ParallelIsobarCompressor(IsobarCompressor):
         Workflow configuration (as for the serial compressor).
     n_workers:
         Thread-pool size; 1 degenerates to serial execution.
+    collect_metrics / metrics:
+        As for the serial compressor; workers aggregate into one
+        thread-safe registry, so counters match a serial run's.
     """
 
-    def __init__(self, config: IsobarConfig | None = None, n_workers: int = 4):
+    def __init__(
+        self,
+        config: IsobarConfig | None = None,
+        n_workers: int = 4,
+        *,
+        collect_metrics: bool = False,
+        metrics=None,
+    ):
         if n_workers < 1:
             raise ConfigurationError(
                 f"n_workers must be positive, got {n_workers}"
             )
-        super().__init__(config)
+        super().__init__(
+            config, collect_metrics=collect_metrics, metrics=metrics
+        )
         self._n_workers = n_workers
 
     @property
@@ -62,6 +79,8 @@ class ParallelIsobarCompressor(IsobarCompressor):
 
         from repro.analysis.bytefreq import element_width
 
+        wall_start = time.perf_counter()
+        tracer = self._tracer()
         arr = np.asarray(values)
         element_width(arr.dtype)
         flat = arr.reshape(-1)
@@ -69,13 +88,14 @@ class ParallelIsobarCompressor(IsobarCompressor):
         select_start = time.perf_counter()
         decision, codec = self._decide(flat)
         select_seconds = time.perf_counter() - select_start
+        tracer.add("select", select_seconds)
 
         spans = plan_chunks(flat.size, self._config.chunk_elements)
         chunks = [flat[span.start:span.stop] for span in spans]
 
         if self._n_workers == 1 or len(chunks) <= 1:
             outcomes = [
-                self._compress_chunk(i, chunk, decision, codec)
+                self._compress_chunk(i, chunk, decision, codec, tracer)
                 for i, chunk in enumerate(chunks)
             ]
         else:
@@ -83,12 +103,13 @@ class ParallelIsobarCompressor(IsobarCompressor):
                 outcomes = list(
                     pool.map(
                         lambda item: self._compress_chunk(
-                            item[0], item[1], decision, codec
+                            item[0], item[1], decision, codec, tracer
                         ),
                         enumerate(chunks),
                     )
                 )
 
+        merge_start = time.perf_counter()
         blobs = [blob for blob, _ in outcomes]
         reports = tuple(report for _, report in outcomes)
         header = ContainerHeader(
@@ -103,7 +124,11 @@ class ParallelIsobarCompressor(IsobarCompressor):
             n_chunks=len(blobs),
         )
         payload = header.encode() + b"".join(blobs)
-        return CompressionResult(
+        tracer.add(
+            "merge", time.perf_counter() - merge_start,
+            bytes_out=len(payload),
+        )
+        result = CompressionResult(
             payload=payload,
             header=header,
             decision=decision,
@@ -112,6 +137,11 @@ class ParallelIsobarCompressor(IsobarCompressor):
             compress_seconds=sum(r.compress_seconds for r in reports),
             select_seconds=select_seconds,
         )
+        if self._metrics.enabled:
+            self._finish_compress_run(
+                result, tracer, time.perf_counter() - wall_start
+            )
+        return result
 
     def decompress(self, data: bytes, *, errors: str = "raise") -> np.ndarray:
         """Parallel decompression of the standard container format.
@@ -121,11 +151,17 @@ class ParallelIsobarCompressor(IsobarCompressor):
         ``errors="skip"`` or ``"zero_fill"`` the lenient salvage decoder
         takes over (serially — recovery is not a hot path).
         """
+        import time
+
         if errors != "raise":
             from repro.core.salvage import salvage_decompress
 
-            return salvage_decompress(data, policy=errors).values
+            return salvage_decompress(
+                data, policy=errors, metrics=self._metrics
+            ).values
 
+        wall_start = time.perf_counter()
+        tracer = self._tracer()
         header, offset = ContainerHeader.decode(data)
         codec = get_codec(header.codec_name)
         width = header.element_width
@@ -146,19 +182,31 @@ class ParallelIsobarCompressor(IsobarCompressor):
                                  data[end_comp:end_incomp]))
             offset = end_incomp
 
-        decoder = _ChunkDecoder(header, codec)
+        decoder = _ChunkDecoder(
+            header, codec, tracer if self._metrics.enabled else None
+        )
         if self._n_workers == 1 or len(chunk_slices) <= 1:
             pieces = [decoder(item) for item in chunk_slices]
         else:
             with ThreadPoolExecutor(max_workers=self._n_workers) as pool:
                 pieces = list(pool.map(decoder, chunk_slices))
+        self._instruments.chunks_decoded.inc(header.n_chunks)
 
+        merge_start = time.perf_counter()
         if pieces:
             # concatenate() normalises byte order to native; restore the
             # header's exact dtype (matches the serial pipeline).
             flat = np.concatenate(pieces).astype(header.dtype, copy=False)
         else:
             flat = np.empty(0, dtype=header.dtype)
+        tracer.add(
+            "merge", time.perf_counter() - merge_start, bytes_out=flat.nbytes
+        )
+        if self._metrics.enabled:
+            self._finish_decompress_run(
+                header, len(data), flat.nbytes, tracer,
+                time.perf_counter() - wall_start,
+            )
         n_shape = 1
         for dim in header.shape:
             n_shape *= dim
@@ -170,13 +218,17 @@ class ParallelIsobarCompressor(IsobarCompressor):
 class _ChunkDecoder:
     """Callable decoding one indexed chunk quintuple from the walk."""
 
-    def __init__(self, header: ContainerHeader, codec):
+    def __init__(self, header: ContainerHeader, codec, tracer=None):
         self._header = header
         self._codec = codec
+        self._tracer = tracer
 
     def __call__(self, item):
+        import time
+
         index, record_offset, meta, compressed, incompressible = item
-        return decode_chunk_payload(
+        start = 0.0 if self._tracer is None else time.perf_counter()
+        chunk = decode_chunk_payload(
             self._header,
             self._codec,
             meta,
@@ -185,3 +237,9 @@ class _ChunkDecoder:
             chunk_index=index,
             byte_offset=record_offset,
         )
+        if self._tracer is not None:
+            self._tracer.add(
+                "decode", time.perf_counter() - start,
+                bytes_in=len(compressed) + len(incompressible),
+            )
+        return chunk

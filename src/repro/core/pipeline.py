@@ -17,6 +17,17 @@ Figure 2 draws them:
 Decompression replays the container without re-analysis; every chunk
 carries a CRC32 of its raw bytes, so corruption surfaces as
 :class:`~repro.core.exceptions.ChecksumError` instead of silent damage.
+Strict decoding is the default; ``decompress(data, errors="skip")`` or
+``errors="zero_fill"`` instead delegates to the lenient salvage decoder
+(:mod:`repro.core.salvage`), which resynchronizes over damaged regions
+and returns everything recoverable.
+
+Both directions can be observed: ``IsobarCompressor(collect_metrics=
+True)`` records per-stage wall-clock, chunk outcomes and byte routing
+into a :class:`~repro.observability.MetricsRegistry` and summarises
+each run as a :class:`~repro.observability.PipelineReport` (see
+``docs/observability.md``); the default leaves null instruments on the
+hot path.
 """
 
 from __future__ import annotations
@@ -42,6 +53,10 @@ from repro.core.metadata import ChunkMetadata, ChunkMode, ContainerHeader
 from repro.core.partitioner import partition, reassemble_matrix
 from repro.core.preferences import IsobarConfig, Linearization, Preference
 from repro.core.selector import EupaSelector, SelectorDecision
+from repro.observability.instruments import PipelineInstruments
+from repro.observability.registry import NULL_REGISTRY, MetricsRegistry
+from repro.observability.report import PipelineReport
+from repro.observability.trace import NULL_TRACER, Tracer
 
 __all__ = [
     "ChunkReport",
@@ -137,6 +152,11 @@ class ChunkReport:
     stored_bytes: int
     analyze_seconds: float
     compress_seconds: float
+    #: Uncompressed bytes routed through the solver (all of ``raw_bytes``
+    #: for passthrough chunks, only the signal columns when partitioned).
+    solver_bytes: int = 0
+    #: Noise-column bytes stored verbatim (0 for passthrough chunks).
+    noise_bytes: int = 0
 
 
 @dataclass(frozen=True)
@@ -173,6 +193,16 @@ class CompressionResult:
         """True when at least one chunk took the partitioned path."""
         return any(chunk.improvable for chunk in self.chunks)
 
+    @property
+    def solver_bytes(self) -> int:
+        """Uncompressed bytes routed through the solver, summed."""
+        return sum(chunk.solver_bytes for chunk in self.chunks)
+
+    @property
+    def noise_bytes(self) -> int:
+        """Incompressible bytes stored verbatim, summed."""
+        return sum(chunk.noise_bytes for chunk in self.chunks)
+
 
 class IsobarCompressor:
     """End-to-end ISOBAR-compress preconditioner + solver pipeline.
@@ -183,6 +213,15 @@ class IsobarCompressor:
         Workflow configuration; defaults mirror the paper (tau = 1.42,
         375 000-element chunks, zlib/bzip2 candidates, ratio
         preference).
+    collect_metrics:
+        When true, every run records per-stage timings, chunk outcomes
+        and byte routing into :attr:`metrics` and summarises itself as
+        :attr:`last_report`.  The default leaves shared null
+        instruments on the hot path (no measurable overhead).
+    metrics:
+        An existing :class:`~repro.observability.MetricsRegistry` to
+        record into (shared registries aggregate across compressors);
+        implies ``collect_metrics=True``.
 
     Examples
     --------
@@ -196,14 +235,50 @@ class IsobarCompressor:
     True
     """
 
-    def __init__(self, config: IsobarConfig | None = None):
+    def __init__(
+        self,
+        config: IsobarConfig | None = None,
+        *,
+        collect_metrics: bool = False,
+        metrics: MetricsRegistry | None = None,
+    ):
         self._config = config or IsobarConfig()
-        self._selector = EupaSelector(self._config)
+        if metrics is not None:
+            self._metrics = metrics
+        elif collect_metrics:
+            self._metrics = MetricsRegistry()
+        else:
+            self._metrics = NULL_REGISTRY
+        self._instruments = PipelineInstruments(self._metrics)
+        self._selector = EupaSelector(self._config, metrics=self._metrics)
+        self._last_report: PipelineReport | None = None
 
     @property
     def config(self) -> IsobarConfig:
         """The active workflow configuration."""
         return self._config
+
+    @property
+    def collect_metrics(self) -> bool:
+        """Whether this compressor records observability data."""
+        return self._metrics.enabled
+
+    @property
+    def metrics(self) -> MetricsRegistry | None:
+        """The registry accumulating across runs (``None`` if disabled)."""
+        return self._metrics if self._metrics.enabled else None
+
+    @property
+    def last_report(self) -> PipelineReport | None:
+        """The most recent run's :class:`~repro.observability.PipelineReport`
+        (``None`` until an instrumented run completes)."""
+        return self._last_report
+
+    def _tracer(self):
+        """A fresh per-run tracer, or the shared null tracer."""
+        if self._metrics.enabled:
+            return Tracer(self._metrics)
+        return NULL_TRACER
 
     # -- compression ------------------------------------------------------
 
@@ -213,6 +288,8 @@ class IsobarCompressor:
 
     def compress_detailed(self, values: np.ndarray) -> CompressionResult:
         """Compress ``values`` and return payload plus full statistics."""
+        wall_start = time.perf_counter()
+        tracer = self._tracer()
         arr = np.asarray(values)
         element_width(arr.dtype)  # validates dtype kind
         flat = arr.reshape(-1)
@@ -220,18 +297,22 @@ class IsobarCompressor:
         select_start = time.perf_counter()
         decision, codec = self._decide(flat)
         select_seconds = time.perf_counter() - select_start
+        tracer.add("select", select_seconds)
 
         chunk_blobs: list[bytes] = []
         reports: list[ChunkReport] = []
         total_analyze = 0.0
         total_compress = 0.0
         for span, chunk in iter_chunks(flat, self._config.chunk_elements):
-            blob, report = self._compress_chunk(span.index, chunk, decision, codec)
+            blob, report = self._compress_chunk(
+                span.index, chunk, decision, codec, tracer
+            )
             chunk_blobs.append(blob)
             reports.append(report)
             total_analyze += report.analyze_seconds
             total_compress += report.compress_seconds
 
+        merge_start = time.perf_counter()
         header = ContainerHeader(
             dtype=arr.dtype,
             n_elements=flat.size,
@@ -244,7 +325,11 @@ class IsobarCompressor:
             n_chunks=len(chunk_blobs),
         )
         payload = header.encode() + b"".join(chunk_blobs)
-        return CompressionResult(
+        tracer.add(
+            "merge", time.perf_counter() - merge_start,
+            bytes_out=len(payload),
+        )
+        result = CompressionResult(
             payload=payload,
             header=header,
             decision=decision,
@@ -252,6 +337,38 @@ class IsobarCompressor:
             analyze_seconds=total_analyze,
             compress_seconds=total_compress,
             select_seconds=select_seconds,
+        )
+        if self._metrics.enabled:
+            self._finish_compress_run(
+                result, tracer, time.perf_counter() - wall_start
+            )
+        return result
+
+    def _finish_compress_run(
+        self, result: CompressionResult, tracer, wall_seconds: float
+    ) -> None:
+        """Record run-level metrics and build the per-run report."""
+        improvable = sum(1 for c in result.chunks if c.improvable)
+        self._instruments.runs.inc(1, operation="compress")
+        self._instruments.input_bytes.inc(
+            result.original_bytes, operation="compress"
+        )
+        self._instruments.output_bytes.inc(
+            result.compressed_bytes, operation="compress"
+        )
+        self._last_report = PipelineReport(
+            operation="compress",
+            codec_name=result.decision.codec_name,
+            linearization=result.decision.linearization.value,
+            n_chunks=len(result.chunks),
+            improvable_chunks=improvable,
+            undetermined_chunks=len(result.chunks) - improvable,
+            solver_bytes=result.solver_bytes,
+            raw_bytes=result.noise_bytes,
+            input_bytes=result.original_bytes,
+            output_bytes=result.compressed_bytes,
+            stage_seconds=tracer.stage_seconds(),
+            wall_seconds=wall_seconds,
         )
 
     def _decide(self, flat: np.ndarray) -> tuple[SelectorDecision, Codec]:
@@ -281,6 +398,7 @@ class IsobarCompressor:
         chunk: np.ndarray,
         decision: SelectorDecision,
         codec: Codec,
+        tracer=NULL_TRACER,
     ) -> tuple[bytes, ChunkReport]:
         raw = _little_endian_bytes(chunk)
         crc = _zlib.crc32(raw)
@@ -288,18 +406,31 @@ class IsobarCompressor:
         analyze_start = time.perf_counter()
         analysis = analyze(chunk, tau=self._config.tau)
         analyze_seconds = time.perf_counter() - analyze_start
+        tracer.add("analyze", analyze_seconds, bytes_in=len(raw))
 
-        compress_start = time.perf_counter()
+        partition_seconds = 0.0
+        solve_start = time.perf_counter()
         if analysis.improvable:
             part = partition(chunk, analysis.mask, decision.linearization)
+            partition_seconds = time.perf_counter() - solve_start
+            solve_start = time.perf_counter()
             compressed = codec.compress(part.compressible)
+            solve_seconds = time.perf_counter() - solve_start
+            solver_in = len(part.compressible)
             incompressible = part.incompressible
             mode = ChunkMode.PARTITIONED
+            tracer.add("partition", partition_seconds, bytes_in=len(raw))
         else:
             compressed = codec.compress(raw)
+            solve_seconds = time.perf_counter() - solve_start
+            solver_in = len(raw)
             incompressible = b""
             mode = ChunkMode.PASSTHROUGH
-        compress_seconds = time.perf_counter() - compress_start
+        tracer.add(
+            "solve", solve_seconds,
+            bytes_in=solver_in, bytes_out=len(compressed),
+        )
+        compress_seconds = partition_seconds + solve_seconds
 
         meta = ChunkMetadata(
             n_elements=chunk.size,
@@ -320,7 +451,17 @@ class IsobarCompressor:
             stored_bytes=len(blob),
             analyze_seconds=analyze_seconds,
             compress_seconds=compress_seconds,
+            solver_bytes=solver_in,
+            noise_bytes=len(incompressible),
         )
+        if self._metrics.enabled:
+            self._instruments.record_chunk_outcome(
+                improvable=analysis.improvable,
+                solver_bytes=solver_in,
+                raw_bytes=len(incompressible),
+                stored_bytes=len(blob),
+                seconds=analyze_seconds + compress_seconds,
+            )
         return blob, report
 
     # -- decompression ----------------------------------------------------
@@ -342,13 +483,18 @@ class IsobarCompressor:
         if errors != "raise":
             from repro.core.salvage import salvage_decompress
 
-            return salvage_decompress(data, policy=errors).values
+            return salvage_decompress(
+                data, policy=errors, metrics=self._metrics
+            ).values
 
+        wall_start = time.perf_counter()
+        tracer = self._tracer()
         header, offset = ContainerHeader.decode(data)
         codec = get_codec(header.codec_name)
         width = header.element_width
 
         pieces: list[np.ndarray] = []
+        decode_start = time.perf_counter()
         for index in range(header.n_chunks):
             record_offset = offset
             meta, offset = ChunkMetadata.decode(data, offset, width)
@@ -373,7 +519,12 @@ class IsobarCompressor:
                     byte_offset=record_offset,
                 )
             )
+        tracer.add(
+            "decode", time.perf_counter() - decode_start, bytes_in=offset
+        )
+        self._instruments.chunks_decoded.inc(header.n_chunks)
 
+        merge_start = time.perf_counter()
         if pieces:
             # concatenate() normalises byte order to native; restore the
             # header's exact dtype (e.g. big-endian inputs round-trip).
@@ -385,12 +536,43 @@ class IsobarCompressor:
                 f"container reassembled {flat.size} elements, header "
                 f"declares {header.n_elements}"
             )
+        tracer.add(
+            "merge", time.perf_counter() - merge_start, bytes_out=flat.nbytes
+        )
+        if self._metrics.enabled:
+            self._finish_decompress_run(
+                header, len(data), flat.nbytes, tracer,
+                time.perf_counter() - wall_start,
+            )
         n_shape = 1
         for dim in header.shape:
             n_shape *= dim
         if header.shape and n_shape == header.n_elements:
             return flat.reshape(header.shape)
         return flat
+
+    def _finish_decompress_run(
+        self,
+        header: ContainerHeader,
+        input_bytes: int,
+        output_bytes: int,
+        tracer,
+        wall_seconds: float,
+    ) -> None:
+        """Record run-level decode metrics and build the per-run report."""
+        self._instruments.runs.inc(1, operation="decompress")
+        self._instruments.input_bytes.inc(input_bytes, operation="decompress")
+        self._instruments.output_bytes.inc(output_bytes, operation="decompress")
+        self._last_report = PipelineReport(
+            operation="decompress",
+            codec_name=header.codec_name,
+            linearization=header.linearization.value,
+            n_chunks=header.n_chunks,
+            input_bytes=input_bytes,
+            output_bytes=output_bytes,
+            stage_seconds=tracer.stage_seconds(),
+            wall_seconds=wall_seconds,
+        )
 
 
 def isobar_compress(

@@ -27,6 +27,7 @@ crash recovery path of :func:`repro.core.stream.stream_decompress`.
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -41,6 +42,9 @@ from repro.core.exceptions import (
 )
 from repro.core.metadata import _CHUNK_MAGIC, ChunkMetadata, ContainerHeader
 from repro.core.pipeline import decode_chunk_payload
+from repro.observability.instruments import PipelineInstruments
+from repro.observability.registry import NULL_REGISTRY
+from repro.observability.trace import NULL_TRACER, Tracer
 
 __all__ = [
     "SALVAGE_POLICIES",
@@ -358,6 +362,7 @@ def salvage_decompress(
     policy: str = "skip",
     *,
     to_eof: bool = False,
+    metrics=None,
 ) -> SalvageResult:
     """Decode everything recoverable from a (possibly damaged) container.
 
@@ -380,6 +385,12 @@ def salvage_decompress(
         Ignore the header's declared chunk count and scan to the end of
         ``data`` — recovers streams whose final header patch never
         happened (see ``stream_decompress(..., tolerate_unclosed=True)``).
+    metrics:
+        Optional :class:`~repro.observability.MetricsRegistry`; when
+        given, chunk fates accumulate under
+        ``isobar_salvage_chunks_total{status=}`` /
+        ``isobar_salvage_elements_total{status=}`` and the scan /
+        decode / merge stages are timed (``docs/observability.md``).
 
     Returns
     -------
@@ -389,10 +400,16 @@ def salvage_decompress(
         byte range and root cause).
     """
     _check_policy(policy)
+    registry = NULL_REGISTRY if metrics is None else metrics
+    tracer = Tracer(registry) if registry.enabled else NULL_TRACER
     header, offset = ContainerHeader.decode(data)
     codec = get_codec(header.codec_name)
 
+    scan_start = _time.perf_counter()
     events = list(scan_chunks(data, header, offset, codec, to_eof=to_eof))
+    tracer.add(
+        "scan", _time.perf_counter() - scan_start, bytes_in=len(data)
+    )
     gap_estimates = _estimate_gaps(events, header)
 
     report = SalvageReport(
@@ -403,6 +420,7 @@ def salvage_decompress(
     )
     pieces: list[tuple[ChunkOutcome, np.ndarray | None]] = []
     ordinal = 0
+    decode_start = _time.perf_counter()
     for position, event in enumerate(events):
         if event.kind == "gap":
             if policy == "raise":
@@ -460,9 +478,30 @@ def salvage_decompress(
             )
         pieces.append((outcome, chunk))
         ordinal += 1
+    tracer.add("decode", _time.perf_counter() - decode_start)
     report.outcomes = [outcome for outcome, _ in pieces]
 
+    merge_start = _time.perf_counter()
     values = _assemble(pieces, header, policy, to_eof=to_eof)
+    tracer.add(
+        "merge", _time.perf_counter() - merge_start, bytes_out=values.nbytes
+    )
+    if registry.enabled:
+        instruments = PipelineInstruments(registry)
+        for outcome in report.outcomes:
+            instruments.salvage_chunks.inc(
+                outcome.n_chunks, status=outcome.status
+            )
+            element_status = (
+                "recovered" if outcome.status == "recovered" else "lost"
+            )
+            if outcome.n_elements:
+                instruments.salvage_elements.inc(
+                    outcome.n_elements, status=element_status
+                )
+        instruments.runs.inc(1, operation="salvage")
+        instruments.input_bytes.inc(len(data), operation="salvage")
+        instruments.output_bytes.inc(values.nbytes, operation="salvage")
     return SalvageResult(values=values, report=report)
 
 

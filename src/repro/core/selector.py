@@ -33,6 +33,8 @@ from repro.core.analyzer import AnalysisResult, analyze
 from repro.core.exceptions import SelectorError
 from repro.core.partitioner import partition
 from repro.core.preferences import IsobarConfig, Linearization, Preference
+from repro.observability.instruments import PipelineInstruments
+from repro.observability.registry import NULL_REGISTRY
 
 __all__ = ["CandidateEvaluation", "SelectorDecision", "EupaSelector"]
 
@@ -98,10 +100,28 @@ class SelectorDecision:
 
 
 class EupaSelector:
-    """Deterministic sample-based codec and linearization selection."""
+    """Deterministic sample-based codec and linearization selection.
 
-    def __init__(self, config: IsobarConfig | None = None):
+    Parameters
+    ----------
+    config:
+        Candidate space, sample size and preference.
+    metrics:
+        Optional :class:`~repro.observability.MetricsRegistry`; when
+        given, every candidate evaluation and every decision is
+        recorded under the ``isobar_selector_*`` series (see
+        ``docs/observability.md``).
+    """
+
+    def __init__(
+        self,
+        config: IsobarConfig | None = None,
+        *,
+        metrics=None,
+    ):
         self._config = config or IsobarConfig()
+        self._metrics = NULL_REGISTRY if metrics is None else metrics
+        self._instruments = PipelineInstruments(self._metrics)
 
     @property
     def config(self) -> IsobarConfig:
@@ -197,7 +217,7 @@ class EupaSelector:
             for codec_name, lin in self._candidate_space()
         )
         best = self._pick(candidates)
-        return SelectorDecision(
+        decision = SelectorDecision(
             codec_name=best.codec_name,
             linearization=best.linearization,
             preference=self._config.preference,
@@ -205,6 +225,9 @@ class EupaSelector:
             candidates=candidates,
             sample_elements=int(sample.size),
         )
+        if self._metrics.enabled:
+            self._instruments.record_selector(decision)
+        return decision
 
     def _pick(
         self, candidates: tuple[CandidateEvaluation, ...]

@@ -25,6 +25,7 @@ recoverable chunk-by-chunk via
 from __future__ import annotations
 
 import os
+import time as _time
 import zlib as _zlib
 from typing import BinaryIO, Iterable, Iterator
 
@@ -44,6 +45,10 @@ from repro.core.partitioner import partition
 from repro.core.pipeline import _little_endian_bytes, decode_chunk_payload
 from repro.core.preferences import IsobarConfig, Linearization
 from repro.core.selector import EupaSelector
+from repro.observability.instruments import PipelineInstruments
+from repro.observability.registry import NULL_REGISTRY, MetricsRegistry
+from repro.observability.report import PipelineReport
+from repro.observability.trace import NULL_TRACER, Tracer
 
 __all__ = ["StreamingWriter", "stream_compress", "stream_decompress"]
 
@@ -63,6 +68,13 @@ class StreamingWriter:
     linearization for the whole stream).  ``close()`` seeks back and
     patches the header with the final element/chunk counts, so the sink
     must be seekable.
+
+    With ``collect_metrics=True`` (or a shared ``metrics`` registry)
+    every ``write_chunk`` records the analyze/partition/solve stages
+    and chunk outcomes, and ``close()`` publishes a
+    :class:`~repro.observability.PipelineReport` as
+    :attr:`last_report`; the report's wall time covers only the time
+    spent inside the writer, not the caller's chunk production.
     """
 
     def __init__(
@@ -70,12 +82,31 @@ class StreamingWriter:
         sink: BinaryIO,
         dtype: np.dtype,
         config: IsobarConfig | None = None,
+        *,
+        collect_metrics: bool = False,
+        metrics: MetricsRegistry | None = None,
     ):
         self._sink = sink
         self._dtype = np.dtype(dtype)
         element_width(self._dtype)  # validate
         self._config = config or IsobarConfig()
-        self._selector = EupaSelector(self._config)
+        if metrics is not None:
+            self._metrics = metrics
+        elif collect_metrics:
+            self._metrics = MetricsRegistry()
+        else:
+            self._metrics = NULL_REGISTRY
+        self._instruments = PipelineInstruments(self._metrics)
+        self._stream_tracer = (
+            Tracer(self._metrics) if self._metrics.enabled else NULL_TRACER
+        )
+        self._wall_seconds = 0.0
+        self._improvable_chunks = 0
+        self._raw_bytes_in = 0
+        self._solver_bytes = 0
+        self._noise_bytes = 0
+        self._last_report: PipelineReport | None = None
+        self._selector = EupaSelector(self._config, metrics=self._metrics)
         self._codec = None
         self._linearization: Linearization | None = None
         self._n_elements = 0
@@ -101,6 +132,8 @@ class StreamingWriter:
         config: IsobarConfig | None = None,
         *,
         atomic: bool = True,
+        collect_metrics: bool = False,
+        metrics: MetricsRegistry | None = None,
     ) -> "StreamingWriter":
         """Open a writer that manages its own file at ``path``.
 
@@ -119,7 +152,10 @@ class StreamingWriter:
             temp_path = None
             sink = open(final_path, "wb")
         try:
-            writer = cls(sink, dtype, config)
+            writer = cls(
+                sink, dtype, config,
+                collect_metrics=collect_metrics, metrics=metrics,
+            )
         except BaseException:
             sink.close()
             if temp_path is not None and os.path.exists(temp_path):
@@ -134,6 +170,17 @@ class StreamingWriter:
     def bytes_written(self) -> int:
         """Container bytes emitted so far (header + chunk blobs)."""
         return self._bytes_written
+
+    @property
+    def metrics(self) -> MetricsRegistry | None:
+        """The registry this writer records into (``None`` if disabled)."""
+        return self._metrics if self._metrics.enabled else None
+
+    @property
+    def last_report(self) -> PipelineReport | None:
+        """The stream's :class:`~repro.observability.PipelineReport`,
+        published by ``close()`` when metrics are enabled."""
+        return self._last_report
 
     def _build_header(self) -> ContainerHeader:
         return ContainerHeader(
@@ -173,24 +220,53 @@ class StreamingWriter:
             )
         if arr.size == 0:
             return 0
+        enabled = self._metrics.enabled
+        tracer = self._stream_tracer
+        wall_start = _time.perf_counter() if enabled else 0.0
+
+        stage_start = wall_start
         analysis = analyze(arr, tau=self._config.tau)
+        if enabled:
+            tracer.add(
+                "analyze", _time.perf_counter() - stage_start,
+                bytes_in=arr.nbytes,
+            )
         if self._codec is None:
+            stage_start = _time.perf_counter() if enabled else 0.0
             decision = self._selector.select(arr, analysis=analysis)
             self._codec = get_codec(decision.codec_name)
             self._linearization = decision.linearization
+            if enabled:
+                tracer.add("select", _time.perf_counter() - stage_start)
         self._ensure_header()
 
         raw = _little_endian_bytes(arr)
         crc = _zlib.crc32(raw)
+        partition_seconds = 0.0
+        stage_start = _time.perf_counter() if enabled else 0.0
         if analysis.improvable:
             part = partition(arr, analysis.mask, self._linearization)
+            if enabled:
+                partition_seconds = _time.perf_counter() - stage_start
+                tracer.add("partition", partition_seconds, bytes_in=len(raw))
+                stage_start = _time.perf_counter()
             compressed = self._codec.compress(part.compressible)
+            solver_in = len(part.compressible)
             incompressible = part.incompressible
             mode = ChunkMode.PARTITIONED
         else:
             compressed = self._codec.compress(raw)
+            solver_in = len(raw)
             incompressible = b""
             mode = ChunkMode.PASSTHROUGH
+        solve_seconds = (
+            _time.perf_counter() - stage_start if enabled else 0.0
+        )
+        if enabled:
+            tracer.add(
+                "solve", solve_seconds,
+                bytes_in=solver_in, bytes_out=len(compressed),
+            )
         meta = ChunkMetadata(
             n_elements=arr.size,
             mode=mode,
@@ -200,10 +276,28 @@ class StreamingWriter:
             raw_crc32=crc,
         )
         blob = meta.encode() + compressed + incompressible
+        stage_start = _time.perf_counter() if enabled else 0.0
         self._sink.write(blob)
         self._bytes_written += len(blob)
         self._n_elements += int(arr.size)
         self._n_chunks += 1
+        if enabled:
+            tracer.add(
+                "write", _time.perf_counter() - stage_start,
+                bytes_out=len(blob),
+            )
+            self._improvable_chunks += 1 if analysis.improvable else 0
+            self._raw_bytes_in += len(raw)
+            self._solver_bytes += solver_in
+            self._noise_bytes += len(incompressible)
+            self._instruments.record_chunk_outcome(
+                improvable=analysis.improvable,
+                solver_bytes=solver_in,
+                raw_bytes=len(incompressible),
+                stored_bytes=len(blob),
+                seconds=_time.perf_counter() - wall_start,
+            )
+            self._wall_seconds += _time.perf_counter() - wall_start
         return len(blob)
 
     def close(self) -> None:
@@ -229,6 +323,33 @@ class StreamingWriter:
             if self._temp_path is not None:
                 os.replace(self._temp_path, self._final_path)
         self._closed = True
+        if self._metrics.enabled:
+            self._instruments.runs.inc(1, operation="compress")
+            self._instruments.input_bytes.inc(
+                self._raw_bytes_in, operation="compress"
+            )
+            self._instruments.output_bytes.inc(
+                self._bytes_written, operation="compress"
+            )
+            self._last_report = PipelineReport(
+                operation="compress",
+                codec_name=(
+                    self._codec.name if self._codec is not None else None
+                ),
+                linearization=(
+                    self._linearization.value
+                    if self._linearization is not None else None
+                ),
+                n_chunks=self._n_chunks,
+                improvable_chunks=self._improvable_chunks,
+                undetermined_chunks=self._n_chunks - self._improvable_chunks,
+                solver_bytes=self._solver_bytes,
+                raw_bytes=self._noise_bytes,
+                input_bytes=self._raw_bytes_in,
+                output_bytes=self._bytes_written,
+                stage_seconds=self._stream_tracer.stage_seconds(),
+                wall_seconds=self._wall_seconds,
+            )
 
     def abort(self) -> None:
         """Discard the stream: close the handle, delete any temp file.
@@ -268,6 +389,7 @@ def stream_compress(
     config: IsobarConfig | None = None,
     *,
     atomic: bool = True,
+    metrics: MetricsRegistry | None = None,
 ) -> int:
     """Compress an iterable of chunks into a container file.
 
@@ -275,9 +397,13 @@ def stream_compress(
     chunk regardless of the stream length.  With ``atomic=True`` (the
     default) the destination path is populated by a single atomic
     rename on success, so a crash or error mid-stream never leaves a
-    half-written container at ``sink_path``.
+    half-written container at ``sink_path``.  ``metrics`` optionally
+    aggregates the stream's stage timings and chunk outcomes into an
+    existing registry.
     """
-    writer = StreamingWriter.open(sink_path, dtype, config, atomic=atomic)
+    writer = StreamingWriter.open(
+        sink_path, dtype, config, atomic=atomic, metrics=metrics
+    )
     try:
         for chunk in chunks:
             writer.write_chunk(chunk)
@@ -343,6 +469,7 @@ def stream_decompress(
     *,
     errors: str = "raise",
     tolerate_unclosed: bool = False,
+    metrics: MetricsRegistry | None = None,
 ) -> Iterator[np.ndarray]:
     """Yield the original chunks of a container file, one at a time.
 
@@ -363,6 +490,10 @@ def stream_decompress(
         chunks are discovered by forward scan instead of trusting the
         header count.  A partial final chunk (killed mid-write) is
         dropped; every fully written chunk is recovered.
+    metrics:
+        Optional registry; the strict path records per-chunk ``decode``
+        stage timings and the decoded-chunk counter as the generator is
+        consumed.
     """
     if errors not in ("raise", "skip", "zero_fill"):
         raise InvalidInputError(
@@ -391,6 +522,10 @@ def stream_decompress(
         )
         return
 
+    registry = NULL_REGISTRY if metrics is None else metrics
+    instruments = PipelineInstruments(registry)
+    tracer = Tracer(registry) if registry.enabled else NULL_TRACER
+
     with open(path, "rb") as source:
         source.seek(offset)
         codec = get_codec(header.codec_name)
@@ -412,7 +547,16 @@ def stream_decompress(
                     f"chunk {index} at byte offset {meta_start}: "
                     "container truncated mid-chunk"
                 )
-            yield decode_chunk_payload(
+            decode_start = _time.perf_counter() if registry.enabled else 0.0
+            chunk = decode_chunk_payload(
                 header, codec, meta, compressed, incompressible,
                 chunk_index=index, byte_offset=meta_start,
             )
+            if registry.enabled:
+                tracer.add(
+                    "decode", _time.perf_counter() - decode_start,
+                    bytes_in=len(compressed) + len(incompressible),
+                    bytes_out=chunk.nbytes,
+                )
+                instruments.chunks_decoded.inc()
+            yield chunk

@@ -1,0 +1,59 @@
+"""Pipeline observability: metrics registry, stage tracing, reports.
+
+The layer has four parts, documented in ``docs/observability.md``:
+
+* :mod:`repro.observability.registry` — dependency-free counters,
+  gauges and fixed-bucket histograms, thread-safe, with no-op null
+  counterparts for disabled mode;
+* :mod:`repro.observability.trace` — :class:`Span` context managers
+  measuring per-stage wall-clock and byte flow, aggregated by a
+  :class:`Tracer`;
+* :mod:`repro.observability.report` — :class:`PipelineReport`, the
+  frozen summary of one compress/decompress/salvage run;
+* :mod:`repro.observability.export` — Prometheus text exposition and
+  lossless JSON round-trip of a registry.
+
+Enable collection with ``IsobarCompressor(collect_metrics=True)`` (the
+default ``False`` binds shared null objects, costing nothing on the hot
+path), then read ``compressor.metrics`` and ``compressor.last_report``.
+"""
+
+from repro.observability.export import (
+    registry_from_json,
+    to_json,
+    to_prometheus_text,
+)
+from repro.observability.registry import (
+    DEFAULT_BYTES_BUCKETS,
+    DEFAULT_RATIO_BUCKETS,
+    DEFAULT_SECONDS_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.observability.report import PipelineReport
+from repro.observability.trace import NULL_TRACER, NullSpan, Span, StageTotals, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_SECONDS_BUCKETS",
+    "DEFAULT_RATIO_BUCKETS",
+    "DEFAULT_BYTES_BUCKETS",
+    "Span",
+    "NullSpan",
+    "StageTotals",
+    "Tracer",
+    "NULL_TRACER",
+    "PipelineReport",
+    "registry_from_json",
+    "to_json",
+    "to_prometheus_text",
+]

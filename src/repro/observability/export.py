@@ -1,0 +1,189 @@
+"""Registry exporters: Prometheus text exposition and JSON round-trip.
+
+Two wire formats, no dependencies:
+
+* :func:`to_prometheus_text` renders a registry in the Prometheus text
+  exposition format (version 0.0.4): ``# HELP`` / ``# TYPE`` preambles,
+  one sample per labelled series, cumulative ``_bucket`` rows with an
+  ``le="+Inf"`` terminator plus ``_sum`` / ``_count`` for histograms.
+  Scrape endpoints, pushgateways and ``promtool check metrics`` all
+  accept it.
+* :func:`to_json` / :func:`registry_from_json` serialise the complete
+  registry state losslessly, so a benchmark run can be dumped to disk
+  and reloaded for later comparison (``registry_from_json(to_json(r))``
+  observes equality with ``r``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.core.exceptions import ContainerFormatError
+from repro.observability.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+__all__ = ["to_prometheus_text", "to_json", "registry_from_json"]
+
+#: Schema tag for the JSON export, bumped on incompatible change.
+_JSON_VERSION = 1
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample value: integers bare, floats repr'd."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+
+
+def _render_labels(items: tuple[tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{k}="{_escape_label(v)}"' for k, v in items]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def to_prometheus_text(registry: MetricsRegistry) -> str:
+    """Render ``registry`` in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for metric in registry:
+        if metric.help_text:
+            lines.append(f"# HELP {metric.name} {metric.help_text}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            for labels, value in metric.series():
+                lines.append(
+                    f"{metric.name}{_render_labels(labels)} "
+                    f"{_format_value(value)}"
+                )
+        elif isinstance(metric, Histogram):
+            for labels, series in metric.series():
+                running = 0
+                for bound, count in zip(
+                    list(metric.buckets) + [math.inf], series.bucket_counts
+                ):
+                    running += count
+                    le = "+Inf" if bound == math.inf else _format_value(bound)
+                    le_label = f'le="{le}"'
+                    lines.append(
+                        f"{metric.name}_bucket"
+                        f"{_render_labels(labels, le_label)} {running}"
+                    )
+                lines.append(
+                    f"{metric.name}_sum{_render_labels(labels)} "
+                    f"{_format_value(series.sum)}"
+                )
+                lines.append(
+                    f"{metric.name}_count{_render_labels(labels)} "
+                    f"{series.count}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _series_payload(metric: Counter | Gauge) -> list[dict]:
+    return [
+        {"labels": dict(labels), "value": value}
+        for labels, value in metric.series()
+    ]
+
+
+def to_json(registry: MetricsRegistry, *, indent: int | None = None) -> str:
+    """Serialise the complete registry state as a JSON document."""
+    metrics = []
+    for metric in registry:
+        entry: dict = {
+            "name": metric.name,
+            "kind": metric.kind,
+            "help": metric.help_text,
+        }
+        if isinstance(metric, (Counter, Gauge)):
+            entry["series"] = _series_payload(metric)
+        elif isinstance(metric, Histogram):
+            entry["buckets"] = list(metric.buckets)
+            entry["series"] = [
+                {
+                    "labels": dict(labels),
+                    "bucket_counts": list(series.bucket_counts),
+                    "sum": series.sum,
+                    "count": series.count,
+                }
+                for labels, series in metric.series()
+            ]
+        metrics.append(entry)
+    return json.dumps(
+        {"version": _JSON_VERSION, "metrics": metrics}, indent=indent
+    )
+
+
+def registry_from_json(text: str) -> MetricsRegistry:
+    """Rebuild a :class:`MetricsRegistry` from :func:`to_json` output."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ContainerFormatError(f"metrics JSON is unreadable: {exc}") from exc
+    if not isinstance(payload, dict) or "metrics" not in payload:
+        raise ContainerFormatError(
+            "metrics JSON lacks the top-level 'metrics' list"
+        )
+    version = payload.get("version")
+    if version != _JSON_VERSION:
+        raise ContainerFormatError(
+            f"unsupported metrics JSON version {version!r} "
+            f"(expected {_JSON_VERSION})"
+        )
+    registry = MetricsRegistry()
+    for entry in payload["metrics"]:
+        kind = entry.get("kind")
+        name = entry.get("name", "")
+        help_text = entry.get("help", "")
+        if kind == "counter":
+            counter = registry.counter(name, help_text)
+            for series in entry.get("series", ()):
+                counter.inc(float(series["value"]), **series.get("labels", {}))
+        elif kind == "gauge":
+            gauge = registry.gauge(name, help_text)
+            for series in entry.get("series", ()):
+                gauge.set(float(series["value"]), **series.get("labels", {}))
+        elif kind == "histogram":
+            histogram = registry.histogram(
+                name, help_text, buckets=tuple(entry.get("buckets", ()))
+            )
+            for series in entry.get("series", ()):
+                _restore_histogram_series(histogram, series)
+        else:
+            raise ContainerFormatError(
+                f"metrics JSON entry {name!r} has unknown kind {kind!r}"
+            )
+    return registry
+
+
+def _restore_histogram_series(histogram: Histogram, series: dict) -> None:
+    """Re-inject one histogram series exactly (counts and sum)."""
+    from repro.observability.registry import _HistogramSeries, _label_key
+
+    counts = [int(n) for n in series.get("bucket_counts", ())]
+    expected = len(histogram.buckets) + 1
+    if len(counts) != expected:
+        raise ContainerFormatError(
+            f"histogram {histogram.name!r} series has {len(counts)} bucket "
+            f"counts, expected {expected}"
+        )
+    restored = _HistogramSeries(expected)
+    restored.bucket_counts = counts
+    restored.sum = float(series.get("sum", 0.0))
+    restored.count = int(series.get("count", sum(counts)))
+    histogram._series[_label_key(series.get("labels", {}))] = restored

@@ -1,0 +1,437 @@
+"""Dependency-free metrics registry: counters, gauges, histograms.
+
+The registry is the accumulation side of the observability layer: the
+pipeline, parallel, streaming, selector and salvage code paths record
+counts, byte totals and latency distributions into one
+:class:`MetricsRegistry`, which the exporters
+(:mod:`repro.observability.export`) then serialise as Prometheus text
+or JSON.
+
+Design constraints, in order:
+
+1. **Zero overhead when disabled.**  Every instrument has a null
+   counterpart (:data:`NULL_REGISTRY` and friends) whose methods do
+   nothing; instrumented code holds a reference to either the real or
+   the null object and never branches on a flag.
+2. **Thread safety.**  The parallel compressor records from worker
+   threads; each instrument takes a lock around its update.  Updates
+   happen per *chunk* (milliseconds of work), not per byte, so one
+   uncontended lock acquisition is noise.
+3. **No dependencies.**  Prometheus conventions are followed
+   (monotonic ``*_total`` counters, cumulative histogram buckets with a
+   ``+Inf`` bound) without importing a client library.
+
+Metric identity is ``(name, sorted label items)``; the same name may
+appear with different label sets, exactly like Prometheus series.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Iterator, Mapping
+
+from repro.core.exceptions import ConfigurationError, InvalidInputError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullCounter",
+    "NullGauge",
+    "NullHistogram",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_SECONDS_BUCKETS",
+    "DEFAULT_RATIO_BUCKETS",
+    "DEFAULT_BYTES_BUCKETS",
+]
+
+#: Latency buckets (seconds) sized for chunk-scale work: microseconds
+#: for tiny arrays up to tens of seconds for paper-scale streams.
+DEFAULT_SECONDS_BUCKETS = (
+    0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0,
+)
+
+#: Compression-ratio buckets: below 1.0 the chunk expanded, 1.0-2.0 is
+#: the hard-to-compress regime the paper targets, the tail captures
+#: easily compressible data.
+DEFAULT_RATIO_BUCKETS = (0.5, 0.75, 1.0, 1.25, 1.5, 2.0, 3.0, 5.0, 10.0)
+
+#: Byte-size buckets in powers of ~8 from 1 KiB to 64 MiB.
+DEFAULT_BYTES_BUCKETS = (
+    1024.0, 8192.0, 65536.0, 524288.0, 4194304.0, 33554432.0, 67108864.0,
+)
+
+
+def _label_key(labels: Mapping[str, str] | None) -> tuple[tuple[str, str], ...]:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing sum (Prometheus counter semantics)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str = ""):
+        self.name = name
+        self.help_text = help_text
+        self._lock = threading.Lock()
+        self._values: dict[tuple[tuple[str, str], ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` (must be non-negative) to the labelled series."""
+        if amount < 0:
+            raise InvalidInputError(
+                f"counter {self.name} cannot decrease (inc by {amount})"
+            )
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        """Current sum for one labelled series (0.0 when never touched)."""
+        return self._values.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum across every labelled series."""
+        with self._lock:
+            return sum(self._values.values())
+
+    def series(self) -> list[tuple[tuple[tuple[str, str], ...], float]]:
+        """Snapshot of ``(label_key, value)`` pairs, sorted by labels."""
+        with self._lock:
+            return sorted(self._values.items())
+
+
+class Gauge:
+    """Last-write-wins instantaneous value (may go up or down)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str = ""):
+        self.name = name
+        self.help_text = help_text
+        self._lock = threading.Lock()
+        self._values: dict[tuple[tuple[str, str], ...], float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        """Set the labelled series to ``value``."""
+        with self._lock:
+            self._values[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Adjust the labelled series by ``amount`` (either sign)."""
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        """Current value for one labelled series (0.0 when never set)."""
+        return self._values.get(_label_key(labels), 0.0)
+
+    def series(self) -> list[tuple[tuple[tuple[str, str], ...], float]]:
+        """Snapshot of ``(label_key, value)`` pairs, sorted by labels."""
+        with self._lock:
+            return sorted(self._values.items())
+
+
+class _HistogramSeries:
+    """Bucket counts + sum/count for one label combination."""
+
+    __slots__ = ("bucket_counts", "sum", "count")
+
+    def __init__(self, n_buckets: int):
+        self.bucket_counts = [0] * n_buckets  # per-bucket, not cumulative
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram:
+    """Fixed-bucket distribution (Prometheus histogram semantics).
+
+    ``buckets`` are the finite upper bounds, strictly increasing; an
+    implicit ``+Inf`` bucket always exists.  An observation lands in
+    the first bucket whose upper bound is ``>= value`` (Prometheus's
+    less-than-or-equal convention).
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: tuple[float, ...] = DEFAULT_SECONDS_BUCKETS,
+    ):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ConfigurationError(f"histogram {name} needs >= 1 bucket")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ConfigurationError(
+                f"histogram {name} buckets must be strictly increasing: "
+                f"{bounds}"
+            )
+        if any(math.isinf(b) or math.isnan(b) for b in bounds):
+            raise ConfigurationError(
+                f"histogram {name} buckets must be finite (+Inf is implicit)"
+            )
+        self.name = name
+        self.help_text = help_text
+        self.buckets = bounds
+        self._lock = threading.Lock()
+        self._series: dict[tuple[tuple[str, str], ...], _HistogramSeries] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        """Record one observation into the labelled series."""
+        value = float(value)
+        key = _label_key(labels)
+        # Linear scan: bucket tuples here are ~10 entries, and a branchy
+        # bisect would cost more than it saves at this size.
+        index = len(self.buckets)  # +Inf position
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _HistogramSeries(
+                    len(self.buckets) + 1
+                )
+            series.bucket_counts[index] += 1
+            series.sum += value
+            series.count += 1
+
+    def cumulative_buckets(
+        self, **labels: str
+    ) -> list[tuple[float, int]]:
+        """Prometheus-style cumulative ``(le_bound, count)`` rows.
+
+        The final row's bound is ``inf`` and its count equals the total
+        observation count.
+        """
+        series = self._series.get(_label_key(labels))
+        bounds = list(self.buckets) + [math.inf]
+        if series is None:
+            return [(bound, 0) for bound in bounds]
+        running = 0
+        rows = []
+        with self._lock:
+            for bound, n in zip(bounds, series.bucket_counts):
+                running += n
+                rows.append((bound, running))
+        return rows
+
+    def count(self, **labels: str) -> int:
+        """Total observations for one labelled series."""
+        series = self._series.get(_label_key(labels))
+        return 0 if series is None else series.count
+
+    def sum(self, **labels: str) -> float:
+        """Sum of observed values for one labelled series."""
+        series = self._series.get(_label_key(labels))
+        return 0.0 if series is None else series.sum
+
+    def series(self) -> list[tuple[tuple[tuple[str, str], ...], _HistogramSeries]]:
+        """Snapshot of ``(label_key, series)`` pairs, sorted by labels."""
+        with self._lock:
+            return sorted(self._series.items(), key=lambda item: item[0])
+
+
+class MetricsRegistry:
+    """Named collection of instruments; the unit of export and reset.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: calling
+    them twice with the same name returns the same instrument, so
+    modules can declare their metrics lazily at the point of use
+    without a central schema.  Re-declaring a histogram with different
+    buckets is a configuration error (the series would be
+    incomparable).
+    """
+
+    #: Real registries record; the null registry reports False so hot
+    #: paths can skip building label dicts entirely when they want to.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        """Get or create the counter ``name``."""
+        return self._get_or_create(Counter, name, help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._get_or_create(Gauge, name, help_text)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: tuple[float, ...] = DEFAULT_SECONDS_BUCKETS,
+    ) -> Histogram:
+        """Get or create the histogram ``name`` with ``buckets``."""
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is None:
+                metric = Histogram(name, help_text, buckets)
+                self._metrics[name] = metric
+                return metric
+        if not isinstance(existing, Histogram):
+            raise ConfigurationError(
+                f"metric {name!r} already registered as {existing.kind}"
+            )
+        if tuple(existing.buckets) != tuple(float(b) for b in buckets):
+            raise ConfigurationError(
+                f"histogram {name!r} already registered with buckets "
+                f"{existing.buckets}"
+            )
+        return existing
+
+    def _get_or_create(self, cls, name: str, help_text: str):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is None:
+                metric = cls(name, help_text)
+                self._metrics[name] = metric
+                return metric
+        if not isinstance(existing, cls):
+            raise ConfigurationError(
+                f"metric {name!r} already registered as {existing.kind}"
+            )
+        return existing
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        """Look up an instrument by name, or ``None``."""
+        return self._metrics.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __iter__(self) -> Iterator[Counter | Gauge | Histogram]:
+        """Iterate instruments in name order (stable export order)."""
+        with self._lock:
+            items = sorted(self._metrics.items())
+        return iter([metric for _, metric in items])
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def reset(self) -> None:
+        """Drop every instrument (a fresh registry, same identity)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+# -- disabled mode --------------------------------------------------------
+#
+# The null instruments share method signatures with the real ones and do
+# nothing.  Instrumented code binds self._metrics to NULL_REGISTRY when
+# collect_metrics=False; the only residual cost is an attribute lookup
+# and an empty method call per chunk.
+
+
+class NullCounter:
+    """No-op counter for disabled mode."""
+
+    kind = "counter"
+    name = ""
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:  # noqa: D102
+        pass
+
+    def value(self, **labels: str) -> float:  # noqa: D102
+        return 0.0
+
+    def total(self) -> float:  # noqa: D102
+        return 0.0
+
+    def series(self):  # noqa: D102
+        return []
+
+
+class NullGauge:
+    """No-op gauge for disabled mode."""
+
+    kind = "gauge"
+    name = ""
+
+    def set(self, value: float, **labels: str) -> None:  # noqa: D102
+        pass
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:  # noqa: D102
+        pass
+
+    def value(self, **labels: str) -> float:  # noqa: D102
+        return 0.0
+
+    def series(self):  # noqa: D102
+        return []
+
+
+class NullHistogram:
+    """No-op histogram for disabled mode."""
+
+    kind = "histogram"
+    name = ""
+    buckets: tuple[float, ...] = ()
+
+    def observe(self, value: float, **labels: str) -> None:  # noqa: D102
+        pass
+
+    def cumulative_buckets(self, **labels: str):  # noqa: D102
+        return []
+
+    def count(self, **labels: str) -> int:  # noqa: D102
+        return 0
+
+    def sum(self, **labels: str) -> float:  # noqa: D102
+        return 0.0
+
+    def series(self):  # noqa: D102
+        return []
+
+
+_NULL_COUNTER = NullCounter()
+_NULL_GAUGE = NullGauge()
+_NULL_HISTOGRAM = NullHistogram()
+
+
+class NullRegistry:
+    """Registry stand-in whose instruments are all shared no-ops."""
+
+    enabled = False
+
+    def counter(self, name: str, help_text: str = "") -> NullCounter:  # noqa: D102
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, help_text: str = "") -> NullGauge:  # noqa: D102
+        return _NULL_GAUGE
+
+    def histogram(self, name: str, help_text: str = "",
+                  buckets: tuple[float, ...] = ()) -> NullHistogram:  # noqa: D102
+        return _NULL_HISTOGRAM
+
+    def get(self, name: str):  # noqa: D102
+        return None
+
+    def __contains__(self, name: str) -> bool:
+        return False
+
+    def __iter__(self):
+        return iter(())
+
+    def __len__(self) -> int:
+        return 0
+
+    def reset(self) -> None:  # noqa: D102
+        pass
+
+
+#: Shared no-op registry used by every disabled pipeline.
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,185 @@
+"""PipelineReport: the summary of one compress/decompress/salvage run.
+
+Where the registry accumulates *across* runs, a
+:class:`PipelineReport` freezes the accounting of exactly one run:
+which solver and linearization the EUPA-selector chose, how each chunk
+was classified (improvable vs undetermined), how many bytes were routed
+through the solver versus stored raw, and where the wall-clock went
+stage by stage.  The instrumented compressors expose the latest one as
+``IsobarCompressor.last_report``; the CLI renders it for
+``isobar stats`` and serialises it for ``--metrics-json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PipelineReport"]
+
+
+@dataclass(frozen=True)
+class PipelineReport:
+    """Accounting of one pipeline run.
+
+    Attributes
+    ----------
+    operation:
+        ``"compress"``, ``"decompress"`` or ``"salvage"``.
+    codec_name / linearization:
+        The EUPA-selector's choice (or the container header's record on
+        the decode side); ``None`` when not applicable.
+    n_chunks:
+        Chunks processed by this run.
+    improvable_chunks / undetermined_chunks:
+        The analyzer's per-chunk verdicts: improvable chunks were
+        partitioned (signal columns to the solver, noise stored raw);
+        undetermined chunks went to the solver whole.
+    solver_bytes / raw_bytes:
+        Uncompressed bytes routed into the solver vs stored verbatim
+        as incompressible noise.  Their sum is the input size on the
+        compress side.
+    input_bytes / output_bytes:
+        Total bytes consumed and produced by the run (container
+        overhead included on the compress side).
+    stage_seconds:
+        Per-stage wall-clock totals, e.g. ``{"select": ..., "analyze":
+        ..., "partition": ..., "solve": ..., "merge": ...}``.  Under
+        the parallel compressor these are summed across workers, so
+        they can exceed ``wall_seconds``.
+    wall_seconds:
+        End-to-end duration of the run (one clock, not summed over
+        workers).
+    extra:
+        Operation-specific counts — salvage runs record
+        ``recovered_chunks`` / ``corrupt_chunks`` / ``lost_chunks``.
+    """
+
+    operation: str
+    codec_name: str | None = None
+    linearization: str | None = None
+    n_chunks: int = 0
+    improvable_chunks: int = 0
+    undetermined_chunks: int = 0
+    solver_bytes: int = 0
+    raw_bytes: int = 0
+    input_bytes: int = 0
+    output_bytes: int = 0
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    extra: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio of this run (input over output bytes)."""
+        if self.output_bytes == 0:
+            return float("inf")
+        return self.input_bytes / self.output_bytes
+
+    @property
+    def staged_seconds(self) -> float:
+        """Sum of all per-stage seconds."""
+        return sum(self.stage_seconds.values())
+
+    @property
+    def unattributed_seconds(self) -> float:
+        """Wall time not covered by any span (loop glue, I/O, …)."""
+        return max(self.wall_seconds - self.staged_seconds, 0.0)
+
+    @property
+    def solver_fraction(self) -> float:
+        """Fraction of input bytes that went through the solver."""
+        routed = self.solver_bytes + self.raw_bytes
+        if routed == 0:
+            return 0.0
+        return self.solver_bytes / routed
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (round-trips via :meth:`from_dict`)."""
+        return {
+            "operation": self.operation,
+            "codec_name": self.codec_name,
+            "linearization": self.linearization,
+            "n_chunks": self.n_chunks,
+            "improvable_chunks": self.improvable_chunks,
+            "undetermined_chunks": self.undetermined_chunks,
+            "solver_bytes": self.solver_bytes,
+            "raw_bytes": self.raw_bytes,
+            "input_bytes": self.input_bytes,
+            "output_bytes": self.output_bytes,
+            "stage_seconds": dict(self.stage_seconds),
+            "wall_seconds": self.wall_seconds,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PipelineReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        return cls(
+            operation=payload["operation"],
+            codec_name=payload.get("codec_name"),
+            linearization=payload.get("linearization"),
+            n_chunks=int(payload.get("n_chunks", 0)),
+            improvable_chunks=int(payload.get("improvable_chunks", 0)),
+            undetermined_chunks=int(payload.get("undetermined_chunks", 0)),
+            solver_bytes=int(payload.get("solver_bytes", 0)),
+            raw_bytes=int(payload.get("raw_bytes", 0)),
+            input_bytes=int(payload.get("input_bytes", 0)),
+            output_bytes=int(payload.get("output_bytes", 0)),
+            stage_seconds={
+                str(k): float(v)
+                for k, v in payload.get("stage_seconds", {}).items()
+            },
+            wall_seconds=float(payload.get("wall_seconds", 0.0)),
+            extra={
+                str(k): float(v) for k, v in payload.get("extra", {}).items()
+            },
+        )
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable rendering for the CLI and examples."""
+        lines = [f"operation       : {self.operation}"]
+        if self.codec_name is not None:
+            lin = f" + {self.linearization}-linearization" \
+                if self.linearization else ""
+            lines.append(f"solver          : {self.codec_name}{lin}")
+        lines.append(
+            f"chunks          : {self.n_chunks} "
+            f"({self.improvable_chunks} improvable, "
+            f"{self.undetermined_chunks} undetermined)"
+        )
+        routed = self.solver_bytes + self.raw_bytes
+        if routed:
+            lines.append(
+                f"byte routing    : {self.solver_bytes} -> solver "
+                f"({self.solver_fraction * 100.0:.1f}%), "
+                f"{self.raw_bytes} stored raw"
+            )
+        lines.append(
+            f"bytes           : {self.input_bytes} -> {self.output_bytes} "
+            f"(ratio {self.ratio:.3f})"
+        )
+        lines.append(f"wall time       : {self.wall_seconds * 1e3:.2f} ms")
+        width = max((len(name) for name in self.stage_seconds), default=0)
+        for name, seconds in self.stage_seconds.items():
+            share = (
+                seconds / self.staged_seconds * 100.0
+                if self.staged_seconds else 0.0
+            )
+            lines.append(
+                f"  stage {name:<{width}s} : {seconds * 1e3:9.2f} ms "
+                f"({share:5.1f}% of staged)"
+            )
+        if self.stage_seconds:
+            lines.append(
+                f"  unattributed{'':{max(width - 6, 0)}s} : "
+                f"{self.unattributed_seconds * 1e3:9.2f} ms"
+            )
+        for key in sorted(self.extra):
+            value = self.extra[key]
+            rendered = int(value) if float(value).is_integer() else value
+            lines.append(f"  {key:<14s}: {rendered}")
+        return lines
+
+    def render(self) -> str:
+        """The summary lines joined for printing."""
+        return "\n".join(self.summary_lines())

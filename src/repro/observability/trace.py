@@ -1,0 +1,239 @@
+"""Per-stage spans: wall-clock and byte accounting for pipeline runs.
+
+A :class:`Span` measures one stage of one run — ``select``,
+``analyze``, ``partition``, ``solve``, ``merge``, ``decode``, … — as a
+context manager::
+
+    tracer = Tracer(registry)
+    with tracer.span("analyze") as span:
+        result = analyze(chunk)
+        span.add_bytes_in(chunk.nbytes)
+
+Each closed span feeds two sinks:
+
+* the run-local tracer, which keeps per-stage totals for the
+  :class:`~repro.observability.report.PipelineReport` of *this* run;
+* the (optional) :class:`~repro.observability.registry.MetricsRegistry`,
+  where stage seconds/calls/bytes accumulate *across* runs under the
+  ``isobar_stage_*`` metric names documented in
+  ``docs/observability.md``.
+
+Spans are cheap (two ``perf_counter`` calls plus dict updates) and
+thread-safe at the tracer level, so the parallel compressor's workers
+share one tracer; per-stage totals then equal the serial pipeline's
+totals for the same input, while wall-clock shrinks.
+
+Disabled mode binds :data:`NULL_TRACER`, whose :meth:`Tracer.span`
+returns a shared, re-entrant no-op span.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+__all__ = ["Span", "StageTotals", "Tracer", "NullSpan", "NULL_TRACER"]
+
+
+@dataclass
+class StageTotals:
+    """Accumulated accounting for one stage name within one tracer."""
+
+    seconds: float = 0.0
+    calls: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+
+    def merge(self, other: "StageTotals") -> None:
+        """Fold another stage's totals into this one."""
+        self.seconds += other.seconds
+        self.calls += other.calls
+        self.bytes_in += other.bytes_in
+        self.bytes_out += other.bytes_out
+
+
+class Span:
+    """One timed stage execution; use as a context manager."""
+
+    __slots__ = ("name", "seconds", "bytes_in", "bytes_out", "_tracer", "_start")
+
+    def __init__(self, name: str, tracer: "Tracer | None" = None):
+        self.name = name
+        self.seconds = 0.0
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self._tracer = tracer
+        self._start: float | None = None
+
+    def add_bytes_in(self, n: int) -> None:
+        """Attribute ``n`` input bytes (uncompressed side) to this span."""
+        self.bytes_in += int(n)
+
+    def add_bytes_out(self, n: int) -> None:
+        """Attribute ``n`` output bytes (stored side) to this span."""
+        self.bytes_out += int(n)
+
+    def __enter__(self) -> "Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._start is not None, "Span exited without entering"
+        self.seconds += time.perf_counter() - self._start
+        self._start = None
+        if self._tracer is not None:
+            self._tracer.record(self)
+
+
+class NullSpan:
+    """Shared no-op span for disabled mode (re-entrant by virtue of
+    carrying no state)."""
+
+    __slots__ = ()
+    name = ""
+    seconds = 0.0
+    bytes_in = 0
+    bytes_out = 0
+
+    def add_bytes_in(self, n: int) -> None:  # noqa: D102
+        pass
+
+    def add_bytes_out(self, n: int) -> None:  # noqa: D102
+        pass
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+_NULL_SPAN = NullSpan()
+
+
+class Tracer:
+    """Collects spans for one logical run; optionally feeds a registry.
+
+    Parameters
+    ----------
+    registry:
+        A :class:`~repro.observability.registry.MetricsRegistry` that
+        receives cross-run ``isobar_stage_*`` series, or ``None`` to
+        keep accounting run-local only.
+    """
+
+    enabled = True
+
+    def __init__(self, registry=None):
+        self._registry = registry
+        self._lock = threading.Lock()
+        self._stages: dict[str, StageTotals] = {}
+
+    def span(self, name: str) -> Span:
+        """Open a new span for stage ``name`` (enter it with ``with``)."""
+        return Span(name, self)
+
+    def add(
+        self,
+        name: str,
+        seconds: float,
+        *,
+        bytes_in: int = 0,
+        bytes_out: int = 0,
+    ) -> None:
+        """Record an already-measured stage execution directly.
+
+        Hot paths that keep their own ``perf_counter`` pair (the chunk
+        loop must time stages even for the un-instrumented
+        :class:`~repro.core.pipeline.ChunkReport`) use this instead of
+        a :class:`Span` to avoid double clock reads.
+        """
+        span = Span(name)
+        span.seconds = seconds
+        span.bytes_in = int(bytes_in)
+        span.bytes_out = int(bytes_out)
+        self.record(span)
+
+    def record(self, span: Span) -> None:
+        """Fold a closed span into the per-stage totals (thread-safe)."""
+        with self._lock:
+            totals = self._stages.get(span.name)
+            if totals is None:
+                totals = self._stages[span.name] = StageTotals()
+            totals.seconds += span.seconds
+            totals.calls += 1
+            totals.bytes_in += span.bytes_in
+            totals.bytes_out += span.bytes_out
+        if self._registry is not None:
+            self._registry.counter(
+                "isobar_stage_seconds_total",
+                "Wall-clock seconds accumulated per pipeline stage.",
+            ).inc(span.seconds, stage=span.name)
+            self._registry.counter(
+                "isobar_stage_calls_total",
+                "Number of span executions per pipeline stage.",
+            ).inc(1, stage=span.name)
+            if span.bytes_in:
+                self._registry.counter(
+                    "isobar_stage_bytes_in_total",
+                    "Input bytes attributed per pipeline stage.",
+                ).inc(span.bytes_in, stage=span.name)
+            if span.bytes_out:
+                self._registry.counter(
+                    "isobar_stage_bytes_out_total",
+                    "Output bytes attributed per pipeline stage.",
+                ).inc(span.bytes_out, stage=span.name)
+
+    def stage_seconds(self) -> dict[str, float]:
+        """Per-stage wall-clock totals, in stage-name order."""
+        with self._lock:
+            return {
+                name: totals.seconds
+                for name, totals in sorted(self._stages.items())
+            }
+
+    def stages(self) -> dict[str, StageTotals]:
+        """Snapshot copy of the full per-stage accounting."""
+        with self._lock:
+            return {
+                name: StageTotals(
+                    totals.seconds, totals.calls,
+                    totals.bytes_in, totals.bytes_out,
+                )
+                for name, totals in sorted(self._stages.items())
+            }
+
+    def total_seconds(self) -> float:
+        """Sum of all stage seconds (>= wall time under parallelism)."""
+        with self._lock:
+            return sum(t.seconds for t in self._stages.values())
+
+
+class _NullTracer:
+    """Tracer stand-in whose spans measure nothing."""
+
+    enabled = False
+
+    def span(self, name: str) -> NullSpan:  # noqa: D102
+        return _NULL_SPAN
+
+    def add(self, name: str, seconds: float, *,
+            bytes_in: int = 0, bytes_out: int = 0) -> None:  # noqa: D102
+        pass
+
+    def record(self, span) -> None:  # noqa: D102
+        pass
+
+    def stage_seconds(self) -> dict[str, float]:  # noqa: D102
+        return {}
+
+    def stages(self) -> dict[str, StageTotals]:  # noqa: D102
+        return {}
+
+    def total_seconds(self) -> float:  # noqa: D102
+        return 0.0
+
+
+#: Shared no-op tracer bound by every disabled pipeline.
+NULL_TRACER = _NullTracer()

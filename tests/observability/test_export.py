@@ -1,0 +1,124 @@
+"""Exporter formats: Prometheus text exposition and JSON round-trip."""
+
+import json
+
+import pytest
+
+from repro.core.exceptions import ContainerFormatError
+from repro.observability.export import (
+    registry_from_json,
+    to_json,
+    to_prometheus_text,
+)
+from repro.observability.registry import MetricsRegistry
+
+
+def _populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    runs = reg.counter("isobar_runs_total", "Completed runs.")
+    runs.inc(3, operation="compress")
+    runs.inc(1, operation="decompress")
+    reg.gauge("isobar_selector_sample_elements", "Sample size.").set(65536)
+    h = reg.histogram(
+        "isobar_chunk_seconds", "Chunk seconds.", buckets=(0.01, 0.1, 1.0)
+    )
+    h.observe(0.005)
+    h.observe(0.05)
+    h.observe(5.0)
+    return reg
+
+
+class TestPrometheusText:
+    def test_preambles_and_samples(self):
+        text = to_prometheus_text(_populated_registry())
+        assert "# HELP isobar_runs_total Completed runs." in text
+        assert "# TYPE isobar_runs_total counter" in text
+        assert 'isobar_runs_total{operation="compress"} 3' in text
+        assert 'isobar_runs_total{operation="decompress"} 1' in text
+        assert "# TYPE isobar_selector_sample_elements gauge" in text
+        assert "isobar_selector_sample_elements 65536" in text
+
+    def test_histogram_rows_are_cumulative_with_inf(self):
+        text = to_prometheus_text(_populated_registry())
+        assert 'isobar_chunk_seconds_bucket{le="0.01"} 1' in text
+        assert 'isobar_chunk_seconds_bucket{le="0.1"} 2' in text
+        assert 'isobar_chunk_seconds_bucket{le="1"} 2' in text
+        assert 'isobar_chunk_seconds_bucket{le="+Inf"} 3' in text
+        assert "isobar_chunk_seconds_count 3" in text
+        assert "isobar_chunk_seconds_sum 5.055" in text
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total").inc(1, path='a"b\\c')
+        text = to_prometheus_text(reg)
+        assert r'c_total{path="a\"b\\c"} 1' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus_text(MetricsRegistry()) == ""
+
+    def test_metrics_appear_in_name_order(self):
+        reg = MetricsRegistry()
+        reg.counter("zzz_total").inc()
+        reg.counter("aaa_total").inc()
+        text = to_prometheus_text(reg)
+        assert text.index("aaa_total") < text.index("zzz_total")
+
+
+class TestJsonRoundTrip:
+    def test_reloaded_registry_state_equals_original(self):
+        reg = _populated_registry()
+        reloaded = registry_from_json(to_json(reg))
+        # Counter and gauge series compare directly.
+        assert (
+            reloaded.get("isobar_runs_total").series()
+            == reg.get("isobar_runs_total").series()
+        )
+        assert (
+            reloaded.get("isobar_selector_sample_elements").series()
+            == reg.get("isobar_selector_sample_elements").series()
+        )
+        # Histogram: exact bucket counts, sum and count survive.
+        orig = reg.get("isobar_chunk_seconds")
+        back = reloaded.get("isobar_chunk_seconds")
+        assert back.buckets == orig.buckets
+        assert back.cumulative_buckets() == orig.cumulative_buckets()
+        assert back.count() == orig.count()
+        assert back.sum() == orig.sum()
+        # And the strongest form: identical Prometheus rendering.
+        assert to_prometheus_text(reloaded) == to_prometheus_text(reg)
+
+    def test_indent_is_cosmetic(self):
+        reg = _populated_registry()
+        compact = to_json(reg)
+        pretty = to_json(reg, indent=2)
+        assert json.loads(compact) == json.loads(pretty)
+
+    def test_bad_json_raises(self):
+        with pytest.raises(ContainerFormatError):
+            registry_from_json("{not json")
+
+    def test_missing_metrics_key_raises(self):
+        with pytest.raises(ContainerFormatError):
+            registry_from_json('{"version": 1}')
+
+    def test_wrong_version_raises(self):
+        with pytest.raises(ContainerFormatError):
+            registry_from_json('{"version": 99, "metrics": []}')
+
+    def test_unknown_kind_raises(self):
+        doc = '{"version": 1, "metrics": [{"name": "x", "kind": "summary"}]}'
+        with pytest.raises(ContainerFormatError):
+            registry_from_json(doc)
+
+    def test_bucket_count_mismatch_raises(self):
+        doc = json.dumps({
+            "version": 1,
+            "metrics": [{
+                "name": "h", "kind": "histogram", "help": "",
+                "buckets": [1.0, 2.0],
+                "series": [{"labels": {}, "bucket_counts": [1],
+                            "sum": 1.0, "count": 1}],
+            }],
+        })
+        with pytest.raises(ContainerFormatError):
+            registry_from_json(doc)

@@ -1,0 +1,163 @@
+"""Registry semantics: counters, gauges, histogram bucket boundaries."""
+
+import math
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError, InvalidInputError
+from repro.observability.registry import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x_total")
+        assert c.value() == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_label_series_are_independent(self):
+        c = Counter("x_total")
+        c.inc(1, route="solver")
+        c.inc(10, route="raw")
+        assert c.value(route="solver") == 1
+        assert c.value(route="raw") == 10
+        assert c.value() == 0.0
+        assert c.total() == 11
+
+    def test_label_order_is_irrelevant(self):
+        c = Counter("x_total")
+        c.inc(1, a="1", b="2")
+        assert c.value(b="2", a="1") == 1
+
+    def test_negative_increment_rejected(self):
+        c = Counter("x_total")
+        with pytest.raises(InvalidInputError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_and_adjust(self):
+        g = Gauge("g")
+        g.set(5)
+        g.inc(-2)
+        assert g.value() == 3.0
+
+    def test_last_write_wins(self):
+        g = Gauge("g")
+        g.set(5)
+        g.set(1)
+        assert g.value() == 1.0
+
+
+class TestHistogramBuckets:
+    def test_value_equal_to_bound_lands_in_that_bucket(self):
+        # Prometheus le (less-or-equal) semantics at the boundary.
+        h = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        h.observe(2.0)
+        rows = dict(h.cumulative_buckets())
+        assert rows[1.0] == 0
+        assert rows[2.0] == 1
+        assert rows[4.0] == 1
+        assert rows[math.inf] == 1
+
+    def test_value_just_above_bound_lands_in_next_bucket(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        h.observe(2.0000001)
+        rows = dict(h.cumulative_buckets())
+        assert rows[2.0] == 0
+        assert rows[4.0] == 1
+
+    def test_value_above_all_bounds_lands_in_inf(self):
+        h = Histogram("h", buckets=(1.0, 2.0))
+        h.observe(100.0)
+        rows = dict(h.cumulative_buckets())
+        assert rows[2.0] == 0
+        assert rows[math.inf] == 1
+
+    def test_cumulative_counts_are_monotone_and_end_at_count(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.0, 1.5, 3.0, 9.0):
+            h.observe(v)
+        rows = h.cumulative_buckets()
+        counts = [n for _, n in rows]
+        assert counts == sorted(counts)
+        assert rows[-1] == (math.inf, 5)
+        assert h.count() == 5
+        assert h.sum() == pytest.approx(0.5 + 1.0 + 1.5 + 3.0 + 9.0)
+
+    def test_empty_series_renders_zero_rows(self):
+        h = Histogram("h", buckets=(1.0,))
+        assert h.cumulative_buckets() == [(1.0, 0), (math.inf, 0)]
+
+    def test_bucket_validation(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("h", buckets=())
+        with pytest.raises(ConfigurationError):
+            Histogram("h", buckets=(2.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            Histogram("h", buckets=(1.0, math.inf))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a_total") is reg.counter("a_total")
+        assert reg.histogram("h", buckets=(1.0,)) is reg.histogram(
+            "h", buckets=(1.0,)
+        )
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("x")
+
+    def test_histogram_bucket_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ConfigurationError):
+            reg.histogram("h", buckets=(1.0, 3.0))
+
+    def test_iteration_is_name_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("zz")
+        reg.gauge("aa")
+        assert [m.name for m in reg] == ["aa", "zz"]
+
+    def test_reset_empties(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.reset()
+        assert len(reg) == 0
+        assert "x" not in reg
+
+
+class TestNullRegistry:
+    def test_disabled_flag(self):
+        assert NULL_REGISTRY.enabled is False
+        assert MetricsRegistry().enabled is True
+
+    def test_instruments_are_shared_noops(self):
+        c1 = NULL_REGISTRY.counter("a")
+        c2 = NULL_REGISTRY.counter("b")
+        assert c1 is c2
+        c1.inc(100, anything="x")
+        assert c1.value() == 0.0
+        h = NULL_REGISTRY.histogram("h")
+        h.observe(1.0)
+        assert h.count() == 0
+        g = NULL_REGISTRY.gauge("g")
+        g.set(9)
+        assert g.value() == 0.0
+
+    def test_container_protocol_is_empty(self):
+        assert len(NULL_REGISTRY) == 0
+        assert list(NULL_REGISTRY) == []
+        assert "x" not in NULL_REGISTRY

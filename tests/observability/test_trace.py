@@ -1,0 +1,101 @@
+"""Tracer and span semantics, including thread-safe aggregation."""
+
+import threading
+
+from repro.observability.registry import MetricsRegistry
+from repro.observability.trace import NULL_TRACER, Span, Tracer
+
+
+class TestSpan:
+    def test_context_manager_measures_time(self):
+        tracer = Tracer()
+        with tracer.span("solve") as span:
+            span.add_bytes_in(100)
+            span.add_bytes_out(40)
+        totals = tracer.stages()["solve"]
+        assert totals.calls == 1
+        assert totals.seconds > 0.0
+        assert totals.bytes_in == 100
+        assert totals.bytes_out == 40
+
+    def test_standalone_span_without_tracer(self):
+        with Span("x") as span:
+            pass
+        assert span.seconds >= 0.0
+
+
+class TestTracer:
+    def test_add_records_premeasured_durations(self):
+        tracer = Tracer()
+        tracer.add("analyze", 0.25, bytes_in=10)
+        tracer.add("analyze", 0.75, bytes_in=30)
+        tracer.add("solve", 1.0)
+        assert tracer.stage_seconds() == {"analyze": 1.0, "solve": 1.0}
+        assert tracer.stages()["analyze"].calls == 2
+        assert tracer.stages()["analyze"].bytes_in == 40
+        assert tracer.total_seconds() == 2.0
+
+    def test_stage_seconds_is_name_sorted(self):
+        tracer = Tracer()
+        tracer.add("solve", 1.0)
+        tracer.add("analyze", 1.0)
+        assert list(tracer.stage_seconds()) == ["analyze", "solve"]
+
+    def test_registry_feed(self):
+        reg = MetricsRegistry()
+        tracer = Tracer(reg)
+        tracer.add("solve", 0.5, bytes_in=100, bytes_out=25)
+        seconds = reg.counter("isobar_stage_seconds_total")
+        assert seconds.value(stage="solve") == 0.5
+        assert reg.counter("isobar_stage_calls_total").value(stage="solve") == 1
+        assert (
+            reg.counter("isobar_stage_bytes_in_total").value(stage="solve")
+            == 100
+        )
+        assert (
+            reg.counter("isobar_stage_bytes_out_total").value(stage="solve")
+            == 25
+        )
+
+    def test_concurrent_recording_loses_nothing(self):
+        tracer = Tracer()
+
+        def worker():
+            for _ in range(500):
+                tracer.add("solve", 0.001, bytes_in=2)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        totals = tracer.stages()["solve"]
+        assert totals.calls == 8 * 500
+        assert totals.bytes_in == 8 * 500 * 2
+
+    def test_stages_returns_snapshot_copies(self):
+        tracer = Tracer()
+        tracer.add("solve", 1.0)
+        snap = tracer.stages()
+        snap["solve"].seconds = 99.0
+        assert tracer.stage_seconds()["solve"] == 1.0
+
+
+class TestNullTracer:
+    def test_noop_everything(self):
+        assert NULL_TRACER.enabled is False
+        span = NULL_TRACER.span("solve")
+        with span:
+            span.add_bytes_in(10)
+        NULL_TRACER.add("solve", 1.0)
+        assert NULL_TRACER.stage_seconds() == {}
+        assert NULL_TRACER.stages() == {}
+        assert NULL_TRACER.total_seconds() == 0.0
+
+    def test_null_span_is_shared_and_reentrant(self):
+        a = NULL_TRACER.span("a")
+        b = NULL_TRACER.span("b")
+        assert a is b
+        with a:
+            with b:
+                pass

@@ -278,3 +278,82 @@ class TestSalvageCommands:
         assert main(["salvage", str(hopeless),
                      str(tmp_path / "r.rds")]) == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestObservabilityCommands:
+    @pytest.fixture
+    def raw(self, tmp_path):
+        path = tmp_path / "field.rds"
+        main(["generate", "gts_chkp_zion", str(path), "--elements", "30000"])
+        return path
+
+    def test_stats_prints_stage_breakdown(self, raw, capsys):
+        capsys.readouterr()
+        assert main(["stats", str(raw), "--preference", "speed"]) == 0
+        text = capsys.readouterr().out
+        assert "== compress ==" in text
+        assert "== decompress ==" in text
+        assert "stage select" in text
+        assert "stage solve" in text
+        assert "stage decode" in text
+        assert "wall time" in text
+
+    def test_stats_parallel_and_exports(self, raw, tmp_path, capsys):
+        prom = tmp_path / "metrics.prom"
+        blob = tmp_path / "metrics.json"
+        assert main(["stats", str(raw), "--workers", "2",
+                     "--no-roundtrip",
+                     "--prometheus", str(prom),
+                     "--metrics-json", str(blob)]) == 0
+        text = capsys.readouterr().out
+        assert "== decompress ==" not in text
+        prom_text = prom.read_text()
+        assert "# TYPE isobar_runs_total counter" in prom_text
+        assert 'isobar_runs_total{operation="compress"} 1' in prom_text
+
+        from repro.observability import registry_from_json, to_prometheus_text
+
+        reloaded = registry_from_json(blob.read_text())
+        assert to_prometheus_text(reloaded) == prom_text
+
+    def test_stats_prometheus_stdout(self, raw, capsys):
+        capsys.readouterr()
+        assert main(["stats", str(raw), "--no-roundtrip",
+                     "--prometheus", "-"]) == 0
+        assert "isobar_stage_seconds_total" in capsys.readouterr().out
+
+    def test_compress_decompress_metrics_json(self, raw, tmp_path, capsys):
+        from repro.observability import registry_from_json
+
+        container = tmp_path / "f.isobar"
+        restored = tmp_path / "f2.rds"
+        cjson = tmp_path / "compress.json"
+        assert main(["compress", str(raw), str(container),
+                     "--metrics-json", str(cjson)]) == 0
+        text = capsys.readouterr().out
+        assert "operation       : compress" in text
+        reg = registry_from_json(cjson.read_text())
+        assert reg.get("isobar_runs_total").value(operation="compress") == 1
+
+        assert main(["decompress", str(container), str(restored),
+                     "--metrics-json", "-"]) == 0
+        text = capsys.readouterr().out
+        assert "operation       : decompress" in text
+        assert '"isobar_chunks_decoded_total"' in text
+        assert np.array_equal(load_raw(raw), load_raw(restored))
+
+    def test_salvage_metrics_json(self, raw, tmp_path, capsys):
+        container = tmp_path / "f.isobar"
+        main(["compress", str(raw), str(container)])
+        sjson = tmp_path / "salvage.json"
+        rescued = tmp_path / "rescued.rds"
+        assert main(["salvage", str(container), str(rescued),
+                     "--metrics-json", str(sjson)]) == 0
+        from repro.observability import registry_from_json
+
+        reg = registry_from_json(sjson.read_text())
+        assert reg.get("isobar_runs_total").value(operation="salvage") == 1
+        assert (
+            reg.get("isobar_salvage_chunks_total").value(status="recovered")
+            >= 1
+        )

@@ -1,0 +1,40 @@
+"""Documentation link integrity, wired into the default suite.
+
+Reuses the driver from ``benchmarks/run_docs_linkcheck.py``: every
+relative Markdown link in the repository must resolve on disk.  No
+network access — external URLs are skipped by the driver.
+"""
+
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+_BENCH_DIR = _REPO_ROOT / "benchmarks"
+if str(_BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(_BENCH_DIR))
+
+from run_docs_linkcheck import extract_links, run  # noqa: E402
+
+
+def test_all_relative_markdown_links_resolve():
+    assert run(_REPO_ROOT) == []
+
+
+def test_docs_index_is_scanned():
+    """A docs reorganisation must not silently drop the index."""
+    assert (_REPO_ROOT / "docs" / "README.md").exists()
+
+
+def test_extractor_finds_links_and_skips_noise():
+    text = "\n".join([
+        "See [the spec](FORMAT.md) and [anchor](#here).",
+        "Image: ![fig](img/fig.png 'title')",
+        "External [site](https://example.com) is skipped.",
+        "```",
+        "[not a link](inside_code_fence.md)",
+        "```",
+        "Angle form: [x](<spaced name.md>)",
+    ])
+    assert extract_links(text) == [
+        "FORMAT.md", "img/fig.png", "spaced name.md",
+    ]

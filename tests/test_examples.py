@@ -17,8 +17,9 @@ _ALL_EXAMPLES = sorted(p.name for p in _EXAMPLES_DIR.glob("*.py"))
 
 def test_example_inventory():
     """The suite below must cover every example on disk."""
-    assert len(_ALL_EXAMPLES) >= 9
+    assert len(_ALL_EXAMPLES) >= 10
     assert "quickstart.py" in _ALL_EXAMPLES
+    assert "metrics_report.py" in _ALL_EXAMPLES
 
 
 @pytest.mark.parametrize("script", _ALL_EXAMPLES)
