@@ -32,12 +32,14 @@ The package splits into:
 from repro.core import (
     AnalysisResult,
     CompressionResult,
+    DegradationReport,
     EupaSelector,
     IsobarCompressor,
     IsobarConfig,
     IsobarError,
     Linearization,
     Preference,
+    ResiliencePolicy,
     SalvageReport,
     SalvageResult,
     analyze,
@@ -59,6 +61,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AnalysisResult",
     "CompressionResult",
+    "DegradationReport",
     "EupaSelector",
     "IsobarCompressor",
     "IsobarConfig",
@@ -67,6 +70,7 @@ __all__ = [
     "MetricsRegistry",
     "PipelineReport",
     "Preference",
+    "ResiliencePolicy",
     "SalvageReport",
     "SalvageResult",
     "Tracer",

@@ -16,7 +16,11 @@ profiles a compress (and round-trip decompress) run with the
 observability layer enabled and prints the per-stage breakdown; the
 ``compress``, ``decompress`` and ``salvage`` subcommands accept
 ``--metrics-json PATH`` to dump the full metrics registry of the run
-(see ``docs/observability.md``).
+(see ``docs/observability.md``).  ``compress`` exits 2 (output still
+written and exactly decodable) when any chunk degraded through the
+resilience layer; ``--strict`` turns degradation into a hard failure
+and ``--resilience-json PATH`` dumps the degradation report (see
+``docs/resilience.md``).
 """
 
 from __future__ import annotations
@@ -76,6 +80,12 @@ def build_parser() -> argparse.ArgumentParser:
     comp.add_argument("--metrics-json", metavar="PATH", default=None,
                       help="collect run metrics and write the registry "
                            "as JSON to PATH ('-' for stdout)")
+    comp.add_argument("--strict", action="store_true",
+                      help="fail hard on any chunk degradation instead of "
+                           "falling back to zlib/raw storage")
+    comp.add_argument("--resilience-json", metavar="PATH", default=None,
+                      help="write the degradation report as JSON to PATH "
+                           "('-' for stdout)")
 
     dec = sub.add_parser("decompress", help="restore a raw dataset file")
     dec.add_argument("input", help="ISOBAR container")
@@ -238,8 +248,15 @@ def _write_metrics_json(registry, path: str) -> None:
 
 
 def _cmd_compress(args: argparse.Namespace) -> int:
+    import json
+
     values = load_raw(args.input)
     config = _config_from_args(args)
+    if args.strict:
+        from repro.core.resilience import ResiliencePolicy
+
+        policy = config.resilience or ResiliencePolicy()
+        config = config.replace(resilience=policy.replace(strict=True))
     compressor = IsobarCompressor(
         config, collect_metrics=args.metrics_json is not None
     )
@@ -261,6 +278,21 @@ def _cmd_compress(args: argparse.Namespace) -> int:
             for line in report.summary_lines():
                 print(line)
         _write_metrics_json(compressor.metrics, args.metrics_json)
+    if args.resilience_json is not None:
+        text = json.dumps(result.degradation.to_dict(), indent=2)
+        if args.resilience_json == "-":
+            print(text)
+        else:
+            with open(args.resilience_json, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            print(f"resilience      : wrote degradation report -> "
+                  f"{args.resilience_json}")
+    if result.degraded:
+        # Mirror salvage: output was written and decodes exactly, but
+        # the run was not clean — exit 2 so scripts can tell.
+        for line in result.degradation.summary_lines():
+            print(f"warning: {line}", file=sys.stderr)
+        return 2
     return 0
 
 

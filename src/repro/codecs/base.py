@@ -19,6 +19,7 @@ from repro.core.exceptions import CodecError, UnknownCodecError
 __all__ = [
     "Codec",
     "register_codec",
+    "unregister_codec",
     "get_codec",
     "codec_names",
     "iter_codecs",
@@ -76,6 +77,19 @@ def register_codec(codec: Codec, *, replace: bool = False) -> Codec:
         )
     _REGISTRY[codec.name] = codec
     return codec
+
+
+def unregister_codec(name: str) -> Codec:
+    """Remove and return the codec registered under ``name``.
+
+    Raises :class:`UnknownCodecError` when the name is absent.  Used by
+    the chaos harness to restore the registry after temporarily
+    shadowing a real codec with a misbehaving wrapper.
+    """
+    try:
+        return _REGISTRY.pop(name)
+    except KeyError:
+        raise UnknownCodecError(name, tuple(_REGISTRY)) from None
 
 
 def get_codec(name: str) -> Codec:

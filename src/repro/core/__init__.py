@@ -26,6 +26,7 @@ from repro.core.analyzer import AnalysisResult, analyze, analyze_matrix
 from repro.core.chunking import ChunkSpan, chunk_count, iter_chunks, plan_chunks
 from repro.core.exceptions import (
     ChecksumError,
+    ChunkTimeoutError,
     CodecError,
     ConfigurationError,
     ContainerFormatError,
@@ -34,6 +35,15 @@ from repro.core.exceptions import (
     SelectorError,
     TruncatedContainerError,
     UnknownCodecError,
+)
+from repro.core.resilience import (
+    BreakerBoard,
+    BreakerState,
+    CodecCircuitBreaker,
+    DegradationEvent,
+    DegradationReport,
+    ResiliencePolicy,
+    call_with_deadline,
 )
 from repro.core.metadata import (
     ChunkMetadata,
@@ -52,7 +62,10 @@ from repro.core.partitioner import (
 from repro.core.pipeline import (
     ChunkReport,
     CompressionResult,
+    EncodedChunk,
     IsobarCompressor,
+    decode_chunk_payload,
+    encode_chunk_payload,
     isobar_compress,
     isobar_decompress,
 )
@@ -63,7 +76,12 @@ from repro.core.preferences import (
     Linearization,
     Preference,
 )
-from repro.core.selector import CandidateEvaluation, EupaSelector, SelectorDecision
+from repro.core.selector import (
+    CandidateEvaluation,
+    CandidateFailure,
+    EupaSelector,
+    SelectorDecision,
+)
 
 __all__ = [
     "concat_containers",
@@ -102,6 +120,7 @@ __all__ = [
     "iter_chunks",
     "plan_chunks",
     "ChecksumError",
+    "ChunkTimeoutError",
     "CodecError",
     "ConfigurationError",
     "ContainerFormatError",
@@ -122,7 +141,10 @@ __all__ = [
     "reassemble_matrix",
     "ChunkReport",
     "CompressionResult",
+    "EncodedChunk",
     "IsobarCompressor",
+    "decode_chunk_payload",
+    "encode_chunk_payload",
     "isobar_compress",
     "isobar_decompress",
     "DEFAULT_CHUNK_ELEMENTS",
@@ -130,7 +152,15 @@ __all__ = [
     "IsobarConfig",
     "Linearization",
     "Preference",
+    "BreakerBoard",
+    "BreakerState",
+    "CodecCircuitBreaker",
+    "DegradationEvent",
+    "DegradationReport",
+    "ResiliencePolicy",
+    "call_with_deadline",
     "CandidateEvaluation",
+    "CandidateFailure",
     "EupaSelector",
     "SelectorDecision",
 ]

@@ -16,6 +16,7 @@ __all__ = [
     "ChecksumError",
     "CodecError",
     "UnknownCodecError",
+    "ChunkTimeoutError",
     "ConfigurationError",
     "SelectorError",
 ]
@@ -71,6 +72,16 @@ class UnknownCodecError(CodecError, KeyError):
         if available:
             detail += f"; available codecs: {', '.join(sorted(available))}"
         super().__init__(detail)
+
+
+class ChunkTimeoutError(CodecError):
+    """A solver call exceeded the per-chunk deadline.
+
+    Raised by :func:`repro.core.resilience.call_with_deadline` when a
+    codec does not return within ``ResiliencePolicy.chunk_deadline_seconds``.
+    The resilience layer treats it like any other solver failure
+    (retry, then degrade); under a strict policy it propagates.
+    """
 
 
 class ConfigurationError(IsobarError, ValueError):

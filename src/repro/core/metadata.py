@@ -48,12 +48,19 @@ _PREFERENCE_FROM_CODE = {v: k for k, v in _PREFERENCE_CODES.items()}
 
 
 class ChunkMode(enum.IntEnum):
-    """How one chunk was processed (Algorithm 1's two branches)."""
+    """How one chunk was processed (Algorithm 1's two branches, plus
+    the resilience layer's degraded fallback encoding)."""
 
     #: Undetermined chunk: the whole chunk went through the solver.
     PASSTHROUGH = 0
     #: Improvable chunk: compressible columns solved, noise stored raw.
     PARTITIONED = 1
+    #: Degraded chunk: the primary solver failed, so the raw chunk
+    #: bytes were compressed with stdlib ``zlib`` instead (a standard
+    #: zlib stream, independent of the codec registry).  The mask is
+    #: all-False and the incompressible stream is empty.  See
+    #: :mod:`repro.core.resilience`.
+    FALLBACK_ZLIB = 2
 
 
 def encode_mask(mask: np.ndarray) -> bytes:

@@ -30,6 +30,7 @@ from repro.core.metadata import ChunkMetadata, ContainerHeader
 from repro.core.pipeline import (
     CompressionResult,
     IsobarCompressor,
+    _degradation_from_reports,
     decode_chunk_payload,
 )
 from repro.core.preferences import IsobarConfig
@@ -99,15 +100,9 @@ class ParallelIsobarCompressor(IsobarCompressor):
                 for i, chunk in enumerate(chunks)
             ]
         else:
-            with ThreadPoolExecutor(max_workers=self._n_workers) as pool:
-                outcomes = list(
-                    pool.map(
-                        lambda item: self._compress_chunk(
-                            item[0], item[1], decision, codec, tracer
-                        ),
-                        enumerate(chunks),
-                    )
-                )
+            outcomes = self._compress_chunks_parallel(
+                chunks, decision, codec, tracer
+            )
 
         merge_start = time.perf_counter()
         blobs = [blob for blob, _ in outcomes]
@@ -136,12 +131,53 @@ class ParallelIsobarCompressor(IsobarCompressor):
             analyze_seconds=sum(r.analyze_seconds for r in reports),
             compress_seconds=sum(r.compress_seconds for r in reports),
             select_seconds=select_seconds,
+            degradation=_degradation_from_reports(reports),
         )
         if self._metrics.enabled:
             self._finish_compress_run(
                 result, tracer, time.perf_counter() - wall_start
             )
         return result
+
+    def _compress_chunks_parallel(self, chunks, decision, codec, tracer):
+        """Fan chunk compression out over futures, in chunk order.
+
+        One future per chunk (not ``pool.map``): a failing chunk must
+        not poison the pool.  Under a resilience policy a worker that
+        raised is retried serially — the resilient encoder degrades
+        the chunk instead of failing, so one poisoned chunk costs one
+        serial retry, never the run.  Without a policy (or when the
+        serial retry fails too) outstanding futures are cancelled via
+        ``shutdown(cancel_futures=True)`` and the original exception
+        propagates — already-running workers finish their chunk, but
+        no queued work starts.
+        """
+        policy = self._config.resilience
+        outcomes = []
+        with ThreadPoolExecutor(max_workers=self._n_workers) as pool:
+            futures = [
+                pool.submit(
+                    self._compress_chunk, i, chunk, decision, codec, tracer
+                )
+                for i, chunk in enumerate(chunks)
+            ]
+            for i, future in enumerate(futures):
+                try:
+                    outcomes.append(future.result())
+                except Exception:
+                    if policy is None or policy.strict:
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        raise
+                    try:
+                        outcomes.append(
+                            self._compress_chunk(
+                                i, chunks[i], decision, codec, tracer
+                            )
+                        )
+                    except Exception:
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        raise
+        return outcomes
 
     def decompress(self, data: bytes, *, errors: str = "raise") -> np.ndarray:
         """Parallel decompression of the standard container format.
@@ -188,8 +224,20 @@ class ParallelIsobarCompressor(IsobarCompressor):
         if self._n_workers == 1 or len(chunk_slices) <= 1:
             pieces = [decoder(item) for item in chunk_slices]
         else:
+            # Futures instead of pool.map: a damaged chunk surfaces its
+            # original exception immediately and cancels queued decode
+            # work instead of letting the pool run to completion.
             with ThreadPoolExecutor(max_workers=self._n_workers) as pool:
-                pieces = list(pool.map(decoder, chunk_slices))
+                futures = [
+                    pool.submit(decoder, item) for item in chunk_slices
+                ]
+                pieces = []
+                for future in futures:
+                    try:
+                        pieces.append(future.result())
+                    except Exception:
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        raise
         self._instruments.chunks_decoded.inc(header.n_chunks)
 
         merge_start = time.perf_counter()

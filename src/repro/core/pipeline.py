@@ -34,24 +34,33 @@ from __future__ import annotations
 
 import time
 import zlib as _zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.analysis.bytefreq import element_width, matrix_to_elements
 from repro.codecs.base import Codec, get_codec
-from repro.core.analyzer import analyze
+from repro.core.analyzer import AnalysisResult, analyze
 from repro.core.chunking import iter_chunks
 from repro.core.exceptions import (
     ChecksumError,
+    ChunkTimeoutError,
     CodecError,
     ContainerFormatError,
     IsobarError,
+    SelectorError,
     TruncatedContainerError,
 )
 from repro.core.metadata import ChunkMetadata, ChunkMode, ContainerHeader
 from repro.core.partitioner import partition, reassemble_matrix
 from repro.core.preferences import IsobarConfig, Linearization, Preference
+from repro.core.resilience import (
+    BreakerBoard,
+    DegradationEvent,
+    DegradationReport,
+    ResiliencePolicy,
+    call_with_deadline,
+)
 from repro.core.selector import EupaSelector, SelectorDecision
 from repro.observability.instruments import PipelineInstruments
 from repro.observability.registry import NULL_REGISTRY, MetricsRegistry
@@ -61,8 +70,10 @@ from repro.observability.trace import NULL_TRACER, Tracer
 __all__ = [
     "ChunkReport",
     "CompressionResult",
+    "EncodedChunk",
     "IsobarCompressor",
     "decode_chunk_payload",
+    "encode_chunk_payload",
     "isobar_compress",
     "isobar_decompress",
 ]
@@ -96,7 +107,10 @@ def decode_chunk_payload(
         where += ": "
     try:
         if meta.mode is ChunkMode.PARTITIONED:
-            comp_stream = codec.decompress(compressed)
+            # Degraded-to-raw chunks carry an all-False mask and an
+            # empty solver stream; skip the solver for them (stdlib
+            # zlib rejects empty streams, and there is nothing to do).
+            comp_stream = codec.decompress(compressed) if compressed else b""
             matrix = reassemble_matrix(
                 comp_stream,
                 incompressible,
@@ -106,6 +120,25 @@ def decode_chunk_payload(
             )
             chunk = matrix_to_elements(matrix, header.dtype)
             raw = matrix.tobytes()
+        elif meta.mode is ChunkMode.FALLBACK_ZLIB:
+            # Resilience fallback: a standard stdlib-zlib stream of the
+            # raw little-endian chunk bytes, independent of the
+            # container's registered codec.
+            try:
+                raw = _zlib.decompress(compressed)
+            except _zlib.error as exc:
+                raise CodecError(
+                    f"zlib-fallback payload undecodable: {exc}"
+                ) from exc
+            expected = meta.n_elements * header.element_width
+            if len(raw) != expected:
+                raise ContainerFormatError(
+                    f"zlib-fallback payload decodes to {len(raw)} bytes, "
+                    f"expected {expected}"
+                )
+            chunk = np.frombuffer(
+                raw, dtype=header.dtype.newbyteorder("<")
+            ).astype(header.dtype, copy=False)
         else:
             raw = codec.decompress(compressed)
             expected = meta.n_elements * header.element_width
@@ -140,6 +173,226 @@ def _little_endian_bytes(chunk: np.ndarray) -> bytes:
 
 
 @dataclass(frozen=True)
+class EncodedChunk:
+    """One chunk's encoded payload streams plus resilience accounting.
+
+    Produced by :func:`encode_chunk_payload` — the compress-side
+    counterpart of :func:`decode_chunk_payload` shared by the serial
+    pipeline, the parallel workers and the streaming writer.
+    """
+
+    mode: ChunkMode
+    mask: np.ndarray
+    compressed: bytes
+    incompressible: bytes
+    #: Uncompressed bytes that went through a solver (0 for raw chunks).
+    solver_bytes: int
+    partition_seconds: float
+    solve_seconds: float
+    #: ``codec.name`` on the healthy path, else ``"zlib-fallback"``/``"raw"``.
+    encoding: str
+    degraded: bool
+    #: Primary-codec attempts actually made (0 when the breaker was open).
+    attempts: int
+    #: Attempts beyond the first.
+    retries: int
+    #: Degradation cause (``"error"``/``"timeout"``/``"breaker_open"``).
+    cause: str | None = None
+    #: Message of the last primary-codec error, when there was one.
+    error: str | None = None
+
+
+def _fallback_streams(
+    chunk: np.ndarray,
+    raw: bytes,
+    linearization: Linearization,
+    deadline: float | None,
+) -> tuple[ChunkMode, np.ndarray, bytes, bytes, int, str]:
+    """Degraded encodings: stdlib zlib first, raw passthrough last.
+
+    Both reuse existing container vocabulary: ``FALLBACK_ZLIB`` is a
+    standard zlib stream of the raw little-endian bytes, and the raw
+    form is a ``PARTITIONED`` chunk with an all-False mask — exactly
+    how the paper stores an all-incompressible chunk (Section II-B) —
+    so every released decoder already round-trips it.
+    """
+    all_false = np.zeros(chunk.dtype.itemsize, dtype=bool)
+    try:
+        compressed = call_with_deadline(
+            lambda data: _zlib.compress(data, 6), raw, deadline
+        )
+        return (
+            ChunkMode.FALLBACK_ZLIB, all_false, compressed, b"",
+            len(raw), "zlib-fallback",
+        )
+    except Exception:  # noqa: BLE001 - last-resort path must not raise
+        part = partition(chunk, all_false, linearization)
+        return (
+            ChunkMode.PARTITIONED, all_false, b"", part.incompressible,
+            0, "raw",
+        )
+
+
+def encode_chunk_payload(
+    chunk: np.ndarray,
+    raw: bytes,
+    analysis: AnalysisResult,
+    linearization: Linearization,
+    codec: Codec,
+    *,
+    policy: ResiliencePolicy | None = None,
+    breakers: BreakerBoard | None = None,
+    chunk_index: int = 0,
+    tracer=NULL_TRACER,
+) -> EncodedChunk:
+    """Encode one analyzed chunk into its container payload streams.
+
+    On the healthy path this reproduces Algorithm 1's two branches
+    byte-for-byte: improvable chunks are partitioned and their signal
+    columns solved, undetermined chunks pass to the solver whole.
+
+    With a :class:`~repro.core.resilience.ResiliencePolicy` the solver
+    call is fault-contained: it is retried (with backoff) under an
+    optional per-chunk deadline, gated by the codec's circuit breaker,
+    and on exhaustion the chunk *degrades* through the fallback chain —
+    stdlib ``zlib``, then raw passthrough — instead of failing the run.
+    A strict policy raises :class:`~repro.core.exceptions.CodecError`
+    once the primary codec is exhausted.
+    """
+    partition_seconds = 0.0
+    stage_start = time.perf_counter()
+    if analysis.improvable:
+        part = partition(chunk, analysis.mask, linearization)
+        partition_seconds = time.perf_counter() - stage_start
+        tracer.add("partition", partition_seconds, bytes_in=len(raw))
+        payload = part.compressible
+        incompressible = part.incompressible
+        mode = ChunkMode.PARTITIONED
+    else:
+        part = None
+        payload = raw
+        incompressible = b""
+        mode = ChunkMode.PASSTHROUGH
+
+    deadline = policy.chunk_deadline_seconds if policy is not None else None
+    breaker = (
+        breakers.for_codec(codec.name)
+        if policy is not None and breakers is not None
+        else None
+    )
+    max_attempts = policy.max_attempts if policy is not None else 1
+
+    attempts = 0
+    cause: str | None = None
+    last_error: BaseException | None = None
+    if breaker is None or breaker.allow():
+        while attempts < max_attempts:
+            if attempts and policy is not None and policy.retry_backoff_seconds:
+                time.sleep(
+                    policy.retry_backoff_seconds * (2 ** (attempts - 1))
+                )
+            attempts += 1
+            solve_start = time.perf_counter()
+            try:
+                compressed = call_with_deadline(
+                    codec.compress, payload, deadline
+                )
+                if policy is not None and policy.verify_roundtrip:
+                    restored = call_with_deadline(
+                        codec.decompress, compressed, deadline
+                    )
+                    if restored != payload:
+                        raise CodecError(
+                            f"{codec.name}: round-trip verification failed "
+                            f"({len(restored)} bytes back, "
+                            f"{len(payload)} expected)"
+                        )
+            except ChunkTimeoutError as exc:
+                tracer.add("solve", time.perf_counter() - solve_start,
+                           bytes_in=len(payload))
+                if policy is None:
+                    raise
+                if breaker is not None:
+                    breaker.record_failure()
+                cause, last_error = "timeout", exc
+                continue
+            except Exception as exc:  # noqa: BLE001 - containment boundary
+                tracer.add("solve", time.perf_counter() - solve_start,
+                           bytes_in=len(payload))
+                if policy is None:
+                    raise
+                if breaker is not None:
+                    breaker.record_failure()
+                cause, last_error = "error", exc
+                continue
+            tracer.add(
+                "solve", time.perf_counter() - solve_start,
+                bytes_in=len(payload), bytes_out=len(compressed),
+            )
+            if breaker is not None:
+                breaker.record_success()
+            return EncodedChunk(
+                mode=mode,
+                mask=analysis.mask,
+                compressed=compressed,
+                incompressible=incompressible,
+                solver_bytes=len(payload),
+                partition_seconds=partition_seconds,
+                solve_seconds=time.perf_counter() - stage_start
+                - partition_seconds,
+                encoding=codec.name,
+                degraded=False,
+                attempts=attempts,
+                retries=attempts - 1,
+            )
+    else:
+        cause = "breaker_open"
+
+    # Primary codec exhausted (or short-circuited by its breaker).
+    assert policy is not None
+    if policy.strict:
+        if last_error is not None:
+            raise CodecError(
+                f"chunk {chunk_index}: {codec.name} failed after "
+                f"{attempts} attempt(s): {last_error}"
+            ) from last_error
+        raise CodecError(
+            f"chunk {chunk_index}: {codec.name} circuit breaker is open"
+        )
+    if not policy.fallback_zlib:
+        all_false = np.zeros(chunk.dtype.itemsize, dtype=bool)
+        raw_part = partition(chunk, all_false, linearization)
+        fb_mode, fb_mask, fb_comp, fb_incomp, fb_solver, fb_name = (
+            ChunkMode.PARTITIONED, all_false, b"", raw_part.incompressible,
+            0, "raw",
+        )
+    else:
+        solve_start = time.perf_counter()
+        fb_mode, fb_mask, fb_comp, fb_incomp, fb_solver, fb_name = (
+            _fallback_streams(chunk, raw, linearization, deadline)
+        )
+        tracer.add(
+            "solve", time.perf_counter() - solve_start,
+            bytes_in=len(raw), bytes_out=len(fb_comp),
+        )
+    return EncodedChunk(
+        mode=fb_mode,
+        mask=fb_mask,
+        compressed=fb_comp,
+        incompressible=fb_incomp,
+        solver_bytes=fb_solver,
+        partition_seconds=partition_seconds,
+        solve_seconds=time.perf_counter() - stage_start - partition_seconds,
+        encoding=fb_name,
+        degraded=True,
+        attempts=attempts,
+        retries=max(attempts - 1, 0),
+        cause=cause,
+        error=str(last_error) if last_error is not None else None,
+    )
+
+
+@dataclass(frozen=True)
 class ChunkReport:
     """Per-chunk accounting produced by :meth:`IsobarCompressor.compress_detailed`."""
 
@@ -157,6 +410,18 @@ class ChunkReport:
     solver_bytes: int = 0
     #: Noise-column bytes stored verbatim (0 for passthrough chunks).
     noise_bytes: int = 0
+    #: Final encoding: the codec name, ``"zlib-fallback"`` or ``"raw"``.
+    encoding: str = ""
+    #: True when the chunk fell back to a degraded encoding.
+    degraded: bool = False
+    #: Primary-codec attempts made (0 when the breaker short-circuited).
+    attempts: int = 1
+    #: Attempts beyond the first.
+    retries: int = 0
+    #: Degradation cause (``error``/``timeout``/``breaker_open``) or None.
+    cause: str | None = None
+    #: Last primary-codec error message, when there was one.
+    error: str | None = None
 
 
 @dataclass(frozen=True)
@@ -170,6 +435,8 @@ class CompressionResult:
     analyze_seconds: float
     compress_seconds: float
     select_seconds: float
+    #: Fault-containment record: every degraded chunk plus retry totals.
+    degradation: DegradationReport = field(default_factory=DegradationReport)
 
     @property
     def original_bytes(self) -> int:
@@ -202,6 +469,31 @@ class CompressionResult:
     def noise_bytes(self) -> int:
         """Incompressible bytes stored verbatim, summed."""
         return sum(chunk.noise_bytes for chunk in self.chunks)
+
+    @property
+    def degraded(self) -> bool:
+        """True when at least one chunk fell back to a degraded encoding."""
+        return not self.degradation.clean
+
+
+def _degradation_from_reports(
+    reports: tuple[ChunkReport, ...] | list[ChunkReport],
+) -> DegradationReport:
+    """Fold per-chunk accounting into one run-level degradation record."""
+    events = tuple(
+        DegradationEvent(
+            chunk_index=r.index,
+            cause=r.cause or "error",
+            attempts=r.attempts,
+            encoding=r.encoding,
+            error=r.error,
+        )
+        for r in reports
+        if r.degraded
+    )
+    return DegradationReport(
+        events=events, retries=sum(r.retries for r in reports)
+    )
 
 
 class IsobarCompressor:
@@ -252,11 +544,29 @@ class IsobarCompressor:
         self._instruments = PipelineInstruments(self._metrics)
         self._selector = EupaSelector(self._config, metrics=self._metrics)
         self._last_report: PipelineReport | None = None
+        # One breaker board for the compressor's lifetime: breaker
+        # state persists across runs, the way an always-on ingest path
+        # needs it to.  The gauge callback is a no-op when metrics are
+        # disabled (null gauge).
+        self._breakers = BreakerBoard(
+            self._config.resilience,
+            on_state_change=self._record_breaker_state,
+        )
+
+    def _record_breaker_state(self, codec_name: str, state) -> None:
+        self._instruments.breaker_state.set(
+            state.gauge_value, codec=codec_name
+        )
 
     @property
     def config(self) -> IsobarConfig:
         """The active workflow configuration."""
         return self._config
+
+    @property
+    def breakers(self) -> BreakerBoard:
+        """The per-codec circuit breakers guarding this compressor."""
+        return self._breakers
 
     @property
     def collect_metrics(self) -> bool:
@@ -337,6 +647,7 @@ class IsobarCompressor:
             analyze_seconds=total_analyze,
             compress_seconds=total_compress,
             select_seconds=select_seconds,
+            degradation=_degradation_from_reports(reports),
         )
         if self._metrics.enabled:
             self._finish_compress_run(
@@ -389,7 +700,25 @@ class IsobarCompressor:
             return decision, get_codec(codec_name)
         lead = flat[: min(flat.size, self._config.chunk_elements)]
         analysis = analyze(lead, tau=self._config.tau)
-        decision = self._selector.select(flat, analysis=analysis)
+        try:
+            decision = self._selector.select(flat, analysis=analysis)
+        except SelectorError:
+            # Every candidate evaluation failed.  Under a resilience
+            # policy the run must still proceed: fall back to the
+            # configured (or first-candidate) codec — chunk-level
+            # containment will degrade its chunks if it keeps failing.
+            if self._config.resilience is None:
+                raise
+            codec_name = self._config.codec or self._config.candidate_codecs[0]
+            linearization = self._config.linearization or Linearization.ROW
+            decision = SelectorDecision(
+                codec_name=codec_name,
+                linearization=linearization,
+                preference=self._config.preference,
+                improvable=analysis.improvable,
+                candidates=(),
+                sample_elements=0,
+            )
         return decision, get_codec(decision.codec_name)
 
     def _compress_chunk(
@@ -408,60 +737,57 @@ class IsobarCompressor:
         analyze_seconds = time.perf_counter() - analyze_start
         tracer.add("analyze", analyze_seconds, bytes_in=len(raw))
 
-        partition_seconds = 0.0
-        solve_start = time.perf_counter()
-        if analysis.improvable:
-            part = partition(chunk, analysis.mask, decision.linearization)
-            partition_seconds = time.perf_counter() - solve_start
-            solve_start = time.perf_counter()
-            compressed = codec.compress(part.compressible)
-            solve_seconds = time.perf_counter() - solve_start
-            solver_in = len(part.compressible)
-            incompressible = part.incompressible
-            mode = ChunkMode.PARTITIONED
-            tracer.add("partition", partition_seconds, bytes_in=len(raw))
-        else:
-            compressed = codec.compress(raw)
-            solve_seconds = time.perf_counter() - solve_start
-            solver_in = len(raw)
-            incompressible = b""
-            mode = ChunkMode.PASSTHROUGH
-        tracer.add(
-            "solve", solve_seconds,
-            bytes_in=solver_in, bytes_out=len(compressed),
+        encoded = encode_chunk_payload(
+            chunk, raw, analysis, decision.linearization, codec,
+            policy=self._config.resilience,
+            breakers=self._breakers,
+            chunk_index=index,
+            tracer=tracer,
         )
-        compress_seconds = partition_seconds + solve_seconds
+        compress_seconds = encoded.partition_seconds + encoded.solve_seconds
 
         meta = ChunkMetadata(
             n_elements=chunk.size,
-            mode=mode,
-            mask=analysis.mask,
-            compressed_size=len(compressed),
-            incompressible_size=len(incompressible),
+            mode=encoded.mode,
+            mask=encoded.mask,
+            compressed_size=len(encoded.compressed),
+            incompressible_size=len(encoded.incompressible),
             raw_crc32=crc,
         )
-        blob = meta.encode() + compressed + incompressible
+        blob = meta.encode() + encoded.compressed + encoded.incompressible
         report = ChunkReport(
             index=index,
             n_elements=int(chunk.size),
-            mode=mode,
+            mode=encoded.mode,
             improvable=analysis.improvable,
             htc_bytes_percent=analysis.htc_bytes_percent,
             raw_bytes=len(raw),
             stored_bytes=len(blob),
             analyze_seconds=analyze_seconds,
             compress_seconds=compress_seconds,
-            solver_bytes=solver_in,
-            noise_bytes=len(incompressible),
+            solver_bytes=encoded.solver_bytes,
+            noise_bytes=len(encoded.incompressible),
+            encoding=encoded.encoding,
+            degraded=encoded.degraded,
+            attempts=encoded.attempts,
+            retries=encoded.retries,
+            cause=encoded.cause,
+            error=encoded.error,
         )
         if self._metrics.enabled:
             self._instruments.record_chunk_outcome(
                 improvable=analysis.improvable,
-                solver_bytes=solver_in,
-                raw_bytes=len(incompressible),
+                solver_bytes=encoded.solver_bytes,
+                raw_bytes=len(encoded.incompressible),
                 stored_bytes=len(blob),
                 seconds=analyze_seconds + compress_seconds,
             )
+            if encoded.retries:
+                self._instruments.chunk_retries.inc(encoded.retries)
+            if encoded.degraded:
+                self._instruments.chunks_degraded.inc(
+                    1, cause=encoded.cause or "error"
+                )
         return blob, report
 
     # -- decompression ----------------------------------------------------

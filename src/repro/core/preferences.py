@@ -19,6 +19,7 @@ import enum
 from dataclasses import dataclass, field
 
 from repro.core.exceptions import ConfigurationError
+from repro.core.resilience import ResiliencePolicy
 
 __all__ = [
     "Preference",
@@ -127,6 +128,13 @@ class IsobarConfig:
     seed:
         Seed for the selector's random sample draw, making runs
         reproducible.
+    resilience:
+        Per-chunk fault-containment policy
+        (:class:`~repro.core.resilience.ResiliencePolicy`).  The
+        default policy degrades failing chunks through the
+        codec → ``zlib`` → raw fallback chain so compression never
+        fails on encodable input; ``None`` restores the legacy
+        fail-fast behaviour (the first solver error aborts the run).
     """
 
     tau: float = DEFAULT_TAU
@@ -138,6 +146,7 @@ class IsobarConfig:
     sample_elements: int = 65_536
     min_acceptable_ratio_fraction: float = 0.85
     seed: int = 0x150BA2
+    resilience: ResiliencePolicy | None = field(default_factory=ResiliencePolicy)
 
     def __post_init__(self) -> None:
         if not 1.0 < self.tau < 256.0:
@@ -161,6 +170,13 @@ class IsobarConfig:
             raise ConfigurationError(
                 "candidate_codecs may not be empty unless an explicit codec "
                 "override is set"
+            )
+        if self.resilience is not None and not isinstance(
+            self.resilience, ResiliencePolicy
+        ):
+            raise ConfigurationError(
+                "resilience must be a ResiliencePolicy or None, got "
+                f"{self.resilience!r}"
             )
         # Normalise string inputs so callers may pass plain strings.
         object.__setattr__(self, "preference", Preference.parse(self.preference))

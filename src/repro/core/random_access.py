@@ -18,20 +18,14 @@ whole stream.
 from __future__ import annotations
 
 import bisect
-import zlib as _zlib
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.analysis.bytefreq import matrix_to_elements
 from repro.codecs.base import get_codec
-from repro.core.exceptions import (
-    ChecksumError,
-    ContainerFormatError,
-    InvalidInputError,
-)
-from repro.core.metadata import ChunkMetadata, ChunkMode, ContainerHeader
-from repro.core.partitioner import reassemble_matrix
+from repro.core.exceptions import ContainerFormatError, InvalidInputError
+from repro.core.metadata import ChunkMetadata, ContainerHeader
+from repro.core.pipeline import decode_chunk_payload
 
 __all__ = ["ChunkIndexEntry", "ContainerReader"]
 
@@ -140,22 +134,13 @@ class ContainerReader:
             start + meta.compressed_size:
             start + meta.compressed_size + meta.incompressible_size
         ]
-        header = self._header
-        if meta.mode is ChunkMode.PARTITIONED:
-            comp_stream = self._codec.decompress(compressed)
-            matrix = reassemble_matrix(
-                comp_stream, incompressible, meta.mask,
-                header.linearization, meta.n_elements,
-            )
-            chunk = matrix_to_elements(matrix, header.dtype)
-            raw = matrix.tobytes()
-        else:
-            raw = self._codec.decompress(compressed)
-            chunk = np.frombuffer(
-                raw, dtype=header.dtype.newbyteorder("<")
-            ).astype(header.dtype, copy=False)
-        if _zlib.crc32(raw) != meta.raw_crc32:
-            raise ChecksumError(f"chunk {index} CRC mismatch")
+        # Delegate to the shared chunk decoder so every mode the
+        # pipeline can write (including resilience fallbacks) reads
+        # back identically here.
+        chunk = decode_chunk_payload(
+            self._header, self._codec, meta, compressed, incompressible,
+            chunk_index=index, byte_offset=start,
+        )
         self._cache[index] = chunk
         return chunk
 

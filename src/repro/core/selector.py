@@ -36,7 +36,12 @@ from repro.core.preferences import IsobarConfig, Linearization, Preference
 from repro.observability.instruments import PipelineInstruments
 from repro.observability.registry import NULL_REGISTRY
 
-__all__ = ["CandidateEvaluation", "SelectorDecision", "EupaSelector"]
+__all__ = [
+    "CandidateEvaluation",
+    "CandidateFailure",
+    "SelectorDecision",
+    "EupaSelector",
+]
 
 _SAMPLE_RUNS = 8
 
@@ -65,6 +70,15 @@ class CandidateEvaluation:
 
 
 @dataclass(frozen=True)
+class CandidateFailure:
+    """A candidate whose trial evaluation raised and was skipped."""
+
+    codec_name: str
+    linearization: Linearization
+    error: str
+
+
+@dataclass(frozen=True)
 class SelectorDecision:
     """The selector's verdict plus the full evaluation record."""
 
@@ -74,6 +88,8 @@ class SelectorDecision:
     improvable: bool
     candidates: tuple[CandidateEvaluation, ...]
     sample_elements: int
+    #: Candidates that raised during trial evaluation (skipped, not fatal).
+    failed_candidates: tuple[CandidateFailure, ...] = ()
 
     @property
     def chosen(self) -> CandidateEvaluation:
@@ -91,7 +107,17 @@ class SelectorDecision:
 
     def summary(self) -> str:
         """One-line description for logs and the CLI."""
-        chosen = self.chosen
+        try:
+            chosen = self.chosen
+        except SelectorError:
+            # Fallback decisions (empty input, or every candidate
+            # evaluation failed under a resilience policy) carry no
+            # measured numbers.
+            return (
+                f"{self.codec_name} + {self.linearization.value}"
+                f"-linearization ({self.preference.value} preference; "
+                "unevaluated fallback)"
+            )
         return (
             f"{self.codec_name} + {self.linearization.value}-linearization "
             f"({self.preference.value} preference; sample ratio "
@@ -212,10 +238,36 @@ class EupaSelector:
         if analysis is None:
             analysis = analyze(sample, tau=self._config.tau)
 
-        candidates = tuple(
-            self._evaluate(sample, analysis, codec_name, lin)
-            for codec_name, lin in self._candidate_space()
-        )
+        evaluated: list[CandidateEvaluation] = []
+        failed: list[CandidateFailure] = []
+        for codec_name, lin in self._candidate_space():
+            try:
+                evaluated.append(
+                    self._evaluate(sample, analysis, codec_name, lin)
+                )
+            except Exception as exc:  # noqa: BLE001 - candidate containment
+                # A misbehaving candidate must not abort selection: it
+                # is skipped, recorded on the decision, and counted.
+                failed.append(
+                    CandidateFailure(
+                        codec_name=codec_name,
+                        linearization=lin,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                )
+                if self._metrics.enabled:
+                    self._instruments.selector_failures.inc(
+                        1, codec=codec_name, linearization=lin.value
+                    )
+        candidates = tuple(evaluated)
+        if not candidates:
+            details = "; ".join(
+                f"({f.codec_name}, {f.linearization.value}): {f.error}"
+                for f in failed
+            )
+            raise SelectorError(
+                f"every candidate evaluation failed: {details}"
+            )
         best = self._pick(candidates)
         decision = SelectorDecision(
             codec_name=best.codec_name,
@@ -224,6 +276,7 @@ class EupaSelector:
             improvable=analysis.improvable,
             candidates=candidates,
             sample_elements=int(sample.size),
+            failed_candidates=tuple(failed),
         )
         if self._metrics.enabled:
             self._instruments.record_selector(decision)

@@ -25,6 +25,8 @@ recoverable chunk-by-chunk via
 from __future__ import annotations
 
 import os
+import queue as _queue
+import threading as _threading
 import time as _time
 import zlib as _zlib
 from typing import BinaryIO, Iterable, Iterator
@@ -38,13 +40,22 @@ from repro.core.exceptions import (
     ContainerFormatError,
     InvalidInputError,
     IsobarError,
+    SelectorError,
     TruncatedContainerError,
 )
-from repro.core.metadata import ChunkMetadata, ChunkMode, ContainerHeader
-from repro.core.partitioner import partition
-from repro.core.pipeline import _little_endian_bytes, decode_chunk_payload
+from repro.core.metadata import ChunkMetadata, ContainerHeader
+from repro.core.pipeline import (
+    _little_endian_bytes,
+    decode_chunk_payload,
+    encode_chunk_payload,
+)
 from repro.core.preferences import IsobarConfig, Linearization
-from repro.core.selector import EupaSelector
+from repro.core.resilience import (
+    BreakerBoard,
+    DegradationEvent,
+    DegradationReport,
+)
+from repro.core.selector import EupaSelector, SelectorDecision
 from repro.observability.instruments import PipelineInstruments
 from repro.observability.registry import NULL_REGISTRY, MetricsRegistry
 from repro.observability.report import PipelineReport
@@ -107,6 +118,16 @@ class StreamingWriter:
         self._noise_bytes = 0
         self._last_report: PipelineReport | None = None
         self._selector = EupaSelector(self._config, metrics=self._metrics)
+        self._breakers = BreakerBoard(
+            self._config.resilience,
+            on_state_change=lambda name, state: (
+                self._instruments.breaker_state.set(
+                    state.gauge_value, codec=name
+                )
+            ),
+        )
+        self._degradation_events: list[DegradationEvent] = []
+        self._retries = 0
         self._codec = None
         self._linearization: Linearization | None = None
         self._n_elements = 0
@@ -182,6 +203,13 @@ class StreamingWriter:
         published by ``close()`` when metrics are enabled."""
         return self._last_report
 
+    @property
+    def degradation(self) -> DegradationReport:
+        """Fault-containment record of the chunks written so far."""
+        return DegradationReport(
+            events=tuple(self._degradation_events), retries=self._retries
+        )
+
     def _build_header(self) -> ContainerHeader:
         return ContainerHeader(
             dtype=self._dtype,
@@ -233,7 +261,28 @@ class StreamingWriter:
             )
         if self._codec is None:
             stage_start = _time.perf_counter() if enabled else 0.0
-            decision = self._selector.select(arr, analysis=analysis)
+            try:
+                decision = self._selector.select(arr, analysis=analysis)
+            except SelectorError:
+                # Every candidate evaluation failed; under a resilience
+                # policy the stream must still start — fall back to the
+                # configured (or first-candidate) codec and let the
+                # chunk-level containment degrade its chunks.
+                if self._config.resilience is None:
+                    raise
+                decision = SelectorDecision(
+                    codec_name=(
+                        self._config.codec
+                        or self._config.candidate_codecs[0]
+                    ),
+                    linearization=(
+                        self._config.linearization or Linearization.ROW
+                    ),
+                    preference=self._config.preference,
+                    improvable=analysis.improvable,
+                    candidates=(),
+                    sample_elements=0,
+                )
             self._codec = get_codec(decision.codec_name)
             self._linearization = decision.linearization
             if enabled:
@@ -242,40 +291,44 @@ class StreamingWriter:
 
         raw = _little_endian_bytes(arr)
         crc = _zlib.crc32(raw)
-        partition_seconds = 0.0
-        stage_start = _time.perf_counter() if enabled else 0.0
-        if analysis.improvable:
-            part = partition(arr, analysis.mask, self._linearization)
-            if enabled:
-                partition_seconds = _time.perf_counter() - stage_start
-                tracer.add("partition", partition_seconds, bytes_in=len(raw))
-                stage_start = _time.perf_counter()
-            compressed = self._codec.compress(part.compressible)
-            solver_in = len(part.compressible)
-            incompressible = part.incompressible
-            mode = ChunkMode.PARTITIONED
-        else:
-            compressed = self._codec.compress(raw)
-            solver_in = len(raw)
-            incompressible = b""
-            mode = ChunkMode.PASSTHROUGH
-        solve_seconds = (
-            _time.perf_counter() - stage_start if enabled else 0.0
+        encoded = encode_chunk_payload(
+            arr, raw, analysis, self._linearization, self._codec,
+            policy=self._config.resilience,
+            breakers=self._breakers,
+            chunk_index=self._n_chunks,
+            tracer=tracer,
         )
-        if enabled:
-            tracer.add(
-                "solve", solve_seconds,
-                bytes_in=solver_in, bytes_out=len(compressed),
+        solver_in = encoded.solver_bytes
+        incompressible = encoded.incompressible
+        if encoded.degraded:
+            # Degraded chunks flush exactly like healthy ones; the
+            # stream just remembers what happened.
+            self._degradation_events.append(
+                DegradationEvent(
+                    chunk_index=self._n_chunks,
+                    cause=encoded.cause or "error",
+                    attempts=encoded.attempts,
+                    encoding=encoded.encoding,
+                    error=encoded.error,
+                )
             )
+            if enabled:
+                self._instruments.chunks_degraded.inc(
+                    1, cause=encoded.cause or "error"
+                )
+        if encoded.retries:
+            self._retries += encoded.retries
+            if enabled:
+                self._instruments.chunk_retries.inc(encoded.retries)
         meta = ChunkMetadata(
             n_elements=arr.size,
-            mode=mode,
-            mask=analysis.mask,
-            compressed_size=len(compressed),
+            mode=encoded.mode,
+            mask=encoded.mask,
+            compressed_size=len(encoded.compressed),
             incompressible_size=len(incompressible),
             raw_crc32=crc,
         )
-        blob = meta.encode() + compressed + incompressible
+        blob = meta.encode() + encoded.compressed + incompressible
         stage_start = _time.perf_counter() if enabled else 0.0
         self._sink.write(blob)
         self._bytes_written += len(blob)
@@ -382,6 +435,60 @@ class StreamingWriter:
             self.close()
 
 
+def _bounded_readahead(
+    chunks: Iterable[np.ndarray], depth: int
+) -> Iterator[np.ndarray]:
+    """Produce ``chunks`` on a helper thread through a bounded queue.
+
+    The queue depth is the backpressure bound: at most ``depth`` chunks
+    are in flight between the producer and the writer, so a slow sink
+    (e.g. one busy degrading faulty chunks) stalls production instead
+    of buffering the stream in memory.  A producer exception is
+    re-raised at the consuming end; abandoning the generator stops the
+    producer promptly.
+    """
+    q: _queue.Queue = _queue.Queue(maxsize=depth)
+    stop = _threading.Event()
+    _END = object()
+
+    def _produce() -> None:
+        try:
+            for chunk in chunks:
+                while not stop.is_set():
+                    try:
+                        q.put(("chunk", chunk), timeout=0.1)
+                        break
+                    except _queue.Full:
+                        continue
+                if stop.is_set():
+                    return
+            item = ("end", _END)
+        except BaseException as exc:  # noqa: BLE001 - relayed to consumer
+            item = ("err", exc)
+        while not stop.is_set():
+            try:
+                q.put(item, timeout=0.1)
+                return
+            except _queue.Full:
+                continue
+
+    producer = _threading.Thread(
+        target=_produce, name="isobar-stream-readahead", daemon=True
+    )
+    producer.start()
+    try:
+        while True:
+            kind, value = q.get()
+            if kind == "chunk":
+                yield value
+            elif kind == "err":
+                raise value
+            else:
+                return
+    finally:
+        stop.set()
+
+
 def stream_compress(
     chunks: Iterable[np.ndarray],
     sink_path: str | os.PathLike,
@@ -390,6 +497,7 @@ def stream_compress(
     *,
     atomic: bool = True,
     metrics: MetricsRegistry | None = None,
+    readahead_chunks: int = 0,
 ) -> int:
     """Compress an iterable of chunks into a container file.
 
@@ -400,12 +508,28 @@ def stream_compress(
     half-written container at ``sink_path``.  ``metrics`` optionally
     aggregates the stream's stage timings and chunk outcomes into an
     existing registry.
+
+    ``readahead_chunks > 0`` produces chunks on a helper thread through
+    a queue of that depth, overlapping chunk production with
+    compression while bounding the in-flight buffer — the queue is the
+    backpressure valve when the writer slows down (e.g. while the
+    resilience layer retries and degrades faulty chunks).  0 (the
+    default) consumes the iterable inline, exactly as before.
     """
+    if readahead_chunks < 0:
+        raise InvalidInputError(
+            f"readahead_chunks must be >= 0, got {readahead_chunks}"
+        )
     writer = StreamingWriter.open(
         sink_path, dtype, config, atomic=atomic, metrics=metrics
     )
+    source = (
+        _bounded_readahead(chunks, readahead_chunks)
+        if readahead_chunks > 0
+        else chunks
+    )
     try:
-        for chunk in chunks:
+        for chunk in source:
             writer.write_chunk(chunk)
         writer.close()
     except BaseException:

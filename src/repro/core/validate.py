@@ -159,25 +159,55 @@ def validate_container(data: bytes) -> ValidationReport:
                 )
                 index += 1
                 continue
-            if n_comp_cols == 0 or n_incomp_cols == 0:
+            if n_comp_cols == 0 and meta.compressed_size == 0:
+                report.warn(
+                    index,
+                    "chunk stored raw with an all-incompressible mask "
+                    "(resilience degradation or undetermined data)",
+                )
+            elif n_comp_cols == 0 or n_incomp_cols == 0:
                 report.warn(
                     index,
                     "partitioned chunk with a degenerate mask "
                     "(all or none compressible)",
                 )
         elif meta.incompressible_size != 0:
-            report.error(index, "passthrough chunk carries raw noise bytes")
+            # PASSTHROUGH and FALLBACK_ZLIB both store a single solver
+            # stream and no noise bytes.
+            report.error(
+                index, f"{meta.mode.name.lower()} chunk carries raw "
+                "noise bytes"
+            )
             index += 1
             continue
 
         try:
             if meta.mode is ChunkMode.PARTITIONED:
-                comp_stream = codec.decompress(compressed)
+                comp_stream = (
+                    codec.decompress(compressed) if compressed else b""
+                )
                 matrix = reassemble_matrix(
                     comp_stream, incompressible, meta.mask,
                     header.linearization, meta.n_elements,
                 )
                 raw = matrix.tobytes()
+            elif meta.mode is ChunkMode.FALLBACK_ZLIB:
+                try:
+                    raw = _zlib.decompress(compressed)
+                except _zlib.error as exc:
+                    report.error(
+                        index, f"zlib-fallback payload undecodable: {exc}"
+                    )
+                    index += 1
+                    continue
+                if len(raw) != meta.n_elements * width:
+                    report.error(
+                        index,
+                        f"payload decodes to {len(raw)} bytes, expected "
+                        f"{meta.n_elements * width}",
+                    )
+                    index += 1
+                    continue
             else:
                 raw = codec.decompress(compressed)
                 if len(raw) != meta.n_elements * width:

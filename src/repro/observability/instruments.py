@@ -62,6 +62,18 @@ class PipelineInstruments:
         ``isobar_salvage_elements_total{status=recovered|lost}``
         (corrupt chunks count as lost elements — their payload exists
         but decodes wrong, so nothing usable was recovered).
+    ``chunks_degraded``
+        ``isobar_chunks_degraded_total{cause=error|timeout|breaker_open}``
+        — chunks the resilience layer stored with a fallback encoding.
+    ``chunk_retries``
+        ``isobar_chunk_retries_total`` — primary-codec attempts beyond
+        the first, including retries that eventually succeeded.
+    ``breaker_state``
+        ``isobar_breaker_state{codec=}`` gauge — per-codec circuit
+        breaker state (0 closed, 1 half-open, 2 open).
+    ``selector_failures``
+        ``isobar_selector_failures_total{codec=,linearization=}`` —
+        candidate evaluations that raised and were skipped.
     """
 
     def __init__(self, registry):
@@ -115,6 +127,23 @@ class PipelineInstruments:
         self.salvage_elements = registry.counter(
             "isobar_salvage_elements_total",
             "Elements recovered or lost by the salvage decoder.",
+        )
+        self.chunks_degraded = registry.counter(
+            "isobar_chunks_degraded_total",
+            "Chunks stored with a degraded fallback encoding, by cause.",
+        )
+        self.chunk_retries = registry.counter(
+            "isobar_chunk_retries_total",
+            "Primary-codec compression attempts beyond the first.",
+        )
+        self.breaker_state = registry.gauge(
+            "isobar_breaker_state",
+            "Per-codec circuit breaker state "
+            "(0 closed, 1 half-open, 2 open).",
+        )
+        self.selector_failures = registry.counter(
+            "isobar_selector_failures_total",
+            "Selector candidate evaluations that raised and were skipped.",
         )
 
     def record_chunk_outcome(

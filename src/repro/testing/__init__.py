@@ -2,11 +2,23 @@
 
 :mod:`repro.testing.faults` provides deterministic, seeded fault
 injectors for ISOBAR containers — the adversary that the salvage
-decoder (:mod:`repro.core.salvage`) is proven against.  The package is
-importable from production code too (e.g. chaos-testing a deployment),
-so it lives under ``repro`` rather than in the test tree.
+decoder (:mod:`repro.core.salvage`) is proven against.
+:mod:`repro.testing.chaos` provides seeded misbehaving codec wrappers
+— the adversary for the compress-side resilience layer
+(:mod:`repro.core.resilience`).  The package is importable from
+production code too (e.g. chaos-testing a deployment), so it lives
+under ``repro`` rather than in the test tree.
 """
 
+from repro.testing.chaos import (
+    ChaosCodecError,
+    ChaosWrapper,
+    CorruptingCodec,
+    FlakyCodec,
+    HangingCodec,
+    chaos_codec,
+    solver_payloads,
+)
 from repro.testing.faults import (
     FAULT_TYPES,
     InjectedFault,
@@ -21,14 +33,21 @@ from repro.testing.faults import (
 )
 
 __all__ = [
+    "ChaosCodecError",
+    "ChaosWrapper",
+    "CorruptingCodec",
     "FAULT_TYPES",
+    "FlakyCodec",
+    "HangingCodec",
     "InjectedFault",
+    "chaos_codec",
     "chunk_extents",
     "corrupt_chunk_magic",
     "corrupt_header_magic",
     "delete_chunk",
     "flip_bit",
     "inject",
+    "solver_payloads",
     "truncate",
     "zero_range",
 ]

@@ -33,6 +33,33 @@ def container():
     return IsobarCompressor(_CFG).compress(values), values
 
 
+@pytest.fixture(scope="module")
+def degraded_container():
+    """A container where every chunk degraded through the resilience
+    fallback chain (one run zlib-fallback, one run raw)."""
+    from repro.core.preferences import Linearization
+    from repro.core.resilience import ResiliencePolicy
+    from repro.testing.chaos import FlakyCodec, chaos_codec
+
+    rng = np.random.default_rng(99)
+    values = build_structured(_N, np.float64, 6, rng)
+    payloads = {}
+    for label, fallback in (("zlib-fallback", True), ("raw", False)):
+        config = _CFG.replace(
+            codec="zlib",
+            linearization=Linearization.ROW,
+            resilience=ResiliencePolicy(
+                max_attempts=1, fallback_zlib=fallback,
+                breaker_threshold=10_000,
+            ),
+        )
+        with chaos_codec(FlakyCodec("zlib", fail_percent=100.0)):
+            result = IsobarCompressor(config).compress_detailed(values)
+        assert result.degradation.degraded_chunks == len(result.chunks)
+        payloads[label] = result.payload
+    return payloads, values
+
+
 def _boundaries(payload):
     """Every structural boundary: header end, each chunk-record end,
     each payload section end."""
@@ -120,6 +147,65 @@ def test_validate_never_escapes(container, fault, seed):
     # container must never be declared valid.
     if fault != "zero_range" or injected.data != payload:
         assert not report.valid or injected.data == payload
+
+
+class TestDegradedContainers:
+    """Degraded (fallback-encoded) chunks are first-class citizens of
+    the container format: every reader must round-trip them bit-exactly
+    and every fault must stay contained."""
+
+    @pytest.mark.parametrize("encoding", ["zlib-fallback", "raw"])
+    def test_all_decoders_bit_exact(self, degraded_container, encoding):
+        from repro.core.parallel import ParallelIsobarCompressor
+        from repro.core.stream import stream_decompress
+
+        payloads, values = degraded_container
+        payload = payloads[encoding]
+
+        for restored in (
+            IsobarCompressor(_CFG).decompress(payload),
+            ParallelIsobarCompressor(_CFG, n_workers=2).decompress(payload),
+            salvage_decompress(payload, policy="skip").values,
+        ):
+            assert np.array_equal(
+                np.asarray(restored).reshape(-1), values
+            )
+
+        import os
+        import tempfile
+
+        fd, path = tempfile.mkstemp(suffix=".isobar")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            streamed = np.concatenate(list(stream_decompress(path)))
+        finally:
+            os.unlink(path)
+        assert np.array_equal(streamed, values)
+
+    @pytest.mark.parametrize("encoding", ["zlib-fallback", "raw"])
+    def test_random_access_and_validate(self, degraded_container, encoding):
+        from repro.core.random_access import ContainerReader
+
+        payloads, values = degraded_container
+        payload = payloads[encoding]
+        reader = ContainerReader(payload)
+        assert np.array_equal(reader.read_all().reshape(-1), values)
+        assert validate_container(payload).valid
+
+    @pytest.mark.parametrize("mode", DECODE_MODES)
+    @pytest.mark.parametrize("fault", FAULT_TYPES)
+    @pytest.mark.parametrize("encoding", ["zlib-fallback", "raw"])
+    def test_faults_stay_contained(self, degraded_container, encoding,
+                                   fault, mode):
+        payloads, values = degraded_container
+        injected = inject(payloads[encoding], fault, 1)
+        try:
+            restored = _decode(injected.data, mode)
+        except IsobarError:
+            return  # contained failure is a valid outcome
+        assert np.asarray(restored).dtype == values.dtype, \
+            injected.description
 
 
 @pytest.mark.parametrize("seed", range(4))

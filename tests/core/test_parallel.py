@@ -90,3 +90,104 @@ class TestEdgeCases:
         assert np.array_equal(
             compressor.decompress(compressor.compress(values)), values
         )
+
+
+class TestFaultContainment:
+    """Poisoned chunks under the thread pool: legacy fail-fast must
+    surface the original exception; a resilience policy must degrade
+    identically to the serial path."""
+
+    def _pinned(self, **overrides):
+        from repro.core.preferences import Linearization
+
+        base = dict(
+            codec="zlib",
+            linearization=Linearization.ROW,
+            chunk_elements=30_000,
+            sample_elements=2048,
+        )
+        base.update(overrides)
+        return IsobarConfig(**base)
+
+    def _partial_flaky(self, values, fail_percent=40.0):
+        from repro.core.preferences import Linearization
+        from repro.testing.chaos import FlakyCodec, solver_payloads
+
+        payloads = solver_payloads(
+            values, chunk_elements=30_000, linearization=Linearization.ROW
+        )
+        for seed in range(500):
+            flaky = FlakyCodec("zlib", fail_percent=fail_percent, seed=seed)
+            doomed = sum(flaky.is_doomed(p) for p in payloads)
+            if 0 < doomed < len(payloads):
+                return flaky
+        raise AssertionError("no non-degenerate chaos seed in 500 tries")
+
+    def test_poisoned_chunk_surfaces_original_exception(self, multichunk):
+        from repro.testing.chaos import ChaosCodecError, FlakyCodec, \
+            chaos_codec
+
+        # Call 1 is the selector trial (serial); one of the pool's chunk
+        # compress calls draws ordinal 2 and raises.  Legacy fail-fast
+        # must re-raise that exact exception type, not wrap or hang.
+        config = self._pinned(resilience=None)
+        with chaos_codec(FlakyCodec("zlib", fail_percent=0.0,
+                                    fail_calls=(2,))):
+            with pytest.raises(ChaosCodecError):
+                ParallelIsobarCompressor(config, n_workers=4).compress(
+                    multichunk
+                )
+
+    def test_strict_policy_fails_fast_in_parallel(self, multichunk):
+        from repro.core.exceptions import CodecError
+        from repro.core.resilience import ResiliencePolicy
+        from repro.testing.chaos import FlakyCodec, chaos_codec
+
+        config = self._pinned(
+            resilience=ResiliencePolicy(strict=True, max_attempts=1)
+        )
+        with chaos_codec(FlakyCodec("zlib", fail_percent=100.0)):
+            with pytest.raises(CodecError):
+                ParallelIsobarCompressor(config, n_workers=4).compress(
+                    multichunk
+                )
+
+    def test_degraded_output_identical_to_serial(self, multichunk):
+        from repro.core.resilience import ResiliencePolicy
+        from repro.testing.chaos import chaos_codec
+
+        # Content-keyed faults doom the same chunks regardless of
+        # thread scheduling, so serial and parallel runs must emit
+        # byte-identical containers even while degrading.
+        policy = ResiliencePolicy(breaker_threshold=10_000)
+        config = self._pinned(resilience=policy)
+        with chaos_codec(self._partial_flaky(multichunk)):
+            serial = IsobarCompressor(config).compress_detailed(multichunk)
+        with chaos_codec(self._partial_flaky(multichunk)):
+            parallel = ParallelIsobarCompressor(
+                config, n_workers=4
+            ).compress_detailed(multichunk)
+        assert serial.degradation.degraded_chunks > 0
+        assert serial.payload == parallel.payload
+        assert serial.degradation == parallel.degradation
+
+    def test_parallel_degraded_container_roundtrips(self, multichunk):
+        from repro.testing.chaos import FlakyCodec, chaos_codec
+
+        config = self._pinned()
+        with chaos_codec(FlakyCodec("zlib", fail_percent=100.0)):
+            result = ParallelIsobarCompressor(
+                config, n_workers=4
+            ).compress_detailed(multichunk)
+        assert result.degradation.degraded_chunks == len(result.chunks)
+        restored = IsobarCompressor().decompress(result.payload)
+        assert np.array_equal(np.asarray(restored).reshape(-1), multichunk)
+
+    def test_parallel_decompress_poisoned_future_contained(self, multichunk):
+        # Corrupt one chunk payload: the parallel decoder must surface
+        # the checksum failure, not deadlock waiting on cancelled work.
+        compressor = ParallelIsobarCompressor(_CFG, n_workers=4)
+        blob = bytearray(compressor.compress(multichunk))
+        blob[len(blob) // 2] ^= 0xFF
+        with pytest.raises(ChecksumError):
+            compressor.decompress(bytes(blob))

@@ -167,3 +167,59 @@ class TestSelect:
         )
         with pytest.raises(SelectorError):
             decision.chosen
+
+
+class TestCandidateContainment:
+    """A misbehaving candidate is skipped, recorded and counted — it
+    must never abort selection while a healthy candidate remains."""
+
+    def test_failing_candidate_skipped_and_recorded(self,
+                                                    improvable_doubles):
+        from repro.testing.chaos import FlakyCodec, chaos_codec
+
+        flaky = FlakyCodec("zlib", fail_percent=100.0, name="flaky")
+        config = IsobarConfig(
+            candidate_codecs=("flaky", "zlib"), sample_elements=4096
+        )
+        with chaos_codec(flaky):
+            decision = EupaSelector(config).select(improvable_doubles)
+        assert decision.codec_name == "zlib"
+        assert {f.codec_name for f in decision.failed_candidates} == {"flaky"}
+        assert len(decision.failed_candidates) == 2  # 2 linearizations
+        assert all(
+            "ChaosCodecError" in f.error for f in decision.failed_candidates
+        )
+
+    def test_all_candidates_failing_raises(self, improvable_doubles):
+        from repro.testing.chaos import FlakyCodec, chaos_codec
+
+        config = IsobarConfig(codec="zlib", sample_elements=4096)
+        with chaos_codec(FlakyCodec("zlib", fail_percent=100.0)):
+            with pytest.raises(SelectorError, match="every candidate"):
+                EupaSelector(config).select(improvable_doubles)
+
+    def test_failures_counted_in_metrics(self, improvable_doubles):
+        from repro.observability import MetricsRegistry
+        from repro.testing.chaos import FlakyCodec, chaos_codec
+
+        registry = MetricsRegistry()
+        flaky = FlakyCodec("zlib", fail_percent=100.0, name="flaky")
+        config = IsobarConfig(
+            candidate_codecs=("flaky", "zlib"), sample_elements=4096
+        )
+        with chaos_codec(flaky):
+            EupaSelector(config, metrics=registry).select(improvable_doubles)
+        counter = registry.get("isobar_selector_failures_total")
+        assert counter.value(codec="flaky", linearization="row") == 1
+        assert counter.value(codec="flaky", linearization="column") == 1
+
+    def test_summary_survives_unevaluated_fallback(self):
+        decision = SelectorDecision(
+            codec_name="zlib",
+            linearization=Linearization.ROW,
+            preference=Preference.RATIO,
+            improvable=False,
+            candidates=(),
+            sample_elements=0,
+        )
+        assert "unevaluated fallback" in decision.summary()

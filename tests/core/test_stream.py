@@ -241,3 +241,100 @@ class TestLenientStreaming:
         stream_compress(_chunks(data, 10_000), path, np.float64, config=_CFG)
         with pytest.raises(InvalidInputError):
             list(stream_decompress(path, errors="replace"))
+
+
+class TestStreamingResilience:
+    """Degraded chunks flush through the streaming writer like healthy
+    ones, and bounded readahead overlaps production with compression."""
+
+    def _pinned(self, **overrides):
+        from repro.core.preferences import Linearization
+
+        base = dict(
+            codec="zlib",
+            linearization=Linearization.ROW,
+            chunk_elements=10_000,
+            sample_elements=2048,
+        )
+        base.update(overrides)
+        return IsobarConfig(**base)
+
+    def test_degraded_chunks_flush_and_roundtrip(self, tmp_path, data):
+        from repro.testing.chaos import FlakyCodec, chaos_codec
+
+        path = tmp_path / "c.isobar"
+        config = self._pinned()
+        with chaos_codec(FlakyCodec("zlib", fail_percent=100.0)):
+            stream_compress(_chunks(data, 10_000), path, np.float64,
+                            config=config)
+        # Pristine registry decodes the degraded stream bit-exactly.
+        restored = np.concatenate(list(stream_decompress(path)))
+        assert np.array_equal(restored, data)
+
+    def test_writer_degradation_report(self, tmp_path, data):
+        from repro.testing.chaos import FlakyCodec, chaos_codec
+
+        config = self._pinned()
+        with chaos_codec(FlakyCodec("zlib", fail_percent=100.0)):
+            writer = StreamingWriter.open(
+                tmp_path / "c.isobar", np.float64, config
+            )
+            for chunk in _chunks(data, 10_000):
+                writer.write_chunk(chunk)
+            writer.close()
+        report = writer.degradation
+        assert report.degraded_chunks == 4  # ceil(35000 / 10000)
+        assert [e.chunk_index for e in report.events] == [0, 1, 2, 3]
+
+    def test_streaming_output_matches_pipeline_under_chaos(self, tmp_path,
+                                                           data):
+        from repro.testing.chaos import FlakyCodec, chaos_codec
+
+        config = self._pinned()
+        path = tmp_path / "c.isobar"
+        with chaos_codec(FlakyCodec("zlib", fail_percent=100.0)):
+            stream_compress(_chunks(data, 10_000), path, np.float64,
+                            config=config)
+        with chaos_codec(FlakyCodec("zlib", fail_percent=100.0)):
+            pipeline = IsobarCompressor(config).compress(data)
+        assert path.read_bytes() == pipeline
+
+    def test_strict_streaming_fails_hard(self, tmp_path, data):
+        from repro.core.exceptions import CodecError
+        from repro.core.resilience import ResiliencePolicy
+        from repro.testing.chaos import FlakyCodec, chaos_codec
+
+        config = self._pinned(
+            resilience=ResiliencePolicy(strict=True, max_attempts=1)
+        )
+        with chaos_codec(FlakyCodec("zlib", fail_percent=100.0)):
+            with pytest.raises(CodecError):
+                stream_compress(_chunks(data, 10_000),
+                                tmp_path / "c.isobar", np.float64,
+                                config=config)
+
+    def test_readahead_roundtrip_identical(self, tmp_path, data):
+        inline = tmp_path / "inline.isobar"
+        ahead = tmp_path / "ahead.isobar"
+        stream_compress(_chunks(data, 10_000), inline, np.float64,
+                        config=_CFG)
+        stream_compress(_chunks(data, 10_000), ahead, np.float64,
+                        config=_CFG, readahead_chunks=2)
+        assert inline.read_bytes() == ahead.read_bytes()
+
+    def test_readahead_negative_rejected(self, tmp_path, data):
+        with pytest.raises(InvalidInputError):
+            stream_compress(_chunks(data, 10_000),
+                            tmp_path / "c.isobar", np.float64,
+                            config=_CFG, readahead_chunks=-1)
+
+    def test_readahead_propagates_source_error(self, tmp_path):
+        def exploding():
+            yield np.zeros(1000)
+            raise RuntimeError("simulation crashed")
+
+        with pytest.raises(RuntimeError, match="simulation crashed"):
+            stream_compress(exploding(), tmp_path / "c.isobar",
+                            np.float64, config=_CFG, readahead_chunks=4)
+        # Atomic write: the sink must not exist after the failure.
+        assert not (tmp_path / "c.isobar").exists()

@@ -357,3 +357,83 @@ class TestObservabilityCommands:
             reg.get("isobar_salvage_chunks_total").value(status="recovered")
             >= 1
         )
+
+
+class TestResilienceCommands:
+    @pytest.fixture
+    def raw(self, tmp_path):
+        path = tmp_path / "field.rds"
+        main(["generate", "gts_chkp_zion", str(path), "--elements", "30000"])
+        return path
+
+    def _chaos(self):
+        from repro.testing.chaos import FlakyCodec, chaos_codec
+
+        return chaos_codec(FlakyCodec("zlib", fail_percent=100.0))
+
+    def test_degraded_compress_exits_two(self, raw, tmp_path, capsys):
+        container = tmp_path / "f.isobar"
+        with self._chaos():
+            code = main(["compress", str(raw), str(container),
+                         "--codec", "zlib", "--chunk-elements", "10000"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "degraded" in captured.err
+        assert "zlib-fallback" in captured.err
+        # The container was still written and decodes exactly with a
+        # pristine registry.
+        restored = tmp_path / "f.rds"
+        assert main(["decompress", str(container), str(restored)]) == 0
+        assert np.array_equal(load_raw(raw), load_raw(restored))
+
+    def test_clean_compress_exits_zero(self, raw, tmp_path, capsys):
+        container = tmp_path / "f.isobar"
+        assert main(["compress", str(raw), str(container),
+                     "--codec", "zlib"]) == 0
+        assert "degraded" not in capsys.readouterr().err
+
+    def test_strict_flag_fails_hard(self, raw, tmp_path, capsys):
+        container = tmp_path / "f.isobar"
+        with self._chaos():
+            code = main(["compress", str(raw), str(container),
+                         "--codec", "zlib", "--strict"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_resilience_json_file(self, raw, tmp_path, capsys):
+        import json
+
+        container = tmp_path / "f.isobar"
+        report_path = tmp_path / "degradation.json"
+        with self._chaos():
+            code = main(["compress", str(raw), str(container),
+                         "--codec", "zlib", "--chunk-elements", "10000",
+                         "--resilience-json", str(report_path)])
+        assert code == 2
+        report = json.loads(report_path.read_text())
+        assert report["degraded_chunks"] == 3  # 30000 / 10000
+        # Under a total outage the default breaker opens mid-run, so
+        # later chunks short-circuit: causes mix error and breaker_open.
+        assert sum(report["causes"].values()) == 3
+        assert report["causes"]["error"] >= 1
+        assert all(
+            e["encoding"] == "zlib-fallback" for e in report["events"]
+        )
+
+    def test_resilience_json_stdout_clean_run(self, raw, tmp_path, capsys):
+        import json
+
+        container = tmp_path / "f.isobar"
+        assert main(["compress", str(raw), str(container),
+                     "--codec", "zlib", "--resilience-json", "-"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["degraded_chunks"] == 0
+        assert payload["events"] == []
+
+    def test_parser_accepts_new_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(["compress", "in.rds", "out.isobar",
+                                  "--strict", "--resilience-json", "-"])
+        assert args.strict
+        assert args.resilience_json == "-"
