@@ -6,12 +6,24 @@ Effective and High-throughput Lossless Data Compression"* (ICDE 2012).
 Quickstart::
 
     import numpy as np
-    from repro import isobar_compress, isobar_decompress
+    import repro
 
     data = np.random.default_rng(0).normal(size=100_000)
-    blob = isobar_compress(data, preference="speed")
-    restored = isobar_decompress(blob)
+    blob = repro.compress(data, preference="speed")
+    restored = repro.decompress(blob)
     assert np.array_equal(restored, data)
+
+Streaming (constant memory, crash-safe writes)::
+
+    with repro.open_stream("out.isbr", "w", dtype=np.float64) as writer:
+        for chunk in chunks:
+            writer.write_chunk(chunk)
+    restored = np.concatenate(list(repro.open_stream("out.isbr")))
+
+``repro.compress`` / ``repro.decompress`` / ``repro.open_stream`` are
+the stable facade (see ``docs/api.md``); the legacy one-liners
+``isobar_compress`` / ``isobar_decompress`` remain as deprecated
+aliases.
 
 The package splits into:
 
@@ -29,6 +41,7 @@ The package splits into:
 * :mod:`repro.bench` — the table/figure regeneration harness.
 """
 
+from repro.api import ERROR_POLICIES, compress, decompress, open_stream
 from repro.core import (
     AnalysisResult,
     CompressionResult,
@@ -62,6 +75,7 @@ __all__ = [
     "AnalysisResult",
     "CompressionResult",
     "DegradationReport",
+    "ERROR_POLICIES",
     "EupaSelector",
     "IsobarCompressor",
     "IsobarConfig",
@@ -75,8 +89,11 @@ __all__ = [
     "SalvageResult",
     "Tracer",
     "analyze",
+    "compress",
+    "decompress",
     "isobar_compress",
     "isobar_decompress",
+    "open_stream",
     "registry_from_json",
     "salvage_decompress",
     "to_json",

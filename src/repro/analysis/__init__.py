@@ -7,12 +7,15 @@ from repro.analysis.bitfreq import (
 )
 from repro.analysis.bytefreq import (
     byte_matrix,
+    byte_view,
     column_entropies,
     column_frequencies,
+    column_frequencies_reference,
     column_max_frequency,
     element_width,
     matrix_to_elements,
 )
+from repro.analysis.histcore import native_available, native_backend_description
 from repro.analysis.entropy import (
     DatasetStatistics,
     byte_entropy,
@@ -51,11 +54,15 @@ __all__ = [
     "bit_frequency_profile",
     "bit_probabilities",
     "byte_matrix",
+    "byte_view",
     "column_entropies",
     "column_frequencies",
+    "column_frequencies_reference",
     "column_max_frequency",
     "element_width",
     "matrix_to_elements",
+    "native_available",
+    "native_backend_description",
     "DatasetStatistics",
     "byte_entropy",
     "dataset_statistics",

@@ -10,20 +10,34 @@ top.
 Byte order is normalised to little-endian so results are identical on
 any host: column 0 is the least-significant byte and the last column
 holds the sign/exponent bits of floating-point elements.
+
+Hot-path notes: :func:`byte_view` exposes the byte matrix as a
+zero-copy view for native little-endian inputs (the common case on
+every mainstream host), and :func:`column_frequencies` dispatches to
+the compiled one-pass kernel of :mod:`repro.analysis.histcore` when it
+is available, falling back to numpy (a pair-column ``uint16`` bincount
+scheme, then the plain per-column loop retained as
+:func:`column_frequencies_reference`).  All backends produce identical
+counts, so analyzer masks never depend on which one served a run.
 """
 
 from __future__ import annotations
 
+import sys
+
 import numpy as np
 
+from repro.analysis import histcore
 from repro.core.exceptions import InvalidInputError
 
 __all__ = [
     "SUPPORTED_KINDS",
     "element_width",
     "byte_matrix",
+    "byte_view",
     "matrix_to_elements",
     "column_frequencies",
+    "column_frequencies_reference",
     "column_max_frequency",
     "column_entropies",
 ]
@@ -32,6 +46,12 @@ __all__ = [
 #: integers.  (Complex/flexible types have no meaningful byte-column
 #: semantics in the paper's framing.)
 SUPPORTED_KINDS = frozenset("fiu")
+
+_NATIVE_LITTLE = sys.byteorder == "little"
+
+#: Below this row count the ``uint16`` pair-column scheme loses to the
+#: plain loop (its 65 536-bin histograms dominate the cost).
+_PAIR_MIN_ROWS = 1 << 15
 
 
 def element_width(dtype: np.dtype) -> int:
@@ -45,28 +65,56 @@ def element_width(dtype: np.dtype) -> int:
     return dt.itemsize
 
 
-def byte_matrix(values: np.ndarray) -> np.ndarray:
+def _is_little_endian(dtype: np.dtype) -> bool:
+    order = dtype.byteorder
+    return order == "<" or order == "|" or (order == "=" and _NATIVE_LITTLE)
+
+
+def byte_view(values: np.ndarray) -> np.ndarray:
     """View ``values`` as an ``(N, w)`` uint8 matrix in little-endian order.
+
+    Zero-copy whenever the input is already little-endian and
+    contiguous (the common case); byte-swapped or strided inputs fall
+    back to :func:`byte_matrix` (one copy).  The result may therefore
+    share memory with ``values`` and must be treated as read-only.
+    """
+    arr = np.asarray(values)
+    width = element_width(arr.dtype)
+    if arr.size == 0:
+        raise InvalidInputError("cannot build a byte matrix from empty input")
+    if _is_little_endian(arr.dtype) or width == 1:
+        flat = arr.reshape(-1)
+        if flat.flags.c_contiguous:
+            return flat.view(np.uint8).reshape(flat.size, width)
+    return byte_matrix(arr)
+
+
+def byte_matrix(values: np.ndarray) -> np.ndarray:
+    """Copy ``values`` into an ``(N, w)`` uint8 little-endian matrix.
 
     The returned matrix owns contiguous memory (it is safe to mutate)
     and is platform independent: column 0 is always the
-    least-significant byte of each element.
+    least-significant byte of each element.  Prefer :func:`byte_view`
+    on hot paths that only read the matrix.
     """
     arr = np.asarray(values)
     width = element_width(arr.dtype)
     if arr.size == 0:
         raise InvalidInputError("cannot build a byte matrix from empty input")
     flat = np.ascontiguousarray(arr.reshape(-1))
-    little = flat.astype(flat.dtype.newbyteorder("<"), copy=False)
-    matrix = np.frombuffer(little.tobytes(), dtype=np.uint8)
-    return matrix.reshape(flat.size, width).copy()
+    little = np.ascontiguousarray(
+        flat.astype(flat.dtype.newbyteorder("<"), copy=False)
+    )
+    return little.view(np.uint8).reshape(flat.size, width).copy()
 
 
 def matrix_to_elements(matrix: np.ndarray, dtype: np.dtype) -> np.ndarray:
     """Inverse of :func:`byte_matrix`: rebuild the element array.
 
     ``matrix`` must be ``(N, w)`` uint8 with ``w`` matching the dtype's
-    item size; the result is returned in native byte order.
+    item size; the result is returned in native byte order.  Zero-copy
+    for contiguous input on little-endian hosts — the returned array
+    may share memory with ``matrix``.
     """
     dt = np.dtype(dtype)
     width = element_width(dt)
@@ -76,17 +124,11 @@ def matrix_to_elements(matrix: np.ndarray, dtype: np.dtype) -> np.ndarray:
             f"byte matrix shape {mat.shape} does not match dtype {dt!r} "
             f"(expected (N, {width}))"
         )
-    little = np.frombuffer(mat.tobytes(), dtype=dt.newbyteorder("<"))
+    little = mat.reshape(-1).view(dt.newbyteorder("<"))
     return little.astype(dt, copy=False)
 
 
-def column_frequencies(matrix: np.ndarray) -> np.ndarray:
-    """Per-column 256-bin byte-value histogram.
-
-    Returns an ``(w, 256)`` int64 array where row ``j`` is the frequency
-    distribution of byte-column ``j`` — exactly the "frequency counters"
-    of Section II-A.
-    """
+def _validate_matrix(matrix: np.ndarray) -> np.ndarray:
     mat = np.asarray(matrix)
     if mat.ndim != 2:
         raise InvalidInputError(
@@ -94,15 +136,65 @@ def column_frequencies(matrix: np.ndarray) -> np.ndarray:
         )
     if mat.size == 0:
         raise InvalidInputError("cannot compute frequencies of an empty matrix")
+    return mat
+
+
+def column_frequencies_reference(matrix: np.ndarray) -> np.ndarray:
+    """Reference per-column histogram: one ``np.bincount`` per column.
+
+    This is the original (pre-kernel) implementation, retained verbatim
+    as the correctness oracle and the baseline the perf smoke test
+    measures the dispatching :func:`column_frequencies` against.
+    """
+    mat = _validate_matrix(matrix)
     n, width = mat.shape
-    # One bincount per column: measurably faster than any fused scheme
-    # because it avoids widening the whole matrix to int64 (the
-    # analyzer's hot path — this loop is the paper's "frequency
-    # counters" and dominates TP_A).
     counts = np.empty((width, 256), dtype=np.int64)
     for column in range(width):
         counts[column] = np.bincount(mat[:, column], minlength=256)
     return counts
+
+
+def _column_frequencies_pairs(mat: np.ndarray) -> np.ndarray:
+    """Numpy fallback: histogram byte *pairs* as uint16, fold to bytes.
+
+    Viewing two adjacent columns as one little-endian ``uint16`` column
+    halves the number of strided passes over the matrix; each 65 536-bin
+    histogram folds into the two 256-bin byte histograms by summing the
+    ``(hi, lo)`` table along each axis.
+    """
+    n, width = mat.shape
+    pairs = mat.view(np.uint16)
+    counts = np.empty((width, 256), dtype=np.int64)
+    for j in range(width // 2):
+        table = np.bincount(pairs[:, j], minlength=65536).reshape(256, 256)
+        counts[2 * j] = table.sum(axis=0)      # low byte of the pair
+        counts[2 * j + 1] = table.sum(axis=1)  # high byte of the pair
+    return counts
+
+
+def column_frequencies(matrix: np.ndarray) -> np.ndarray:
+    """Per-column 256-bin byte-value histogram.
+
+    Returns an ``(w, 256)`` int64 array where row ``j`` is the frequency
+    distribution of byte-column ``j`` — exactly the "frequency counters"
+    of Section II-A.  Dispatches to the fastest available backend
+    (compiled kernel, ``uint16`` pair scheme, per-column loop); all
+    produce identical counts.
+    """
+    mat = _validate_matrix(matrix)
+    if mat.dtype == np.uint8:
+        counts = histcore.column_frequencies_native(mat)
+        if counts is not None:
+            return counts
+        n, width = mat.shape
+        if (
+            _NATIVE_LITTLE  # the uint16 view reads pairs as (lo, hi)
+            and width % 2 == 0
+            and n >= _PAIR_MIN_ROWS
+            and mat.flags.c_contiguous
+        ):
+            return _column_frequencies_pairs(mat)
+    return column_frequencies_reference(mat)
 
 
 def column_max_frequency(matrix: np.ndarray) -> np.ndarray:

@@ -1,0 +1,191 @@
+"""Native byte-column histogram kernel (compile-on-first-use).
+
+The analyzer's hot loop — one 256-bin histogram per byte-column of an
+``N x w`` uint8 matrix — is memory-bandwidth bound, and no pure-numpy
+formulation beats a single fused C pass over the matrix (``bincount``
+per column walks the matrix ``w`` times with strided reads; fused
+``bincount`` schemes pay for widening every byte to int64 first).
+
+This module compiles a ~20-line C kernel with the system C compiler the
+first time it is needed, caches the shared object keyed by a hash of
+the source, and binds it through :mod:`ctypes`.  Everything degrades
+gracefully: no compiler, a failed compilation, or the
+``ISOBAR_NATIVE_HIST=0`` kill switch simply leaves
+:func:`native_available` false and callers fall back to numpy
+(:func:`repro.analysis.bytefreq.column_frequencies` dispatches).
+
+The kernel is exact — it computes the same int64 counts as the numpy
+reference — so analyzer masks (and therefore container bytes) are
+bit-identical whichever backend serves a run.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+
+import numpy as np
+
+__all__ = [
+    "native_available",
+    "native_backend_description",
+    "column_frequencies_native",
+]
+
+#: Kill switch: set ``ISOBAR_NATIVE_HIST=0`` to force the numpy paths
+#: (useful for benchmarking the fallbacks and on locked-down hosts).
+_ENV_SWITCH = "ISOBAR_NATIVE_HIST"
+
+# Per-column counters are uint32 (one cache-line-friendly 16x256 block
+# lives on the stack); the Python wrapper enforces n < 2**32 so they
+# cannot wrap.  Wide elements (w > 16) take the direct-to-int64 path.
+_SOURCE = r"""
+#include <stdint.h>
+#include <string.h>
+
+void byte_column_hist(const uint8_t *data, int64_t n, int64_t w,
+                      int64_t *out)
+{
+    if (w <= 16) {
+        uint32_t local[16][256];
+        memset(local, 0, (size_t)w * 256 * sizeof(uint32_t));
+        const uint8_t *p = data;
+        for (int64_t i = 0; i < n; i++) {
+            for (int64_t c = 0; c < w; c++)
+                local[c][p[c]]++;
+            p += w;
+        }
+        for (int64_t c = 0; c < w; c++)
+            for (int v = 0; v < 256; v++)
+                out[c * 256 + v] += (int64_t)local[c][v];
+    } else {
+        for (int64_t i = 0; i < n; i++) {
+            const uint8_t *p = data + i * w;
+            for (int64_t c = 0; c < w; c++)
+                out[c * 256 + p[c]]++;
+        }
+    }
+}
+"""
+
+_lock = threading.Lock()
+#: None = not attempted yet; False = attempted and unavailable;
+#: otherwise the bound ctypes function.
+_kernel: object = None
+_description = "uninitialised"
+
+
+def _cache_path() -> str:
+    digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
+    cache_dir = os.environ.get("ISOBAR_NATIVE_CACHE") or os.path.join(
+        tempfile.gettempdir(), f"isobar-native-{os.getuid()}"
+    )
+    return os.path.join(cache_dir, f"histcore-{digest}.so")
+
+
+def _find_compiler() -> str | None:
+    for name in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if name and shutil.which(name):
+            return name
+    return None
+
+
+def _compile(so_path: str, compiler: str) -> None:
+    os.makedirs(os.path.dirname(so_path), exist_ok=True)
+    with tempfile.TemporaryDirectory(prefix="isobar-histcore-") as build:
+        c_path = os.path.join(build, "histcore.c")
+        tmp_so = os.path.join(build, "histcore.so")
+        with open(c_path, "w", encoding="utf-8") as handle:
+            handle.write(_SOURCE)
+        subprocess.run(
+            [compiler, "-O3", "-fPIC", "-shared", c_path, "-o", tmp_so],
+            check=True,
+            capture_output=True,
+            timeout=120,
+        )
+        # Atomic publish so concurrent first-users never load a
+        # half-written object.
+        os.replace(tmp_so, so_path)
+
+
+def _load() -> None:
+    """Bind the kernel, compiling it if the cached .so is missing."""
+    global _kernel, _description
+    if os.environ.get(_ENV_SWITCH, "1") in ("0", "false", "no"):
+        _kernel, _description = False, "disabled via ISOBAR_NATIVE_HIST=0"
+        return
+    so_path = _cache_path()
+    try:
+        if not os.path.exists(so_path):
+            compiler = _find_compiler()
+            if compiler is None:
+                _kernel, _description = False, "no C compiler found"
+                return
+            _compile(so_path, compiler)
+        lib = ctypes.CDLL(so_path)
+        fn = lib.byte_column_hist
+        fn.argtypes = [
+            ctypes.POINTER(ctypes.c_uint8),
+            ctypes.c_int64,
+            ctypes.c_int64,
+            ctypes.POINTER(ctypes.c_int64),
+        ]
+        fn.restype = None
+    except Exception as exc:  # noqa: BLE001 - any failure means fallback
+        _kernel = False
+        _description = f"unavailable ({type(exc).__name__}: {exc})"
+        return
+    _kernel = fn
+    _description = f"native ({so_path})"
+
+
+def _get_kernel():
+    if _kernel is None:
+        with _lock:
+            if _kernel is None:
+                _load()
+    return _kernel
+
+
+def native_available() -> bool:
+    """True when the compiled kernel is loaded (or loadable)."""
+    return bool(_get_kernel())
+
+
+def native_backend_description() -> str:
+    """Human-readable backend state, for diagnostics and benchmarks."""
+    _get_kernel()
+    return _description
+
+
+def column_frequencies_native(matrix: np.ndarray) -> np.ndarray | None:
+    """Per-column 256-bin histogram via the C kernel.
+
+    Returns ``None`` when the kernel is unavailable or the matrix is
+    ineligible (not C-contiguous uint8, or too large for the uint32
+    per-column counters) — callers fall back to the numpy paths.
+    """
+    fn = _get_kernel()
+    if not fn:
+        return None
+    if (
+        matrix.dtype != np.uint8
+        or matrix.ndim != 2
+        or not matrix.flags.c_contiguous
+        or matrix.shape[0] >= 1 << 32
+    ):
+        return None
+    n, width = matrix.shape
+    out = np.zeros((width, 256), dtype=np.int64)
+    fn(
+        matrix.ctypes.data_as(ctypes.POINTER(ctypes.c_uint8)),
+        n,
+        width,
+        out.ctypes.data_as(ctypes.POINTER(ctypes.c_int64)),
+    )
+    return out

@@ -1,0 +1,148 @@
+"""The stable public facade of the package.
+
+Three entry points cover the everyday workflow:
+
+* :func:`compress` — array in, self-contained ISOBAR container out;
+* :func:`decompress` — container in, bit-exact array out, with the
+  unified ``errors=`` damage policy;
+* :func:`open_stream` — file-to-file streaming in either direction
+  (constant memory, crash-safe writes).
+
+All options funnel through :class:`~repro.core.preferences.IsobarConfig`
+— the single keyword-only options object — with the two most common
+knobs (``preference``, ``codec``/``linearization`` overrides) available
+directly.  Everything here is re-exported at the package root, so
+``repro.compress(...)`` is the canonical spelling.
+
+The legacy one-liners ``isobar_compress`` / ``isobar_decompress``
+remain importable as deprecated aliases of these functions.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.pipeline import IsobarCompressor
+from repro.core.preferences import (
+    ERROR_POLICIES,
+    IsobarConfig,
+    Linearization,
+    Preference,
+    normalize_errors,
+)
+from repro.core.stream import StreamingWriter, stream_decompress
+from repro.core.exceptions import ConfigurationError
+
+__all__ = ["compress", "decompress", "open_stream", "ERROR_POLICIES"]
+
+
+def _resolve_config(
+    config: IsobarConfig | None,
+    preference: Preference | str | None,
+    codec: str | None,
+    linearization: Linearization | str | None,
+) -> IsobarConfig:
+    """Fold the convenience keywords into one :class:`IsobarConfig`."""
+    base = config or IsobarConfig()
+    overrides: dict[str, object] = {}
+    if preference is not None:
+        overrides["preference"] = Preference.parse(preference)
+    if codec is not None:
+        overrides["codec"] = codec
+    if linearization is not None:
+        overrides["linearization"] = Linearization.parse(linearization)
+    return base.replace(**overrides) if overrides else base
+
+
+def compress(
+    values: np.ndarray,
+    *,
+    preference: Preference | str | None = None,
+    codec: str | None = None,
+    linearization: Linearization | str | None = None,
+    config: IsobarConfig | None = None,
+) -> bytes:
+    """Compress ``values`` into a self-contained ISOBAR container.
+
+    Parameters
+    ----------
+    values:
+        Fixed-width numeric array of any shape.
+    preference:
+        ``"ratio"`` or ``"speed"`` — the EUPA-selector's optimisation
+        target (defaults to the config's, i.e. ``"ratio"``).
+    codec / linearization:
+        Optional explicit overrides; unset, the selector decides.
+    config:
+        Full :class:`~repro.core.preferences.IsobarConfig`; the other
+        keywords are applied on top of it.
+
+    Returns
+    -------
+    bytes
+        A container that :func:`decompress` restores bit-exactly.
+    """
+    cfg = _resolve_config(config, preference, codec, linearization)
+    return IsobarCompressor(cfg).compress(values)
+
+
+def decompress(data: bytes, *, errors: str = "raise") -> np.ndarray:
+    """Restore the exact original array from an ISOBAR container.
+
+    Parameters
+    ----------
+    data:
+        A container produced by :func:`compress` (or any of the
+        pipeline/streaming writers — the format is shared).
+    errors:
+        Damage policy, uniform across every decoder in the package:
+        ``"raise"`` (default) aborts on the first damaged chunk with a
+        located exception; ``"salvage-skip"`` drops damaged chunks;
+        ``"salvage-zero"`` substitutes zero elements for them.
+    """
+    return IsobarCompressor().decompress(data, errors=errors)
+
+
+def open_stream(
+    path: str | os.PathLike,
+    mode: str = "r",
+    *,
+    dtype: np.dtype | None = None,
+    config: IsobarConfig | None = None,
+    atomic: bool = True,
+    errors: str = "raise",
+    tolerate_unclosed: bool = False,
+    metrics=None,
+) -> StreamingWriter | Iterator[np.ndarray]:
+    """Open a container file for streaming compression or decompression.
+
+    ``mode="w"`` returns a :class:`~repro.core.stream.StreamingWriter`
+    (usable as a context manager) that appends chunks via
+    ``write_chunk`` and atomically publishes the file on ``close()``;
+    ``dtype`` is required.  ``mode="r"`` returns an iterator of decoded
+    chunks honouring the unified ``errors=`` policy;
+    ``tolerate_unclosed=True`` additionally recovers streams whose
+    writer crashed before finalising the header.
+    """
+    if mode == "w":
+        if dtype is None:
+            raise ConfigurationError(
+                "open_stream(..., mode='w') requires dtype"
+            )
+        return StreamingWriter.open(
+            path, dtype, config, atomic=atomic, metrics=metrics
+        )
+    if mode == "r":
+        normalize_errors(errors)  # fail fast, not at first iteration
+        return stream_decompress(
+            path,
+            errors=errors,
+            tolerate_unclosed=tolerate_unclosed,
+            metrics=metrics,
+        )
+    raise ConfigurationError(
+        f"unknown stream mode {mode!r}; expected 'r' or 'w'"
+    )

@@ -266,9 +266,12 @@ def _cmd_compress(args: argparse.Namespace) -> int:
         handle.write(result.payload)
     mb = result.original_bytes / MEGABYTE
     print(f"codec           : {result.decision.summary()}")
-    print(f"ratio           : {result.ratio:.3f}")
+    print(f"ratio           : {result.ratio:.3f} "
+          f"(payload-only {result.payload_ratio:.3f})")
     print(f"throughput      : {mb / sw.seconds:.1f} MB/s "
           f"({result.original_bytes} -> {result.compressed_bytes} bytes)")
+    print(f"container bytes : {result.stored_payload_bytes} payload "
+          f"+ {result.container_overhead_bytes} metadata overhead")
     improvable_chunks = sum(1 for c in result.chunks if c.improvable)
     print(f"chunks          : {len(result.chunks)} "
           f"({improvable_chunks} improvable)")
@@ -466,6 +469,10 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print("== compress ==")
     for line in compress_report.summary_lines():
         print(line)
+    print(f"container: {result.stored_payload_bytes} payload bytes + "
+          f"{result.container_overhead_bytes} metadata overhead "
+          f"(ratio {result.ratio:.3f}, payload-only "
+          f"{result.payload_ratio:.3f})")
 
     if not args.no_roundtrip:
         restored = compressor.decompress(result.payload)

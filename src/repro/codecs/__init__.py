@@ -39,7 +39,13 @@ from repro.codecs.pfor import (
     pack_bits,
     unpack_bits,
 )
-from repro.codecs.standard import Bzip2Codec, LzmaCodec, ZlibCodec
+from repro.codecs.standard import (
+    Bzip2Codec,
+    IsalZlibCodec,
+    LzmaCodec,
+    ZlibCodec,
+    isal_available,
+)
 
 __all__ = [
     "BitReader",
@@ -69,8 +75,10 @@ __all__ = [
     "pack_bits",
     "unpack_bits",
     "Bzip2Codec",
+    "IsalZlibCodec",
     "LzmaCodec",
     "ZlibCodec",
+    "isal_available",
 ]
 
 # Default solver registry.  zlib and bzip2 at their library-default
@@ -82,6 +90,10 @@ register_codec(ZlibCodec(level=9))
 register_codec(Bzip2Codec())
 register_codec(Bzip2Codec(level=1))
 register_codec(LzmaCodec())
+# Optional ISA-L-accelerated DEFLATE; registered unconditionally (it
+# degrades to stdlib zlib when python-isal is absent) so container
+# files naming it always decode.
+register_codec(IsalZlibCodec())
 # From-scratch demonstration solvers (pure Python; best kept to modest
 # payload sizes — ratios are honest, throughput is interpreter-bound).
 register_codec(HuffmanCodec())

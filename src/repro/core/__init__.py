@@ -72,10 +72,14 @@ from repro.core.pipeline import (
 from repro.core.preferences import (
     DEFAULT_CHUNK_ELEMENTS,
     DEFAULT_TAU,
+    ERROR_POLICIES,
     IsobarConfig,
     Linearization,
     Preference,
+    normalize_errors,
+    salvage_policy_for,
 )
+from repro.core.workspace import ChunkWorkspace
 from repro.core.selector import (
     CandidateEvaluation,
     CandidateFailure,
@@ -149,9 +153,13 @@ __all__ = [
     "isobar_decompress",
     "DEFAULT_CHUNK_ELEMENTS",
     "DEFAULT_TAU",
+    "ERROR_POLICIES",
     "IsobarConfig",
     "Linearization",
     "Preference",
+    "normalize_errors",
+    "salvage_policy_for",
+    "ChunkWorkspace",
     "BreakerBoard",
     "BreakerState",
     "CodecCircuitBreaker",

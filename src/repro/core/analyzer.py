@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.analysis.bytefreq import byte_matrix, column_frequencies
+from repro.analysis.bytefreq import byte_view, column_frequencies
 from repro.core.exceptions import InvalidInputError
 from repro.core.preferences import DEFAULT_TAU, MIN_ANALYZER_ELEMENTS
 
@@ -145,4 +145,4 @@ def analyze(values: np.ndarray, tau: float = DEFAULT_TAU) -> AnalysisResult:
     compressibility mask plus the diagnostics the rest of the workflow
     and the benchmark tables need.
     """
-    return analyze_matrix(byte_matrix(values), tau=tau)
+    return analyze_matrix(byte_view(values), tau=tau)

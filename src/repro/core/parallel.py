@@ -25,7 +25,11 @@ import numpy as np
 
 from repro.codecs.base import get_codec
 from repro.core.chunking import plan_chunks
-from repro.core.exceptions import ConfigurationError, TruncatedContainerError
+from repro.core.exceptions import (
+    ConfigurationError,
+    ContainerFormatError,
+    TruncatedContainerError,
+)
 from repro.core.metadata import ChunkMetadata, ContainerHeader
 from repro.core.pipeline import (
     CompressionResult,
@@ -33,7 +37,11 @@ from repro.core.pipeline import (
     _degradation_from_reports,
     decode_chunk_payload,
 )
-from repro.core.preferences import IsobarConfig
+from repro.core.preferences import (
+    IsobarConfig,
+    normalize_errors,
+    salvage_policy_for,
+)
 
 __all__ = ["ParallelIsobarCompressor"]
 
@@ -87,8 +95,10 @@ class ParallelIsobarCompressor(IsobarCompressor):
         flat = arr.reshape(-1)
 
         select_start = time.perf_counter()
-        decision, codec = self._decide(flat)
-        select_seconds = time.perf_counter() - select_start
+        decision, codec, lead_analysis, lead_seconds = self._decide(
+            flat, tracer
+        )
+        select_seconds = time.perf_counter() - select_start - lead_seconds
         tracer.add("select", select_seconds)
 
         spans = plan_chunks(flat.size, self._config.chunk_elements)
@@ -96,12 +106,15 @@ class ParallelIsobarCompressor(IsobarCompressor):
 
         if self._n_workers == 1 or len(chunks) <= 1:
             outcomes = [
-                self._compress_chunk(i, chunk, decision, codec, tracer)
+                self._compress_chunk(
+                    i, chunk, decision, codec, tracer,
+                    analysis=lead_analysis if i == 0 else None,
+                )
                 for i, chunk in enumerate(chunks)
             ]
         else:
             outcomes = self._compress_chunks_parallel(
-                chunks, decision, codec, tracer
+                chunks, decision, codec, tracer, lead_analysis
             )
 
         merge_start = time.perf_counter()
@@ -128,7 +141,8 @@ class ParallelIsobarCompressor(IsobarCompressor):
             header=header,
             decision=decision,
             chunks=reports,
-            analyze_seconds=sum(r.analyze_seconds for r in reports),
+            analyze_seconds=lead_seconds
+            + sum(r.analyze_seconds for r in reports),
             compress_seconds=sum(r.compress_seconds for r in reports),
             select_seconds=select_seconds,
             degradation=_degradation_from_reports(reports),
@@ -139,7 +153,9 @@ class ParallelIsobarCompressor(IsobarCompressor):
             )
         return result
 
-    def _compress_chunks_parallel(self, chunks, decision, codec, tracer):
+    def _compress_chunks_parallel(
+        self, chunks, decision, codec, tracer, lead_analysis=None
+    ):
         """Fan chunk compression out over futures, in chunk order.
 
         One future per chunk (not ``pool.map``): a failing chunk must
@@ -157,7 +173,8 @@ class ParallelIsobarCompressor(IsobarCompressor):
         with ThreadPoolExecutor(max_workers=self._n_workers) as pool:
             futures = [
                 pool.submit(
-                    self._compress_chunk, i, chunk, decision, codec, tracer
+                    self._compress_chunk, i, chunk, decision, codec, tracer,
+                    analysis=lead_analysis if i == 0 else None,
                 )
                 for i, chunk in enumerate(chunks)
             ]
@@ -171,7 +188,8 @@ class ParallelIsobarCompressor(IsobarCompressor):
                     try:
                         outcomes.append(
                             self._compress_chunk(
-                                i, chunks[i], decision, codec, tracer
+                                i, chunks[i], decision, codec, tracer,
+                                analysis=lead_analysis if i == 0 else None,
                             )
                         )
                     except Exception:
@@ -183,17 +201,21 @@ class ParallelIsobarCompressor(IsobarCompressor):
         """Parallel decompression of the standard container format.
 
         Chunk records are walked sequentially (offsets depend on stored
-        sizes), then payload decoding fans out across the pool.  With
-        ``errors="skip"`` or ``"zero_fill"`` the lenient salvage decoder
-        takes over (serially — recovery is not a hot path).
+        sizes), then payload decoding fans out across the pool, each
+        worker landing its chunk in a disjoint slice of one
+        preallocated result.  With ``errors="salvage-skip"`` or
+        ``"salvage-zero"`` the lenient salvage decoder takes over
+        (serially — recovery is not a hot path).
         """
         import time
 
+        errors = normalize_errors(errors)
         if errors != "raise":
             from repro.core.salvage import salvage_decompress
 
             return salvage_decompress(
-                data, policy=errors, metrics=self._metrics
+                data, policy=salvage_policy_for(errors),
+                metrics=self._metrics,
             ).values
 
         wall_start = time.perf_counter()
@@ -202,6 +224,8 @@ class ParallelIsobarCompressor(IsobarCompressor):
         codec = get_codec(header.codec_name)
         width = header.element_width
 
+        flat = np.empty(header.n_elements, dtype=header.dtype)
+        cursor = 0
         chunk_slices = []
         for index in range(header.n_chunks):
             record_offset = offset
@@ -213,16 +237,23 @@ class ParallelIsobarCompressor(IsobarCompressor):
                     f"chunk {index} at byte offset {record_offset}: "
                     "container truncated inside chunk payload"
                 )
+            end_cursor = cursor + meta.n_elements
+            target = (
+                flat[cursor:end_cursor] if end_cursor <= flat.size else None
+            )
             chunk_slices.append((index, record_offset, meta,
                                  data[offset:end_comp],
-                                 data[end_comp:end_incomp]))
+                                 data[end_comp:end_incomp],
+                                 target))
             offset = end_incomp
+            cursor = end_cursor
 
         decoder = _ChunkDecoder(
             header, codec, tracer if self._metrics.enabled else None
         )
         if self._n_workers == 1 or len(chunk_slices) <= 1:
-            pieces = [decoder(item) for item in chunk_slices]
+            for item in chunk_slices:
+                decoder(item)
         else:
             # Futures instead of pool.map: a damaged chunk surfaces its
             # original exception immediately and cancels queued decode
@@ -231,22 +262,20 @@ class ParallelIsobarCompressor(IsobarCompressor):
                 futures = [
                     pool.submit(decoder, item) for item in chunk_slices
                 ]
-                pieces = []
                 for future in futures:
                     try:
-                        pieces.append(future.result())
+                        future.result()
                     except Exception:
                         pool.shutdown(wait=False, cancel_futures=True)
                         raise
         self._instruments.chunks_decoded.inc(header.n_chunks)
 
         merge_start = time.perf_counter()
-        if pieces:
-            # concatenate() normalises byte order to native; restore the
-            # header's exact dtype (matches the serial pipeline).
-            flat = np.concatenate(pieces).astype(header.dtype, copy=False)
-        else:
-            flat = np.empty(0, dtype=header.dtype)
+        if cursor != header.n_elements:
+            raise ContainerFormatError(
+                f"container reassembled {cursor} elements, header "
+                f"declares {header.n_elements}"
+            )
         tracer.add(
             "merge", time.perf_counter() - merge_start, bytes_out=flat.nbytes
         )
@@ -264,7 +293,13 @@ class ParallelIsobarCompressor(IsobarCompressor):
 
 
 class _ChunkDecoder:
-    """Callable decoding one indexed chunk quintuple from the walk."""
+    """Callable decoding one indexed chunk record from the walk.
+
+    Each record carries its own disjoint output slice of the shared
+    preallocated result, so workers never contend for memory (``None``
+    for chunks overflowing the declared total — those decode to scratch
+    and the caller reports the element-count mismatch).
+    """
 
     def __init__(self, header: ContainerHeader, codec, tracer=None):
         self._header = header
@@ -274,7 +309,7 @@ class _ChunkDecoder:
     def __call__(self, item):
         import time
 
-        index, record_offset, meta, compressed, incompressible = item
+        index, record_offset, meta, compressed, incompressible, target = item
         start = 0.0 if self._tracer is None else time.perf_counter()
         chunk = decode_chunk_payload(
             self._header,
@@ -284,6 +319,7 @@ class _ChunkDecoder:
             incompressible,
             chunk_index=index,
             byte_offset=record_offset,
+            out=target,
         )
         if self._tracer is not None:
             self._tracer.add(

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.analysis.bytefreq import byte_matrix, matrix_to_elements
+from repro.analysis.bytefreq import byte_view, matrix_to_elements
 from repro.core.exceptions import InvalidInputError
 from repro.core.preferences import Linearization
 
@@ -112,8 +112,8 @@ def partition(
     mask: np.ndarray,
     linearization: Linearization = Linearization.ROW,
 ) -> Partition:
-    """Partition an element array (builds the byte matrix internally)."""
-    return partition_matrix(byte_matrix(values), mask, linearization)
+    """Partition an element array (views its bytes without copying)."""
+    return partition_matrix(byte_view(values), mask, linearization)
 
 
 def reassemble_matrix(
@@ -122,12 +122,17 @@ def reassemble_matrix(
     mask: np.ndarray,
     linearization: Linearization,
     n_elements: int,
+    *,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Rebuild the ``(N, w)`` byte matrix from a partition's streams.
 
     Exact inverse of :func:`partition_matrix` for matching metadata;
     validates stream lengths so corruption is caught before elements
-    are fabricated.
+    are fabricated.  ``out``, when given, must be a C-contiguous
+    ``(n_elements, w)`` uint8 array; the matrix is written into it
+    (letting decoders land chunks directly in a preallocated result)
+    and it is returned.
     """
     mask_arr = np.asarray(mask, dtype=bool)
     width = mask_arr.size
@@ -148,7 +153,19 @@ def reassemble_matrix(
             f"expected {expected_incomp}"
         )
 
-    matrix = np.empty((n_elements, width), dtype=np.uint8)
+    if out is not None:
+        if (
+            out.shape != (n_elements, width)
+            or out.dtype != np.uint8
+            or not out.flags.c_contiguous
+        ):
+            raise InvalidInputError(
+                f"out buffer must be C-contiguous uint8 with shape "
+                f"({n_elements}, {width}), got {out.dtype!r} {out.shape}"
+            )
+        matrix = out
+    else:
+        matrix = np.empty((n_elements, width), dtype=np.uint8)
     if n_comp_cols:
         comp_flat = np.frombuffer(compressible, dtype=np.uint8)
         if lin is Linearization.ROW:

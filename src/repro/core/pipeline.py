@@ -32,28 +32,37 @@ hot path.
 
 from __future__ import annotations
 
+import threading
 import time
+import warnings
 import zlib as _zlib
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.analysis.bytefreq import element_width, matrix_to_elements
+from repro.analysis.bytefreq import byte_view, element_width, matrix_to_elements
 from repro.codecs.base import Codec, get_codec
-from repro.core.analyzer import AnalysisResult, analyze
+from repro.core.analyzer import AnalysisResult, analyze, analyze_matrix
 from repro.core.chunking import iter_chunks
 from repro.core.exceptions import (
     ChecksumError,
     ChunkTimeoutError,
     CodecError,
     ContainerFormatError,
+    InvalidInputError,
     IsobarError,
     SelectorError,
     TruncatedContainerError,
 )
 from repro.core.metadata import ChunkMetadata, ChunkMode, ContainerHeader
 from repro.core.partitioner import partition, reassemble_matrix
-from repro.core.preferences import IsobarConfig, Linearization, Preference
+from repro.core.preferences import (
+    IsobarConfig,
+    Linearization,
+    Preference,
+    normalize_errors,
+    salvage_policy_for,
+)
 from repro.core.resilience import (
     BreakerBoard,
     DegradationEvent,
@@ -62,6 +71,7 @@ from repro.core.resilience import (
     call_with_deadline,
 )
 from repro.core.selector import EupaSelector, SelectorDecision
+from repro.core.workspace import ChunkWorkspace
 from repro.observability.instruments import PipelineInstruments
 from repro.observability.registry import NULL_REGISTRY, MetricsRegistry
 from repro.observability.report import PipelineReport
@@ -79,6 +89,22 @@ __all__ = [
 ]
 
 
+def _writable_byte_view(out: np.ndarray) -> np.ndarray | None:
+    """``out`` as an ``(N, w)`` uint8 matrix, or ``None`` if ineligible.
+
+    Eligible outputs are C-contiguous little-endian element arrays —
+    the common case — letting decoders reassemble chunks directly into
+    a preallocated result instead of staging through a fresh matrix.
+    """
+    if (
+        out.flags.c_contiguous
+        and out.flags.writeable
+        and out.dtype == out.dtype.newbyteorder("<")
+    ):
+        return out.view(np.uint8).reshape(out.size, out.dtype.itemsize)
+    return None
+
+
 def decode_chunk_payload(
     header: ContainerHeader,
     codec: Codec,
@@ -88,6 +114,7 @@ def decode_chunk_payload(
     *,
     chunk_index: int | None = None,
     byte_offset: int | None = None,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Decode one chunk's payload streams back into an element array.
 
@@ -98,6 +125,11 @@ def decode_chunk_payload(
     whose message carries the chunk index and absolute byte offset when
     the caller provides them, so corruption reports always point at the
     damaged region instead of a bare ``zlib`` error code.
+
+    ``out``, when given, must be a 1-D array of ``header.dtype`` with
+    ``meta.n_elements`` elements; the chunk is decoded into it and
+    ``out`` is returned, so callers can assemble a whole container in a
+    single preallocated buffer without a concatenation pass.
     """
     where = ""
     if chunk_index is not None:
@@ -105,21 +137,33 @@ def decode_chunk_payload(
         if byte_offset is not None:
             where += f" at byte offset {byte_offset}"
         where += ": "
+    if out is not None and out.size != meta.n_elements:
+        raise InvalidInputError(
+            f"{where}out buffer holds {out.size} elements, chunk "
+            f"declares {meta.n_elements}"
+        )
     try:
         if meta.mode is ChunkMode.PARTITIONED:
             # Degraded-to-raw chunks carry an all-False mask and an
             # empty solver stream; skip the solver for them (stdlib
             # zlib rejects empty streams, and there is nothing to do).
             comp_stream = codec.decompress(compressed) if compressed else b""
+            matrix_out = _writable_byte_view(out) if out is not None else None
             matrix = reassemble_matrix(
                 comp_stream,
                 incompressible,
                 meta.mask,
                 header.linearization,
                 meta.n_elements,
+                out=matrix_out,
             )
-            chunk = matrix_to_elements(matrix, header.dtype)
-            raw = matrix.tobytes()
+            if matrix_out is not None:
+                chunk = out
+            else:
+                chunk = matrix_to_elements(matrix, header.dtype)
+            # The matrix is C-contiguous little-endian — exactly the
+            # chunk's raw byte stream — so the CRC reads it in place.
+            raw = matrix
         elif meta.mode is ChunkMode.FALLBACK_ZLIB:
             # Resilience fallback: a standard stdlib-zlib stream of the
             # raw little-endian chunk bytes, independent of the
@@ -163,6 +207,11 @@ def decode_chunk_payload(
             f"{where}chunk CRC mismatch (stored {meta.raw_crc32:#010x}, "
             f"computed {_zlib.crc32(raw):#010x})"
         )
+    if out is not None and chunk is not out:
+        # Ineligible out buffers (byte-swapped dtype, strided) still
+        # honour the contract: copy the decoded chunk into place.
+        out[...] = chunk
+        return out
     return chunk
 
 
@@ -170,6 +219,16 @@ def _little_endian_bytes(chunk: np.ndarray) -> bytes:
     """Raw chunk bytes in platform-independent little-endian order."""
     le = chunk.astype(chunk.dtype.newbyteorder("<"), copy=False)
     return np.ascontiguousarray(le).tobytes()
+
+
+def _buffer_nbytes(raw: bytes | np.ndarray) -> int:
+    """Byte length of a raw-chunk buffer (bytes or uint8 matrix view)."""
+    return raw.nbytes if isinstance(raw, np.ndarray) else len(raw)
+
+
+def _buffer_bytes(raw: bytes | np.ndarray) -> bytes:
+    """Materialise a raw-chunk buffer as ``bytes`` (solver input)."""
+    return raw.tobytes() if isinstance(raw, np.ndarray) else raw
 
 
 @dataclass(frozen=True)
@@ -184,7 +243,10 @@ class EncodedChunk:
     mode: ChunkMode
     mask: np.ndarray
     compressed: bytes
-    incompressible: bytes
+    #: May be a ``memoryview`` into a :class:`ChunkWorkspace` buffer —
+    #: only valid until the workspace's next chunk; callers materialise
+    #: it into the container record before reuse.
+    incompressible: bytes | memoryview
     #: Uncompressed bytes that went through a solver (0 for raw chunks).
     solver_bytes: int
     partition_seconds: float
@@ -204,7 +266,7 @@ class EncodedChunk:
 
 def _fallback_streams(
     chunk: np.ndarray,
-    raw: bytes,
+    raw: bytes | np.ndarray,
     linearization: Linearization,
     deadline: float | None,
 ) -> tuple[ChunkMode, np.ndarray, bytes, bytes, int, str]:
@@ -223,7 +285,7 @@ def _fallback_streams(
         )
         return (
             ChunkMode.FALLBACK_ZLIB, all_false, compressed, b"",
-            len(raw), "zlib-fallback",
+            _buffer_nbytes(raw), "zlib-fallback",
         )
     except Exception:  # noqa: BLE001 - last-resort path must not raise
         part = partition(chunk, all_false, linearization)
@@ -235,7 +297,7 @@ def _fallback_streams(
 
 def encode_chunk_payload(
     chunk: np.ndarray,
-    raw: bytes,
+    raw: bytes | np.ndarray,
     analysis: AnalysisResult,
     linearization: Linearization,
     codec: Codec,
@@ -244,12 +306,21 @@ def encode_chunk_payload(
     breakers: BreakerBoard | None = None,
     chunk_index: int = 0,
     tracer=NULL_TRACER,
+    workspace: ChunkWorkspace | None = None,
 ) -> EncodedChunk:
     """Encode one analyzed chunk into its container payload streams.
 
     On the healthy path this reproduces Algorithm 1's two branches
     byte-for-byte: improvable chunks are partitioned and their signal
     columns solved, undetermined chunks pass to the solver whole.
+
+    ``raw`` is the chunk's little-endian byte stream — either ``bytes``
+    or, on the zero-copy hot path, the chunk's own ``(N, w)`` uint8
+    view (:func:`repro.analysis.bytefreq.byte_view`).  A
+    :class:`~repro.core.workspace.ChunkWorkspace` routes the partition
+    gathers through reusable buffers; the returned chunk's
+    ``incompressible`` stream then aliases the workspace and must be
+    consumed before its next use.
 
     With a :class:`~repro.core.resilience.ResiliencePolicy` the solver
     call is fault-contained: it is retried (with backoff) under an
@@ -259,18 +330,24 @@ def encode_chunk_payload(
     A strict policy raises :class:`~repro.core.exceptions.CodecError`
     once the primary codec is exhausted.
     """
+    raw_nbytes = _buffer_nbytes(raw)
     partition_seconds = 0.0
     stage_start = time.perf_counter()
     if analysis.improvable:
-        part = partition(chunk, analysis.mask, linearization)
+        if workspace is not None and isinstance(raw, np.ndarray):
+            payload, incompressible = workspace.partition_streams(
+                raw, analysis.mask, linearization
+            )
+        else:
+            part = partition(chunk, analysis.mask, linearization)
+            payload = part.compressible
+            incompressible = part.incompressible
         partition_seconds = time.perf_counter() - stage_start
-        tracer.add("partition", partition_seconds, bytes_in=len(raw))
-        payload = part.compressible
-        incompressible = part.incompressible
+        tracer.add("partition", partition_seconds, bytes_in=raw_nbytes)
         mode = ChunkMode.PARTITIONED
     else:
-        part = None
-        payload = raw
+        # The solver may be pure Python, so it receives real bytes.
+        payload = _buffer_bytes(raw)
         incompressible = b""
         mode = ChunkMode.PASSTHROUGH
 
@@ -373,7 +450,7 @@ def encode_chunk_payload(
         )
         tracer.add(
             "solve", time.perf_counter() - solve_start,
-            bytes_in=len(raw), bytes_out=len(fb_comp),
+            bytes_in=raw_nbytes, bytes_out=len(fb_comp),
         )
     return EncodedChunk(
         mode=fb_mode,
@@ -410,6 +487,9 @@ class ChunkReport:
     solver_bytes: int = 0
     #: Noise-column bytes stored verbatim (0 for passthrough chunks).
     noise_bytes: int = 0
+    #: Size of this chunk's metadata record (container framing, not
+    #: payload) — ``stored_bytes`` minus solver output and noise.
+    metadata_bytes: int = 0
     #: Final encoding: the codec name, ``"zlib-fallback"`` or ``"raw"``.
     encoding: str = ""
     #: True when the chunk fell back to a degraded encoding.
@@ -454,6 +534,29 @@ class CompressionResult:
         if self.compressed_bytes == 0:
             return float("inf")
         return self.original_bytes / self.compressed_bytes
+
+    @property
+    def container_overhead_bytes(self) -> int:
+        """Container framing: the global header plus every per-chunk
+        metadata record — bytes that exist only for the format, not for
+        the data."""
+        return len(self.header.encode()) + sum(
+            chunk.metadata_bytes for chunk in self.chunks
+        )
+
+    @property
+    def stored_payload_bytes(self) -> int:
+        """Solver output plus verbatim noise bytes actually stored —
+        ``compressed_bytes`` with the container framing subtracted."""
+        return self.compressed_bytes - self.container_overhead_bytes
+
+    @property
+    def payload_ratio(self) -> float:
+        """Compression ratio against the stored payload alone — the
+        overhead-free accounting the paper's Table 5 uses."""
+        if self.stored_payload_bytes <= 0:
+            return float("inf")
+        return self.original_bytes / self.stored_payload_bytes
 
     @property
     def improvable(self) -> bool:
@@ -552,6 +655,17 @@ class IsobarCompressor:
             self._config.resilience,
             on_state_change=self._record_breaker_state,
         )
+        # Reusable partition scratch, one per worker thread (the
+        # parallel subclass compresses chunks concurrently).
+        self._workspaces = threading.local()
+
+    def _workspace(self) -> ChunkWorkspace:
+        """This thread's reusable chunk-encoding workspace."""
+        workspace = getattr(self._workspaces, "workspace", None)
+        if workspace is None:
+            workspace = ChunkWorkspace()
+            self._workspaces.workspace = workspace
+        return workspace
 
     def _record_breaker_state(self, codec_name: str, state) -> None:
         self._instruments.breaker_state.set(
@@ -605,17 +719,22 @@ class IsobarCompressor:
         flat = arr.reshape(-1)
 
         select_start = time.perf_counter()
-        decision, codec = self._decide(flat)
-        select_seconds = time.perf_counter() - select_start
+        decision, codec, lead_analysis, lead_seconds = self._decide(
+            flat, tracer
+        )
+        select_seconds = time.perf_counter() - select_start - lead_seconds
         tracer.add("select", select_seconds)
 
         chunk_blobs: list[bytes] = []
         reports: list[ChunkReport] = []
-        total_analyze = 0.0
+        total_analyze = lead_seconds
         total_compress = 0.0
         for span, chunk in iter_chunks(flat, self._config.chunk_elements):
+            # The selector's lead sample is exactly chunk 0, so its
+            # analysis is reused instead of re-running the analyzer.
             blob, report = self._compress_chunk(
-                span.index, chunk, decision, codec, tracer
+                span.index, chunk, decision, codec, tracer,
+                analysis=lead_analysis if span.index == 0 else None,
             )
             chunk_blobs.append(blob)
             reports.append(report)
@@ -682,8 +801,17 @@ class IsobarCompressor:
             wall_seconds=wall_seconds,
         )
 
-    def _decide(self, flat: np.ndarray) -> tuple[SelectorDecision, Codec]:
-        """Run the selector on the leading chunk's analysis."""
+    def _decide(
+        self, flat: np.ndarray, tracer=NULL_TRACER
+    ) -> tuple[SelectorDecision, Codec, AnalysisResult | None, float]:
+        """Run the selector on the leading chunk's analysis.
+
+        Returns the decision, the codec, the lead chunk's analysis
+        (reusable verbatim for chunk 0, which *is* the lead sample) and
+        the seconds that analysis took — attributed to the ``analyze``
+        stage here so the select stage only accounts for the sampling
+        race itself.
+        """
         if flat.size == 0:
             # Empty stream: nothing to sample; fall back to configured
             # or first-candidate codec with row linearization.
@@ -697,9 +825,12 @@ class IsobarCompressor:
                 candidates=(),
                 sample_elements=0,
             )
-            return decision, get_codec(codec_name)
+            return decision, get_codec(codec_name), None, 0.0
         lead = flat[: min(flat.size, self._config.chunk_elements)]
+        analyze_start = time.perf_counter()
         analysis = analyze(lead, tau=self._config.tau)
+        lead_seconds = time.perf_counter() - analyze_start
+        tracer.add("analyze", lead_seconds, bytes_in=lead.nbytes)
         try:
             decision = self._selector.select(flat, analysis=analysis)
         except SelectorError:
@@ -719,7 +850,7 @@ class IsobarCompressor:
                 candidates=(),
                 sample_elements=0,
             )
-        return decision, get_codec(decision.codec_name)
+        return decision, get_codec(decision.codec_name), analysis, lead_seconds
 
     def _compress_chunk(
         self,
@@ -728,21 +859,31 @@ class IsobarCompressor:
         decision: SelectorDecision,
         codec: Codec,
         tracer=NULL_TRACER,
+        analysis: AnalysisResult | None = None,
     ) -> tuple[bytes, ChunkReport]:
-        raw = _little_endian_bytes(chunk)
-        crc = _zlib.crc32(raw)
+        # Zero-copy on the hot path: for little-endian contiguous input
+        # this views the chunk's own bytes (no per-chunk matrix copy);
+        # the CRC reads the view in place.
+        view = byte_view(chunk)
+        crc = _zlib.crc32(view)
 
-        analyze_start = time.perf_counter()
-        analysis = analyze(chunk, tau=self._config.tau)
-        analyze_seconds = time.perf_counter() - analyze_start
-        tracer.add("analyze", analyze_seconds, bytes_in=len(raw))
+        if analysis is None:
+            analyze_start = time.perf_counter()
+            analysis = analyze_matrix(view, tau=self._config.tau)
+            analyze_seconds = time.perf_counter() - analyze_start
+            tracer.add("analyze", analyze_seconds, bytes_in=view.nbytes)
+        else:
+            # Hoisted: the caller already analyzed this chunk (the
+            # selector's lead sample) and attributed the time.
+            analyze_seconds = 0.0
 
         encoded = encode_chunk_payload(
-            chunk, raw, analysis, decision.linearization, codec,
+            chunk, view, analysis, decision.linearization, codec,
             policy=self._config.resilience,
             breakers=self._breakers,
             chunk_index=index,
             tracer=tracer,
+            workspace=self._workspace(),
         )
         compress_seconds = encoded.partition_seconds + encoded.solve_seconds
 
@@ -754,15 +895,19 @@ class IsobarCompressor:
             incompressible_size=len(encoded.incompressible),
             raw_crc32=crc,
         )
-        blob = meta.encode() + encoded.compressed + encoded.incompressible
+        # join() materialises the workspace-aliased incompressible view
+        # before the workspace is reused for the next chunk.
+        meta_bytes = meta.encode()
+        blob = b"".join((meta_bytes, encoded.compressed, encoded.incompressible))
         report = ChunkReport(
             index=index,
             n_elements=int(chunk.size),
             mode=encoded.mode,
             improvable=analysis.improvable,
             htc_bytes_percent=analysis.htc_bytes_percent,
-            raw_bytes=len(raw),
+            raw_bytes=view.nbytes,
             stored_bytes=len(blob),
+            metadata_bytes=len(meta_bytes),
             analyze_seconds=analyze_seconds,
             compress_seconds=compress_seconds,
             solver_bytes=encoded.solver_bytes,
@@ -801,16 +946,19 @@ class IsobarCompressor:
             A serialized ISOBAR container.
         errors:
             ``"raise"`` (default) aborts on the first damaged chunk;
-            ``"skip"`` and ``"zero_fill"`` delegate to
+            ``"salvage-skip"`` and ``"salvage-zero"`` (legacy spellings
+            ``"skip"`` / ``"zero_fill"``) delegate to
             :func:`repro.core.salvage.salvage_decompress` and return
             whatever could be recovered (skipping lost chunks, or
             substituting zero elements for them, respectively).
         """
+        errors = normalize_errors(errors)
         if errors != "raise":
             from repro.core.salvage import salvage_decompress
 
             return salvage_decompress(
-                data, policy=errors, metrics=self._metrics
+                data, policy=salvage_policy_for(errors),
+                metrics=self._metrics,
             ).values
 
         wall_start = time.perf_counter()
@@ -819,7 +967,10 @@ class IsobarCompressor:
         codec = get_codec(header.codec_name)
         width = header.element_width
 
-        pieces: list[np.ndarray] = []
+        # Chunks decode straight into one preallocated result; no
+        # per-chunk array plus concatenation pass.
+        flat = np.empty(header.n_elements, dtype=header.dtype)
+        cursor = 0
         decode_start = time.perf_counter()
         for index in range(header.n_chunks):
             record_offset = offset
@@ -834,32 +985,31 @@ class IsobarCompressor:
             compressed = data[offset:end_comp]
             incompressible = data[end_comp:end_incomp]
             offset = end_incomp
-            pieces.append(
-                decode_chunk_payload(
-                    header,
-                    codec,
-                    meta,
-                    compressed,
-                    incompressible,
-                    chunk_index=index,
-                    byte_offset=record_offset,
-                )
+            end_cursor = cursor + meta.n_elements
+            # A chunk overflowing the declared total still decodes (into
+            # a scratch array) so the element-count mismatch is reported
+            # as the format error below, matching the legacy behaviour.
+            target = flat[cursor:end_cursor] if end_cursor <= flat.size else None
+            decode_chunk_payload(
+                header,
+                codec,
+                meta,
+                compressed,
+                incompressible,
+                chunk_index=index,
+                byte_offset=record_offset,
+                out=target,
             )
+            cursor = end_cursor
         tracer.add(
             "decode", time.perf_counter() - decode_start, bytes_in=offset
         )
         self._instruments.chunks_decoded.inc(header.n_chunks)
 
         merge_start = time.perf_counter()
-        if pieces:
-            # concatenate() normalises byte order to native; restore the
-            # header's exact dtype (e.g. big-endian inputs round-trip).
-            flat = np.concatenate(pieces).astype(header.dtype, copy=False)
-        else:
-            flat = np.empty(0, dtype=header.dtype)
-        if flat.size != header.n_elements:
+        if cursor != header.n_elements:
             raise ContainerFormatError(
-                f"container reassembled {flat.size} elements, header "
+                f"container reassembled {cursor} elements, header "
                 f"declares {header.n_elements}"
             )
         tracer.add(
@@ -901,6 +1051,27 @@ class IsobarCompressor:
         )
 
 
+# Deprecated aliases warn once per process, not once per call — the
+# one-liners sit in tight loops in older scripts.
+_DEPRECATION_WARNED: set[str] = set()
+
+
+def _warn_deprecated(name: str, replacement: str) -> None:
+    if name in _DEPRECATION_WARNED:
+        return
+    _DEPRECATION_WARNED.add(name)
+    warnings.warn(
+        f"{name}() is deprecated; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _reset_deprecation_warnings() -> None:
+    """Testing hook: re-arm the once-per-process deprecation warnings."""
+    _DEPRECATION_WARNED.clear()
+
+
 def isobar_compress(
     values: np.ndarray,
     preference: Preference | str = Preference.RATIO,
@@ -909,34 +1080,33 @@ def isobar_compress(
     linearization: Linearization | str | None = None,
     config: IsobarConfig | None = None,
 ) -> bytes:
-    """One-call ISOBAR compression with the paper's defaults.
+    """Deprecated alias of :func:`repro.compress`.
 
-    Parameters
-    ----------
-    values:
-        Fixed-width numeric array of any shape.
-    preference:
-        ``"ratio"`` or ``"speed"`` (EUPA-selector target).
-    codec / linearization:
-        Optional explicit overrides (Section II-C allows fixing both).
-    config:
-        Full configuration object; when given, the other keyword
-        arguments are applied on top of it.
+    One-call ISOBAR compression with the paper's defaults.  Retained
+    for backwards compatibility; emits a :class:`DeprecationWarning`
+    (once per process) and forwards to the facade.
     """
-    base = config or IsobarConfig()
-    overrides: dict[str, object] = {"preference": Preference.parse(preference)}
-    if codec is not None:
-        overrides["codec"] = codec
-    if linearization is not None:
-        overrides["linearization"] = Linearization.parse(linearization)
-    return IsobarCompressor(base.replace(**overrides)).compress(values)
+    _warn_deprecated("isobar_compress", "repro.compress")
+    from repro.api import compress
+
+    return compress(
+        values,
+        preference=preference,
+        codec=codec,
+        linearization=linearization,
+        config=config,
+    )
 
 
 def isobar_decompress(data: bytes, *, errors: str = "raise") -> np.ndarray:
-    """Restore an array compressed by :func:`isobar_compress`.
+    """Deprecated alias of :func:`repro.decompress`.
 
     ``errors`` selects the damage policy: ``"raise"`` (strict,
-    default), ``"skip"`` or ``"zero_fill"`` (lenient salvage decode —
-    see :func:`repro.core.salvage.salvage_decompress`).
+    default), ``"salvage-skip"`` or ``"salvage-zero"`` (lenient salvage
+    decode — see :func:`repro.core.salvage.salvage_decompress`); the
+    legacy ``"skip"`` / ``"zero_fill"`` spellings keep working.
     """
-    return IsobarCompressor().decompress(data, errors=errors)
+    _warn_deprecated("isobar_decompress", "repro.decompress")
+    from repro.api import decompress
+
+    return decompress(data, errors=errors)

@@ -27,7 +27,10 @@ __all__ = [
     "IsobarConfig",
     "DEFAULT_TAU",
     "DEFAULT_CHUNK_ELEMENTS",
+    "ERROR_POLICIES",
     "MIN_ANALYZER_ELEMENTS",
+    "normalize_errors",
+    "salvage_policy_for",
 ]
 
 #: Frequency-distribution tolerance fixed by the paper's experiments;
@@ -42,6 +45,51 @@ DEFAULT_CHUNK_ELEMENTS = 375_000
 #: the analyzer to make a stable call; the workflow still runs but the
 #: analyzer flags the result as low-confidence.
 MIN_ANALYZER_ELEMENTS = 1_024
+
+#: Canonical ``errors=`` policies accepted by every decoder (serial,
+#: parallel, streaming and random-access): strict decode, or lenient
+#: salvage that skips damaged chunks / substitutes zero elements.
+ERROR_POLICIES = ("raise", "salvage-skip", "salvage-zero")
+
+# Accepted spellings -> canonical policy.  The bare salvage policy
+# names remain valid for backwards compatibility with the original
+# per-decoder keywords.
+_ERROR_ALIASES = {
+    "raise": "raise",
+    "salvage-skip": "salvage-skip",
+    "salvage-zero": "salvage-zero",
+    "skip": "salvage-skip",
+    "zero_fill": "salvage-zero",
+}
+
+# Canonical policy -> the salvage decoder's internal policy name.
+_SALVAGE_POLICY = {
+    "raise": "raise",
+    "salvage-skip": "skip",
+    "salvage-zero": "zero_fill",
+}
+
+
+def normalize_errors(value: str) -> str:
+    """Canonicalize an ``errors=`` policy, validating it.
+
+    Every decoder entry point funnels its ``errors`` keyword through
+    here, so unknown policies raise the same
+    :class:`~repro.core.exceptions.ConfigurationError` everywhere and
+    legacy spellings (``"skip"``, ``"zero_fill"``) keep working.
+    """
+    try:
+        return _ERROR_ALIASES[value]
+    except (KeyError, TypeError):
+        choices = ", ".join(repr(p) for p in ERROR_POLICIES)
+        raise ConfigurationError(
+            f"unknown errors policy {value!r}; expected one of: {choices}"
+        ) from None
+
+
+def salvage_policy_for(errors: str) -> str:
+    """Map a canonical ``errors=`` policy to the salvage policy name."""
+    return _SALVAGE_POLICY[normalize_errors(errors)]
 
 
 class Preference(enum.Enum):

@@ -23,9 +23,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.codecs.base import get_codec
-from repro.core.exceptions import ContainerFormatError, InvalidInputError
+from repro.core.exceptions import (
+    ContainerFormatError,
+    InvalidInputError,
+    IsobarError,
+)
 from repro.core.metadata import ChunkMetadata, ContainerHeader
 from repro.core.pipeline import decode_chunk_payload
+from repro.core.preferences import normalize_errors
 
 __all__ = ["ChunkIndexEntry", "ContainerReader"]
 
@@ -51,9 +56,17 @@ class ContainerReader:
 
     Decoded chunks are memoised (the container is immutable), so
     repeated range reads over hot regions cost one decode each.
+
+    ``errors`` selects the shared damage policy: ``"raise"`` (default)
+    propagates the located exception of the first damaged chunk read;
+    ``"salvage-skip"`` yields an empty chunk in its place (range reads
+    simply drop the lost elements); ``"salvage-zero"`` substitutes zero
+    elements of the declared chunk length, keeping element positions
+    stable.
     """
 
-    def __init__(self, data: bytes):
+    def __init__(self, data: bytes, *, errors: str = "raise"):
+        self._errors = normalize_errors(errors)
         self._data = data
         self._header, offset = ContainerHeader.decode(data)
         self._codec = get_codec(self._header.codec_name)
@@ -137,10 +150,18 @@ class ContainerReader:
         # Delegate to the shared chunk decoder so every mode the
         # pipeline can write (including resilience fallbacks) reads
         # back identically here.
-        chunk = decode_chunk_payload(
-            self._header, self._codec, meta, compressed, incompressible,
-            chunk_index=index, byte_offset=start,
-        )
+        try:
+            chunk = decode_chunk_payload(
+                self._header, self._codec, meta, compressed, incompressible,
+                chunk_index=index, byte_offset=start,
+            )
+        except IsobarError:
+            if self._errors == "raise":
+                raise
+            if self._errors == "salvage-zero":
+                chunk = np.zeros(meta.n_elements, dtype=self._header.dtype)
+            else:  # salvage-skip: the chunk's elements are simply gone
+                chunk = np.empty(0, dtype=self._header.dtype)
         self._cache[index] = chunk
         return chunk
 
@@ -167,10 +188,22 @@ class ContainerReader:
         return np.concatenate(pieces).astype(self._header.dtype, copy=False)
 
     def element(self, position: int) -> np.generic:
-        """Point lookup of a single element."""
+        """Point lookup of a single element.
+
+        Under ``errors="salvage-skip"`` a position inside a damaged
+        chunk has no value to return; that read raises
+        :class:`~repro.core.exceptions.ContainerFormatError` (use
+        ``"salvage-zero"`` to keep point lookups total).
+        """
         entry = self.chunk_for_element(position)
         chunk = self.read_chunk(entry.index)
-        return chunk[position - entry.element_start]
+        offset = position - entry.element_start
+        if offset >= chunk.size:
+            raise ContainerFormatError(
+                f"chunk {entry.index}: element {position} was lost to a "
+                "damaged chunk (errors='salvage-skip')"
+            )
+        return chunk[offset]
 
     def read_all(self) -> np.ndarray:
         """Decode the whole container (equivalent to the pipeline path)."""

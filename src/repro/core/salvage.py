@@ -66,6 +66,12 @@ _RESYNC_CANDIDATE_LIMIT = 64
 
 
 def _check_policy(policy: str) -> str:
+    # The canonical decoder spellings ("salvage-skip"/"salvage-zero",
+    # see repro.core.preferences.ERROR_POLICIES) are accepted here too,
+    # so salvage_decompress shares the unified errors= vocabulary.
+    policy = {"salvage-skip": "skip", "salvage-zero": "zero_fill"}.get(
+        policy, policy
+    )
     if policy not in SALVAGE_POLICIES:
         raise ConfigurationError(
             f"unknown salvage policy {policy!r}; "
@@ -399,7 +405,7 @@ def salvage_decompress(
         :class:`SalvageReport` identifying every damaged chunk's index,
         byte range and root cause).
     """
-    _check_policy(policy)
+    policy = _check_policy(policy)
     registry = NULL_REGISTRY if metrics is None else metrics
     tracer = Tracer(registry) if registry.enabled else NULL_TRACER
     header, offset = ContainerHeader.decode(data)

@@ -33,9 +33,9 @@ from typing import BinaryIO, Iterable, Iterator
 
 import numpy as np
 
-from repro.analysis.bytefreq import element_width
+from repro.analysis.bytefreq import byte_view, element_width
 from repro.codecs.base import get_codec
-from repro.core.analyzer import analyze
+from repro.core.analyzer import analyze_matrix
 from repro.core.exceptions import (
     ContainerFormatError,
     InvalidInputError,
@@ -45,11 +45,15 @@ from repro.core.exceptions import (
 )
 from repro.core.metadata import ChunkMetadata, ContainerHeader
 from repro.core.pipeline import (
-    _little_endian_bytes,
     decode_chunk_payload,
     encode_chunk_payload,
 )
-from repro.core.preferences import IsobarConfig, Linearization
+from repro.core.preferences import (
+    IsobarConfig,
+    Linearization,
+    salvage_policy_for,
+)
+from repro.core.workspace import ChunkWorkspace
 from repro.core.resilience import (
     BreakerBoard,
     DegradationEvent,
@@ -128,6 +132,9 @@ class StreamingWriter:
         )
         self._degradation_events: list[DegradationEvent] = []
         self._retries = 0
+        # One writer, one thread: the partition scratch is reused for
+        # every chunk of the stream.
+        self._workspace = ChunkWorkspace()
         self._codec = None
         self._linearization: Linearization | None = None
         self._n_elements = 0
@@ -252,8 +259,11 @@ class StreamingWriter:
         tracer = self._stream_tracer
         wall_start = _time.perf_counter() if enabled else 0.0
 
+        # Zero-copy on the hot path: little-endian contiguous chunks
+        # are analyzed and hashed through a view of their own bytes.
+        view = byte_view(arr)
         stage_start = wall_start
-        analysis = analyze(arr, tau=self._config.tau)
+        analysis = analyze_matrix(view, tau=self._config.tau)
         if enabled:
             tracer.add(
                 "analyze", _time.perf_counter() - stage_start,
@@ -289,14 +299,14 @@ class StreamingWriter:
                 tracer.add("select", _time.perf_counter() - stage_start)
         self._ensure_header()
 
-        raw = _little_endian_bytes(arr)
-        crc = _zlib.crc32(raw)
+        crc = _zlib.crc32(view)
         encoded = encode_chunk_payload(
-            arr, raw, analysis, self._linearization, self._codec,
+            arr, view, analysis, self._linearization, self._codec,
             policy=self._config.resilience,
             breakers=self._breakers,
             chunk_index=self._n_chunks,
             tracer=tracer,
+            workspace=self._workspace,
         )
         solver_in = encoded.solver_bytes
         incompressible = encoded.incompressible
@@ -328,7 +338,9 @@ class StreamingWriter:
             incompressible_size=len(incompressible),
             raw_crc32=crc,
         )
-        blob = meta.encode() + encoded.compressed + incompressible
+        # join() materialises the workspace-aliased incompressible view
+        # before the workspace is reused for the next chunk.
+        blob = b"".join((meta.encode(), encoded.compressed, incompressible))
         stage_start = _time.perf_counter() if enabled else 0.0
         self._sink.write(blob)
         self._bytes_written += len(blob)
@@ -340,7 +352,7 @@ class StreamingWriter:
                 bytes_out=len(blob),
             )
             self._improvable_chunks += 1 if analysis.improvable else 0
-            self._raw_bytes_in += len(raw)
+            self._raw_bytes_in += view.nbytes
             self._solver_bytes += solver_in
             self._noise_bytes += len(incompressible)
             self._instruments.record_chunk_outcome(
@@ -604,9 +616,11 @@ def stream_decompress(
     ----------
     errors:
         ``"raise"`` (default) aborts on the first damaged chunk;
-        ``"skip"`` drops damaged chunks; ``"zero_fill"`` substitutes
-        zero-element chunks of the declared length.  The lenient modes
-        read the whole file into memory to allow resynchronization.
+        ``"salvage-skip"`` drops damaged chunks; ``"salvage-zero"``
+        substitutes zero-element chunks of the declared length (legacy
+        spellings ``"skip"`` / ``"zero_fill"`` keep working).  The
+        lenient modes read the whole file into memory to allow
+        resynchronization.
     tolerate_unclosed:
         Recover a stream whose final header patch never happened (the
         writer crashed before ``close()``): when the header still
@@ -619,11 +633,9 @@ def stream_decompress(
         stage timings and the decoded-chunk counter as the generator is
         consumed.
     """
-    if errors not in ("raise", "skip", "zero_fill"):
-        raise InvalidInputError(
-            f"unknown errors policy {errors!r}; "
-            "expected 'raise', 'skip' or 'zero_fill'"
-        )
+    # Canonical policy vocabulary shared by every decoder; _stream_salvage
+    # speaks the salvage decoder's internal names.
+    salvage_policy = salvage_policy_for(errors)
     with open(path, "rb") as source:
         prefix = source.read(1 << 16)
         if not prefix and tolerate_unclosed:
@@ -640,9 +652,9 @@ def stream_decompress(
             "bytes follow: the stream was never closed (crashed "
             "writer?); pass tolerate_unclosed=True to recover it"
         )
-    if unclosed or errors != "raise":
+    if unclosed or salvage_policy != "raise":
         yield from _stream_salvage(
-            path, errors, to_eof=unclosed
+            path, salvage_policy, to_eof=unclosed
         )
         return
 

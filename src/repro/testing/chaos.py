@@ -174,15 +174,23 @@ class FlakyCodec(ChaosWrapper):
     def _before(self, operation: str, data: bytes, ordinal: int) -> None:
         if operation not in self.fail_on:
             return
-        if ordinal <= self.fail_first or ordinal in self.fail_calls or (
-            self.fail_percent > 0 and self.is_doomed(data)
-        ):
+        by_order = ordinal <= self.fail_first or ordinal in self.fail_calls
+        by_content = self.fail_percent > 0 and self.is_doomed(data)
+        if by_order or by_content:
             with self._lock:
                 self._failures += 1
                 self._failed_keys.add(_payload_key(data, self.seed))
+            # Content-doomed payloads report their content key, not the
+            # call ordinal: ordinals are schedule-dependent under a
+            # thread pool, and the message ends up in degradation
+            # events that serial-vs-parallel tests compare verbatim.
+            trigger = (
+                f"call {ordinal}" if by_order
+                else f"payload key {_payload_key(data, self.seed)}"
+            )
             raise ChaosCodecError(
                 f"{self.name}: injected {operation} failure "
-                f"(call {ordinal}, payload {len(data)} bytes)"
+                f"({trigger}, payload {len(data)} bytes)"
             )
 
 

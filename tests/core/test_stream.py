@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.exceptions import (
+    ConfigurationError,
     ContainerFormatError,
     InvalidInputError,
     IsobarError,
@@ -239,8 +240,26 @@ class TestLenientStreaming:
     def test_unknown_policy_rejected(self, tmp_path, data):
         path = tmp_path / "c.isobar"
         stream_compress(_chunks(data, 10_000), path, np.float64, config=_CFG)
-        with pytest.raises(InvalidInputError):
+        with pytest.raises(ConfigurationError):
             list(stream_decompress(path, errors="replace"))
+
+    def test_canonical_policy_spellings(self, tmp_path, data):
+        """The unified errors= vocabulary works on the streaming reader."""
+        path = tmp_path / "c.isobar"
+        stream_compress(_chunks(data, 10_000), path, np.float64, config=_CFG)
+        corrupted = bytearray(path.read_bytes())
+        corrupted[-2] ^= 0xFF
+        bad = tmp_path / "bad.isobar"
+        bad.write_bytes(bytes(corrupted))
+        skipped = np.concatenate(
+            list(stream_decompress(bad, errors="salvage-skip"))
+        )
+        assert np.array_equal(skipped, data[:30_000])
+        zeroed = np.concatenate(
+            list(stream_decompress(bad, errors="salvage-zero"))
+        )
+        assert zeroed.size == data.size
+        assert np.all(zeroed[30_000:] == 0)
 
 
 class TestStreamingResilience:

@@ -12,6 +12,7 @@ import pytest
 
 _PUBLIC_MODULES = [
     "repro",
+    "repro.api",
     "repro.core",
     "repro.codecs",
     "repro.analysis",
