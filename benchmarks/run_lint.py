@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Static-analysis report: run the repo invariant linter, emit JSON.
+
+Wraps ``repro.devtools`` for automation: lints the source tree (and the
+benchmark/test trees when asked), optionally runs mypy when it is
+installed, and writes one machine-readable JSON document combining
+both — the shape CI artifacts and the results directory expect.
+
+Usage::
+
+    python benchmarks/run_lint.py                      # text summary
+    python benchmarks/run_lint.py --json report.json   # JSON ('-' for stdout)
+    python benchmarks/run_lint.py --mypy               # include mypy (if present)
+
+Exits 0 when clean, 1 when any lint finding survives suppression (or
+mypy, when requested and available, reports errors).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+sys.path.insert(0, SRC)
+
+from repro.devtools import default_rules, lint_paths  # noqa: E402
+
+
+def mypy_available() -> bool:
+    """Whether mypy can be imported (it is optional tooling here)."""
+    return importlib.util.find_spec("mypy") is not None
+
+
+def run_mypy() -> dict[str, object]:
+    """Run mypy with the repo config; report status + raw output."""
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "mypy",
+            "--config-file", os.path.join(REPO_ROOT, "pyproject.toml"),
+        ],
+        capture_output=True, text=True, cwd=REPO_ROOT,
+    )
+    return {
+        "ran": True,
+        "ok": proc.returncode == 0,
+        "output": proc.stdout.strip().splitlines(),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the repo invariant linter and emit a report."
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="paths to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the JSON report to PATH ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--mypy", action="store_true",
+        help="also run mypy when it is installed (skipped otherwise)",
+    )
+    args = parser.parse_args(argv)
+
+    paths = args.paths or [os.path.join(SRC, "repro")]
+    report = lint_paths(paths, default_rules())
+    document: dict[str, object] = {
+        "lint": report.to_dict(),
+        "paths": [os.path.relpath(p, REPO_ROOT) for p in paths],
+    }
+
+    ok = report.ok
+    if args.mypy:
+        if mypy_available():
+            mypy_result = run_mypy()
+            ok = ok and bool(mypy_result["ok"])
+        else:
+            mypy_result = {"ran": False, "ok": None,
+                           "output": ["mypy not installed; skipped"]}
+        document["mypy"] = mypy_result
+
+    if args.json is not None:
+        text = json.dumps(document, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            print(f"wrote lint report -> {args.json}")
+    else:
+        print(report.render_text())
+        if args.mypy:
+            for line in document["mypy"]["output"]:  # type: ignore[index]
+                print(f"mypy: {line}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

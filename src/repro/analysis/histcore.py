@@ -144,7 +144,7 @@ def _load() -> None:
     _description = f"native ({so_path})"
 
 
-def _get_kernel():
+def _get_kernel() -> object:
     if _kernel is None:
         with _lock:
             if _kernel is None:

@@ -15,8 +15,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Any, Callable, TypeVar
 
 from repro.core.exceptions import InvalidInputError
+
+_T = TypeVar("_T")
 
 __all__ = [
     "MEGABYTE",
@@ -149,7 +152,9 @@ class CompressionMeasurement:
         return throughput_mb_s(self.original_bytes, self.decompress_seconds)
 
 
-def measure_call(fn, *args, repeat: int = 1, **kwargs):
+def measure_call(
+    fn: Callable[..., _T], *args: Any, repeat: int = 1, **kwargs: Any
+) -> tuple[_T, float]:
     """Run ``fn(*args, **kwargs)`` and return ``(result, best_seconds)``.
 
     With ``repeat > 1`` the call is executed several times and the best

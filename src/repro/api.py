@@ -35,6 +35,7 @@ from repro.core.preferences import (
 )
 from repro.core.stream import StreamingWriter, stream_decompress
 from repro.core.exceptions import ConfigurationError
+from repro.observability.registry import MetricsRegistry
 
 __all__ = ["compress", "decompress", "open_stream", "ERROR_POLICIES"]
 
@@ -106,6 +107,7 @@ def decompress(data: bytes, *, errors: str = "raise") -> np.ndarray:
     return IsobarCompressor().decompress(data, errors=errors)
 
 
+# isobar: ignore[ISO004] positional `mode` mirrors the builtin open()
 def open_stream(
     path: str | os.PathLike,
     mode: str = "r",
@@ -115,7 +117,7 @@ def open_stream(
     atomic: bool = True,
     errors: str = "raise",
     tolerate_unclosed: bool = False,
-    metrics=None,
+    metrics: MetricsRegistry | None = None,
 ) -> StreamingWriter | Iterator[np.ndarray]:
     """Open a container file for streaming compression or decompression.
 

@@ -23,6 +23,7 @@ import numpy as np
 from repro.analysis.metrics import MEGABYTE, delta_cr_percent, speedup
 from repro.codecs.base import get_codec
 from repro.core.analyzer import AnalysisResult, analyze
+from repro.core.exceptions import CodecError
 from repro.core.pipeline import IsobarCompressor
 from repro.core.preferences import IsobarConfig, Preference
 from repro.datasets.registry import DEFAULT_ELEMENTS, get_dataset
@@ -132,7 +133,7 @@ def _time_standard(codec_name: str, raw: bytes) -> StandardResult:
     restored = codec.decompress(compressed)
     decompress_seconds = time.perf_counter() - start
     if restored != raw:
-        raise AssertionError(f"{codec_name} failed to round-trip raw data")
+        raise CodecError(f"{codec_name} failed to round-trip raw data")
     n_mb = len(raw) / MEGABYTE
     return StandardResult(
         codec_name=codec_name,
@@ -158,7 +159,7 @@ def _time_isobar(
     restored = compressor.decompress(result.payload)
     decompress_seconds = time.perf_counter() - start
     if not np.array_equal(restored.reshape(-1), np.asarray(values).reshape(-1)):
-        raise AssertionError("ISOBAR failed to round-trip the dataset")
+        raise CodecError("ISOBAR failed to round-trip the dataset")
     n_mb = result.original_bytes / MEGABYTE
     analyze_mb_s = (
         n_mb / result.analyze_seconds if result.analyze_seconds else float("inf")

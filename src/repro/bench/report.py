@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from repro.core.exceptions import InvalidInputError
+
 __all__ = ["format_cell", "render_table", "render_series", "render_kv"]
 
 
@@ -42,7 +44,7 @@ def render_table(
     n_cols = len(header_cells)
     for row in body:
         if len(row) != n_cols:
-            raise ValueError(
+            raise InvalidInputError(
                 f"row has {len(row)} cells, header has {n_cols}: {row}"
             )
     widths = [

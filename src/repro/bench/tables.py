@@ -26,6 +26,7 @@ from repro.bench.report import render_table
 from repro.codecs.fpc import FpcCodec
 from repro.codecs.fpzip_like import FpzipLikeCodec
 from repro.core.analyzer import analyze
+from repro.core.exceptions import CodecError
 from repro.core.pipeline import IsobarCompressor
 from repro.core.preferences import IsobarConfig, Preference
 from repro.datasets.registry import (
@@ -394,7 +395,7 @@ def _time_array_codec(codec, values: np.ndarray) -> tuple[float, float, float]:
     if not np.array_equal(
         decoded.reshape(-1).view(np.uint8), values.reshape(-1).view(np.uint8)
     ):
-        raise AssertionError(f"{codec.name} failed to round-trip")
+        raise CodecError(f"{codec.name} failed to round-trip")
     n_mb = values.nbytes / MEGABYTE
     return (
         values.nbytes / len(encoded),

@@ -175,6 +175,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="input ISOBAR containers, in order")
     concat.add_argument("output", help="merged container")
 
+    lint = sub.add_parser(
+        "lint", help="check repo invariants (rules ISO001-ISO006)"
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    lint.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit a machine-readable JSON report instead of text",
+    )
+
     bench = sub.add_parser("bench", help="regenerate a paper table or figure")
     bench.add_argument("--table", type=int, choices=range(1, 11),
                        help="paper table number (1-10)")
@@ -508,6 +520,19 @@ def _cmd_codecs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.devtools.lint import default_lint_root, run
+
+    report = run(args.paths or [default_lint_root()])
+    if args.as_json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     # Imports are local: the bench stack pulls in every subsystem and
     # is only needed for this subcommand.
@@ -565,6 +590,7 @@ _COMMANDS = {
     "extract": _cmd_extract,
     "codecs": _cmd_codecs,
     "concat": _cmd_concat,
+    "lint": _cmd_lint,
     "bench": _cmd_bench,
 }
 

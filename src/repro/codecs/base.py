@@ -12,6 +12,7 @@ solver produced them.
 from __future__ import annotations
 
 import abc
+import threading
 from typing import Callable, Iterator
 
 from repro.core.exceptions import CodecError, UnknownCodecError
@@ -58,6 +59,9 @@ class Codec(abc.ABC):
 
 
 _REGISTRY: dict[str, Codec] = {}
+# Guards _REGISTRY: the chaos harness shadows/restores codecs while the
+# parallel pipeline resolves them from worker threads.
+_REGISTRY_LOCK = threading.Lock()
 
 
 def register_codec(codec: Codec, *, replace: bool = False) -> Codec:
@@ -69,13 +73,14 @@ def register_codec(codec: Codec, *, replace: bool = False) -> Codec:
     """
     if not codec.name:
         raise CodecError(f"codec {codec!r} has no name; cannot register")
-    existing = _REGISTRY.get(codec.name)
-    if existing is not None and existing is not codec and not replace:
-        raise CodecError(
-            f"codec name {codec.name!r} already registered; "
-            "pass replace=True to override"
-        )
-    _REGISTRY[codec.name] = codec
+    with _REGISTRY_LOCK:
+        existing = _REGISTRY.get(codec.name)
+        if existing is not None and existing is not codec and not replace:
+            raise CodecError(
+                f"codec name {codec.name!r} already registered; "
+                "pass replace=True to override"
+            )
+        _REGISTRY[codec.name] = codec
     return codec
 
 
@@ -86,10 +91,11 @@ def unregister_codec(name: str) -> Codec:
     the chaos harness to restore the registry after temporarily
     shadowing a real codec with a misbehaving wrapper.
     """
-    try:
-        return _REGISTRY.pop(name)
-    except KeyError:
-        raise UnknownCodecError(name, tuple(_REGISTRY)) from None
+    with _REGISTRY_LOCK:
+        try:
+            return _REGISTRY.pop(name)
+        except KeyError:
+            raise UnknownCodecError(name, tuple(_REGISTRY)) from None
 
 
 def get_codec(name: str) -> Codec:
@@ -98,26 +104,31 @@ def get_codec(name: str) -> Codec:
     Raises :class:`UnknownCodecError` (listing the available names) when
     the codec does not exist.
     """
-    try:
-        return _REGISTRY[name]
-    except KeyError:
-        raise UnknownCodecError(name, tuple(_REGISTRY)) from None
+    with _REGISTRY_LOCK:
+        try:
+            return _REGISTRY[name]
+        except KeyError:
+            raise UnknownCodecError(name, tuple(_REGISTRY)) from None
 
 
 def codec_names() -> tuple[str, ...]:
     """Names of all registered codecs, sorted."""
-    return tuple(sorted(_REGISTRY))
+    with _REGISTRY_LOCK:
+        return tuple(sorted(_REGISTRY))
 
 
 def iter_codecs() -> Iterator[Codec]:
     """Iterate over registered codec instances in name order."""
     for name in codec_names():
-        yield _REGISTRY[name]
+        codec = _REGISTRY.get(name)
+        if codec is not None:
+            yield codec
 
 
 def codec_registry_snapshot() -> dict[str, Codec]:
     """A shallow copy of the registry, for tests and diagnostics."""
-    return dict(_REGISTRY)
+    with _REGISTRY_LOCK:
+        return dict(_REGISTRY)
 
 
 class CallableCodec(Codec):

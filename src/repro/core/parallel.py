@@ -23,7 +23,8 @@ from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
-from repro.codecs.base import get_codec
+from repro.codecs.base import Codec, get_codec
+from repro.core.analyzer import AnalysisResult
 from repro.core.chunking import plan_chunks
 from repro.core.exceptions import (
     ConfigurationError,
@@ -32,6 +33,7 @@ from repro.core.exceptions import (
 )
 from repro.core.metadata import ChunkMetadata, ContainerHeader
 from repro.core.pipeline import (
+    ChunkReport,
     CompressionResult,
     IsobarCompressor,
     _degradation_from_reports,
@@ -42,6 +44,9 @@ from repro.core.preferences import (
     normalize_errors,
     salvage_policy_for,
 )
+from repro.core.selector import SelectorDecision
+from repro.observability.registry import MetricsRegistry
+from repro.observability.trace import AnyTracer, Tracer
 
 __all__ = ["ParallelIsobarCompressor"]
 
@@ -66,7 +71,7 @@ class ParallelIsobarCompressor(IsobarCompressor):
         n_workers: int = 4,
         *,
         collect_metrics: bool = False,
-        metrics=None,
+        metrics: MetricsRegistry | None = None,
     ):
         if n_workers < 1:
             raise ConfigurationError(
@@ -154,8 +159,13 @@ class ParallelIsobarCompressor(IsobarCompressor):
         return result
 
     def _compress_chunks_parallel(
-        self, chunks, decision, codec, tracer, lead_analysis=None
-    ):
+        self,
+        chunks: list[np.ndarray],
+        decision: SelectorDecision,
+        codec: Codec,
+        tracer: AnyTracer,
+        lead_analysis: AnalysisResult | None = None,
+    ) -> list[tuple[bytes, ChunkReport]]:
         """Fan chunk compression out over futures, in chunk order.
 
         One future per chunk (not ``pool.map``): a failing chunk must
@@ -169,7 +179,7 @@ class ParallelIsobarCompressor(IsobarCompressor):
         no queued work starts.
         """
         policy = self._config.resilience
-        outcomes = []
+        outcomes: list[tuple[bytes, ChunkReport]] = []
         with ThreadPoolExecutor(max_workers=self._n_workers) as pool:
             futures = [
                 pool.submit(
@@ -301,12 +311,22 @@ class _ChunkDecoder:
     and the caller reports the element-count mismatch).
     """
 
-    def __init__(self, header: ContainerHeader, codec, tracer=None):
+    def __init__(
+        self,
+        header: ContainerHeader,
+        codec: Codec,
+        tracer: Tracer | None = None,
+    ):
         self._header = header
         self._codec = codec
         self._tracer = tracer
 
-    def __call__(self, item):
+    def __call__(
+        self,
+        item: tuple[
+            int, int, ChunkMetadata, bytes, bytes, np.ndarray | None
+        ],
+    ) -> np.ndarray:
         import time
 
         index, record_offset, meta, compressed, incompressible, target = item

@@ -65,6 +65,7 @@ from repro.core.preferences import (
 )
 from repro.core.resilience import (
     BreakerBoard,
+    BreakerState,
     DegradationEvent,
     DegradationReport,
     ResiliencePolicy,
@@ -75,7 +76,7 @@ from repro.core.workspace import ChunkWorkspace
 from repro.observability.instruments import PipelineInstruments
 from repro.observability.registry import NULL_REGISTRY, MetricsRegistry
 from repro.observability.report import PipelineReport
-from repro.observability.trace import NULL_TRACER, Tracer
+from repro.observability.trace import NULL_TRACER, AnyTracer, Tracer
 
 __all__ = [
     "ChunkReport",
@@ -183,7 +184,7 @@ def decode_chunk_payload(
             chunk = np.frombuffer(
                 raw, dtype=header.dtype.newbyteorder("<")
             ).astype(header.dtype, copy=False)
-        else:
+        elif meta.mode is ChunkMode.PASSTHROUGH:
             raw = codec.decompress(compressed)
             expected = meta.n_elements * header.element_width
             if len(raw) != expected:
@@ -194,6 +195,10 @@ def decode_chunk_payload(
             chunk = np.frombuffer(
                 raw, dtype=header.dtype.newbyteorder("<")
             ).astype(header.dtype, copy=False)
+        else:
+            # Unreachable for well-formed metadata; guards against a
+            # future ChunkMode member missing its decode branch.
+            raise ContainerFormatError(f"unhandled chunk mode {meta.mode!r}")
     except CodecError as exc:
         raise CodecError(f"{where}{exc}") from exc
     except ChecksumError:
@@ -287,7 +292,8 @@ def _fallback_streams(
             ChunkMode.FALLBACK_ZLIB, all_false, compressed, b"",
             _buffer_nbytes(raw), "zlib-fallback",
         )
-    except Exception:  # noqa: BLE001 - last-resort path must not raise
+    # isobar: ignore[ISO005] last-resort degrade path: any zlib failure
+    except Exception:  # noqa: BLE001 - falls through to raw passthrough
         part = partition(chunk, all_false, linearization)
         return (
             ChunkMode.PARTITIONED, all_false, b"", part.incompressible,
@@ -305,7 +311,7 @@ def encode_chunk_payload(
     policy: ResiliencePolicy | None = None,
     breakers: BreakerBoard | None = None,
     chunk_index: int = 0,
-    tracer=NULL_TRACER,
+    tracer: AnyTracer = NULL_TRACER,
     workspace: ChunkWorkspace | None = None,
 ) -> EncodedChunk:
     """Encode one analyzed chunk into its container payload streams.
@@ -667,7 +673,9 @@ class IsobarCompressor:
             self._workspaces.workspace = workspace
         return workspace
 
-    def _record_breaker_state(self, codec_name: str, state) -> None:
+    def _record_breaker_state(
+        self, codec_name: str, state: BreakerState
+    ) -> None:
         self._instruments.breaker_state.set(
             state.gauge_value, codec=codec_name
         )
@@ -698,7 +706,7 @@ class IsobarCompressor:
         (``None`` until an instrumented run completes)."""
         return self._last_report
 
-    def _tracer(self):
+    def _tracer(self) -> AnyTracer:
         """A fresh per-run tracer, or the shared null tracer."""
         if self._metrics.enabled:
             return Tracer(self._metrics)
@@ -775,7 +783,8 @@ class IsobarCompressor:
         return result
 
     def _finish_compress_run(
-        self, result: CompressionResult, tracer, wall_seconds: float
+        self, result: CompressionResult, tracer: AnyTracer,
+        wall_seconds: float,
     ) -> None:
         """Record run-level metrics and build the per-run report."""
         improvable = sum(1 for c in result.chunks if c.improvable)
@@ -802,7 +811,7 @@ class IsobarCompressor:
         )
 
     def _decide(
-        self, flat: np.ndarray, tracer=NULL_TRACER
+        self, flat: np.ndarray, tracer: AnyTracer = NULL_TRACER
     ) -> tuple[SelectorDecision, Codec, AnalysisResult | None, float]:
         """Run the selector on the leading chunk's analysis.
 
@@ -858,7 +867,7 @@ class IsobarCompressor:
         chunk: np.ndarray,
         decision: SelectorDecision,
         codec: Codec,
-        tracer=NULL_TRACER,
+        tracer: AnyTracer = NULL_TRACER,
         analysis: AnalysisResult | None = None,
     ) -> tuple[bytes, ChunkReport]:
         # Zero-copy on the hot path: for little-endian contiguous input
@@ -1032,7 +1041,7 @@ class IsobarCompressor:
         header: ContainerHeader,
         input_bytes: int,
         output_bytes: int,
-        tracer,
+        tracer: AnyTracer,
         wall_seconds: float,
     ) -> None:
         """Record run-level decode metrics and build the per-run report."""
@@ -1054,12 +1063,14 @@ class IsobarCompressor:
 # Deprecated aliases warn once per process, not once per call — the
 # one-liners sit in tight loops in older scripts.
 _DEPRECATION_WARNED: set[str] = set()
+_DEPRECATION_LOCK = threading.Lock()
 
 
 def _warn_deprecated(name: str, replacement: str) -> None:
-    if name in _DEPRECATION_WARNED:
-        return
-    _DEPRECATION_WARNED.add(name)
+    with _DEPRECATION_LOCK:
+        if name in _DEPRECATION_WARNED:
+            return
+        _DEPRECATION_WARNED.add(name)
     warnings.warn(
         f"{name}() is deprecated; use {replacement} instead",
         DeprecationWarning,
@@ -1069,7 +1080,8 @@ def _warn_deprecated(name: str, replacement: str) -> None:
 
 def _reset_deprecation_warnings() -> None:
     """Testing hook: re-arm the once-per-process deprecation warnings."""
-    _DEPRECATION_WARNED.clear()
+    with _DEPRECATION_LOCK:
+        _DEPRECATION_WARNED.clear()
 
 
 def isobar_compress(

@@ -382,7 +382,11 @@ class BreakerBoard:
             return {name: b.state for name, b in self._breakers.items()}
 
 
-def call_with_deadline(fn, data: bytes, deadline_seconds: float | None) -> bytes:
+def call_with_deadline(
+    fn: Callable[[bytes], bytes],
+    data: bytes,
+    deadline_seconds: float | None,
+) -> bytes:
     """Run ``fn(data)`` with an optional wall-clock deadline.
 
     With ``deadline_seconds=None`` this is a plain call (zero

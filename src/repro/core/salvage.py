@@ -43,7 +43,7 @@ from repro.core.exceptions import (
 from repro.core.metadata import _CHUNK_MAGIC, ChunkMetadata, ContainerHeader
 from repro.core.pipeline import decode_chunk_payload
 from repro.observability.instruments import PipelineInstruments
-from repro.observability.registry import NULL_REGISTRY
+from repro.observability.registry import NULL_REGISTRY, MetricsRegistry
 from repro.observability.trace import NULL_TRACER, Tracer
 
 __all__ = [
@@ -368,7 +368,7 @@ def salvage_decompress(
     policy: str = "skip",
     *,
     to_eof: bool = False,
-    metrics=None,
+    metrics: MetricsRegistry | None = None,
 ) -> SalvageResult:
     """Decode everything recoverable from a (possibly damaged) container.
 

@@ -34,7 +34,7 @@ from repro.core.exceptions import SelectorError
 from repro.core.partitioner import partition
 from repro.core.preferences import IsobarConfig, Linearization, Preference
 from repro.observability.instruments import PipelineInstruments
-from repro.observability.registry import NULL_REGISTRY
+from repro.observability.registry import NULL_REGISTRY, MetricsRegistry
 
 __all__ = [
     "CandidateEvaluation",
@@ -143,7 +143,7 @@ class EupaSelector:
         self,
         config: IsobarConfig | None = None,
         *,
-        metrics=None,
+        metrics: MetricsRegistry | None = None,
     ):
         self._config = config or IsobarConfig()
         self._metrics = NULL_REGISTRY if metrics is None else metrics

@@ -1,0 +1,38 @@
+"""Repo-native developer tooling: the AST invariant linter.
+
+Entry points:
+
+* ``python -m repro.devtools.lint [paths]`` — the standalone runner;
+* ``isobar lint`` — the same runner behind the CLI facade;
+* :func:`repro.devtools.lint_paths` + :func:`default_rules` — the
+  programmatic API the tier-1 gate uses.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.engine import (
+    LintReport,
+    Rule,
+    SourceModule,
+    lint_modules,
+    lint_paths,
+    load_module,
+    module_from_source,
+    python_files,
+)
+from repro.devtools.findings import Finding, Suppression
+from repro.devtools.rules import default_rules
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "Rule",
+    "SourceModule",
+    "Suppression",
+    "default_rules",
+    "lint_modules",
+    "lint_paths",
+    "load_module",
+    "module_from_source",
+    "python_files",
+]

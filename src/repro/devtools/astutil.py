@@ -1,0 +1,56 @@
+"""Small AST helpers shared by the rule pack."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = [
+    "dotted_name",
+    "enclosing_functions",
+    "walk_with_ancestors",
+]
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Flatten a ``Name``/``Attribute`` chain to ``"a.b.c"``.
+
+    Returns ``None`` for chains rooted in anything else (calls,
+    subscripts, literals) — rules treat those as opaque.
+    """
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def walk_with_ancestors(
+    tree: ast.AST,
+) -> Iterator[tuple[ast.AST, tuple[ast.AST, ...]]]:
+    """Depth-first walk yielding ``(node, ancestors)`` pairs.
+
+    ``ancestors`` is ordered outermost-first and excludes the node
+    itself, so guard checks can inspect every enclosing ``if``/``with``.
+    """
+    stack: list[tuple[ast.AST, tuple[ast.AST, ...]]] = [(tree, ())]
+    while stack:
+        node, ancestors = stack.pop()
+        yield node, ancestors
+        child_ancestors = ancestors + (node,)
+        for child in ast.iter_child_nodes(node):
+            stack.append((child, child_ancestors))
+
+
+def enclosing_functions(
+    ancestors: tuple[ast.AST, ...],
+) -> tuple[ast.FunctionDef | ast.AsyncFunctionDef, ...]:
+    """The function definitions among ``ancestors``, outermost first."""
+    return tuple(
+        node for node in ancestors
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )

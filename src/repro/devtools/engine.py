@@ -1,0 +1,338 @@
+"""AST rule engine for the repo-native invariant linter.
+
+The engine is deliberately small: it parses each file once into a
+:class:`SourceModule`, hands the tree to every registered
+:class:`Rule`, and folds the results into a :class:`LintReport`.
+Rules come in two shapes:
+
+* **module rules** implement :meth:`Rule.check_module` and see one file
+  at a time (guard placement, registry mutations, exception hygiene);
+* **project rules** implement :meth:`Rule.check_project` and see every
+  linted file together — required for cross-module invariants such as
+  encoder/decoder symmetry over :class:`~repro.core.metadata.ChunkMode`.
+
+Suppressions
+------------
+A finding is silenced by a ``# isobar: ignore[RULE] reason`` comment on
+the finding's line or on a comment-only line directly above it.  The
+reason is **mandatory**: a suppression without one is itself reported
+under rule ``ISO000``, so every intentional violation documents why it
+is intentional.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.exceptions import InvalidInputError
+from repro.devtools.findings import Finding, Suppression
+
+__all__ = [
+    "LintReport",
+    "Rule",
+    "SourceModule",
+    "lint_modules",
+    "lint_paths",
+    "load_module",
+    "module_from_source",
+    "python_files",
+]
+
+#: ``# isobar: ignore[ISO001] reason`` / ``# isobar: ignore[ISO001, ISO005] ...``
+_SUPPRESSION_RE = re.compile(
+    r"#\s*isobar:\s*ignore\[([A-Za-z0-9*,\s]+)\]\s*(.*)$"
+)
+
+#: Rule id of the engine's own check on unexplained suppressions.
+META_RULE_ID = "ISO000"
+
+#: Rule id used for files that fail to parse.
+PARSE_RULE_ID = "ISO-PARSE"
+
+
+@dataclass(frozen=True)
+class SourceModule:
+    """One parsed Python file plus the metadata rules key off.
+
+    ``module`` is the dotted import name (``repro.core.pipeline``)
+    derived from the path; rules use it to scope themselves to hot-path
+    or facade modules regardless of where the tree is checked out.
+    """
+
+    path: str
+    module: str
+    source: str
+    tree: ast.Module
+    suppressions: tuple[Suppression, ...] = ()
+
+    @property
+    def lines(self) -> tuple[str, ...]:
+        """The file's source lines (1-indexed via ``lines[n - 1]``)."""
+        return tuple(self.source.splitlines())
+
+    def suppression_for(self, finding: Finding) -> Suppression | None:
+        """The suppression silencing ``finding``, if any.
+
+        Matches the finding's own line, or a comment-only line directly
+        above it (the conventional placement for multi-line statements).
+        """
+        lines = self.source.splitlines()
+        for supp in self.suppressions:
+            if not supp.covers(finding.rule_id):
+                continue
+            if supp.line == finding.line:
+                return supp
+            if supp.line == finding.line - 1:
+                above = lines[supp.line - 1].strip() if supp.line <= len(lines) else ""
+                if above.startswith("#"):
+                    return supp
+        return None
+
+
+class Rule:
+    """Base class for one invariant check.
+
+    Subclasses set :attr:`rule_id`, :attr:`title` and :attr:`hint`, and
+    override :meth:`check_module` (per-file) and/or
+    :meth:`check_project` (cross-file).  Rules must be pure functions
+    of the trees they are given — no filesystem access — so the test
+    suite can run them against fixture snippets.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    hint: str = ""
+
+    def check_module(self, mod: SourceModule) -> Iterable[Finding]:
+        """Yield findings for one parsed module."""
+        return ()
+
+    def check_project(
+        self, mods: Sequence[SourceModule]
+    ) -> Iterable[Finding]:
+        """Yield findings that need every linted module at once."""
+        return ()
+
+    def finding(
+        self, mod: SourceModule, node: ast.AST | int, message: str,
+        hint: str | None = None,
+    ) -> Finding:
+        """Build a :class:`Finding` anchored at ``node`` (or a line)."""
+        line = node if isinstance(node, int) else getattr(node, "lineno", 1)
+        return Finding(
+            rule_id=self.rule_id,
+            path=mod.path,
+            line=line,
+            message=message,
+            hint=self.hint if hint is None else hint,
+        )
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run: active findings plus the audit trail."""
+
+    findings: list[Finding] = field(default_factory=list)
+    #: ``(finding, suppression)`` pairs silenced by an explained comment.
+    suppressed: list[tuple[Finding, Suppression]] = field(default_factory=list)
+    files_checked: int = 0
+    rule_ids: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """True when no findings survived suppression."""
+        return not self.findings
+
+    def render_text(self) -> str:
+        """Human-readable report (one line per finding + a summary)."""
+        lines = [finding.render() for finding in self.findings]
+        lines.append(
+            f"{len(self.findings)} finding(s), "
+            f"{len(self.suppressed)} suppressed, "
+            f"{self.files_checked} file(s) checked"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, object]:
+        """Machine-readable report for ``--json`` / automation."""
+        return {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "rules": list(self.rule_ids),
+            "findings": [finding.to_dict() for finding in self.findings],
+            "suppressed": [
+                {"finding": finding.to_dict(), "suppression": supp.to_dict()}
+                for finding, supp in self.suppressed
+            ],
+        }
+
+
+def _parse_suppressions(path: str, source: str) -> tuple[Suppression, ...]:
+    """Collect every ``# isobar: ignore[...]`` comment in ``source``."""
+    found = []
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESSION_RE.search(line)
+        if match is None:
+            continue
+        rule_ids = tuple(
+            token.strip() for token in match.group(1).split(",")
+            if token.strip()
+        )
+        found.append(
+            Suppression(
+                path=path,
+                line=lineno,
+                rule_ids=rule_ids,
+                reason=match.group(2).strip(),
+            )
+        )
+    return tuple(found)
+
+
+def module_from_source(
+    source: str, *, path: str = "<string>", module: str = "<module>"
+) -> SourceModule:
+    """Parse ``source`` into a :class:`SourceModule`.
+
+    The declared ``module`` name controls which scoped rules apply —
+    tests use this to run fixture snippets as if they lived in a
+    hot-path or facade module.
+    """
+    tree = ast.parse(source)
+    return SourceModule(
+        path=path,
+        module=module,
+        source=source,
+        tree=tree,
+        suppressions=_parse_suppressions(path, source),
+    )
+
+
+def _module_name_for(path: str) -> str:
+    """Dotted import name for ``path``, anchored at the ``repro`` package.
+
+    Files outside a ``repro`` tree fall back to their stem, so the
+    scoped rules simply never match them.
+    """
+    parts = list(os.path.normpath(path).split(os.sep))
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    if "repro" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+        parts = parts[anchor:]
+    else:
+        parts = parts[-1:]
+    return ".".join(part for part in parts if part) or "<module>"
+
+
+def load_module(path: str) -> SourceModule:
+    """Read and parse one file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return module_from_source(
+        source, path=path, module=_module_name_for(path)
+    )
+
+
+def python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Yield ``.py`` files under ``paths`` (files or directory trees)."""
+    for root in paths:
+        if os.path.isfile(root):
+            if root.endswith(".py"):
+                yield root
+            continue
+        if not os.path.isdir(root):
+            raise InvalidInputError(f"lint path does not exist: {root!r}")
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if d not in {"__pycache__", ".git"} and not d.endswith(".egg-info")
+            )
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(dirpath, filename)
+
+
+def lint_modules(
+    mods: Sequence[SourceModule], rules: Sequence[Rule]
+) -> LintReport:
+    """Run ``rules`` over parsed modules and fold in suppressions."""
+    report = LintReport(
+        files_checked=len(mods),
+        rule_ids=tuple(rule.rule_id for rule in rules),
+    )
+    raw: list[tuple[SourceModule, Finding]] = []
+    for rule in rules:
+        for mod in mods:
+            for finding in rule.check_module(mod):
+                raw.append((mod, finding))
+        for finding in rule.check_project(mods):
+            # Attribute the finding to the module it points at, so its
+            # suppressions apply; fall back to the first module.
+            owner = next((m for m in mods if m.path == finding.path), None)
+            if owner is None and mods:
+                owner = mods[0]
+            if owner is not None:
+                raw.append((owner, finding))
+    for mod, finding in raw:
+        supp = mod.suppression_for(finding)
+        if supp is None:
+            report.findings.append(finding)
+        else:
+            report.suppressed.append((finding, supp))
+    # Engine-level check: every suppression must explain itself.
+    for mod in mods:
+        for supp in mod.suppressions:
+            if not supp.explained:
+                report.findings.append(
+                    Finding(
+                        rule_id=META_RULE_ID,
+                        path=mod.path,
+                        line=supp.line,
+                        message=(
+                            "suppression "
+                            f"`isobar: ignore[{', '.join(supp.rule_ids)}]` "
+                            "carries no reason"
+                        ),
+                        hint="append a short justification after the bracket",
+                    )
+                )
+    report.findings.sort(key=lambda f: (f.path, f.line, f.rule_id))
+    return report
+
+
+def lint_paths(
+    paths: Sequence[str], rules: Sequence[Rule]
+) -> LintReport:
+    """Lint every Python file under ``paths`` with ``rules``.
+
+    Unparseable files surface as ``ISO-PARSE`` findings instead of
+    aborting the run, so one syntax error cannot hide other findings.
+    """
+    mods: list[SourceModule] = []
+    parse_failures: list[Finding] = []
+    count = 0
+    for file_path in python_files(paths):
+        count += 1
+        try:
+            mods.append(load_module(file_path))
+        except SyntaxError as exc:
+            parse_failures.append(
+                Finding(
+                    rule_id=PARSE_RULE_ID,
+                    path=file_path,
+                    line=exc.lineno or 1,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+    report = lint_modules(mods, rules)
+    report.files_checked = count
+    report.findings.extend(parse_failures)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.rule_id))
+    return report

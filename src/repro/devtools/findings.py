@@ -1,0 +1,70 @@
+"""Finding and suppression records produced by the invariant linter.
+
+A :class:`Finding` pins one invariant violation to a ``file:line`` with
+the rule id that fired and a fix hint; a :class:`Suppression` records
+one ``# isobar: ignore[RULE] reason`` comment.  Both serialize to plain
+dictionaries so the runner can emit machine-readable reports
+(``python -m repro.devtools.lint --json``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+__all__ = ["Finding", "Suppression"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One invariant violation located in the source tree."""
+
+    rule_id: str
+    path: str
+    line: int
+    message: str
+    #: How to fix it (or how to suppress it when intentional).
+    hint: str = ""
+
+    def render(self) -> str:
+        """One-line ``path:line: RULE message`` report form."""
+        text = f"{self.path}:{self.line}: {self.rule_id} {self.message}"
+        if self.hint:
+            text += f" [{self.hint}]"
+        return text
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-dict form for the JSON report."""
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One ``# isobar: ignore[RULE] reason`` comment found in a file.
+
+    Suppressions without a ``reason`` are themselves reported (rule
+    ``ISO000``): an unexplained suppression hides an invariant
+    violation from future readers.
+    """
+
+    path: str
+    line: int
+    rule_ids: tuple[str, ...]
+    reason: str
+
+    @property
+    def explained(self) -> bool:
+        """Whether the suppression carries a non-empty reason."""
+        return bool(self.reason.strip())
+
+    def covers(self, rule_id: str) -> bool:
+        """Whether this suppression silences ``rule_id``."""
+        return rule_id in self.rule_ids or "*" in self.rule_ids
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-dict form for the JSON report."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule_ids": list(self.rule_ids),
+            "reason": self.reason,
+        }

@@ -1,0 +1,62 @@
+"""Runner for the repo invariant linter.
+
+Usage::
+
+    python -m repro.devtools.lint [paths ...] [--json]
+
+With no paths it lints the ``repro`` package it was imported from.
+Exit status is 0 when clean, 1 when any finding survives suppression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Sequence
+
+import repro
+from repro.devtools.engine import LintReport, lint_paths
+from repro.devtools.rules import default_rules
+
+__all__ = ["default_lint_root", "main", "run"]
+
+
+def default_lint_root() -> str:
+    """The installed ``repro`` package directory (the default target)."""
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def run(paths: Sequence[str]) -> LintReport:
+    """Lint ``paths`` with the full rule pack."""
+    return lint_paths(list(paths), default_rules())
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="Check repo invariants (rules ISO001-ISO006).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable JSON report instead of text",
+    )
+    args = parser.parse_args(argv)
+    paths = args.paths or [default_lint_root()]
+    report = run(paths)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

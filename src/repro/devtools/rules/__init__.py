@@ -1,0 +1,41 @@
+"""The repo-invariant rule pack.
+
+Each module contributes one (or two, for the exception rules) concrete
+:class:`~repro.devtools.engine.Rule`.  :func:`default_rules` builds the
+pack the runner and the tier-1 gate use; tests instantiate individual
+rules with fixture-scoped module names instead.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.engine import Rule
+from repro.devtools.rules.metrics_guard import MetricsGuardRule
+from repro.devtools.rules.registry_lock import RegistryLockRule
+from repro.devtools.rules.mode_symmetry import ChunkModeSymmetryRule
+from repro.devtools.rules.facade import FacadeContractRule
+from repro.devtools.rules.exception_rules import (
+    ErrorHierarchyRule,
+    ExceptSwallowRule,
+)
+
+__all__ = [
+    "ChunkModeSymmetryRule",
+    "ErrorHierarchyRule",
+    "ExceptSwallowRule",
+    "FacadeContractRule",
+    "MetricsGuardRule",
+    "RegistryLockRule",
+    "default_rules",
+]
+
+
+def default_rules() -> tuple[Rule, ...]:
+    """The full rule pack, in rule-id order."""
+    return (
+        MetricsGuardRule(),
+        RegistryLockRule(),
+        ChunkModeSymmetryRule(),
+        FacadeContractRule(),
+        ExceptSwallowRule(),
+        ErrorHierarchyRule(),
+    )

@@ -1,0 +1,171 @@
+"""ISO005/ISO006 — exception hygiene for the core and codec layers.
+
+ISO005 targets the classic salvage-era bug: a broad ``except`` that
+swallows the error and leaves no trace.  Broad handlers are fine — the
+fault-containment layer is built on them — as long as the handler
+visibly does *something* with the failure: re-raises, logs, records a
+``DegradationEvent``, or binds the exception and threads it onward.
+
+ISO006 keeps the error surface navigable: code under ``repro``
+raises exceptions from the repo hierarchy (``IsobarError`` and
+friends, which also subclass the matching builtins), never bare
+builtins, so callers can catch ``IsobarError`` and get everything.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.devtools.astutil import dotted_name
+from repro.devtools.engine import Finding, Rule, SourceModule
+
+__all__ = ["ErrorHierarchyRule", "ExceptSwallowRule"]
+
+DEFAULT_SWALLOW_PREFIXES = ("repro.core.", "repro.codecs.")
+
+#: Broad exception types that trigger the swallow check.
+_BROAD_TYPES = frozenset({"Exception", "BaseException"})
+
+#: Logger-ish call attributes that count as recording the failure.
+_LOG_METHODS = frozenset(
+    {"debug", "info", "warning", "error", "exception", "critical", "log"}
+)
+
+#: Calls that record the failure into the degradation ledger.
+_DEGRADATION_NAMES = frozenset(
+    {"DegradationEvent", "record_degradation", "record_chunk_outcome"}
+)
+
+DEFAULT_HIERARCHY_PREFIXES = ("repro.",)
+
+#: Builtin exceptions that must not be raised directly under repro.
+_FORBIDDEN_BUILTINS = frozenset(
+    {
+        "ArithmeticError",
+        "AssertionError",
+        "AttributeError",
+        "BaseException",
+        "BufferError",
+        "EOFError",
+        "Exception",
+        "IOError",
+        "IndexError",
+        "KeyError",
+        "LookupError",
+        "OSError",
+        "OverflowError",
+        "RuntimeError",
+        "TypeError",
+        "ValueError",
+        "ZeroDivisionError",
+    }
+)
+
+
+def _module_in_scope(module: str, prefixes: tuple[str, ...]) -> bool:
+    return any(
+        module == prefix.rstrip(".") or module.startswith(prefix)
+        for prefix in prefixes
+    )
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    name = dotted_name(handler.type)
+    return name is not None and name.split(".")[-1] in _BROAD_TYPES
+
+
+def _handler_accounts_for_failure(handler: ast.ExceptHandler) -> bool:
+    """Whether a broad handler visibly does something with the error."""
+    bound = handler.name
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if bound is not None and isinstance(node, ast.Name) and node.id == bound:
+            if isinstance(node.ctx, ast.Load):
+                return True
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            terminal = name.split(".")[-1]
+            if terminal in _DEGRADATION_NAMES:
+                return True
+            if terminal in _LOG_METHODS and "." in name:
+                return True
+    return False
+
+
+class ExceptSwallowRule(Rule):
+    """ISO005: broad ``except`` that silently swallows the failure."""
+
+    rule_id = "ISO005"
+    title = "broad except handlers must not swallow failures silently"
+    hint = (
+        "re-raise, log, record a DegradationEvent, or bind the "
+        "exception and thread it onward"
+    )
+
+    def __init__(self, module_prefixes: Iterable[str] | None = None):
+        self.module_prefixes = tuple(
+            DEFAULT_SWALLOW_PREFIXES if module_prefixes is None
+            else module_prefixes
+        )
+
+    def check_module(self, mod: SourceModule) -> Iterable[Finding]:
+        if not _module_in_scope(mod.module, self.module_prefixes):
+            return
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node):
+                continue
+            if _handler_accounts_for_failure(node):
+                continue
+            caught = (
+                "bare except" if node.type is None
+                else f"except {dotted_name(node.type)}"
+            )
+            yield self.finding(
+                mod,
+                node,
+                f"{caught} swallows the failure without re-raising, "
+                "logging, or recording a degradation",
+            )
+
+
+class ErrorHierarchyRule(Rule):
+    """ISO006: raising a bare builtin instead of the repo hierarchy."""
+
+    rule_id = "ISO006"
+    title = "repro code raises exceptions from the repo error hierarchy"
+    hint = (
+        "raise the matching repro.core.exceptions type (e.g. "
+        "InvalidInputError subclasses ValueError)"
+    )
+
+    def __init__(self, module_prefixes: Iterable[str] | None = None):
+        self.module_prefixes = tuple(
+            DEFAULT_HIERARCHY_PREFIXES if module_prefixes is None
+            else module_prefixes
+        )
+
+    def check_module(self, mod: SourceModule) -> Iterable[Finding]:
+        if not _module_in_scope(mod.module, self.module_prefixes):
+            return
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            if isinstance(exc, ast.Call):
+                exc = exc.func
+            name = dotted_name(exc)
+            if name is not None and name in _FORBIDDEN_BUILTINS:
+                yield self.finding(
+                    mod,
+                    node,
+                    f"raises builtin `{name}` directly instead of a "
+                    "repro error hierarchy type",
+                )

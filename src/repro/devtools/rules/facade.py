@@ -1,0 +1,85 @@
+"""ISO004 — the public facade keeps its call-shape contract.
+
+``repro.api`` (re-exported from ``repro``) promises two things:
+
+* every public function takes at most one positional argument, so
+  options can be added, renamed and reordered without breaking
+  callers (``compress(values, level=3)`` — never
+  ``compress(values, 3)``);
+* any ``errors=`` policy string is validated through
+  :func:`repro.core.preferences.normalize_errors` (directly, or by
+  forwarding ``errors=`` to a layer that does) before it can steer a
+  decode.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.devtools.astutil import dotted_name
+from repro.devtools.engine import Finding, Rule, SourceModule
+
+__all__ = ["FacadeContractRule"]
+
+DEFAULT_FACADE_MODULES = frozenset({"repro", "repro.api"})
+
+
+def _routes_errors(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """Whether ``fn`` validates or forwards its ``errors`` parameter."""
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func)
+        if name is not None and name.split(".")[-1] == "normalize_errors":
+            return True
+        for keyword in node.keywords:
+            if keyword.arg == "errors":
+                return True
+    return False
+
+
+class FacadeContractRule(Rule):
+    """ISO004: facade function breaks the keyword-only/errors contract."""
+
+    rule_id = "ISO004"
+    title = "facade functions are keyword-only past the first argument"
+    hint = (
+        "insert `*` after the first parameter; route `errors` through "
+        "normalize_errors or forward it as an `errors=` keyword"
+    )
+
+    def __init__(self, facade_modules: Iterable[str] | None = None):
+        self.facade_modules = frozenset(
+            DEFAULT_FACADE_MODULES if facade_modules is None else facade_modules
+        )
+
+    def check_module(self, mod: SourceModule) -> Iterable[Finding]:
+        if mod.module not in self.facade_modules:
+            return
+        for stmt in mod.tree.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name.startswith("_"):
+                continue
+            positional = stmt.args.posonlyargs + stmt.args.args
+            if len(positional) > 1:
+                extra = ", ".join(arg.arg for arg in positional[1:])
+                yield self.finding(
+                    mod,
+                    stmt,
+                    f"public facade function `{stmt.name}` accepts "
+                    f"positional parameter(s) `{extra}` past the first "
+                    "argument",
+                )
+            param_names = {
+                arg.arg
+                for arg in positional + stmt.args.kwonlyargs
+            }
+            if "errors" in param_names and not _routes_errors(stmt):
+                yield self.finding(
+                    mod,
+                    stmt,
+                    f"`{stmt.name}` takes an `errors` policy but neither "
+                    "calls normalize_errors nor forwards `errors=` onward",
+                )

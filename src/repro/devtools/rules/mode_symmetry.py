@@ -1,0 +1,113 @@
+"""ISO003 — every ``ChunkMode`` is handled by encoder *and* decoder.
+
+The container format is only round-trippable if the chunk encoder and
+decoder agree on the mode set: a member produced by
+``encode_chunk_payload`` (or the fallback path) that
+``decode_chunk_payload`` never names is a silent data-loss bug waiting
+for its first chunk.  This is a cross-module invariant — the enum
+lives in ``core.metadata`` while both codecs live in
+``core.pipeline`` — so the rule runs at project scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Sequence
+
+from repro.devtools.engine import Finding, Rule, SourceModule
+
+__all__ = ["ChunkModeSymmetryRule"]
+
+DEFAULT_ENCODER_FUNCTIONS = frozenset({"encode_chunk_payload", "_fallback_streams"})
+DEFAULT_DECODER_FUNCTIONS = frozenset({"decode_chunk_payload"})
+
+
+def _enum_members(cls: ast.ClassDef) -> list[tuple[str, int]]:
+    """``(member, line)`` pairs for an enum class body."""
+    members: list[tuple[str, int]] = []
+    for stmt in cls.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and not target.id.startswith("_"):
+                    members.append((target.id, stmt.lineno))
+    return members
+
+
+def _member_refs(fn: ast.AST, enum_name: str) -> set[str]:
+    """Enum members referenced as ``<enum_name>.<member>`` inside ``fn``."""
+    refs: set[str] = set()
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == enum_name
+        ):
+            refs.add(node.attr)
+    return refs
+
+
+class ChunkModeSymmetryRule(Rule):
+    """ISO003: a ``ChunkMode`` member missing from encoder or decoder."""
+
+    rule_id = "ISO003"
+    title = "chunk modes must be matched by both encoder and decoder"
+    hint = (
+        "name the member explicitly in the missing side (an implicit "
+        "`else` does not count as handling it)"
+    )
+
+    def __init__(
+        self,
+        enum_name: str = "ChunkMode",
+        encoder_functions: Iterable[str] | None = None,
+        decoder_functions: Iterable[str] | None = None,
+    ):
+        self.enum_name = enum_name
+        self.encoder_functions = frozenset(
+            DEFAULT_ENCODER_FUNCTIONS if encoder_functions is None
+            else encoder_functions
+        )
+        self.decoder_functions = frozenset(
+            DEFAULT_DECODER_FUNCTIONS if decoder_functions is None
+            else decoder_functions
+        )
+
+    def check_project(
+        self, mods: Sequence[SourceModule]
+    ) -> Iterable[Finding]:
+        members: list[tuple[str, int]] = []
+        encoders: list[tuple[SourceModule, ast.AST]] = []
+        decoders: list[tuple[SourceModule, ast.AST]] = []
+        for mod in mods:
+            for node in ast.walk(mod.tree):
+                if isinstance(node, ast.ClassDef) and node.name == self.enum_name:
+                    members.extend(_enum_members(node))
+                elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if node.name in self.encoder_functions:
+                        encoders.append((mod, node))
+                    elif node.name in self.decoder_functions:
+                        decoders.append((mod, node))
+        # Only meaningful when the whole triangle is in view — linting a
+        # single unrelated file must not flag every member as missing.
+        if not members or not encoders or not decoders:
+            return
+        encoder_refs: set[str] = set()
+        for mod, fn in encoders:
+            encoder_refs |= _member_refs(fn, self.enum_name)
+        decoder_refs: set[str] = set()
+        for mod, fn in decoders:
+            decoder_refs |= _member_refs(fn, self.enum_name)
+        for member, _line in members:
+            for side, refs, fns in (
+                ("encoder", encoder_refs, encoders),
+                ("decoder", decoder_refs, decoders),
+            ):
+                if member not in refs:
+                    anchor_mod, anchor_fn = fns[0]
+                    yield self.finding(
+                        anchor_mod,
+                        anchor_fn,
+                        f"`{self.enum_name}.{member}` is never matched on "
+                        f"the {side} side "
+                        f"(`{getattr(anchor_fn, 'name', side)}`)",
+                    )

@@ -1,0 +1,137 @@
+"""ISO002 — module-level registries mutate only under a lock.
+
+The repo keeps several process-wide registries in module-level
+dictionaries and sets (the codec registry, the chaos shadow, the
+dataset catalogue, the deprecation-warning dedup set).  They are read
+from worker threads, so any mutation reachable after import must hold
+the registry's lock.  Populating a registry at module top level is
+exempt: imports are serialized by the interpreter's import lock.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.devtools.astutil import dotted_name, enclosing_functions, walk_with_ancestors
+from repro.devtools.engine import Finding, Rule, SourceModule
+
+__all__ = ["RegistryLockRule"]
+
+#: Mutating methods on dicts and sets.
+_MUTATORS = frozenset(
+    {
+        "pop",
+        "update",
+        "clear",
+        "setdefault",
+        "popitem",
+        "add",
+        "discard",
+        "remove",
+    }
+)
+
+#: Constructor calls that build a mutable registry container.
+_CONTAINER_CALLS = frozenset({"dict", "set", "defaultdict", "OrderedDict"})
+
+
+def _is_container_value(value: ast.AST) -> bool:
+    if isinstance(value, (ast.Dict, ast.Set, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        name = dotted_name(value.func)
+        return name is not None and name.split(".")[-1] in _CONTAINER_CALLS
+    return False
+
+
+def _module_level_registries(tree: ast.Module) -> set[str]:
+    """Names bound to a mutable dict/set at module top level."""
+    names: set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign) and _is_container_value(stmt.value):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif (
+            isinstance(stmt, ast.AnnAssign)
+            and stmt.value is not None
+            and isinstance(stmt.target, ast.Name)
+            and _is_container_value(stmt.value)
+        ):
+            names.add(stmt.target.id)
+    return names
+
+
+def _holds_lock(ancestors: tuple[ast.AST, ...]) -> bool:
+    """Whether any enclosing ``with`` acquires something lock-like."""
+    for node in ancestors:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                expr = item.context_expr
+                if isinstance(expr, ast.Call):
+                    expr = expr.func
+                name = dotted_name(expr)
+                if name is not None and "lock" in name.lower():
+                    return True
+    return False
+
+
+def _mutated_registry(node: ast.AST, registries: set[str]) -> str | None:
+    """The registry name ``node`` mutates, or None."""
+    if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            if isinstance(target, ast.Subscript):
+                name = dotted_name(target.value)
+                if name in registries:
+                    return name
+    elif isinstance(node, ast.Delete):
+        for target in node.targets:
+            if isinstance(target, ast.Subscript):
+                name = dotted_name(target.value)
+                if name in registries:
+                    return name
+    elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in _MUTATORS:
+            name = dotted_name(node.func.value)
+            if name in registries:
+                return name
+    return None
+
+
+class RegistryLockRule(Rule):
+    """ISO002: module-level registry mutated without holding a lock."""
+
+    rule_id = "ISO002"
+    title = "module-level registry mutations must hold the registry lock"
+    hint = (
+        "wrap the mutation in `with <REGISTRY>_LOCK:` (or add the "
+        "function to the rule's allowlist if single-threaded by design)"
+    )
+
+    def __init__(self, allowlist: Iterable[str] | None = None):
+        #: Function names permitted to mutate registries lock-free.
+        self.allowlist = frozenset(allowlist or ())
+
+    def check_module(self, mod: SourceModule) -> Iterable[Finding]:
+        registries = _module_level_registries(mod.tree)
+        if not registries:
+            return
+        for node, ancestors in walk_with_ancestors(mod.tree):
+            name = _mutated_registry(node, registries)
+            if name is None:
+                continue
+            funcs = enclosing_functions(ancestors)
+            if not funcs:
+                continue  # top-level population runs under the import lock
+            if any(fn.name in self.allowlist for fn in funcs):
+                continue
+            if _holds_lock(ancestors):
+                continue
+            yield self.finding(
+                mod,
+                node,
+                f"module-level registry `{name}` mutated in "
+                f"`{funcs[-1].name}` without holding a lock",
+            )

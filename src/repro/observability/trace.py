@@ -33,7 +33,14 @@ import threading
 import time
 from dataclasses import dataclass
 
-__all__ = ["Span", "StageTotals", "Tracer", "NullSpan", "NULL_TRACER"]
+__all__ = [
+    "AnyTracer",
+    "NULL_TRACER",
+    "NullSpan",
+    "Span",
+    "StageTotals",
+    "Tracer",
+]
 
 
 @dataclass
@@ -237,3 +244,7 @@ class _NullTracer:
 
 #: Shared no-op tracer bound by every disabled pipeline.
 NULL_TRACER = _NullTracer()
+
+#: What pipeline ``tracer=`` parameters accept: a real tracer or the
+#: null object (both expose the same span/add/stage_seconds surface).
+AnyTracer = Tracer | _NullTracer

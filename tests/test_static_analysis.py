@@ -1,0 +1,531 @@
+"""Tier-1 gate for the repo invariant linter (``repro.devtools``).
+
+Two layers:
+
+* the shipped source tree must lint clean under the full rule pack,
+  with every surviving suppression carrying a reason;
+* each rule must fire on a known-bad fixture and stay quiet on the
+  known-good twin, so a rule silently dying cannot pass unnoticed.
+
+Fixtures run through :func:`module_from_source` with rule-scoped
+module names (``repro.core.pipeline`` etc.), exactly how the engine
+sees real files.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.devtools import (
+    default_rules,
+    lint_modules,
+    lint_paths,
+    module_from_source,
+)
+from repro.devtools.engine import META_RULE_ID, PARSE_RULE_ID
+from repro.devtools.rules import (
+    ChunkModeSymmetryRule,
+    ErrorHierarchyRule,
+    ExceptSwallowRule,
+    FacadeContractRule,
+    MetricsGuardRule,
+    RegistryLockRule,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+PACKAGE = os.path.join(SRC, "repro")
+
+
+def run_rule(rule, source, *, module="repro.core.pipeline"):
+    """Lint a dedented fixture snippet as if it lived in ``module``."""
+    mod = module_from_source(
+        textwrap.dedent(source), path="fixture.py", module=module
+    )
+    return lint_modules([mod], [rule])
+
+
+def rule_ids(report):
+    return [finding.rule_id for finding in report.findings]
+
+
+class TestShippedTreeIsClean:
+    def test_package_lints_clean(self):
+        report = lint_paths([PACKAGE], default_rules())
+        assert report.ok, "\n" + report.render_text()
+
+    def test_every_suppression_carries_a_reason(self):
+        report = lint_paths([PACKAGE], default_rules())
+        assert report.suppressed, "expected the documented suppressions"
+        for finding, suppression in report.suppressed:
+            assert suppression.explained, finding.render()
+
+    def test_py_typed_marker_ships(self):
+        assert os.path.exists(os.path.join(PACKAGE, "py.typed"))
+
+
+class TestMetricsGuardRule:
+    BAD = """
+    class Pipeline:
+        def run(self):
+            self.metrics.counter("chunks").inc()
+    """
+
+    def test_fires_on_unguarded_call(self):
+        report = run_rule(MetricsGuardRule(), self.BAD)
+        assert rule_ids(report) == ["ISO001"]
+
+    def test_quiet_outside_hot_modules(self):
+        report = run_rule(
+            MetricsGuardRule(), self.BAD, module="repro.bench.tables"
+        )
+        assert report.ok
+
+    def test_quiet_for_null_object_default(self):
+        report = run_rule(
+            MetricsGuardRule(),
+            """
+            NULL_TRACER = object()
+
+            def encode(chunk, tracer=NULL_TRACER):
+                tracer.add("partition", 0.1)
+            """,
+        )
+        assert report.ok
+
+    def test_quiet_behind_enabled_guard(self):
+        report = run_rule(
+            MetricsGuardRule(),
+            """
+            class Pipeline:
+                def run(self):
+                    if self._metrics.enabled:
+                        self._metrics.counter("chunks").inc()
+            """,
+        )
+        assert report.ok
+
+    def test_null_safety_propagates_through_copies(self):
+        report = run_rule(
+            MetricsGuardRule(),
+            """
+            NULL_REGISTRY = object()
+
+            class Pipeline:
+                def __init__(self, metrics=None):
+                    self._registry = NULL_REGISTRY if metrics is None else metrics
+
+                def run(self):
+                    registry = self._registry
+                    registry.counter("chunks").inc()
+            """,
+        )
+        assert report.ok
+
+
+class TestRegistryLockRule:
+    def test_fires_on_unlocked_mutation(self):
+        report = run_rule(
+            RegistryLockRule(),
+            """
+            _REGISTRY = {}
+
+            def register(name, value):
+                _REGISTRY[name] = value
+            """,
+        )
+        assert rule_ids(report) == ["ISO002"]
+
+    def test_quiet_under_lock(self):
+        report = run_rule(
+            RegistryLockRule(),
+            """
+            import threading
+
+            _REGISTRY = {}
+            _REGISTRY_LOCK = threading.Lock()
+
+            def register(name, value):
+                with _REGISTRY_LOCK:
+                    _REGISTRY[name] = value
+
+            def drop(name):
+                with _REGISTRY_LOCK:
+                    _REGISTRY.pop(name, None)
+            """,
+        )
+        assert report.ok
+
+    def test_quiet_for_import_time_population(self):
+        report = run_rule(
+            RegistryLockRule(),
+            """
+            _REGISTRY = {}
+            for name in ("a", "b"):
+                _REGISTRY[name] = name.upper()
+            """,
+        )
+        assert report.ok
+
+    def test_allowlisted_function_is_exempt(self):
+        report = run_rule(
+            RegistryLockRule(allowlist={"bootstrap"}),
+            """
+            _REGISTRY = {}
+
+            def bootstrap():
+                _REGISTRY.clear()
+            """,
+        )
+        assert report.ok
+
+
+class TestChunkModeSymmetryRule:
+    def test_fires_on_member_missing_from_encoder(self):
+        report = run_rule(
+            ChunkModeSymmetryRule(),
+            """
+            class ChunkMode:
+                PASSTHROUGH = 0
+                PARTITIONED = 1
+
+            def encode_chunk_payload(mode):
+                return ChunkMode.PARTITIONED
+
+            def decode_chunk_payload(mode):
+                if mode is ChunkMode.PARTITIONED:
+                    return 1
+                if mode is ChunkMode.PASSTHROUGH:
+                    return 0
+            """,
+        )
+        assert rule_ids(report) == ["ISO003"]
+        assert "PASSTHROUGH" in report.findings[0].message
+        assert "encoder" in report.findings[0].message
+
+    def test_quiet_when_both_sides_match_every_member(self):
+        report = run_rule(
+            ChunkModeSymmetryRule(),
+            """
+            class ChunkMode:
+                PASSTHROUGH = 0
+                PARTITIONED = 1
+
+            def encode_chunk_payload(mode):
+                if mode is ChunkMode.PARTITIONED:
+                    return 1
+                return ChunkMode.PASSTHROUGH
+
+            def decode_chunk_payload(mode):
+                if mode is ChunkMode.PARTITIONED:
+                    return 1
+                if mode is ChunkMode.PASSTHROUGH:
+                    return 0
+            """,
+        )
+        assert report.ok
+
+    def test_quiet_without_the_full_triangle(self):
+        # Linting the enum alone must not flag every member as missing.
+        report = run_rule(
+            ChunkModeSymmetryRule(),
+            """
+            class ChunkMode:
+                PASSTHROUGH = 0
+            """,
+        )
+        assert report.ok
+
+
+class TestFacadeContractRule:
+    def test_fires_on_positional_parameters(self):
+        report = run_rule(
+            FacadeContractRule(),
+            """
+            def compress(values, level):
+                return values
+            """,
+            module="repro.api",
+        )
+        assert rule_ids(report) == ["ISO004"]
+        assert "level" in report.findings[0].message
+
+    def test_fires_on_unrouted_errors_policy(self):
+        report = run_rule(
+            FacadeContractRule(),
+            """
+            def decompress(data, *, errors="raise"):
+                return data
+            """,
+            module="repro.api",
+        )
+        assert rule_ids(report) == ["ISO004"]
+        assert "normalize_errors" in report.findings[0].message
+
+    def test_quiet_for_conforming_facade(self):
+        report = run_rule(
+            FacadeContractRule(),
+            """
+            def decompress(data, *, errors="raise"):
+                normalize_errors(errors)
+                return data
+
+            def salvage(data, *, errors="salvage-skip"):
+                return lower_layer(data, errors=errors)
+
+            def _helper(a, b, c):
+                return a
+            """,
+            module="repro.api",
+        )
+        assert report.ok
+
+    def test_quiet_outside_facade_modules(self):
+        report = run_rule(
+            FacadeContractRule(),
+            """
+            def helper(a, b, c):
+                return a
+            """,
+            module="repro.core.pipeline",
+        )
+        assert report.ok
+
+
+class TestExceptSwallowRule:
+    def test_fires_on_silent_broad_except(self):
+        report = run_rule(
+            ExceptSwallowRule(),
+            """
+            def run():
+                try:
+                    work()
+                except Exception:
+                    pass
+            """,
+            module="repro.core.pipeline",
+        )
+        assert rule_ids(report) == ["ISO005"]
+
+    def test_fires_on_bare_except(self):
+        report = run_rule(
+            ExceptSwallowRule(),
+            """
+            def run():
+                try:
+                    work()
+                except:
+                    result = None
+            """,
+            module="repro.codecs.lzss",
+        )
+        assert rule_ids(report) == ["ISO005"]
+
+    def test_quiet_when_handler_accounts_for_failure(self):
+        report = run_rule(
+            ExceptSwallowRule(),
+            """
+            def reraises():
+                try:
+                    work()
+                except Exception:
+                    raise
+
+            def threads_it_onward(box):
+                try:
+                    work()
+                except BaseException as exc:
+                    box.append(("err", exc))
+
+            def logs_it(log):
+                try:
+                    work()
+                except Exception:
+                    log.warning("work failed")
+            """,
+            module="repro.core.stream",
+        )
+        assert report.ok
+
+    def test_quiet_outside_core_and_codecs(self):
+        report = run_rule(
+            ExceptSwallowRule(),
+            """
+            def run():
+                try:
+                    work()
+                except Exception:
+                    pass
+            """,
+            module="repro.testing.faults",
+        )
+        assert report.ok
+
+    def test_narrow_except_is_fine(self):
+        report = run_rule(
+            ExceptSwallowRule(),
+            """
+            def run():
+                try:
+                    work()
+                except KeyError:
+                    pass
+            """,
+            module="repro.core.pipeline",
+        )
+        assert report.ok
+
+
+class TestErrorHierarchyRule:
+    def test_fires_on_builtin_raise(self):
+        report = run_rule(
+            ErrorHierarchyRule(),
+            """
+            def check(n):
+                if n < 0:
+                    raise ValueError("negative")
+            """,
+            module="repro.bench.report",
+        )
+        assert rule_ids(report) == ["ISO006"]
+
+    def test_quiet_for_hierarchy_and_reraise(self):
+        report = run_rule(
+            ErrorHierarchyRule(),
+            """
+            def check(n):
+                if n < 0:
+                    raise InvalidInputError("negative")
+                try:
+                    work()
+                except Exception as exc:
+                    raise CodecError("wrapped") from exc
+
+            def passthrough(exc):
+                raise exc
+            """,
+            module="repro.core.pipeline",
+        )
+        assert report.ok
+
+    def test_quiet_outside_repro(self):
+        report = run_rule(
+            ErrorHierarchyRule(),
+            """
+            def check(n):
+                raise ValueError("negative")
+            """,
+            module="fixture",
+        )
+        assert report.ok
+
+
+class TestSuppressions:
+    SOURCE = """
+    _REGISTRY = {{}}
+
+    def register(name, value):
+        _REGISTRY[name] = value  # isobar: ignore[ISO002]{reason}
+    """
+
+    def test_unexplained_suppression_is_reported(self):
+        report = run_rule(
+            RegistryLockRule(),
+            self.SOURCE.format(reason=""),
+        )
+        assert rule_ids(report) == [META_RULE_ID]
+        assert len(report.suppressed) == 1
+
+    def test_explained_suppression_silences_the_finding(self):
+        report = run_rule(
+            RegistryLockRule(),
+            self.SOURCE.format(reason=" single-threaded bootstrap"),
+        )
+        assert report.ok
+        finding, suppression = report.suppressed[0]
+        assert finding.rule_id == "ISO002"
+        assert suppression.reason == "single-threaded bootstrap"
+
+    def test_comment_line_above_also_suppresses(self):
+        report = run_rule(
+            RegistryLockRule(),
+            """
+            _REGISTRY = {}
+
+            def register(name, value):
+                # isobar: ignore[ISO002] single-threaded bootstrap
+                _REGISTRY[name] = value
+            """,
+        )
+        assert report.ok
+        assert len(report.suppressed) == 1
+
+    def test_unrelated_rule_id_does_not_suppress(self):
+        report = run_rule(
+            RegistryLockRule(),
+            """
+            _REGISTRY = {}
+
+            def register(name, value):
+                _REGISTRY[name] = value  # isobar: ignore[ISO005] wrong rule
+            """,
+        )
+        assert rule_ids(report) == ["ISO002"]
+
+
+class TestRunner:
+    def _run(self, *argv, cwd=REPO_ROOT):
+        env = dict(os.environ, PYTHONPATH=SRC)
+        return subprocess.run(
+            [sys.executable, "-m", "repro.devtools.lint", *argv],
+            capture_output=True, text=True, env=env, cwd=cwd,
+        )
+
+    def test_clean_tree_exits_zero(self):
+        proc = self._run(PACKAGE)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 finding(s)" in proc.stdout
+
+    def test_violation_exits_one_with_json_report(self, tmp_path):
+        bad = tmp_path / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def f():\n    raise ValueError('x')\n")
+        proc = self._run("--json", str(tmp_path))
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert payload["ok"] is False
+        assert [f["rule_id"] for f in payload["findings"]] == ["ISO006"]
+        assert payload["findings"][0]["line"] == 2
+
+    def test_syntax_error_is_reported_not_fatal(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        proc = self._run(str(tmp_path))
+        assert proc.returncode == 1
+        assert PARSE_RULE_ID in proc.stdout
+
+    def test_cli_subcommand_matches_runner(self):
+        from repro.cli import main
+
+        assert main(["lint", PACKAGE]) == 0
+
+
+@pytest.mark.skipif(
+    importlib.util.find_spec("mypy") is None,
+    reason="mypy not installed in this environment",
+)
+def test_mypy_passes_on_strict_set():
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "mypy",
+            "--config-file", os.path.join(REPO_ROOT, "pyproject.toml"),
+        ],
+        capture_output=True, text=True, cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

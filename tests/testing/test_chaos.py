@@ -1,10 +1,17 @@
 """Unit tests for the chaos harness (misbehaving codec wrappers)."""
 
+import threading
 import time
 
 import pytest
 
-from repro.codecs.base import CallableCodec, get_codec, unregister_codec
+from repro.codecs.base import (
+    CallableCodec,
+    codec_registry_snapshot,
+    get_codec,
+    register_codec,
+    unregister_codec,
+)
 from repro.core.exceptions import CodecError, UnknownCodecError
 from repro.testing.chaos import (
     ChaosCodecError,
@@ -160,3 +167,76 @@ class TestChaosCodecRegistry:
     def test_unregister_missing_name_raises(self):
         with pytest.raises(UnknownCodecError):
             unregister_codec("never-registered")
+
+    def test_fresh_name_unregistered_on_exception(self):
+        # The restore path must also run when the body raises for a
+        # codec that shadowed nothing: the name disappears again.
+        codec = CallableCodec("chaos-tmp", lambda b: b, lambda b: b)
+        with pytest.raises(RuntimeError):
+            with chaos_codec(codec):
+                raise RuntimeError("boom")
+        with pytest.raises(UnknownCodecError):
+            get_codec("chaos-tmp")
+
+    def test_nested_shadows_unwind_in_order(self):
+        real = get_codec("zlib")
+        outer = FlakyCodec("zlib", fail_percent=0.0)
+        inner = FlakyCodec(outer, fail_percent=0.0, name="zlib")
+        with chaos_codec(outer):
+            with pytest.raises(ChaosCodecError):
+                with chaos_codec(inner):
+                    assert get_codec("zlib") is inner
+                    raise ChaosCodecError("inner boom")
+            assert get_codec("zlib") is outer
+        assert get_codec("zlib") is real
+
+    def test_registry_survives_concurrent_shadowing(self):
+        # The registry lock must keep concurrent shadow/restore cycles
+        # and snapshot readers consistent: no lost restores, no
+        # mid-mutation snapshots blowing up.
+        baseline = codec_registry_snapshot()
+        errors = []
+
+        def churn(worker):
+            name = f"chaos-threaded-{worker}"
+            codec = CallableCodec(name, lambda b: b, lambda b: b)
+            try:
+                for _ in range(200):
+                    with chaos_codec(codec):
+                        assert get_codec(name) is codec
+                        codec_registry_snapshot()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=churn, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert codec_registry_snapshot() == baseline
+
+    def test_shadow_register_is_atomic_under_threads(self):
+        # replace=True re-registration from many threads must leave
+        # exactly one winner and never corrupt the entry.
+        real = get_codec("zlib")
+        wrappers = [
+            FlakyCodec("zlib", fail_percent=0.0, seed=i) for i in range(8)
+        ]
+
+        def shadow(wrapper):
+            for _ in range(100):
+                register_codec(wrapper, replace=True)
+                assert get_codec("zlib") in (*wrappers, real)
+
+        threads = [
+            threading.Thread(target=shadow, args=(w,)) for w in wrappers
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        register_codec(real, replace=True)
+        assert get_codec("zlib") is real
