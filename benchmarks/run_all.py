@@ -38,6 +38,17 @@ def main() -> int:
     ]
     if args.only:
         command.extend(["-k", args.only])
+    print("service load smoke (baseline + chaos scenarios)...")
+    service_smoke = subprocess.run(
+        [sys.executable, str(bench_dir / "run_service_load.py"),
+         "--smoke",
+         "--json", str(bench_dir / "results" / "BENCH_service_smoke.json")],
+        env=env,
+    )
+    if service_smoke.returncode:
+        print("service load smoke FAILED", file=sys.stderr)
+        return service_smoke.returncode
+
     print(f"regenerating all experiments at {args.elements} elements "
           f"per dataset...")
     completed = subprocess.run(command, env=env)

@@ -86,6 +86,7 @@ def build_parser() -> argparse.ArgumentParser:
     comp.add_argument("--resilience-json", metavar="PATH", default=None,
                       help="write the degradation report as JSON to PATH "
                            "('-' for stdout)")
+    _add_retry_arguments(comp)
 
     dec = sub.add_parser("decompress", help="restore a raw dataset file")
     dec.add_argument("input", help="ISOBAR container")
@@ -175,6 +176,47 @@ def build_parser() -> argparse.ArgumentParser:
                         help="input ISOBAR containers, in order")
     concat.add_argument("output", help="merged container")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the resilient async compression service",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="listen port (0 picks an ephemeral port)")
+    serve.add_argument("--max-inflight", type=int, default=4,
+                       help="concurrent compute requests (executor threads)")
+    serve.add_argument("--max-queue", type=int, default=16,
+                       help="admitted-but-waiting requests before shedding "
+                            "with 429")
+    serve.add_argument("--deadline-seconds", type=float, default=30.0,
+                       help="default per-request wall-clock budget")
+    serve.add_argument("--max-deadline-seconds", type=float, default=120.0,
+                       help="cap on client-requested deadlines")
+    serve.add_argument("--drain-seconds", type=float, default=10.0,
+                       help="grace period for in-flight work on SIGTERM")
+    serve.add_argument("--max-body-mb", type=float, default=64.0,
+                       help="request body limit in MiB (413 beyond it)")
+    serve.add_argument("--preference", choices=["ratio", "speed"],
+                       default="ratio")
+    serve.add_argument("--codec", default=None,
+                       help="explicit solver override served by default")
+    serve.add_argument("--linearization", choices=["row", "column"],
+                       default=None)
+    serve.add_argument("--chunk-elements", type=int, default=None)
+    serve.add_argument("--tau", type=float, default=None)
+    serve.add_argument("--strict", action="store_true",
+                       help="serve with strict resilience (degradation "
+                            "becomes 503 instead of a degraded 200)")
+    _add_retry_arguments(serve)
+    serve.add_argument("--chaos-seed", type=int, default=0,
+                       help="seed for the wire-level fault injectors")
+    serve.add_argument("--chaos-delay-percent", type=float, default=0.0,
+                       help="percent of requests delayed before handling")
+    serve.add_argument("--chaos-stall-percent", type=float, default=0.0,
+                       help="percent of responses stalled mid-body")
+    serve.add_argument("--chaos-truncate-percent", type=float, default=0.0,
+                       help="percent of responses truncated mid-body")
+
     lint = sub.add_parser(
         "lint", help="check repo invariants (rules ISO001-ISO006)"
     )
@@ -230,6 +272,48 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_retry_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared resilience retry/backoff flag group."""
+    group = parser.add_argument_group("retry policy")
+    group.add_argument("--retries", type=int, default=None, metavar="N",
+                       help="retries per chunk after the first attempt "
+                            "(default: policy max_attempts - 1)")
+    group.add_argument("--retry-backoff", type=float, default=None,
+                       metavar="SECONDS",
+                       help="base of the exponential backoff between "
+                            "retries (0 retries immediately)")
+    group.add_argument("--retry-jitter", action="store_true",
+                       help="randomise each backoff over [0, envelope] "
+                            "(full jitter, seeded — decorrelates "
+                            "concurrent retries)")
+    group.add_argument("--retry-jitter-seed", type=int, default=None,
+                       metavar="INT",
+                       help="seed for the jitter stream (default 0)")
+
+
+def _apply_retry_args(
+    config: IsobarConfig, args: argparse.Namespace
+) -> IsobarConfig:
+    """Fold the shared retry flags into ``config.resilience``."""
+    overrides: dict[str, object] = {}
+    if getattr(args, "retries", None) is not None:
+        overrides["max_attempts"] = args.retries + 1
+    if getattr(args, "retry_backoff", None) is not None:
+        overrides["retry_backoff_seconds"] = args.retry_backoff
+    if getattr(args, "retry_jitter", False):
+        overrides["retry_jitter"] = True
+    if getattr(args, "retry_jitter_seed", None) is not None:
+        overrides["retry_jitter_seed"] = args.retry_jitter_seed
+    if getattr(args, "strict", False):
+        overrides["strict"] = True
+    if not overrides:
+        return config
+    from repro.core.resilience import ResiliencePolicy
+
+    policy = config.resilience or ResiliencePolicy()
+    return config.replace(resilience=policy.replace(**overrides))
+
+
 def _config_from_args(args: argparse.Namespace) -> IsobarConfig:
     """Build an :class:`IsobarConfig` from compress/stats CLI flags."""
     overrides: dict[str, object] = {
@@ -263,12 +347,7 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     import json
 
     values = load_raw(args.input)
-    config = _config_from_args(args)
-    if args.strict:
-        from repro.core.resilience import ResiliencePolicy
-
-        policy = config.resilience or ResiliencePolicy()
-        config = config.replace(resilience=policy.replace(strict=True))
+    config = _apply_retry_args(_config_from_args(args), args)
     compressor = IsobarCompressor(
         config, collect_metrics=args.metrics_json is not None
     )
@@ -577,6 +656,67 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.app import (
+        DEFAULT_SERVICE_POLICY,
+        IsobarService,
+        ServiceConfig,
+    )
+    from repro.service.chaos import NetworkChaos, NetworkChaosPolicy
+
+    # Serve with the service defaults (jittered backoff + chunk
+    # deadline), then layer the CLI flags on top.
+    config = _apply_retry_args(
+        _config_from_args(args).replace(resilience=DEFAULT_SERVICE_POLICY),
+        args,
+    )
+
+    chaos = None
+    if (
+        args.chaos_delay_percent
+        or args.chaos_stall_percent
+        or args.chaos_truncate_percent
+    ):
+        chaos = NetworkChaos(NetworkChaosPolicy(
+            seed=args.chaos_seed,
+            delay_percent=args.chaos_delay_percent,
+            stall_percent=args.chaos_stall_percent,
+            truncate_percent=args.chaos_truncate_percent,
+        ))
+        print("chaos           : wire-level fault injection ENABLED",
+              file=sys.stderr)
+
+    service = IsobarService(
+        ServiceConfig(
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+            max_queue=args.max_queue,
+            default_deadline_seconds=args.deadline_seconds,
+            max_deadline_seconds=args.max_deadline_seconds,
+            drain_seconds=args.drain_seconds,
+            max_body_bytes=int(args.max_body_mb * 1024 * 1024),
+            isobar=config,
+        ),
+        chaos=chaos,
+    )
+
+    async def _run() -> None:
+        await service.start()
+        print(f"listening       : http://{args.host}:{service.port}")
+        print(f"admission       : {args.max_inflight} in flight, "
+              f"{args.max_queue} queued, then 429")
+        print("drain           : SIGTERM/SIGINT finishes in-flight work "
+              f"(up to {args.drain_seconds:.0f}s)")
+        await service.serve_forever()
+        print("drained         : all in-flight work settled, bye")
+
+    asyncio.run(_run())
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "analyze": _cmd_analyze,
@@ -592,6 +732,7 @@ _COMMANDS = {
     "concat": _cmd_concat,
     "lint": _cmd_lint,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
 }
 
 

@@ -370,10 +370,11 @@ def encode_chunk_payload(
     last_error: BaseException | None = None
     if breaker is None or breaker.allow():
         while attempts < max_attempts:
-            if attempts and policy is not None and policy.retry_backoff_seconds:
-                time.sleep(
-                    policy.retry_backoff_seconds * (2 ** (attempts - 1))
-                )
+            if attempts and policy is not None:
+                # Retry n waits the policy's (optionally jittered)
+                # exponential backoff; the chunk index tokenises the
+                # jitter stream so concurrent chunks decorrelate.
+                policy.pause_before_retry(attempts, token=chunk_index)
             attempts += 1
             solve_start = time.perf_counter()
             try:

@@ -35,21 +35,54 @@ can embed a policy without import cycles.
 from __future__ import annotations
 
 import enum
+import random
 import threading
-from dataclasses import dataclass, replace as _dc_replace
+import time as _time
+from dataclasses import dataclass, field, replace as _dc_replace
 from typing import Callable
 
 from repro.core.exceptions import ChunkTimeoutError, ConfigurationError
 
 __all__ = [
     "BreakerBoard",
+    "BreakerSnapshot",
     "BreakerState",
     "CodecCircuitBreaker",
     "DegradationEvent",
     "DegradationReport",
     "ResiliencePolicy",
     "call_with_deadline",
+    "full_jitter_backoff",
 ]
+
+#: Knuth's multiplicative-hash constant, used to spread small seeds and
+#: tokens across the 32-bit key space before deriving a jitter stream.
+_JITTER_MIX = 2654435761
+
+
+def full_jitter_backoff(
+    base_seconds: float,
+    retry_number: int,
+    *,
+    cap_seconds: float | None = None,
+    rng: random.Random | None = None,
+) -> float:
+    """Exponential backoff with *full jitter* (AWS architecture-blog
+    style): retry *n* waits a uniform draw from
+    ``[0, min(cap, base * 2**(n-1))]``.
+
+    With ``rng=None`` the jitter is skipped and the deterministic
+    exponential envelope is returned — useful when the caller wants the
+    upper bound rather than a sample.
+    """
+    if base_seconds <= 0 or retry_number < 1:
+        return 0.0
+    envelope = base_seconds * (2.0 ** (retry_number - 1))
+    if cap_seconds is not None:
+        envelope = min(envelope, cap_seconds)
+    if rng is None:
+        return envelope
+    return rng.uniform(0.0, envelope)
 
 
 class BreakerState(enum.Enum):
@@ -75,8 +108,26 @@ class ResiliencePolicy:
         Primary-codec attempts per chunk (>= 1).  The first attempt
         counts, so 2 means "one retry".
     retry_backoff_seconds:
-        Sleep before retry *n* is ``retry_backoff_seconds * 2**(n-1)``;
-        0 (the default) retries immediately.
+        Base of the exponential backoff envelope: retry *n* waits up to
+        ``retry_backoff_seconds * 2**(n-1)`` (capped by
+        ``retry_backoff_max_seconds``); 0 (the default) retries
+        immediately.
+    retry_backoff_max_seconds:
+        Ceiling of the backoff envelope, so a long retry chain cannot
+        sleep unboundedly.
+    retry_jitter:
+        Apply *full jitter*: each retry sleeps a uniform draw from
+        ``[0, envelope]`` instead of the envelope itself.  Jitter
+        decorrelates retries across concurrent workers and service
+        requests (the thundering-herd fix); draws are seeded per
+        ``(retry_jitter_seed, token, retry)`` so runs stay
+        reproducible.
+    retry_jitter_seed:
+        Seed of the jitter stream (see :meth:`backoff_delay`).
+    sleep:
+        The sleep callable backoff waits on — injectable so tests can
+        record delays instead of actually waiting.  Excluded from
+        equality and ``repr``.
     chunk_deadline_seconds:
         Wall-clock budget for a single solver call; ``None`` disables
         the deadline.  Enforced by :func:`call_with_deadline`, which
@@ -109,12 +160,18 @@ class ResiliencePolicy:
 
     max_attempts: int = 2
     retry_backoff_seconds: float = 0.0
+    retry_backoff_max_seconds: float = 2.0
+    retry_jitter: bool = False
+    retry_jitter_seed: int = 0
     chunk_deadline_seconds: float | None = None
     fallback_zlib: bool = True
     verify_roundtrip: bool = False
     breaker_threshold: int = 3
     breaker_probe_after: int = 8
     strict: bool = False
+    sleep: Callable[[float], None] = field(
+        default=_time.sleep, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -125,6 +182,11 @@ class ResiliencePolicy:
             raise ConfigurationError(
                 "retry_backoff_seconds must be >= 0, got "
                 f"{self.retry_backoff_seconds!r}"
+            )
+        if self.retry_backoff_max_seconds <= 0:
+            raise ConfigurationError(
+                "retry_backoff_max_seconds must be positive, got "
+                f"{self.retry_backoff_max_seconds!r}"
             )
         if (
             self.chunk_deadline_seconds is not None
@@ -147,6 +209,43 @@ class ResiliencePolicy:
     def replace(self, **changes: object) -> "ResiliencePolicy":
         """Return a copy of this policy with ``changes`` applied."""
         return _dc_replace(self, **changes)
+
+    def backoff_delay(self, retry_number: int, *, token: int = 0) -> float:
+        """Seconds to wait before retry ``retry_number`` (1-based).
+
+        Without :attr:`retry_jitter` this is the deterministic
+        exponential envelope ``base * 2**(n-1)`` capped at
+        :attr:`retry_backoff_max_seconds` — the pre-jitter behaviour.
+        With jitter the delay is a uniform draw from ``[0, envelope]``
+        whose generator is seeded by ``(retry_jitter_seed, token,
+        retry_number)``; callers pass a stable ``token`` (the chunk
+        index, a request id) so concurrent retriers decorrelate while
+        any single retrier stays reproducible.
+        """
+        if self.retry_backoff_seconds <= 0 or retry_number < 1:
+            return 0.0
+        rng = None
+        if self.retry_jitter:
+            key = (
+                (self.retry_jitter_seed * _JITTER_MIX)
+                ^ (token * 0x9E3779B1)
+                ^ retry_number
+            ) & 0xFFFFFFFF
+            rng = random.Random(key)
+        return full_jitter_backoff(
+            self.retry_backoff_seconds,
+            retry_number,
+            cap_seconds=self.retry_backoff_max_seconds,
+            rng=rng,
+        )
+
+    def pause_before_retry(self, retry_number: int, *, token: int = 0) -> float:
+        """Sleep the computed :meth:`backoff_delay` (via the injectable
+        :attr:`sleep`) and return the delay that was applied."""
+        delay = self.backoff_delay(retry_number, token=token)
+        if delay > 0:
+            self.sleep(delay)
+        return delay
 
 
 @dataclass(frozen=True)
@@ -251,6 +350,32 @@ class DegradationReport:
         return cls(events=events, retries=int(payload.get("retries", 0)))
 
 
+@dataclass(frozen=True)
+class BreakerSnapshot:
+    """Point-in-time, lock-consistent view of one codec's breaker.
+
+    Returned by :meth:`CodecCircuitBreaker.snapshot` /
+    :meth:`BreakerBoard.snapshot` so health endpoints and tests can
+    inspect breaker internals without reaching into private fields.
+    """
+
+    codec_name: str
+    state: BreakerState
+    consecutive_failures: int
+    skips_since_open: int
+    probe_inflight: bool
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (the ``/healthz`` payload)."""
+        return {
+            "codec": self.codec_name,
+            "state": self.state.value,
+            "consecutive_failures": self.consecutive_failures,
+            "skips_since_open": self.skips_since_open,
+            "probe_inflight": self.probe_inflight,
+        }
+
+
 class CodecCircuitBreaker:
     """Thread-safe per-codec circuit breaker (chunk-count based).
 
@@ -291,6 +416,29 @@ class CodecCircuitBreaker:
     def state(self) -> BreakerState:
         """Current breaker state."""
         return self._state
+
+    def snapshot(self) -> BreakerSnapshot:
+        """A lock-consistent :class:`BreakerSnapshot` of this breaker."""
+        with self._lock:
+            return BreakerSnapshot(
+                codec_name=self.codec_name,
+                state=self._state,
+                consecutive_failures=self._consecutive_failures,
+                skips_since_open=self._skips_since_open,
+                probe_inflight=self._probe_inflight,
+            )
+
+    def reset(self) -> None:
+        """Force the breaker back to ``CLOSED`` and clear its counters.
+
+        An operator override (exposed via :meth:`BreakerBoard.reset`):
+        the state-change callback fires so gauges track the reset.
+        """
+        with self._lock:
+            self._consecutive_failures = 0
+            self._skips_since_open = 0
+            self._probe_inflight = False
+            self._transition(BreakerState.CLOSED)
 
     def _transition(self, state: BreakerState) -> None:
         # Called with the lock held.
@@ -380,6 +528,24 @@ class BreakerBoard:
         """Snapshot of every breaker's current state."""
         with self._lock:
             return {name: b.state for name, b in self._breakers.items()}
+
+    def snapshot(self) -> dict[str, BreakerSnapshot]:
+        """Full :class:`BreakerSnapshot` per codec, for health endpoints
+        and tests — no private-field access required."""
+        with self._lock:
+            breakers = list(self._breakers.values())
+        return {b.codec_name: b.snapshot() for b in breakers}
+
+    def reset(self) -> None:
+        """Force every breaker on the board back to ``CLOSED``.
+
+        The breakers themselves are kept (state-change callbacks and
+        identity survive) — only their failure accounting is cleared.
+        """
+        with self._lock:
+            breakers = list(self._breakers.values())
+        for breaker in breakers:
+            breaker.reset()
 
 
 def call_with_deadline(

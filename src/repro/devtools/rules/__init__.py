@@ -17,6 +17,7 @@ from repro.devtools.rules.exception_rules import (
     ErrorHierarchyRule,
     ExceptSwallowRule,
 )
+from repro.devtools.rules.service_errors import ServiceStatusMapRule
 
 __all__ = [
     "ChunkModeSymmetryRule",
@@ -25,6 +26,7 @@ __all__ = [
     "FacadeContractRule",
     "MetricsGuardRule",
     "RegistryLockRule",
+    "ServiceStatusMapRule",
     "default_rules",
 ]
 
@@ -38,4 +40,5 @@ def default_rules() -> tuple[Rule, ...]:
         FacadeContractRule(),
         ExceptSwallowRule(),
         ErrorHierarchyRule(),
+        ServiceStatusMapRule(),
     )

@@ -1,0 +1,172 @@
+"""ISO007 — the service maps exceptions through the status funnel.
+
+:mod:`repro.service.errors` is the single place where exceptions
+become HTTP status codes.  This rule keeps it that way:
+
+* an ``except`` handler in service code that catches a repo exception
+  (or a broad ``Exception``/``BaseException``) must visibly resolve
+  it — re-raise, call the funnel (``status_for_exception`` /
+  ``error_body``), or thread the bound exception onward;
+* no service module outside the funnel may hard-code a ``500`` status
+  into a response call — 500 exists only as the funnel's mapped
+  fallback for non-Isobar bugs, never as a handler's shortcut.
+
+The repo exception names are enumerated from the live
+:class:`~repro.core.exceptions.IsobarError` hierarchy at rule
+construction, so new service error types are covered the moment they
+are defined.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.core.exceptions import IsobarError
+from repro.devtools.astutil import dotted_name
+from repro.devtools.engine import Finding, Rule, SourceModule
+from repro.devtools.rules.exception_rules import _module_in_scope
+
+__all__ = ["ServiceStatusMapRule"]
+
+DEFAULT_SERVICE_PREFIXES = ("repro.service.",)
+
+#: The funnel module itself is exempt — it defines the mapping.
+DEFAULT_EXEMPT_MODULES = frozenset({"repro.service.errors"})
+
+#: Catching these always triggers the check.
+_BROAD_TYPES = frozenset({"Exception", "BaseException"})
+
+#: Calls that count as resolving an exception through the funnel.
+_FUNNEL_CALLS = frozenset(
+    {"status_for_exception", "error_body", "retry_after_for_exception"}
+)
+
+#: Response-building calls whose status argument is checked.
+_RESPONSE_CALLS = frozenset(
+    {"write_response", "write_chunked_preamble", "error_body"}
+)
+
+
+def _repo_exception_names() -> frozenset[str]:
+    """Every name in the live ``IsobarError`` hierarchy."""
+    # Importing the service error types registers their subclasses.
+    import repro.service.errors  # noqa: F401  (side effect only)
+
+    names = {IsobarError.__name__}
+    stack = [IsobarError]
+    while stack:
+        for sub in stack.pop().__subclasses__():
+            if sub.__name__ not in names:
+                names.add(sub.__name__)
+                stack.append(sub)
+    return frozenset(names)
+
+
+def _caught_names(handler: ast.ExceptHandler) -> tuple[str, ...]:
+    """Terminal names of the exception types a handler catches."""
+    if handler.type is None:
+        return ("BaseException",)
+    nodes = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    names = []
+    for node in nodes:
+        name = dotted_name(node)
+        if name is not None:
+            names.append(name.split(".")[-1])
+    return tuple(names)
+
+
+def _handler_resolves(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler re-raises, funnels, or threads the error."""
+    bound = handler.name
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name is not None and name.split(".")[-1] in _FUNNEL_CALLS:
+                return True
+        if (
+            bound is not None
+            and isinstance(node, ast.Name)
+            and node.id == bound
+            and isinstance(node.ctx, ast.Load)
+        ):
+            return True
+    return False
+
+
+def _status_is_500(call: ast.Call) -> bool:
+    """Whether a response call hard-codes status 500."""
+    candidates = list(call.args[:2])
+    candidates.extend(
+        kw.value for kw in call.keywords if kw.arg == "status"
+    )
+    return any(
+        isinstance(arg, ast.Constant) and arg.value == 500
+        for arg in candidates
+    )
+
+
+class ServiceStatusMapRule(Rule):
+    """ISO007: service code resolves errors via the status funnel."""
+
+    rule_id = "ISO007"
+    title = "service handlers map exceptions through the status funnel"
+    hint = (
+        "re-raise, or resolve via repro.service.errors "
+        "(status_for_exception/error_body); never hard-code a 500"
+    )
+
+    def __init__(
+        self,
+        module_prefixes: Iterable[str] | None = None,
+        *,
+        exempt_modules: Iterable[str] | None = None,
+    ):
+        self.module_prefixes = tuple(
+            DEFAULT_SERVICE_PREFIXES if module_prefixes is None
+            else module_prefixes
+        )
+        self.exempt_modules = frozenset(
+            DEFAULT_EXEMPT_MODULES if exempt_modules is None
+            else exempt_modules
+        )
+        self._repo_names = _repo_exception_names()
+
+    def check_module(self, mod: SourceModule) -> Iterable[Finding]:
+        if not _module_in_scope(mod.module, self.module_prefixes):
+            return
+        if mod.module in self.exempt_modules:
+            return
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.ExceptHandler):
+                caught = _caught_names(node)
+                triggering = [
+                    name for name in caught
+                    if name in _BROAD_TYPES or name in self._repo_names
+                ]
+                if not triggering or _handler_resolves(node):
+                    continue
+                yield self.finding(
+                    mod,
+                    node,
+                    f"except {', '.join(triggering)} neither re-raises "
+                    "nor resolves the error through the status funnel",
+                )
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is None:
+                    continue
+                if name.split(".")[-1] not in _RESPONSE_CALLS:
+                    continue
+                if _status_is_500(node):
+                    yield self.finding(
+                        mod,
+                        node,
+                        "hard-codes status 500 into a response; only the "
+                        "funnel's fallback may produce a 500",
+                    )

@@ -1,0 +1,158 @@
+"""Network-level fault injection for the compression service.
+
+:mod:`repro.testing.chaos` attacks the *solver*; this module attacks
+the *wire*.  A :class:`NetworkChaos` middleware sits between the
+connection loop and the response writer and misbehaves on a
+deterministic, content-keyed subset of requests:
+
+* **delay** — sleep before handling (models a congested hop);
+* **stall** — sleep once mid-body (models a throttled sender: the
+  client must survive a response that starts promptly then freezes);
+* **truncate** — stop writing mid-body and abort the connection
+  without the terminating chunk (models a crashed proxy: the client
+  must detect the incomplete body rather than trust it).
+
+Determinism follows the chaos-harness convention: the trigger is keyed
+on the request body's CRC32 mixed with the seed, never on call order,
+so a load run injects the same faults on every execution regardless of
+scheduling.  Solver-level chaos composes orthogonally — shadow a codec
+with :func:`repro.testing.chaos.chaos_codec` around a running service
+and the resilience layer degrades chunks while this module mangles the
+transport.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib as _zlib
+from dataclasses import dataclass
+
+from repro.core.exceptions import ConfigurationError
+
+__all__ = ["ChaosPlan", "NetworkChaos", "NetworkChaosPolicy"]
+
+#: Knuth's multiplicative-hash constant (same mixing as repro.testing.chaos).
+_SEED_MIX = 2654435761
+
+
+def _request_key(body: bytes, seed: int) -> int:
+    """Deterministic per-request key in [0, 10000)."""
+    return ((_zlib.crc32(body) ^ (seed * _SEED_MIX)) & 0xFFFFFFFF) % 10_000
+
+
+@dataclass(frozen=True)
+class NetworkChaosPolicy:
+    """Knobs for the wire-level injectors (percentages of requests).
+
+    Each injector selects its victims independently with a derived
+    seed, so a request may be delayed *and* truncated.
+    """
+
+    seed: int = 0
+    delay_percent: float = 0.0
+    delay_seconds: float = 0.05
+    stall_percent: float = 0.0
+    stall_seconds: float = 0.25
+    truncate_percent: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("delay_percent", "stall_percent", "truncate_percent"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 100.0:
+                raise ConfigurationError(
+                    f"{name} must be in [0, 100], got {value!r}"
+                )
+        for name in ("delay_seconds", "stall_seconds"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(
+                    f"{name} must be >= 0, got {getattr(self, name)!r}"
+                )
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """The faults one request will suffer (decided at admission)."""
+
+    delay_seconds: float = 0.0
+    stall_seconds: float = 0.0
+    truncate: bool = False
+
+    @property
+    def clean(self) -> bool:
+        """True when this request is untouched."""
+        return (
+            self.delay_seconds == 0.0
+            and self.stall_seconds == 0.0
+            and not self.truncate
+        )
+
+
+class NetworkChaos:
+    """Stateful middleware: plans faults and counts what it injected."""
+
+    def __init__(self, policy: NetworkChaosPolicy):
+        self.policy = policy
+        self._lock = threading.Lock()
+        self._delays = 0
+        self._stalls = 0
+        self._truncations = 0
+
+    @property
+    def delays(self) -> int:
+        """Requests delayed before handling so far."""
+        return self._delays
+
+    @property
+    def stalls(self) -> int:
+        """Responses stalled mid-body so far."""
+        return self._stalls
+
+    @property
+    def truncations(self) -> int:
+        """Responses truncated mid-body so far."""
+        return self._truncations
+
+    def plan_for(self, body: bytes) -> ChaosPlan:
+        """Decide (deterministically) which faults ``body`` triggers."""
+        policy = self.policy
+        plan_delay = 0.0
+        plan_stall = 0.0
+        plan_truncate = False
+        if (
+            policy.delay_percent > 0
+            and _request_key(body, policy.seed) < policy.delay_percent * 100
+        ):
+            plan_delay = policy.delay_seconds
+        if (
+            policy.stall_percent > 0
+            and _request_key(body, policy.seed + 1)
+            < policy.stall_percent * 100
+        ):
+            plan_stall = policy.stall_seconds
+        if (
+            policy.truncate_percent > 0
+            and _request_key(body, policy.seed + 2)
+            < policy.truncate_percent * 100
+        ):
+            plan_truncate = True
+        with self._lock:
+            if plan_delay:
+                self._delays += 1
+            if plan_stall:
+                self._stalls += 1
+            if plan_truncate:
+                self._truncations += 1
+        return ChaosPlan(
+            delay_seconds=plan_delay,
+            stall_seconds=plan_stall,
+            truncate=plan_truncate,
+        )
+
+    def counts(self) -> dict[str, int]:
+        """Injected-fault totals (for the load harness report)."""
+        with self._lock:
+            return {
+                "delays": self._delays,
+                "stalls": self._stalls,
+                "truncations": self._truncations,
+            }

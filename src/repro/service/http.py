@@ -1,0 +1,289 @@
+"""Minimal HTTP/1.1 framing over asyncio streams (stdlib only).
+
+Deliberately small: request line + headers + ``Content-Length`` bodies
+in, status line + headers + fixed or chunked bodies out.  Everything
+the resilience story needs lives here —
+
+* hard limits on request-line/header/body sizes (oversize → 413,
+  malformed → 400) so a hostile peer cannot balloon memory;
+* read timeouts on both the header and the body phase (stalled
+  client → 408) so a slow sender cannot pin a connection task forever;
+* chunked responses written piece-by-piece with ``await drain()``
+  between pieces, which is where slow-reader backpressure happens —
+  the writer coroutine (and through it the bounded decode feed)
+  stalls instead of buffering the whole body.
+
+Anything fancier (TLS, HTTP/2, compression negotiation) belongs in a
+fronting proxy, not in this reproduction.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.service.errors import ServiceProtocolError
+
+__all__ = [
+    "MAX_HEADER_BYTES",
+    "Request",
+    "iter_fixed_pieces",
+    "read_request",
+    "reason_phrase",
+    "write_chunk",
+    "write_chunked_preamble",
+    "write_chunked_terminator",
+    "write_response",
+]
+
+#: Upper bound on the request line plus all header lines.
+MAX_HEADER_BYTES = 32 * 1024
+
+_REASONS = {
+    200: "OK",
+    206: "Partial Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+def reason_phrase(status: int) -> str:
+    """The standard reason phrase for ``status``."""
+    return _REASONS.get(status, "Unknown")
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]  #: keys lower-cased
+    body: bytes = b""
+    #: Whether the peer asked to keep the connection open afterwards.
+    keep_alive: bool = True
+    #: Raw request target as received (for logging).
+    target: str = ""
+
+    def header(self, name: str, default: str | None = None) -> str | None:
+        """Case-insensitive header lookup."""
+        return self.headers.get(name.lower(), default)
+
+    def param(self, name: str, default: str | None = None) -> str | None:
+        """Query-string parameter lookup (first value wins)."""
+        return self.query.get(name, default)
+
+
+async def _read_until_headers_end(
+    reader: asyncio.StreamReader, timeout: float
+) -> bytes | None:
+    """Read up to the blank line ending the header block.
+
+    Returns ``None`` on clean EOF before any byte (keep-alive close).
+    """
+    try:
+        block = await asyncio.wait_for(
+            reader.readuntil(b"\r\n\r\n"), timeout
+        )
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ServiceProtocolError(
+            "connection closed mid-request-headers"
+        ) from exc
+    except asyncio.LimitOverrunError as exc:
+        raise ServiceProtocolError(
+            "request headers exceed the size limit", status=413
+        ) from exc
+    except asyncio.TimeoutError as exc:
+        raise ServiceProtocolError(
+            "timed out reading request headers", status=408
+        ) from exc
+    if len(block) > MAX_HEADER_BYTES:
+        raise ServiceProtocolError(
+            "request headers exceed the size limit", status=413
+        )
+    return block
+
+
+def _parse_headers(block: bytes) -> tuple[str, str, dict[str, str]]:
+    try:
+        text = block.decode("latin-1")
+    except UnicodeDecodeError as exc:  # pragma: no cover - latin-1 total
+        raise ServiceProtocolError("undecodable request headers") from exc
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        raise ServiceProtocolError(f"malformed request line {lines[0]!r}")
+    method, target, version = parts
+    if not version.startswith("HTTP/1."):
+        raise ServiceProtocolError(f"unsupported protocol {version!r}")
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ServiceProtocolError(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    return method.upper(), target, headers
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    *,
+    max_body_bytes: int,
+    header_timeout: float,
+    body_timeout: float,
+) -> Request | None:
+    """Read one request; ``None`` on clean EOF between requests.
+
+    Raises :class:`~repro.service.errors.ServiceProtocolError` with the
+    appropriate status (400 malformed, 408 stalled, 413 oversize) on
+    anything else — the connection loop maps it to a response.
+    """
+    block = await _read_until_headers_end(reader, header_timeout)
+    if block is None:
+        return None
+    method, target, headers = _parse_headers(block)
+
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError as exc:
+        raise ServiceProtocolError(
+            f"unreadable Content-Length {length_text!r}"
+        ) from exc
+    if length < 0:
+        raise ServiceProtocolError(f"negative Content-Length {length}")
+    if length > max_body_bytes:
+        raise ServiceProtocolError(
+            f"request body of {length} bytes exceeds the "
+            f"{max_body_bytes}-byte limit",
+            status=413,
+        )
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise ServiceProtocolError(
+            "chunked request bodies are not supported; send Content-Length"
+        )
+
+    body = b""
+    if length:
+        try:
+            body = await asyncio.wait_for(
+                reader.readexactly(length), body_timeout
+            )
+        except asyncio.IncompleteReadError as exc:
+            raise ServiceProtocolError(
+                f"request body truncated at {len(exc.partial)} of "
+                f"{length} bytes"
+            ) from exc
+        except asyncio.TimeoutError as exc:
+            raise ServiceProtocolError(
+                "timed out reading the request body", status=408
+            ) from exc
+
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+    connection = headers.get("connection", "").lower()
+    keep_alive = connection != "close"
+    return Request(
+        method=method,
+        path=split.path or "/",
+        query=query,
+        headers=headers,
+        body=body,
+        keep_alive=keep_alive,
+        target=target,
+    )
+
+
+def _header_block(
+    status: int,
+    headers: Iterable[tuple[str, str]],
+) -> bytes:
+    lines = [f"HTTP/1.1 {status} {reason_phrase(status)}"]
+    lines.extend(f"{name}: {value}" for name, value in headers)
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+async def write_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    body: bytes = b"",
+    *,
+    content_type: str = "application/json",
+    headers: Iterable[tuple[str, str]] = (),
+    keep_alive: bool = True,
+) -> None:
+    """Write a complete fixed-length response and drain the socket."""
+    all_headers = [
+        ("Content-Type", content_type),
+        ("Content-Length", str(len(body))),
+        ("Connection", "keep-alive" if keep_alive else "close"),
+    ]
+    all_headers.extend(headers)
+    writer.write(_header_block(status, all_headers) + body)
+    await writer.drain()
+
+
+async def write_chunked_preamble(
+    writer: asyncio.StreamWriter,
+    status: int,
+    *,
+    content_type: str = "application/octet-stream",
+    headers: Iterable[tuple[str, str]] = (),
+    keep_alive: bool = True,
+) -> None:
+    """Start a chunked response (status + headers, no body yet)."""
+    all_headers = [
+        ("Content-Type", content_type),
+        ("Transfer-Encoding", "chunked"),
+        ("Connection", "keep-alive" if keep_alive else "close"),
+    ]
+    all_headers.extend(headers)
+    writer.write(_header_block(status, all_headers))
+    await writer.drain()
+
+
+async def write_chunk(
+    writer: asyncio.StreamWriter, piece: bytes | memoryview
+) -> None:
+    """Write one body chunk and drain — the backpressure point.
+
+    ``drain()`` returns only once the kernel buffer has room again, so
+    a slow reader stalls the handler coroutine here instead of growing
+    an unbounded output buffer.
+    """
+    if not len(piece):
+        return
+    writer.write(b"%x\r\n" % len(piece))
+    writer.write(bytes(piece))
+    writer.write(b"\r\n")
+    await writer.drain()
+
+
+async def write_chunked_terminator(writer: asyncio.StreamWriter) -> None:
+    """Finish a chunked response."""
+    writer.write(b"0\r\n\r\n")
+    await writer.drain()
+
+
+def iter_fixed_pieces(
+    payload: bytes, piece_bytes: int
+) -> Iterator[memoryview]:
+    """Slice ``payload`` into ``piece_bytes`` memoryview windows."""
+    view = memoryview(payload)
+    for start in range(0, len(view), piece_bytes):
+        yield view[start:start + piece_bytes]

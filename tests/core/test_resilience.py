@@ -415,3 +415,170 @@ class TestOtherReaders:
         assert np.array_equal(
             np.asarray(result.values).reshape(-1), values
         )
+
+
+class TestFullJitterBackoff:
+    def test_without_rng_returns_the_envelope(self):
+        from repro.core.resilience import full_jitter_backoff
+
+        assert full_jitter_backoff(0.1, 1) == pytest.approx(0.1)
+        assert full_jitter_backoff(0.1, 2) == pytest.approx(0.2)
+        assert full_jitter_backoff(0.1, 3) == pytest.approx(0.4)
+
+    def test_cap_bounds_the_envelope(self):
+        from repro.core.resilience import full_jitter_backoff
+
+        assert full_jitter_backoff(0.1, 10, cap_seconds=0.5) == 0.5
+
+    def test_degenerate_inputs_are_zero(self):
+        from repro.core.resilience import full_jitter_backoff
+
+        assert full_jitter_backoff(0.0, 3) == 0.0
+        assert full_jitter_backoff(0.1, 0) == 0.0
+
+    def test_rng_draws_from_the_full_interval(self):
+        import random
+
+        from repro.core.resilience import full_jitter_backoff
+
+        rng = random.Random(0)
+        draws = [
+            full_jitter_backoff(0.1, 3, rng=rng) for _ in range(200)
+        ]
+        assert all(0.0 <= d <= 0.4 for d in draws)
+        assert min(draws) < 0.1 and max(draws) > 0.3  # actually spread
+
+
+class TestPolicyBackoff:
+    def test_no_backoff_configured_means_zero_delay(self):
+        policy = ResiliencePolicy()  # retry_backoff_seconds = 0
+        assert policy.backoff_delay(1) == 0.0
+        assert policy.pause_before_retry(1) == 0.0
+
+    def test_unjittered_delay_is_the_exponential_envelope(self):
+        policy = ResiliencePolicy(retry_backoff_seconds=0.2)
+        assert policy.backoff_delay(1) == pytest.approx(0.2)
+        assert policy.backoff_delay(2) == pytest.approx(0.4)
+        assert policy.backoff_delay(5) == pytest.approx(2.0)  # capped
+
+    def test_jitter_is_deterministic_per_seed_and_token(self):
+        policy = ResiliencePolicy(
+            retry_backoff_seconds=0.2, retry_jitter=True,
+            retry_jitter_seed=11,
+        )
+        again = ResiliencePolicy(
+            retry_backoff_seconds=0.2, retry_jitter=True,
+            retry_jitter_seed=11,
+        )
+        assert policy.backoff_delay(2, token=5) == again.backoff_delay(
+            2, token=5
+        )
+        assert policy.backoff_delay(2, token=5) != policy.backoff_delay(
+            2, token=6
+        )
+        assert 0.0 <= policy.backoff_delay(2, token=5) <= 0.4
+
+    def test_seeds_decorrelate_the_stream(self):
+        a = ResiliencePolicy(
+            retry_backoff_seconds=0.2, retry_jitter=True, retry_jitter_seed=1
+        )
+        b = ResiliencePolicy(
+            retry_backoff_seconds=0.2, retry_jitter=True, retry_jitter_seed=2
+        )
+        draws_a = [a.backoff_delay(n) for n in range(1, 6)]
+        draws_b = [b.backoff_delay(n) for n in range(1, 6)]
+        assert draws_a != draws_b
+
+    def test_pause_before_retry_uses_the_injected_sleep(self):
+        slept = []
+        policy = ResiliencePolicy(
+            retry_backoff_seconds=0.2, sleep=slept.append
+        )
+        delay = policy.pause_before_retry(2, token=3)
+        assert slept == [delay]
+        assert delay == pytest.approx(0.4)
+
+    def test_invalid_backoff_cap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ResiliencePolicy(retry_backoff_max_seconds=0.0)
+
+    def test_jittered_retries_flow_through_the_pipeline(self):
+        """A flaky chunk's retries wait the policy's jittered delays."""
+        slept = []
+        config = IsobarConfig(
+            codec="zlib",
+            linearization=Linearization.ROW,
+            chunk_elements=_CHUNK,
+            resilience=ResiliencePolicy(
+                max_attempts=3,
+                retry_backoff_seconds=0.05,
+                retry_jitter=True,
+                retry_jitter_seed=4,
+                breaker_threshold=100,  # keep the breaker out of the way
+                sleep=slept.append,
+            ),
+        )
+        rng = np.random.default_rng(0)
+        values = build_structured(2 * _CHUNK, np.dtype(np.float64), 3, rng)
+        with chaos_codec(FlakyCodec("zlib", fail_percent=100.0)):
+            result = IsobarCompressor(config).compress_detailed(values)
+        assert result.degraded
+        # Two chunks x two retries each, every delay inside the
+        # jitter envelope for its retry number.
+        assert len(slept) == 4
+        for delay in slept:
+            assert 0.0 <= delay <= 0.1
+
+
+class TestBreakerSnapshots:
+    def test_breaker_snapshot_round_trips_state(self):
+        breaker = CodecCircuitBreaker("zlib", threshold=2, probe_after=4)
+        breaker.record_failure()
+        snap = breaker.snapshot()
+        assert snap.codec_name == "zlib"
+        assert snap.state is BreakerState.CLOSED
+        assert snap.consecutive_failures == 1
+        doc = snap.to_dict()
+        assert doc["codec"] == "zlib"
+        assert doc["state"] == "closed"
+
+    def test_breaker_reset_closes_and_clears(self):
+        breaker = CodecCircuitBreaker("zlib", threshold=2, probe_after=4)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        breaker.reset()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.snapshot().consecutive_failures == 0
+        assert breaker.allow()
+
+    def test_board_snapshot_and_reset(self):
+        from repro.core.resilience import BreakerBoard
+
+        policy = ResiliencePolicy(breaker_threshold=2)
+        board = BreakerBoard(policy)
+        zlib_breaker = board.for_codec("zlib")
+        board.for_codec("bzip2")
+        zlib_breaker.record_failure()
+        zlib_breaker.record_failure()
+        snaps = board.snapshot()
+        assert set(snaps) == {"zlib", "bzip2"}
+        assert snaps["zlib"].state is BreakerState.OPEN
+        assert snaps["bzip2"].state is BreakerState.CLOSED
+        board.reset()
+        assert board.for_codec("zlib") is zlib_breaker  # identity kept
+        assert board.snapshot()["zlib"].state is BreakerState.CLOSED
+
+    def test_reset_notifies_state_change_listener(self):
+        transitions = []
+        from repro.core.resilience import BreakerBoard
+
+        board = BreakerBoard(
+            ResiliencePolicy(breaker_threshold=1),
+            on_state_change=lambda name, state: transitions.append(
+                (name, state)
+            ),
+        )
+        board.for_codec("zlib").record_failure()
+        board.reset()
+        assert transitions[-1] == ("zlib", BreakerState.CLOSED)

@@ -1,0 +1,202 @@
+"""HTTP/1.1 framing unit tests (``repro.service.http``).
+
+Request parsing runs against in-memory :class:`asyncio.StreamReader`
+objects — no sockets; response writing runs against a fake writer that
+records what was written.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.service.errors import ServiceProtocolError
+from repro.service.http import (
+    MAX_HEADER_BYTES,
+    iter_fixed_pieces,
+    read_request,
+    reason_phrase,
+    write_chunk,
+    write_chunked_preamble,
+    write_chunked_terminator,
+    write_response,
+)
+
+
+def _parse(raw: bytes, **kwargs):
+    """Run ``read_request`` over an in-memory stream."""
+    options = {
+        "max_body_bytes": 1024,
+        "header_timeout": 1.0,
+        "body_timeout": 1.0,
+    }
+    options.update(kwargs)
+
+    async def _run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, **options)
+
+    return asyncio.run(_run())
+
+
+class _FakeWriter:
+    """Collects written bytes; drain is a no-op."""
+
+    def __init__(self):
+        self.chunks = []
+
+    def write(self, data: bytes) -> None:
+        self.chunks.append(bytes(data))
+
+    async def drain(self) -> None:
+        pass
+
+    @property
+    def data(self) -> bytes:
+        return b"".join(self.chunks)
+
+
+class TestReadRequest:
+    def test_full_request_with_query_and_body(self):
+        request = _parse(
+            b"POST /v1/compress?codec=zlib&tau=1.5 HTTP/1.1\r\n"
+            b"Host: x\r\n"
+            b"X-Isobar-Dtype: float64\r\n"
+            b"Content-Length: 4\r\n"
+            b"\r\n"
+            b"\x01\x02\x03\x04"
+        )
+        assert request.method == "POST"
+        assert request.path == "/v1/compress"
+        assert request.param("codec") == "zlib"
+        assert request.param("tau") == "1.5"
+        assert request.header("x-isobar-dtype") == "float64"
+        assert request.header("X-ISOBAR-DTYPE") == "float64"
+        assert request.body == b"\x01\x02\x03\x04"
+        assert request.keep_alive
+
+    def test_connection_close_disables_keep_alive(self):
+        request = _parse(
+            b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n"
+        )
+        assert not request.keep_alive
+
+    def test_clean_eof_returns_none(self):
+        assert _parse(b"") is None
+
+    def test_malformed_request_line_is_400(self):
+        with pytest.raises(ServiceProtocolError) as excinfo:
+            _parse(b"NONSENSE\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_unsupported_protocol_is_400(self):
+        with pytest.raises(ServiceProtocolError):
+            _parse(b"GET / SPDY/99\r\n\r\n")
+
+    def test_truncated_headers_are_400(self):
+        with pytest.raises(ServiceProtocolError):
+            _parse(b"GET / HTTP/1.1\r\nHost: x")
+
+    def test_oversize_headers_are_413(self):
+        padding = b"X-Pad: " + b"a" * (MAX_HEADER_BYTES + 10) + b"\r\n"
+        with pytest.raises(ServiceProtocolError) as excinfo:
+            _parse(b"GET / HTTP/1.1\r\n" + padding + b"\r\n")
+        assert excinfo.value.status == 413
+
+    def test_oversize_body_is_413_before_reading_it(self):
+        with pytest.raises(ServiceProtocolError) as excinfo:
+            _parse(
+                b"POST / HTTP/1.1\r\nContent-Length: 99999\r\n\r\n",
+                max_body_bytes=100,
+            )
+        assert excinfo.value.status == 413
+
+    def test_unreadable_content_length_is_400(self):
+        with pytest.raises(ServiceProtocolError) as excinfo:
+            _parse(b"POST / HTTP/1.1\r\nContent-Length: soon\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_chunked_request_bodies_are_rejected(self):
+        with pytest.raises(ServiceProtocolError):
+            _parse(
+                b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+            )
+
+    def test_truncated_body_is_400(self):
+        with pytest.raises(ServiceProtocolError):
+            _parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+
+    def test_stalled_header_phase_is_408(self):
+        async def _run():
+            reader = asyncio.StreamReader()  # nothing ever arrives
+            return await read_request(
+                reader, max_body_bytes=100,
+                header_timeout=0.05, body_timeout=0.05,
+            )
+
+        with pytest.raises(ServiceProtocolError) as excinfo:
+            asyncio.run(_run())
+        assert excinfo.value.status == 408
+
+    def test_stalled_body_phase_is_408(self):
+        async def _run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(
+                b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"
+            )  # no EOF: the rest of the body just never arrives
+            return await read_request(
+                reader, max_body_bytes=100,
+                header_timeout=0.5, body_timeout=0.05,
+            )
+
+        with pytest.raises(ServiceProtocolError) as excinfo:
+            asyncio.run(_run())
+        assert excinfo.value.status == 408
+
+
+class TestWriteResponse:
+    def test_fixed_response_framing(self):
+        writer = _FakeWriter()
+        asyncio.run(write_response(
+            writer, 200, b'{"ok":1}',
+            headers=[("X-Extra", "yes")], keep_alive=False,
+        ))
+        text = writer.data.decode("latin-1")
+        assert text.startswith("HTTP/1.1 200 OK\r\n")
+        assert "Content-Length: 8\r\n" in text
+        assert "Connection: close\r\n" in text
+        assert "X-Extra: yes\r\n" in text
+        assert text.endswith('\r\n\r\n{"ok":1}')
+
+    def test_chunked_framing_roundtrip(self):
+        writer = _FakeWriter()
+
+        async def _run():
+            await write_chunked_preamble(writer, 206)
+            await write_chunk(writer, b"hello")
+            await write_chunk(writer, b"")  # empty pieces are skipped
+            await write_chunk(writer, b" world")
+            await write_chunked_terminator(writer)
+
+        asyncio.run(_run())
+        text = writer.data.decode("latin-1")
+        assert text.startswith("HTTP/1.1 206 Partial Content\r\n")
+        assert "Transfer-Encoding: chunked\r\n" in text
+        body = text.split("\r\n\r\n", 1)[1]
+        assert body == "5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n"
+
+
+class TestPieces:
+    def test_iter_fixed_pieces_covers_payload_exactly(self):
+        payload = bytes(range(256)) * 10
+        pieces = list(iter_fixed_pieces(payload, 700))
+        assert [len(p) for p in pieces] == [700, 700, 700, 460]
+        assert b"".join(pieces) == payload
+
+    def test_empty_payload_yields_nothing(self):
+        assert list(iter_fixed_pieces(b"", 64)) == []
+
+    def test_reason_phrases(self):
+        assert reason_phrase(429) == "Too Many Requests"
+        assert reason_phrase(599) == "Unknown"

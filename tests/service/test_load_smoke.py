@@ -1,0 +1,43 @@
+"""Service load scenarios (``pytest -m service`` for the full run).
+
+Reuses the driver from ``benchmarks/run_service_load.py``: concurrent
+compress/decompress/salvage traffic against a live service, baseline
+and chaos scenarios, asserting the acceptance bar — zero 5xx without
+chaos, and under chaos every request terminating with a documented
+status while sheds/degradations are accounted for.  A small always-on
+smoke keeps the driver honest; the full-scale run is opt-in via the
+``service`` marker.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+if str(_BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(_BENCH_DIR))
+
+from run_service_load import DOCUMENTED_STATUSES, run  # noqa: E402
+
+
+def test_driver_smoke():
+    """One small two-scenario pass, always on."""
+    report, violations = run(smoke=True, verbose=False)
+    assert violations == []
+    baseline = report["scenarios"]["baseline"]
+    assert set(baseline["status_counts"]) == {"200"}
+    chaotic = report["scenarios"]["chaos"]
+    assert sum(chaotic["status_counts"].values()) == chaotic["requests"]
+    assert {int(s) for s in chaotic["status_counts"]} <= DOCUMENTED_STATUSES
+
+
+@pytest.mark.service
+def test_full_load_run():
+    """The full-scale run behind the ``service`` marker."""
+    report, violations = run(smoke=False, verbose=False)
+    assert violations == []
+    chaotic = report["scenarios"]["chaos"]
+    injected = chaotic["chaos_injected"]
+    assert injected["truncations"] >= 1
+    assert chaotic["degraded_responses"] >= 1

@@ -37,6 +37,7 @@ from repro.devtools.rules import (
     FacadeContractRule,
     MetricsGuardRule,
     RegistryLockRule,
+    ServiceStatusMapRule,
 )
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -423,6 +424,129 @@ class TestErrorHierarchyRule:
                 raise ValueError("negative")
             """,
             module="fixture",
+        )
+        assert report.ok
+
+
+class TestServiceStatusMapRule:
+    def test_fires_on_swallowed_broad_catch(self):
+        report = run_rule(
+            ServiceStatusMapRule(),
+            """
+            async def handle(writer):
+                try:
+                    work()
+                except Exception:
+                    return 0
+            """,
+            module="repro.service.app",
+        )
+        assert rule_ids(report) == ["ISO007"]
+
+    def test_fires_on_swallowed_repo_exception(self):
+        report = run_rule(
+            ServiceStatusMapRule(),
+            """
+            async def handle(writer):
+                try:
+                    work()
+                except CodecError:
+                    pass
+            """,
+            module="repro.service.app",
+        )
+        assert rule_ids(report) == ["ISO007"]
+
+    def test_quiet_when_handler_resolves(self):
+        report = run_rule(
+            ServiceStatusMapRule(),
+            """
+            async def funnelled(writer):
+                try:
+                    work()
+                except Exception as exc:
+                    status = status_for_exception(exc)
+                    await write_response(writer, status, error_body(exc))
+
+            async def reraised(writer):
+                try:
+                    work()
+                except CodecError:
+                    raise
+
+            def threaded(feed):
+                try:
+                    work()
+                except IsobarError as exc:
+                    feed.fail(exc)
+            """,
+            module="repro.service.app",
+        )
+        assert report.ok
+
+    def test_narrow_builtin_catches_are_out_of_scope(self):
+        report = run_rule(
+            ServiceStatusMapRule(),
+            """
+            def close(writer):
+                try:
+                    writer.close()
+                except (ConnectionResetError, BrokenPipeError):
+                    pass
+            """,
+            module="repro.service.app",
+        )
+        assert report.ok
+
+    def test_fires_on_hard_coded_500(self):
+        report = run_rule(
+            ServiceStatusMapRule(),
+            """
+            async def handle(writer):
+                await write_response(writer, 500, b"oops")
+            """,
+            module="repro.service.app",
+        )
+        assert rule_ids(report) == ["ISO007"]
+
+    def test_fires_on_500_status_keyword(self):
+        report = run_rule(
+            ServiceStatusMapRule(),
+            """
+            async def handle(writer):
+                await write_chunked_preamble(writer, status=500)
+            """,
+            module="repro.service.app",
+        )
+        assert rule_ids(report) == ["ISO007"]
+
+    def test_funnel_module_is_exempt(self):
+        report = run_rule(
+            ServiceStatusMapRule(),
+            """
+            def error_payload(exc):
+                try:
+                    return mapping[type(exc)]
+                except Exception:
+                    return 0
+
+            FALLBACK = error_body(None, status=500)
+            """,
+            module="repro.service.errors",
+        )
+        assert report.ok
+
+    def test_quiet_outside_the_service_package(self):
+        report = run_rule(
+            ServiceStatusMapRule(),
+            """
+            def handle():
+                try:
+                    work()
+                except Exception:
+                    pass
+            """,
+            module="repro.core.pipeline",
         )
         assert report.ok
 
