@@ -8,6 +8,12 @@ Convenience entry point around the pytest-benchmark suite::
 Equivalent to ``ISOBAR_BENCH_ELEMENTS=N pytest benchmarks/
 --benchmark-only`` but prints a compact progress line per experiment
 and leaves all rendered artefacts in ``benchmarks/results/``.
+
+``--checks`` skips the benchmark sweep and runs the repo's static
+gates instead — the invariant linter (``isobar lint``), the docs link
+checker and the docs snippet executor::
+
+    PYTHONPATH=src python benchmarks/run_all.py --checks
 """
 
 from __future__ import annotations
@@ -19,6 +25,36 @@ import sys
 from pathlib import Path
 
 
+def run_checks(bench_dir: Path, env: dict) -> int:
+    """The static gates: linter, docs links, docs snippets."""
+    repo_root = bench_dir.parent
+    src = str(repo_root / "src")
+    env = dict(env)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, env.get("PYTHONPATH")) if p
+    )
+    checks = [
+        ("repo invariant linter (isobar lint)",
+         [sys.executable, "-m", "repro.devtools.lint"]),
+        ("docs link checker",
+         [sys.executable, str(bench_dir / "run_docs_linkcheck.py")]),
+        ("docs snippet executor",
+         [sys.executable, str(bench_dir / "run_docs_snippets.py")]),
+    ]
+    failed = []
+    for label, command in checks:
+        print(f"check: {label}...", flush=True)
+        completed = subprocess.run(command, env=env, cwd=repo_root)
+        if completed.returncode:
+            failed.append(label)
+    if failed:
+        print(f"{len(failed)} check(s) FAILED: {', '.join(failed)}",
+              file=sys.stderr)
+        return 1
+    print(f"all {len(checks)} checks passed")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--elements", type=int, default=60_000,
@@ -26,11 +62,17 @@ def main() -> int:
                              "chunk scale)")
     parser.add_argument("--only", default=None,
                         help="substring filter on benchmark file names")
+    parser.add_argument("--checks", action="store_true",
+                        help="run the static gates (lint, docs links, "
+                             "docs snippets) instead of the benchmarks")
     args = parser.parse_args()
 
     bench_dir = Path(__file__).parent
     env = dict(os.environ)
     env["ISOBAR_BENCH_ELEMENTS"] = str(args.elements)
+
+    if args.checks:
+        return run_checks(bench_dir, env)
 
     command = [
         sys.executable, "-m", "pytest", str(bench_dir),

@@ -137,6 +137,39 @@ def _measure_stream(values, config, chunk_elements):
     return written, compress_wall, decompress_wall
 
 
+def _attach_parallel_speedups(rows: list) -> None:
+    """Annotate each parallel row with its speedup over the serial row.
+
+    ``parallel_speedup.compress`` / ``.decompress`` is the parallel
+    row's MB/s divided by the serial row's for the same (dataset,
+    codec, chunk_elements), so the ROADMAP regression check is one jq
+    expression::
+
+        jq '.rows[] | select(.mode=="parallel")
+            | {dataset, codec, n_workers, parallel_speedup}'
+    """
+    serial = {
+        (row["dataset"], row["codec"], row["chunk_elements"]): row
+        for row in rows
+        if row["mode"] == "serial"
+    }
+    for row in rows:
+        if row["mode"] != "parallel":
+            continue
+        base = serial.get(
+            (row["dataset"], row["codec"], row["chunk_elements"])
+        )
+        if base is None:
+            continue
+        speedup = {}
+        for key in ("compress_mb_s", "decompress_mb_s"):
+            if row.get(key) and base.get(key):
+                speedup[key.replace("_mb_s", "")] = round(
+                    row[key] / base[key], 3
+                )
+        row["parallel_speedup"] = speedup
+
+
 def run_sweep(
     *,
     n_elements: int,
@@ -164,6 +197,10 @@ def run_sweep(
                         "codec": codec,
                         "chunk_elements": chunk_elements,
                         "mode": mode,
+                        # Workers actually used by THIS row, not the
+                        # sweep-level flag: serial and stream rows run
+                        # single-worker whatever --workers says.
+                        "n_workers": n_workers if mode == "parallel" else 1,
                         "n_elements": int(values.size),
                         "raw_bytes": int(raw_bytes),
                     }
@@ -213,6 +250,7 @@ def run_sweep(
                         f"compress={rate if rate is not None else '-'} MB/s",
                         flush=True,
                     )
+    _attach_parallel_speedups(rows)
     return {
         "benchmark": "throughput_sweep",
         "n_elements": n_elements,

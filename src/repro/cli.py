@@ -86,6 +86,13 @@ def build_parser() -> argparse.ArgumentParser:
     comp.add_argument("--resilience-json", metavar="PATH", default=None,
                       help="write the degradation report as JSON to PATH "
                            "('-' for stdout)")
+    comp.add_argument("--workers", type=int, default=1,
+                      help="pipeline worker count (>1 uses the pipelined "
+                           "parallel compressor; default: 1)")
+    comp.add_argument("--max-inflight", type=int, default=None,
+                      help="backpressure bound: chunk blocks fed to "
+                           "workers but not yet reassembled (default: "
+                           "2 x workers)")
     _add_retry_arguments(comp)
 
     dec = sub.add_parser("decompress", help="restore a raw dataset file")
@@ -94,6 +101,12 @@ def build_parser() -> argparse.ArgumentParser:
     dec.add_argument("--metrics-json", metavar="PATH", default=None,
                      help="collect run metrics and write the registry "
                           "as JSON to PATH ('-' for stdout)")
+    dec.add_argument("--workers", type=int, default=1,
+                     help="pipeline worker count (>1 decodes chunks in "
+                          "parallel; default: 1)")
+    dec.add_argument("--max-inflight", type=int, default=None,
+                     help="backpressure bound for parallel decode "
+                          "(default: 2 x workers)")
 
     tune = sub.add_parser("autotune", help="find the tau plateau for a file")
     tune.add_argument("input", help="raw dataset file")
@@ -148,8 +161,11 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--chunk-elements", type=int, default=None)
     stats.add_argument("--tau", type=float, default=None)
     stats.add_argument("--workers", type=int, default=1,
-                       help="thread-pool size (>1 uses the parallel "
+                       help="pipeline worker count (>1 uses the parallel "
                             "compressor; default: 1)")
+    stats.add_argument("--max-inflight", type=int, default=None,
+                       help="backpressure bound for the pipelined engine "
+                            "(default: 2 x workers)")
     stats.add_argument("--no-roundtrip", action="store_true",
                        help="skip the decompression leg of the profile")
     stats.add_argument("--metrics-json", metavar="PATH", default=None,
@@ -196,6 +212,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="grace period for in-flight work on SIGTERM")
     serve.add_argument("--max-body-mb", type=float, default=64.0,
                        help="request body limit in MiB (413 beyond it)")
+    serve.add_argument("--pipeline-workers", type=int, default=1,
+                       help="per-request chunk parallelism (>1 serves "
+                            "each request with the pipelined parallel "
+                            "compressor; default: 1)")
+    serve.add_argument("--pipeline-max-inflight", type=int, default=None,
+                       help="backpressure bound for the per-request "
+                            "pipeline (default: 2 x pipeline workers)")
     serve.add_argument("--preference", choices=["ratio", "speed"],
                        default="ratio")
     serve.add_argument("--codec", default=None,
@@ -330,6 +353,30 @@ def _config_from_args(args: argparse.Namespace) -> IsobarConfig:
     return IsobarConfig().replace(**overrides)
 
 
+def _pipeline_compressor(
+    config: IsobarConfig | None,
+    args: argparse.Namespace,
+    *,
+    collect_metrics: bool = False,
+) -> IsobarCompressor:
+    """The compressor the ``--workers``/``--max-inflight`` flags ask for.
+
+    ``--workers 1`` (the default) returns the serial pipeline; above
+    that, the pipelined parallel compressor with the requested
+    backpressure bound.  Both produce identical containers.
+    """
+    if getattr(args, "workers", 1) > 1:
+        from repro.core.parallel import ParallelIsobarCompressor
+
+        return ParallelIsobarCompressor(
+            config,
+            n_workers=args.workers,
+            max_inflight=getattr(args, "max_inflight", None),
+            collect_metrics=collect_metrics,
+        )
+    return IsobarCompressor(config, collect_metrics=collect_metrics)
+
+
 def _write_metrics_json(registry, path: str) -> None:
     """Dump a metrics registry as JSON to ``path`` ('-' for stdout)."""
     from repro.observability import to_json
@@ -348,8 +395,8 @@ def _cmd_compress(args: argparse.Namespace) -> int:
 
     values = load_raw(args.input)
     config = _apply_retry_args(_config_from_args(args), args)
-    compressor = IsobarCompressor(
-        config, collect_metrics=args.metrics_json is not None
+    compressor = _pipeline_compressor(
+        config, args, collect_metrics=args.metrics_json is not None
     )
     with Stopwatch() as sw:
         result = compressor.compress_detailed(values)
@@ -393,8 +440,8 @@ def _cmd_compress(args: argparse.Namespace) -> int:
 def _cmd_decompress(args: argparse.Namespace) -> int:
     with open(args.input, "rb") as handle:
         payload = handle.read()
-    compressor = IsobarCompressor(
-        collect_metrics=args.metrics_json is not None
+    compressor = _pipeline_compressor(
+        None, args, collect_metrics=args.metrics_json is not None
     )
     with Stopwatch() as sw:
         values = compressor.decompress(payload)
@@ -546,14 +593,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
     values = load_raw(args.input)
     config = _config_from_args(args)
-    if args.workers > 1:
-        from repro.core.parallel import ParallelIsobarCompressor
-
-        compressor = ParallelIsobarCompressor(
-            config, n_workers=args.workers, collect_metrics=True
-        )
-    else:
-        compressor = IsobarCompressor(config, collect_metrics=True)
+    compressor = _pipeline_compressor(config, args, collect_metrics=True)
 
     result = compressor.compress_detailed(values)
     compress_report = compressor.last_report
@@ -698,6 +738,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_deadline_seconds=args.max_deadline_seconds,
             drain_seconds=args.drain_seconds,
             max_body_bytes=int(args.max_body_mb * 1024 * 1024),
+            pipeline_workers=args.pipeline_workers,
+            pipeline_max_inflight=args.pipeline_max_inflight,
             isobar=config,
         ),
         chaos=chaos,
@@ -708,6 +750,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"listening       : http://{args.host}:{service.port}")
         print(f"admission       : {args.max_inflight} in flight, "
               f"{args.max_queue} queued, then 429")
+        if args.pipeline_workers > 1:
+            print(f"pipeline        : {args.pipeline_workers} chunk "
+                  "workers per request")
         print("drain           : SIGTERM/SIGINT finishes in-flight work "
               f"(up to {args.drain_seconds:.0f}s)")
         await service.serve_forever()

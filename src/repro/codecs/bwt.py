@@ -170,6 +170,8 @@ def _zero_rle_decode(data: bytes) -> bytes:
 class BwtCodec(Codec):
     """Blocked Burrows-Wheeler compressor (miniature bzip2)."""
 
+    process_safe = True
+
     def __init__(self, block_size: int = 65_536):
         if block_size < 16:
             raise ConfigurationError(

@@ -99,6 +99,7 @@ class HuffmanCodec(Codec):
     """Canonical Huffman entropy coder over raw bytes."""
 
     name = "huffman"
+    process_safe = True
 
     # -- encoding ---------------------------------------------------------
 

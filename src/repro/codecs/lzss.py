@@ -44,6 +44,8 @@ class LzssCodec(Codec):
         Longest hash-chain walk per position — the speed/ratio dial.
     """
 
+    process_safe = True
+
     def __init__(self, window_bits: int = 12, length_bits: int = 6,
                  max_chain: int = 32):
         if not 8 <= window_bits <= 16:

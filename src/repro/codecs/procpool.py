@@ -1,0 +1,221 @@
+"""Process-pool fallback for GIL-bound (pure-python) codecs.
+
+The pipelined parallel engine scales codecs whose C cores release the
+GIL (``codec.releases_gil``) with plain worker threads.  Pure-python
+solvers — the range coder, Huffman, LZSS, BWT — hold the GIL for their
+entire hot loop, so threads cannot scale them; for those the engine
+swaps in a :class:`ProcessCodecProxy` that runs each call in a shared
+``ProcessPoolExecutor`` instead.
+
+Design constraints honoured here:
+
+* **Spawn, not fork.**  The parallel engine runs worker *threads* in
+  the parent; forking a threaded process can inherit a held lock (the
+  codec-registry lock, logging locks) and deadlock the child.  Spawned
+  children re-import ``repro.codecs`` and rebuild the registry cleanly.
+* **Name-keyed dispatch.**  Only the codec *name* crosses the process
+  boundary; the child re-resolves it from its own registry.  That is
+  why the proxy is only installed for ``process_safe`` codecs whose
+  registry entry is the very instance being used — an ad-hoc codec (a
+  chaos wrapper shadowing ``"zlib"``, a test double) stays on the
+  thread path so its in-process behaviour is preserved.
+* **Shared-memory transfer** for large payloads: blocks at or above
+  ``1 MiB`` travel to the child via ``multiprocessing.shared_memory``
+  rather than being pickled through the result pipe.
+* **Graceful degradation.**  Any pool-infrastructure failure (broken
+  pool, no /dev/shm, spawn refused) falls back to running the call on
+  the current thread — slower, never wrong.  Codec errors raised inside
+  the child propagate to the caller unchanged.
+
+The pool is process-global, created lazily under a lock (lint rule
+ISO002) and torn down at interpreter exit.
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from multiprocessing import get_context
+from pickle import PicklingError
+
+from repro.codecs.base import Codec, get_codec
+from repro.core.exceptions import UnknownCodecError
+
+try:  # pragma: no cover - absent only on exotic builds
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None  # type: ignore[assignment]
+
+__all__ = [
+    "ProcessCodecProxy",
+    "shutdown_codec_pool",
+    "worker_codec_for",
+]
+
+#: Payloads at or above this many bytes travel via shared memory.
+SHM_THRESHOLD_BYTES = 1 << 20
+
+_POOL: ProcessPoolExecutor | None = None
+_POOL_WORKERS = 0
+# Guards _POOL/_POOL_WORKERS: proxies on concurrent pipeline runs share
+# one executor and may race to (re)create it.
+_POOL_LOCK = threading.Lock()
+
+
+def _acquire_pool(n_workers: int) -> ProcessPoolExecutor:
+    """Return the shared pool, growing it if ``n_workers`` exceeds it."""
+    global _POOL, _POOL_WORKERS
+    with _POOL_LOCK:
+        if _POOL is None or _POOL_WORKERS < n_workers:
+            if _POOL is not None:
+                _POOL.shutdown(wait=False, cancel_futures=True)
+            _POOL = ProcessPoolExecutor(
+                max_workers=n_workers, mp_context=get_context("spawn")
+            )
+            _POOL_WORKERS = n_workers
+        return _POOL
+
+
+def shutdown_codec_pool() -> None:
+    """Tear down the shared process pool (idempotent).
+
+    Registered via :mod:`atexit`; also useful in tests to force a fresh
+    pool.  In-flight calls are abandoned — callers see
+    :class:`concurrent.futures.BrokenExecutor` and fall back in-thread.
+    """
+    global _POOL, _POOL_WORKERS
+    with _POOL_LOCK:
+        if _POOL is not None:
+            _POOL.shutdown(wait=False, cancel_futures=True)
+            _POOL = None
+            _POOL_WORKERS = 0
+
+
+atexit.register(shutdown_codec_pool)
+
+
+def _release_block(block: object) -> None:
+    """Close and unlink a parent-owned shared-memory block (idempotent)."""
+    try:
+        block.close()  # type: ignore[attr-defined]
+        block.unlink()  # type: ignore[attr-defined]
+    except FileNotFoundError:  # pragma: no cover - already unlinked
+        pass
+
+
+def _child_call(codec_name: str, op: str, payload: bytes) -> bytes:
+    """Run one codec call in the child process (payload by pickle)."""
+    codec = get_codec(codec_name)
+    if op == "compress":
+        return codec.compress(payload)
+    return codec.decompress(payload)
+
+
+def _child_call_shm(
+    codec_name: str, op: str, shm_name: str, size: int
+) -> bytes:
+    """Run one codec call in the child (payload via shared memory)."""
+    assert _shared_memory is not None
+    block = _shared_memory.SharedMemory(name=shm_name)
+    try:
+        payload = bytes(block.buf[:size])
+    finally:
+        block.close()
+    return _child_call(codec_name, op, payload)
+
+
+class ProcessCodecProxy(Codec):
+    """A :class:`Codec` running its calls in the shared process pool.
+
+    Wraps a registry codec (same ``name``, so container metadata is
+    unchanged) and forwards ``compress``/``decompress`` to a child
+    process, releasing the parent's GIL for the duration of the wait.
+    Built by :func:`worker_codec_for`; not registered itself.
+    """
+
+    def __init__(self, codec: Codec, n_workers: int):
+        self.name = codec.name
+        self.releases_gil = True  # the *wait* releases the parent's GIL
+        self._codec = codec
+        self._n_workers = n_workers
+
+    def _local(self, op: str, payload: bytes) -> bytes:
+        if op == "compress":
+            return self._codec.compress(payload)
+        return self._codec.decompress(payload)
+
+    def _call_shm(
+        self, pool: ProcessPoolExecutor, op: str, payload: bytes
+    ) -> "Future[bytes]":
+        """Ship ``payload`` through a shared-memory block.
+
+        The block stays linked until the future resolves — the child
+        attaches by name when the task actually runs, which may be long
+        after submit() returns.
+        """
+        assert _shared_memory is not None
+        block = _shared_memory.SharedMemory(create=True, size=len(payload))
+        try:
+            block.buf[: len(payload)] = payload
+            future: "Future[bytes]" = pool.submit(
+                _child_call_shm, self.name, op, block.name, len(payload)
+            )
+            future.add_done_callback(lambda _f: _release_block(block))
+        except BaseException:
+            _release_block(block)
+            raise
+        return future
+
+    def _call(self, op: str, payload: bytes) -> bytes:
+        try:
+            pool = _acquire_pool(self._n_workers)
+            if (
+                _shared_memory is not None
+                and len(payload) >= SHM_THRESHOLD_BYTES
+            ):
+                future = self._call_shm(pool, op, payload)
+            else:
+                future = pool.submit(_child_call, self.name, op, payload)
+        except (OSError, RuntimeError, PicklingError):
+            # Pool or shared memory unavailable: run on this thread.
+            return self._local(op, payload)
+        try:
+            return future.result()
+        except (BrokenExecutor, FileNotFoundError):
+            # Child died (or its shm attach failed) — degrade, never fail.
+            return self._local(op, payload)
+
+    def compress(self, data: bytes) -> bytes:
+        return self._call("compress", data)
+
+    def decompress(self, data: bytes) -> bytes:
+        return self._call("decompress", data)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ProcessCodecProxy name={self.name!r} "
+            f"n_workers={self._n_workers}>"
+        )
+
+
+def worker_codec_for(codec: Codec, n_workers: int) -> Codec:
+    """Pick the codec instance pipeline workers should call.
+
+    * ``releases_gil`` codecs (zlib/bzip2/lzma/isal) scale on threads —
+      returned unchanged.
+    * ``process_safe`` codecs that are the *registered* instance for
+      their name are wrapped in a :class:`ProcessCodecProxy`.
+    * Everything else (ad-hoc instances, chaos wrappers shadowing a
+      real name, single-worker runs) stays in-thread unchanged, so
+      test doubles keep their in-process semantics.
+    """
+    if n_workers <= 1 or codec.releases_gil or not codec.process_safe:
+        return codec
+    try:
+        registered = get_codec(codec.name)
+    except UnknownCodecError:
+        return codec
+    if registered is not codec:
+        return codec
+    return ProcessCodecProxy(codec, n_workers)

@@ -102,6 +102,10 @@ class RangeCoderCodec(Codec):
     """Adaptive arithmetic coder over raw bytes."""
 
     name = "range-coder"
+    # Pure-python hot loop: worker threads cannot scale it, but the
+    # codec is stateless and import-registered, so the parallel engine
+    # may route it to the process-pool fallback.
+    process_safe = True
 
     # -- encoding ---------------------------------------------------------
 

@@ -36,6 +36,7 @@ class RleCodec(Codec):
     """Escape-marker run-length coder over raw bytes."""
 
     name = "rle"
+    process_safe = True
 
     def compress(self, data: bytes) -> bytes:
         out = bytearray()

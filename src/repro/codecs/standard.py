@@ -42,6 +42,11 @@ def isal_available() -> bool:
 class ZlibCodec(Codec):
     """DEFLATE (LZ77 + Huffman) via zlib — the paper's fast solver."""
 
+    # CPython's zlibmodule drops the GIL around deflate/inflate, so
+    # worker threads scale this codec without a process pool.
+    releases_gil = True
+    process_safe = True
+
     def __init__(self, level: int = 6):
         if not 1 <= level <= 9:
             raise ConfigurationError(f"zlib level must be in [1, 9], got {level}")
@@ -66,6 +71,9 @@ class ZlibCodec(Codec):
 class Bzip2Codec(Codec):
     """Burrows-Wheeler + Huffman via bz2 — the paper's high-ratio solver."""
 
+    releases_gil = True
+    process_safe = True
+
     def __init__(self, level: int = 9):
         if not 1 <= level <= 9:
             raise ConfigurationError(f"bzip2 level must be in [1, 9], got {level}")
@@ -89,6 +97,9 @@ class Bzip2Codec(Codec):
 
 class LzmaCodec(Codec):
     """LZMA via the xz container — a slower, higher-ratio extra solver."""
+
+    releases_gil = True
+    process_safe = True
 
     def __init__(self, preset: int = 1):
         if not 0 <= preset <= 9:
@@ -126,6 +137,9 @@ class IsalZlibCodec(Codec):
     ISA-L supports levels 0-3 (its own scale, trading ratio for speed);
     when falling back, the level maps onto a comparable stdlib level.
     """
+
+    releases_gil = True
+    process_safe = True
 
     #: ISA-L level -> roughly comparable stdlib zlib level.
     _STDLIB_LEVELS = {0: 1, 1: 2, 2: 6, 3: 9}

@@ -1,29 +1,41 @@
-"""Thread-parallel chunk compression (a natural in-situ extension).
+"""Pipelined parallel chunk compression (a natural in-situ extension).
 
 Chunks are compressed independently in the ISOBAR workflow (Section
-II-D), so the work maps cleanly onto a thread pool; the hot paths —
-numpy byte-column histograms and the zlib/bz2 C solvers — release the
-GIL, so threads yield genuine parallel speed-up without the pickling
-cost of processes.
+II-D), so the work maps onto the pipelined block-worker engine
+(:mod:`repro.core.pipeline_engine`): a bounded feed queue of chunk
+jobs, ``n_workers`` workers running the codec calls, sequence-numbered
+ordered reassembly, and a ``max_inflight`` backpressure bound so huge
+streams never buffer more than a fixed number of blocks.
+
+Worker *threads* scale the hot paths whose C cores release the GIL —
+numpy byte-column histograms and the zlib/bz2/lzma/isal solvers.  For
+pure-python solvers (``codec.releases_gil`` is false) the engine
+routes the codec calls to a shared process pool with shared-memory
+payload transfer instead (:mod:`repro.codecs.procpool`), falling back
+to in-thread execution for ad-hoc codecs that a fresh process could
+not resolve (chaos wrappers, test doubles) — so fault-injection
+behaves identically in serial and parallel modes.
 
 :class:`ParallelIsobarCompressor` produces byte-for-byte the same
 container format as :class:`~repro.core.pipeline.IsobarCompressor`
-(chunks are assembled in order), so streams are interchangeable between
-the serial and parallel implementations in both directions.
+(chunks are reassembled in submission order regardless of worker
+completion order), so streams are interchangeable between the serial
+and parallel implementations in both directions.
 
 With ``collect_metrics=True`` the workers record into one shared,
 thread-safe tracer and registry, so per-stage seconds and chunk
 counters equal the serial pipeline's totals for the same input (CPU
-time is summed across workers; only the wall clock shrinks).
+time is summed across workers; only the wall clock shrinks).  The
+engine additionally exports queue-depth / in-flight gauges and
+per-worker wait-time counters (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
-
 import numpy as np
 
 from repro.codecs.base import Codec, get_codec
+from repro.codecs.procpool import worker_codec_for
 from repro.core.analyzer import AnalysisResult
 from repro.core.chunking import plan_chunks
 from repro.core.exceptions import (
@@ -39,6 +51,7 @@ from repro.core.pipeline import (
     _degradation_from_reports,
     decode_chunk_payload,
 )
+from repro.core.pipeline_engine import PipelinedBlockRunner, RunnerStats
 from repro.core.preferences import (
     IsobarConfig,
     normalize_errors,
@@ -50,16 +63,25 @@ from repro.observability.trace import AnyTracer, Tracer
 
 __all__ = ["ParallelIsobarCompressor"]
 
+#: One decoded chunk record from the sequential metadata walk:
+#: (index, record_offset, metadata, compressed, incompressible, target).
+_ChunkItem = tuple[int, int, ChunkMetadata, bytes, bytes, "np.ndarray | None"]
+
 
 class ParallelIsobarCompressor(IsobarCompressor):
-    """ISOBAR pipeline with thread-parallel per-chunk compression.
+    """ISOBAR pipeline with pipelined per-chunk parallelism.
 
     Parameters
     ----------
     config:
         Workflow configuration (as for the serial compressor).
     n_workers:
-        Thread-pool size; 1 degenerates to serial execution.
+        Pipeline worker count; 1 degenerates to serial execution.
+    max_inflight:
+        Backpressure bound: maximum chunk blocks fed to workers but not
+        yet reassembled.  Defaults to ``max(2 * n_workers, 4)``.  Peak
+        buffered memory is roughly ``max_inflight`` chunk payloads on
+        top of the input/output arrays.
     collect_metrics / metrics:
         As for the serial compressor; workers aggregate into one
         thread-safe registry, so counters match a serial run's.
@@ -70,6 +92,7 @@ class ParallelIsobarCompressor(IsobarCompressor):
         config: IsobarConfig | None = None,
         n_workers: int = 4,
         *,
+        max_inflight: int | None = None,
         collect_metrics: bool = False,
         metrics: MetricsRegistry | None = None,
     ):
@@ -77,15 +100,41 @@ class ParallelIsobarCompressor(IsobarCompressor):
             raise ConfigurationError(
                 f"n_workers must be positive, got {n_workers}"
             )
+        if max_inflight is not None and max_inflight < 1:
+            raise ConfigurationError(
+                f"max_inflight must be positive, got {max_inflight}"
+            )
         super().__init__(
             config, collect_metrics=collect_metrics, metrics=metrics
         )
         self._n_workers = n_workers
+        self._max_inflight = max_inflight
+        #: Engine accounting from the most recent parallel run (None
+        #: until a multi-chunk parallel path has executed); tests use
+        #: ``peak_inflight`` to assert the backpressure bound held.
+        self.last_runner_stats: RunnerStats | None = None
 
     @property
     def n_workers(self) -> int:
-        """Configured thread-pool size."""
+        """Configured pipeline worker count."""
         return self._n_workers
+
+    @property
+    def max_inflight(self) -> int | None:
+        """Configured backpressure bound (None = engine default)."""
+        return self._max_inflight
+
+    def _runner(self, name: str) -> PipelinedBlockRunner:
+        runner: PipelinedBlockRunner = PipelinedBlockRunner(
+            self._n_workers,
+            max_inflight=self._max_inflight,
+            name=name,
+            instruments=(
+                self._instruments if self._metrics.enabled else None
+            ),
+        )
+        self.last_runner_stats = runner.stats
+        return runner
 
     def compress_detailed(self, values: np.ndarray) -> CompressionResult:
         """Compress with per-chunk parallelism; same container output."""
@@ -166,45 +215,54 @@ class ParallelIsobarCompressor(IsobarCompressor):
         tracer: AnyTracer,
         lead_analysis: AnalysisResult | None = None,
     ) -> list[tuple[bytes, ChunkReport]]:
-        """Fan chunk compression out over futures, in chunk order.
+        """Run chunk compression through the pipelined engine, in order.
 
-        One future per chunk (not ``pool.map``): a failing chunk must
-        not poison the pool.  Under a resilience policy a worker that
-        raised is retried serially — the resilient encoder degrades
-        the chunk instead of failing, so one poisoned chunk costs one
-        serial retry, never the run.  Without a policy (or when the
-        serial retry fails too) outstanding futures are cancelled via
-        ``shutdown(cancel_futures=True)`` and the original exception
-        propagates — already-running workers finish their chunk, but
-        no queued work starts.
+        Workers call the codec through :func:`worker_codec_for` — the
+        codec itself when its C core releases the GIL, a process-pool
+        proxy for registered pure-python codecs, unchanged otherwise.
+        A failing chunk never poisons the engine: under a resilience
+        policy the chunk is retried serially with the *original* codec
+        (the resilient encoder degrades it instead of failing), so one
+        poisoned chunk costs one serial retry, never the run.  Without
+        a policy (or when the serial retry fails too) the runner is
+        cancelled — running workers finish their block, queued blocks
+        never start (``cancel_futures`` semantics) — and the original
+        exception propagates.
         """
         policy = self._config.resilience
+        worker_codec = worker_codec_for(codec, self._n_workers)
+        runner = self._runner("isobar-compress")
+
+        def _job(seq: int, chunk: np.ndarray) -> tuple[bytes, ChunkReport]:
+            return self._compress_chunk(
+                seq, chunk, decision, worker_codec, tracer,
+                analysis=lead_analysis if seq == 0 else None,
+            )
+
         outcomes: list[tuple[bytes, ChunkReport]] = []
-        with ThreadPoolExecutor(max_workers=self._n_workers) as pool:
-            futures = [
-                pool.submit(
-                    self._compress_chunk, i, chunk, decision, codec, tracer,
-                    analysis=lead_analysis if i == 0 else None,
+        for block in runner.run(chunks, _job):
+            if block.error is None:
+                assert block.value is not None
+                outcomes.append(block.value)
+                continue
+            if (
+                policy is None
+                or policy.strict
+                or not isinstance(block.error, Exception)
+            ):
+                runner.cancel()
+                raise block.error
+            try:
+                outcomes.append(
+                    self._compress_chunk(
+                        block.seq, chunks[block.seq], decision, codec,
+                        tracer,
+                        analysis=lead_analysis if block.seq == 0 else None,
+                    )
                 )
-                for i, chunk in enumerate(chunks)
-            ]
-            for i, future in enumerate(futures):
-                try:
-                    outcomes.append(future.result())
-                except Exception:
-                    if policy is None or policy.strict:
-                        pool.shutdown(wait=False, cancel_futures=True)
-                        raise
-                    try:
-                        outcomes.append(
-                            self._compress_chunk(
-                                i, chunks[i], decision, codec, tracer,
-                                analysis=lead_analysis if i == 0 else None,
-                            )
-                        )
-                    except Exception:
-                        pool.shutdown(wait=False, cancel_futures=True)
-                        raise
+            except Exception:
+                runner.cancel()
+                raise
         return outcomes
 
     def decompress(self, data: bytes, *, errors: str = "raise") -> np.ndarray:
@@ -259,25 +317,28 @@ class ParallelIsobarCompressor(IsobarCompressor):
             cursor = end_cursor
 
         decoder = _ChunkDecoder(
-            header, codec, tracer if self._metrics.enabled else None
+            header,
+            worker_codec_for(codec, self._n_workers),
+            tracer if self._metrics.enabled else None,
         )
         if self._n_workers == 1 or len(chunk_slices) <= 1:
             for item in chunk_slices:
                 decoder(item)
         else:
-            # Futures instead of pool.map: a damaged chunk surfaces its
-            # original exception immediately and cancels queued decode
-            # work instead of letting the pool run to completion.
-            with ThreadPoolExecutor(max_workers=self._n_workers) as pool:
-                futures = [
-                    pool.submit(decoder, item) for item in chunk_slices
-                ]
-                for future in futures:
-                    try:
-                        future.result()
-                    except Exception:
-                        pool.shutdown(wait=False, cancel_futures=True)
-                        raise
+            # Workers decode straight into disjoint slices of the
+            # preallocated result, so ordered reassembly is free; the
+            # ordered consumption loop exists to surface a damaged
+            # chunk's original exception immediately and cancel queued
+            # decode work instead of letting the engine run on.
+            runner = self._runner("isobar-decompress")
+
+            def _decode(seq: int, item: _ChunkItem) -> np.ndarray:
+                return decoder(item)
+
+            for block in runner.run(chunk_slices, _decode):
+                if block.error is not None:
+                    runner.cancel()
+                    raise block.error
         self._instruments.chunks_decoded.inc(header.n_chunks)
 
         merge_start = time.perf_counter()
@@ -321,12 +382,7 @@ class _ChunkDecoder:
         self._codec = codec
         self._tracer = tracer
 
-    def __call__(
-        self,
-        item: tuple[
-            int, int, ChunkMetadata, bytes, bytes, np.ndarray | None
-        ],
-    ) -> np.ndarray:
+    def __call__(self, item: _ChunkItem) -> np.ndarray:
         import time
 
         index, record_offset, meta, compressed, incompressible, target = item

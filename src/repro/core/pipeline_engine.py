@@ -1,0 +1,430 @@
+"""Pipelined block-worker execution engine for chunk parallelism.
+
+The ISOBAR workflow compresses chunks independently (Section II-D), so
+chunk work maps onto a classic compression pipeline: a bounded feed
+queue of sequence-numbered jobs, ``n_workers`` worker threads that run
+the (GIL-releasing) per-chunk function, and ordered reassembly through
+sequence-numbered result slots — the design python-isal's
+``igzip_threaded`` proved for DEFLATE streams, generalised over any
+block function.
+
+Three properties the engine guarantees:
+
+* **Bounded memory.**  At most ``max_inflight`` blocks are fed but not
+  yet consumed (queued + being worked + parked in result slots), so an
+  arbitrarily long job stream never buffers more than a fixed number
+  of chunks no matter how the workers and the consumer interleave.
+* **Ordered reassembly.**  Results are yielded strictly in submission
+  order regardless of worker completion order; a fast block parked in
+  its slot waits for its slower predecessors.
+* **Prompt cancellation.**  :meth:`PipelinedBlockRunner.cancel` (and
+  abandoning the result iterator) stops the feeder and discards queued
+  jobs; blocks already being worked finish, nothing queued starts —
+  exactly ``ThreadPoolExecutor.shutdown(cancel_futures=True)``
+  semantics, which the resilience layer's fail-fast contract relies
+  on.
+
+Worker exceptions never kill the engine: each failed block surfaces as
+a :class:`BlockResult` carrying the original exception, in order, so
+the consumer decides per block whether to retry, degrade or abort.
+
+With a bound :class:`~repro.observability.instruments.PipelineInstruments`
+the engine exports per-worker wait-time counters and feed-queue /
+in-flight gauges (see ``docs/observability.md``); without one the hot
+path records nothing.
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Generic,
+    Iterable,
+    Iterator,
+    Protocol,
+    TypeVar,
+)
+
+from repro.core.exceptions import ConfigurationError
+
+__all__ = [
+    "BlockResult",
+    "PipelinedBlockRunner",
+    "RunnerStats",
+    "bounded_relay",
+    "default_max_inflight",
+]
+
+JobT = TypeVar("JobT")
+ResultT = TypeVar("ResultT")
+
+#: Poison pill telling a worker to exit; compared by identity.
+_SENTINEL: Any = object()
+#: Slot marker for a job discarded after cancel() (never yielded).
+_CANCELLED: Any = object()
+
+
+def default_max_inflight(n_workers: int) -> int:
+    """The default backpressure bound for ``n_workers`` workers.
+
+    Two blocks per worker keeps every worker busy while the consumer
+    drains the previous result, without buffering a long tail of
+    completed blocks; a floor of 4 keeps tiny pools pipelined.
+    """
+    return max(2 * n_workers, 4)
+
+
+class _EngineInstruments(Protocol):
+    """The slice of ``PipelineInstruments`` the engine records into."""
+
+    parallel_queue_depth: Any
+    parallel_inflight_blocks: Any
+    parallel_worker_wait_seconds: Any
+
+
+@dataclass(frozen=True)
+class BlockResult(Generic[ResultT]):
+    """One block's outcome, yielded in submission order.
+
+    Exactly one of ``value`` / ``error`` is meaningful: ``error`` is
+    ``None`` for a successful block, else the exception the block
+    function raised (the value is then unset).
+    """
+
+    seq: int
+    value: ResultT | None = None
+    error: BaseException | None = None
+
+
+@dataclass
+class RunnerStats:
+    """Engine-side accounting, readable after (or during) a run."""
+
+    #: Blocks fed to workers so far.
+    fed_blocks: int = 0
+    #: Blocks the consumer has taken back out, in order.
+    consumed_blocks: int = 0
+    #: High-water mark of blocks in flight (fed - consumed).
+    peak_inflight: int = 0
+    #: Seconds workers spent blocked waiting for the feed queue.
+    worker_wait_seconds: dict[int, float] = field(default_factory=dict)
+
+
+class _OrderedSlots:
+    """Sequence-numbered result slots with in-order retrieval.
+
+    Workers deposit results under their block's sequence number in any
+    order; the consumer blocks until the *next* sequence number is
+    present.  The slot dict never grows past the engine's in-flight
+    bound, because the feeder cannot run ahead of the consumer by more
+    than ``max_inflight`` blocks.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._slots: dict[int, Any] = {}
+        self._next = 0
+
+    def put(self, seq: int, item: Any) -> None:
+        with self._cond:
+            self._slots[seq] = item
+            if seq == self._next:
+                self._cond.notify_all()
+
+    def get_next(self) -> Any:
+        with self._cond:
+            while self._next not in self._slots:
+                self._cond.wait()
+            item = self._slots.pop(self._next)
+            self._next += 1
+            return item
+
+
+class PipelinedBlockRunner(Generic[JobT, ResultT]):
+    """Queue-fed worker pipeline with ordered, backpressured results.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker threads running the block function.
+    max_inflight:
+        Backpressure bound: maximum blocks fed but not yet consumed.
+        Defaults to :func:`default_max_inflight`.
+    name:
+        Thread-name prefix, for debuggability.
+    instruments:
+        Optional :class:`~repro.observability.instruments.PipelineInstruments`;
+        when given, the engine records the feed-queue depth gauge, the
+        in-flight gauge and per-worker wait-time counters.
+
+    Usage::
+
+        runner = PipelinedBlockRunner(n_workers=4, max_inflight=8)
+        for result in runner.run(jobs, fn):
+            if result.error is not None:
+                runner.cancel()          # queued jobs never start
+                raise result.error
+            consume(result.value)
+
+    ``run`` may be called once per runner instance.
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        *,
+        max_inflight: int | None = None,
+        name: str = "isobar-pipe",
+        instruments: _EngineInstruments | None = None,
+    ) -> None:
+        if n_workers < 1:
+            raise ConfigurationError(
+                f"n_workers must be positive, got {n_workers}"
+            )
+        if max_inflight is None:
+            max_inflight = default_max_inflight(n_workers)
+        if max_inflight < 1:
+            raise ConfigurationError(
+                f"max_inflight must be positive, got {max_inflight}"
+            )
+        self._n_workers = n_workers
+        self._max_inflight = max_inflight
+        self._name = name
+        self._instruments = instruments
+        self._stop = threading.Event()
+        self._started = False
+        self.stats = RunnerStats(
+            worker_wait_seconds={i: 0.0 for i in range(n_workers)}
+        )
+
+    @property
+    def n_workers(self) -> int:
+        """Configured worker-thread count."""
+        return self._n_workers
+
+    @property
+    def max_inflight(self) -> int:
+        """Configured backpressure bound (blocks fed but unconsumed)."""
+        return self._max_inflight
+
+    def cancel(self) -> None:
+        """Stop feeding and discard queued jobs.
+
+        Blocks already being worked finish (their results are simply
+        never consumed); queued blocks are dropped without running.
+        Idempotent and thread-safe.
+        """
+        self._stop.set()
+
+    def run(
+        self,
+        jobs: Iterable[JobT],
+        fn: Callable[[int, JobT], ResultT],
+    ) -> Iterator[BlockResult[ResultT]]:
+        """Feed ``jobs`` through the workers; yield ordered results.
+
+        ``fn`` is called as ``fn(seq, job)`` on a worker thread.  The
+        returned iterator owns the worker threads: exhausting it,
+        closing it, or leaving it to be garbage collected joins them.
+        An exception raised by the ``jobs`` iterable itself surfaces
+        (re-raised at the consumer) after every previously fed block's
+        result.
+        """
+        if self._started:
+            raise ConfigurationError("runner.run() may only be called once")
+        self._started = True
+        return self._run(jobs, fn)
+
+    # -- internals --------------------------------------------------------
+
+    def _record_depth(self, feed: "_queue.Queue[Any]") -> None:
+        if self._instruments is not None:
+            self._instruments.parallel_queue_depth.set(
+                feed.qsize(), queue="feed"
+            )
+
+    def _record_inflight(self, inflight: int) -> None:
+        if inflight > self.stats.peak_inflight:
+            self.stats.peak_inflight = inflight
+        if self._instruments is not None:
+            self._instruments.parallel_inflight_blocks.set(inflight)
+
+    def _run(
+        self,
+        jobs: Iterable[JobT],
+        fn: Callable[[int, JobT], ResultT],
+    ) -> Iterator[BlockResult[ResultT]]:
+        feed: "_queue.Queue[Any]" = _queue.Queue(maxsize=self._max_inflight)
+        slots = _OrderedSlots()
+        sem = threading.Semaphore(self._max_inflight)
+        stop = self._stop
+        stats = self.stats
+        stats_lock = threading.Lock()
+
+        def _feed() -> None:
+            seq = 0
+            end_item: tuple[str, Any] = ("end", None)
+            try:
+                for job in jobs:
+                    # The semaphore is the backpressure valve: it only
+                    # frees up when the consumer takes a result out, so
+                    # fed-but-unconsumed blocks never exceed the bound.
+                    while not sem.acquire(timeout=0.05):
+                        if stop.is_set():
+                            break
+                    if stop.is_set():
+                        break
+                    feed.put((seq, job))
+                    with stats_lock:
+                        stats.fed_blocks += 1
+                        self._record_inflight(
+                            stats.fed_blocks - stats.consumed_blocks
+                        )
+                    self._record_depth(feed)
+                    seq += 1
+            except BaseException as exc:  # noqa: BLE001 - relayed in order
+                end_item = ("producer_error", exc)
+            slots.put(seq, end_item)
+            for _ in range(self._n_workers):
+                feed.put(_SENTINEL)
+
+        def _work(worker_index: int) -> None:
+            while True:
+                wait_start = time.perf_counter()
+                item = feed.get()
+                waited = time.perf_counter() - wait_start
+                with stats_lock:
+                    stats.worker_wait_seconds[worker_index] += waited
+                if self._instruments is not None:
+                    self._instruments.parallel_worker_wait_seconds.inc(
+                        waited, worker=str(worker_index)
+                    )
+                self._record_depth(feed)
+                if item is _SENTINEL:
+                    return
+                seq, job = item
+                if stop.is_set():
+                    # cancel(): queued work must not start, but the
+                    # consumer may still be draining — park a marker so
+                    # no sequence number is ever awaited forever.
+                    slots.put(seq, ("cancelled", _CANCELLED))
+                    continue
+                try:
+                    value = fn(seq, job)
+                except BaseException as exc:  # noqa: BLE001 - containment
+                    slots.put(seq, ("result", BlockResult(seq, error=exc)))
+                else:
+                    slots.put(seq, ("result", BlockResult(seq, value=value)))
+
+        threads = [
+            threading.Thread(
+                target=_feed, name=f"{self._name}-feeder", daemon=True
+            )
+        ]
+        threads.extend(
+            threading.Thread(
+                target=_work, args=(i,),
+                name=f"{self._name}-worker-{i}", daemon=True,
+            )
+            for i in range(self._n_workers)
+        )
+        for thread in threads:
+            thread.start()
+        try:
+            while True:
+                kind, item = slots.get_next()
+                if kind == "end":
+                    return
+                if kind == "producer_error":
+                    raise item
+                if kind == "cancelled":
+                    return
+                with stats_lock:
+                    stats.consumed_blocks += 1
+                    self._record_inflight(
+                        stats.fed_blocks - stats.consumed_blocks
+                    )
+                sem.release()
+                yield item
+        finally:
+            stop.set()
+            # Unblock a feeder stuck on a full feed queue, then make
+            # sure every worker sees a sentinel even if the feeder
+            # exited before queueing them all.
+            try:
+                while True:
+                    feed.get_nowait()
+            except _queue.Empty:
+                pass
+            for _ in range(self._n_workers):
+                try:
+                    feed.put_nowait(_SENTINEL)
+                except _queue.Full:
+                    break
+            for thread in threads:
+                thread.join(timeout=5.0)
+            if self._instruments is not None:
+                self._instruments.parallel_queue_depth.set(0, queue="feed")
+                self._instruments.parallel_inflight_blocks.set(0)
+
+
+def bounded_relay(
+    items: Iterable[Any], depth: int, *, name: str = "isobar-relay"
+) -> Iterator[Any]:
+    """Produce ``items`` on a helper thread through a bounded queue.
+
+    The queue depth is the backpressure bound: at most ``depth`` items
+    are in flight between the producer and the consumer, so a slow
+    consumer stalls production instead of buffering the stream in
+    memory.  A producer exception is re-raised at the consuming end;
+    abandoning the generator stops the producer promptly.
+
+    This is the readahead primitive behind ``stream_compress`` /
+    ``stream_decompress`` — the single-worker degenerate case of the
+    block pipeline, kept allocation-free.
+    """
+    if depth < 1:
+        raise ConfigurationError(f"depth must be positive, got {depth}")
+    q: "_queue.Queue[tuple[str, Any]]" = _queue.Queue(maxsize=depth)
+    stop = threading.Event()
+    _END = object()
+
+    def _produce() -> None:
+        try:
+            for item in items:
+                while not stop.is_set():
+                    try:
+                        q.put(("item", item), timeout=0.1)
+                        break
+                    except _queue.Full:
+                        continue
+                if stop.is_set():
+                    return
+            tail = ("end", _END)
+        except BaseException as exc:  # noqa: BLE001 - relayed to consumer
+            tail = ("err", exc)
+        while not stop.is_set():
+            try:
+                q.put(tail, timeout=0.1)
+                return
+            except _queue.Full:
+                continue
+
+    producer = threading.Thread(target=_produce, name=name, daemon=True)
+    producer.start()
+    try:
+        while True:
+            kind, value = q.get()
+            if kind == "item":
+                yield value
+            elif kind == "err":
+                raise value
+            else:
+                return
+    finally:
+        stop.set()

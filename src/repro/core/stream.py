@@ -25,8 +25,6 @@ recoverable chunk-by-chunk via
 from __future__ import annotations
 
 import os
-import queue as _queue
-import threading as _threading
 import time as _time
 import zlib as _zlib
 from typing import BinaryIO, Iterable, Iterator
@@ -44,6 +42,7 @@ from repro.core.exceptions import (
     TruncatedContainerError,
 )
 from repro.core.metadata import ChunkMetadata, ContainerHeader
+from repro.core.pipeline_engine import bounded_relay
 from repro.core.pipeline import (
     decode_chunk_payload,
     encode_chunk_payload,
@@ -458,47 +457,12 @@ def _bounded_readahead(
     of buffering the stream in memory.  A producer exception is
     re-raised at the consuming end; abandoning the generator stops the
     producer promptly.
+
+    (Thin wrapper over the pipelined engine's
+    :func:`~repro.core.pipeline_engine.bounded_relay`, kept under the
+    streaming name for callers and tests.)
     """
-    q: _queue.Queue = _queue.Queue(maxsize=depth)
-    stop = _threading.Event()
-    _END = object()
-
-    def _produce() -> None:
-        try:
-            for chunk in chunks:
-                while not stop.is_set():
-                    try:
-                        q.put(("chunk", chunk), timeout=0.1)
-                        break
-                    except _queue.Full:
-                        continue
-                if stop.is_set():
-                    return
-            item = ("end", _END)
-        except BaseException as exc:  # noqa: BLE001 - relayed to consumer
-            item = ("err", exc)
-        while not stop.is_set():
-            try:
-                q.put(item, timeout=0.1)
-                return
-            except _queue.Full:
-                continue
-
-    producer = _threading.Thread(
-        target=_produce, name="isobar-stream-readahead", daemon=True
-    )
-    producer.start()
-    try:
-        while True:
-            kind, value = q.get()
-            if kind == "chunk":
-                yield value
-            elif kind == "err":
-                raise value
-            else:
-                return
-    finally:
-        stop.set()
+    return bounded_relay(chunks, depth, name="isobar-stream-readahead")
 
 
 def stream_compress(
@@ -606,11 +570,13 @@ def stream_decompress(
     errors: str = "raise",
     tolerate_unclosed: bool = False,
     metrics: MetricsRegistry | None = None,
+    readahead_chunks: int = 0,
 ) -> Iterator[np.ndarray]:
     """Yield the original chunks of a container file, one at a time.
 
     Verifies each chunk's CRC before yielding; memory use is bounded by
-    one chunk on the strict path.
+    one chunk on the strict path (``1 + readahead_chunks`` with
+    readahead).
 
     Parameters
     ----------
@@ -632,7 +598,17 @@ def stream_decompress(
         Optional registry; the strict path records per-chunk ``decode``
         stage timings and the decoded-chunk counter as the generator is
         consumed.
+    readahead_chunks:
+        ``> 0`` reads and decodes chunks on a helper thread through a
+        bounded queue of that depth, overlapping file I/O + decode with
+        whatever the consumer does per chunk.  0 (the default) decodes
+        inline, exactly as before.  Applies to the strict path only;
+        the salvage paths stay serial (recovery is not a hot path).
     """
+    if readahead_chunks < 0:
+        raise InvalidInputError(
+            f"readahead_chunks must be >= 0, got {readahead_chunks}"
+        )
     # Canonical policy vocabulary shared by every decoder; _stream_salvage
     # speaks the salvage decoder's internal names.
     salvage_policy = salvage_policy_for(errors)
@@ -662,37 +638,48 @@ def stream_decompress(
     instruments = PipelineInstruments(registry)
     tracer = Tracer(registry) if registry.enabled else NULL_TRACER
 
-    with open(path, "rb") as source:
-        source.seek(offset)
-        codec = get_codec(header.codec_name)
-        width = header.element_width
-        for index in range(header.n_chunks):
-            # Chunk metadata has bounded size; read generously then
-            # seek to the payload start.
-            meta_start = source.tell()
-            meta_buf = source.read(64 + (width + 7) // 8)
-            meta, consumed = ChunkMetadata.decode(meta_buf, 0, width)
-            source.seek(meta_start + consumed)
-            compressed = source.read(meta.compressed_size)
-            incompressible = source.read(meta.incompressible_size)
-            if (
-                len(compressed) != meta.compressed_size
-                or len(incompressible) != meta.incompressible_size
-            ):
-                raise TruncatedContainerError(
-                    f"chunk {index} at byte offset {meta_start}: "
-                    "container truncated mid-chunk"
+    def _decode_chunks() -> Iterator[np.ndarray]:
+        with open(path, "rb") as source:
+            source.seek(offset)
+            codec = get_codec(header.codec_name)
+            width = header.element_width
+            for index in range(header.n_chunks):
+                # Chunk metadata has bounded size; read generously then
+                # seek to the payload start.
+                meta_start = source.tell()
+                meta_buf = source.read(64 + (width + 7) // 8)
+                meta, consumed = ChunkMetadata.decode(meta_buf, 0, width)
+                source.seek(meta_start + consumed)
+                compressed = source.read(meta.compressed_size)
+                incompressible = source.read(meta.incompressible_size)
+                if (
+                    len(compressed) != meta.compressed_size
+                    or len(incompressible) != meta.incompressible_size
+                ):
+                    raise TruncatedContainerError(
+                        f"chunk {index} at byte offset {meta_start}: "
+                        "container truncated mid-chunk"
+                    )
+                decode_start = (
+                    _time.perf_counter() if registry.enabled else 0.0
                 )
-            decode_start = _time.perf_counter() if registry.enabled else 0.0
-            chunk = decode_chunk_payload(
-                header, codec, meta, compressed, incompressible,
-                chunk_index=index, byte_offset=meta_start,
-            )
-            if registry.enabled:
-                tracer.add(
-                    "decode", _time.perf_counter() - decode_start,
-                    bytes_in=len(compressed) + len(incompressible),
-                    bytes_out=chunk.nbytes,
+                chunk = decode_chunk_payload(
+                    header, codec, meta, compressed, incompressible,
+                    chunk_index=index, byte_offset=meta_start,
                 )
-                instruments.chunks_decoded.inc()
-            yield chunk
+                if registry.enabled:
+                    tracer.add(
+                        "decode", _time.perf_counter() - decode_start,
+                        bytes_in=len(compressed) + len(incompressible),
+                        bytes_out=chunk.nbytes,
+                    )
+                    instruments.chunks_decoded.inc()
+                yield chunk
+
+    if readahead_chunks > 0:
+        yield from bounded_relay(
+            _decode_chunks(), readahead_chunks,
+            name="isobar-stream-decode",
+        )
+    else:
+        yield from _decode_chunks()

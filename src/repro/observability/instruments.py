@@ -74,6 +74,17 @@ class PipelineInstruments:
     ``selector_failures``
         ``isobar_selector_failures_total{codec=,linearization=}`` —
         candidate evaluations that raised and were skipped.
+    ``parallel_queue_depth``
+        ``isobar_parallel_queue_depth{queue=feed}`` gauge — jobs
+        sitting in the pipelined engine's bounded feed queue.
+    ``parallel_inflight_blocks``
+        ``isobar_parallel_inflight_blocks`` gauge — blocks fed to the
+        engine but not yet consumed (bounded by ``max_inflight``).
+    ``parallel_worker_wait_seconds``
+        ``isobar_parallel_worker_wait_seconds_total{worker=}`` — time
+        each pipeline worker spent idle waiting on the feed queue
+        (high values mean the producer or consumer is the bottleneck,
+        not the codec).
     """
 
     def __init__(self, registry):
@@ -144,6 +155,18 @@ class PipelineInstruments:
         self.selector_failures = registry.counter(
             "isobar_selector_failures_total",
             "Selector candidate evaluations that raised and were skipped.",
+        )
+        self.parallel_queue_depth = registry.gauge(
+            "isobar_parallel_queue_depth",
+            "Jobs queued in the pipelined engine's bounded feed queue.",
+        )
+        self.parallel_inflight_blocks = registry.gauge(
+            "isobar_parallel_inflight_blocks",
+            "Blocks fed to the pipelined engine but not yet consumed.",
+        )
+        self.parallel_worker_wait_seconds = registry.counter(
+            "isobar_parallel_worker_wait_seconds_total",
+            "Seconds each pipeline worker spent waiting for feed work.",
         )
 
     def record_chunk_outcome(

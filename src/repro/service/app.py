@@ -133,6 +133,16 @@ class ServiceConfig:
     readahead_chunks:
         Depth of the decode→writer bridge on ``/v1/decompress``: at
         most this many decoded chunks wait for a slow reader.
+    pipeline_workers:
+        Per-request chunk parallelism: > 1 serves each compute request
+        with a :class:`~repro.core.parallel.ParallelIsobarCompressor`
+        running that many pipeline workers (``max_inflight`` requests
+        × ``pipeline_workers`` chunk workers is the compute-thread
+        ceiling).  1 (the default) keeps the serial per-request
+        pipeline.
+    pipeline_max_inflight:
+        Backpressure bound handed to the pipelined engine (None =
+        engine default of ``max(2 * pipeline_workers, 4)``).
     isobar:
         The compression configuration served by default; per-request
         query parameters override codec/preference/linearization/
@@ -152,6 +162,8 @@ class ServiceConfig:
     body_timeout_seconds: float = 30.0
     response_piece_bytes: int = 64 * 1024
     readahead_chunks: int = 4
+    pipeline_workers: int = 1
+    pipeline_max_inflight: int | None = None
     isobar: IsobarConfig = field(
         default_factory=lambda: IsobarConfig(
             resilience=DEFAULT_SERVICE_POLICY
@@ -188,6 +200,19 @@ class ServiceConfig:
         if self.readahead_chunks < 1:
             raise ConfigurationError(
                 f"readahead_chunks must be >= 1, got {self.readahead_chunks!r}"
+            )
+        if self.pipeline_workers < 1:
+            raise ConfigurationError(
+                f"pipeline_workers must be >= 1, got "
+                f"{self.pipeline_workers!r}"
+            )
+        if (
+            self.pipeline_max_inflight is not None
+            and self.pipeline_max_inflight < 1
+        ):
+            raise ConfigurationError(
+                f"pipeline_max_inflight must be >= 1, got "
+                f"{self.pipeline_max_inflight!r}"
             )
 
     def replace(self, **changes: object) -> "ServiceConfig":
@@ -483,7 +508,19 @@ class IsobarService:
                     self._config.isobar.replace(**overrides)
                     if overrides else self._config.isobar
                 )
-                compressor = IsobarCompressor(config, metrics=self._metrics)
+                if self._config.pipeline_workers > 1:
+                    from repro.core.parallel import ParallelIsobarCompressor
+
+                    compressor = ParallelIsobarCompressor(
+                        config,
+                        self._config.pipeline_workers,
+                        max_inflight=self._config.pipeline_max_inflight,
+                        metrics=self._metrics,
+                    )
+                else:
+                    compressor = IsobarCompressor(
+                        config, metrics=self._metrics
+                    )
                 self._compressors[key] = compressor
             return compressor
 
@@ -524,6 +561,7 @@ class IsobarService:
             "queue_depth": self._gate.waiting,
             "max_inflight": self._config.max_inflight,
             "max_queue": self._config.max_queue,
+            "pipeline_workers": self._config.pipeline_workers,
             "requests_by_status": dict(sorted(self._status_counts.items())),
             "requests_by_route": dict(sorted(self._route_counts.items())),
             "shed": self._shed,

@@ -191,3 +191,126 @@ class TestFaultContainment:
         blob[len(blob) // 2] ^= 0xFF
         with pytest.raises(ChecksumError):
             compressor.decompress(bytes(blob))
+
+
+class TestPipelinedEngine:
+    """Properties specific to the pipelined block-worker rework."""
+
+    @pytest.mark.parametrize("seed", [11, 42, 1234])
+    def test_byte_identical_under_adversarial_scheduling(
+        self, multichunk, seed
+    ):
+        """Seeded slow-worker permutations: a codec that sleeps a
+        seeded random time per chunk forces out-of-order completion,
+        yet reassembly must stay byte-identical to the serial run."""
+        import random
+        import threading
+        import time
+
+        from repro.codecs.base import get_codec
+        from repro.testing.chaos import chaos_codec
+
+        class JitterCodec:
+            # Content-keyed delays: identical per serial/parallel run,
+            # different per chunk — the adversarial scheduler.
+            name = "zlib"
+            releases_gil = False  # keep it on the thread path
+            process_safe = False
+
+            def __init__(self, inner, seed):
+                self._inner = inner
+                self._seed = seed
+                self._lock = threading.Lock()
+
+            def _nap(self, data):
+                delay = random.Random(
+                    self._seed ^ len(data) ^ data[0]
+                ).uniform(0.0, 0.01)
+                time.sleep(delay)
+
+            def compress(self, data):
+                self._nap(data)
+                return self._inner.compress(data)
+
+            def decompress(self, data):
+                self._nap(data)
+                return self._inner.decompress(data)
+
+        serial = IsobarCompressor(_CFG).compress(multichunk)
+        jitter = JitterCodec(get_codec("zlib"), seed)
+        with chaos_codec(jitter):
+            parallel = ParallelIsobarCompressor(
+                _CFG, n_workers=4, max_inflight=4
+            ).compress(multichunk)
+        assert parallel == serial
+
+    def test_max_inflight_bounds_peak_buffered_blocks(self, rng):
+        """Backpressure: peak fed-but-unconsumed blocks (≈ buffered
+        chunk payloads) never exceed the configured bound."""
+        values = build_structured(300_000, np.float64, 6, rng)
+        compressor = ParallelIsobarCompressor(
+            _CFG, n_workers=4, max_inflight=2
+        )
+        blob = compressor.compress(values)
+        stats = compressor.last_runner_stats
+        assert stats is not None
+        assert stats.fed_blocks == 10  # ceil(300000/30000)
+        assert stats.peak_inflight <= 2
+        # The bound is a memory statement: at most max_inflight chunk
+        # payloads buffered beyond the consumer, whatever the stream
+        # length.
+        assert np.array_equal(
+            IsobarCompressor(_CFG).decompress(blob), values
+        )
+
+    def test_max_inflight_validation(self):
+        with pytest.raises(ConfigurationError):
+            ParallelIsobarCompressor(_CFG, n_workers=2, max_inflight=0)
+
+    def test_pure_python_codec_routes_to_process_pool(self, rng):
+        """A registered pure-python codec crosses the process boundary
+        (or degrades gracefully in-thread) and stays byte-identical to
+        serial."""
+        values = build_structured(40_000, np.float64, 6, rng)
+        config = IsobarConfig(
+            codec="rle", chunk_elements=10_000, sample_elements=2048
+        )
+        serial = IsobarCompressor(config).compress(values)
+        parallel_comp = ParallelIsobarCompressor(config, n_workers=2)
+        parallel = parallel_comp.compress(values)
+        assert parallel == serial
+        assert np.array_equal(parallel_comp.decompress(parallel), values)
+
+    def test_worker_codec_selection(self):
+        from repro.codecs.base import get_codec
+        from repro.codecs.procpool import ProcessCodecProxy, worker_codec_for
+
+        zlib_codec = get_codec("zlib")
+        rle = get_codec("rle")
+        # GIL-releasing codecs stay in-thread; registered pure-python
+        # codecs get the process proxy; single-worker runs never proxy.
+        assert worker_codec_for(zlib_codec, 4) is zlib_codec
+        assert isinstance(worker_codec_for(rle, 2), ProcessCodecProxy)
+        assert worker_codec_for(rle, 1) is rle
+
+    def test_chaos_wrapper_never_routed_to_process_pool(self):
+        from repro.codecs.procpool import worker_codec_for
+        from repro.testing.chaos import FlakyCodec, chaos_codec
+
+        flaky = FlakyCodec("zlib", fail_percent=50.0)
+        with chaos_codec(flaky):
+            # The wrapper shadows "zlib" in the registry but is not
+            # process-safe: it must stay on the thread path so fault
+            # injection behaves identically to the serial pipeline.
+            assert worker_codec_for(flaky, 4) is flaky
+
+    def test_parallel_engine_metrics_exported(self, multichunk):
+        from repro.observability import to_prometheus_text
+
+        compressor = ParallelIsobarCompressor(
+            _CFG, n_workers=2, collect_metrics=True
+        )
+        compressor.compress(multichunk)
+        text = to_prometheus_text(compressor.metrics)
+        assert "isobar_parallel_inflight_blocks" in text
+        assert "isobar_parallel_worker_wait_seconds_total" in text

@@ -357,3 +357,36 @@ class TestStreamingResilience:
                             np.float64, config=_CFG, readahead_chunks=4)
         # Atomic write: the sink must not exist after the failure.
         assert not (tmp_path / "c.isobar").exists()
+
+    def test_decompress_readahead_roundtrip_identical(self, tmp_path, data):
+        path = tmp_path / "c.isobar"
+        stream_compress(_chunks(data, 10_000), path, np.float64,
+                        config=_CFG)
+        inline = np.concatenate(list(stream_decompress(path)))
+        ahead = np.concatenate(
+            list(stream_decompress(path, readahead_chunks=3))
+        )
+        assert np.array_equal(inline, ahead)
+        assert np.array_equal(inline, data)
+
+    def test_decompress_readahead_negative_rejected(self, tmp_path, data):
+        path = tmp_path / "c.isobar"
+        stream_compress(_chunks(data, 10_000), path, np.float64,
+                        config=_CFG)
+        with pytest.raises(InvalidInputError):
+            list(stream_decompress(path, readahead_chunks=-1))
+
+    def test_decompress_readahead_propagates_decode_error(
+        self, tmp_path, data
+    ):
+        path = tmp_path / "c.isobar"
+        stream_compress(_chunks(data, 10_000), path, np.float64,
+                        config=_CFG)
+        blob = bytearray(path.read_bytes())
+        blob[-10] ^= 0xFF  # corrupt the final chunk payload
+        path.write_bytes(bytes(blob))
+        consumed = []
+        with pytest.raises(IsobarError):
+            for chunk in stream_decompress(path, readahead_chunks=2):
+                consumed.append(chunk)
+        assert consumed  # earlier chunks arrived before the error
