@@ -11,7 +11,8 @@ and leaves all rendered artefacts in ``benchmarks/results/``.
 
 ``--checks`` skips the benchmark sweep and runs the repo's static
 gates instead — the invariant linter (``isobar lint``), the docs link
-checker and the docs snippet executor::
+checker, the docs snippet executor, and an ``isobar fsck`` of a
+freshly written archive (the self-healing container gate)::
 
     PYTHONPATH=src python benchmarks/run_all.py --checks
 """
@@ -25,8 +26,40 @@ import sys
 from pathlib import Path
 
 
+# Writes a fresh streaming archive into a temp dir, fscks it (must be
+# CLEAN, exit 0), then strips its footer and proves `fsck --repair`
+# restores the file byte-identically.
+_FSCK_CHECK = """
+import os, tempfile
+import numpy as np
+from repro.cli import main
+from repro.core.metadata import locate_footer
+from repro.core.preferences import IsobarConfig
+from repro.core.stream import stream_compress
+from repro.datasets.synthetic import build_structured
+
+with tempfile.TemporaryDirectory() as tmp:
+    path = os.path.join(tmp, "fresh.isbr")
+    values = build_structured(60_000, np.float64, 6,
+                              np.random.default_rng(0))
+    stream_compress(
+        (values[i:i + 20_000] for i in range(0, 60_000, 20_000)),
+        path, np.float64, IsobarConfig(chunk_elements=20_000),
+    )
+    assert main(["fsck", path]) == 0, "fresh archive must fsck clean"
+    original = open(path, "rb").read()
+    assert locate_footer(original).ok, "writer must emit a footer"
+    with open(path, "wb") as sink:
+        sink.write(original[:-7])  # tear the footer trailer off
+    assert main(["fsck", path]) == 2, "footer loss must be repairable"
+    assert main(["fsck", path, "--repair"]) == 0
+    assert open(path, "rb").read() == original, "rebuild not identical"
+print("fsck round-trip ok")
+"""
+
+
 def run_checks(bench_dir: Path, env: dict) -> int:
-    """The static gates: linter, docs links, docs snippets."""
+    """The static gates: linter, docs links/snippets, archive fsck."""
     repo_root = bench_dir.parent
     src = str(repo_root / "src")
     env = dict(env)
@@ -40,6 +73,8 @@ def run_checks(bench_dir: Path, env: dict) -> int:
          [sys.executable, str(bench_dir / "run_docs_linkcheck.py")]),
         ("docs snippet executor",
          [sys.executable, str(bench_dir / "run_docs_snippets.py")]),
+        ("archive fsck (isobar fsck on a fresh archive)",
+         [sys.executable, "-c", _FSCK_CHECK]),
     ]
     failed = []
     for label, command in checks:

@@ -41,10 +41,11 @@ The package splits into:
 * :mod:`repro.bench` — the table/figure regeneration harness.
 """
 
-from repro.api import ERROR_POLICIES, compress, decompress, open_stream
+from repro.api import ERROR_POLICIES, compress, decompress, fsck, open_stream
 from repro.core import (
     AnalysisResult,
     CompressionResult,
+    ContainerFile,
     DegradationReport,
     EupaSelector,
     IsobarCompressor,
@@ -74,6 +75,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AnalysisResult",
     "CompressionResult",
+    "ContainerFile",
     "DegradationReport",
     "ERROR_POLICIES",
     "EupaSelector",
@@ -91,6 +93,7 @@ __all__ = [
     "analyze",
     "compress",
     "decompress",
+    "fsck",
     "isobar_compress",
     "isobar_decompress",
     "open_stream",

@@ -1,12 +1,14 @@
 """The stable public facade of the package.
 
-Three entry points cover the everyday workflow:
+Four entry points cover the everyday workflow:
 
 * :func:`compress` — array in, self-contained ISOBAR container out;
 * :func:`decompress` — container in, bit-exact array out, with the
   unified ``errors=`` damage policy;
 * :func:`open_stream` — file-to-file streaming in either direction
-  (constant memory, crash-safe writes).
+  (constant memory, crash-safe writes);
+* :func:`fsck` — check (and with ``repair=True`` fix) a container
+  file's index footer and finalize crashed-writer temp files.
 
 All options funnel through :class:`~repro.core.preferences.IsobarConfig`
 — the single keyword-only options object — with the two most common
@@ -33,11 +35,13 @@ from repro.core.preferences import (
     Preference,
     normalize_errors,
 )
+from repro.core.fsck import FsckReport
+from repro.core.fsck import fsck as _fsck
 from repro.core.stream import StreamingWriter, stream_decompress
 from repro.core.exceptions import ConfigurationError
 from repro.observability.registry import MetricsRegistry
 
-__all__ = ["compress", "decompress", "open_stream", "ERROR_POLICIES"]
+__all__ = ["compress", "decompress", "fsck", "open_stream", "ERROR_POLICIES"]
 
 
 def _resolve_config(
@@ -148,3 +152,19 @@ def open_stream(
     raise ConfigurationError(
         f"unknown stream mode {mode!r}; expected 'r' or 'w'"
     )
+
+
+def fsck(path: str | os.PathLike, *, repair: bool = False) -> FsckReport:
+    """Check (and optionally repair) a container file and its orphans.
+
+    Validates the chunk chain, the CRC-guarded index footer and any
+    ``<path>.tmp.<pid>`` files left by crashed streaming writers.
+    With ``repair=True`` a lost/damaged/stale footer is rebuilt from
+    the chain (byte-identical when the chain is intact) and orphaned
+    temp files whose destination is missing are finalized and
+    published atomically.  Lost payload is reported, never fabricated
+    — see :func:`repro.core.salvage.salvage_decompress` for data
+    recovery.  Returns a :class:`~repro.core.fsck.FsckReport`; the
+    ``isobar fsck`` CLI command prints its ``summary_lines()``.
+    """
+    return _fsck(path, repair=repair)

@@ -125,6 +125,23 @@ def build_parser() -> argparse.ArgumentParser:
              "of a damaged container is recoverable",
     )
 
+    fsck = sub.add_parser(
+        "fsck",
+        help="check a container's index footer, chunk chain and "
+             "writer temp files; --repair fixes what is safely fixable",
+    )
+    fsck.add_argument(
+        "input",
+        help="ISOBAR container (may not exist yet if a crashed writer "
+             "left only its temp file)",
+    )
+    fsck.add_argument(
+        "--repair", action="store_true",
+        help="rebuild a lost or damaged index footer from the chunk "
+             "chain, finalize crashed-writer temp files, and remove "
+             "empty ones (lost payload is reported, never fabricated)",
+    )
+
     salvage = sub.add_parser(
         "salvage",
         help="recover everything readable from a damaged container",
@@ -524,6 +541,19 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.valid else 1
 
 
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    from repro.core.fsck import fsck
+
+    report = fsck(args.input, repair=args.repair)
+    for line in report.summary_lines():
+        print(line)
+    # 0: clean (or fully repaired); 2: fixable with --repair;
+    # 1: damage --repair cannot fix.
+    if report.clean:
+        return 0
+    return 2 if report.repairable else 1
+
+
 def _cmd_salvage(args: argparse.Namespace) -> int:
     from repro.core.salvage import salvage_decompress
 
@@ -770,6 +800,7 @@ _COMMANDS = {
     "autotune": _cmd_autotune,
     "info": _cmd_info,
     "verify": _cmd_verify,
+    "fsck": _cmd_fsck,
     "salvage": _cmd_salvage,
     "stats": _cmd_stats,
     "extract": _cmd_extract,

@@ -8,6 +8,11 @@ element/chunk counts change.  No payload is decompressed or
 recompressed, so concatenation runs at memcpy speed and is exactly
 lossless by construction.
 
+Each input's chunk-index footer (if any) is stripped — its offsets are
+meaningless after re-framing — and the merged container gets a fresh
+footer indexing the combined chain, so the result opens in O(1) like
+any directly written container.
+
 Constraints checked before merging (mismatches raise):
 
 * identical dtype (bit-exactness would otherwise be ambiguous);
@@ -20,7 +25,13 @@ Constraints checked before merging (mismatches raise):
 from __future__ import annotations
 
 from repro.core.exceptions import ContainerFormatError, InvalidInputError
-from repro.core.metadata import ChunkMetadata, ContainerHeader
+from repro.core.metadata import (
+    ChunkIndexRecord,
+    ChunkMetadata,
+    ContainerFooter,
+    ContainerHeader,
+    locate_footer,
+)
 
 __all__ = ["concat_containers", "split_container_header"]
 
@@ -29,8 +40,10 @@ def split_container_header(data: bytes) -> tuple[ContainerHeader, bytes]:
     """Parse a container into ``(header, chunk_stream_bytes)``.
 
     Walks the chunk records to validate the stream reaches exactly the
-    end of the payload (trailing garbage is rejected to keep the merge
-    well-defined).
+    end of the payload.  A validated chunk-index footer after the last
+    chunk is stripped (the merge re-frames the chunks, so per-container
+    offsets no longer apply); anything else trailing is rejected to
+    keep the merge well-defined.
     """
     header, offset = ContainerHeader.decode(data)
     chunk_start = offset
@@ -49,17 +62,20 @@ def split_container_header(data: bytes) -> tuple[ContainerHeader, bytes]:
             f"{header.n_elements}"
         )
     if offset != len(data):
-        raise ContainerFormatError(
-            f"{len(data) - offset} trailing bytes after the last chunk"
-        )
-    return header, data[chunk_start:]
+        location = locate_footer(data)
+        if not (location.ok and location.start == offset):
+            raise ContainerFormatError(
+                f"{len(data) - offset} trailing bytes after the last chunk"
+            )
+    return header, data[chunk_start:offset]
 
 
 def concat_containers(containers: list[bytes]) -> bytes:
     """Merge containers into one, copying chunk payloads verbatim.
 
     The result decompresses to the concatenation of the inputs'
-    element streams (flattened 1-D).
+    element streams (flattened 1-D) and carries a freshly built
+    chunk-index footer over the merged chain.
     """
     if not containers:
         raise InvalidInputError("need at least one container to concatenate")
@@ -93,6 +109,34 @@ def concat_containers(containers: list[bytes]) -> bytes:
         chunk_elements=first.chunk_elements,
         n_chunks=total_chunks,
     )
-    return merged_header.encode() + b"".join(
-        chunk_stream for _, chunk_stream in parsed
+    header_bytes = merged_header.encode()
+
+    # Re-index the merged chain for the footer: chunk record layouts
+    # are copied verbatim, so each entry is the source entry shifted to
+    # its new absolute position.
+    entries: list[ChunkIndexRecord] = []
+    cursor = len(header_bytes)
+    width = merged_header.element_width
+    for header, chunk_stream in parsed:
+        offset = 0
+        for _ in range(header.n_chunks):
+            meta, payload_offset = ChunkMetadata.decode(
+                chunk_stream, offset, width
+            )
+            entries.append(
+                ChunkIndexRecord(
+                    payload_offset=cursor + payload_offset,
+                    compressed_size=meta.compressed_size,
+                    incompressible_size=meta.incompressible_size,
+                    n_elements=meta.n_elements,
+                )
+            )
+            offset = (payload_offset + meta.compressed_size
+                      + meta.incompressible_size)
+        cursor += len(chunk_stream)
+    footer = ContainerFooter(entries=tuple(entries)).encode()
+    return (
+        header_bytes
+        + b"".join(chunk_stream for _, chunk_stream in parsed)
+        + footer
     )

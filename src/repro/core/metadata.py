@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import enum
 import struct
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -27,19 +28,38 @@ from repro.core.preferences import Linearization, Preference
 
 __all__ = [
     "FORMAT_VERSION",
+    "FOOTER_VERSION",
     "ChunkMode",
     "ContainerHeader",
     "ChunkMetadata",
+    "ChunkIndexRecord",
+    "ContainerFooter",
+    "FooterLocation",
+    "locate_footer",
+    "chunk_record_nbytes",
     "encode_mask",
     "decode_mask",
 ]
 
 FORMAT_VERSION = 1
+FOOTER_VERSION = 1
 
 _HEADER_MAGIC = b"ISBR"
 _CHUNK_MAGIC = b"CHNK"
+_FOOTER_MAGIC = b"ISIX"
+_FOOTER_END_MAGIC = b"XISI"
 _MAX_NAME = 255
 _MAX_DIMS = 16
+
+#: Per-entry struct of the index footer:
+#: ``(payload_offset, compressed_size, incompressible_size, n_elements)``.
+_FOOTER_ENTRY_STRUCT = struct.Struct("<QQQQ")
+#: Fixed head of the footer body: version + entry count.
+_FOOTER_HEAD_STRUCT = struct.Struct("<HI")
+#: Trailer after the body: CRC-32 of the body + total footer length.
+_FOOTER_TAIL_STRUCT = struct.Struct("<II")
+#: Bytes of trailer + end magic that follow the CRC-covered body.
+_FOOTER_TAIL_NBYTES = _FOOTER_TAIL_STRUCT.size + 4
 
 _LINEARIZATION_CODES = {Linearization.ROW: 0, Linearization.COLUMN: 1}
 _LINEARIZATION_FROM_CODE = {v: k for k, v in _LINEARIZATION_CODES.items()}
@@ -283,3 +303,207 @@ class ChunkMetadata:
             raw_crc32=crc,
         )
         return meta, pos
+
+
+def chunk_record_nbytes(element_width: int) -> int:
+    """Size in bytes of one chunk record for the given element width.
+
+    The record layout is fixed given the header (`magic + <QBIB> +
+    packed mask + <QQ>`), which is what lets a footer entry store only
+    the *payload* offset: the record always starts exactly this many
+    bytes earlier.
+    """
+    mask_len = (element_width + 7) // 8
+    return 4 + struct.calcsize("<QBIB") + mask_len + 16
+
+
+@dataclass(frozen=True)
+class ChunkIndexRecord:
+    """One index-footer entry: where a chunk's payload lives.
+
+    ``payload_offset`` is the absolute container offset of the first
+    payload byte (i.e. just *after* the chunk record);
+    ``compressed_size`` / ``incompressible_size`` mirror the record's
+    own size fields, and ``n_elements`` lets a reader build element
+    spans without touching the chunk chain at all.
+    """
+
+    payload_offset: int
+    compressed_size: int
+    incompressible_size: int
+    n_elements: int
+
+    @property
+    def payload_end(self) -> int:
+        """Absolute offset one past the chunk's last payload byte."""
+        return self.payload_offset + self.compressed_size + self.incompressible_size
+
+    def record_offset(self, element_width: int) -> int:
+        """Absolute offset of the chunk's metadata record."""
+        return self.payload_offset - chunk_record_nbytes(element_width)
+
+
+@dataclass(frozen=True)
+class ContainerFooter:
+    """Versioned, CRC-guarded chunk-index footer (bgzip-style).
+
+    Appended after the last chunk so pre-footer readers — which stop
+    after ``header.n_chunks`` records — never see it.  Layout::
+
+        body    := "ISIX" u16:version u32:n_entries entry*
+        entry   := u64:payload_offset u64:compressed_size
+                   u64:incompressible_size u64:n_elements
+        trailer := u32:crc32(body) u32:footer_len "XISI"
+
+    ``footer_len`` is the total footer size (body + trailer), so a
+    reader seeks ``footer_len`` back from EOF after validating the end
+    magic.  Encoding is fully deterministic: rebuilding a footer from
+    an undamaged chunk chain reproduces it byte-identically.
+    """
+
+    entries: tuple[ChunkIndexRecord, ...]
+    version: int = FOOTER_VERSION
+
+    @property
+    def n_chunks(self) -> int:
+        """Number of chunk entries in the index."""
+        return len(self.entries)
+
+    @property
+    def n_elements(self) -> int:
+        """Total elements covered by the indexed chunks."""
+        return sum(entry.n_elements for entry in self.entries)
+
+    def encode(self) -> bytes:
+        """Serialize to the on-disk footer (deterministic)."""
+        parts = [
+            _FOOTER_MAGIC,
+            _FOOTER_HEAD_STRUCT.pack(self.version, len(self.entries)),
+        ]
+        for entry in self.entries:
+            parts.append(
+                _FOOTER_ENTRY_STRUCT.pack(
+                    entry.payload_offset,
+                    entry.compressed_size,
+                    entry.incompressible_size,
+                    entry.n_elements,
+                )
+            )
+        body = b"".join(parts)
+        footer_len = len(body) + _FOOTER_TAIL_NBYTES
+        return (
+            body
+            + _FOOTER_TAIL_STRUCT.pack(zlib.crc32(body) & 0xFFFFFFFF, footer_len)
+            + _FOOTER_END_MAGIC
+        )
+
+    @property
+    def encoded_nbytes(self) -> int:
+        """Size of :meth:`encode`'s output without building it."""
+        return (
+            4
+            + _FOOTER_HEAD_STRUCT.size
+            + len(self.entries) * _FOOTER_ENTRY_STRUCT.size
+            + _FOOTER_TAIL_NBYTES
+        )
+
+
+@dataclass(frozen=True)
+class FooterLocation:
+    """Outcome of :func:`locate_footer`.
+
+    ``status`` is one of:
+
+    * ``"ok"`` — ``footer`` holds the validated index, starting at
+      absolute offset ``start``;
+    * ``"absent"`` — no footer trailer at EOF (pre-footer container,
+      or the footer was truncated away along with its end magic);
+    * ``"truncated"`` — the trailer is present but the declared
+      ``footer_len`` reaches before the start of the data;
+    * ``"malformed"`` — the trailer is present but the body fails
+      structural validation (bad leading magic, unknown version,
+      length/entry-count disagreement);
+    * ``"crc_mismatch"`` — structure parses but the body CRC fails.
+
+    Anything other than ``"ok"`` leaves ``footer`` as ``None`` and
+    readers fall back to the structural chunk-chain scan.
+    """
+
+    status: str
+    footer: "ContainerFooter | None" = None
+    start: int = -1
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """True when a validated footer was found."""
+        return self.status == "ok"
+
+
+def locate_footer(data: bytes) -> FooterLocation:
+    """Discover and validate an index footer by seeking from EOF.
+
+    Accepts the container's trailing bytes (at minimum the last
+    ``footer_len`` bytes; typically callers pass the whole stream or a
+    tail slice ending at EOF).  Never raises on damage — every failure
+    mode maps to a :class:`FooterLocation` status so callers can fall
+    back to the structural scan.
+    """
+    min_len = 4 + _FOOTER_HEAD_STRUCT.size + _FOOTER_TAIL_NBYTES
+    if len(data) < min_len:
+        return FooterLocation("absent", detail="stream shorter than any footer")
+    if data[-4:] != _FOOTER_END_MAGIC:
+        return FooterLocation("absent", detail="no footer end magic at EOF")
+    crc_stored, footer_len = _FOOTER_TAIL_STRUCT.unpack_from(
+        data, len(data) - _FOOTER_TAIL_NBYTES
+    )
+    if footer_len < min_len or footer_len > len(data):
+        return FooterLocation(
+            "truncated",
+            detail=(
+                f"footer declares {footer_len} bytes but only "
+                f"{len(data)} are available"
+            ),
+        )
+    start = len(data) - footer_len
+    body = data[start:len(data) - _FOOTER_TAIL_NBYTES]
+    if body[:4] != _FOOTER_MAGIC:
+        return FooterLocation(
+            "malformed", start=start, detail="footer leading magic missing"
+        )
+    version, n_entries = _FOOTER_HEAD_STRUCT.unpack_from(body, 4)
+    if version != FOOTER_VERSION:
+        return FooterLocation(
+            "malformed", start=start,
+            detail=f"unsupported footer version {version}",
+        )
+    expected_body = 4 + _FOOTER_HEAD_STRUCT.size + n_entries * _FOOTER_ENTRY_STRUCT.size
+    if expected_body != len(body):
+        return FooterLocation(
+            "malformed", start=start,
+            detail=(
+                f"footer declares {n_entries} entries "
+                f"({expected_body} body bytes) but spans {len(body)}"
+            ),
+        )
+    if zlib.crc32(body) & 0xFFFFFFFF != crc_stored:
+        return FooterLocation(
+            "crc_mismatch", start=start, detail="footer body CRC-32 mismatch"
+        )
+    pos = 4 + _FOOTER_HEAD_STRUCT.size
+    entries = []
+    for _ in range(n_entries):
+        payload_offset, compressed, incompressible, n_elements = (
+            _FOOTER_ENTRY_STRUCT.unpack_from(body, pos)
+        )
+        pos += _FOOTER_ENTRY_STRUCT.size
+        entries.append(
+            ChunkIndexRecord(
+                payload_offset=payload_offset,
+                compressed_size=compressed,
+                incompressible_size=incompressible,
+                n_elements=n_elements,
+            )
+        )
+    footer = ContainerFooter(entries=tuple(entries), version=version)
+    return FooterLocation("ok", footer=footer, start=start)

@@ -50,6 +50,7 @@ from repro.core.pipeline import (
     IsobarCompressor,
     _degradation_from_reports,
     decode_chunk_payload,
+    index_footer_from_reports,
 )
 from repro.core.pipeline_engine import PipelinedBlockRunner, RunnerStats
 from repro.core.preferences import (
@@ -185,7 +186,11 @@ class ParallelIsobarCompressor(IsobarCompressor):
             chunk_elements=self._config.chunk_elements,
             n_chunks=len(blobs),
         )
-        payload = header.encode() + b"".join(blobs)
+        header_bytes = header.encode()
+        footer_bytes = index_footer_from_reports(
+            len(header_bytes), list(reports)
+        ).encode()
+        payload = header_bytes + b"".join(blobs) + footer_bytes
         tracer.add(
             "merge", time.perf_counter() - merge_start,
             bytes_out=len(payload),
@@ -200,6 +205,7 @@ class ParallelIsobarCompressor(IsobarCompressor):
             compress_seconds=sum(r.compress_seconds for r in reports),
             select_seconds=select_seconds,
             degradation=_degradation_from_reports(reports),
+            footer_bytes=len(footer_bytes),
         )
         if self._metrics.enabled:
             self._finish_compress_run(

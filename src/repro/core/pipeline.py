@@ -54,7 +54,13 @@ from repro.core.exceptions import (
     SelectorError,
     TruncatedContainerError,
 )
-from repro.core.metadata import ChunkMetadata, ChunkMode, ContainerHeader
+from repro.core.metadata import (
+    ChunkIndexRecord,
+    ChunkMetadata,
+    ChunkMode,
+    ContainerFooter,
+    ContainerHeader,
+)
 from repro.core.partitioner import partition, reassemble_matrix
 from repro.core.preferences import (
     IsobarConfig,
@@ -85,6 +91,7 @@ __all__ = [
     "IsobarCompressor",
     "decode_chunk_payload",
     "encode_chunk_payload",
+    "index_footer_from_reports",
     "isobar_compress",
     "isobar_decompress",
 ]
@@ -511,6 +518,35 @@ class ChunkReport:
     error: str | None = None
 
 
+def index_footer_from_reports(
+    header_nbytes: int,
+    reports: tuple[ChunkReport, ...] | list[ChunkReport],
+) -> ContainerFooter:
+    """Build the chunk-index footer from per-chunk accounting.
+
+    Each :class:`ChunkReport` already records the chunk's framing and
+    payload split (``stored_bytes`` / ``metadata_bytes`` /
+    ``noise_bytes``), so the absolute payload offsets fall out of a
+    running sum — no second pass over the encoded blobs.
+    """
+    entries = []
+    offset = header_nbytes
+    for report in reports:
+        compressed = (
+            report.stored_bytes - report.metadata_bytes - report.noise_bytes
+        )
+        entries.append(
+            ChunkIndexRecord(
+                payload_offset=offset + report.metadata_bytes,
+                compressed_size=compressed,
+                incompressible_size=report.noise_bytes,
+                n_elements=report.n_elements,
+            )
+        )
+        offset += report.stored_bytes
+    return ContainerFooter(entries=tuple(entries))
+
+
 @dataclass(frozen=True)
 class CompressionResult:
     """Full outcome of one compression run, with measured statistics."""
@@ -524,6 +560,8 @@ class CompressionResult:
     select_seconds: float
     #: Fault-containment record: every degraded chunk plus retry totals.
     degradation: DegradationReport = field(default_factory=DegradationReport)
+    #: Size of the trailing chunk-index footer (container framing).
+    footer_bytes: int = 0
 
     @property
     def original_bytes(self) -> int:
@@ -544,11 +582,13 @@ class CompressionResult:
 
     @property
     def container_overhead_bytes(self) -> int:
-        """Container framing: the global header plus every per-chunk
-        metadata record — bytes that exist only for the format, not for
-        the data."""
-        return len(self.header.encode()) + sum(
-            chunk.metadata_bytes for chunk in self.chunks
+        """Container framing: the global header, every per-chunk
+        metadata record, and the trailing index footer — bytes that
+        exist only for the format, not for the data."""
+        return (
+            len(self.header.encode())
+            + sum(chunk.metadata_bytes for chunk in self.chunks)
+            + self.footer_bytes
         )
 
     @property
@@ -762,7 +802,11 @@ class IsobarCompressor:
             chunk_elements=self._config.chunk_elements,
             n_chunks=len(chunk_blobs),
         )
-        payload = header.encode() + b"".join(chunk_blobs)
+        header_bytes = header.encode()
+        footer_bytes = index_footer_from_reports(
+            len(header_bytes), reports
+        ).encode()
+        payload = header_bytes + b"".join(chunk_blobs) + footer_bytes
         tracer.add(
             "merge", time.perf_counter() - merge_start,
             bytes_out=len(payload),
@@ -776,6 +820,7 @@ class IsobarCompressor:
             compress_seconds=total_compress,
             select_seconds=select_seconds,
             degradation=_degradation_from_reports(reports),
+            footer_bytes=len(footer_bytes),
         )
         if self._metrics.enabled:
             self._finish_compress_run(

@@ -1,102 +1,247 @@
 """Random access into ISOBAR containers (database-style reads).
 
-The container stores one metadata record per chunk, so a single index
-pass recovers every chunk's element span and payload offsets without
-decompressing anything.  :class:`ContainerReader` exploits that to
-serve
+Two readers serve point and range queries without decompressing whole
+streams:
+
+* :class:`ContainerReader` — in-memory: indexes a container byte string
+  with one metadata pass, then decodes chunks on demand;
+* :class:`ContainerFile` — file-backed: opens via the trailing
+  chunk-index footer in **O(footer)** work (header + footer reads
+  only, no chain scan, no whole-stream load) and seeks straight to
+  chunk records.  When the footer is missing, truncated, CRC-damaged
+  or inconsistent with the header, it falls back transparently to the
+  structural scan (emitting
+  ``isobar_container_footer_fallback_total{reason=}``), so pre-footer
+  containers and damaged archives stay readable.
+
+Both expose the same query surface —
 
 * ``read_chunk(i)`` — decode exactly one chunk;
 * ``read_range(start, stop)`` — decode only the chunks overlapping an
   element range and slice out the requested elements;
-* ``element(i)`` — point lookup.
+* ``element(i)`` — point lookup
 
-For ICDE's query workloads this is the payoff of chunked framing: a
-range read touches ``O(range / chunk_elements)`` chunks instead of the
-whole stream.
+— and the same ``errors=`` damage policy and ``cache_chunks=`` LRU
+bound.  For ICDE's query workloads this is the payoff of chunked
+framing: a range read touches ``O(range / chunk_elements)`` chunks
+instead of the whole stream.
 """
 
 from __future__ import annotations
 
 import bisect
+import os
+import struct
+from collections import OrderedDict
 from dataclasses import dataclass
+from typing import BinaryIO
 
 import numpy as np
 
-from repro.codecs.base import get_codec
+from repro.codecs.base import Codec, get_codec
 from repro.core.exceptions import (
+    ConfigurationError,
     ContainerFormatError,
     InvalidInputError,
     IsobarError,
+    TruncatedContainerError,
 )
-from repro.core.metadata import ChunkMetadata, ContainerHeader
+from repro.core.metadata import (
+    ChunkMetadata,
+    ContainerFooter,
+    ContainerHeader,
+    chunk_record_nbytes,
+    locate_footer,
+)
 from repro.core.pipeline import decode_chunk_payload
 from repro.core.preferences import normalize_errors
+from repro.observability.instruments import PipelineInstruments
+from repro.observability.registry import NULL_REGISTRY, MetricsRegistry
 
-__all__ = ["ChunkIndexEntry", "ContainerReader"]
+__all__ = ["ChunkIndexEntry", "ContainerFile", "ContainerReader"]
+
+#: Bytes read from the start of a file to parse the global header
+#: (generous: headers are well under 1 KiB).
+_HEADER_PROBE = 4096
+#: Bytes read from EOF to find the footer.  Covers footers of up to
+#: ~127 chunks in one read; longer footers declare their length in the
+#: trailer and trigger exactly one larger re-read.
+_TAIL_PROBE = 4096
 
 
 @dataclass(frozen=True)
 class ChunkIndexEntry:
-    """Location of one chunk inside the container byte stream."""
+    """Location of one chunk inside the container byte stream.
+
+    ``metadata`` is populated eagerly by the scanning readers; a
+    footer-opened :class:`ContainerFile` leaves it ``None`` until the
+    chunk is actually read (the footer alone locates the payload).
+    """
 
     index: int
     element_start: int
     element_stop: int
     payload_offset: int
-    metadata: ChunkMetadata
+    metadata: ChunkMetadata | None = None
+    compressed_size: int = 0
+    incompressible_size: int = 0
 
     @property
     def n_elements(self) -> int:
         """Elements covered by this chunk."""
         return self.element_stop - self.element_start
 
+    @property
+    def payload_end(self) -> int:
+        """Absolute offset one past this chunk's last payload byte."""
+        return self.payload_offset + self.compressed_size + self.incompressible_size
 
-class ContainerReader:
-    """Index an ISOBAR container once, then decode chunks on demand.
 
-    Decoded chunks are memoised (the container is immutable), so
-    repeated range reads over hot regions cost one decode each.
+def _scan_index(
+    data: bytes, header: ContainerHeader, offset: int
+) -> list[ChunkIndexEntry]:
+    """Build the chunk index by walking the metadata chain (O(n_chunks)).
 
-    ``errors`` selects the shared damage policy: ``"raise"`` (default)
-    propagates the located exception of the first damaged chunk read;
-    ``"salvage-skip"`` yields an empty chunk in its place (range reads
-    simply drop the lost elements); ``"salvage-zero"`` substitutes zero
-    elements of the declared chunk length, keeping element positions
-    stable.
+    The pre-footer open path, still used for footer-less containers and
+    as the fallback when a footer cannot be trusted.
+    """
+    index: list[ChunkIndexEntry] = []
+    element_cursor = 0
+    width = header.element_width
+    for i in range(header.n_chunks):
+        record_offset = offset
+        meta, payload_offset = ChunkMetadata.decode(data, offset, width)
+        end = payload_offset + meta.compressed_size + meta.incompressible_size
+        if end > len(data):
+            raise TruncatedContainerError(
+                f"chunk {i} at byte offset {record_offset}: container "
+                f"truncated in index scan (payload ends at byte {end}, "
+                f"stream holds {len(data)})"
+            )
+        index.append(
+            ChunkIndexEntry(
+                index=i,
+                element_start=element_cursor,
+                element_stop=element_cursor + meta.n_elements,
+                payload_offset=payload_offset,
+                metadata=meta,
+                compressed_size=meta.compressed_size,
+                incompressible_size=meta.incompressible_size,
+            )
+        )
+        element_cursor += meta.n_elements
+        offset = end
+    if element_cursor != header.n_elements:
+        raise ContainerFormatError(
+            f"index covers {element_cursor} elements, header declares "
+            f"{header.n_elements}"
+        )
+    return index
+
+
+def _footer_index(
+    footer: ContainerFooter, header: ContainerHeader, header_end: int,
+    chain_end: int,
+) -> list[ChunkIndexEntry] | None:
+    """Build the chunk index from a validated footer — O(n_entries)
+    arithmetic, no payload or record reads.
+
+    Returns ``None`` when the footer disagrees with the header or does
+    not tile the chunk region exactly (a stale footer after an append,
+    or an index for some other version of the file) — the caller then
+    falls back to the structural scan.
+    """
+    if footer.n_chunks != header.n_chunks:
+        return None
+    index: list[ChunkIndexEntry] = []
+    element_cursor = 0
+    cursor = header_end
+    record_nbytes = chunk_record_nbytes(header.element_width)
+    for i, entry in enumerate(footer.entries):
+        if entry.payload_offset - record_nbytes != cursor:
+            return None
+        index.append(
+            ChunkIndexEntry(
+                index=i,
+                element_start=element_cursor,
+                element_stop=element_cursor + entry.n_elements,
+                payload_offset=entry.payload_offset,
+                compressed_size=entry.compressed_size,
+                incompressible_size=entry.incompressible_size,
+            )
+        )
+        element_cursor += entry.n_elements
+        cursor = entry.payload_end
+    if cursor != chain_end or element_cursor != header.n_elements:
+        return None
+    return index
+
+
+class _ChunkCache:
+    """LRU memoisation of decoded chunks.
+
+    ``capacity=None`` keeps every decoded chunk (the historical
+    behaviour, right for small containers); an integer bounds the
+    cache so long-lived range-serving readers cannot grow without
+    limit; ``0`` disables caching entirely.
     """
 
-    def __init__(self, data: bytes, *, errors: str = "raise"):
-        self._errors = normalize_errors(errors)
-        self._data = data
-        self._header, offset = ContainerHeader.decode(data)
-        self._codec = get_codec(self._header.codec_name)
-        self._index: list[ChunkIndexEntry] = []
-        self._cache: dict[int, np.ndarray] = {}
+    def __init__(self, capacity: int | None):
+        if capacity is not None and capacity < 0:
+            raise ConfigurationError(
+                f"cache_chunks must be None or >= 0, got {capacity}"
+            )
+        self._capacity = capacity
+        self._entries: OrderedDict[int, np.ndarray] = OrderedDict()
 
-        element_cursor = 0
-        width = self._header.element_width
-        for i in range(self._header.n_chunks):
-            meta, payload_offset = ChunkMetadata.decode(data, offset, width)
-            end = payload_offset + meta.compressed_size + meta.incompressible_size
-            if end > len(data):
-                raise ContainerFormatError("container truncated in index scan")
-            self._index.append(
-                ChunkIndexEntry(
-                    index=i,
-                    element_start=element_cursor,
-                    element_stop=element_cursor + meta.n_elements,
-                    payload_offset=payload_offset,
-                    metadata=meta,
-                )
-            )
-            element_cursor += meta.n_elements
-            offset = end
-        if element_cursor != self._header.n_elements:
-            raise ContainerFormatError(
-                f"index covers {element_cursor} elements, header declares "
-                f"{self._header.n_elements}"
-            )
-        self._starts = [entry.element_start for entry in self._index]
+    def get(self, index: int) -> np.ndarray | None:
+        chunk = self._entries.get(index)
+        if chunk is not None and self._capacity is not None:
+            self._entries.move_to_end(index)
+        return chunk
+
+    def put(self, index: int, chunk: np.ndarray) -> None:
+        if self._capacity == 0:
+            return
+        self._entries[index] = chunk
+        if self._capacity is not None:
+            self._entries.move_to_end(index)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class _RangeReaderBase:
+    """Query surface shared by the in-memory and file-backed readers.
+
+    Subclasses provide ``_load_chunk(entry)`` (fetch + decode one
+    chunk, raising :class:`IsobarError` on damage); this base supplies
+    the element-span index, the LRU memoisation, the ``errors=``
+    policy, and the range/point read logic on top.
+    """
+
+    _header: ContainerHeader
+    _codec: Codec
+    _errors: str
+    _index: list[ChunkIndexEntry]
+    _starts: list[int]
+    _cache: _ChunkCache
+
+    def _init_base(
+        self,
+        header: ContainerHeader,
+        index: list[ChunkIndexEntry],
+        errors: str,
+        cache_chunks: int | None,
+    ) -> None:
+        self._header = header
+        self._codec = get_codec(header.codec_name)
+        self._errors = normalize_errors(errors)
+        self._index = index
+        self._starts = [entry.element_start for entry in index]
+        self._cache = _ChunkCache(cache_chunks)
 
     # -- introspection ----------------------------------------------------
 
@@ -115,6 +260,11 @@ class ContainerReader:
         """Number of chunks in the container."""
         return self._header.n_chunks
 
+    @property
+    def cached_chunks(self) -> int:
+        """Decoded chunks currently memoised."""
+        return len(self._cache)
+
     def chunk_index(self) -> tuple[ChunkIndexEntry, ...]:
         """The full chunk index (spans and payload offsets)."""
         return tuple(self._index)
@@ -128,10 +278,13 @@ class ContainerReader:
         i = bisect.bisect_right(self._starts, position) - 1
         return self._index[i]
 
-    # -- decoding -----------------------------------------------------------
+    # -- decoding ---------------------------------------------------------
+
+    def _load_chunk(self, entry: ChunkIndexEntry) -> np.ndarray:
+        raise NotImplementedError
 
     def read_chunk(self, index: int) -> np.ndarray:
-        """Decode exactly one chunk (memoised)."""
+        """Decode exactly one chunk (memoised per ``cache_chunks``)."""
         if not 0 <= index < self.n_chunks:
             raise InvalidInputError(
                 f"chunk {index} out of range [0, {self.n_chunks})"
@@ -140,29 +293,16 @@ class ContainerReader:
         if cached is not None:
             return cached
         entry = self._index[index]
-        meta = entry.metadata
-        start = entry.payload_offset
-        compressed = self._data[start:start + meta.compressed_size]
-        incompressible = self._data[
-            start + meta.compressed_size:
-            start + meta.compressed_size + meta.incompressible_size
-        ]
-        # Delegate to the shared chunk decoder so every mode the
-        # pipeline can write (including resilience fallbacks) reads
-        # back identically here.
         try:
-            chunk = decode_chunk_payload(
-                self._header, self._codec, meta, compressed, incompressible,
-                chunk_index=index, byte_offset=start,
-            )
+            chunk = self._load_chunk(entry)
         except IsobarError:
             if self._errors == "raise":
                 raise
             if self._errors == "salvage-zero":
-                chunk = np.zeros(meta.n_elements, dtype=self._header.dtype)
+                chunk = np.zeros(entry.n_elements, dtype=self._header.dtype)
             else:  # salvage-skip: the chunk's elements are simply gone
                 chunk = np.empty(0, dtype=self._header.dtype)
-        self._cache[index] = chunk
+        self._cache.put(index, chunk)
         return chunk
 
     def read_range(self, start: int, stop: int) -> np.ndarray:
@@ -215,3 +355,215 @@ class ContainerReader:
         if shape and n_shape == self.n_elements:
             return flat.reshape(shape)
         return flat
+
+
+class ContainerReader(_RangeReaderBase):
+    """Index an in-memory ISOBAR container once, then decode on demand.
+
+    ``errors`` selects the shared damage policy: ``"raise"`` (default)
+    propagates the located exception of the first damaged chunk read;
+    ``"salvage-skip"`` yields an empty chunk in its place (range reads
+    simply drop the lost elements); ``"salvage-zero"`` substitutes zero
+    elements of the declared chunk length, keeping element positions
+    stable.
+
+    ``cache_chunks`` bounds the decoded-chunk memoisation: ``None``
+    (default) keeps every decoded chunk, an integer keeps an LRU of at
+    most that many, ``0`` disables caching.
+    """
+
+    def __init__(
+        self,
+        data: bytes,
+        *,
+        errors: str = "raise",
+        cache_chunks: int | None = None,
+    ):
+        self._data = data
+        header, offset = ContainerHeader.decode(data)
+        self._init_base(
+            header, _scan_index(data, header, offset), errors, cache_chunks
+        )
+
+    def _load_chunk(self, entry: ChunkIndexEntry) -> np.ndarray:
+        meta = entry.metadata
+        assert meta is not None  # scanning readers index eagerly
+        start = entry.payload_offset
+        compressed = self._data[start:start + meta.compressed_size]
+        incompressible = self._data[
+            start + meta.compressed_size:
+            start + meta.compressed_size + meta.incompressible_size
+        ]
+        # Delegate to the shared chunk decoder so every mode the
+        # pipeline can write (including resilience fallbacks) reads
+        # back identically here.
+        return decode_chunk_payload(
+            self._header, self._codec, meta, compressed, incompressible,
+            chunk_index=entry.index, byte_offset=start,
+        )
+
+
+class ContainerFile(_RangeReaderBase):
+    """File-backed random access with O(1) open via the index footer.
+
+    Opening reads only the header prefix and the trailing footer —
+    cost proportional to the footer, independent of payload size — and
+    each ``read_chunk`` then seeks directly to its record.  When the
+    footer cannot be used (missing on pre-footer containers, truncated,
+    CRC-failed, or inconsistent with the header) the reader falls back
+    transparently to loading the stream and walking the chunk chain,
+    and counts the event under
+    ``isobar_container_footer_fallback_total{reason=}``.
+
+    ``source`` is a filesystem path or a seekable binary file object
+    (a path-opened handle is owned and closed by :meth:`close` / the
+    context manager; a caller-provided handle stays the caller's).
+    ``errors`` and ``cache_chunks`` behave as on
+    :class:`ContainerReader`.  Instances are not thread-safe: they
+    share one seek cursor.
+    """
+
+    def __init__(
+        self,
+        source: str | os.PathLike | BinaryIO,
+        *,
+        errors: str = "raise",
+        cache_chunks: int | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        registry = NULL_REGISTRY if metrics is None else metrics
+        self._instruments = PipelineInstruments(registry)
+        if isinstance(source, (str, os.PathLike)):
+            self._file: BinaryIO = open(source, "rb")
+            self._owned = True
+        else:
+            self._file = source
+            self._owned = False
+        self._closed = False
+        self._data: bytes | None = None  # populated only on fallback
+        self._fallback_reason: str | None = None
+        try:
+            self._open_index(errors, cache_chunks)
+        except BaseException:
+            if self._owned:
+                self._file.close()
+            raise
+
+    def _open_index(self, errors: str, cache_chunks: int | None) -> None:
+        prefix = self._pread(0, _HEADER_PROBE)
+        header, header_end = ContainerHeader.decode(prefix)
+        self._file.seek(0, os.SEEK_END)
+        file_size = self._file.tell()
+
+        reason: str | None = None
+        index: list[ChunkIndexEntry] | None = None
+        probe_len = min(file_size, _TAIL_PROBE)
+        tail = self._pread(file_size - probe_len, probe_len)
+        location = locate_footer(tail)
+        if location.status == "truncated" and probe_len < file_size:
+            # The trailer declares a footer longer than the probe — not
+            # necessarily damage.  Re-read exactly footer_len bytes and
+            # classify again; a genuinely impossible length stays
+            # "truncated".
+            (footer_len,) = struct.unpack_from("<I", tail, len(tail) - 8)
+            if footer_len <= file_size:
+                tail = self._pread(file_size - footer_len, footer_len)
+                location = locate_footer(tail)
+        if location.ok:
+            assert location.footer is not None
+            footer_start = file_size - (len(tail) - location.start)
+            index = _footer_index(
+                location.footer, header, header_end, footer_start
+            )
+            reason = None if index is not None else "inconsistent"
+        else:
+            reason = location.status
+
+        if index is None:
+            # Fallback: the historical structural scan over the whole
+            # stream.  Strictly worse than the footer path (O(n_chunks)
+            # and a full read) but keeps every pre-footer and damaged
+            # container readable.
+            assert reason is not None
+            self._fallback_reason = reason
+            self._instruments.footer_fallback.inc(1, reason=reason)
+            self._data = self._pread(0, file_size)
+            index = _scan_index(self._data, header, header_end)
+        self._init_base(header, index, errors, cache_chunks)
+
+    def _pread(self, offset: int, n_bytes: int) -> bytes:
+        self._file.seek(offset)
+        return self._file.read(n_bytes)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the underlying file handle (owned handles only)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._owned:
+            self._file.close()
+
+    def __enter__(self) -> "ContainerFile":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def opened_via(self) -> str:
+        """``"footer"`` (O(1) open) or ``"scan"`` (fallback walk)."""
+        return "scan" if self._fallback_reason is not None else "footer"
+
+    @property
+    def fallback_reason(self) -> str | None:
+        """Why the footer was unusable (``None`` on the footer path)."""
+        return self._fallback_reason
+
+    # -- decoding ---------------------------------------------------------
+
+    def _load_chunk(self, entry: ChunkIndexEntry) -> np.ndarray:
+        if self._data is not None:
+            meta = entry.metadata
+            assert meta is not None
+            start = entry.payload_offset
+            compressed = self._data[start:start + meta.compressed_size]
+            incompressible = self._data[
+                start + meta.compressed_size:entry.payload_end
+            ]
+            return decode_chunk_payload(
+                self._header, self._codec, meta, compressed, incompressible,
+                chunk_index=entry.index, byte_offset=start,
+            )
+        # Footer path: one seek + one read covers record and payloads.
+        record_nbytes = chunk_record_nbytes(self._header.element_width)
+        record_offset = entry.payload_offset - record_nbytes
+        blob = self._pread(
+            record_offset,
+            record_nbytes + entry.compressed_size + entry.incompressible_size,
+        )
+        meta, payload_pos = ChunkMetadata.decode(
+            blob, 0, self._header.element_width
+        )
+        if (
+            meta.compressed_size != entry.compressed_size
+            or meta.incompressible_size != entry.incompressible_size
+            or meta.n_elements != entry.n_elements
+        ):
+            raise ContainerFormatError(
+                f"chunk {entry.index} at byte offset {record_offset}: "
+                "chunk record disagrees with the index footer "
+                "(container modified after indexing?)"
+            )
+        compressed = blob[payload_pos:payload_pos + entry.compressed_size]
+        incompressible = blob[
+            payload_pos + entry.compressed_size:
+            payload_pos + entry.compressed_size + entry.incompressible_size
+        ]
+        return decode_chunk_payload(
+            self._header, self._codec, meta, compressed, incompressible,
+            chunk_index=entry.index, byte_offset=record_offset,
+        )

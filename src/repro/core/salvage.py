@@ -40,7 +40,12 @@ from repro.core.exceptions import (
     IsobarError,
     TruncatedContainerError,
 )
-from repro.core.metadata import _CHUNK_MAGIC, ChunkMetadata, ContainerHeader
+from repro.core.metadata import (
+    _CHUNK_MAGIC,
+    ChunkMetadata,
+    ContainerHeader,
+    locate_footer,
+)
 from repro.core.pipeline import decode_chunk_payload
 from repro.observability.instruments import PipelineInstruments
 from repro.observability.registry import NULL_REGISTRY, MetricsRegistry
@@ -180,11 +185,19 @@ def scan_chunks(
     ``to_eof=True`` ignores the header's declared chunk count and scans
     until the end of ``data`` — the recovery mode for streams whose
     final header patch never happened (crashed writer).
+
+    A validated chunk-index footer at EOF delimits the scan: the walk
+    (and any final damage gap) stops at the footer boundary instead of
+    misreading the index as a destroyed chunk region.
     """
     n_expected = None if to_eof else header.n_chunks
+    chain_end = len(data)
+    location = locate_footer(data)
+    if location.ok:
+        chain_end = location.start
     found = 0
     resynced = False
-    while offset < len(data) and (n_expected is None or found < n_expected):
+    while offset < chain_end and (n_expected is None or found < n_expected):
         try:
             meta, payload_offset = ChunkMetadata.decode(
                 data, offset, header.element_width
@@ -192,17 +205,17 @@ def scan_chunks(
             payload_end = (
                 payload_offset + meta.compressed_size + meta.incompressible_size
             )
-            if payload_end > len(data):
+            if payload_end > chain_end:
                 raise TruncatedContainerError(
                     "container truncated inside chunk payload"
                 )
         except IsobarError as exc:
             candidate = _resync(data, offset + 1, header, codec)
-            if candidate is None:
+            if candidate is None or candidate >= chain_end:
                 yield ScanEvent(
                     kind="gap",
                     start=offset,
-                    end=len(data),
+                    end=chain_end,
                     cause=str(exc),
                     resynced=resynced,
                 )

@@ -41,7 +41,13 @@ from repro.core.exceptions import (
     SelectorError,
     TruncatedContainerError,
 )
-from repro.core.metadata import ChunkMetadata, ContainerHeader
+from repro.core.metadata import (
+    ChunkIndexRecord,
+    ChunkMetadata,
+    ContainerFooter,
+    ContainerHeader,
+    locate_footer,
+)
 from repro.core.pipeline_engine import bounded_relay
 from repro.core.pipeline import (
     decode_chunk_payload,
@@ -138,6 +144,7 @@ class StreamingWriter:
         self._linearization: Linearization | None = None
         self._n_elements = 0
         self._n_chunks = 0
+        self._index_entries: list[ChunkIndexRecord] = []
         self._header_offset = sink.tell()
         self._closed = False
         self._header_size: int | None = None
@@ -195,7 +202,8 @@ class StreamingWriter:
 
     @property
     def bytes_written(self) -> int:
-        """Container bytes emitted so far (header + chunk blobs)."""
+        """Container bytes emitted so far (header + chunk blobs, plus
+        the index footer once ``close()`` has appended it)."""
         return self._bytes_written
 
     @property
@@ -339,8 +347,18 @@ class StreamingWriter:
         )
         # join() materialises the workspace-aliased incompressible view
         # before the workspace is reused for the next chunk.
-        blob = b"".join((meta.encode(), encoded.compressed, incompressible))
+        meta_bytes = meta.encode()
+        blob = b"".join((meta_bytes, encoded.compressed, incompressible))
         stage_start = _time.perf_counter() if enabled else 0.0
+        # Offsets are container-relative (the sink may not start at 0).
+        self._index_entries.append(
+            ChunkIndexRecord(
+                payload_offset=self._bytes_written + len(meta_bytes),
+                compressed_size=len(encoded.compressed),
+                incompressible_size=len(incompressible),
+                n_elements=int(arr.size),
+            )
+        )
         self._sink.write(blob)
         self._bytes_written += len(blob)
         self._n_elements += int(arr.size)
@@ -365,8 +383,9 @@ class StreamingWriter:
         return len(blob)
 
     def close(self) -> None:
-        """Patch the header with final counts, flush and (when opened
-        via :meth:`open`) atomically publish the file."""
+        """Patch the header with final counts, append the chunk-index
+        footer, flush and (when opened via :meth:`open`) atomically
+        publish the file."""
         if self._closed:
             return
         self._ensure_header()  # empty stream: header with zero chunks
@@ -380,6 +399,12 @@ class StreamingWriter:
             )
         self._sink.write(encoded)
         self._sink.seek(end)
+        # The footer is the last thing written: a crash before this
+        # point leaves a footer-less (but salvageable) chunk chain,
+        # never a misleading index.
+        footer = ContainerFooter(entries=tuple(self._index_entries)).encode()
+        self._sink.write(footer)
+        self._bytes_written += len(footer)
         self._sink.flush()
         if self._owned:
             os.fsync(self._sink.fileno())
@@ -620,8 +645,24 @@ def stream_decompress(
         header, offset = ContainerHeader.decode(prefix)
         source.seek(0, os.SEEK_END)
         file_size = source.tell()
+        tail = b""
+        if header.n_chunks == 0 and file_size > offset:
+            # Could be a crashed writer — or a closed *empty* stream,
+            # which legitimately carries a zero-entry index footer
+            # after its header.  Distinguish by looking for that footer.
+            source.seek(max(offset, file_size - 4096))
+            tail = source.read()
 
     unclosed = header.n_chunks == 0 and file_size > offset
+    if unclosed:
+        location = locate_footer(tail)
+        if (
+            location.ok
+            and location.footer is not None
+            and location.footer.n_chunks == 0
+            and file_size - (len(tail) - location.start) == offset
+        ):
+            return  # closed empty stream: nothing to yield
     if unclosed and not tolerate_unclosed:
         raise ContainerFormatError(
             f"header declares 0 chunks but {file_size - offset} payload "

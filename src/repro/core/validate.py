@@ -15,7 +15,11 @@ Checks performed per container:
 * per chunk: payload decodability with the declared solver, stream
   length consistency with the mask geometry, and the CRC32 of the
   reconstructed raw bytes;
-* trailing-garbage detection (bytes after the last chunk).
+* chunk-index footer cross-check: a validated footer is compared
+  entry-by-entry against the walked chunk chain and classified as
+  ``ok`` / ``absent`` / ``rebuildable`` / ``inconsistent``;
+* trailing-garbage detection (bytes after the last chunk that are not
+  a valid footer).
 """
 
 from __future__ import annotations
@@ -27,7 +31,7 @@ import zlib as _zlib
 
 from repro.codecs.base import get_codec
 from repro.core.exceptions import IsobarError, UnknownCodecError
-from repro.core.metadata import ChunkMode, ContainerHeader
+from repro.core.metadata import ChunkMode, ContainerHeader, locate_footer
 from repro.core.partitioner import reassemble_matrix
 
 __all__ = ["ChunkFinding", "ValidationReport", "validate_container"]
@@ -51,6 +55,13 @@ class ValidationReport:
     n_chunks_checked: int = 0
     n_elements_recovered: int = 0
     findings: list[ChunkFinding] = field(default_factory=list)
+    #: Chunk-index footer classification: ``"ok"`` (validated and
+    #: consistent with the chain), ``"absent"`` (pre-footer container),
+    #: ``"rebuildable"`` (lost/truncated/CRC-failed — ``isobar fsck
+    #: --repair`` can rebuild it from the chain) or ``"inconsistent"``
+    #: (validates but disagrees with the header or chain).
+    footer_status: str = "absent"
+    footer_detail: str = ""
 
     def error(self, chunk_index: int, message: str) -> None:
         """Record a fatal finding."""
@@ -80,6 +91,10 @@ class ValidationReport:
             f"checked {self.n_chunks_checked} chunks, recovered "
             f"{self.n_elements_recovered} elements"
         )
+        footer_line = f"footer: {self.footer_status}"
+        if self.footer_detail:
+            footer_line += f" ({self.footer_detail})"
+        lines.append(footer_line)
         for finding in self.findings:
             where = ("header" if finding.chunk_index < 0
                      else f"chunk {finding.chunk_index}")
@@ -123,8 +138,18 @@ def validate_container(data: bytes) -> ValidationReport:
     element_cursor = 0
     index = 0
     end = offset
+    chain: list[tuple[int, int, int, int]] = []
     for event in scan_chunks(data, header, offset, codec):
         end = max(end, event.end)
+        if event.kind == "chunk":
+            chain.append(
+                (
+                    event.payload_offset,
+                    event.meta.compressed_size,
+                    event.meta.incompressible_size,
+                    event.meta.n_elements,
+                )
+            )
         if event.kind == "gap":
             if event.end == len(data):
                 report.error(
@@ -243,7 +268,93 @@ def validate_container(data: bytes) -> ValidationReport:
             f"chunks cover {element_cursor} elements, header declares "
             f"{header.n_elements}",
         )
-    if end < len(data):
-        report.warn(-1, f"{len(data) - end} trailing bytes after the "
-                        "last chunk")
+    _classify_footer(report, data, header, chain, end)
     return report
+
+
+def _classify_footer(
+    report: ValidationReport,
+    data: bytes,
+    header: ContainerHeader,
+    chain: list[tuple[int, int, int, int]],
+    chain_end: int,
+) -> None:
+    """Cross-check the index footer against the walked chunk chain.
+
+    Sets ``report.footer_status`` to the four-way classification and
+    records the trailing-garbage warning for bytes that are neither
+    chunk chain nor valid footer.
+    """
+    location = locate_footer(data)
+    if location.ok:
+        footer = location.footer
+        assert footer is not None
+        if footer.n_chunks != header.n_chunks:
+            report.footer_status = "inconsistent"
+            report.footer_detail = (
+                f"footer indexes {footer.n_chunks} chunks, header "
+                f"declares {header.n_chunks} (stale footer after append?)"
+            )
+        else:
+            mismatch = next(
+                (
+                    i
+                    for i, (entry, walked) in enumerate(
+                        zip(footer.entries, chain)
+                    )
+                    if (
+                        entry.payload_offset,
+                        entry.compressed_size,
+                        entry.incompressible_size,
+                        entry.n_elements,
+                    )
+                    != walked
+                ),
+                None,
+            )
+            if len(chain) != footer.n_chunks:
+                report.footer_status = "inconsistent"
+                report.footer_detail = (
+                    f"footer indexes {footer.n_chunks} chunks, chain "
+                    f"walk found {len(chain)}"
+                )
+            elif mismatch is not None:
+                report.footer_status = "inconsistent"
+                report.footer_detail = (
+                    f"footer entry {mismatch} disagrees with the "
+                    "chunk chain"
+                )
+            else:
+                report.footer_status = "ok"
+        if report.footer_status == "inconsistent":
+            report.warn(
+                -1,
+                f"chunk-index footer inconsistent: {report.footer_detail}; "
+                "run `isobar fsck --repair` to rebuild it",
+            )
+        if chain_end < location.start:
+            report.warn(
+                -1,
+                f"{location.start - chain_end} trailing bytes between "
+                "the last chunk and the footer",
+            )
+        return
+    trailing = len(data) - chain_end
+    if location.status == "absent" and trailing == 0:
+        report.footer_status = "absent"
+        report.footer_detail = "pre-footer container (scan-indexed open)"
+        return
+    # Footer damaged or replaced by debris: a forward scan still
+    # reconstructs the index, so fsck can rebuild it.
+    report.footer_status = "rebuildable"
+    report.footer_detail = location.detail or (
+        f"{trailing} trailing bytes after the last chunk are not a "
+        "valid footer"
+    )
+    report.warn(
+        -1,
+        f"chunk-index footer {location.status}: {report.footer_detail}; "
+        "run `isobar fsck --repair` to rebuild it",
+    )
+    if trailing:
+        report.warn(-1, f"{trailing} trailing bytes after the last chunk")

@@ -85,6 +85,12 @@ class PipelineInstruments:
         each pipeline worker spent idle waiting on the feed queue
         (high values mean the producer or consumer is the bottleneck,
         not the codec).
+    ``footer_fallback``
+        ``isobar_container_footer_fallback_total{reason=}`` — container
+        opens that could not use the chunk-index footer and fell back
+        to the structural chain scan (``reason`` is the footer
+        classification: ``absent``, ``truncated``, ``malformed``,
+        ``crc_mismatch`` or ``inconsistent``).
     """
 
     def __init__(self, registry):
@@ -167,6 +173,11 @@ class PipelineInstruments:
         self.parallel_worker_wait_seconds = registry.counter(
             "isobar_parallel_worker_wait_seconds_total",
             "Seconds each pipeline worker spent waiting for feed work.",
+        )
+        self.footer_fallback = registry.counter(
+            "isobar_container_footer_fallback_total",
+            "Container opens that fell back from the index footer to "
+            "the structural chain scan, by reason.",
         )
 
     def record_chunk_outcome(

@@ -16,6 +16,7 @@ from repro.core.exceptions import (
 from repro.core.pipeline import IsobarCompressor
 from repro.core.preferences import IsobarConfig
 from repro.datasets.synthetic import build_structured
+from repro.testing.faults import chunk_chain_end
 
 
 @pytest.fixture
@@ -39,8 +40,11 @@ class TestTruncation:
 
     def test_truncated_mid_chunk(self, container):
         payload, _ = container
+        # Cut well past the index footer so the chunk chain itself loses
+        # bytes (footer-only truncation is recoverable by design).
+        keep = chunk_chain_end(payload) - 50
         with pytest.raises(IsobarError):
-            IsobarCompressor().decompress(payload[: len(payload) - 50])
+            IsobarCompressor().decompress(payload[:keep])
 
     def test_empty_payload(self):
         with pytest.raises(ContainerFormatError):
@@ -60,10 +64,14 @@ class TestBitflips:
 
     def test_flipped_incompressible_byte_caught_by_crc(self, container):
         payload, _ = container
-        # The tail of the container is raw incompressible bytes; a flip
-        # there cannot be caught by the solver, only by the CRC.
+        # The tail of the chunk chain is raw incompressible bytes; a
+        # flip there cannot be caught by the solver, only by the CRC.
+        # (The container now ends in the index footer, so aim just
+        # before it rather than at the last byte of the file.)
         with pytest.raises(ChecksumError):
-            IsobarCompressor().decompress(self._flip(payload, len(payload) - 2))
+            IsobarCompressor().decompress(
+                self._flip(payload, chunk_chain_end(payload) - 2)
+            )
 
     def test_flipped_compressed_byte(self, container):
         payload, _ = container

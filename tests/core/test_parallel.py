@@ -8,6 +8,7 @@ from repro.core.parallel import ParallelIsobarCompressor
 from repro.core.pipeline import IsobarCompressor
 from repro.core.preferences import IsobarConfig
 from repro.datasets.synthetic import build_structured
+from repro.testing.faults import chunk_chain_end
 
 # 30k-element chunks keep the analyzer threshold reliable at tau=1.42
 # (see repro.core.autotune.minimum_reliable_tau).
@@ -77,7 +78,8 @@ class TestEdgeCases:
     def test_corruption_detected_in_parallel_decode(self, multichunk):
         compressor = ParallelIsobarCompressor(_CFG, n_workers=4)
         blob = bytearray(compressor.compress(multichunk))
-        blob[-3] ^= 0xFF  # raw noise tail of the final chunk
+        # Raw noise tail of the final chunk, just before the footer.
+        blob[chunk_chain_end(bytes(blob)) - 3] ^= 0xFF
         with pytest.raises(ChecksumError):
             compressor.decompress(bytes(blob))
 

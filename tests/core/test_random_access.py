@@ -10,6 +10,7 @@ from repro.core.pipeline import IsobarCompressor
 from repro.core.preferences import IsobarConfig
 from repro.core.random_access import ContainerReader
 from repro.datasets.synthetic import build_structured
+from repro.testing.faults import chunk_chain_end
 
 # 25k-element chunks: reliable analyzer statistics at tau=1.42.
 _CFG = IsobarConfig(chunk_elements=25_000, sample_elements=2048)
@@ -116,7 +117,8 @@ class TestIntegrity:
     def test_corrupt_chunk_detected_on_access(self, stored):
         payload, _ = stored
         corrupted = bytearray(payload)
-        corrupted[-2] ^= 0xFF  # inside the last chunk's raw noise
+        # Inside the last chunk's raw noise, just before the footer.
+        corrupted[chunk_chain_end(payload) - 2] ^= 0xFF
         reader = ContainerReader(bytes(corrupted))
         # Index builds fine; only touching the bad chunk raises.
         reader.read_chunk(0)
@@ -125,7 +127,11 @@ class TestIntegrity:
 
     def test_truncated_container_rejected_at_index(self, stored):
         payload, _ = stored
-        from repro.core.exceptions import ContainerFormatError
+        from repro.core.exceptions import TruncatedContainerError
 
-        with pytest.raises(ContainerFormatError):
-            ContainerReader(payload[: len(payload) - 100])
+        # Cut past the footer and into the last chunk so the chain
+        # itself is short; the error carries the damage location.
+        keep = chunk_chain_end(payload) - 100
+        with pytest.raises(TruncatedContainerError) as excinfo:
+            ContainerReader(payload[:keep])
+        assert "byte offset" in str(excinfo.value)

@@ -133,8 +133,9 @@ class TestEveryChunkCorrupted:
 
     def test_raise_policy_propagates(self, payload_and_values):
         payload, _ = payload_and_values
+        _, end = _chunk_starts(payload)
         corrupted = bytearray(payload)
-        corrupted[-2] ^= 0xFF
+        corrupted[end - 2] ^= 0xFF  # last payload byte of the chain
         with pytest.raises(ChecksumError) as excinfo:
             salvage_decompress(bytes(corrupted), policy="raise")
         assert "chunk 2" in str(excinfo.value)
@@ -216,8 +217,9 @@ class TestScanChunks:
 
     def test_report_summary_lines(self, payload_and_values):
         payload, _ = payload_and_values
+        _, end = _chunk_starts(payload)
         corrupted = bytearray(payload)
-        corrupted[-2] ^= 0xFF
+        corrupted[end - 2] ^= 0xFF
         report = salvage_decompress(bytes(corrupted)).report
         text = "\n".join(report.summary_lines())
         assert "PARTIAL" in text
@@ -231,8 +233,9 @@ class TestLenientPipelines:
 
     def test_serial_decompress_skip(self, payload_and_values):
         payload, values = payload_and_values
+        _, end = _chunk_starts(payload)
         corrupted = bytearray(payload)
-        corrupted[-2] ^= 0xFF
+        corrupted[end - 2] ^= 0xFF
         restored = IsobarCompressor().decompress(bytes(corrupted),
                                                  errors="skip")
         assert np.array_equal(restored, values[: 2 * _CHUNK])
@@ -241,8 +244,9 @@ class TestLenientPipelines:
         from repro.core.parallel import ParallelIsobarCompressor
 
         payload, values = payload_and_values
+        _, end = _chunk_starts(payload)
         corrupted = bytearray(payload)
-        corrupted[-2] ^= 0xFF
+        corrupted[end - 2] ^= 0xFF
         restored = ParallelIsobarCompressor(n_workers=2).decompress(
             bytes(corrupted), errors="zero_fill"
         )

@@ -13,6 +13,7 @@ from repro.core.pipeline import IsobarCompressor
 from repro.core.preferences import IsobarConfig
 from repro.core.stream import StreamingWriter, stream_compress, stream_decompress
 from repro.datasets.synthetic import build_structured
+from repro.testing.faults import chunk_chain_end
 
 _CFG = IsobarConfig(chunk_elements=10_000, sample_elements=2048)
 
@@ -215,7 +216,7 @@ class TestLenientStreaming:
         path = tmp_path / "c.isobar"
         stream_compress(_chunks(data, 10_000), path, np.float64, config=_CFG)
         corrupted = bytearray(path.read_bytes())
-        corrupted[-2] ^= 0xFF
+        corrupted[chunk_chain_end(bytes(corrupted)) - 2] ^= 0xFF
         bad = tmp_path / "bad.isobar"
         bad.write_bytes(bytes(corrupted))
         with pytest.raises(IsobarError):
@@ -227,7 +228,7 @@ class TestLenientStreaming:
         path = tmp_path / "c.isobar"
         stream_compress(_chunks(data, 10_000), path, np.float64, config=_CFG)
         corrupted = bytearray(path.read_bytes())
-        corrupted[-2] ^= 0xFF
+        corrupted[chunk_chain_end(bytes(corrupted)) - 2] ^= 0xFF
         bad = tmp_path / "bad.isobar"
         bad.write_bytes(bytes(corrupted))
         restored = np.concatenate(
@@ -248,7 +249,7 @@ class TestLenientStreaming:
         path = tmp_path / "c.isobar"
         stream_compress(_chunks(data, 10_000), path, np.float64, config=_CFG)
         corrupted = bytearray(path.read_bytes())
-        corrupted[-2] ^= 0xFF
+        corrupted[chunk_chain_end(bytes(corrupted)) - 2] ^= 0xFF
         bad = tmp_path / "bad.isobar"
         bad.write_bytes(bytes(corrupted))
         skipped = np.concatenate(
@@ -383,7 +384,8 @@ class TestStreamingResilience:
         stream_compress(_chunks(data, 10_000), path, np.float64,
                         config=_CFG)
         blob = bytearray(path.read_bytes())
-        blob[-10] ^= 0xFF  # corrupt the final chunk payload
+        # Corrupt the final chunk's payload (just before the footer).
+        blob[chunk_chain_end(bytes(blob)) - 10] ^= 0xFF
         path.write_bytes(bytes(blob))
         consumed = []
         with pytest.raises(IsobarError):

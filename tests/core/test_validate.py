@@ -9,6 +9,7 @@ from repro.core.pipeline import IsobarCompressor
 from repro.core.preferences import IsobarConfig
 from repro.core.validate import validate_container
 from repro.datasets.synthetic import build_structured
+from repro.testing.faults import chunk_chain_end
 
 _CFG = IsobarConfig(chunk_elements=30_000, sample_elements=2048)
 
@@ -56,7 +57,7 @@ class TestCorruptionDetection:
 
     def test_crc_corruption_localised(self, container):
         corrupted = bytearray(container)
-        corrupted[-2] ^= 0xFF  # last chunk's raw noise
+        corrupted[chunk_chain_end(container) - 2] ^= 0xFF  # last chunk's raw noise
         report = validate_container(bytes(corrupted))
         assert not report.valid
         bad_chunks = {f.chunk_index for f in report.errors}
@@ -64,7 +65,7 @@ class TestCorruptionDetection:
 
     def test_multiple_corruptions_all_reported(self, container):
         corrupted = bytearray(container)
-        corrupted[-2] ^= 0xFF
+        corrupted[chunk_chain_end(container) - 2] ^= 0xFF
         corrupted[len(corrupted) // 3] ^= 0xFF
         report = validate_container(bytes(corrupted))
         assert not report.valid

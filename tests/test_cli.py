@@ -5,6 +5,7 @@ import pytest
 
 from repro.cli import build_parser, main
 from repro.datasets.loaders import load_raw, save_raw
+from repro.testing.faults import chunk_chain_end
 
 
 class TestParser:
@@ -138,7 +139,7 @@ class TestInspectionCommands:
     def test_verify_corrupt(self, container, tmp_path, capsys):
         _, out = container
         corrupted = bytearray(out.read_bytes())
-        corrupted[-2] ^= 0xFF
+        corrupted[chunk_chain_end(bytes(corrupted)) - 2] ^= 0xFF
         bad = tmp_path / "bad.isobar"
         bad.write_bytes(bytes(corrupted))
         assert main(["verify", str(bad)]) == 1
@@ -217,7 +218,8 @@ class TestSalvageCommands:
     def corrupted(self, container, tmp_path):
         raw, out = container
         damaged = bytearray(out.read_bytes())
-        damaged[-2] ^= 0xFF  # CRC failure in the last chunk
+        # CRC failure in the last chunk (aim before the index footer).
+        damaged[chunk_chain_end(bytes(damaged)) - 2] ^= 0xFF
         bad = tmp_path / "bad.isobar"
         bad.write_bytes(bytes(damaged))
         return raw, bad

@@ -23,6 +23,7 @@ from repro.core.preferences import (
     salvage_policy_for,
 )
 from repro.core.random_access import ContainerReader
+from repro.testing.faults import chunk_chain_end
 
 
 @pytest.fixture
@@ -161,7 +162,8 @@ class TestContainerReaderSalvage:
     def _damaged_container(self, data):
         cfg = repro.IsobarConfig(chunk_elements=5_000)
         blob = bytearray(repro.compress(data, config=cfg))
-        blob[-2] ^= 0xFF  # corrupt the final chunk's payload
+        # Corrupt the final chunk's payload (just before the footer).
+        blob[chunk_chain_end(bytes(blob)) - 2] ^= 0xFF
         return bytes(blob)
 
     def test_skip_drops_damaged_chunk(self, data):

@@ -7,8 +7,10 @@ from repro.core.exceptions import InvalidInputError
 from repro.core.pipeline import IsobarCompressor
 from repro.core.preferences import IsobarConfig
 from repro.datasets.synthetic import build_structured
+from repro.core.metadata import locate_footer
 from repro.testing.faults import (
     FAULT_TYPES,
+    chunk_chain_end,
     chunk_extents,
     corrupt_chunk_magic,
     corrupt_header_magic,
@@ -74,7 +76,9 @@ class TestContainerAware:
         extents = chunk_extents(payload)
         assert len(extents) == 2
         assert extents[0][1] == extents[1][0]
-        assert extents[1][1] == len(payload)
+        # The chain ends where the index footer begins.
+        assert extents[1][1] == locate_footer(payload).start
+        assert extents[1][1] == chunk_chain_end(payload)
 
     def test_delete_chunk_removes_exact_extent(self, payload):
         extents = chunk_extents(payload)
