@@ -11,8 +11,9 @@ and leaves all rendered artefacts in ``benchmarks/results/``.
 
 ``--checks`` skips the benchmark sweep and runs the repo's static
 gates instead — the invariant linter (``isobar lint``), the docs link
-checker, the docs snippet executor, and an ``isobar fsck`` of a
-freshly written archive (the self-healing container gate)::
+checker, the docs snippet executor, an ``isobar fsck`` of a freshly
+written archive (the self-healing container gate), and the selector
+smoke (predict-first decisions must beat the EUPA probe)::
 
     PYTHONPATH=src python benchmarks/run_all.py --checks
 """
@@ -75,6 +76,8 @@ def run_checks(bench_dir: Path, env: dict) -> int:
          [sys.executable, str(bench_dir / "run_docs_snippets.py")]),
         ("archive fsck (isobar fsck on a fresh archive)",
          [sys.executable, "-c", _FSCK_CHECK]),
+        ("selector smoke (predict-first vs EUPA probe)",
+         [sys.executable, str(bench_dir / "run_selector.py"), "--smoke"]),
     ]
     failed = []
     for label, command in checks:

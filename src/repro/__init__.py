@@ -41,13 +41,22 @@ The package splits into:
 * :mod:`repro.bench` — the table/figure regeneration harness.
 """
 
-from repro.api import ERROR_POLICIES, compress, decompress, fsck, open_stream
+from repro.api import (
+    ERROR_POLICIES,
+    compress,
+    decompress,
+    fsck,
+    open_stream,
+    plan,
+)
 from repro.core import (
     AnalysisResult,
     CompressionResult,
     ContainerFile,
     DegradationReport,
     EupaSelector,
+    SelectorDecision,
+    SelectorStrategy,
     IsobarCompressor,
     IsobarConfig,
     IsobarError,
@@ -89,6 +98,8 @@ __all__ = [
     "ResiliencePolicy",
     "SalvageReport",
     "SalvageResult",
+    "SelectorDecision",
+    "SelectorStrategy",
     "Tracer",
     "analyze",
     "compress",
@@ -97,6 +108,7 @@ __all__ = [
     "isobar_compress",
     "isobar_decompress",
     "open_stream",
+    "plan",
     "registry_from_json",
     "salvage_decompress",
     "to_json",

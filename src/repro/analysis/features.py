@@ -1,0 +1,193 @@
+"""Cheap content features for predict-first selector decisions.
+
+The EUPA-selector times every (codec, linearization) candidate on a
+sample — robust, but a full compression probe per decision.  The
+learned selector (:mod:`repro.core.selector_learned`) instead predicts
+each candidate's (ratio, throughput) from a handful of statistics that
+are one to two orders of magnitude cheaper than a probe:
+
+* per-byte-column Shannon entropies and frequency moments, computed
+  from the same histogram the analyzer uses — via
+  :func:`repro.analysis.bytefreq.column_frequencies`, which dispatches
+  to the native histcore kernel when it is available;
+* byte run-length statistics (how repetitive the raw stream is —
+  LZ77-family solvers feed on exactly this);
+* element delta statistics (smooth simulation variables have tiny
+  first differences even when their absolute bytes look busy).
+
+:class:`ContentFeatures` carries the raw statistics, exposes the
+regressor input as :meth:`vector`, and quantizes itself into a stable
+:meth:`cache_key` so near-identical payloads land on the same
+decision-cache entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.bytefreq import byte_view, column_frequencies
+from repro.core.exceptions import InvalidInputError
+
+__all__ = [
+    "ContentFeatures",
+    "FEATURE_NAMES",
+    "extract_features",
+]
+
+#: Names of :meth:`ContentFeatures.vector` entries, in order.  The
+#: vector length is API for the online regressor's weight storage.
+FEATURE_NAMES = (
+    "bias",
+    "mean_entropy",
+    "min_entropy",
+    "max_entropy",
+    "noisy_column_fraction",
+    "quiet_column_fraction",
+    "mean_top_frequency",
+    "mean_collision",
+    "byte_run_shortness",
+    "element_repeat_fraction",
+    "delta_small_fraction",
+    "log2_element_width",
+)
+
+#: Byte-columns with at least this entropy (bits) count as noise.
+_NOISY_BITS = 7.5
+
+#: Byte-columns below this entropy (bits) count as near-constant.
+_QUIET_BITS = 1.0
+
+
+@dataclass(frozen=True)
+class ContentFeatures:
+    """Summary statistics of one sample, cheap enough to always compute.
+
+    All fields are plain floats in stable ranges (entropies in bits,
+    fractions in ``[0, 1]``), so the feature vector needs no further
+    scaling before entering the regressor.
+    """
+
+    n_elements: int
+    element_width: int
+    #: Per-byte-column Shannon entropy in bits (length ``element_width``).
+    column_entropy_bits: tuple[float, ...]
+    #: Per-column max-frequency fraction (the analyzer's core statistic).
+    column_top_frequency: tuple[float, ...]
+    #: Per-column collision probability ``sum(p^2)`` (second moment).
+    column_collision: tuple[float, ...]
+    #: ``1 / mean byte run length`` over the flattened byte stream.
+    byte_run_shortness: float
+    #: Fraction of consecutive elements that repeat exactly.
+    element_repeat_fraction: float
+    #: Fraction of near-zero most-significant-byte first differences.
+    delta_small_fraction: float
+
+    @property
+    def mean_entropy(self) -> float:
+        """Mean per-column entropy in bits."""
+        return float(np.mean(self.column_entropy_bits))
+
+    @property
+    def noisy_column_fraction(self) -> float:
+        """Fraction of columns at noise-level entropy (>= 7.5 bits)."""
+        cols = self.column_entropy_bits
+        return sum(1 for e in cols if e >= _NOISY_BITS) / len(cols)
+
+    @property
+    def quiet_column_fraction(self) -> float:
+        """Fraction of near-constant columns (< 1 bit of entropy)."""
+        cols = self.column_entropy_bits
+        return sum(1 for e in cols if e < _QUIET_BITS) / len(cols)
+
+    def vector(self) -> tuple[float, ...]:
+        """The regressor input, ordered as :data:`FEATURE_NAMES`."""
+        cols = self.column_entropy_bits
+        return (
+            1.0,
+            self.mean_entropy / 8.0,
+            min(cols) / 8.0,
+            max(cols) / 8.0,
+            self.noisy_column_fraction,
+            self.quiet_column_fraction,
+            float(np.mean(self.column_top_frequency)),
+            float(np.mean(self.column_collision)),
+            self.byte_run_shortness,
+            self.element_repeat_fraction,
+            self.delta_small_fraction,
+            float(np.log2(self.element_width)) / 4.0,
+        )
+
+    def cache_key(self, *, decimals: int = 2) -> tuple:
+        """A hashable, quantized content fingerprint.
+
+        Rounding to ``decimals`` buckets near-identical payloads (same
+        variable, adjacent timesteps) onto one decision-cache entry
+        while payloads with genuinely different statistics land apart.
+        The exact element count is intentionally excluded — the
+        decision depends on the data's shape, not its length — but the
+        element width is part of the key.
+        """
+        rounded = tuple(round(v, decimals) for v in self.vector()[1:])
+        return (self.element_width,) + rounded
+
+
+def _byte_run_shortness(flat_bytes: np.ndarray) -> float:
+    """``1 / mean run length`` of equal consecutive bytes (in ``(0, 1]``)."""
+    if flat_bytes.size < 2:
+        return 1.0
+    boundaries = int(np.count_nonzero(np.diff(flat_bytes))) + 1
+    return boundaries / flat_bytes.size
+
+
+def extract_features(values: np.ndarray) -> ContentFeatures:
+    """Compute :class:`ContentFeatures` for a (sample of a) stream.
+
+    Cost is dominated by one histogram pass over the sample bytes (the
+    histcore kernel when available) plus two vectorised difference
+    passes — far below a single candidate compression probe.
+    """
+    arr = np.asarray(values)
+    if arr.size == 0:
+        raise InvalidInputError("cannot extract features from an empty array")
+    matrix = byte_view(arr.reshape(-1))
+    n, width = matrix.shape
+
+    freqs = column_frequencies(matrix).astype(np.float64)
+    probs = freqs / n
+    with np.errstate(divide="ignore", invalid="ignore"):
+        terms = np.where(probs > 0, probs * np.log2(probs), 0.0)
+    entropies = -terms.sum(axis=1)
+    top = probs.max(axis=1)
+    collision = (probs * probs).sum(axis=1)
+
+    flat_bytes = matrix.reshape(-1)
+    run_shortness = _byte_run_shortness(flat_bytes)
+
+    if n < 2:
+        repeat_fraction = 0.0
+        delta_small = 0.0
+    else:
+        changed = np.any(matrix[1:] != matrix[:-1], axis=1)
+        repeat_fraction = 1.0 - (
+            int(np.count_nonzero(changed)) / (n - 1)
+        )
+        # Most-significant byte-column of the first differences: for
+        # little-endian fixed-width elements this is the last column,
+        # and |delta| <= 1 there means neighbouring elements share
+        # their coarse magnitude (smooth data partitions well).
+        msb = matrix[:, -1].astype(np.int16)
+        delta = np.abs(np.diff(msb))
+        delta_small = int(np.count_nonzero(delta <= 1)) / (n - 1)
+
+    return ContentFeatures(
+        n_elements=int(n),
+        element_width=int(width),
+        column_entropy_bits=tuple(float(e) for e in entropies),
+        column_top_frequency=tuple(float(t) for t in top),
+        column_collision=tuple(float(c) for c in collision),
+        byte_run_shortness=float(run_shortness),
+        element_repeat_fraction=float(repeat_fraction),
+        delta_small_fraction=float(delta_small),
+    )

@@ -39,9 +39,17 @@ from repro.core.fsck import FsckReport
 from repro.core.fsck import fsck as _fsck
 from repro.core.stream import StreamingWriter, stream_decompress
 from repro.core.exceptions import ConfigurationError
+from repro.core.selector import SelectorDecision, resolve_selector
 from repro.observability.registry import MetricsRegistry
 
-__all__ = ["compress", "decompress", "fsck", "open_stream", "ERROR_POLICIES"]
+__all__ = [
+    "compress",
+    "decompress",
+    "fsck",
+    "open_stream",
+    "plan",
+    "ERROR_POLICIES",
+]
 
 
 def _resolve_config(
@@ -49,6 +57,7 @@ def _resolve_config(
     preference: Preference | str | None,
     codec: str | None,
     linearization: Linearization | str | None,
+    selector: object | None = None,
 ) -> IsobarConfig:
     """Fold the convenience keywords into one :class:`IsobarConfig`."""
     base = config or IsobarConfig()
@@ -59,6 +68,8 @@ def _resolve_config(
         overrides["codec"] = codec
     if linearization is not None:
         overrides["linearization"] = Linearization.parse(linearization)
+    if selector is not None:
+        overrides["selector"] = selector
     return base.replace(**overrides) if overrides else base
 
 
@@ -68,6 +79,7 @@ def compress(
     preference: Preference | str | None = None,
     codec: str | None = None,
     linearization: Linearization | str | None = None,
+    selector: object | None = None,
     config: IsobarConfig | None = None,
 ) -> bytes:
     """Compress ``values`` into a self-contained ISOBAR container.
@@ -77,10 +89,17 @@ def compress(
     values:
         Fixed-width numeric array of any shape.
     preference:
-        ``"ratio"`` or ``"speed"`` — the EUPA-selector's optimisation
+        ``"ratio"`` or ``"speed"`` — the selector's optimisation
         target (defaults to the config's, i.e. ``"ratio"``).
     codec / linearization:
         Optional explicit overrides; unset, the selector decides.
+    selector:
+        Selection strategy: ``"eupa"`` (default — the paper's timing
+        probe), ``"learned"`` (predict-first, probes only when
+        uncertain), ``"cached"`` (learned behind a shared decision
+        cache) or a :class:`~repro.core.selector.SelectorStrategy`
+        instance.  Every strategy honours the other overrides
+        identically; the container format never changes.
     config:
         Full :class:`~repro.core.preferences.IsobarConfig`; the other
         keywords are applied on top of it.
@@ -90,8 +109,32 @@ def compress(
     bytes
         A container that :func:`decompress` restores bit-exactly.
     """
-    cfg = _resolve_config(config, preference, codec, linearization)
+    cfg = _resolve_config(config, preference, codec, linearization, selector)
     return IsobarCompressor(cfg).compress(values)
+
+
+def plan(
+    values: np.ndarray,
+    *,
+    preference: Preference | str | None = None,
+    codec: str | None = None,
+    linearization: Linearization | str | None = None,
+    selector: object | None = None,
+    config: IsobarConfig | None = None,
+) -> SelectorDecision:
+    """Dry-run the selector: the decision for ``values``, no container.
+
+    Runs exactly the selection that :func:`compress` would run — same
+    strategy, same candidate restrictions, same seeded sample — and
+    returns the :class:`~repro.core.selector.SelectorDecision` with
+    its full evaluation/prediction record.  Nothing is compressed
+    beyond the strategy's own sample work, so this is the cheap way to
+    ask "what would ISOBAR do with this data?" before committing to a
+    large run.  Mirrored by ``isobar plan`` and ``POST /v1/plan``.
+    """
+    cfg = _resolve_config(config, preference, codec, linearization, selector)
+    strategy = resolve_selector(cfg)
+    return strategy.select(np.asarray(values).reshape(-1))
 
 
 def decompress(data: bytes, *, errors: str = "raise") -> np.ndarray:
@@ -118,6 +161,7 @@ def open_stream(
     *,
     dtype: np.dtype | None = None,
     config: IsobarConfig | None = None,
+    selector: object | None = None,
     atomic: bool = True,
     errors: str = "raise",
     tolerate_unclosed: bool = False,
@@ -131,13 +175,18 @@ def open_stream(
     ``dtype`` is required.  ``mode="r"`` returns an iterator of decoded
     chunks honouring the unified ``errors=`` policy;
     ``tolerate_unclosed=True`` additionally recovers streams whose
-    writer crashed before finalising the header.
+    writer crashed before finalising the header.  ``selector`` picks
+    the write-side selection strategy exactly as in :func:`compress`
+    (``"eupa"`` default; ignored for ``mode="r"`` since reading never
+    selects).
     """
     if mode == "w":
         if dtype is None:
             raise ConfigurationError(
                 "open_stream(..., mode='w') requires dtype"
             )
+        if selector is not None:
+            config = (config or IsobarConfig()).replace(selector=selector)
         return StreamingWriter.open(
             path, dtype, config, atomic=atomic, metrics=metrics
         )

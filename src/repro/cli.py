@@ -5,10 +5,16 @@ The CLI operates on raw dataset files (see
 
     isobar generate gts_chkp_zion field.rds --elements 375000
     isobar analyze field.rds
+    isobar plan field.rds --selector learned
     isobar compress field.rds field.isobar --preference speed
     isobar decompress field.isobar restored.rds
     isobar stats field.rds
     isobar bench --table 5 --elements 100000
+
+``plan`` dry-runs the selector — the decision plus its evaluation or
+prediction record, no container written; ``--selector`` (also on
+``compress``, ``stats`` and ``serve``) picks the selection strategy
+(``eupa`` default, ``learned``, ``cached`` — see ``docs/selector.md``).
 
 ``bench`` regenerates any of the paper's tables or figures on the
 synthetic datasets and prints them in the paper's layout.  ``stats``
@@ -77,6 +83,7 @@ def build_parser() -> argparse.ArgumentParser:
                       default=None)
     comp.add_argument("--chunk-elements", type=int, default=None)
     comp.add_argument("--tau", type=float, default=None)
+    _add_selector_argument(comp)
     comp.add_argument("--metrics-json", metavar="PATH", default=None,
                       help="collect run metrics and write the registry "
                            "as JSON to PATH ('-' for stdout)")
@@ -177,6 +184,7 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None)
     stats.add_argument("--chunk-elements", type=int, default=None)
     stats.add_argument("--tau", type=float, default=None)
+    _add_selector_argument(stats)
     stats.add_argument("--workers", type=int, default=1,
                        help="pipeline worker count (>1 uses the parallel "
                             "compressor; default: 1)")
@@ -244,6 +252,7 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None)
     serve.add_argument("--chunk-elements", type=int, default=None)
     serve.add_argument("--tau", type=float, default=None)
+    _add_selector_argument(serve)
     serve.add_argument("--strict", action="store_true",
                        help="serve with strict resilience (degradation "
                             "becomes 503 instead of a degraded 200)")
@@ -257,8 +266,26 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--chaos-truncate-percent", type=float, default=0.0,
                        help="percent of responses truncated mid-body")
 
+    plan = sub.add_parser(
+        "plan",
+        help="dry-run the selector on a file: decision and "
+             "evaluations/predictions, no container written",
+    )
+    plan.add_argument("input", help="raw dataset file")
+    plan.add_argument("--preference", choices=["ratio", "speed"],
+                      default="ratio")
+    plan.add_argument("--codec", default=None,
+                      help="explicit solver override (restricts candidates)")
+    plan.add_argument("--linearization", choices=["row", "column"],
+                      default=None)
+    plan.add_argument("--chunk-elements", type=int, default=None)
+    plan.add_argument("--tau", type=float, default=None)
+    _add_selector_argument(plan)
+    plan.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit the full decision document as JSON")
+
     lint = sub.add_parser(
-        "lint", help="check repo invariants (rules ISO001-ISO006)"
+        "lint", help="check repo invariants (rules ISO001-ISO008)"
     )
     lint.add_argument(
         "paths", nargs="*",
@@ -354,6 +381,17 @@ def _apply_retry_args(
     return config.replace(resilience=policy.replace(**overrides))
 
 
+def _add_selector_argument(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--selector`` strategy flag."""
+    parser.add_argument(
+        "--selector", default=None, metavar="STRATEGY",
+        help="selection strategy: eupa (default, full timing probe), "
+             "learned (predict-first, probes only when uncertain), "
+             "cached (learned behind a shared decision cache), or any "
+             "registered strategy name",
+    )
+
+
 def _config_from_args(args: argparse.Namespace) -> IsobarConfig:
     """Build an :class:`IsobarConfig` from compress/stats CLI flags."""
     overrides: dict[str, object] = {
@@ -367,6 +405,8 @@ def _config_from_args(args: argparse.Namespace) -> IsobarConfig:
         overrides["chunk_elements"] = args.chunk_elements
     if args.tau:
         overrides["tau"] = args.tau
+    if getattr(args, "selector", None):
+        overrides["selector"] = args.selector
     return IsobarConfig().replace(**overrides)
 
 
@@ -394,11 +434,22 @@ def _pipeline_compressor(
     return IsobarCompressor(config, collect_metrics=collect_metrics)
 
 
-def _write_metrics_json(registry, path: str) -> None:
-    """Dump a metrics registry as JSON to ``path`` ('-' for stdout)."""
+def _write_metrics_json(registry, path: str, *, decision=None) -> None:
+    """Dump a metrics registry as JSON to ``path`` ('-' for stdout).
+
+    ``decision`` (a :class:`~repro.core.selector.SelectorDecision`)
+    embeds the run's full selector record — including any
+    ``failed_candidates`` — next to the metric series.
+    """
+    import json
+
     from repro.observability import to_json
 
     text = to_json(registry, indent=2)
+    if decision is not None:
+        document = json.loads(text)
+        document["selector_decision"] = decision.to_dict()
+        text = json.dumps(document, indent=2)
     if path == "-":
         print(text)
         return
@@ -430,12 +481,20 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     improvable_chunks = sum(1 for c in result.chunks if c.improvable)
     print(f"chunks          : {len(result.chunks)} "
           f"({improvable_chunks} improvable)")
+    if result.decision.failed_candidates:
+        for fail in result.decision.failed_candidates:
+            print(f"warning: selector candidate ({fail.codec_name}, "
+                  f"{fail.linearization.value}) failed: {fail.error}",
+                  file=sys.stderr)
     if args.metrics_json is not None:
         report = compressor.last_report
         if report is not None:
             for line in report.summary_lines():
                 print(line)
-        _write_metrics_json(compressor.metrics, args.metrics_json)
+        _write_metrics_json(
+            compressor.metrics, args.metrics_json,
+            decision=result.decision,
+        )
     if args.resilience_json is not None:
         text = json.dumps(result.degradation.to_dict(), indent=2)
         if args.resilience_json == "-":
@@ -658,6 +717,38 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_plan(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.api import plan
+
+    values = load_raw(args.input)
+    config = _config_from_args(args)
+    with Stopwatch() as sw:
+        decision = plan(values, config=config)
+    if args.as_json:
+        print(json.dumps(decision.to_dict(), indent=2))
+        return 0
+    print(f"decision        : {decision.summary()}")
+    print(f"origin          : {decision.origin} "
+          f"({sw.seconds * 1e3:.1f} ms)")
+    print(f"improvable      : {'yes' if decision.improvable else 'no'}; "
+          f"sample {decision.sample_elements} elements")
+    for cand in decision.candidates:
+        print(f"  measured {cand.codec_name:>6s} + "
+              f"{cand.linearization.value:<6s}: ratio {cand.ratio:.3f}, "
+              f"{cand.throughput / MEGABYTE:.1f} MB/s")
+    for pred in decision.predictions:
+        marker = "" if pred.confident else " (uncertain)"
+        print(f"  predicted {pred.codec_name:>6s} + "
+              f"{pred.linearization.value:<6s}: ratio "
+              f"{pred.predicted_ratio:.3f}{marker}")
+    for fail in decision.failed_candidates:
+        print(f"  failed {fail.codec_name} + {fail.linearization.value}: "
+              f"{fail.error}", file=sys.stderr)
+    return 0
+
+
 def _cmd_codecs(args: argparse.Namespace) -> int:
     from repro.codecs.base import iter_codecs
 
@@ -804,6 +895,7 @@ _COMMANDS = {
     "salvage": _cmd_salvage,
     "stats": _cmd_stats,
     "extract": _cmd_extract,
+    "plan": _cmd_plan,
     "codecs": _cmd_codecs,
     "concat": _cmd_concat,
     "lint": _cmd_lint,

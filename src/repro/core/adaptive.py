@@ -18,6 +18,13 @@ The output is NOT a standard single-decision container: each segment
 (maximal run of chunks under one decision) is emitted as a complete
 inner container, concatenated under a small envelope, so decompression
 replays each segment with its own codec and linearization.
+
+Re-selection honours ``config.selector`` like every other entry point:
+each segment's inner :class:`~repro.core.pipeline.IsobarCompressor`
+resolves the configured strategy, so ``selector="learned"`` or
+``"cached"`` makes repeated re-evaluations progressively cheaper — the
+probe results of early segments train the shared model that decides
+later ones without timing (see :mod:`repro.core.selector_learned`).
 """
 
 from __future__ import annotations

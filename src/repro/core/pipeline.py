@@ -77,7 +77,7 @@ from repro.core.resilience import (
     ResiliencePolicy,
     call_with_deadline,
 )
-from repro.core.selector import EupaSelector, SelectorDecision
+from repro.core.selector import SelectorDecision, resolve_selector
 from repro.core.workspace import ChunkWorkspace
 from repro.observability.instruments import PipelineInstruments
 from repro.observability.registry import NULL_REGISTRY, MetricsRegistry
@@ -692,7 +692,13 @@ class IsobarCompressor:
         else:
             self._metrics = NULL_REGISTRY
         self._instruments = PipelineInstruments(self._metrics)
-        self._selector = EupaSelector(self._config, metrics=self._metrics)
+        # config.selector names the strategy ("eupa" default, "learned",
+        # "cached" or an instance); every strategy shares the EUPA
+        # candidate space and decision record.
+        self._selector = resolve_selector(
+            self._config,
+            metrics=self._metrics if self._metrics.enabled else None,
+        )
         self._last_report: PipelineReport | None = None
         # One breaker board for the compressor's lifetime: breaker
         # state persists across runs, the way an always-on ingest path

@@ -176,6 +176,20 @@ class IsobarConfig:
     seed:
         Seed for the selector's random sample draw, making runs
         reproducible.
+    selector:
+        Selection strategy: a registered name — ``"eupa"`` (default,
+        the paper's timing probe), ``"learned"`` (predict-first online
+        regressor that probes only when uncertain) or ``"cached"``
+        (the learned strategy behind a shared content-keyed decision
+        cache) — or any object implementing the
+        :class:`~repro.core.selector.SelectorStrategy` protocol.
+        Every strategy honours the ``preference`` / ``codec`` /
+        ``linearization`` overrides identically and only influences
+        the decision, never the container format.
+    selector_seed:
+        Optional dedicated seed for the selector's sample-run draw;
+        ``None`` falls back to ``seed``.  Pin it to replay decisions
+        and benchmarks independently of the pipeline seed.
     resilience:
         Per-chunk fault-containment policy
         (:class:`~repro.core.resilience.ResiliencePolicy`).  The
@@ -194,6 +208,8 @@ class IsobarConfig:
     sample_elements: int = 65_536
     min_acceptable_ratio_fraction: float = 0.85
     seed: int = 0x150BA2
+    selector: "str | object" = "eupa"
+    selector_seed: int | None = None
     resilience: ResiliencePolicy | None = field(default_factory=ResiliencePolicy)
 
     def __post_init__(self) -> None:
@@ -225,6 +241,20 @@ class IsobarConfig:
             raise ConfigurationError(
                 "resilience must be a ResiliencePolicy or None, got "
                 f"{self.resilience!r}"
+            )
+        if isinstance(self.selector, str):
+            object.__setattr__(self, "selector", self.selector.lower())
+        elif not callable(getattr(self.selector, "select", None)):
+            raise ConfigurationError(
+                "selector must be a registered strategy name or an object "
+                f"with a select() method, got {self.selector!r}"
+            )
+        if self.selector_seed is not None and not isinstance(
+            self.selector_seed, int
+        ):
+            raise ConfigurationError(
+                f"selector_seed must be an int or None, got "
+                f"{self.selector_seed!r}"
             )
         # Normalise string inputs so callers may pass plain strings.
         object.__setattr__(self, "preference", Preference.parse(self.preference))

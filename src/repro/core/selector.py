@@ -23,14 +23,16 @@ candidate's ratio.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
+from typing import Callable, Protocol, runtime_checkable
 
 import numpy as np
 
 from repro.codecs.base import get_codec
 from repro.core.analyzer import AnalysisResult, analyze
-from repro.core.exceptions import SelectorError
+from repro.core.exceptions import ConfigurationError, SelectorError
 from repro.core.partitioner import partition
 from repro.core.preferences import IsobarConfig, Linearization, Preference
 from repro.observability.instruments import PipelineInstruments
@@ -39,8 +41,13 @@ from repro.observability.registry import NULL_REGISTRY, MetricsRegistry
 __all__ = [
     "CandidateEvaluation",
     "CandidateFailure",
+    "CandidatePrediction",
     "SelectorDecision",
+    "SelectorStrategy",
     "EupaSelector",
+    "register_selector_strategy",
+    "selector_strategy_names",
+    "resolve_selector",
 ]
 
 _SAMPLE_RUNS = 8
@@ -79,6 +86,23 @@ class CandidateFailure:
 
 
 @dataclass(frozen=True)
+class CandidatePrediction:
+    """A regressor's estimate for one (codec, linearization) candidate.
+
+    Emitted by the learned selector
+    (:mod:`repro.core.selector_learned`) when it decides without
+    timing; ``confident`` marks whether the estimate cleared the
+    strategy's uncertainty rule.
+    """
+
+    codec_name: str
+    linearization: Linearization
+    predicted_ratio: float
+    predicted_throughput: float
+    confident: bool
+
+
+@dataclass(frozen=True)
 class SelectorDecision:
     """The selector's verdict plus the full evaluation record."""
 
@@ -90,6 +114,13 @@ class SelectorDecision:
     sample_elements: int
     #: Candidates that raised during trial evaluation (skipped, not fatal).
     failed_candidates: tuple[CandidateFailure, ...] = ()
+    #: How the decision was produced: ``"probe"`` (timed candidate
+    #: evaluations), ``"predicted"`` (regressor, no timing) or
+    #: ``"cached"`` (replayed from a :class:`SelectorDecisionCache`).
+    origin: str = "probe"
+    #: Regressor estimates backing a predicted decision (empty for
+    #: probed decisions).
+    predictions: tuple[CandidatePrediction, ...] = ()
 
     @property
     def chosen(self) -> CandidateEvaluation:
@@ -105,24 +136,78 @@ class SelectorDecision:
             "matching candidate evaluation"
         )
 
+    @property
+    def chosen_prediction(self) -> CandidatePrediction | None:
+        """The prediction row backing a predicted/cached decision."""
+        for pred in self.predictions:
+            if (
+                pred.codec_name == self.codec_name
+                and pred.linearization == self.linearization
+            ):
+                return pred
+        return None
+
     def summary(self) -> str:
         """One-line description for logs and the CLI."""
+        head = (
+            f"{self.codec_name} + {self.linearization.value}-linearization "
+            f"({self.preference.value} preference; "
+        )
         try:
             chosen = self.chosen
         except SelectorError:
+            pred = self.chosen_prediction
+            if pred is not None:
+                return (
+                    head + f"{self.origin}, est. ratio "
+                    f"{pred.predicted_ratio:.3f})"
+                )
             # Fallback decisions (empty input, or every candidate
             # evaluation failed under a resilience policy) carry no
             # measured numbers.
-            return (
-                f"{self.codec_name} + {self.linearization.value}"
-                f"-linearization ({self.preference.value} preference; "
-                "unevaluated fallback)"
-            )
-        return (
-            f"{self.codec_name} + {self.linearization.value}-linearization "
-            f"({self.preference.value} preference; sample ratio "
-            f"{chosen.ratio:.3f})"
-        )
+            return head + "unevaluated fallback)"
+        return head + f"sample ratio {chosen.ratio:.3f})"
+
+    def to_dict(self) -> dict:
+        """A JSON-ready document (the ``isobar plan`` / ``/v1/plan`` body)."""
+        return {
+            "codec": self.codec_name,
+            "linearization": self.linearization.value,
+            "preference": self.preference.value,
+            "improvable": self.improvable,
+            "origin": self.origin,
+            "sample_elements": self.sample_elements,
+            "candidates": [
+                {
+                    "codec": cand.codec_name,
+                    "linearization": cand.linearization.value,
+                    "sample_bytes": cand.sample_bytes,
+                    "compressed_bytes": cand.compressed_bytes,
+                    "compress_seconds": cand.compress_seconds,
+                    "ratio": cand.ratio,
+                    "throughput": cand.throughput,
+                }
+                for cand in self.candidates
+            ],
+            "predictions": [
+                {
+                    "codec": pred.codec_name,
+                    "linearization": pred.linearization.value,
+                    "predicted_ratio": pred.predicted_ratio,
+                    "predicted_throughput": pred.predicted_throughput,
+                    "confident": pred.confident,
+                }
+                for pred in self.predictions
+            ],
+            "failed_candidates": [
+                {
+                    "codec": fail.codec_name,
+                    "linearization": fail.linearization.value,
+                    "error": fail.error,
+                }
+                for fail in self.failed_candidates
+            ],
+        }
 
 
 class EupaSelector:
@@ -164,7 +249,14 @@ class EupaSelector:
             raise SelectorError("cannot sample from an empty input")
         if target == flat.size:
             return flat
-        rng = np.random.default_rng(self._config.seed)
+        # selector_seed pins the sample-run draw independently of the
+        # shared pipeline seed, so decisions and benchmarks replay.
+        seed = (
+            self._config.selector_seed
+            if self._config.selector_seed is not None
+            else self._config.seed
+        )
+        rng = np.random.default_rng(seed)
         run = max(target // _SAMPLE_RUNS, 1)
         pieces = []
         remaining = target
@@ -234,6 +326,7 @@ class EupaSelector:
         Section II-F shows a single choice stays optimal across an
         entire simulation run.
         """
+        decide_start = time.perf_counter()
         sample = self.draw_sample(values)
         if analysis is None:
             analysis = analyze(sample, tau=self._config.tau)
@@ -280,6 +373,9 @@ class EupaSelector:
         )
         if self._metrics.enabled:
             self._instruments.record_selector(decision)
+            self._instruments.selector_decision_seconds.observe(
+                time.perf_counter() - decide_start, strategy="eupa"
+            )
         return decision
 
     def _pick(
@@ -293,3 +389,112 @@ class EupaSelector:
         if not acceptable:
             acceptable = list(candidates)
         return max(acceptable, key=lambda cand: cand.throughput)
+
+
+# -- pluggable strategy registry ------------------------------------------
+
+
+@runtime_checkable
+class SelectorStrategy(Protocol):
+    """The contract every selection strategy implements.
+
+    A strategy receives the full input (or a representative chunk) and
+    returns a :class:`SelectorDecision`.  Strategies only influence
+    the decision — containers they steer are byte-decodable by the
+    unchanged decoder.  Failures must surface as
+    :class:`~repro.core.exceptions.SelectorError` so every caller's
+    fallback path (resilience, service status mapping) keeps working;
+    lint rule ISO008 enforces this for registered strategies.
+    """
+
+    def select(
+        self,
+        values: np.ndarray,
+        analysis: AnalysisResult | None = None,
+    ) -> SelectorDecision:
+        """Decide the (codec, linearization) for ``values``."""
+        ...
+
+
+#: A factory builds one strategy instance bound to a config and a
+#: metrics registry (``metrics`` may be ``None`` for disabled mode).
+StrategyFactory = Callable[
+    [IsobarConfig, "MetricsRegistry | None"], SelectorStrategy
+]
+
+_STRATEGIES: dict[str, StrategyFactory] = {}
+_STRATEGY_LOCK = threading.Lock()
+
+#: Names resolved by importing :mod:`repro.core.selector_learned` on
+#: first use — keeps the default ("eupa") path free of the learned
+#: machinery.
+_LAZY_STRATEGY_MODULE = "repro.core.selector_learned"
+_LAZY_STRATEGY_NAMES = ("learned", "cached")
+
+
+def register_selector_strategy(
+    name: str, factory: StrategyFactory, *, replace: bool = False
+) -> None:
+    """Register a strategy factory under ``name`` (case-insensitive).
+
+    Raises :class:`~repro.core.exceptions.ConfigurationError` when the
+    name is already taken and ``replace`` is false, so an accidental
+    double registration cannot silently shadow a strategy.
+    """
+    key = name.lower()
+    with _STRATEGY_LOCK:
+        if not replace and key in _STRATEGIES:
+            raise ConfigurationError(
+                f"selector strategy {name!r} is already registered; "
+                "pass replace=True to override"
+            )
+        _STRATEGIES[key] = factory
+
+
+def selector_strategy_names() -> tuple[str, ...]:
+    """All registered strategy names (built-ins included), sorted."""
+    with _STRATEGY_LOCK:
+        names = set(_STRATEGIES)
+    return tuple(sorted(names | set(_LAZY_STRATEGY_NAMES)))
+
+
+def resolve_selector(
+    config: IsobarConfig,
+    *,
+    metrics: MetricsRegistry | None = None,
+) -> SelectorStrategy:
+    """Build the strategy ``config.selector`` asks for.
+
+    Accepts a registered name (``"eupa"``, ``"learned"``, ``"cached"``
+    or anything added via :func:`register_selector_strategy`) or a
+    ready strategy instance, which is returned as-is.
+    """
+    selector = config.selector
+    if not isinstance(selector, str):
+        if callable(getattr(selector, "select", None)):
+            return selector
+        raise ConfigurationError(
+            "selector instance must implement the SelectorStrategy "
+            f"protocol (a select() method), got {selector!r}"
+        )
+    name = selector.lower()
+    with _STRATEGY_LOCK:
+        factory = _STRATEGIES.get(name)
+    if factory is None and name in _LAZY_STRATEGY_NAMES:
+        import importlib
+
+        importlib.import_module(_LAZY_STRATEGY_MODULE)
+        with _STRATEGY_LOCK:
+            factory = _STRATEGIES.get(name)
+    if factory is None:
+        choices = ", ".join(repr(n) for n in selector_strategy_names())
+        raise ConfigurationError(
+            f"unknown selector strategy {selector!r}; expected one of: "
+            f"{choices} (or a SelectorStrategy instance)"
+        )
+    return factory(config, metrics)
+
+
+register_selector_strategy(
+    "eupa", lambda config, metrics: EupaSelector(config, metrics=metrics)
+)

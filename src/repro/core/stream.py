@@ -64,7 +64,7 @@ from repro.core.resilience import (
     DegradationEvent,
     DegradationReport,
 )
-from repro.core.selector import EupaSelector, SelectorDecision
+from repro.core.selector import SelectorDecision, resolve_selector
 from repro.observability.instruments import PipelineInstruments
 from repro.observability.registry import NULL_REGISTRY, MetricsRegistry
 from repro.observability.report import PipelineReport
@@ -126,7 +126,13 @@ class StreamingWriter:
         self._solver_bytes = 0
         self._noise_bytes = 0
         self._last_report: PipelineReport | None = None
-        self._selector = EupaSelector(self._config, metrics=self._metrics)
+        # The first chunk drives one decision via the configured
+        # strategy (config.selector; "eupa" default) — see
+        # repro.core.selector.resolve_selector.
+        self._selector = resolve_selector(
+            self._config,
+            metrics=self._metrics if self._metrics.enabled else None,
+        )
         self._breakers = BreakerBoard(
             self._config.resilience,
             on_state_change=lambda name, state: (

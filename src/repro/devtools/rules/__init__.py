@@ -18,6 +18,7 @@ from repro.devtools.rules.exception_rules import (
     ExceptSwallowRule,
 )
 from repro.devtools.rules.service_errors import ServiceStatusMapRule
+from repro.devtools.rules.selector_contract import SelectorContractRule
 
 __all__ = [
     "ChunkModeSymmetryRule",
@@ -26,6 +27,7 @@ __all__ = [
     "FacadeContractRule",
     "MetricsGuardRule",
     "RegistryLockRule",
+    "SelectorContractRule",
     "ServiceStatusMapRule",
     "default_rules",
 ]
@@ -41,4 +43,5 @@ def default_rules() -> tuple[Rule, ...]:
         ExceptSwallowRule(),
         ErrorHierarchyRule(),
         ServiceStatusMapRule(),
+        SelectorContractRule(),
     )

@@ -1,0 +1,160 @@
+"""ISO008 — the selector strategy registry and failure funnel.
+
+The pluggable ``selector=`` API (see ``docs/selector.md``) rests on two
+invariants this rule enforces statically:
+
+* the strategy registry — any name ending in ``_STRATEGIES`` — mutates
+  only inside a ``with <LOCK>:`` block, *including* at module top
+  level: registrations must go through
+  :func:`repro.core.selector.register_selector_strategy`, which takes
+  the lock, rather than poking the dict (strategies register lazily at
+  first resolve, so the import lock is no shield here);
+* selector modules (``repro.core.selector*``) funnel failures through
+  :class:`~repro.core.exceptions.SelectorError`: an ``except`` handler
+  that catches ``SelectorError`` or a broad ``Exception`` may re-raise
+  (bare ``raise``) or raise ``SelectorError``, but never translate the
+  failure into a different exception type — every caller of a strategy
+  sees selection failures as ``SelectorError``, whatever the strategy.
+
+Degrading without raising (the predict-path containment that falls back
+to the timing probe) is fine by this rule; ISO005 separately requires
+such handlers to account for the swallowed exception.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.devtools.astutil import dotted_name, walk_with_ancestors
+from repro.devtools.engine import Finding, Rule, SourceModule
+from repro.devtools.rules.exception_rules import _module_in_scope
+
+__all__ = ["SelectorContractRule"]
+
+DEFAULT_SELECTOR_PREFIXES = ("repro.core.selector",)
+
+#: Registry names covered by the under-lock requirement.
+_REGISTRY_SUFFIX = "_STRATEGIES"
+
+#: Handlers catching these types are held to the funnel contract.
+_FUNNEL_TYPES = frozenset({"SelectorError", "Exception", "BaseException"})
+
+#: Mutating methods on the registry dict.
+_MUTATORS = frozenset(
+    {"pop", "update", "clear", "setdefault", "popitem"}
+)
+
+
+def _holds_lock(ancestors: tuple[ast.AST, ...]) -> bool:
+    """Whether any enclosing ``with`` acquires something lock-like."""
+    for node in ancestors:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                expr = item.context_expr
+                if isinstance(expr, ast.Call):
+                    expr = expr.func
+                name = dotted_name(expr)
+                if name is not None and "lock" in name.lower():
+                    return True
+    return False
+
+
+def _mutated_registry(node: ast.AST) -> str | None:
+    """The strategy-registry name ``node`` mutates, or None."""
+    if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            if isinstance(target, ast.Subscript):
+                name = dotted_name(target.value)
+                if name is not None and name.endswith(_REGISTRY_SUFFIX):
+                    return name
+    elif isinstance(node, ast.Delete):
+        for target in node.targets:
+            if isinstance(target, ast.Subscript):
+                name = dotted_name(target.value)
+                if name is not None and name.endswith(_REGISTRY_SUFFIX):
+                    return name
+    elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in _MUTATORS:
+            name = dotted_name(node.func.value)
+            if name is not None and name.endswith(_REGISTRY_SUFFIX):
+                return name
+    return None
+
+
+def _catches_funnel_type(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    nodes = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    for node in nodes:
+        name = dotted_name(node)
+        if name is not None and name.split(".")[-1] in _FUNNEL_TYPES:
+            return True
+    return False
+
+
+def _escaping_raises(handler: ast.ExceptHandler) -> Iterable[ast.Raise]:
+    """``raise`` statements in ``handler`` that leave the funnel.
+
+    A bare re-raise and ``raise SelectorError(...)`` stay inside the
+    funnel; raising any other constructed type translates the failure
+    away from it.
+    """
+    for node in ast.walk(handler):
+        if not isinstance(node, ast.Raise) or node.exc is None:
+            continue
+        exc = node.exc
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        name = dotted_name(exc)
+        if name is None or name.split(".")[-1] != "SelectorError":
+            yield node
+
+
+class SelectorContractRule(Rule):
+    """ISO008: locked strategy registry, SelectorError failure funnel."""
+
+    rule_id = "ISO008"
+    title = "selector strategies register under lock and fail as SelectorError"
+    hint = (
+        "register via register_selector_strategy (it holds the lock); "
+        "inside selector except-handlers raise SelectorError or re-raise"
+    )
+
+    def __init__(self, module_prefixes: Iterable[str] | None = None):
+        self.module_prefixes = tuple(
+            DEFAULT_SELECTOR_PREFIXES if module_prefixes is None
+            else module_prefixes
+        )
+
+    def check_module(self, mod: SourceModule) -> Iterable[Finding]:
+        # The registry check applies everywhere: a module elsewhere in
+        # the tree reaching into `selector._STRATEGIES` is exactly the
+        # bypass this rule exists to catch.
+        for node, ancestors in walk_with_ancestors(mod.tree):
+            name = _mutated_registry(node)
+            if name is not None and not _holds_lock(ancestors):
+                yield self.finding(
+                    mod,
+                    node,
+                    f"strategy registry `{name}` mutated without holding "
+                    "a lock; use register_selector_strategy",
+                )
+        if not _module_in_scope(mod.module, self.module_prefixes):
+            return
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _catches_funnel_type(node):
+                continue
+            for raise_node in _escaping_raises(node):
+                yield self.finding(
+                    mod,
+                    raise_node,
+                    "selector except-handler raises a type other than "
+                    "SelectorError, escaping the failure funnel",
+                )

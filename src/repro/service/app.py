@@ -53,6 +53,7 @@ from repro.core.exceptions import (
     IsobarError,
 )
 from repro.core.pipeline import IsobarCompressor
+from repro.core.selector import SelectorStrategy, resolve_selector
 from repro.core.preferences import (
     IsobarConfig,
     Linearization,
@@ -391,7 +392,12 @@ class IsobarService:
             thread_name_prefix="isobar-service",
         )
         self._compressors: dict[tuple, IsobarCompressor] = {}
+        self._planners: dict[tuple, SelectorStrategy] = {}
         self._compressor_lock = threading.Lock()
+        # (codec, linearization) -> count of selector candidate
+        # failures observed across compress/plan decisions; surfaced
+        # in /v1/stats.
+        self._selector_failed: dict[str, int] = {}
         self._server: asyncio.base_events.Server | None = None
         self._stop_event: asyncio.Event | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -524,6 +530,37 @@ class IsobarService:
                 self._compressors[key] = compressor
             return compressor
 
+    def _planner_for(self, overrides: dict) -> SelectorStrategy:
+        """The cached selector strategy serving ``/v1/plan`` requests.
+
+        Cached per parameter combination like the compressors, so the
+        learned strategies keep their online state across requests
+        (the named strategies additionally share the process-wide
+        model and decision cache with the compress path).
+        """
+        key = tuple(sorted(overrides.items()))
+        with self._compressor_lock:
+            planner = self._planners.get(key)
+            if planner is None:
+                config = (
+                    self._config.isobar.replace(**overrides)
+                    if overrides else self._config.isobar
+                )
+                planner = resolve_selector(config, metrics=self._metrics)
+                self._planners[key] = planner
+            return planner
+
+    def _note_failed_candidates(self, decision) -> None:
+        """Aggregate a decision's failed candidates for ``/v1/stats``."""
+        if not decision.failed_candidates:
+            return
+        with self._compressor_lock:
+            for fail in decision.failed_candidates:
+                key = f"{fail.codec_name}+{fail.linearization.value}"
+                self._selector_failed[key] = (
+                    self._selector_failed.get(key, 0) + 1
+                )
+
     def breaker_snapshot(self) -> dict[str, dict]:
         """Merged breaker snapshots across every cached compressor."""
         merged: dict[str, dict] = {}
@@ -571,6 +608,18 @@ class IsobarService:
                 name: snap["state"]
                 for name, snap in self.breaker_snapshot().items()
             },
+            "selector": self._selector_stats(),
+        }
+
+    def _selector_stats(self) -> dict:
+        """The ``selector`` section of the stats document."""
+        from repro.core.selector_learned import shared_decision_cache
+
+        with self._compressor_lock:
+            failed = dict(sorted(self._selector_failed.items()))
+        return {
+            "failed_candidates": failed,
+            "decision_cache": shared_decision_cache().stats(),
         }
 
     # -- connection handling ----------------------------------------------
@@ -673,6 +722,7 @@ class IsobarService:
             "/v1/compress": self._handle_compress,
             "/v1/decompress": self._handle_decompress,
             "/v1/salvage": self._handle_salvage,
+            "/v1/plan": self._handle_plan,
         }
         observe = {
             "/healthz": self._handle_healthz,
@@ -843,6 +893,9 @@ class IsobarService:
         linearization = request.param("linearization")
         if linearization:
             overrides["linearization"] = Linearization.parse(linearization)
+        selector = request.param("selector")
+        if selector:
+            overrides["selector"] = selector.lower()
         chunk_elements = request.param("chunk_elements")
         if chunk_elements:
             try:
@@ -920,6 +973,7 @@ class IsobarService:
         result = await self._run_with_deadline(
             lambda: compressor.compress_detailed(values), deadline_seconds
         )
+        self._note_failed_candidates(result.decision)
         headers = [
             ("X-Isobar-Dtype", str(dtype)),
             ("X-Isobar-Elements", str(values.size)),
@@ -939,6 +993,41 @@ class IsobarService:
         return await self._stream_payload(
             request, writer, 200, result.payload,
             headers=headers, plan=plan,
+        )
+
+    async def _handle_plan(
+        self,
+        request: Request,
+        writer: asyncio.StreamWriter,
+        plan: ChaosPlan,
+        *,
+        deadline_seconds: float,
+    ) -> tuple[int, bool]:
+        """Dry-run the selector: the decision document, no container."""
+        dtype = self._dtype_for(request)
+        if not request.body:
+            raise InvalidInputError("empty request body: nothing to plan")
+        if len(request.body) % dtype.itemsize:
+            raise InvalidInputError(
+                f"body of {len(request.body)} bytes is not a multiple of "
+                f"the {dtype.itemsize}-byte element width"
+            )
+        overrides = self._isobar_overrides(request)
+        planner = self._planner_for(overrides)
+        values = np.frombuffer(request.body, dtype=dtype)
+
+        decision = await self._run_with_deadline(
+            lambda: planner.select(values), deadline_seconds
+        )
+        self._note_failed_candidates(decision)
+        body = json.dumps(decision.to_dict()).encode("utf-8")
+        headers = [
+            ("Content-Type", "application/json"),
+            ("X-Isobar-Codec", decision.codec_name),
+            ("X-Isobar-Origin", decision.origin),
+        ]
+        return await self._stream_payload(
+            request, writer, 200, body, headers=headers, plan=plan,
         )
 
     async def _handle_decompress(

@@ -1,0 +1,94 @@
+"""Content-feature extraction for the predict-first selector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.features import (
+    FEATURE_NAMES,
+    ContentFeatures,
+    extract_features,
+)
+from repro.core.exceptions import InvalidInputError
+
+
+class TestExtractFeatures:
+    def test_vector_matches_feature_names(self):
+        feats = extract_features(np.arange(1000, dtype=np.float64))
+        vec = feats.vector()
+        assert len(vec) == len(FEATURE_NAMES)
+        assert FEATURE_NAMES[0] == "bias" and vec[0] == 1.0
+        assert all(isinstance(v, float) for v in vec)
+
+    def test_deterministic(self):
+        values = np.random.default_rng(7).normal(size=5000)
+        assert extract_features(values).vector() == \
+            extract_features(values).vector()
+
+    def test_empty_input_raises_invalid_input(self):
+        with pytest.raises(InvalidInputError):
+            extract_features(np.array([], dtype=np.float64))
+        # The hierarchy type keeps builtin-catch compatibility.
+        with pytest.raises(ValueError):
+            extract_features(np.array([], dtype=np.float64))
+
+    def test_element_width_tracks_dtype(self):
+        for dtype, width in ((np.float64, 8), (np.float32, 4),
+                             (np.int32, 4)):
+            feats = extract_features(np.arange(256, dtype=dtype))
+            assert feats.element_width == width
+            assert len(feats.column_entropy_bits) == width
+
+    def test_constant_stream_is_quiet_and_repetitive(self):
+        feats = extract_features(np.zeros(4096, dtype=np.float64))
+        assert feats.quiet_column_fraction == 1.0
+        assert feats.noisy_column_fraction == 0.0
+        assert feats.element_repeat_fraction == 1.0
+        assert feats.mean_entropy == 0.0
+        # A single endless run: shortness approaches 1/n.
+        assert feats.byte_run_shortness < 0.01
+
+    def test_random_bytes_are_noisy(self):
+        rng = np.random.default_rng(0)
+        raw = rng.integers(0, 2**63, size=8192, dtype=np.int64)
+        feats = extract_features(raw)
+        assert feats.noisy_column_fraction >= 0.75
+        assert feats.element_repeat_fraction == 0.0
+        assert feats.byte_run_shortness > 0.9
+
+    def test_smooth_data_has_small_deltas(self):
+        ramp = np.linspace(0.0, 1.0, 10_000)
+        assert extract_features(ramp).delta_small_fraction > 0.95
+
+
+class TestCacheKey:
+    def test_stable_across_near_identical_payloads(self):
+        rng = np.random.default_rng(3)
+        base = np.sin(np.linspace(0, 20, 50_000))
+        jitter = base + rng.normal(scale=1e-9, size=base.size)
+        assert extract_features(base).cache_key() == \
+            extract_features(jitter).cache_key()
+
+    def test_differs_for_different_content(self):
+        smooth = np.linspace(0.0, 1.0, 10_000)
+        noise = np.random.default_rng(1).normal(size=10_000)
+        assert extract_features(smooth).cache_key() != \
+            extract_features(noise).cache_key()
+
+    def test_excludes_element_count_includes_width(self):
+        short = extract_features(np.zeros(1000, dtype=np.float64))
+        longer = extract_features(np.zeros(9000, dtype=np.float64))
+        narrow = extract_features(np.zeros(1000, dtype=np.float32))
+        assert short.cache_key() == longer.cache_key()
+        assert short.cache_key() != narrow.cache_key()
+
+    def test_key_is_hashable(self):
+        feats = extract_features(np.arange(100, dtype=np.float64))
+        assert {feats.cache_key(): 1}[feats.cache_key()] == 1
+
+    def test_frozen_dataclass(self):
+        feats = extract_features(np.arange(100, dtype=np.float64))
+        assert isinstance(feats, ContentFeatures)
+        with pytest.raises(AttributeError):
+            feats.n_elements = 5

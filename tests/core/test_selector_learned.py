@@ -1,0 +1,367 @@
+"""Predict-first selection: model, decision cache, strategies, registry."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.exceptions import ConfigurationError
+from repro.core.pipeline import IsobarCompressor
+from repro.core.preferences import IsobarConfig
+from repro.core.selector import (
+    EupaSelector,
+    SelectorStrategy,
+    register_selector_strategy,
+    resolve_selector,
+    selector_strategy_names,
+)
+from repro.core.selector_learned import (
+    CachedSelector,
+    LearnedSelector,
+    OnlineRatioModel,
+    SelectorDecisionCache,
+)
+from repro.datasets import generate_dataset
+
+
+@pytest.fixture
+def improvable(scope="module"):
+    return generate_dataset("gts_phi_l", n_elements=60_000, seed=0)
+
+
+def _features_of(values, config):
+    from repro.analysis.features import extract_features
+
+    sample = EupaSelector(config).draw_sample(values)
+    return np.asarray(extract_features(sample).vector())
+
+
+class TestOnlineRatioModel:
+    X = np.array([1.0, 0.5, 0.2, 0.9, 0.1, 0.0, 0.3, 0.2, 0.4, 0.0, 0.8, 0.75])
+
+    def test_unseen_candidate_is_not_confident(self):
+        model = OnlineRatioModel()
+        ratio, throughput, confident = model.predict(self.X, "zlib", "row")
+        assert not confident
+        assert np.isnan(ratio) and np.isnan(throughput)
+
+    def test_two_repeats_make_a_confident_accurate_prediction(self):
+        model = OnlineRatioModel()
+        for _ in range(2):
+            model.observe(self.X, "zlib", "row", ratio=2.5, throughput=1e8)
+        ratio, throughput, confident = model.predict(self.X, "zlib", "row")
+        assert confident
+        assert ratio == pytest.approx(2.5, rel=0.05)
+        assert throughput == pytest.approx(1e8, rel=0.1)
+
+    def test_one_observation_is_not_enough(self):
+        model = OnlineRatioModel()
+        model.observe(self.X, "zlib", "row", ratio=2.5, throughput=1e8)
+        assert not model.predict(self.X, "zlib", "row")[2]
+
+    def test_novel_direction_has_high_leverage(self):
+        model = OnlineRatioModel()
+        for _ in range(3):
+            model.observe(self.X, "zlib", "row", ratio=2.5, throughput=1e8)
+        far = np.roll(self.X, 3)
+        assert not model.predict(far, "zlib", "row")[2]
+
+    def test_drifting_targets_push_residual_up(self):
+        model = OnlineRatioModel(max_residual=0.05)
+        # Wildly inconsistent ratios for the same features: the
+        # one-step-ahead residual EMA must disable confidence.
+        for ratio in (1.2, 9.0, 1.1, 8.5):
+            model.observe(self.X, "zlib", "row", ratio=ratio, throughput=1e8)
+        assert not model.predict(self.X, "zlib", "row")[2]
+
+    def test_targets_are_independent_per_candidate(self):
+        model = OnlineRatioModel()
+        model.observe(self.X, "zlib", "row", ratio=2.0, throughput=1e8)
+        assert model.observation_count("zlib", "row") == 1
+        assert model.observation_count("bzip2", "row") == 0
+
+
+class TestSelectorDecisionCache:
+    def test_hit_miss_and_stats(self):
+        cache = SelectorDecisionCache()
+        assert cache.get(("k",)) is None
+        cache.put(("k",), "decision")
+        assert cache.get(("k",)) == "decision"
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["entries"] == 1
+
+    def test_ttl_expiry_with_injected_clock(self):
+        now = [0.0]
+        cache = SelectorDecisionCache(ttl_seconds=10.0, clock=lambda: now[0])
+        cache.put(("k",), "decision")
+        now[0] = 9.0
+        assert cache.get(("k",)) == "decision"
+        now[0] = 21.0
+        assert cache.get(("k",)) is None
+        assert cache.stats()["expirations"] == 1
+
+    def test_lru_eviction(self):
+        cache = SelectorDecisionCache(max_entries=2)
+        cache.put(("a",), 1)
+        cache.put(("b",), 2)
+        cache.get(("a",))  # refresh a
+        cache.put(("c",), 3)  # evicts b, the least recently used
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) == 1 and cache.get(("c",)) == 3
+        assert cache.stats()["evictions"] == 1
+
+    def test_clear_and_len(self):
+        cache = SelectorDecisionCache()
+        cache.put(("k",), 1)
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_bad_capacity_is_a_configuration_error(self):
+        with pytest.raises(ConfigurationError):
+            SelectorDecisionCache(max_entries=0)
+
+
+class TestLearnedSelector:
+    CONFIG = IsobarConfig(sample_elements=4096, selector_seed=11)
+
+    def test_cold_start_probes_then_predicts(self, improvable):
+        learned = LearnedSelector(self.CONFIG, model=OnlineRatioModel())
+        first = learned.select(improvable)
+        assert first.origin == "probe"
+        assert first.candidates  # measured numbers from the probe
+        second = learned.select(improvable)
+        third = learned.select(improvable)
+        assert third.origin == "predicted"
+        assert not third.candidates and third.predictions
+        assert all(p.confident for p in third.predictions)
+
+    def test_predicted_choice_matches_oracle_within_bound(self, improvable):
+        learned = LearnedSelector(self.CONFIG, model=OnlineRatioModel())
+        for _ in range(3):
+            decision = learned.select(improvable)
+        assert decision.origin == "predicted"
+        oracle = EupaSelector(self.CONFIG).select(improvable)
+        measured = {
+            (c.codec_name, c.linearization): c.ratio
+            for c in oracle.candidates
+        }
+        chosen = measured[(decision.codec_name, decision.linearization)]
+        best = max(measured.values())
+        assert chosen >= 0.95 * best  # <= 5% ratio regret
+
+    def test_uncertain_model_falls_back_to_probe(self, improvable):
+        # A model trained on very different content must not be
+        # confident about this payload.
+        model = OnlineRatioModel()
+        other = np.random.default_rng(5).integers(
+            0, 2**62, size=20_000, dtype=np.int64
+        ).view(np.float64)
+        warm = LearnedSelector(self.CONFIG, model=model)
+        for _ in range(3):
+            warm.select(other)
+        decision = LearnedSelector(self.CONFIG, model=model).select(improvable)
+        assert decision.origin == "probe"
+
+    def test_predict_path_failure_degrades_to_probe(self, improvable):
+        class BrokenModel(OnlineRatioModel):
+            def predict(self, *args, **kwargs):
+                raise RuntimeError("boom")
+
+        learned = LearnedSelector(self.CONFIG, model=BrokenModel())
+        decision = learned.select(improvable)
+        assert decision.origin == "probe"
+        assert "boom" in learned.last_degrade
+
+    def test_predicted_decision_container_roundtrips(self, improvable):
+        learned = LearnedSelector(self.CONFIG, model=OnlineRatioModel())
+        for _ in range(3):
+            learned.select(improvable)
+        config = self.CONFIG.replace(selector=learned)
+        payload = IsobarCompressor(config).compress(improvable)
+        # The unchanged default decoder restores it bit-exactly.
+        restored = IsobarCompressor().decompress(payload)
+        np.testing.assert_array_equal(restored, improvable)
+
+    def test_prediction_metrics_are_recorded(self, improvable):
+        from repro.observability import MetricsRegistry
+
+        registry = MetricsRegistry()
+        learned = LearnedSelector(
+            self.CONFIG, metrics=registry, model=OnlineRatioModel()
+        )
+        for _ in range(3):
+            learned.select(improvable)
+        counter = registry.get("isobar_selector_predictions_total")
+        assert counter.value(outcome="probed") == 2
+        assert counter.value(outcome="predicted") == 1
+
+
+class TestCachedSelector:
+    CONFIG = IsobarConfig(sample_elements=4096, selector_seed=11)
+
+    def _cached(self, cache=None):
+        return CachedSelector(
+            self.CONFIG,
+            cache=cache if cache is not None else SelectorDecisionCache(),
+            inner=LearnedSelector(self.CONFIG, model=OnlineRatioModel()),
+        )
+
+    def test_miss_populates_hit_replays(self, improvable):
+        cached = self._cached()
+        first = cached.select(improvable)
+        assert first.origin == "probe"
+        second = cached.select(improvable)
+        assert second.origin == "cached"
+        assert second.codec_name == first.codec_name
+        assert cached.cache.stats()["hits"] == 1
+
+    def test_ttl_expiry_forces_a_fresh_decision(self, improvable):
+        now = [0.0]
+        cache = SelectorDecisionCache(ttl_seconds=30.0, clock=lambda: now[0])
+        cached = self._cached(cache)
+        cached.select(improvable)
+        now[0] = 10.0
+        assert cached.select(improvable).origin == "cached"
+        now[0] = 100.0
+        assert cached.select(improvable).origin != "cached"
+        assert cache.stats()["expirations"] == 1
+
+    def test_config_change_invalidates(self, improvable):
+        cache = SelectorDecisionCache()
+        cached = self._cached(cache)
+        cached.select(improvable)
+        changed = IsobarConfig(
+            sample_elements=2048, selector_seed=11
+        )
+        other = CachedSelector(
+            changed,
+            cache=cache,
+            inner=LearnedSelector(changed, model=OnlineRatioModel()),
+        )
+        # Same cache object, different config fingerprint: a miss.
+        assert other.select(improvable).origin != "cached"
+        assert cache.stats()["misses"] >= 2
+
+    def test_cached_decision_container_roundtrips(self, improvable):
+        cached = self._cached()
+        cached.select(improvable)
+        config = self.CONFIG.replace(selector=cached)
+        payload = IsobarCompressor(config).compress(improvable)
+        np.testing.assert_array_equal(
+            IsobarCompressor().decompress(payload), improvable
+        )
+
+
+class TestStrategyRegistry:
+    def test_builtin_names_are_listed(self):
+        names = selector_strategy_names()
+        assert {"eupa", "learned", "cached"} <= set(names)
+
+    def test_resolve_by_name(self, improvable):
+        for name, cls in (
+            ("eupa", EupaSelector),
+            ("learned", LearnedSelector),
+            ("cached", CachedSelector),
+        ):
+            strategy = resolve_selector(IsobarConfig(selector=name))
+            assert isinstance(strategy, cls)
+            assert isinstance(strategy, SelectorStrategy)
+
+    def test_unknown_name_is_a_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="unknown selector"):
+            resolve_selector(IsobarConfig(selector="nonsense"))
+
+    def test_instance_passthrough(self):
+        learned = LearnedSelector(IsobarConfig())
+        assert resolve_selector(IsobarConfig(selector=learned)) is learned
+
+    def test_duplicate_registration_requires_replace(self):
+        register_selector_strategy(
+            "test-dupe", lambda config, metrics: EupaSelector(config)
+        )
+        try:
+            with pytest.raises(ConfigurationError, match="already registered"):
+                register_selector_strategy(
+                    "test-dupe", lambda config, metrics: EupaSelector(config)
+                )
+            register_selector_strategy(
+                "test-dupe",
+                lambda config, metrics: EupaSelector(config),
+                replace=True,
+            )
+        finally:
+            from repro.core import selector as selector_module
+
+            with selector_module._STRATEGY_LOCK:
+                selector_module._STRATEGIES.pop("test-dupe", None)
+
+    def test_concurrent_registration_and_resolution(self, improvable):
+        errors = []
+        names = [f"test-threaded-{i}" for i in range(16)]
+
+        def register(name):
+            try:
+                register_selector_strategy(
+                    name,
+                    lambda config, metrics: EupaSelector(config),
+                    replace=True,
+                )
+                resolve_selector(IsobarConfig(selector=name))
+                assert name in selector_strategy_names()
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=register, args=(n,)) for n in names
+        ]
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+        finally:
+            from repro.core import selector as selector_module
+
+            with selector_module._STRATEGY_LOCK:
+                for name in names:
+                    selector_module._STRATEGIES.pop(name, None)
+
+
+class TestFacadeIntegration:
+    def test_compress_accepts_selector_names(self, improvable):
+        for name in ("eupa", "learned", "cached"):
+            blob = repro.compress(improvable, selector=name)
+            np.testing.assert_array_equal(repro.decompress(blob), improvable)
+
+    def test_default_selector_is_eupa(self):
+        assert IsobarConfig().selector == "eupa"
+
+    def test_config_rejects_non_strategy_objects(self):
+        with pytest.raises(ConfigurationError, match="selector"):
+            IsobarConfig(selector=42)
+
+    def test_selector_seed_reproduces_the_sample_draw(self, improvable):
+        a = EupaSelector(
+            IsobarConfig(sample_elements=4096, selector_seed=99)
+        ).draw_sample(improvable)
+        b = EupaSelector(
+            IsobarConfig(sample_elements=4096, selector_seed=99, seed=1)
+        ).draw_sample(improvable)
+        c = EupaSelector(
+            IsobarConfig(sample_elements=4096, selector_seed=5)
+        ).draw_sample(improvable)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_plan_is_a_dry_run(self, improvable):
+        decision = repro.plan(improvable)
+        assert decision.codec_name
+        doc = decision.to_dict()
+        assert doc["origin"] == "probe"
+        assert doc["candidates"]

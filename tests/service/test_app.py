@@ -180,6 +180,79 @@ class TestObservability:
         names = {m["name"] for m in response.json()["metrics"]}
         assert "isobar_service_requests_total" in names
 
+    def test_stats_reports_selector_section(self, service):
+        _, client = service
+        client.compress(_values(2_000))
+        stats = client.stats()
+        selector = stats["selector"]
+        assert selector["failed_candidates"] == {}
+        cache = selector["decision_cache"]
+        assert set(cache) >= {"entries", "hits", "misses", "ttl_seconds"}
+
+
+class TestPlanEndpoint:
+    def test_plan_returns_decision_document(self, service):
+        _, client = service
+        data = _values(8_000)
+        response = client.request(
+            "POST", "/v1/plan?dtype=float64", data.tobytes()
+        )
+        assert response.status == 200
+        assert response.header("content-type") == "application/json"
+        doc = response.json()
+        assert doc["origin"] == "probe"
+        assert doc["codec"] == response.header("x-isobar-codec")
+        assert doc["candidates"]
+
+    def test_plan_honours_overrides(self, service):
+        _, client = service
+        data = _values(8_000)
+        response = client.request(
+            "POST",
+            "/v1/plan?dtype=float64&codec=zlib&preference=speed",
+            data.tobytes(),
+        )
+        assert response.status == 200
+        doc = response.json()
+        assert doc["codec"] == "zlib"
+        assert doc["preference"] == "speed"
+
+    def test_plan_and_compress_accept_selector_strategies(self, service):
+        _, client = service
+        data = _values(8_000)
+        response = client.request(
+            "POST", "/v1/plan?dtype=float64&selector=learned", data.tobytes()
+        )
+        assert response.status == 200
+        assert response.json()["origin"] in ("probe", "predicted")
+
+        outcome = client.compress(data)
+        restored = client.decompress(outcome.payload)
+        assert np.array_equal(restored, data)
+        for _ in range(2):
+            cached = client.request(
+                "POST",
+                "/v1/compress?dtype=float64&selector=cached",
+                data.tobytes(),
+            )
+            assert cached.status == 200
+        restored = client.decompress(cached.body)
+        assert np.array_equal(restored, data)
+
+    def test_plan_requires_dtype(self, service):
+        _, client = service
+        response = client.request("POST", "/v1/plan", b"\x00" * 64)
+        assert response.status == 400
+
+    def test_plan_rejects_unknown_selector(self, service):
+        _, client = service
+        response = client.request(
+            "POST",
+            "/v1/plan?dtype=float64&selector=bogus",
+            _values(1_000).tobytes(),
+        )
+        assert response.status == 400
+
 
 class TestDeadlines:
     def test_deadline_expiry_is_504_and_slot_is_reclaimed(

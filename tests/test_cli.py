@@ -439,3 +439,64 @@ class TestResilienceCommands:
                                   "--strict", "--resilience-json", "-"])
         assert args.strict
         assert args.resilience_json == "-"
+
+
+class TestPlanCommand:
+    @pytest.fixture
+    def raw(self, tmp_path):
+        path = tmp_path / "field.rds"
+        main(["generate", "gts_phi_l", str(path), "--elements", "30000"])
+        return path
+
+    def test_parser_accepts_plan_and_selector(self):
+        parser = build_parser()
+        args = parser.parse_args(["plan", "in.rds", "--selector", "learned",
+                                  "--preference", "speed"])
+        assert args.command == "plan"
+        assert args.selector == "learned"
+        args = parser.parse_args(["compress", "in.rds", "out.isobar",
+                                  "--selector", "cached"])
+        assert args.selector == "cached"
+
+    def test_plan_prints_decision(self, raw, capsys):
+        capsys.readouterr()
+        assert main(["plan", str(raw)]) == 0
+        out = capsys.readouterr().out
+        assert "decision" in out
+        assert "origin" in out and "probe" in out
+        assert "measured" in out
+
+    def test_plan_json_document(self, raw, capsys):
+        import json
+
+        capsys.readouterr()
+        assert main(["plan", str(raw), "--json", "--codec", "zlib"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["codec"] == "zlib"
+        assert doc["origin"] == "probe"
+        assert all(c["codec"] == "zlib" for c in doc["candidates"])
+
+    def test_plan_unknown_selector_errors(self, raw, capsys):
+        assert main(["plan", str(raw), "--selector", "bogus"]) != 0
+        assert "error" in capsys.readouterr().err
+
+    def test_compress_with_learned_selector_roundtrips(self, raw, tmp_path):
+        container = tmp_path / "f.isobar"
+        restored = tmp_path / "f.rds"
+        assert main(["compress", str(raw), str(container),
+                     "--selector", "learned"]) == 0
+        assert main(["decompress", str(container), str(restored)]) == 0
+        assert np.array_equal(load_raw(raw), load_raw(restored))
+
+    def test_metrics_json_embeds_selector_decision(self, raw, tmp_path):
+        import json
+
+        container = tmp_path / "f.isobar"
+        blob = tmp_path / "m.json"
+        assert main(["compress", str(raw), str(container),
+                     "--metrics-json", str(blob)]) == 0
+        doc = json.loads(blob.read_text())
+        decision = doc["selector_decision"]
+        assert decision["origin"] == "probe"
+        assert decision["failed_candidates"] == []
+        assert decision["candidates"]

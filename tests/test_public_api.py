@@ -190,6 +190,45 @@ class TestContainerReaderSalvage:
             reader.read_chunk(reader.n_chunks - 1)
 
 
+class TestSelectorSurface:
+    def test_compress_selector_is_keyword_only(self, data):
+        params = inspect.signature(repro.compress).parameters
+        assert params["selector"].kind is inspect.Parameter.KEYWORD_ONLY
+        blob = repro.compress(data, selector="eupa")
+        assert np.array_equal(repro.decompress(blob), data)
+
+    def test_plan_is_keyword_only_and_dry(self, data):
+        params = inspect.signature(repro.plan).parameters
+        assert all(
+            p.kind is inspect.Parameter.KEYWORD_ONLY
+            for name, p in params.items() if name != "values"
+        )
+        decision = repro.plan(data, preference="speed", codec="zlib")
+        assert decision.codec_name == "zlib"
+        doc = decision.to_dict()
+        assert doc["preference"] == "speed"
+        assert doc["candidates"]
+
+    def test_plan_honours_strategy_instances(self, data):
+        from repro.core.selector_learned import LearnedSelector
+
+        learned = LearnedSelector()
+        decision = repro.plan(data, selector=learned)
+        assert decision.origin in ("probe", "predicted")
+
+    def test_open_stream_accepts_selector(self, tmp_path, data):
+        path = tmp_path / "sel.isbr"
+        with repro.open_stream(path, "w", dtype=data.dtype,
+                               selector="learned") as writer:
+            writer.write_chunk(data)
+        restored = np.concatenate(list(repro.open_stream(path)))
+        assert np.array_equal(restored, data)
+
+    def test_unknown_selector_name_rejected_at_resolve(self, data):
+        with pytest.raises(ConfigurationError, match="unknown selector"):
+            repro.compress(data, selector="bogus")
+
+
 class TestOverheadAccounting:
     def test_overhead_plus_payload_is_total(self, data):
         result = repro.IsobarCompressor(

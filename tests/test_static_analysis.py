@@ -37,6 +37,7 @@ from repro.devtools.rules import (
     FacadeContractRule,
     MetricsGuardRule,
     RegistryLockRule,
+    SelectorContractRule,
     ServiceStatusMapRule,
 )
 
@@ -547,6 +548,91 @@ class TestServiceStatusMapRule:
                     pass
             """,
             module="repro.core.pipeline",
+        )
+        assert report.ok
+
+
+class TestSelectorContractRule:
+    def test_fires_on_unlocked_registry_mutation(self):
+        report = run_rule(
+            SelectorContractRule(),
+            """
+            def sneak(factory):
+                _STRATEGIES["mine"] = factory
+            """,
+            module="repro.core.selector",
+        )
+        assert rule_ids(report) == ["ISO008"]
+
+    def test_fires_on_registry_bypass_from_another_module(self):
+        report = run_rule(
+            SelectorContractRule(),
+            """
+            from repro.core import selector
+
+            selector._STRATEGIES["mine"] = object()
+            """,
+            module="repro.insitu.driver",
+        )
+        assert rule_ids(report) == ["ISO008"]
+
+    def test_quiet_when_mutation_holds_the_lock(self):
+        report = run_rule(
+            SelectorContractRule(),
+            """
+            def register(name, factory):
+                with _STRATEGY_LOCK:
+                    _STRATEGIES[name] = factory
+            """,
+            module="repro.core.selector",
+        )
+        assert report.ok
+
+    def test_fires_on_funnel_escape(self):
+        report = run_rule(
+            SelectorContractRule(),
+            """
+            def select(values):
+                try:
+                    return probe(values)
+                except SelectorError:
+                    raise RuntimeError("probe failed")
+            """,
+            module="repro.core.selector_learned",
+        )
+        assert rule_ids(report) == ["ISO008"]
+
+    def test_quiet_on_reraise_and_selector_error(self):
+        report = run_rule(
+            SelectorContractRule(),
+            """
+            def select(values):
+                try:
+                    return probe(values)
+                except Exception as exc:
+                    raise SelectorError(f"probe failed: {exc}") from exc
+
+            def degrade(values):
+                try:
+                    return probe(values)
+                except SelectorError:
+                    raise
+            """,
+            module="repro.core.selector_learned",
+        )
+        assert report.ok
+
+    def test_funnel_check_is_scoped_to_selector_modules(self):
+        report = run_rule(
+            SelectorContractRule(),
+            """
+            def handle(values):
+                try:
+                    return probe(values)
+                except SelectorError:
+                    raise RuntimeError("translated elsewhere is ISO006's job")
+            """,
+            module="repro.service.app",
         )
         assert report.ok
 
