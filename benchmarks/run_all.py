@@ -12,8 +12,10 @@ and leaves all rendered artefacts in ``benchmarks/results/``.
 ``--checks`` skips the benchmark sweep and runs the repo's static
 gates instead — the invariant linter (``isobar lint``), the docs link
 checker, the docs snippet executor, an ``isobar fsck`` of a freshly
-written archive (the self-healing container gate), and the selector
-smoke (predict-first decisions must beat the EUPA probe)::
+written archive (the self-healing container gate), the selector
+smoke (predict-first decisions must beat the EUPA probe), and the
+concurrency sanitizer smoke (``isobar sanitize --smoke`` must come
+back clean, and a seeded lock inversion must turn the report dirty)::
 
     PYTHONPATH=src python benchmarks/run_all.py --checks
 """
@@ -59,6 +61,20 @@ print("fsck round-trip ok")
 """
 
 
+# The sanitizer gate's own self-test: a seeded two-thread lock
+# inversion must turn the smoke report dirty and name the cycle —
+# proving the harness still catches what it exists to catch.
+_SANITIZER_SELFTEST = """
+from repro.devtools.sanitizer.harness import run_smoke
+
+report = run_smoke(seed_inversion=True, stall_threshold_seconds=5.0)
+assert not report.ok, "seeded inversion must fail the smoke run"
+paths = {tuple(sorted(c["path"])) for c in report.lock_cycles}
+assert ("seeded.alpha", "seeded.beta") in paths, report.lock_cycles
+print("seeded inversion caught:", report.lock_cycles[0]["path"])
+"""
+
+
 def run_checks(bench_dir: Path, env: dict) -> int:
     """The static gates: linter, docs links/snippets, archive fsck."""
     repo_root = bench_dir.parent
@@ -78,6 +94,10 @@ def run_checks(bench_dir: Path, env: dict) -> int:
          [sys.executable, "-c", _FSCK_CHECK]),
         ("selector smoke (predict-first vs EUPA probe)",
          [sys.executable, str(bench_dir / "run_selector.py"), "--smoke"]),
+        ("concurrency sanitizer smoke (isobar sanitize --smoke)",
+         [sys.executable, str(bench_dir / "run_sanitizer.py")]),
+        ("sanitizer self-test (seeded inversion must be caught)",
+         [sys.executable, "-c", _SANITIZER_SELFTEST]),
     ]
     failed = []
     for label, command in checks:

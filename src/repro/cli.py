@@ -265,6 +265,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="percent of responses stalled mid-body")
     serve.add_argument("--chaos-truncate-percent", type=float, default=0.0,
                        help="percent of responses truncated mid-body")
+    serve.add_argument("--stall-probe-ms", type=float, default=None,
+                       help="attach the tsan-lite event-loop stall probe: "
+                            "count callbacks holding the loop longer than "
+                            "this many milliseconds (default: off)")
 
     plan = sub.add_parser(
         "plan",
@@ -285,7 +289,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="emit the full decision document as JSON")
 
     lint = sub.add_parser(
-        "lint", help="check repo invariants (rules ISO001-ISO008)"
+        "lint", help="check repo invariants (rules ISO001-ISO011)"
     )
     lint.add_argument(
         "paths", nargs="*",
@@ -294,6 +298,35 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--json", action="store_true", dest="as_json",
         help="emit a machine-readable JSON report instead of text",
+    )
+
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="run the tsan-lite concurrency sanitizer (lock-order "
+             "graph, loop-stall probe, leak tracker)",
+    )
+    sanitize.add_argument(
+        "--smoke", action="store_true",
+        help="run the fixed smoke scenarios instead of the full "
+             "instrumented test suite",
+    )
+    sanitize.add_argument(
+        "--seed-inversion", action="store_true",
+        help="plant a two-thread lock inversion; the run must then "
+             "report the cycle (sanitizer self-test)",
+    )
+    sanitize.add_argument(
+        "--stall-threshold-ms", type=float, default=1000.0,
+        help="loop-stall threshold for the service smoke scenario "
+             "(default: 1000)",
+    )
+    sanitize.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the report as JSON instead of text",
+    )
+    sanitize.add_argument(
+        "pytest_args", nargs="*",
+        help="extra pytest arguments for the full instrumented run",
     )
 
     bench = sub.add_parser("bench", help="regenerate a paper table or figure")
@@ -773,6 +806,25 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.devtools.sanitizer.harness import run_smoke, run_tests
+
+    if args.smoke:
+        report = run_smoke(
+            seed_inversion=args.seed_inversion,
+            stall_threshold_seconds=args.stall_threshold_ms / 1000.0,
+        )
+    else:
+        report = run_tests(args.pytest_args)
+    if args.as_json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     # Imports are local: the bench stack pulls in every subsystem and
     # is only needed for this subcommand.
@@ -861,6 +913,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_body_bytes=int(args.max_body_mb * 1024 * 1024),
             pipeline_workers=args.pipeline_workers,
             pipeline_max_inflight=args.pipeline_max_inflight,
+            stall_probe_threshold_seconds=(
+                args.stall_probe_ms / 1000.0
+                if args.stall_probe_ms is not None else None
+            ),
             isobar=config,
         ),
         chaos=chaos,
@@ -899,6 +955,7 @@ _COMMANDS = {
     "codecs": _cmd_codecs,
     "concat": _cmd_concat,
     "lint": _cmd_lint,
+    "sanitize": _cmd_sanitize,
     "bench": _cmd_bench,
     "serve": _cmd_serve,
 }

@@ -49,6 +49,7 @@ except ImportError:  # pragma: no cover
 
 __all__ = [
     "ProcessCodecProxy",
+    "live_block_count",
     "shutdown_codec_pool",
     "worker_codec_for",
 ]
@@ -61,6 +62,15 @@ _POOL_WORKERS = 0
 # Guards _POOL/_POOL_WORKERS: proxies on concurrent pipeline runs share
 # one executor and may race to (re)create it.
 _POOL_LOCK = threading.Lock()
+
+# Parent-owned shared-memory blocks whose release callback has not run
+# yet.  A future's done-callback normally unlinks its block, but a pool
+# torn down before the task is picked up (interpreter exit, pool
+# regrowth) can drop futures without ever resolving them — the segment
+# would then outlive the process in /dev/shm.  shutdown_codec_pool()
+# drains whatever is still registered here.
+_LIVE_BLOCKS: dict[str, object] = {}
+_LIVE_BLOCKS_LOCK = threading.Lock()
 
 
 def _acquire_pool(n_workers: int) -> ProcessPoolExecutor:
@@ -90,18 +100,46 @@ def shutdown_codec_pool() -> None:
             _POOL.shutdown(wait=False, cancel_futures=True)
             _POOL = None
             _POOL_WORKERS = 0
+    _drain_live_blocks()
 
 
 atexit.register(shutdown_codec_pool)
 
 
+def _track_block(block: object) -> None:
+    """Register a parent-owned block until its release callback fires."""
+    with _LIVE_BLOCKS_LOCK:
+        _LIVE_BLOCKS[block.name] = block  # type: ignore[attr-defined]
+
+
 def _release_block(block: object) -> None:
     """Close and unlink a parent-owned shared-memory block (idempotent)."""
+    with _LIVE_BLOCKS_LOCK:
+        _LIVE_BLOCKS.pop(block.name, None)  # type: ignore[attr-defined]
     try:
         block.close()  # type: ignore[attr-defined]
         block.unlink()  # type: ignore[attr-defined]
     except FileNotFoundError:  # pragma: no cover - already unlinked
         pass
+
+
+def _drain_live_blocks() -> None:
+    """Release blocks whose futures died before their callback ran."""
+    with _LIVE_BLOCKS_LOCK:
+        leftovers = list(_LIVE_BLOCKS.values())
+        _LIVE_BLOCKS.clear()
+    for block in leftovers:
+        try:
+            block.close()  # type: ignore[attr-defined]
+            block.unlink()  # type: ignore[attr-defined]
+        except FileNotFoundError:
+            pass
+
+
+def live_block_count() -> int:
+    """How many parent-owned segments are still awaiting release."""
+    with _LIVE_BLOCKS_LOCK:
+        return len(_LIVE_BLOCKS)
 
 
 def _child_call(codec_name: str, op: str, payload: bytes) -> bytes:
@@ -156,6 +194,7 @@ class ProcessCodecProxy(Codec):
         """
         assert _shared_memory is not None
         block = _shared_memory.SharedMemory(create=True, size=len(payload))
+        _track_block(block)
         try:
             block.buf[: len(payload)] = payload
             future: "Future[bytes]" = pool.submit(

@@ -94,3 +94,13 @@ class SelectorError(IsobarError, RuntimeError):
     Raised, for example, when the candidate set is empty after applying
     user constraints, or when a sample cannot be drawn from the input.
     """
+
+
+class SanitizerError(IsobarError, AssertionError):
+    """The runtime concurrency sanitizer observed a violation.
+
+    Subclasses :class:`AssertionError` because the sanitizer's checks
+    are assertions about process state (no lock cycle, no leaked
+    executor or segment, a scenario's roundtrip held) — a pytest
+    fixture raising it fails the test the way a plain assert would.
+    """

@@ -36,7 +36,7 @@ def run(paths: Sequence[str]) -> LintReport:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.devtools.lint",
-        description="Check repo invariants (rules ISO001-ISO008).",
+        description="Check repo invariants (rules ISO001-ISO011).",
     )
     parser.add_argument(
         "paths",

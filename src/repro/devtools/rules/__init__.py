@@ -19,14 +19,20 @@ from repro.devtools.rules.exception_rules import (
 )
 from repro.devtools.rules.service_errors import ServiceStatusMapRule
 from repro.devtools.rules.selector_contract import SelectorContractRule
+from repro.devtools.rules.lock_order import LockOrderRule
+from repro.devtools.rules.async_blocking import AsyncBlockingRule
+from repro.devtools.rules.resource_lifecycle import ResourceLifecycleRule
 
 __all__ = [
+    "AsyncBlockingRule",
     "ChunkModeSymmetryRule",
     "ErrorHierarchyRule",
     "ExceptSwallowRule",
     "FacadeContractRule",
+    "LockOrderRule",
     "MetricsGuardRule",
     "RegistryLockRule",
+    "ResourceLifecycleRule",
     "SelectorContractRule",
     "ServiceStatusMapRule",
     "default_rules",
@@ -44,4 +50,7 @@ def default_rules() -> tuple[Rule, ...]:
         ErrorHierarchyRule(),
         ServiceStatusMapRule(),
         SelectorContractRule(),
+        LockOrderRule(),
+        AsyncBlockingRule(),
+        ResourceLifecycleRule(),
     )

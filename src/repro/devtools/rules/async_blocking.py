@@ -1,0 +1,258 @@
+"""ISO010 — service event-loop handlers must never block.
+
+One blocked callback stalls *every* connection an asyncio service
+owns, so the service package holds a hard rule: ``async def`` bodies
+in ``repro.service.*`` may not perform blocking work inline.  Blocking
+work belongs on the executor (``loop.run_in_executor``, the service's
+``_run_with_deadline`` helper, ``asyncio.to_thread``) or behind the
+deadline shim (:func:`repro.core.resilience.call_with_deadline`).
+
+What counts as blocking
+-----------------------
+* a call from the denylist — ``time.sleep``, ``open``, ``input``,
+  ``subprocess.*``, ``os.system``/``os.wait*``, ``socket.create_connection``,
+  ``Future.result``-style ``.result()`` calls, and the repo's own
+  synchronous compression entry points (``.compress(...)`` /
+  ``.decompress(...)`` / ``compress_detailed`` / ``salvage_decompress``
+  / ``stream_compress`` / ``stream_decompress``);
+* acquiring a thread lock: ``with <…lock…>:`` or ``<…lock…>.acquire()``
+  — a contended ``threading.Lock`` parks the whole loop;
+* calling a synchronous function *of the same module or class* that
+  does any of the above, transitively (the rule closes the local call
+  graph, so hiding the lock one helper deep does not pass).
+
+Deferred bodies are exempt: nested ``def``/``lambda`` inside the
+handler do not run on the loop at definition time — they are exactly
+how work is shipped to the executor — and calls that are *arguments*
+to an executor-routing call are the approved escape hatch.
+
+The runtime twin of this rule is the event-loop stall probe
+(:mod:`repro.devtools.sanitizer.loopwatch`), which measures what this
+rule predicts.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.devtools.astutil import dotted_name
+from repro.devtools.engine import Finding, Rule, SourceModule
+
+__all__ = ["AsyncBlockingRule"]
+
+#: Dotted call names that always block.
+_BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "open",
+        "input",
+        "os.system",
+        "os.wait",
+        "os.waitpid",
+        "socket.create_connection",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "salvage_decompress",
+        "stream_compress",
+        "stream_decompress",
+    }
+)
+
+#: Attribute leaves that block regardless of the receiver: synchronous
+#: codec/pipeline entry points and future joins.
+_BLOCKING_ATTRS = frozenset(
+    {"compress", "decompress", "compress_detailed", "result"}
+)
+
+#: Call names that route their function arguments off the loop.
+_EXECUTOR_ROUTERS = frozenset(
+    {"run_in_executor", "call_with_deadline", "to_thread"}
+)
+
+
+def _is_lock_like(name: str | None) -> bool:
+    """Whether a dotted name plausibly denotes a thread lock."""
+    if name is None:
+        return False
+    leaf = name.split(".")[-1].lower()
+    return "lock" in leaf or "mutex" in leaf
+
+
+def _blocking_call_reason(node: ast.Call) -> str | None:
+    """Why ``node`` blocks, or ``None`` when it does not."""
+    name = dotted_name(node.func)
+    if name is not None:
+        if name in _BLOCKING_CALLS:
+            return f"`{name}(...)` blocks"
+        leaf = name.split(".")[-1]
+        if f"{leaf}" in _BLOCKING_CALLS:
+            return f"`{leaf}(...)` blocks"
+    if isinstance(node.func, ast.Attribute):
+        attr = node.func.attr
+        if attr in _BLOCKING_ATTRS:
+            receiver = dotted_name(node.func.value) or "<expr>"
+            return f"`{receiver}.{attr}(...)` is synchronous"
+        if attr == "acquire" and _is_lock_like(
+            dotted_name(node.func.value)
+        ):
+            receiver = dotted_name(node.func.value)
+            return f"`{receiver}.acquire()` parks the loop"
+    return None
+
+
+def _sync_with_lock(node: ast.With) -> str | None:
+    """The lock-like name a plain ``with`` acquires, if any."""
+    for item in node.items:
+        expr = item.context_expr
+        if isinstance(expr, ast.Call):
+            expr = expr.func
+        name = dotted_name(expr)
+        if _is_lock_like(name):
+            return name
+    return None
+
+
+class _FunctionScan:
+    """Blocking evidence found directly in one function body."""
+
+    def __init__(self) -> None:
+        #: (line, reason) pairs of direct blocking operations.
+        self.direct: list[tuple[int, str]] = []
+        #: Locally-resolvable sync calls: (callee simple name, line).
+        self.local_calls: list[tuple[str, int]] = []
+
+
+def _scan_body(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    *,
+    class_name: str | None,
+) -> _FunctionScan:
+    """Collect blocking evidence from ``fn``, skipping deferred bodies."""
+    scan = _FunctionScan()
+
+    def _walk(node: ast.AST, routed: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue  # deferred body: runs elsewhere
+            child_routed = routed
+            if isinstance(child, ast.Call):
+                name = dotted_name(child.func)
+                leaf = name.split(".")[-1] if name else ""
+                if leaf in _EXECUTOR_ROUTERS:
+                    # Arguments of a router call run off the loop.
+                    child_routed = True
+                elif not routed:
+                    reason = _blocking_call_reason(child)
+                    if reason is not None:
+                        scan.direct.append((child.lineno, reason))
+                    elif name is not None:
+                        parts = name.split(".")
+                        if (
+                            len(parts) == 2
+                            and parts[0] in ("self", "cls")
+                            and class_name is not None
+                        ):
+                            scan.local_calls.append(
+                                (f"{class_name}.{parts[1]}", child.lineno)
+                            )
+                        elif len(parts) == 1:
+                            scan.local_calls.append((parts[0], child.lineno))
+            elif isinstance(child, ast.With) and not routed:
+                lock = _sync_with_lock(child)
+                if lock is not None:
+                    scan.direct.append(
+                        (
+                            child.lineno,
+                            f"`with {lock}:` takes a thread lock",
+                        )
+                    )
+            _walk(child, child_routed)
+
+    _walk(fn, False)
+    return scan
+
+
+class AsyncBlockingRule(Rule):
+    """ISO010: no blocking work inline in service ``async def`` bodies."""
+
+    rule_id = "ISO010"
+    title = "service async handlers must not block the event loop"
+    hint = (
+        "route the blocking work through loop.run_in_executor / "
+        "_run_with_deadline / asyncio.to_thread (see docs/service.md)"
+    )
+
+    def check_module(self, mod: SourceModule) -> Iterable[Finding]:
+        if not mod.module.startswith("repro.service"):
+            return
+        # Index every function with its scan, keyed by local qualname
+        # (``func`` or ``Class.func``), to close the local call graph.
+        scans: dict[str, _FunctionScan] = {}
+        kinds: dict[str, str] = {}
+        nodes: dict[str, ast.AST] = {}
+
+        def _index(body: Iterable[ast.stmt], cls: str | None) -> None:
+            for stmt in body:
+                if isinstance(stmt, ast.ClassDef):
+                    _index(stmt.body, stmt.name)
+                elif isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    key = f"{cls}.{stmt.name}" if cls else stmt.name
+                    scans[key] = _scan_body(stmt, class_name=cls)
+                    kinds[key] = (
+                        "async"
+                        if isinstance(stmt, ast.AsyncFunctionDef)
+                        else "sync"
+                    )
+                    nodes[key] = stmt
+
+        _index(mod.tree.body, None)
+
+        # Fixpoint: which *sync* functions block (directly or via other
+        # local sync functions).  Async callees are excluded — they are
+        # awaited and audited on their own.
+        blocking_why: dict[str, str] = {}
+        for key, scan in scans.items():
+            if kinds[key] == "sync" and scan.direct:
+                line, reason = scan.direct[0]
+                blocking_why[key] = reason
+        changed = True
+        while changed:
+            changed = False
+            for key, scan in scans.items():
+                if kinds[key] != "sync" or key in blocking_why:
+                    continue
+                for callee, _line in scan.local_calls:
+                    if kinds.get(callee) == "sync" and callee in blocking_why:
+                        blocking_why[key] = (
+                            f"calls `{callee}`, which "
+                            f"{blocking_why[callee]}"
+                        )
+                        changed = True
+                        break
+
+        for key in sorted(scans):
+            if kinds[key] != "async":
+                continue
+            scan = scans[key]
+            for line, reason in scan.direct:
+                yield self.finding(
+                    mod,
+                    line,
+                    f"`{key}` blocks the event loop: {reason}",
+                )
+            for callee, line in scan.local_calls:
+                if kinds.get(callee) == "sync" and callee in blocking_why:
+                    yield self.finding(
+                        mod,
+                        line,
+                        f"`{key}` blocks the event loop: `{callee}` "
+                        f"{blocking_why[callee]}",
+                    )

@@ -1,0 +1,482 @@
+"""ISO009 — the repo-wide lock-acquisition graph must stay acyclic.
+
+Deadlocks need no broken code, only two correct critical sections that
+nest the same locks in opposite orders on different threads.  No
+per-file check can see that: the rule therefore runs as a *project*
+rule, building one directed graph over every lock in the linted tree
+and flagging each elementary cycle with the full acquisition path.
+
+What counts as a lock
+---------------------
+* a module-level ``NAME = threading.Lock()`` / ``RLock`` /
+  ``Condition`` (canonical id ``module.NAME``);
+* an instance attribute ``self._x = threading.Lock()`` assigned in a
+  class body's methods (canonical id ``module.Class._x``) — every
+  instance shares one graph node, which is exactly the discipline a
+  lock *hierarchy* requires.
+
+How edges form
+--------------
+* **Lexical nesting**: ``with A: ... with B:`` adds ``A -> B`` for
+  every lock held by an enclosing ``with``.
+* **Call nesting**: a call made while holding ``A`` to a function the
+  rule can resolve (same-class method via ``self.``/``cls.``, a
+  module-level function, an imported name, or a class constructor)
+  adds ``A -> B`` for every lock that callee can transitively acquire.
+  Resolution is name-based and conservative: an unresolvable call adds
+  no edges.
+
+A self-edge on a non-reentrant ``threading.Lock`` (acquiring a lock
+while already holding it) is reported as a one-node cycle — with a
+plain ``Lock`` that is not a deadlock risk, it is a deadlock.
+``RLock`` self-edges are legal and ignored.
+
+The runtime twin of this rule is
+:mod:`repro.devtools.sanitizer.lockgraph`, which watches the same
+graph built from *actual* acquisitions instead of the AST.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.devtools.astutil import dotted_name
+from repro.devtools.engine import Finding, Rule, SourceModule
+
+__all__ = ["LockGraphBuilder", "LockOrderRule"]
+
+#: ``threading`` constructors that build a lock-like object.
+_LOCK_CTORS = frozenset({"Lock", "RLock", "Condition"})
+
+
+def _lock_ctor_kind(value: ast.AST) -> str | None:
+    """``"Lock"``/``"RLock"``/``"Condition"`` when ``value`` builds one."""
+    if not isinstance(value, ast.Call):
+        return None
+    name = dotted_name(value.func)
+    if name is None:
+        return None
+    leaf = name.split(".")[-1]
+    return leaf if leaf in _LOCK_CTORS else None
+
+
+@dataclass
+class _FunctionInfo:
+    """Summary of one function the graph builder collected."""
+
+    qualname: str
+    module: str
+    path: str
+    #: Locks acquired directly by a ``with`` in this body: (lock, line).
+    acquires: list[tuple[str, int]] = field(default_factory=list)
+    #: Calls made in this body: (callee key candidates, line, held locks).
+    calls: list[tuple[tuple[str, ...], int, tuple[str, ...]]] = field(
+        default_factory=list
+    )
+    #: Lexical ``A -> B`` edges with the nested acquisition's line.
+    nest_edges: list[tuple[str, str, int]] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class _Edge:
+    """One ``src -> dst`` ordering observation and where it was made."""
+
+    src: str
+    dst: str
+    path: str
+    line: int
+    via: str  # the function whose body established the edge
+
+
+class LockGraphBuilder:
+    """Builds the project lock graph from parsed modules.
+
+    Exposed separately from the rule so tests (and the sanitizer docs)
+    can inspect the graph of a fixture tree directly.
+    """
+
+    def __init__(self, mods: Sequence[SourceModule]):
+        self._mods = mods
+        #: canonical lock id -> constructor kind ("Lock"/"RLock"/...)
+        self.locks: dict[str, str] = {}
+        self._functions: dict[str, _FunctionInfo] = {}
+        self._collect()
+
+    # -- collection -------------------------------------------------------
+
+    def _collect(self) -> None:
+        for mod in self._mods:
+            imports = self._import_map(mod)
+            module_locks = self._module_locks(mod)
+            class_locks = self._class_locks(mod)
+            visitor = _ModuleVisitor(
+                mod, imports, module_locks, class_locks, self
+            )
+            visitor.visit(mod.tree)
+
+    @staticmethod
+    def _import_map(mod: SourceModule) -> dict[str, str]:
+        """Local name -> dotted module/object it refers to."""
+        mapping: dict[str, str] = {}
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    mapping[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                base = node.module
+                if node.level:
+                    # Relative import: anchor at the current package.
+                    parts = mod.module.split(".")
+                    parts = parts[: max(len(parts) - node.level, 0)]
+                    base = ".".join(parts + [node.module])
+                for alias in node.names:
+                    mapping[alias.asname or alias.name] = (
+                        f"{base}.{alias.name}"
+                    )
+        return mapping
+
+    def _module_locks(self, mod: SourceModule) -> dict[str, str]:
+        """Top-level lock assignments: local name -> canonical id."""
+        found: dict[str, str] = {}
+        for stmt in mod.tree.body:
+            targets: list[ast.expr] = []
+            value: ast.AST | None = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if value is None:
+                continue
+            kind = _lock_ctor_kind(value)
+            if kind is None:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    lock_id = f"{mod.module}.{target.id}"
+                    found[target.id] = lock_id
+                    self.locks[lock_id] = kind
+        return found
+
+    def _class_locks(self, mod: SourceModule) -> dict[str, dict[str, str]]:
+        """Class name -> {attribute -> canonical id} for self-lock attrs."""
+        found: dict[str, dict[str, str]] = {}
+        for stmt in mod.tree.body:
+            if not isinstance(stmt, ast.ClassDef):
+                continue
+            attrs: dict[str, str] = {}
+            for node in ast.walk(stmt):
+                if not isinstance(node, ast.Assign):
+                    continue
+                kind = _lock_ctor_kind(node.value)
+                if kind is None:
+                    continue
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        lock_id = f"{mod.module}.{stmt.name}.{target.attr}"
+                        attrs[target.attr] = lock_id
+                        self.locks[lock_id] = kind
+            if attrs:
+                found[stmt.name] = attrs
+        return found
+
+    # -- graph ------------------------------------------------------------
+
+    def add_function(self, info: _FunctionInfo) -> None:
+        self._functions[info.qualname] = info
+
+    def _closure(self) -> dict[str, set[str]]:
+        """Fixpoint: every lock each function can transitively acquire."""
+        acquired: dict[str, set[str]] = {
+            name: {lock for lock, _ in info.acquires}
+            for name, info in self._functions.items()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for name, info in self._functions.items():
+                for candidates, _line, _held in info.calls:
+                    for callee in candidates:
+                        extra = acquired.get(callee)
+                        if extra and not extra <= acquired[name]:
+                            acquired[name] |= extra
+                            changed = True
+                        if extra is not None:
+                            break  # first resolvable candidate wins
+        return acquired
+
+    def edges(self) -> list[_Edge]:
+        """Every ordering edge in the project, deterministic order."""
+        closure = self._closure()
+        out: list[_Edge] = []
+        for name in sorted(self._functions):
+            info = self._functions[name]
+            for src, dst, line in info.nest_edges:
+                out.append(_Edge(src, dst, info.path, line, name))
+            for candidates, line, held in info.calls:
+                if not held:
+                    continue
+                callee_locks: set[str] | None = None
+                for callee in candidates:
+                    if callee in closure:
+                        callee_locks = closure[callee]
+                        break
+                if not callee_locks:
+                    continue
+                for src in held:
+                    for dst in sorted(callee_locks):
+                        out.append(_Edge(src, dst, info.path, line, name))
+        return out
+
+    def cycles(self) -> list[tuple[list[str], list[_Edge]]]:
+        """Elementary cycles as (lock path, witness edges).
+
+        Reports one cycle per distinct lock set: ``[A, B]`` means
+        ``A -> B`` and ``B -> A`` both exist.  Self-edges on plain
+        ``Lock`` objects surface as single-node cycles.
+        """
+        edges = self.edges()
+        graph: dict[str, dict[str, _Edge]] = {}
+        for edge in edges:
+            if edge.src == edge.dst:
+                continue  # handled as self-cycles below
+            graph.setdefault(edge.src, {}).setdefault(edge.dst, edge)
+        found: list[tuple[list[str], list[_Edge]]] = []
+        seen_sets: set[frozenset[str]] = set()
+        for edge in edges:
+            if edge.src == edge.dst:
+                if self.locks.get(edge.src) == "Lock":
+                    key = frozenset((edge.src,))
+                    if key not in seen_sets:
+                        seen_sets.add(key)
+                        found.append(([edge.src, edge.src], [edge]))
+                continue
+        # DFS from each node, path-tracking, to find elementary cycles.
+        def _dfs(start: str) -> None:
+            stack: list[tuple[str, list[str], list[_Edge]]] = [
+                (start, [start], [])
+            ]
+            while stack:
+                node, path, trail = stack.pop()
+                for nxt, edge in sorted(graph.get(node, {}).items()):
+                    if nxt == start and len(path) > 1:
+                        key = frozenset(path)
+                        if key not in seen_sets:
+                            seen_sets.add(key)
+                            found.append(
+                                (path + [start], trail + [edge])
+                            )
+                    elif nxt not in path and nxt > start:
+                        # Only walk nodes ordered after the start so each
+                        # cycle is discovered from its smallest node once.
+                        stack.append(
+                            (nxt, path + [nxt], trail + [edge])
+                        )
+        for node in sorted(graph):
+            _dfs(node)
+        found.sort(key=lambda item: item[0])
+        return found
+
+
+class _ModuleVisitor(ast.NodeVisitor):
+    """Walks one module, filling the builder's function summaries."""
+
+    def __init__(
+        self,
+        mod: SourceModule,
+        imports: dict[str, str],
+        module_locks: dict[str, str],
+        class_locks: dict[str, dict[str, str]],
+        builder: LockGraphBuilder,
+    ) -> None:
+        self._mod = mod
+        self._imports = imports
+        self._module_locks = module_locks
+        self._class_locks = class_locks
+        self._builder = builder
+        self._class_stack: list[str] = []
+        self._func_stack: list[_FunctionInfo] = []
+        self._held_stack: list[tuple[str, int]] = []
+
+    # -- lock resolution --------------------------------------------------
+
+    def _resolve_lock(self, expr: ast.AST) -> str | None:
+        """Canonical lock id for a ``with`` context expression."""
+        if isinstance(expr, ast.Call):  # e.g. Condition.__enter__ via call
+            return None
+        name = dotted_name(expr)
+        if name is None:
+            return None
+        parts = name.split(".")
+        if len(parts) == 1:
+            return self._module_locks.get(parts[0]) or (
+                self._imported_lock(parts[0])
+            )
+        if parts[0] in ("self", "cls") and len(parts) == 2:
+            if self._class_stack:
+                attrs = self._class_locks.get(self._class_stack[-1], {})
+                return attrs.get(parts[1])
+            return None
+        # ``module.LOCK`` through an import alias.
+        base = self._imports.get(parts[0])
+        if base is not None and len(parts) == 2:
+            candidate = f"{base}.{parts[1]}"
+            if candidate in self._builder.locks:
+                return candidate
+        return None
+
+    def _imported_lock(self, local: str) -> str | None:
+        target = self._imports.get(local)
+        if target is not None and target in self._builder.locks:
+            return target
+        return None
+
+    def _callee_candidates(self, func: ast.AST) -> tuple[str, ...]:
+        """Possible qualnames for a call target, best first."""
+        name = dotted_name(func)
+        if name is None:
+            return ()
+        parts = name.split(".")
+        module = self._mod.module
+        out: list[str] = []
+        if parts[0] in ("self", "cls") and len(parts) == 2:
+            if self._class_stack:
+                cls = self._class_stack[-1]
+                out.append(f"{module}.{cls}.{parts[1]}")
+        elif len(parts) == 1:
+            local = parts[0]
+            target = self._imports.get(local)
+            if target is not None:
+                out.append(target)
+                out.append(f"{target}.__init__")
+            out.append(f"{module}.{local}")
+            out.append(f"{module}.{local}.__init__")
+        else:
+            base = self._imports.get(parts[0])
+            if base is not None:
+                dotted = ".".join([base] + parts[1:])
+                out.append(dotted)
+                out.append(f"{dotted}.__init__")
+        return tuple(out)
+
+    # -- visitor ----------------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def _visit_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        qual = ".".join(
+            [self._mod.module, *self._class_stack, node.name]
+        )
+        info = _FunctionInfo(
+            qualname=qual, module=self._mod.module, path=self._mod.path
+        )
+        self._builder.add_function(info)
+        self._func_stack.append(info)
+        held_before = self._held_stack
+        # A nested function body does not run under the outer ``with``.
+        self._held_stack = []
+        self.generic_visit(node)
+        self._held_stack = held_before
+        self._func_stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        if not self._func_stack:
+            self.generic_visit(node)
+            return
+        info = self._func_stack[-1]
+        acquired: list[tuple[str, int]] = []
+        for item in node.items:
+            lock = self._resolve_lock(item.context_expr)
+            if lock is None:
+                continue
+            acquired.append((lock, node.lineno))
+            info.acquires.append((lock, node.lineno))
+            for held, _line in self._held_stack:
+                info.nest_edges.append((held, lock, node.lineno))
+        self._held_stack.extend(acquired)
+        self.generic_visit(node)
+        del self._held_stack[len(self._held_stack) - len(acquired):]
+
+    visit_With = _visit_with
+    visit_AsyncWith = _visit_with
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._func_stack:
+            info = self._func_stack[-1]
+            candidates = self._callee_candidates(node.func)
+            if candidates:
+                held = tuple(lock for lock, _line in self._held_stack)
+                info.calls.append((candidates, node.lineno, held))
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        # A lambda body is deferred work: calls inside it do not run
+        # under the locks held at its definition site.
+        held_before = self._held_stack
+        self._held_stack = []
+        self.generic_visit(node)
+        self._held_stack = held_before
+
+
+class LockOrderRule(Rule):
+    """ISO009: no cycles in the project-wide lock acquisition graph."""
+
+    rule_id = "ISO009"
+    title = "lock acquisition order must be globally consistent"
+    hint = (
+        "pick one order for these locks and restructure the critical "
+        "sections (copy state out of the first lock before taking the "
+        "second, or merge the sections under one lock)"
+    )
+
+    def check_project(
+        self, mods: Sequence[SourceModule]
+    ) -> Iterable[Finding]:
+        builder = LockGraphBuilder(mods)
+        for path_locks, witness in builder.cycles():
+            if len(set(path_locks)) == 1:
+                lock = path_locks[0]
+                edge = witness[0]
+                yield Finding(
+                    rule_id=self.rule_id,
+                    path=edge.path,
+                    line=edge.line,
+                    message=(
+                        f"non-reentrant lock `{lock}` may be re-acquired "
+                        f"while already held (via `{edge.via}`)"
+                    ),
+                    hint="switch to RLock or hoist the inner acquisition",
+                )
+                continue
+            first = witness[0]
+            cycle = " -> ".join(path_locks)
+            sites = "; ".join(
+                f"{e.src.rsplit('.', 1)[-1]}->{e.dst.rsplit('.', 1)[-1]} "
+                f"at {e.path}:{e.line} in `{e.via}`"
+                for e in witness
+            )
+            yield Finding(
+                rule_id=self.rule_id,
+                path=first.path,
+                line=first.line,
+                message=(
+                    f"lock-order cycle {cycle} "
+                    f"(acquisition sites: {sites})"
+                ),
+                hint=self.hint,
+            )

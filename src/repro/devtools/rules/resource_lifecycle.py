@@ -1,0 +1,324 @@
+"""ISO011 — executors and shared memory must have a reachable release.
+
+Thread/process pools leave worker threads and child processes behind;
+``multiprocessing.shared_memory`` segments outlive the process in
+``/dev/shm`` until *someone* calls ``unlink``.  Under millions of
+requests, "usually cleaned up" is a leak.  The rule demands that every
+creation of a :class:`ThreadPoolExecutor`, :class:`ProcessPoolExecutor`
+or :class:`SharedMemory` has a release that stays reachable on
+exception paths:
+
+* ``with Executor(...) as x:`` — the context manager is always fine;
+* a **local variable** must be released (``shutdown``/``close``/
+  ``unlink``, a helper whose name says so, or an
+  ``add_done_callback`` whose callback releases it) with at least one
+  of those releases inside a ``finally`` or ``except`` block — a
+  straight-line ``x.shutdown()`` leaks the pool the moment anything
+  between creation and release raises;
+* an **instance attribute** (``self._x = Executor(...)``) must have a
+  sibling method of the same class that releases it (the class owns
+  the lifecycle — e.g. a ``close``/``drain``/``shutdown`` method);
+* a **module global** (``global _POOL`` rebinding) must have some
+  function in the module that releases it (typically the
+  ``atexit``-registered teardown).
+
+``SharedMemory(create=True)`` additionally needs ``unlink`` (or a
+release helper), not just ``close``: closing only drops the mapping,
+the segment itself stays allocated.
+
+The runtime twin of this rule is the leak tracker
+(:mod:`repro.devtools.sanitizer.leaks`), which counts live executors
+and segments at teardown.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.devtools.astutil import dotted_name, walk_with_ancestors
+from repro.devtools.engine import Finding, Rule, SourceModule
+
+__all__ = ["ResourceLifecycleRule"]
+
+#: Constructor leaf names the rule tracks, with the release verbs each
+#: resource accepts.
+_RESOURCES: dict[str, frozenset[str]] = {
+    "ThreadPoolExecutor": frozenset({"shutdown"}),
+    "ProcessPoolExecutor": frozenset({"shutdown"}),
+    "SharedMemory": frozenset({"close", "unlink"}),
+}
+
+#: Helper-function name fragments that count as releasing an argument.
+_RELEASE_HINTS = ("release", "close", "shutdown", "unlink", "teardown")
+
+
+def _resource_kind(node: ast.AST) -> str | None:
+    if not isinstance(node, ast.Call):
+        return None
+    name = dotted_name(node.func)
+    if name is None:
+        return None
+    leaf = name.split(".")[-1]
+    return leaf if leaf in _RESOURCES else None
+
+
+def _creates_segment(node: ast.Call) -> bool:
+    """Whether a ``SharedMemory(...)`` call creates (vs attaches)."""
+    for kw in node.keywords:
+        if kw.arg == "create":
+            return not (
+                isinstance(kw.value, ast.Constant)
+                and kw.value.value is False
+            )
+    return False
+
+
+def _release_hint_name(name: str | None) -> bool:
+    if name is None:
+        return False
+    leaf = name.split(".")[-1].lower()
+    return any(hint in leaf for hint in _RELEASE_HINTS)
+
+
+class _ReleaseScan:
+    """Release evidence for one tracked name within a region of code."""
+
+    def __init__(self) -> None:
+        self.verbs: set[str] = set()  # shutdown/close/unlink seen
+        self.helper = False           # passed to a release-named helper
+        self.guarded = False          # some release sits in finally/except
+
+
+def _scan_releases(
+    region: ast.AST, target: str, *, attr_root: str | None = None
+) -> _ReleaseScan:
+    """Find releases of ``target`` (a simple name or ``self.attr``)."""
+    scan = _ReleaseScan()
+    wanted = f"{attr_root}.{target}" if attr_root else target
+    for node, ancestors in walk_with_ancestors(region):
+        if not isinstance(node, ast.Call):
+            continue
+        hit = False
+        if isinstance(node.func, ast.Attribute):
+            receiver = dotted_name(node.func.value)
+            if receiver == wanted and node.func.attr in (
+                "shutdown", "close", "unlink", "terminate",
+            ):
+                scan.verbs.add(node.func.attr)
+                hit = True
+            elif receiver == wanted and node.func.attr == "add_done_callback":
+                # The registered callback releases the resource iff it
+                # references a release-named call on/with the target.
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.Call) and sub is not node:
+                        if _release_hint_name(dotted_name(sub.func)):
+                            scan.helper = True
+                            hit = True
+        if not hit and _release_hint_name(dotted_name(node.func)):
+            for arg in node.args:
+                if dotted_name(arg) == wanted:
+                    scan.helper = True
+                    hit = True
+        if hit and any(
+            isinstance(anc, (ast.Try,)) for anc in ancestors
+        ):
+            # Inside a try: count as guarded when within a handler or
+            # finalbody (the exception path), not merely the try body.
+            for anc in ancestors:
+                if isinstance(anc, ast.ExceptHandler):
+                    scan.guarded = True
+            # finalbody statements have the Try as ancestor but are not
+            # inside any handler; detect by position.
+            for anc in ancestors:
+                if isinstance(anc, ast.Try):
+                    for final_stmt in anc.finalbody:
+                        if node in ast.walk(final_stmt):
+                            scan.guarded = True
+        if hit and any(
+            isinstance(anc, (ast.With, ast.AsyncWith)) for anc in ancestors
+        ):
+            scan.guarded = True
+        if hit and any(
+            isinstance(anc, ast.Lambda) for anc in ancestors
+        ):
+            # A done-callback lambda fires on completion regardless of
+            # which path submitted the work.
+            scan.guarded = True
+    return scan
+
+
+def _required_verbs(kind: str, node: ast.Call) -> frozenset[str]:
+    if kind == "SharedMemory" and not _creates_segment(node):
+        return frozenset({"close"})  # attach-only: closing suffices
+    return _RESOURCES[kind]
+
+
+def _satisfied(scan: _ReleaseScan, required: frozenset[str]) -> bool:
+    return scan.helper or required <= scan.verbs
+
+
+class ResourceLifecycleRule(Rule):
+    """ISO011: pools and shared memory need an exception-safe release."""
+
+    rule_id = "ISO011"
+    title = "executor/shared-memory lifecycle must be release-complete"
+    hint = (
+        "use a `with` block, release in a finally/except (or a "
+        "*_release helper / done-callback), or give the owning class "
+        "a teardown method that shuts the resource down"
+    )
+
+    def check_module(self, mod: SourceModule) -> Iterable[Finding]:
+        for node, ancestors in walk_with_ancestors(mod.tree):
+            kind = _resource_kind(node)
+            if kind is None:
+                continue
+            assert isinstance(node, ast.Call)
+            finding = self._check_creation(mod, node, kind, ancestors)
+            if finding is not None:
+                yield finding
+
+    # -- creation-site classification -------------------------------------
+
+    def _check_creation(
+        self,
+        mod: SourceModule,
+        node: ast.Call,
+        kind: str,
+        ancestors: tuple[ast.AST, ...],
+    ) -> Finding | None:
+        required = _required_verbs(kind, node)
+        parent = ancestors[-1] if ancestors else None
+
+        # `with Executor(...) as x:` — structurally safe.
+        if isinstance(parent, ast.withitem):
+            return None
+
+        # Assignment?  Find the binding target.
+        if isinstance(parent, ast.Assign) and len(parent.targets) == 1:
+            target = parent.targets[0]
+            func = self._enclosing_function(ancestors)
+            if isinstance(target, ast.Name) and func is not None:
+                if self._is_global(func, target.id):
+                    return self._check_global(
+                        mod, node, kind, target.id, required
+                    )
+                return self._check_local(
+                    mod, node, kind, func, target.id, required
+                )
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                cls = self._enclosing_class(ancestors)
+                if cls is not None:
+                    return self._check_attribute(
+                        mod, node, kind, cls, target.attr, required
+                    )
+        return self.finding(
+            mod,
+            node,
+            f"`{kind}` created without a trackable owner "
+            "(bind it to a name, attribute or `with` block so a "
+            "release is possible)",
+        )
+
+    @staticmethod
+    def _enclosing_function(
+        ancestors: tuple[ast.AST, ...],
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        for anc in reversed(ancestors):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return anc
+        return None
+
+    @staticmethod
+    def _enclosing_class(
+        ancestors: tuple[ast.AST, ...],
+    ) -> ast.ClassDef | None:
+        for anc in reversed(ancestors):
+            if isinstance(anc, ast.ClassDef):
+                return anc
+        return None
+
+    @staticmethod
+    def _is_global(
+        func: ast.FunctionDef | ast.AsyncFunctionDef, name: str
+    ) -> bool:
+        for stmt in ast.walk(func):
+            if isinstance(stmt, ast.Global) and name in stmt.names:
+                return True
+        return False
+
+    # -- ownership checks --------------------------------------------------
+
+    def _check_local(
+        self,
+        mod: SourceModule,
+        node: ast.Call,
+        kind: str,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        name: str,
+        required: frozenset[str],
+    ) -> Finding | None:
+        scan = _scan_releases(func, name)
+        if _satisfied(scan, required) and scan.guarded:
+            return None
+        if _satisfied(scan, required):
+            return self.finding(
+                mod,
+                node,
+                f"`{kind}` `{name}` is released only on the happy "
+                "path — an exception between creation and release "
+                "leaks it (move the release into a finally/except)",
+            )
+        missing = ", ".join(sorted(required - scan.verbs))
+        return self.finding(
+            mod,
+            node,
+            f"`{kind}` `{name}` has no reachable release "
+            f"(needs {missing or 'a release'}) in `{func.name}`",
+        )
+
+    def _check_attribute(
+        self,
+        mod: SourceModule,
+        node: ast.Call,
+        kind: str,
+        cls: ast.ClassDef,
+        attr: str,
+        required: frozenset[str],
+    ) -> Finding | None:
+        scan = _scan_releases(cls, attr, attr_root="self")
+        if _satisfied(scan, required):
+            return None
+        missing = ", ".join(sorted(required - scan.verbs))
+        return self.finding(
+            mod,
+            node,
+            f"`{kind}` `self.{attr}` has no releasing method on "
+            f"`{cls.name}` (needs {missing or 'a release'}; give the "
+            "class a teardown that calls it)",
+        )
+
+    def _check_global(
+        self,
+        mod: SourceModule,
+        node: ast.Call,
+        kind: str,
+        name: str,
+        required: frozenset[str],
+    ) -> Finding | None:
+        scan = _scan_releases(mod.tree, name)
+        if _satisfied(scan, required):
+            return None
+        missing = ", ".join(sorted(required - scan.verbs))
+        return self.finding(
+            mod,
+            node,
+            f"module-global `{kind}` `{name}` has no releasing "
+            f"function in this module (needs {missing or 'a release'}; "
+            "add an atexit-registered teardown)",
+        )

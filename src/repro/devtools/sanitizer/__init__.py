@@ -1,0 +1,48 @@
+"""tsan-lite: runtime concurrency instrumentation for the repo.
+
+The static rules (ISO009–ISO011) reason about the *source*; this
+package watches the *process*.  Three probes, each cheap enough to run
+under the full tier-1 suite:
+
+* :mod:`~repro.devtools.sanitizer.lockgraph` — ``instrumented_lock()``
+  wrappers record per-thread acquisition stacks into a process-wide
+  lock-order graph; a cycle in that graph is a latent deadlock even if
+  this run never interleaved badly enough to hang.
+* :mod:`~repro.devtools.sanitizer.loopwatch` — an event-loop stall
+  probe: a heartbeat callback plus a watchdog thread that flags any
+  gap between heartbeats longer than a threshold, attributed to the
+  handler that was active.
+* :mod:`~repro.devtools.sanitizer.leaks` — a resource leak tracker
+  that counts executors and shared-memory segments still alive at
+  teardown.
+
+:mod:`~repro.devtools.sanitizer.harness` ties them together behind
+``isobar sanitize`` and the ``sanitizer`` pytest fixture.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.sanitizer.lockgraph import (
+    InstrumentedLock,
+    LockCycle,
+    LockOrderGraph,
+    global_lock_graph,
+    instrumented_lock,
+)
+from repro.devtools.sanitizer.loopwatch import LoopStallProbe, StallEvent
+from repro.devtools.sanitizer.leaks import LiveResource, ResourceLeakTracker
+from repro.devtools.sanitizer.harness import SanitizeReport, run_smoke
+
+__all__ = [
+    "InstrumentedLock",
+    "LiveResource",
+    "LockCycle",
+    "LockOrderGraph",
+    "LoopStallProbe",
+    "ResourceLeakTracker",
+    "SanitizeReport",
+    "StallEvent",
+    "global_lock_graph",
+    "instrumented_lock",
+    "run_smoke",
+]

@@ -1,0 +1,178 @@
+"""Resource leak tracker — the dynamic twin of lint rule ISO011.
+
+While installed, the tracker patches the constructors and release
+methods of the three resource types the static rule watches —
+``ThreadPoolExecutor``, ``ProcessPoolExecutor`` and
+``multiprocessing.shared_memory.SharedMemory`` — and keeps a ledger of
+every instance created in this process with the ``file:line`` that
+created it.  A resource leaves the ledger when its release verbs have
+all been called (``shutdown`` for pools; ``close`` for attached
+segments, ``close`` *and* ``unlink`` for created ones, matching the
+static rule's required-verbs table).  Whatever is still on the ledger
+at teardown is a leak, and the ledger says who allocated it.
+
+Patching is process-local and reversible; spawned pool children
+re-import the stdlib fresh and are never instrumented.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.core.exceptions import SanitizerError
+
+try:  # pragma: no cover - absent only on exotic builds
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None  # type: ignore[assignment]
+
+__all__ = ["LiveResource", "ResourceLeakTracker"]
+
+
+def _creation_site() -> str:
+    """``file:line`` of the nearest frame outside this module/stdlib."""
+    frame = sys._getframe(1)
+    while frame is not None:
+        name = frame.f_globals.get("__name__", "")
+        if name != __name__ and not name.startswith("concurrent.futures"):
+            if not name.startswith("multiprocessing"):
+                return f"{frame.f_code.co_filename}:{frame.f_lineno}"
+        frame = frame.f_back
+    return "<unknown>"
+
+
+@dataclass
+class LiveResource:
+    """One tracked allocation awaiting its release verbs."""
+
+    kind: str
+    site: str
+    pending: set[str]
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "kind": self.kind,
+            "created_at": self.site,
+            "pending_release": sorted(self.pending),
+        }
+
+
+class ResourceLeakTracker:
+    """Ledger of live executors and shared-memory segments."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._live: dict[int, LiveResource] = {}
+        self._originals: list[tuple[type, str, object]] = []
+        self._installed = False
+
+    # -- ledger ------------------------------------------------------------
+
+    def _register(self, obj: object, kind: str, pending: set[str]) -> None:
+        with self._lock:
+            self._live[id(obj)] = LiveResource(
+                kind=kind, site=_creation_site(), pending=pending
+            )
+
+    def _released(self, obj: object, verb: str) -> None:
+        with self._lock:
+            entry = self._live.get(id(obj))
+            if entry is None:
+                return
+            entry.pending.discard(verb)
+            if not entry.pending:
+                del self._live[id(obj)]
+
+    def live(self) -> tuple[LiveResource, ...]:
+        """Resources created under tracking and not fully released."""
+        with self._lock:
+            return tuple(self._live.values())
+
+    def assert_clean(self) -> None:
+        leaks = self.live()
+        if leaks:
+            detail = "; ".join(
+                f"{r.kind} from {r.site} (awaiting "
+                f"{', '.join(sorted(r.pending))})"
+                for r in leaks
+            )
+            raise SanitizerError(f"{len(leaks)} leaked resource(s): {detail}")
+
+    def clear(self) -> None:
+        with self._lock:
+            self._live.clear()
+
+    # -- patching ----------------------------------------------------------
+
+    def _patch(self, cls: type, attr: str, wrapper: object) -> None:
+        self._originals.append((cls, attr, getattr(cls, attr)))
+        setattr(cls, attr, wrapper)
+
+    def _wrap_ctor(self, cls: type, kind: str, pending: frozenset[str]):
+        original = cls.__init__
+        tracker = self
+
+        def __init__(obj, *args, **kwargs):  # noqa: N807
+            original(obj, *args, **kwargs)
+            tracker._register(obj, kind, set(pending))
+
+        return __init__
+
+    def _wrap_release(self, cls: type, attr: str):
+        original = getattr(cls, attr)
+        tracker = self
+
+        def _release(obj, *args, **kwargs):
+            try:
+                return original(obj, *args, **kwargs)
+            finally:
+                tracker._released(obj, attr)
+
+        return _release
+
+    def install(self) -> "ResourceLeakTracker":
+        """Start tracking; idempotent.  Pair with :meth:`uninstall`."""
+        if self._installed:
+            return self
+        self._installed = True
+        for cls in (ThreadPoolExecutor, ProcessPoolExecutor):
+            self._patch(
+                cls,
+                "__init__",
+                self._wrap_ctor(cls, cls.__name__, frozenset({"shutdown"})),
+            )
+            self._patch(cls, "shutdown", self._wrap_release(cls, "shutdown"))
+        if _shared_memory is not None:
+            shm = _shared_memory.SharedMemory
+            original = shm.__init__
+            tracker = self
+
+            def _shm_init(obj, name=None, create=False, *args, **kwargs):
+                original(obj, name, create, *args, **kwargs)
+                # Creators own the segment: close drops the mapping but
+                # only unlink frees it.  Attachers just need close.
+                pending = {"close", "unlink"} if create else {"close"}
+                tracker._register(obj, "SharedMemory", pending)
+
+            self._patch(shm, "__init__", _shm_init)
+            self._patch(shm, "close", self._wrap_release(shm, "close"))
+            self._patch(shm, "unlink", self._wrap_release(shm, "unlink"))
+        return self
+
+    def uninstall(self) -> None:
+        """Restore the patched classes; idempotent."""
+        if not self._installed:
+            return
+        for cls, attr, original in reversed(self._originals):
+            setattr(cls, attr, original)
+        self._originals.clear()
+        self._installed = False
+
+    def __enter__(self) -> "ResourceLeakTracker":
+        return self.install()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.uninstall()

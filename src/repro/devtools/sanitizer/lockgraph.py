@@ -1,0 +1,251 @@
+"""Runtime lock-order graph — the dynamic twin of lint rule ISO009.
+
+Every :class:`InstrumentedLock` acquisition is recorded against the
+set of locks the acquiring thread already holds.  Holding ``A`` while
+taking ``B`` adds the edge ``A -> B``; once any thread (ever, not
+necessarily concurrently) also produces ``B -> A``, the program has no
+consistent lock hierarchy and a bad interleaving can deadlock it.
+Recording the *order* instead of waiting for the hang is what makes
+the check deterministic: a single-threaded test that takes locks in
+both orders is enough to flag the bug.
+
+Each edge keeps one witness — thread name plus the ``file:line`` of
+both acquisition sites — so a reported cycle names exactly where to
+look.  The process-wide graph (:func:`global_lock_graph`) is what the
+``isobar sanitize`` harness and the patched module-global locks feed;
+tests usually build a private :class:`LockOrderGraph` instead.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = [
+    "EdgeWitness",
+    "InstrumentedLock",
+    "LockCycle",
+    "LockOrderGraph",
+    "global_lock_graph",
+    "instrumented_lock",
+    "reset_global_lock_graph",
+]
+
+
+def _caller_site() -> str:
+    """``file:line`` of the nearest frame outside this module."""
+    frame = sys._getframe(1)
+    while frame is not None:
+        if frame.f_globals.get("__name__") != __name__:
+            return f"{frame.f_code.co_filename}:{frame.f_lineno}"
+        frame = frame.f_back
+    return "<unknown>"
+
+
+@dataclass(frozen=True)
+class EdgeWitness:
+    """One observed held->acquired ordering between two locks."""
+
+    src: str
+    dst: str
+    thread: str
+    src_site: str
+    dst_site: str
+
+    def to_dict(self) -> dict[str, str]:
+        return {
+            "held": self.src,
+            "acquired": self.dst,
+            "thread": self.thread,
+            "held_at": self.src_site,
+            "acquired_at": self.dst_site,
+        }
+
+
+@dataclass(frozen=True)
+class LockCycle:
+    """A lock-order cycle: the lock path plus one witness per edge."""
+
+    path: tuple[str, ...]
+    witnesses: tuple[EdgeWitness, ...]
+
+    def describe(self) -> str:
+        arrows = " -> ".join(self.path + (self.path[0],))
+        sites = "; ".join(
+            f"{w.src}@{w.src_site} then {w.dst}@{w.dst_site} "
+            f"[{w.thread}]"
+            for w in self.witnesses
+        )
+        return f"lock-order cycle {arrows} ({sites})"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "path": list(self.path),
+            "witnesses": [w.to_dict() for w in self.witnesses],
+        }
+
+
+class LockOrderGraph:
+    """Process-wide record of observed lock acquisition orderings."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._edges: dict[tuple[str, str], EdgeWitness] = {}
+        self._tls = threading.local()
+
+    # -- per-thread held stack --------------------------------------------
+
+    def _stack(self) -> list[tuple[str, str]]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    def held(self) -> tuple[str, ...]:
+        """Names of locks the calling thread currently holds."""
+        return tuple(name for name, _site in self._stack())
+
+    # -- event recording ---------------------------------------------------
+
+    def note_acquire(self, name: str, site: str | None = None) -> None:
+        """Record that the calling thread acquired ``name``."""
+        site = site or _caller_site()
+        stack = self._stack()
+        if stack:
+            thread = threading.current_thread().name
+            with self._lock:
+                for held_name, held_site in stack:
+                    if held_name == name:
+                        continue  # re-entrant hold, not an ordering
+                    key = (held_name, name)
+                    if key not in self._edges:
+                        self._edges[key] = EdgeWitness(
+                            held_name, name, thread, held_site, site
+                        )
+        stack.append((name, site))
+
+    def note_release(self, name: str) -> None:
+        """Record that the calling thread released ``name``."""
+        stack = self._stack()
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i][0] == name:
+                del stack[i]
+                return
+
+    # -- analysis ----------------------------------------------------------
+
+    def edges(self) -> tuple[EdgeWitness, ...]:
+        with self._lock:
+            return tuple(self._edges.values())
+
+    def find_cycles(self) -> list[LockCycle]:
+        """Elementary cycles in the observed ordering graph."""
+        with self._lock:
+            edges = dict(self._edges)
+        adjacency: dict[str, list[str]] = {}
+        for src, dst in edges:
+            adjacency.setdefault(src, []).append(dst)
+        nodes = sorted(
+            set(adjacency) | {d for dsts in adjacency.values() for d in dsts}
+        )
+        cycles: list[LockCycle] = []
+        for start in nodes:
+            # Only walk nodes >= start so each cycle is found once, at
+            # its lexicographically smallest entry point.
+            path = [start]
+            on_path = {start}
+
+            def _dfs(node: str) -> Iterator[tuple[str, ...]]:
+                for nxt in sorted(adjacency.get(node, ())):
+                    if nxt == start:
+                        yield tuple(path)
+                    elif nxt > start and nxt not in on_path:
+                        path.append(nxt)
+                        on_path.add(nxt)
+                        yield from _dfs(nxt)
+                        on_path.discard(nxt)
+                        path.pop()
+
+            for cycle_path in _dfs(start):
+                witnesses = tuple(
+                    edges[(cycle_path[i], cycle_path[(i + 1) % len(cycle_path)])]
+                    for i in range(len(cycle_path))
+                )
+                cycles.append(LockCycle(cycle_path, witnesses))
+        return cycles
+
+    def clear(self) -> None:
+        """Drop all recorded edges (held stacks are left alone)."""
+        with self._lock:
+            self._edges.clear()
+
+
+class InstrumentedLock:
+    """A lock wrapper that reports orderings to a :class:`LockOrderGraph`.
+
+    Delegates to a real ``threading.Lock`` (or any lock passed in, so
+    ``RLock``/module-global locks can be wrapped in place) and mirrors
+    the parts of the lock API the repo uses: ``acquire``/``release``,
+    context-manager protocol, and ``locked``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        lock: object | None = None,
+        graph: LockOrderGraph | None = None,
+    ) -> None:
+        self.name = name
+        self._inner = lock if lock is not None else threading.Lock()
+        self._graph = graph if graph is not None else global_lock_graph()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        site = _caller_site()
+        got = self._inner.acquire(blocking, timeout)  # type: ignore[attr-defined]
+        if got:
+            self._graph.note_acquire(self.name, site)
+        return got
+
+    def release(self) -> None:
+        self._graph.note_release(self.name)
+        self._inner.release()  # type: ignore[attr-defined]
+
+    def locked(self) -> bool:
+        locked = getattr(self._inner, "locked", None)
+        return bool(locked()) if callable(locked) else False
+
+    def __enter__(self) -> "InstrumentedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"<InstrumentedLock {self.name!r} wrapping {self._inner!r}>"
+
+
+def instrumented_lock(
+    name: str,
+    lock: object | None = None,
+    graph: LockOrderGraph | None = None,
+) -> InstrumentedLock:
+    """Build an :class:`InstrumentedLock` (fresh ``threading.Lock`` by
+    default) reporting to ``graph`` (the process-wide graph by default)."""
+    return InstrumentedLock(name, lock=lock, graph=graph)
+
+
+_GLOBAL_GRAPH = LockOrderGraph()
+
+
+def global_lock_graph() -> LockOrderGraph:
+    """The process-wide graph the sanitize harness inspects."""
+    return _GLOBAL_GRAPH
+
+
+def reset_global_lock_graph() -> None:
+    """Clear the process-wide graph (between harness scenarios)."""
+    _GLOBAL_GRAPH.clear()

@@ -1,0 +1,161 @@
+"""Event-loop stall probe — the dynamic twin of lint rule ISO010.
+
+A heartbeat callback reschedules itself on the asyncio loop every
+``interval`` seconds and stamps a monotonic timestamp.  A watchdog
+*thread* (it must live off the loop — the loop being stuck is exactly
+the condition under test) checks the stamp; when the gap exceeds the
+threshold, the loop was blocked — some callback held it for that long
+— and a :class:`StallEvent` is recorded against whichever handler had
+declared itself active via :meth:`LoopStallProbe.step`.
+
+The probe feeds the ``isobar_service_loop_stalls_total{handler=}``
+counter when given a metrics registry, and the service wires it in
+behind ``ServiceConfig.stall_probe_threshold_seconds``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+from contextlib import contextmanager
+
+from repro.core.exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import asyncio
+
+__all__ = ["LoopStallProbe", "StallEvent"]
+
+
+@dataclass(frozen=True)
+class StallEvent:
+    """One detected episode of the event loop not running callbacks."""
+
+    handler: str
+    stalled_seconds: float
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "handler": self.handler,
+            "stalled_seconds": round(self.stalled_seconds, 4),
+        }
+
+
+class LoopStallProbe:
+    """Watchdog that flags event-loop callbacks exceeding a threshold."""
+
+    def __init__(
+        self,
+        threshold_seconds: float = 0.25,
+        *,
+        interval_seconds: float | None = None,
+        metrics: object | None = None,
+    ) -> None:
+        if threshold_seconds <= 0:
+            raise ConfigurationError("threshold_seconds must be positive")
+        self.threshold_seconds = threshold_seconds
+        self.interval_seconds = (
+            interval_seconds
+            if interval_seconds is not None
+            else max(threshold_seconds / 4.0, 0.005)
+        )
+        self._counter = None
+        if metrics is not None:
+            self._counter = metrics.counter(
+                "isobar_service_loop_stalls_total",
+                "event-loop stalls above the probe threshold, by handler",
+            )
+        self._state_lock = threading.Lock()
+        self._events: list[StallEvent] = []
+        self._handler = "idle"
+        self._last_beat = 0.0
+        self._running = False
+        self._loop: "asyncio.AbstractEventLoop | None" = None
+        self._watchdog: threading.Thread | None = None
+
+    # -- handler attribution ----------------------------------------------
+
+    @contextmanager
+    def step(self, handler: str) -> Iterator[None]:
+        """Mark ``handler`` active while its (possibly awaited) body runs.
+
+        Attribution is approximate by design: the recorded handler is
+        whichever step was active when the stall was *detected*.  With
+        one stalled callback that is the offender; overlapping requests
+        can mis-attribute, which is acceptable for a diagnostic probe.
+        """
+        with self._state_lock:
+            previous, self._handler = self._handler, handler
+        try:
+            yield
+        finally:
+            with self._state_lock:
+                self._handler = previous
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def attach(self, loop: "asyncio.AbstractEventLoop") -> None:
+        """Start the heartbeat on ``loop`` and the watchdog thread."""
+        if self._running:
+            return
+        self._loop = loop
+        self._last_beat = time.monotonic()
+        self._running = True
+        loop.call_soon(self._beat)
+        self._watchdog = threading.Thread(
+            target=self._watch, name="isobar-loopwatch", daemon=True
+        )
+        self._watchdog.start()
+
+    def detach(self) -> None:
+        """Stop the watchdog; safe to call from any thread, idempotent."""
+        self._running = False
+        watchdog, self._watchdog = self._watchdog, None
+        if watchdog is not None and watchdog is not threading.current_thread():
+            watchdog.join(timeout=2.0)
+        self._loop = None
+
+    # -- internals ---------------------------------------------------------
+
+    def _beat(self) -> None:
+        self._last_beat = time.monotonic()
+        loop = self._loop
+        if self._running and loop is not None:
+            loop.call_later(self.interval_seconds, self._beat)
+
+    def _watch(self) -> None:
+        while self._running:
+            time.sleep(self.interval_seconds)
+            stamp = self._last_beat
+            gap = time.monotonic() - stamp
+            if gap <= self.threshold_seconds:
+                continue
+            # In a stall episode: wait for the heartbeat to recover (or
+            # the probe to stop), then record the full blocked span.
+            with self._state_lock:
+                handler = self._handler
+            while self._running and self._last_beat == stamp:
+                time.sleep(self.interval_seconds)
+            end = self._last_beat if self._last_beat != stamp else (
+                time.monotonic()
+            )
+            self._record(handler, end - stamp)
+
+    def _record(self, handler: str, seconds: float) -> None:
+        event = StallEvent(handler=handler, stalled_seconds=seconds)
+        with self._state_lock:
+            self._events.append(event)
+        if self._counter is not None:
+            self._counter.inc(handler=handler)
+
+    # -- results -----------------------------------------------------------
+
+    def events(self) -> tuple[StallEvent, ...]:
+        with self._state_lock:
+            return tuple(self._events)
+
+    def clear(self) -> None:
+        with self._state_lock:
+            self._events.clear()

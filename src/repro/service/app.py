@@ -40,8 +40,12 @@ import signal
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass, field, replace as _dc_replace
-from typing import Awaitable, Callable, Iterable
+from typing import TYPE_CHECKING, Awaitable, Callable, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.devtools.sanitizer.loopwatch import LoopStallProbe
 
 import numpy as np
 
@@ -144,6 +148,14 @@ class ServiceConfig:
     pipeline_max_inflight:
         Backpressure bound handed to the pipelined engine (None =
         engine default of ``max(2 * pipeline_workers, 4)``).
+    stall_probe_threshold_seconds:
+        When set, run the tsan-lite event-loop stall probe
+        (:class:`~repro.devtools.sanitizer.loopwatch.LoopStallProbe`)
+        for the lifetime of the service: any callback holding the loop
+        longer than this many seconds is counted in
+        ``isobar_service_loop_stalls_total{handler=}`` and attributed
+        to the active route.  ``None`` (the default) disables the
+        probe.
     isobar:
         The compression configuration served by default; per-request
         query parameters override codec/preference/linearization/
@@ -165,6 +177,7 @@ class ServiceConfig:
     readahead_chunks: int = 4
     pipeline_workers: int = 1
     pipeline_max_inflight: int | None = None
+    stall_probe_threshold_seconds: float | None = None
     isobar: IsobarConfig = field(
         default_factory=lambda: IsobarConfig(
             resilience=DEFAULT_SERVICE_POLICY
@@ -214,6 +227,14 @@ class ServiceConfig:
             raise ConfigurationError(
                 f"pipeline_max_inflight must be >= 1, got "
                 f"{self.pipeline_max_inflight!r}"
+            )
+        if (
+            self.stall_probe_threshold_seconds is not None
+            and self.stall_probe_threshold_seconds <= 0
+        ):
+            raise ConfigurationError(
+                "stall_probe_threshold_seconds must be positive, got "
+                f"{self.stall_probe_threshold_seconds!r}"
             )
 
     def replace(self, **changes: object) -> "ServiceConfig":
@@ -391,6 +412,13 @@ class IsobarService:
             max_workers=self._config.max_inflight,
             thread_name_prefix="isobar-service",
         )
+        # Observe endpoints (/healthz, /v1/stats) take snapshot locks;
+        # they run on their own single thread so a health probe neither
+        # blocks the event loop (rule ISO010) nor competes with compute
+        # for admission slots.
+        self._observe_executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="isobar-observe"
+        )
         self._compressors: dict[tuple, IsobarCompressor] = {}
         self._planners: dict[tuple, SelectorStrategy] = {}
         self._compressor_lock = threading.Lock()
@@ -398,6 +426,7 @@ class IsobarService:
         # failures observed across compress/plan decisions; surfaced
         # in /v1/stats.
         self._selector_failed: dict[str, int] = {}
+        self._stall_probe: "LoopStallProbe | None" = None
         self._server: asyncio.base_events.Server | None = None
         self._stop_event: asyncio.Event | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -434,6 +463,11 @@ class IsobarService:
         """Whether the service has begun its drain sequence."""
         return self._draining
 
+    @property
+    def stall_probe(self) -> "LoopStallProbe | None":
+        """The event-loop stall probe, when the config enables one."""
+        return self._stall_probe
+
     async def start(self) -> None:
         """Bind the listening socket and begin accepting connections."""
         if self._server is not None:
@@ -441,6 +475,16 @@ class IsobarService:
         self._loop = asyncio.get_running_loop()
         self._stop_event = asyncio.Event()
         self._started_at = time.monotonic()
+        if self._config.stall_probe_threshold_seconds is not None:
+            # Lazy import keeps the service importable without pulling
+            # the devtools package in on the hot path.
+            from repro.devtools.sanitizer.loopwatch import LoopStallProbe
+
+            self._stall_probe = LoopStallProbe(
+                self._config.stall_probe_threshold_seconds,
+                metrics=self._metrics,
+            )
+            self._stall_probe.attach(self._loop)
         self._server = await asyncio.start_server(
             self._on_connection,
             host=self._config.host,
@@ -495,6 +539,9 @@ class IsobarService:
         if self._connections:
             await asyncio.gather(*self._connections, return_exceptions=True)
         self._executor.shutdown(wait=False, cancel_futures=True)
+        self._observe_executor.shutdown(wait=False, cancel_futures=True)
+        if self._stall_probe is not None:
+            self._stall_probe.detach()
 
     # -- shared state -----------------------------------------------------
 
@@ -684,14 +731,19 @@ class IsobarService:
         )
         if plan.delay_seconds:
             await asyncio.sleep(plan.delay_seconds)
+        step = (
+            self._stall_probe.step(route)
+            if self._stall_probe is not None else nullcontext()
+        )
         try:
-            handler, needs_admission = self._resolve(request)
-            if needs_admission:
-                status, keep_alive = await self._run_admitted(
-                    handler, request, writer, plan
-                )
-            else:
-                status, keep_alive = await handler(request, writer, plan)
+            with step:
+                handler, needs_admission = self._resolve(request)
+                if needs_admission:
+                    status, keep_alive = await self._run_admitted(
+                        handler, request, writer, plan
+                    )
+                else:
+                    status, keep_alive = await handler(request, writer, plan)
         except asyncio.CancelledError:
             raise
         except Exception as exc:  # the single service-wide error funnel
@@ -812,6 +864,18 @@ class IsobarService:
             ),
         )
 
+    async def _observe(self, fn: Callable[[], object]) -> object:
+        """Run a lock-taking snapshot off the event loop.
+
+        ``/healthz`` and ``/v1/stats`` read state guarded by
+        ``_compressor_lock`` (and the breaker locks behind it); taking
+        a thread lock on the loop would stall every connection while a
+        compute thread holds it (rule ISO010), so the snapshot runs on
+        the dedicated observe thread instead.
+        """
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._observe_executor, fn)
+
     # -- accounting -------------------------------------------------------
 
     def _account(self, route: str, status: int, seconds: float) -> None:
@@ -837,7 +901,7 @@ class IsobarService:
     async def _handle_healthz(
         self, request: Request, writer: asyncio.StreamWriter, plan: ChaosPlan
     ) -> tuple[int, bool]:
-        breakers = self.breaker_snapshot()
+        breakers = await self._observe(self.breaker_snapshot)
         status = 503 if self._draining else 200
         payload = {
             "status": "draining" if self._draining else "ok",
@@ -873,7 +937,9 @@ class IsobarService:
     async def _handle_stats(
         self, request: Request, writer: asyncio.StreamWriter, plan: ChaosPlan
     ) -> tuple[int, bool]:
-        body = json.dumps(self.stats()).encode("utf-8")
+        body = await self._observe(
+            lambda: json.dumps(self.stats()).encode("utf-8")
+        )
         await write_response(
             writer, 200, body, keep_alive=request.keep_alive
         )
@@ -966,17 +1032,24 @@ class IsobarService:
                 f"the {dtype.itemsize}-byte element width"
             )
         overrides = self._isobar_overrides(request)
-        compressor = self._compressor_for(overrides)
-        self._check_breaker(compressor, overrides.get("codec"))
-        values = np.frombuffer(request.body, dtype=dtype)
 
-        result = await self._run_with_deadline(
-            lambda: compressor.compress_detailed(values), deadline_seconds
+        def _compress():
+            # Resolving the cached compressor takes _compressor_lock;
+            # the whole lock-then-compute sequence runs on the deadline
+            # executor so the event loop never waits on it (ISO010).
+            compressor = self._compressor_for(overrides)
+            self._check_breaker(compressor, overrides.get("codec"))
+            values = np.frombuffer(request.body, dtype=dtype)
+            detailed = compressor.compress_detailed(values)
+            self._note_failed_candidates(detailed.decision)
+            return detailed, values.size
+
+        result, n_elements = await self._run_with_deadline(
+            _compress, deadline_seconds
         )
-        self._note_failed_candidates(result.decision)
         headers = [
             ("X-Isobar-Dtype", str(dtype)),
-            ("X-Isobar-Elements", str(values.size)),
+            ("X-Isobar-Elements", str(n_elements)),
             ("X-Isobar-Codec", result.decision.codec_name),
             ("X-Isobar-Ratio", f"{result.ratio:.4f}"),
         ]
@@ -1013,13 +1086,17 @@ class IsobarService:
                 f"the {dtype.itemsize}-byte element width"
             )
         overrides = self._isobar_overrides(request)
-        planner = self._planner_for(overrides)
-        values = np.frombuffer(request.body, dtype=dtype)
 
-        decision = await self._run_with_deadline(
-            lambda: planner.select(values), deadline_seconds
-        )
-        self._note_failed_candidates(decision)
+        def _plan():
+            # Same discipline as _handle_compress: the planner cache
+            # lock and the selector probe both stay off the loop.
+            planner = self._planner_for(overrides)
+            values = np.frombuffer(request.body, dtype=dtype)
+            chosen = planner.select(values)
+            self._note_failed_candidates(chosen)
+            return chosen
+
+        decision = await self._run_with_deadline(_plan, deadline_seconds)
         body = json.dumps(decision.to_dict()).encode("utf-8")
         headers = [
             ("Content-Type", "application/json"),

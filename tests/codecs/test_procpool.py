@@ -1,0 +1,112 @@
+"""Shared-memory lifecycle of the process-pool codec proxy.
+
+The interesting paths are the ones the happy-path done-callback never
+covers: a pool that dies (or is shut down) before the submitted task is
+picked up drops its futures without resolving them, and the parent's
+shared-memory segment must still be unlinked — that is what the
+``_LIVE_BLOCKS`` registry drained by :func:`shutdown_codec_pool` is for.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+
+import pytest
+
+from repro.codecs import procpool
+from repro.codecs.base import get_codec
+from repro.codecs.procpool import (
+    ProcessCodecProxy,
+    live_block_count,
+    shutdown_codec_pool,
+)
+
+if procpool._shared_memory is None:  # pragma: no cover
+    pytest.skip("no shared memory on this build", allow_module_level=True)
+
+
+def _payload() -> bytes:
+    return bytes(64) * ((procpool.SHM_THRESHOLD_BYTES // 64) + 16)
+
+
+class _StuckPool:
+    """A pool whose tasks are never picked up: submit() returns a
+    future that will never resolve, so the done-callback never fires —
+    the shape of a pool torn down with work still queued."""
+
+    def submit(self, fn, *args, **kwargs):
+        return Future()
+
+
+class _InstantPool:
+    """A pool that resolves every future immediately on submit, firing
+    the done-callback synchronously (the happy path, minus processes)."""
+
+    def submit(self, fn, *args, **kwargs):
+        future: Future = Future()
+        future.set_result(b"done")
+        return future
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    shutdown_codec_pool()
+    yield
+    shutdown_codec_pool()
+
+
+class TestLiveBlockRegistry:
+    def test_resolved_future_releases_the_block_immediately(self):
+        proxy = ProcessCodecProxy(get_codec("rle"), 2)
+        future = proxy._call_shm(_InstantPool(), "compress", _payload())
+        assert future.result() == b"done"
+        assert live_block_count() == 0
+
+    def test_stuck_pool_leaves_block_registered(self):
+        proxy = ProcessCodecProxy(get_codec("rle"), 2)
+        proxy._call_shm(_StuckPool(), "compress", _payload())
+        assert live_block_count() == 1
+
+    def test_shutdown_drains_blocks_the_callback_never_released(self):
+        """Regression: segments submitted to a pool that dies before the
+        task runs used to outlive the process in /dev/shm."""
+        proxy = ProcessCodecProxy(get_codec("rle"), 2)
+        proxy._call_shm(_StuckPool(), "compress", _payload())
+        (name,) = procpool._LIVE_BLOCKS
+        shutdown_codec_pool()
+        assert live_block_count() == 0
+        # The segment is gone from the OS, not just from the ledger.
+        with pytest.raises(FileNotFoundError):
+            procpool._shared_memory.SharedMemory(name=name)
+
+    def test_failed_submit_releases_eagerly(self):
+        class _RefusingPool:
+            def submit(self, fn, *args, **kwargs):
+                raise RuntimeError("pool is gone")
+
+        proxy = ProcessCodecProxy(get_codec("rle"), 2)
+        with pytest.raises(RuntimeError):
+            proxy._call_shm(_RefusingPool(), "compress", _payload())
+        assert live_block_count() == 0
+
+    def test_release_block_is_idempotent(self):
+        block = procpool._shared_memory.SharedMemory(create=True, size=64)
+        procpool._track_block(block)
+        procpool._release_block(block)
+        procpool._release_block(block)  # second release must not raise
+        assert live_block_count() == 0
+
+
+class TestProcessRoundtrip:
+    def test_shm_roundtrip_through_a_real_pool(self):
+        """End to end through real spawned children: a payload above the
+        shared-memory threshold rides a segment both ways, and nothing
+        is left in the registry afterwards."""
+        codec = get_codec("rle")
+        proxy = procpool.worker_codec_for(codec, 2)
+        assert isinstance(proxy, ProcessCodecProxy)
+        payload = _payload()
+        packed = proxy.compress(payload)
+        assert proxy.decompress(packed) == payload
+        shutdown_codec_pool()
+        assert live_block_count() == 0

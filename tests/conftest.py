@@ -2,14 +2,78 @@
 
 Everything is deterministic: fixtures derive data from fixed seeds so
 failures reproduce exactly.
+
+Setting ``ISOBAR_SANITIZE=1`` (what ``isobar sanitize`` does) runs the
+whole session under the tsan-lite instrumentation: the repo's
+module-global locks are wrapped to feed the process-wide lock-order
+graph, the resource leak tracker is installed, and the probe report is
+written to ``$ISOBAR_SANITIZE_REPORT`` at session end.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
 
 from repro.datasets.synthetic import build_structured
+
+
+def pytest_sessionstart(session):
+    if os.environ.get("ISOBAR_SANITIZE"):
+        from repro.devtools.sanitizer.harness import (
+            install_suite_instrumentation,
+        )
+
+        session.config._isobar_sanitize = install_suite_instrumentation()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    handle = getattr(session.config, "_isobar_sanitize", None)
+    if handle is not None:
+        handle.finish(os.environ.get("ISOBAR_SANITIZE_REPORT"))
+
+
+@pytest.fixture
+def sanitizer():
+    """A scoped tsan-lite harness: lock graph + leak tracker.
+
+    Yields an object with ``graph`` (a fresh
+    :class:`~repro.devtools.sanitizer.lockgraph.LockOrderGraph`),
+    ``tracker`` (an installed
+    :class:`~repro.devtools.sanitizer.leaks.ResourceLeakTracker`) and
+    ``lock(name)`` for building instrumented locks on the graph.  At
+    teardown the fixture fails the test if the graph contains a
+    lock-order cycle or the tracker still holds live resources.
+    """
+    from repro.core.exceptions import SanitizerError
+    from repro.devtools.sanitizer.leaks import ResourceLeakTracker
+    from repro.devtools.sanitizer.lockgraph import (
+        LockOrderGraph,
+        instrumented_lock,
+    )
+
+    class _Handle:
+        def __init__(self):
+            self.graph = LockOrderGraph()
+            self.tracker = ResourceLeakTracker().install()
+
+        def lock(self, name, lock=None):
+            return instrumented_lock(name, lock=lock, graph=self.graph)
+
+    handle = _Handle()
+    try:
+        yield handle
+    finally:
+        handle.tracker.uninstall()
+    cycles = handle.graph.find_cycles()
+    if cycles:
+        raise SanitizerError(
+            "lock-order cycle(s): "
+            + "; ".join(c.describe() for c in cycles)
+        )
+    handle.tracker.assert_clean()
 
 
 @pytest.fixture

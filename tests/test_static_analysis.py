@@ -31,12 +31,15 @@ from repro.devtools import (
 )
 from repro.devtools.engine import META_RULE_ID, PARSE_RULE_ID
 from repro.devtools.rules import (
+    AsyncBlockingRule,
     ChunkModeSymmetryRule,
     ErrorHierarchyRule,
     ExceptSwallowRule,
     FacadeContractRule,
+    LockOrderRule,
     MetricsGuardRule,
     RegistryLockRule,
+    ResourceLifecycleRule,
     SelectorContractRule,
     ServiceStatusMapRule,
 )
@@ -739,3 +742,454 @@ def test_mypy_passes_on_strict_set():
         capture_output=True, text=True, cwd=REPO_ROOT,
     )
     assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+class TestLockOrderRule:
+    BAD = """
+    import threading
+
+    ALPHA = threading.Lock()
+    BETA = threading.Lock()
+
+    def forward():
+        with ALPHA:
+            with BETA:
+                pass
+
+    def backward():
+        with BETA:
+            with ALPHA:
+                pass
+    """
+
+    GOOD = """
+    import threading
+
+    ALPHA = threading.Lock()
+    BETA = threading.Lock()
+
+    def forward():
+        with ALPHA:
+            with BETA:
+                pass
+
+    def also_forward():
+        with ALPHA:
+            with BETA:
+                pass
+    """
+
+    def test_fires_on_lexical_inversion(self):
+        report = run_rule(LockOrderRule(), self.BAD)
+        assert rule_ids(report) == ["ISO009"]
+        assert "ALPHA" in report.findings[0].message
+        assert "BETA" in report.findings[0].message
+
+    def test_quiet_on_consistent_order(self):
+        report = run_rule(LockOrderRule(), self.GOOD)
+        assert report.ok
+
+    def test_fires_on_call_under_lock(self):
+        report = run_rule(
+            LockOrderRule(),
+            """
+            import threading
+
+            ALPHA = threading.Lock()
+            BETA = threading.Lock()
+
+            def take_beta():
+                with BETA:
+                    pass
+
+            def forward():
+                with ALPHA:
+                    take_beta()
+
+            def backward():
+                with BETA:
+                    with ALPHA:
+                        pass
+            """,
+        )
+        assert rule_ids(report) == ["ISO009"]
+
+    def test_fires_across_modules(self):
+        alpha = module_from_source(
+            textwrap.dedent(
+                """
+                import threading
+                from repro.core.beta import take_beta
+
+                ALPHA = threading.Lock()
+
+                def take_alpha():
+                    with ALPHA:
+                        pass
+
+                def outer():
+                    with ALPHA:
+                        take_beta()
+                """
+            ),
+            path="alpha.py",
+            module="repro.core.alpha",
+        )
+        beta = module_from_source(
+            textwrap.dedent(
+                """
+                import threading
+                from repro.core.alpha import take_alpha
+
+                BETA = threading.Lock()
+
+                def take_beta():
+                    with BETA:
+                        pass
+
+                def reverse():
+                    with BETA:
+                        take_alpha()
+                """
+            ),
+            path="beta.py",
+            module="repro.core.beta",
+        )
+        report = lint_modules([alpha, beta], [LockOrderRule()])
+        assert rule_ids(report) == ["ISO009"]
+        assert "repro.core.alpha.ALPHA" in report.findings[0].message
+        assert "repro.core.beta.BETA" in report.findings[0].message
+
+    def test_self_deadlock_on_plain_lock(self):
+        report = run_rule(
+            LockOrderRule(),
+            """
+            import threading
+
+            GUARD = threading.Lock()
+
+            def inner():
+                with GUARD:
+                    pass
+
+            def outer():
+                with GUARD:
+                    inner()
+            """,
+        )
+        assert rule_ids(report) == ["ISO009"]
+        assert "re-acquired" in report.findings[0].message
+
+    def test_rlock_self_nesting_is_legal(self):
+        report = run_rule(
+            LockOrderRule(),
+            """
+            import threading
+
+            GUARD = threading.RLock()
+
+            def inner():
+                with GUARD:
+                    pass
+
+            def outer():
+                with GUARD:
+                    inner()
+            """,
+        )
+        assert report.ok
+
+    def test_instance_locks_share_one_node(self):
+        report = run_rule(
+            LockOrderRule(),
+            """
+            import threading
+
+            class Board:
+                def __init__(self):
+                    self._state_lock = threading.Lock()
+                    self._emit_lock = threading.Lock()
+
+                def record(self):
+                    with self._state_lock:
+                        with self._emit_lock:
+                            pass
+
+                def publish(self):
+                    with self._emit_lock:
+                        with self._state_lock:
+                            pass
+            """,
+        )
+        assert rule_ids(report) == ["ISO009"]
+
+    def test_deferred_bodies_do_not_inherit_held_locks(self):
+        report = run_rule(
+            LockOrderRule(),
+            """
+            import threading
+
+            ALPHA = threading.Lock()
+            BETA = threading.Lock()
+
+            def forward():
+                with ALPHA:
+                    with BETA:
+                        pass
+
+            def ships_work(executor):
+                with BETA:
+                    def job():
+                        with ALPHA:
+                            pass
+                    executor.submit(job)
+            """,
+        )
+        assert report.ok
+
+
+class TestAsyncBlockingRule:
+    BAD = """
+    import time
+
+    async def handle(request):
+        time.sleep(0.1)
+    """
+
+    def test_fires_on_sleep_in_service_handler(self):
+        report = run_rule(
+            AsyncBlockingRule(), self.BAD, module="repro.service.fixture"
+        )
+        assert rule_ids(report) == ["ISO010"]
+
+    def test_quiet_outside_the_service_package(self):
+        report = run_rule(
+            AsyncBlockingRule(), self.BAD, module="repro.core.pipeline"
+        )
+        assert report.ok
+
+    def test_fires_on_lock_acquisition_in_handler(self):
+        report = run_rule(
+            AsyncBlockingRule(),
+            """
+            import threading
+
+            STATE_LOCK = threading.Lock()
+
+            async def handle(request):
+                with STATE_LOCK:
+                    return request
+            """,
+            module="repro.service.fixture",
+        )
+        assert rule_ids(report) == ["ISO010"]
+
+    def test_fires_through_sync_helper(self):
+        report = run_rule(
+            AsyncBlockingRule(),
+            """
+            import time
+
+            def warm_up():
+                time.sleep(0.5)
+
+            async def handle(request):
+                warm_up()
+            """,
+            module="repro.service.fixture",
+        )
+        assert rule_ids(report) == ["ISO010"]
+        assert "warm_up" in report.findings[0].message
+
+    def test_quiet_when_routed_through_executor(self):
+        report = run_rule(
+            AsyncBlockingRule(),
+            """
+            import asyncio
+
+            async def handle(request, compressor):
+                loop = asyncio.get_running_loop()
+
+                def _work():
+                    return compressor.compress(request.body)
+
+                return await loop.run_in_executor(None, _work)
+            """,
+            module="repro.service.fixture",
+        )
+        assert report.ok
+
+    def test_quiet_for_awaited_coroutines(self):
+        report = run_rule(
+            AsyncBlockingRule(),
+            """
+            import asyncio
+
+            async def handle(request):
+                await asyncio.sleep(0.01)
+                return request
+            """,
+            module="repro.service.fixture",
+        )
+        assert report.ok
+
+
+class TestResourceLifecycleRule:
+    def test_fires_on_unreleased_local_executor(self):
+        report = run_rule(
+            ResourceLifecycleRule(),
+            """
+            from concurrent.futures import ThreadPoolExecutor
+
+            def fan_out(jobs):
+                pool = ThreadPoolExecutor(4)
+                return [pool.submit(job) for job in jobs]
+            """,
+        )
+        assert rule_ids(report) == ["ISO011"]
+        assert "no reachable release" in report.findings[0].message
+
+    def test_fires_on_happy_path_only_release(self):
+        report = run_rule(
+            ResourceLifecycleRule(),
+            """
+            from concurrent.futures import ThreadPoolExecutor
+
+            def fan_out(jobs):
+                pool = ThreadPoolExecutor(4)
+                results = [f.result() for f in map(pool.submit, jobs)]
+                pool.shutdown()
+                return results
+            """,
+        )
+        assert rule_ids(report) == ["ISO011"]
+        assert "happy path" in report.findings[0].message
+
+    def test_quiet_for_with_block(self):
+        report = run_rule(
+            ResourceLifecycleRule(),
+            """
+            from concurrent.futures import ThreadPoolExecutor
+
+            def fan_out(jobs):
+                with ThreadPoolExecutor(4) as pool:
+                    return [f.result() for f in map(pool.submit, jobs)]
+            """,
+        )
+        assert report.ok
+
+    def test_quiet_for_finally_release(self):
+        report = run_rule(
+            ResourceLifecycleRule(),
+            """
+            from concurrent.futures import ThreadPoolExecutor
+
+            def fan_out(jobs):
+                pool = ThreadPoolExecutor(4)
+                try:
+                    return [f.result() for f in map(pool.submit, jobs)]
+                finally:
+                    pool.shutdown(wait=False)
+            """,
+        )
+        assert report.ok
+
+    def test_attribute_needs_releasing_method(self):
+        report = run_rule(
+            ResourceLifecycleRule(),
+            """
+            from concurrent.futures import ThreadPoolExecutor
+
+            class Service:
+                def __init__(self):
+                    self._executor = ThreadPoolExecutor(4)
+            """,
+        )
+        assert rule_ids(report) == ["ISO011"]
+
+    def test_attribute_with_teardown_method_is_quiet(self):
+        report = run_rule(
+            ResourceLifecycleRule(),
+            """
+            from concurrent.futures import ThreadPoolExecutor
+
+            class Service:
+                def __init__(self):
+                    self._executor = ThreadPoolExecutor(4)
+
+                def drain(self):
+                    self._executor.shutdown(wait=False)
+            """,
+        )
+        assert report.ok
+
+    def test_created_segment_needs_unlink(self):
+        report = run_rule(
+            ResourceLifecycleRule(),
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def ship(payload):
+                block = SharedMemory(create=True, size=len(payload))
+                try:
+                    block.buf[: len(payload)] = payload
+                finally:
+                    block.close()
+            """,
+        )
+        assert rule_ids(report) == ["ISO011"]
+        assert "unlink" in report.findings[0].message
+
+    def test_created_segment_fully_released_is_quiet(self):
+        report = run_rule(
+            ResourceLifecycleRule(),
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def ship(payload):
+                block = SharedMemory(create=True, size=len(payload))
+                try:
+                    block.buf[: len(payload)] = payload
+                finally:
+                    block.close()
+                    block.unlink()
+            """,
+        )
+        assert report.ok
+
+    def test_attached_segment_only_needs_close(self):
+        report = run_rule(
+            ResourceLifecycleRule(),
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def read(name, size):
+                block = SharedMemory(name=name)
+                try:
+                    return bytes(block.buf[:size])
+                finally:
+                    block.close()
+            """,
+        )
+        assert report.ok
+
+    def test_done_callback_release_is_guarded(self):
+        report = run_rule(
+            ResourceLifecycleRule(),
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def ship(pool, payload):
+                block = SharedMemory(create=True, size=len(payload))
+                try:
+                    future = pool.submit(len, payload)
+                    future.add_done_callback(
+                        lambda _f: release_block(block)
+                    )
+                except BaseException:
+                    release_block(block)
+                    raise
+                return future
+            """,
+        )
+        assert report.ok
